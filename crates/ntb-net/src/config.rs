@@ -1,0 +1,154 @@
+//! Interconnect configuration.
+
+use ntb_sim::TimeModel;
+
+/// Configuration of the switchless ring network.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of hosts in the ring (1..=64; the paper's testbed has 3).
+    pub hosts: usize,
+    /// Interconnect shape: the paper's switchless ring, or the
+    /// switch-emulating full mesh used as the comparison baseline.
+    pub topology: crate::topology::Topology,
+    /// Incoming window size per link (power of two). Must hold the direct
+    /// and bypass areas.
+    pub window_size: u64,
+    /// Direct buffer size: payload area for traffic terminating at this
+    /// host. Also the put chunk size.
+    pub direct_buf: u64,
+    /// Bypass buffer size: payload area for traffic this host forwards
+    /// (paper §III-B1 allocates it at init).
+    pub bypass_buf: u64,
+    /// Chunk size for streaming Get responses.
+    pub get_resp_chunk: u64,
+    /// DMA channels per NTB adapter.
+    pub dma_channels: usize,
+    /// Simulated physical memory per host.
+    pub host_mem_capacity: u64,
+    /// The timing model all hardware shares.
+    pub model: TimeModel,
+}
+
+impl NetConfig {
+    /// Paper-scale configuration with `hosts` hosts.
+    pub fn paper(hosts: usize) -> Self {
+        NetConfig { hosts, ..Self::default() }
+    }
+
+    /// Fast functional configuration (no injected delays) for tests.
+    pub fn fast(hosts: usize) -> Self {
+        NetConfig { hosts, model: TimeModel::zero(), ..Self::default() }
+    }
+
+    /// Override the timing model.
+    pub fn with_model(mut self, model: TimeModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Override direct/bypass buffer sizes (put chunking granularity).
+    pub fn with_buffers(mut self, direct: u64, bypass: u64) -> Self {
+        self.direct_buf = direct;
+        self.bypass_buf = bypass;
+        self
+    }
+
+    /// Override the get response chunk size.
+    pub fn with_get_chunk(mut self, chunk: u64) -> Self {
+        self.get_resp_chunk = chunk;
+        self
+    }
+
+    /// Override the interconnect topology.
+    pub fn with_topology(mut self, topology: crate::topology::Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The put chunking granularity: a payload larger than this is split.
+    /// Bounded by both areas because a chunk may need forwarding.
+    pub fn put_chunk(&self) -> u64 {
+        self.direct_buf.min(self.bypass_buf)
+    }
+
+    /// Validate invariants; panics with a descriptive message on misuse.
+    pub fn validate(&self) {
+        assert!(self.hosts >= 1 && self.hosts <= crate::frame::MAX_HOSTS + 1, "1..=64 hosts");
+        assert!(self.window_size.is_power_of_two(), "window size must be a power of two");
+        assert!(
+            crate::layout::WindowLayout::required_size(self.direct_buf, self.bypass_buf)
+                <= self.window_size,
+            "window too small for direct+bypass areas"
+        );
+        assert!(self.get_resp_chunk > 0 && self.get_resp_chunk <= self.put_chunk(),
+            "get response chunk must fit the payload areas");
+        assert!(self.dma_channels >= 1, "need at least one DMA channel");
+        if self.topology == crate::topology::Topology::FullMesh {
+            assert!(self.hosts <= 16, "mesh adapter slots are limited to 16 hosts");
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            hosts: 3,
+            topology: crate::topology::Topology::Ring,
+            window_size: 4 << 20,
+            direct_buf: 256 << 10,
+            bypass_buf: 256 << 10,
+            get_resp_chunk: 64 << 10,
+            dma_channels: 1,
+            host_mem_capacity: 512 << 20,
+            model: TimeModel::paper(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        NetConfig::default().validate();
+        NetConfig::fast(2).validate();
+        NetConfig::paper(3).validate();
+    }
+
+    #[test]
+    fn fast_has_no_delays() {
+        assert!(!NetConfig::fast(3).model.enabled());
+    }
+
+    #[test]
+    fn put_chunk_is_min_of_areas() {
+        let c = NetConfig::default().with_buffers(128 << 10, 64 << 10).with_get_chunk(32 << 10);
+        assert_eq!(c.put_chunk(), 64 << 10);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "window too small")]
+    fn oversized_buffers_rejected() {
+        let mut c = NetConfig::fast(3);
+        c.direct_buf = 4 << 20;
+        c.bypass_buf = 4 << 20;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_window_rejected() {
+        let mut c = NetConfig::fast(3);
+        c.window_size = 3 << 20;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "get response chunk")]
+    fn oversized_get_chunk_rejected() {
+        let c = NetConfig::fast(3).with_get_chunk(1 << 20);
+        c.validate();
+    }
+}

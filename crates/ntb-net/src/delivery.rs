@@ -1,0 +1,172 @@
+//! The delivery interface between the interconnect and the symmetric heap.
+//!
+//! The service threads (paper Fig. 5) must copy arriving payloads "to the
+//! symmetric memory heap with the specified address offset and size" and
+//! read heap data back for Get requests — but the heap belongs to the
+//! OpenSHMEM layer. [`DeliveryTarget`] is the narrow waist the OpenSHMEM
+//! layer installs into each [`NtbNode`](crate::node::NtbNode) at
+//! `shmem_init` time.
+//!
+//! Remote atomic operations ([`AmoOp`]) execute *at the target host* inside
+//! its service thread, which is what makes them atomic with respect to each
+//! other: OpenSHMEM's AMO atomicity is per-target, and the target's
+//! delivery path serializes them.
+
+use ntb_sim::Result;
+
+/// Remote atomic operation codes carried in AMO request frames.
+///
+/// Operands are 64-bit; narrower OpenSHMEM types are widened by the caller
+/// and truncated on the way back (the heap bytes touched are `width`
+/// bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// Atomic fetch-and-add: returns the old value.
+    FetchAdd,
+    /// Atomic swap: stores operand, returns the old value.
+    Swap,
+    /// Atomic compare-and-swap: stores operand if old == compare; returns
+    /// the old value either way.
+    CompareSwap,
+    /// Atomic fetch (read).
+    Fetch,
+    /// Atomic set (write).
+    Set,
+    /// Atomic fetch-and-and.
+    FetchAnd,
+    /// Atomic fetch-and-or.
+    FetchOr,
+    /// Atomic fetch-and-xor.
+    FetchXor,
+}
+
+impl AmoOp {
+    /// All operations (test helper).
+    pub const ALL: [AmoOp; 8] = [
+        AmoOp::FetchAdd,
+        AmoOp::Swap,
+        AmoOp::CompareSwap,
+        AmoOp::Fetch,
+        AmoOp::Set,
+        AmoOp::FetchAnd,
+        AmoOp::FetchOr,
+        AmoOp::FetchXor,
+    ];
+
+    /// Wire code (rides the top byte of the frame length register).
+    pub fn code(self) -> u32 {
+        match self {
+            AmoOp::FetchAdd => 1,
+            AmoOp::Swap => 2,
+            AmoOp::CompareSwap => 3,
+            AmoOp::Fetch => 4,
+            AmoOp::Set => 5,
+            AmoOp::FetchAnd => 6,
+            AmoOp::FetchOr => 7,
+            AmoOp::FetchXor => 8,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(code: u32) -> Option<AmoOp> {
+        Some(match code {
+            1 => AmoOp::FetchAdd,
+            2 => AmoOp::Swap,
+            3 => AmoOp::CompareSwap,
+            4 => AmoOp::Fetch,
+            5 => AmoOp::Set,
+            6 => AmoOp::FetchAnd,
+            7 => AmoOp::FetchOr,
+            8 => AmoOp::FetchXor,
+            _ => return None,
+        })
+    }
+
+    /// Apply the operation to `old` with `operand`/`compare`; returns the
+    /// new value to store (the caller returns `old` to the requester).
+    pub fn apply(self, old: u64, operand: u64, compare: u64) -> u64 {
+        match self {
+            AmoOp::FetchAdd => old.wrapping_add(operand),
+            AmoOp::Swap | AmoOp::Set => operand,
+            AmoOp::CompareSwap => {
+                if old == compare {
+                    operand
+                } else {
+                    old
+                }
+            }
+            AmoOp::Fetch => old,
+            AmoOp::FetchAnd => old & operand,
+            AmoOp::FetchOr => old | operand,
+            AmoOp::FetchXor => old ^ operand,
+        }
+    }
+}
+
+/// Where arriving traffic lands: implemented by the OpenSHMEM symmetric
+/// heap (and by test fixtures).
+pub trait DeliveryTarget: Send + Sync {
+    /// Deliver a put chunk into the symmetric address space at flat
+    /// offset `offset`.
+    fn deliver_put(&self, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Read `out.len()` bytes for a Get from flat offset `offset`.
+    fn read_for_get(&self, offset: u64, out: &mut [u8]) -> Result<()>;
+
+    /// Execute an atomic at flat offset `offset` on `width` bytes
+    /// (1/2/4/8). Returns the old value, zero-extended to 64 bits. The
+    /// implementation must serialize all `deliver_atomic` calls on the
+    /// same host.
+    fn deliver_atomic(
+        &self,
+        op: AmoOp,
+        offset: u64,
+        width: usize,
+        operand: u64,
+        compare: u64,
+    ) -> Result<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for op in AmoOp::ALL {
+            assert_eq!(AmoOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(AmoOp::from_code(0), None);
+        assert_eq!(AmoOp::from_code(99), None);
+    }
+
+    #[test]
+    fn fetch_add_wraps() {
+        assert_eq!(AmoOp::FetchAdd.apply(u64::MAX, 2, 0), 1);
+        assert_eq!(AmoOp::FetchAdd.apply(10, 5, 0), 15);
+    }
+
+    #[test]
+    fn swap_and_set_store_operand() {
+        assert_eq!(AmoOp::Swap.apply(1, 99, 0), 99);
+        assert_eq!(AmoOp::Set.apply(1, 99, 0), 99);
+    }
+
+    #[test]
+    fn compare_swap_conditional() {
+        assert_eq!(AmoOp::CompareSwap.apply(5, 9, 5), 9, "matches: stores");
+        assert_eq!(AmoOp::CompareSwap.apply(5, 9, 4), 5, "mismatch: keeps old");
+    }
+
+    #[test]
+    fn fetch_keeps_value() {
+        assert_eq!(AmoOp::Fetch.apply(123, 9, 9), 123);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(AmoOp::FetchAnd.apply(0b1100, 0b1010, 0), 0b1000);
+        assert_eq!(AmoOp::FetchOr.apply(0b1100, 0b1010, 0), 0b1110);
+        assert_eq!(AmoOp::FetchXor.apply(0b1100, 0b1010, 0), 0b0110);
+    }
+}

@@ -1,0 +1,151 @@
+//! Store-and-forward queues: the bypass-buffer transmit path.
+//!
+//! A service thread must never block on an outbound mailbox while its own
+//! inbound mailbox is full — with every host doing that, a loaded ring
+//! deadlocks (the classic wormhole cycle). The paper's design avoids this
+//! with its per-host **bypass buffer**: forwarded payloads are staged out
+//! of the window into host memory and re-transmitted asynchronously. The
+//! model mirrors that exactly: each link endpoint owns a [`ForwardQueue`]
+//! consumed by a dedicated forwarder thread, so inbound frames are always
+//! drained promptly and acknowledgements keep flowing.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::frame::Frame;
+
+/// One queued transmission.
+#[derive(Debug)]
+pub struct ForwardJob {
+    /// Frame to send (seq is reassigned by the mailbox).
+    pub frame: Frame,
+    /// Staged payload bytes (the bypass-buffer copy), if the kind carries
+    /// payload.
+    pub payload: Option<Vec<u8>>,
+    /// Modelled think time charged before transmitting (bypass forwarding
+    /// delay, get-response pacing).
+    pub think: Duration,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<ForwardJob>,
+    shutdown: bool,
+}
+
+/// An unbounded MPSC queue feeding one forwarder thread.
+#[derive(Debug, Default)]
+pub struct ForwardQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+impl ForwardQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a job; wakes the forwarder.
+    pub fn push(&self, job: ForwardJob) {
+        let mut st = self.state.lock();
+        if st.shutdown {
+            return; // network is going down; drop silently
+        }
+        st.jobs.push_back(job);
+        self.cond.notify_one();
+    }
+
+    /// Dequeue the next job; `None` once shut down *and* drained.
+    pub fn pop(&self) -> Option<ForwardJob> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.shutdown {
+                return None;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Begin shutdown: queued jobs still drain, new pushes are dropped.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock();
+        st.shutdown = true;
+        self.cond.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntb_sim::TransferMode;
+    use std::sync::Arc;
+
+    fn job(n: u32) -> ForwardJob {
+        ForwardJob {
+            frame: Frame::put(0, 1, n, 0, TransferMode::Dma),
+            payload: Some(vec![0u8; n as usize]),
+            think: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = ForwardQueue::new();
+        q.push(job(1));
+        q.push(job(2));
+        q.push(job(3));
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop().unwrap().frame.len, 1);
+        assert_eq!(q.pop().unwrap().frame.len, 2);
+        assert_eq!(q.pop().unwrap().frame.len, 3);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(ForwardQueue::new());
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop().unwrap().frame.len);
+        std::thread::sleep(Duration::from_millis(10));
+        q.push(job(42));
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = ForwardQueue::new();
+        q.push(job(7));
+        q.shutdown();
+        assert_eq!(q.pop().unwrap().frame.len, 7);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_after_shutdown_dropped() {
+        let q = ForwardQueue::new();
+        q.shutdown();
+        q.push(job(1));
+        assert_eq!(q.depth(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_pop() {
+        let q = Arc::new(ForwardQueue::new());
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop().is_none());
+        std::thread::sleep(Duration::from_millis(10));
+        q.shutdown();
+        assert!(h.join().unwrap());
+    }
+}

@@ -1,0 +1,113 @@
+//! Layout of a link's incoming window.
+//!
+//! Each incoming window is carved into two payload areas, mirroring the
+//! paper's buffer structure:
+//!
+//! ```text
+//! +----------------+--------------------+
+//! | direct buffer  | bypass buffer      |
+//! | (terminating   | (forwarded         |
+//! |  payloads)     |  payloads)         |
+//! +----------------+--------------------+
+//! 0            direct_buf     direct_buf+bypass_buf
+//! ```
+//!
+//! The sender chooses the area: if the *next hop is the final destination*
+//! the payload goes to the direct buffer; otherwise it goes to the bypass
+//! buffer, from which the receiving host's service thread stages and
+//! forwards it (paper §III-B3, Fig. 4).
+
+use ntb_sim::{Region, Result};
+
+/// Resolved offsets of one incoming window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowLayout {
+    /// Direct buffer offset (always 0).
+    pub direct_off: u64,
+    /// Direct buffer size.
+    pub direct_len: u64,
+    /// Bypass buffer offset.
+    pub bypass_off: u64,
+    /// Bypass buffer size.
+    pub bypass_len: u64,
+}
+
+impl WindowLayout {
+    /// Build a layout with the given area sizes.
+    pub fn new(direct_len: u64, bypass_len: u64) -> Self {
+        WindowLayout { direct_off: 0, direct_len, bypass_off: direct_len, bypass_len }
+    }
+
+    /// Minimum window size that holds both areas.
+    pub fn required_size(direct_len: u64, bypass_len: u64) -> u64 {
+        direct_len + bypass_len
+    }
+
+    /// Offset of the area payloads of the given routing class land in.
+    pub fn area_offset(&self, terminating: bool) -> u64 {
+        if terminating {
+            self.direct_off
+        } else {
+            self.bypass_off
+        }
+    }
+
+    /// Size of the area for the given routing class.
+    pub fn area_len(&self, terminating: bool) -> u64 {
+        if terminating {
+            self.direct_len
+        } else {
+            self.bypass_len
+        }
+    }
+
+    /// View of the direct buffer within `window`.
+    pub fn direct_region(&self, window: &Region) -> Result<Region> {
+        window.slice(self.direct_off, self.direct_len)
+    }
+
+    /// View of the bypass buffer within `window`.
+    pub fn bypass_region(&self, window: &Region) -> Result<Region> {
+        window.slice(self.bypass_off, self.bypass_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_dont_overlap() {
+        let l = WindowLayout::new(256 << 10, 128 << 10);
+        assert_eq!(l.direct_off, 0);
+        assert_eq!(l.bypass_off, 256 << 10);
+        assert_eq!(WindowLayout::required_size(256 << 10, 128 << 10), 384 << 10);
+    }
+
+    #[test]
+    fn area_selection() {
+        let l = WindowLayout::new(100, 200);
+        assert_eq!(l.area_offset(true), 0);
+        assert_eq!(l.area_offset(false), 100);
+        assert_eq!(l.area_len(true), 100);
+        assert_eq!(l.area_len(false), 200);
+    }
+
+    #[test]
+    fn regions_view_right_bytes() {
+        let l = WindowLayout::new(64, 64);
+        let win = Region::anonymous(256);
+        l.direct_region(&win).unwrap().write(0, b"direct").unwrap();
+        l.bypass_region(&win).unwrap().write(0, b"bypass").unwrap();
+        assert_eq!(win.read_vec(0, 6).unwrap(), b"direct");
+        assert_eq!(win.read_vec(64, 6).unwrap(), b"bypass");
+    }
+
+    #[test]
+    fn region_views_bounds_checked() {
+        let l = WindowLayout::new(64, 64);
+        let win = Region::anonymous(100); // too small for bypass area
+        assert!(l.direct_region(&win).is_ok());
+        assert!(l.bypass_region(&win).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! # ntb-net — the switchless PCIe NTB ring interconnect
+//!
+//! This crate implements the paper's data-sharing protocol (§III-A) on top
+//! of the `ntb-sim` hardware model:
+//!
+//! * Hosts form a **ring**: each host carries two NTB adapters, cabled to
+//!   the left and right neighbours ([`network::RingNetwork`]).
+//! * A transfer pushes its payload into the neighbour's **memory window**
+//!   (direct area if the neighbour is the final destination, **bypass
+//!   area** otherwise), publishes a **transfer-info frame** through the
+//!   link's ScratchPad registers ([`frame`], [`mailbox`]) and rings a
+//!   **doorbell**.
+//! * Each host runs **service threads** (paper Fig. 5): they deliver
+//!   payloads destined for this host into the symmetric heap (through the
+//!   [`delivery::DeliveryTarget`] installed by the OpenSHMEM layer) and
+//!   forward everything else around the ring through the bypass buffer.
+//! * Get requests travel as payload-free frames to the data's host, which
+//!   streams response chunks back ([`node::NtbNode::get_bytes`]).
+//! * Remote atomic operations ride the same frame protocol
+//!   ([`delivery::AmoOp`]).
+//!
+//! The crate knows nothing about OpenSHMEM semantics; it moves bytes
+//! between flat symmetric-address offsets. `shmem-core` layers the PGAS
+//! model on top.
+
+pub mod config;
+pub mod delivery;
+pub mod forwarder;
+pub mod frame;
+pub mod handshake;
+pub mod layout;
+pub mod mailbox;
+pub mod network;
+pub mod node;
+pub mod pending;
+pub mod service;
+pub mod topology;
+pub mod trace;
+
+pub use config::NetConfig;
+pub use delivery::{AmoOp, DeliveryTarget};
+pub use frame::{Frame, FrameKind};
+pub use handshake::{exchange_link_info, PeerInfo};
+pub use layout::WindowLayout;
+pub use network::RingNetwork;
+pub use node::NtbNode;
+pub use topology::{hop_count, route, RingTopology, RouteDirection, Topology};
+pub use trace::{to_chrome_json, TraceKind, TraceRecord, Tracer};
+
+/// Doorbell bit assignments (paper §III-B1 defines the four interrupt
+/// sources; bit 15 is the model's shutdown signal for service threads).
+pub mod doorbells {
+    /// Interrupt source for DMA Put (data frames: Put, GetResp, PutAck,
+    /// AmoResp).
+    pub const DB_DMAPUT: u32 = 0;
+    /// Interrupt source for DMA Get (request frames: GetReq, AmoReq).
+    pub const DB_DMAGET: u32 = 1;
+    /// Barrier start sweep signal.
+    pub const DB_BARRIER_START: u32 = 2;
+    /// Barrier end sweep signal.
+    pub const DB_BARRIER_END: u32 = 3;
+    /// Internal: wake service threads for shutdown.
+    pub const DB_SHUTDOWN: u32 = 15;
+
+    /// Mask of the bits the service threads listen on.
+    pub const SERVICE_INTEREST: u32 = (1 << DB_DMAPUT) | (1 << DB_DMAGET) | (1 << DB_SHUTDOWN);
+    /// Mask of the bits the barrier algorithm listens on.
+    pub const BARRIER_INTEREST: u32 = (1 << DB_BARRIER_START) | (1 << DB_BARRIER_END);
+}

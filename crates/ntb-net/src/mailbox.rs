@@ -1,0 +1,266 @@
+//! One-slot scratchpad mailboxes: frame hand-off over a link.
+//!
+//! Each link direction owns four of the link's eight scratchpad registers.
+//! The sender waits until the header register reads zero (the previous
+//! frame was consumed), places the payload in the window, writes the body
+//! registers, writes the header **last**, and rings the kind's doorbell.
+//! The receiver decodes the frame, finishes with the payload, and zeroes
+//! the header as the acknowledgement.
+//!
+//! The initiator side of a link (the port whose outgoing direction is
+//! `Upstream`) transmits in registers 0–3; the responder transmits in 4–7,
+//! so the two directions never collide.
+
+use std::sync::Arc;
+
+use ntb_sim::{LinkDirection, NtbPort, Result};
+use parking_lot::Mutex;
+
+use crate::frame::Frame;
+
+/// Scratchpad base register for a port's transmit mailbox.
+fn tx_base(port: &NtbPort) -> usize {
+    match port.outgoing().direction() {
+        LinkDirection::Upstream => 0,
+        LinkDirection::Downstream => 4,
+    }
+}
+
+/// The sending side of one link direction's mailbox. Serializes local
+/// senders (the PE thread and the forwarder thread contend for the same
+/// link) with an internal lock.
+pub struct TxMailbox {
+    port: Arc<NtbPort>,
+    base: usize,
+    seq: Mutex<u16>,
+    abort: Option<Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl TxMailbox {
+    /// Transmit mailbox of `port`.
+    pub fn new(port: Arc<NtbPort>) -> Self {
+        let base = tx_base(&port);
+        TxMailbox { port, base, seq: Mutex::new(0), abort: None }
+    }
+
+    /// Install an abort flag: a send blocked on a full slot fails with
+    /// `DmaShutdown` once the flag is raised (network teardown).
+    pub fn set_abort(&mut self, flag: Arc<std::sync::atomic::AtomicBool>) {
+        self.abort = Some(flag);
+    }
+
+    /// The port this mailbox transmits through.
+    pub fn port(&self) -> &Arc<NtbPort> {
+        &self.port
+    }
+
+    fn wait_empty(&self) -> Result<()> {
+        let mut spins: u32 = 0;
+        while self.port.spad_read(self.base)? != 0 {
+            spins = spins.wrapping_add(1);
+            std::thread::yield_now();
+            if spins.is_multiple_of(64) {
+                if self
+                    .abort
+                    .as_ref()
+                    .is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst))
+                {
+                    return Err(ntb_sim::NtbError::DmaShutdown);
+                }
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Send `frame`. `push_payload` runs after the slot is free and before
+    /// the frame is published — it must place the payload bytes in the
+    /// peer's window through `port`.
+    pub fn send(
+        &self,
+        mut frame: Frame,
+        push_payload: impl FnOnce(&NtbPort) -> Result<()>,
+    ) -> Result<()> {
+        let mut seq = self.seq.lock();
+        self.wait_empty()?;
+        push_payload(&self.port)?;
+        frame.seq = *seq;
+        *seq = seq.wrapping_add(1);
+        let words = frame.encode();
+        self.port.spad_write(self.base + 1, words[1])?;
+        self.port.spad_write(self.base + 2, words[2])?;
+        self.port.spad_write(self.base + 3, words[3])?;
+        // Header last: publishing the frame releases the body registers
+        // and the payload (PCIe posted-write ordering).
+        self.port.spad_write(self.base, words[0])?;
+        self.port.ring_peer(frame.kind.doorbell())?;
+        Ok(())
+    }
+
+    /// Send a payload-free frame.
+    pub fn send_control(&self, frame: Frame) -> Result<()> {
+        self.send(frame, |_| Ok(()))
+    }
+}
+
+/// The receiving side of one link direction's mailbox.
+pub struct RxMailbox {
+    port: Arc<NtbPort>,
+    base: usize,
+}
+
+impl RxMailbox {
+    /// Receive mailbox of `port` (reads the *peer's* transmit registers).
+    pub fn new(port: Arc<NtbPort>) -> Self {
+        // Our receive registers are the peer's transmit registers: the
+        // other half of the bank.
+        let base = match tx_base(&port) {
+            0 => 4,
+            _ => 0,
+        };
+        RxMailbox { port, base }
+    }
+
+    /// The port this mailbox receives on.
+    pub fn port(&self) -> &Arc<NtbPort> {
+        &self.port
+    }
+
+    /// Poll for a frame; `None` if the slot is empty (or holds garbage,
+    /// which is dropped and acked so the link does not wedge).
+    pub fn try_recv(&self) -> Result<Option<Frame>> {
+        let header = self.port.spad_read(self.base)?;
+        if header == 0 {
+            return Ok(None);
+        }
+        let words = [
+            header,
+            self.port.spad_read(self.base + 1)?,
+            self.port.spad_read(self.base + 2)?,
+            self.port.spad_read(self.base + 3)?,
+        ];
+        match Frame::decode(words) {
+            Some(frame) => Ok(Some(frame)),
+            None => {
+                // Malformed header: acknowledge to free the link.
+                self.ack()?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Acknowledge the current frame: frees the sender's slot. Call only
+    /// after the payload has been fully consumed from the window.
+    pub fn ack(&self) -> Result<()> {
+        self.port.spad_write(self.base, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntb_sim::{connect_ports, HostMemory, PortConfig, TimeModel};
+
+    fn pair() -> (Arc<NtbPort>, Arc<NtbPort>) {
+        let ma = HostMemory::new(0, 64 << 20);
+        let mb = HostMemory::new(1, 64 << 20);
+        connect_ports(PortConfig::new(0, 1), PortConfig::new(1, 0), &ma, &mb, Arc::new(TimeModel::zero()))
+            .unwrap()
+    }
+
+    #[test]
+    fn frame_crosses_link() {
+        let (a, b) = pair();
+        let tx = TxMailbox::new(a);
+        let rx = RxMailbox::new(b);
+        assert!(rx.try_recv().unwrap().is_none());
+        tx.send_control(Frame::put_ack(0, 1, 2)).unwrap();
+        let f = rx.try_recv().unwrap().unwrap();
+        assert_eq!(f.kind, crate::frame::FrameKind::PutAck);
+        assert_eq!(f.src, 0);
+        assert_eq!(f.dest, 1);
+        assert_eq!(f.len, 2);
+    }
+
+    #[test]
+    fn payload_lands_before_frame_visible() {
+        let (a, b) = pair();
+        let tx = TxMailbox::new(Arc::clone(&a));
+        let rx = RxMailbox::new(Arc::clone(&b));
+        tx.send(Frame::put(0, 1, 5, 0, ntb_sim::TransferMode::Memcpy), |port| {
+            port.pio_write(0, b"hello")
+        })
+        .unwrap();
+        let f = rx.try_recv().unwrap().unwrap();
+        assert_eq!(f.len, 5);
+        assert_eq!(b.incoming().region().read_vec(0, 5).unwrap(), b"hello");
+        rx.ack().unwrap();
+    }
+
+    #[test]
+    fn slot_blocks_until_acked() {
+        let (a, b) = pair();
+        let tx = Arc::new(TxMailbox::new(a));
+        let rx = RxMailbox::new(b);
+        tx.send_control(Frame::put_ack(0, 1, 1)).unwrap();
+        // Second send must block until rx acks; do it from a thread.
+        let tx2 = Arc::clone(&tx);
+        let h = std::thread::spawn(move || {
+            tx2.send_control(Frame::put_ack(0, 1, 2)).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!h.is_finished(), "second send must wait for ack");
+        let f1 = rx.try_recv().unwrap().unwrap();
+        assert_eq!(f1.len, 1);
+        rx.ack().unwrap();
+        h.join().unwrap();
+        let f2 = rx.try_recv().unwrap().unwrap();
+        assert_eq!(f2.len, 2);
+        assert_eq!(f2.seq, f1.seq.wrapping_add(1), "sequence increments");
+    }
+
+    #[test]
+    fn directions_use_disjoint_registers() {
+        let (a, b) = pair();
+        let tx_ab = TxMailbox::new(Arc::clone(&a));
+        let tx_ba = TxMailbox::new(Arc::clone(&b));
+        let rx_at_b = RxMailbox::new(b);
+        let rx_at_a = RxMailbox::new(a);
+        tx_ab.send_control(Frame::put_ack(0, 1, 11)).unwrap();
+        tx_ba.send_control(Frame::put_ack(1, 0, 22)).unwrap();
+        assert_eq!(rx_at_b.try_recv().unwrap().unwrap().len, 11);
+        assert_eq!(rx_at_a.try_recv().unwrap().unwrap().len, 22);
+    }
+
+    #[test]
+    fn concurrent_senders_serialize() {
+        let (a, b) = pair();
+        let tx = Arc::new(TxMailbox::new(a));
+        let rx = RxMailbox::new(b);
+        let n = 32;
+        let mut handles = vec![];
+        for i in 0..n {
+            let tx = Arc::clone(&tx);
+            handles.push(std::thread::spawn(move || {
+                tx.send_control(Frame::put_ack(0, 1, i)).unwrap();
+            }));
+        }
+        // Drain from this thread.
+        let mut seen = vec![];
+        while seen.len() < n as usize {
+            if let Some(f) = rx.try_recv().unwrap() {
+                seen.push(f.len);
+                rx.ack().unwrap();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,203 @@
+//! Building the ring: cabling N hosts' adapters into a switchless network.
+//!
+//! Host *i*'s **right** adapter (slot 1) is connected to host *(i+1) mod
+//! N*'s **left** adapter (slot 0), exactly like the paper's testbed cables
+//! its PEX adapters (Fig. 7(d)). A two-host ring has two independent
+//! links (both adapter pairs are cabled); a single "host" has none and
+//! supports only local operation.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use ntb_sim::{connect_ports, HostMemory, NtbPort, PortConfig, Result, TimeModel};
+
+use crate::config::NetConfig;
+use crate::handshake::exchange_link_info;
+use crate::node::NtbNode;
+use crate::topology::Topology;
+use crate::trace::{to_chrome_json, TraceRecord, Tracer};
+
+/// Run the paper's init-time id/geometry exchange on a freshly cabled
+/// link (both sides concurrently) and verify the cable reaches the host
+/// the topology expects.
+fn bring_up_link(
+    a: &Arc<NtbPort>,
+    id_a: usize,
+    b: &Arc<NtbPort>,
+    id_b: usize,
+    config: &NetConfig,
+) -> Result<()> {
+    let ws = config.window_size as u32;
+    let dl = config.direct_buf as u32;
+    let timeout = std::time::Duration::from_secs(10);
+    let (ra, rb) = std::thread::scope(|s| {
+        let ha = s.spawn(|| exchange_link_info(a, id_a, ws, dl, timeout));
+        let hb = s.spawn(|| exchange_link_info(b, id_b, ws, dl, timeout));
+        (ha.join().expect("handshake thread"), hb.join().expect("handshake thread"))
+    });
+    let pa = ra?;
+    let pb = rb?;
+    if pa.host_id != id_b || pb.host_id != id_a {
+        return Err(ntb_sim::NtbError::BadDescriptor {
+            reason: "link cabled to an unexpected host (id exchange mismatch)",
+        });
+    }
+    Ok(())
+}
+
+/// The assembled switchless ring network.
+pub struct RingNetwork {
+    nodes: Vec<Arc<NtbNode>>,
+    config: NetConfig,
+}
+
+impl RingNetwork {
+    /// Build and start a network of `config.hosts` hosts in the
+    /// configured topology: allocate window memory, cable the adapters,
+    /// spawn the service/forwarder threads.
+    pub fn build(config: NetConfig) -> Result<RingNetwork> {
+        config.validate();
+        let n = config.hosts;
+        let kind = config.topology;
+        let model = Arc::new(config.model.clone());
+        let tracer = Arc::new(Tracer::default());
+        let mems: Vec<Arc<HostMemory>> =
+            (0..n).map(|i| HostMemory::new(i, config.host_mem_capacity)).collect();
+
+        // Per-host adapter lists: (neighbor, port).
+        let mut ports: Vec<Vec<(usize, Arc<NtbPort>)>> = (0..n).map(|_| Vec::new()).collect();
+        match kind {
+            Topology::Ring => {
+                // Host i's right adapter (slot 1) to host i+1's left (slot 0).
+                if n >= 2 {
+                    for i in 0..n {
+                        let j = (i + 1) % n;
+                        let cfg_right = PortConfig::new(i, 1).with_window_size(config.window_size);
+                        let cfg_left = PortConfig::new(j, 0).with_window_size(config.window_size);
+                        let (pr, pl) = connect_ports(
+                            cfg_right,
+                            cfg_left,
+                            &mems[i],
+                            &mems[j],
+                            Arc::clone(&model),
+                        )?;
+                        bring_up_link(&pr, i, &pl, j, &config)?;
+                        ports[i].push((j, pr));
+                        ports[j].push((i, pl));
+                    }
+                }
+            }
+            Topology::FullMesh => {
+                // A dedicated link per pair (the ideal-switch emulation):
+                // host i's adapter slot towards j is j (or j-1 past self).
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let slot_i = j - 1; // skip self
+                        let slot_j = i;
+                        let cfg_i = PortConfig::new(i, slot_i).with_window_size(config.window_size);
+                        let cfg_j = PortConfig::new(j, slot_j).with_window_size(config.window_size);
+                        let (pi, pj) =
+                            connect_ports(cfg_i, cfg_j, &mems[i], &mems[j], Arc::clone(&model))?;
+                        bring_up_link(&pi, i, &pj, j, &config)?;
+                        ports[i].push((j, pi));
+                        ports[j].push((i, pj));
+                    }
+                }
+            }
+        }
+
+        let nodes: Vec<Arc<NtbNode>> = ports
+            .into_iter()
+            .enumerate()
+            .map(|(i, host_ports)| {
+                NtbNode::new(
+                    i,
+                    config.clone(),
+                    kind,
+                    Arc::clone(&model),
+                    Arc::clone(&mems[i]),
+                    Arc::new(AtomicBool::new(false)),
+                    Arc::clone(&tracer),
+                    host_ports,
+                )
+            })
+            .collect();
+        for node in &nodes {
+            node.start();
+        }
+        Ok(RingNetwork { nodes, config })
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty (impossible, but Clippy insists) network.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Host `i`'s node.
+    pub fn node(&self, i: usize) -> &Arc<NtbNode> {
+        &self.nodes[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Arc<NtbNode>] {
+        &self.nodes
+    }
+
+    /// The shared time model.
+    pub fn model(&self) -> Arc<TimeModel> {
+        Arc::clone(self.nodes[0].model())
+    }
+
+    /// Start recording protocol events on every host (one shared clock).
+    pub fn enable_tracing(&self) {
+        self.nodes[0].tracer().enable();
+    }
+
+    /// Stop recording protocol events.
+    pub fn disable_tracing(&self) {
+        self.nodes[0].tracer().disable();
+    }
+
+    /// Take the recorded events, sorted by timestamp.
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        let mut events = self.nodes[0].tracer().take();
+        events.sort_by(|a, b| a.t_us.partial_cmp(&b.t_us).expect("finite timestamps"));
+        events
+    }
+
+    /// Take the recorded events as Chrome tracing JSON
+    /// (`chrome://tracing` / Perfetto).
+    pub fn take_trace_json(&self) -> String {
+        to_chrome_json(&self.take_trace())
+    }
+
+    /// Stop every node's background threads. The network must be
+    /// quiescent (callers finished, `quiet` drained). Idempotent.
+    pub fn shutdown(&self) {
+        for node in &self.nodes {
+            node.stop();
+        }
+    }
+}
+
+impl Drop for RingNetwork {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for RingNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingNetwork").field("hosts", &self.nodes.len()).finish()
+    }
+}

@@ -1,0 +1,529 @@
+//! One host of the switchless ring: ports, mailboxes, forwarders, and the
+//! host-side operations (put / get / atomics / quiet / barrier signals).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ntb_sim::{
+    DmaRequest, HostMemory, NtbError, NtbPort, PortStatsSnapshot, Region, Result, TimeModel,
+    TransferMode,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::config::NetConfig;
+use crate::delivery::{AmoOp, DeliveryTarget};
+use crate::doorbells::{DB_BARRIER_END, DB_BARRIER_START, DB_SHUTDOWN};
+use crate::forwarder::ForwardQueue;
+use crate::frame::Frame;
+use crate::layout::WindowLayout;
+use crate::mailbox::{RxMailbox, TxMailbox};
+use crate::pending::{OutstandingPuts, PendingOps};
+use crate::topology::{RingTopology, RouteDirection, Topology};
+use crate::trace::{TraceKind, Tracer};
+
+/// Counters of one node's protocol activity.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Frames received and handled by the service threads.
+    pub frames_rx: AtomicU64,
+    /// Frames forwarded around the ring (this host was an intermediate).
+    pub forwards: AtomicU64,
+    /// Put chunks delivered into the local symmetric space.
+    pub puts_delivered: AtomicU64,
+    /// Get requests served from the local symmetric space.
+    pub gets_served: AtomicU64,
+    /// Put acknowledgements received back at this origin.
+    pub acks_received: AtomicU64,
+    /// Atomic operations executed at this host.
+    pub amos_served: AtomicU64,
+}
+
+impl NodeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One cabled link of a host: the port plus its mailboxes and forward
+/// queue.
+pub struct LinkEndpoint {
+    /// The neighbour host on the other side.
+    pub(crate) neighbor: usize,
+    /// Next expected inbound frame sequence number (service thread only;
+    /// detects protocol bugs that would lose or duplicate frames).
+    pub(crate) rx_seq: std::sync::atomic::AtomicU32,
+    /// The NTB port.
+    pub(crate) port: Arc<NtbPort>,
+    /// Transmit mailbox (PE thread and forwarder contend through its
+    /// internal lock).
+    pub(crate) tx: TxMailbox,
+    /// Receive mailbox (service thread only).
+    pub(crate) rx: RxMailbox,
+    /// Store-and-forward queue consumed by this endpoint's forwarder.
+    pub(crate) fwd: Arc<ForwardQueue>,
+}
+
+impl LinkEndpoint {
+    /// The port of this endpoint (stats, doorbells).
+    pub fn port(&self) -> &Arc<NtbPort> {
+        &self.port
+    }
+
+    /// Neighbour host id.
+    pub fn neighbor(&self) -> usize {
+        self.neighbor
+    }
+}
+
+/// A host in the switchless NTB interconnect (ring or mesh).
+pub struct NtbNode {
+    pub(crate) topo: RingTopology,
+    pub(crate) kind: Topology,
+    pub(crate) model: Arc<TimeModel>,
+    pub(crate) config: NetConfig,
+    pub(crate) layout: WindowLayout,
+    /// One endpoint per cabled adapter. Ring: two (left, right).
+    /// Mesh: one per other host.
+    pub(crate) endpoints: Vec<LinkEndpoint>,
+    pub(crate) delivery: RwLock<Option<Arc<dyn DeliveryTarget>>>,
+    pub(crate) pending: PendingOps,
+    pub(crate) outstanding: OutstandingPuts,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) threads: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) stats: NodeStats,
+    pub(crate) errors: Mutex<Vec<NtbError>>,
+    pub(crate) mem: Arc<HostMemory>,
+    pub(crate) tracer: Arc<Tracer>,
+}
+
+fn offset32(offset: u64) -> Result<u32> {
+    u32::try_from(offset)
+        .map_err(|_| NtbError::BadDescriptor { reason: "symmetric offset exceeds 4 GiB" })
+}
+
+fn len31(len: u64) -> Result<u32> {
+    if len >= (1 << 31) {
+        return Err(NtbError::BadDescriptor { reason: "transfer length exceeds 2 GiB" });
+    }
+    Ok(len as u32)
+}
+
+impl NtbNode {
+    /// Assemble a node from its cabled ports (one `(neighbor, port)` pair
+    /// per adapter; empty only on a single-host network).
+    #[allow(clippy::too_many_arguments)] // internal constructor, one call site
+    pub(crate) fn new(
+        me: usize,
+        config: NetConfig,
+        kind: Topology,
+        model: Arc<TimeModel>,
+        mem: Arc<HostMemory>,
+        shutdown: Arc<AtomicBool>,
+        tracer: Arc<Tracer>,
+        ports: Vec<(usize, Arc<NtbPort>)>,
+    ) -> Arc<NtbNode> {
+        let topo = RingTopology::new(me, config.hosts);
+        let layout = WindowLayout::new(config.direct_buf, config.bypass_buf);
+        let endpoints = ports
+            .into_iter()
+            .map(|(neighbor, port)| {
+                let mut tx = TxMailbox::new(Arc::clone(&port));
+                tx.set_abort(Arc::clone(&shutdown));
+                LinkEndpoint {
+                    neighbor,
+                    rx_seq: std::sync::atomic::AtomicU32::new(0),
+                    rx: RxMailbox::new(Arc::clone(&port)),
+                    tx,
+                    port,
+                    fwd: Arc::new(ForwardQueue::new()),
+                }
+            })
+            .collect();
+        Arc::new(NtbNode {
+            topo,
+            kind,
+            model,
+            layout,
+            endpoints,
+            delivery: RwLock::new(None),
+            pending: PendingOps::new(),
+            outstanding: OutstandingPuts::new(),
+            shutdown,
+            threads: Mutex::new(Vec::new()),
+            stats: NodeStats::default(),
+            errors: Mutex::new(Vec::new()),
+            mem,
+            tracer,
+            config,
+        })
+    }
+
+    /// This host's id.
+    pub fn host_id(&self) -> usize {
+        self.topo.me
+    }
+
+    /// Hosts in the ring.
+    pub fn num_hosts(&self) -> usize {
+        self.topo.n
+    }
+
+    /// Ring topology view from this host.
+    pub fn topology(&self) -> RingTopology {
+        self.topo
+    }
+
+    /// The shared timing model.
+    pub fn model(&self) -> &Arc<TimeModel> {
+        &self.model
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// This host's simulated physical memory arena (the symmetric heap
+    /// allocates its chunks here).
+    pub fn memory(&self) -> &Arc<HostMemory> {
+        &self.mem
+    }
+
+    /// The interconnect shape.
+    pub fn topology_kind(&self) -> Topology {
+        self.kind
+    }
+
+    /// The endpoint cabled to `neighbor`.
+    pub fn endpoint_to(&self, neighbor: usize) -> &LinkEndpoint {
+        self.endpoints
+            .iter()
+            .find(|e| e.neighbor == neighbor)
+            .expect("no adapter cabled to that host")
+    }
+
+    /// The endpoint facing `dir` on the ring (the barrier sweeps and the
+    /// link benchmarks address adapters by ring direction). On a mesh the
+    /// ring neighbours still exist, so this resolves there too.
+    ///
+    /// # Panics
+    /// Panics on a single-host network, which has no links.
+    pub fn endpoint(&self, dir: RouteDirection) -> &LinkEndpoint {
+        assert!(!self.endpoints.is_empty(), "single-host network has no links");
+        let neighbor = match dir {
+            RouteDirection::Left => self.topo.left(),
+            RouteDirection::Right => self.topo.right(),
+        };
+        self.endpoint_to(neighbor)
+    }
+
+    /// The endpoint a message to `dest` leaves through: shortest ring
+    /// direction on a ring, the dedicated link on a mesh.
+    pub(crate) fn endpoint_for(&self, dest: usize) -> &LinkEndpoint {
+        match self.kind {
+            Topology::Ring => self.endpoint(self.topo.route_to(dest)),
+            Topology::FullMesh => self.endpoint_to(dest),
+        }
+    }
+
+    /// Install the delivery target (the symmetric heap). Called by
+    /// `shmem_init`.
+    pub fn set_delivery(&self, target: Arc<dyn DeliveryTarget>) {
+        *self.delivery.write() = Some(target);
+    }
+
+    /// Remove the delivery target (called by `shmem_finalize`).
+    pub fn clear_delivery(&self) {
+        *self.delivery.write() = None;
+    }
+
+    pub(crate) fn deliver(&self) -> Result<Arc<dyn DeliveryTarget>> {
+        self.delivery
+            .read()
+            .clone()
+            .ok_or(NtbError::BadDescriptor { reason: "no delivery target installed (shmem_init not run?)" })
+    }
+
+    pub(crate) fn record_error(&self, err: NtbError) {
+        self.errors.lock().push(err);
+    }
+
+    /// Errors recorded by background threads since the last call
+    /// (tests and diagnostics).
+    pub fn take_errors(&self) -> Vec<NtbError> {
+        std::mem::take(&mut *self.errors.lock())
+    }
+
+    /// The shared protocol tracer (one clock for the whole network).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Record a protocol trace event at this host.
+    pub(crate) fn trace(&self, kind: TraceKind, src: usize, dest: usize, len: u32) {
+        self.tracer.record(self.topo.me, kind, src, dest, len);
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Stats snapshot of the port facing `dir`.
+    pub fn port_stats(&self, dir: RouteDirection) -> PortStatsSnapshot {
+        self.endpoint(dir).port.stats().snapshot()
+    }
+
+    /// True once shutdown began.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Push `data` into the peer's window at `area_off` under `mode`
+    /// (staging through a pinned bounce buffer for DMA, as the prototype
+    /// stages local data for the NTB engine).
+    pub(crate) fn push_payload(
+        &self,
+        port: &NtbPort,
+        area_off: u64,
+        data: &[u8],
+        mode: TransferMode,
+    ) -> Result<()> {
+        match mode {
+            TransferMode::Memcpy => port.outgoing().write_bytes(area_off, data, TransferMode::Memcpy),
+            TransferMode::Dma => {
+                let staging = Region::anonymous(data.len() as u64);
+                staging.write(0, data)?;
+                self.model.delay(self.model.local_copy_time(data.len() as u64));
+                port.dma_transfer(DmaRequest {
+                    src: staging,
+                    src_offset: 0,
+                    dst_offset: area_off,
+                    len: data.len() as u64,
+                })
+            }
+        }
+    }
+
+    fn send_put_chunk(
+        &self,
+        dest: usize,
+        heap_offset: u64,
+        chunk: &[u8],
+        mode: TransferMode,
+    ) -> Result<()> {
+        let ep = self.endpoint_for(dest);
+        let terminating = ep.neighbor == dest;
+        let area = self.layout.area_offset(terminating);
+        let frame = Frame::put(self.topo.me, dest, chunk.len() as u32, offset32(heap_offset)?, mode);
+        self.trace(TraceKind::FrameSent, self.topo.me, dest, chunk.len() as u32);
+        self.outstanding.add(1);
+        let result = ep.tx.send(frame, |port| self.push_payload(port, area, chunk, mode));
+        if result.is_err() {
+            self.outstanding.ack(1);
+        }
+        result
+    }
+
+    /// One-sided put: write `data` into host `dest`'s symmetric space at
+    /// flat offset `heap_offset`. Locally blocking — returns once the
+    /// local buffer is reusable (payload handed to the NTB); delivery
+    /// completes asynchronously and is awaited by [`quiet`](Self::quiet).
+    pub fn put_bytes(
+        &self,
+        dest: usize,
+        heap_offset: u64,
+        data: &[u8],
+        mode: TransferMode,
+    ) -> Result<()> {
+        assert_ne!(dest, self.topo.me, "local puts are handled by the SHMEM layer");
+        assert!(dest < self.topo.n, "destination host out of range");
+        let chunk_size = self.config.put_chunk() as usize;
+        let mut off = 0usize;
+        while off < data.len() {
+            let n = chunk_size.min(data.len() - off);
+            self.send_put_chunk(dest, heap_offset + off as u64, &data[off..off + n], mode)?;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// One-sided get: read `len` bytes from host `src`'s symmetric space
+    /// at flat offset `heap_offset`. Blocks until the data arrives.
+    pub fn get_bytes(
+        &self,
+        src: usize,
+        heap_offset: u64,
+        len: u64,
+        mode: TransferMode,
+    ) -> Result<Vec<u8>> {
+        assert_ne!(src, self.topo.me, "local gets are handled by the SHMEM layer");
+        assert!(src < self.topo.n, "source host out of range");
+        let req_id = self.pending.register(len);
+        let frame =
+            Frame::get_req(self.topo.me, src, len31(len)?, offset32(heap_offset)?, req_id, mode);
+        self.trace(TraceKind::FrameSent, self.topo.me, src, 0);
+        self.endpoint_for(src).tx.send_control(frame)?;
+        let buf = self.pending.wait(req_id, &self.model)?;
+        self.model.delay(self.model.requester_wake_delay);
+        Ok(buf)
+    }
+
+    /// Remote atomic on `width` bytes (1/2/4/8) at host `target`'s flat
+    /// offset `heap_offset`. Returns the old value. Executed inside the
+    /// target's service thread, serialized with every other AMO there.
+    pub fn amo(
+        &self,
+        target: usize,
+        op: AmoOp,
+        heap_offset: u64,
+        width: usize,
+        operand: u64,
+        compare: u64,
+    ) -> Result<u64> {
+        assert_ne!(target, self.topo.me, "local atomics are handled by the SHMEM layer");
+        assert!(matches!(width, 1 | 2 | 4 | 8), "AMO width must be 1/2/4/8");
+        let req_id = self.pending.register(8);
+        let ep = self.endpoint_for(target);
+        let terminating = ep.neighbor == target;
+        let area = self.layout.area_offset(terminating);
+        let mut payload = [0u8; 24];
+        payload[0..8].copy_from_slice(&operand.to_le_bytes());
+        payload[8..16].copy_from_slice(&compare.to_le_bytes());
+        payload[16] = width as u8;
+        let frame = Frame::amo_req(self.topo.me, target, op, offset32(heap_offset)?, req_id);
+        ep.tx.send(frame, |port| self.push_payload(port, area, &payload, TransferMode::Dma))?;
+        let buf = self.pending.wait(req_id, &self.model)?;
+        Ok(u64::from_le_bytes(buf[0..8].try_into().expect("8-byte response")))
+    }
+
+    /// Block until every put chunk this host has issued is acknowledged
+    /// by its destination (`shmem_quiet`).
+    pub fn quiet(&self) {
+        self.outstanding.wait_zero();
+    }
+
+    /// Outstanding unacknowledged put chunks (diagnostics).
+    pub fn outstanding_puts(&self) -> u64 {
+        self.outstanding.current()
+    }
+
+    /// Ring the barrier doorbell (`start` or end) on the neighbour in
+    /// `dir` (paper Fig. 6 sends the sweep rightward).
+    pub fn send_barrier(&self, dir: RouteDirection, start: bool) -> Result<()> {
+        let bit = if start { DB_BARRIER_START } else { DB_BARRIER_END };
+        let peer = self.endpoint(dir).neighbor;
+        self.trace(TraceKind::BarrierSignal, self.topo.me, peer, 0);
+        self.endpoint(dir).port.ring_peer(bit)
+    }
+
+    /// Wait for a barrier doorbell from the neighbour in `from`
+    /// direction; clears it on delivery. Returns `false` on timeout.
+    pub fn wait_barrier(&self, from: RouteDirection, start: bool, timeout: Duration) -> Result<bool> {
+        let bit = if start { DB_BARRIER_START } else { DB_BARRIER_END };
+        let fired = self.endpoint(from).port.doorbell().wait_and_clear(bit, Some(timeout))?;
+        if fired {
+            // The blocked PE is woken like any interrupt consumer.
+            self.model.delay(self.model.interrupt_service_delay);
+        }
+        Ok(fired)
+    }
+
+    /// Raw single-hop window transfer (no frames, no service threads):
+    /// the primitive the Fig. 8 link benchmark measures. Writes `len`
+    /// bytes from `src` into the neighbour's window at `dst_off`.
+    /// Only meaningful on an otherwise idle protocol (the bytes land in
+    /// the window payload areas).
+    pub fn raw_send(
+        &self,
+        dir: RouteDirection,
+        src: &Region,
+        src_off: u64,
+        dst_off: u64,
+        len: u64,
+        mode: TransferMode,
+    ) -> Result<()> {
+        self.endpoint(dir).port.push_region(src, src_off, dst_off, len, mode)
+    }
+
+    /// Spawn the service and forwarder threads (one pair per endpoint).
+    pub(crate) fn start(self: &Arc<Self>) {
+        let mut threads = self.threads.lock();
+        for idx in 0..self.endpoints.len() {
+            let peer = self.endpoints[idx].neighbor;
+            let node = Arc::clone(self);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ntb-svc-h{}-to{}", self.topo.me, peer))
+                    .spawn(move || crate::service::service_loop(&node, idx))
+                    .expect("spawn service thread"),
+            );
+            let node = Arc::clone(self);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ntb-fwd-h{}-to{}", self.topo.me, peer))
+                    .spawn(move || crate::service::forwarder_loop(&node, idx))
+                    .expect("spawn forwarder thread"),
+            );
+        }
+    }
+
+    /// Stop this node's background threads. The network must be quiescent
+    /// (no in-flight application traffic).
+    pub(crate) fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for ep in &self.endpoints {
+            ep.fwd.shutdown();
+            // Wake the service thread blocked on its doorbell.
+            let _ = ep.port.doorbell().ring(DB_SHUTDOWN);
+        }
+        let mut threads = self.threads.lock();
+        for h in threads.drain(..) {
+            let _ = h.join();
+        }
+        for ep in &self.endpoints {
+            ep.port.shutdown();
+        }
+    }
+
+    /// Record a frame handled (service module helper).
+    pub(crate) fn count_frame(&self) {
+        NodeStats::bump(&self.stats.frames_rx);
+    }
+
+    /// Record a forward (service module helper).
+    pub(crate) fn count_forward(&self) {
+        NodeStats::bump(&self.stats.forwards);
+    }
+
+    /// Record a delivered put chunk.
+    pub(crate) fn count_put_delivered(&self) {
+        NodeStats::bump(&self.stats.puts_delivered);
+    }
+
+    /// Record a served get.
+    pub(crate) fn count_get_served(&self) {
+        NodeStats::bump(&self.stats.gets_served);
+    }
+
+    /// Record a received put ack.
+    pub(crate) fn count_ack(&self) {
+        NodeStats::bump(&self.stats.acks_received);
+    }
+
+    /// Record a served AMO.
+    pub(crate) fn count_amo(&self) {
+        NodeStats::bump(&self.stats.amos_served);
+    }
+}
+
+impl std::fmt::Debug for NtbNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NtbNode")
+            .field("host", &self.topo.me)
+            .field("hosts", &self.topo.n)
+            .finish()
+    }
+}

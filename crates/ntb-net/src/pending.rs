@@ -1,0 +1,268 @@
+//! Requester-side completion tracking.
+//!
+//! A Get (or remote atomic) leaves a pending entry at the requesting host;
+//! the service thread fills it chunk by chunk as responses arrive and the
+//! requester blocks until complete. The paper's prototype discovers
+//! completion through a sleep-and-check loop, so under an enabled time
+//! model the wait is quantized to
+//! [`TimeModel::get_poll_interval`](ntb_sim::TimeModel) — the dominant
+//! term of its Fig. 9(b) Get latencies.
+//!
+//! [`OutstandingPuts`] counts put chunks that have left this host but whose
+//! delivery acknowledgement has not returned; `shmem_quiet` (and therefore
+//! the barrier) drains it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use ntb_sim::{spin_for, NtbError, Result, TimeModel};
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Entry {
+    buf: Vec<u8>,
+    received: u64,
+    done: bool,
+}
+
+/// Table of in-flight request-response operations (Gets and AMOs).
+#[derive(Debug, Default)]
+pub struct PendingOps {
+    inner: Mutex<HashMap<u32, Entry>>,
+    cond: Condvar,
+    next_id: AtomicU32,
+}
+
+impl PendingOps {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new operation expecting `total` response bytes; returns
+    /// its request id.
+    pub fn register(&self, total: u64) -> u32 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Entry { buf: vec![0u8; total as usize], received: 0, done: total == 0 };
+        self.inner.lock().insert(id, entry);
+        id
+    }
+
+    /// Service-thread side: deposit a response chunk at `offset`. Marks
+    /// the entry done once all bytes arrived and wakes the requester.
+    pub fn fill(&self, req_id: u32, offset: u64, data: &[u8]) -> Result<()> {
+        let mut map = self.inner.lock();
+        let entry = map
+            .get_mut(&req_id)
+            .ok_or(NtbError::BadDescriptor { reason: "response for unknown request id" })?;
+        let end = offset as usize + data.len();
+        if end > entry.buf.len() {
+            return Err(NtbError::BadDescriptor { reason: "response chunk overflows request buffer" });
+        }
+        entry.buf[offset as usize..end].copy_from_slice(data);
+        entry.received += data.len() as u64;
+        if entry.received >= entry.buf.len() as u64 {
+            entry.done = true;
+            self.cond.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Requester side: block until the operation completes and take its
+    /// buffer. With an enabled time model the wait polls at the model's
+    /// get-poll interval (no wake-up notification — reproducing the
+    /// prototype's sleep loop); otherwise it waits on the condvar.
+    pub fn wait(&self, req_id: u32, model: &TimeModel) -> Result<Vec<u8>> {
+        if model.enabled() {
+            let interval = model.scaled_duration(model.get_poll_interval).max(Duration::from_micros(1));
+            loop {
+                {
+                    let mut map = self.inner.lock();
+                    if map.get(&req_id).is_none() {
+                        return Err(NtbError::BadDescriptor { reason: "unknown request id" });
+                    }
+                    if map.get(&req_id).is_some_and(|e| e.done) {
+                        let entry = map.remove(&req_id).expect("checked above");
+                        return Ok(entry.buf);
+                    }
+                }
+                spin_for(interval);
+            }
+        } else {
+            let mut map = self.inner.lock();
+            loop {
+                match map.get(&req_id) {
+                    None => return Err(NtbError::BadDescriptor { reason: "unknown request id" }),
+                    Some(e) if e.done => {
+                        let entry = map.remove(&req_id).expect("checked above");
+                        return Ok(entry.buf);
+                    }
+                    Some(_) => self.cond.wait(&mut map),
+                }
+            }
+        }
+    }
+
+    /// Number of in-flight operations (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+/// Count of put chunks awaiting their delivery acknowledgement.
+#[derive(Debug, Default)]
+pub struct OutstandingPuts {
+    count: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl OutstandingPuts {
+    /// Zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` chunks leaving this host.
+    pub fn add(&self, n: u64) {
+        *self.count.lock() += n;
+    }
+
+    /// Record `n` chunks acknowledged by their destination.
+    pub fn ack(&self, n: u64) {
+        let mut c = self.count.lock();
+        *c = c.saturating_sub(n);
+        if *c == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Current outstanding count.
+    pub fn current(&self) -> u64 {
+        *self.count.lock()
+    }
+
+    /// Block until every outstanding chunk is acknowledged
+    /// (`shmem_quiet`).
+    pub fn wait_zero(&self) {
+        let mut c = self.count.lock();
+        while *c != 0 {
+            self.cond.wait(&mut c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_fill_wait() {
+        let p = PendingOps::new();
+        let id = p.register(8);
+        p.fill(id, 0, &[1, 2, 3, 4]).unwrap();
+        p.fill(id, 4, &[5, 6, 7, 8]).unwrap();
+        let buf = p.wait(id, &TimeModel::zero()).unwrap();
+        assert_eq!(buf, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_length_completes_immediately() {
+        let p = PendingOps::new();
+        let id = p.register(0);
+        assert_eq!(p.wait(id, &TimeModel::zero()).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        let p = PendingOps::new();
+        assert!(p.fill(99, 0, &[1]).is_err());
+        assert!(p.wait(99, &TimeModel::zero()).is_err());
+    }
+
+    #[test]
+    fn overflow_chunk_rejected() {
+        let p = PendingOps::new();
+        let id = p.register(4);
+        assert!(p.fill(id, 2, &[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn wait_blocks_until_fill_from_other_thread() {
+        let p = Arc::new(PendingOps::new());
+        let id = p.register(3);
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            p2.fill(id, 0, b"abc").unwrap();
+        });
+        let buf = p.wait(id, &TimeModel::zero()).unwrap();
+        assert_eq!(buf, b"abc");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn polled_wait_quantizes_latency() {
+        // With an enabled model and a 5ms poll interval, even an instant
+        // completion takes at least one interval to be observed if it
+        // lands after the first check.
+        let mut model = TimeModel::paper();
+        model.get_poll_interval = Duration::from_millis(5);
+        let p = Arc::new(PendingOps::new());
+        let id = p.register(1);
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            p2.fill(id, 0, &[9]).unwrap();
+        });
+        let t0 = std::time::Instant::now();
+        let buf = p.wait(id, &model).unwrap();
+        assert_eq!(buf, vec![9]);
+        assert!(t0.elapsed() >= Duration::from_millis(5), "quantized to poll interval");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn ids_unique() {
+        let p = PendingOps::new();
+        let a = p.register(1);
+        let b = p.register(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn outstanding_puts_flow() {
+        let o = OutstandingPuts::new();
+        o.add(3);
+        assert_eq!(o.current(), 3);
+        o.ack(1);
+        assert_eq!(o.current(), 2);
+        o.ack(2);
+        assert_eq!(o.current(), 0);
+        o.wait_zero(); // returns immediately
+    }
+
+    #[test]
+    fn wait_zero_blocks_until_acked() {
+        let o = Arc::new(OutstandingPuts::new());
+        o.add(1);
+        let o2 = Arc::clone(&o);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            o2.ack(1);
+        });
+        o.wait_zero();
+        assert_eq!(o.current(), 0);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn over_ack_saturates() {
+        let o = OutstandingPuts::new();
+        o.add(1);
+        o.ack(5);
+        assert_eq!(o.current(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Ring topology math: neighbours, shortest routes, hop counts.
+//!
+//! The paper's switchless interconnect is a ring: host *i*'s right adapter
+//! is cabled to host *i+1*'s left adapter (mod N). A transfer to a
+//! non-neighbour is forwarded hop by hop through intermediate hosts'
+//! bypass buffers, so route choice determines both latency and which links
+//! carry the traffic.
+
+/// How the hosts are interconnected.
+///
+/// The paper's contribution is the switchless [`Topology::Ring`]; the
+/// switch-based [`Topology::FullMesh`] models the conventional
+/// alternative the paper positions itself against (every host pair
+/// directly connected, as an ideal non-blocking switch would provide) and
+/// exists as the comparison baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Switchless ring: each host's two NTB adapters are cabled to its
+    /// neighbours; non-neighbour traffic is forwarded through bypass
+    /// buffers.
+    #[default]
+    Ring,
+    /// Switch-emulating full mesh: a dedicated NTB link per host pair;
+    /// every destination is one hop away, no forwarding.
+    FullMesh,
+}
+
+/// Which way around the ring a transfer leaves a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteDirection {
+    /// Towards host `(me + 1) % n`.
+    Right,
+    /// Towards host `(me + n - 1) % n`.
+    Left,
+}
+
+impl RouteDirection {
+    /// The opposite way around.
+    pub fn opposite(self) -> RouteDirection {
+        match self {
+            RouteDirection::Right => RouteDirection::Left,
+            RouteDirection::Left => RouteDirection::Right,
+        }
+    }
+}
+
+/// Shortest-path direction from `me` to `dest` on a ring of `n` hosts.
+/// Ties (exactly opposite host on an even ring) go right, which keeps the
+/// choice deterministic.
+///
+/// # Panics
+/// Panics if `me == dest` (no route needed) or either id is out of range.
+pub fn route(me: usize, dest: usize, n: usize) -> RouteDirection {
+    assert!(n >= 2, "routing needs at least two hosts");
+    assert!(me < n && dest < n, "host ids must be < n");
+    assert_ne!(me, dest, "no route from a host to itself");
+    let rightward = (dest + n - me) % n;
+    if rightward <= n - rightward {
+        RouteDirection::Right
+    } else {
+        RouteDirection::Left
+    }
+}
+
+/// Number of link hops on the shortest path between `me` and `dest`.
+pub fn hop_count(me: usize, dest: usize, n: usize) -> usize {
+    assert!(n >= 1, "empty ring");
+    assert!(me < n && dest < n, "host ids must be < n");
+    let rightward = (dest + n - me) % n;
+    rightward.min(n - rightward)
+}
+
+/// A ring of `n` hosts seen from one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingTopology {
+    /// This host's id.
+    pub me: usize,
+    /// Total hosts in the ring.
+    pub n: usize,
+}
+
+impl RingTopology {
+    /// Construct; panics if `me >= n`.
+    pub fn new(me: usize, n: usize) -> Self {
+        assert!(n >= 1 && me < n, "invalid topology (me={me}, n={n})");
+        RingTopology { me, n }
+    }
+
+    /// Right neighbour's id.
+    pub fn right(&self) -> usize {
+        (self.me + 1) % self.n
+    }
+
+    /// Left neighbour's id.
+    pub fn left(&self) -> usize {
+        (self.me + self.n - 1) % self.n
+    }
+
+    /// Whether `dest` is directly cabled to this host.
+    pub fn is_neighbor(&self, dest: usize) -> bool {
+        self.n >= 2 && (dest == self.left() || dest == self.right())
+    }
+
+    /// Shortest direction towards `dest`.
+    pub fn route_to(&self, dest: usize) -> RouteDirection {
+        route(self.me, dest, self.n)
+    }
+
+    /// Hop count to `dest`.
+    pub fn hops_to(&self, dest: usize) -> usize {
+        hop_count(self.me, dest, self.n)
+    }
+
+    /// The next host on the shortest path to `dest`.
+    pub fn next_hop(&self, dest: usize) -> usize {
+        match self.route_to(dest) {
+            RouteDirection::Right => self.right(),
+            RouteDirection::Left => self.left(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_on_three_ring() {
+        let t = RingTopology::new(0, 3);
+        assert_eq!(t.right(), 1);
+        assert_eq!(t.left(), 2);
+        assert!(t.is_neighbor(1));
+        assert!(t.is_neighbor(2));
+        assert!(!t.is_neighbor(0));
+    }
+
+    #[test]
+    fn two_ring_everyone_is_neighbor() {
+        let t = RingTopology::new(1, 2);
+        assert_eq!(t.right(), 0);
+        assert_eq!(t.left(), 0);
+        assert!(t.is_neighbor(0));
+    }
+
+    #[test]
+    fn route_prefers_shortest() {
+        // Ring of 5: from 0, dest 1,2 go right; 3,4 go left.
+        assert_eq!(route(0, 1, 5), RouteDirection::Right);
+        assert_eq!(route(0, 2, 5), RouteDirection::Right);
+        assert_eq!(route(0, 3, 5), RouteDirection::Left);
+        assert_eq!(route(0, 4, 5), RouteDirection::Left);
+    }
+
+    #[test]
+    fn route_tie_goes_right() {
+        // Ring of 4: dest exactly opposite.
+        assert_eq!(route(0, 2, 4), RouteDirection::Right);
+        assert_eq!(route(1, 3, 4), RouteDirection::Right);
+    }
+
+    #[test]
+    fn hop_counts() {
+        assert_eq!(hop_count(0, 1, 3), 1);
+        assert_eq!(hop_count(0, 2, 3), 1);
+        assert_eq!(hop_count(0, 2, 4), 2);
+        assert_eq!(hop_count(0, 3, 6), 3);
+        assert_eq!(hop_count(0, 4, 6), 2);
+        assert_eq!(hop_count(2, 2, 5), 0);
+    }
+
+    #[test]
+    fn next_hop_walks_towards_dest() {
+        let t = RingTopology::new(0, 6);
+        assert_eq!(t.next_hop(2), 1);
+        assert_eq!(t.next_hop(5), 5);
+        assert_eq!(t.next_hop(4), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn route_to_self_panics() {
+        route(2, 2, 4);
+    }
+
+    #[test]
+    fn walking_next_hops_reaches_destination_within_hop_count() {
+        let n = 7;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let mut cur = src;
+                let mut steps = 0;
+                while cur != dst {
+                    cur = RingTopology::new(cur, n).next_hop(dst);
+                    steps += 1;
+                    assert!(steps <= n, "route loop from {src} to {dst}");
+                }
+                assert_eq!(steps, hop_count(src, dst, n), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn direction_opposite() {
+        assert_eq!(RouteDirection::Right.opposite(), RouteDirection::Left);
+        assert_eq!(RouteDirection::Left.opposite(), RouteDirection::Right);
+    }
+}

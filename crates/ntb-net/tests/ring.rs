@@ -1,0 +1,364 @@
+#![allow(clippy::needless_range_loop)]
+
+//! End-to-end tests of the ring protocol: puts, gets, atomics, acks and
+//! forwarding across 2–6 hosts, using a plain byte-array delivery target
+//! in place of the OpenSHMEM heap.
+
+use std::sync::Arc;
+
+use ntb_net::{AmoOp, DeliveryTarget, NetConfig, RingNetwork, RouteDirection};
+use ntb_sim::{Region, Result, TransferMode};
+use parking_lot::Mutex;
+
+/// A flat 1 MiB symmetric space backed by a region, with a lock that
+/// serializes atomics (what the SHMEM heap provides in the real stack).
+struct TestHeap {
+    region: Region,
+    amo_lock: Mutex<()>,
+}
+
+impl TestHeap {
+    fn new() -> Arc<Self> {
+        Arc::new(TestHeap { region: Region::anonymous(1 << 20), amo_lock: Mutex::new(()) })
+    }
+}
+
+impl DeliveryTarget for TestHeap {
+    fn deliver_put(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.region.write(offset, data)
+    }
+
+    fn read_for_get(&self, offset: u64, out: &mut [u8]) -> Result<()> {
+        self.region.read(offset, out)
+    }
+
+    fn deliver_atomic(
+        &self,
+        op: AmoOp,
+        offset: u64,
+        width: usize,
+        operand: u64,
+        compare: u64,
+    ) -> Result<u64> {
+        let _guard = self.amo_lock.lock();
+        let mut buf = [0u8; 8];
+        self.region.read(offset, &mut buf[..width])?;
+        let old = u64::from_le_bytes(buf);
+        let new = op.apply(old, operand, compare);
+        self.region.write(offset, &new.to_le_bytes()[..width])?;
+        Ok(old)
+    }
+}
+
+fn build(hosts: usize) -> (RingNetwork, Vec<Arc<TestHeap>>) {
+    let net = RingNetwork::build(NetConfig::fast(hosts)).unwrap();
+    let heaps: Vec<Arc<TestHeap>> = (0..hosts).map(|_| TestHeap::new()).collect();
+    for (i, heap) in heaps.iter().enumerate() {
+        net.node(i).set_delivery(Arc::clone(heap) as Arc<dyn DeliveryTarget>);
+    }
+    (net, heaps)
+}
+
+fn assert_no_errors(net: &RingNetwork) {
+    for node in net.nodes() {
+        let errs = node.take_errors();
+        assert!(errs.is_empty(), "host {} errors: {errs:?}", node.host_id());
+    }
+}
+
+#[test]
+fn put_to_neighbor_delivers_and_acks() {
+    let (net, heaps) = build(3);
+    let payload = vec![0xAB_u8; 4096];
+    net.node(0).put_bytes(1, 128, &payload, TransferMode::Dma).unwrap();
+    net.node(0).quiet();
+    assert_eq!(heaps[1].region.read_vec(128, 4096).unwrap(), payload);
+    assert_eq!(net.node(0).outstanding_puts(), 0);
+    assert_eq!(net.node(1).stats().puts_delivered.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn put_two_hops_forwards_through_bypass() {
+    let (net, heaps) = build(4);
+    let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+    // 0 -> 2 is two hops on a 4-ring.
+    net.node(0).put_bytes(2, 0, &payload, TransferMode::Dma).unwrap();
+    net.node(0).quiet();
+    assert_eq!(heaps[2].region.read_vec(0, 8192).unwrap(), payload);
+    // Exactly one intermediate host forwarded (host 1, the rightward path).
+    let fwd1 = net.node(1).stats().forwards.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(fwd1 >= 1, "host 1 should have forwarded");
+    assert_no_errors(&net);
+}
+
+#[test]
+fn put_chunking_spans_buffer_size() {
+    let cfg = NetConfig::fast(3).with_buffers(4096, 4096).with_get_chunk(1024);
+    let net = RingNetwork::build(cfg).unwrap();
+    let heaps: Vec<Arc<TestHeap>> = (0..3).map(|_| TestHeap::new()).collect();
+    for (i, h) in heaps.iter().enumerate() {
+        net.node(i).set_delivery(Arc::clone(h) as Arc<dyn DeliveryTarget>);
+    }
+    let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+    net.node(0).put_bytes(1, 64, &payload, TransferMode::Memcpy).unwrap();
+    net.node(0).quiet();
+    assert_eq!(heaps[1].region.read_vec(64, 20_000).unwrap(), payload);
+    // ceil(20000/4096) = 5 chunks delivered.
+    assert_eq!(net.node(1).stats().puts_delivered.load(std::sync::atomic::Ordering::Relaxed), 5);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn get_from_neighbor() {
+    let (net, heaps) = build(3);
+    heaps[2].region.write(500, b"get me back").unwrap();
+    let data = net.node(0).get_bytes(2, 500, 11, TransferMode::Dma).unwrap();
+    assert_eq!(data, b"get me back");
+    assert_no_errors(&net);
+}
+
+#[test]
+fn get_two_hops_round_trip() {
+    let (net, heaps) = build(5);
+    let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 239) as u8).collect();
+    heaps[2].region.write(0, &payload).unwrap();
+    // 0 -> 2 request travels 2 hops; response returns 2 hops, chunked.
+    let data = net.node(0).get_bytes(2, 0, payload.len() as u64, TransferMode::Dma).unwrap();
+    assert_eq!(data, payload);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn get_memcpy_mode_round_trip() {
+    let (net, heaps) = build(3);
+    heaps[1].region.write(0, &[7u8; 3000]).unwrap();
+    let data = net.node(2).get_bytes(1, 0, 3000, TransferMode::Memcpy).unwrap();
+    assert_eq!(data, vec![7u8; 3000]);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn zero_length_put_and_get() {
+    let (net, _heaps) = build(3);
+    net.node(0).put_bytes(1, 0, &[], TransferMode::Dma).unwrap();
+    net.node(0).quiet();
+    let data = net.node(0).get_bytes(1, 0, 0, TransferMode::Dma).unwrap();
+    assert!(data.is_empty());
+    assert_no_errors(&net);
+}
+
+#[test]
+fn bidirectional_traffic() {
+    let (net, heaps) = build(3);
+    let a = vec![1u8; 10_000];
+    let b = vec![2u8; 10_000];
+    let n0 = Arc::clone(net.node(0));
+    let n1 = Arc::clone(net.node(1));
+    let a2 = a.clone();
+    let b2 = b.clone();
+    let h0 = std::thread::spawn(move || {
+        n0.put_bytes(1, 0, &a2, TransferMode::Dma).unwrap();
+        n0.quiet();
+    });
+    let h1 = std::thread::spawn(move || {
+        n1.put_bytes(0, 0, &b2, TransferMode::Dma).unwrap();
+        n1.quiet();
+    });
+    h0.join().unwrap();
+    h1.join().unwrap();
+    assert_eq!(heaps[1].region.read_vec(0, 10_000).unwrap(), a);
+    assert_eq!(heaps[0].region.read_vec(0, 10_000).unwrap(), b);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn all_pairs_put_get_on_six_ring() {
+    let (net, heaps) = build(6);
+    for src in 0..6usize {
+        for dst in 0..6usize {
+            if src == dst {
+                continue;
+            }
+            let payload = vec![(src * 16 + dst) as u8; 777];
+            let off = (src * 6 + dst) as u64 * 1024;
+            net.node(src).put_bytes(dst, off, &payload, TransferMode::Dma).unwrap();
+            net.node(src).quiet();
+            assert_eq!(heaps[dst].region.read_vec(off, 777).unwrap(), payload, "{src}->{dst}");
+            let back = net.node(src).get_bytes(dst, off, 777, TransferMode::Dma).unwrap();
+            assert_eq!(back, payload, "get {src}<-{dst}");
+        }
+    }
+    assert_no_errors(&net);
+}
+
+#[test]
+fn two_host_ring_uses_both_links() {
+    let (net, heaps) = build(2);
+    net.node(0).put_bytes(1, 0, &[5u8; 100], TransferMode::Dma).unwrap();
+    net.node(1).put_bytes(0, 0, &[6u8; 100], TransferMode::Dma).unwrap();
+    net.node(0).quiet();
+    net.node(1).quiet();
+    assert_eq!(heaps[1].region.read_vec(0, 100).unwrap(), vec![5u8; 100]);
+    assert_eq!(heaps[0].region.read_vec(0, 100).unwrap(), vec![6u8; 100]);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn amo_fetch_add_accumulates_from_all_hosts() {
+    let (net, heaps) = build(4);
+    // Hosts 1..4 all fetch-add into host 0's counter at offset 0.
+    let mut handles = vec![];
+    for i in 1..4usize {
+        let node = Arc::clone(net.node(i));
+        handles.push(std::thread::spawn(move || {
+            let mut olds = vec![];
+            for _ in 0..50 {
+                olds.push(node.amo(0, AmoOp::FetchAdd, 0, 8, 1, 0).unwrap());
+            }
+            olds
+        }));
+    }
+    let mut all_olds: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    all_olds.sort_unstable();
+    // 150 increments: the old values must be exactly 0..150 (each seen once).
+    assert_eq!(all_olds, (0..150u64).collect::<Vec<_>>());
+    assert_eq!(heaps[0].region.read_u64(0).unwrap(), 150);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn amo_compare_swap_mutual_exclusion() {
+    let (net, heaps) = build(3);
+    // Only one CAS 0->x can win.
+    let n1 = Arc::clone(net.node(1));
+    let n2 = Arc::clone(net.node(2));
+    let h1 = std::thread::spawn(move || n1.amo(0, AmoOp::CompareSwap, 8, 8, 111, 0).unwrap());
+    let h2 = std::thread::spawn(move || n2.amo(0, AmoOp::CompareSwap, 8, 8, 222, 0).unwrap());
+    let r1 = h1.join().unwrap();
+    let r2 = h2.join().unwrap();
+    let winners = [r1, r2].iter().filter(|&&old| old == 0).count();
+    assert_eq!(winners, 1, "exactly one CAS wins (olds: {r1}, {r2})");
+    let stored = heaps[0].region.read_u64(8).unwrap();
+    assert!(stored == 111 || stored == 222);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn amo_narrow_width() {
+    let (net, heaps) = build(2);
+    heaps[1].region.write(0, &[0xFF, 0xEE, 0xDD, 0xCC]).unwrap();
+    // 2-byte swap at offset 0: old must be 0xEEFF, bytes 2..4 untouched.
+    let old = net.node(0).amo(1, AmoOp::Swap, 0, 2, 0x1234, 0).unwrap();
+    assert_eq!(old, 0xEEFF);
+    assert_eq!(heaps[1].region.read_vec(0, 4).unwrap(), vec![0x34, 0x12, 0xDD, 0xCC]);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn barrier_doorbells_travel_right() {
+    let (net, _heaps) = build(3);
+    // Host 0 rings start on host 1; host 1 sees it from its left.
+    net.node(0).send_barrier(RouteDirection::Right, true).unwrap();
+    let fired = net
+        .node(1)
+        .wait_barrier(RouteDirection::Left, true, std::time::Duration::from_secs(1))
+        .unwrap();
+    assert!(fired);
+    // Nothing pending at host 2.
+    let fired2 = net
+        .node(2)
+        .wait_barrier(RouteDirection::Left, true, std::time::Duration::from_millis(20))
+        .unwrap();
+    assert!(!fired2);
+    assert_no_errors(&net);
+}
+
+#[test]
+fn raw_send_lands_in_neighbor_window() {
+    let (net, _heaps) = build(3);
+    let src = Region::anonymous(4096);
+    src.fill(0, 4096, 0x77).unwrap();
+    net.node(0).raw_send(RouteDirection::Right, &src, 0, 0, 4096, TransferMode::Dma).unwrap();
+    let win = net.node(1).endpoint(RouteDirection::Left).port().incoming().region();
+    assert_eq!(win.read_vec(0, 4096).unwrap(), vec![0x77; 4096]);
+}
+
+#[test]
+fn stress_random_traffic() {
+    use rand::prelude::*;
+    let (net, heaps) = build(4);
+    let mut rng = rand::rng();
+    for round in 0..40 {
+        let src = rng.random_range(0..4);
+        let mut dst = rng.random_range(0..4);
+        if dst == src {
+            dst = (dst + 1) % 4;
+        }
+        let len = rng.random_range(1..5000usize);
+        let off = rng.random_range(0..1000u64) * 8;
+        let mode = if rng.random_bool(0.5) { TransferMode::Dma } else { TransferMode::Memcpy };
+        let payload: Vec<u8> = (0..len).map(|_| rng.random()).collect();
+        if rng.random_bool(0.5) {
+            net.node(src).put_bytes(dst, off, &payload, mode).unwrap();
+            net.node(src).quiet();
+            assert_eq!(heaps[dst].region.read_vec(off, len as u64).unwrap(), payload, "round {round}");
+        } else {
+            heaps[dst].region.write(off, &payload).unwrap();
+            let got = net.node(src).get_bytes(dst, off, len as u64, mode).unwrap();
+            assert_eq!(got, payload, "round {round}");
+        }
+    }
+    assert_no_errors(&net);
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent() {
+    let (net, _heaps) = build(3);
+    net.node(0).put_bytes(1, 0, &[1u8; 64], TransferMode::Dma).unwrap();
+    net.node(0).quiet();
+    net.shutdown();
+    net.shutdown();
+}
+
+#[test]
+fn trace_records_protocol_events() {
+    let (net, heaps) = build(4);
+    net.enable_tracing();
+    net.node(0).put_bytes(2, 0, &[7u8; 4096], TransferMode::Dma).unwrap();
+    net.node(0).quiet();
+    heaps[1].region.write(0, &[3u8; 64]).unwrap();
+    let _ = net.node(0).get_bytes(1, 0, 64, TransferMode::Dma).unwrap();
+    net.disable_tracing();
+    let events = net.take_trace();
+    use ntb_net::TraceKind;
+    let kinds: Vec<TraceKind> = events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&TraceKind::FrameSent), "{kinds:?}");
+    assert!(kinds.contains(&TraceKind::FrameHandled));
+    assert!(kinds.contains(&TraceKind::Forwarded), "2-hop put forwards");
+    assert!(kinds.contains(&TraceKind::PutDelivered));
+    assert!(kinds.contains(&TraceKind::AckReceived));
+    assert!(kinds.contains(&TraceKind::GetServed));
+    // Timestamps sorted, hosts in range.
+    assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+    assert!(events.iter().all(|e| e.host < 4));
+    // The delivery of the put happened at host 2.
+    assert!(events
+        .iter()
+        .any(|e| e.kind == TraceKind::PutDelivered && e.host == 2 && e.len == 4096));
+    // JSON export is renderable and non-trivial.
+    let (net2, _h2) = build(2);
+    net2.enable_tracing();
+    net2.node(0).put_bytes(1, 0, &[1u8; 16], TransferMode::Dma).unwrap();
+    net2.node(0).quiet();
+    let json = net2.take_trace_json();
+    assert!(json.starts_with('[') && json.contains("put_delivered"));
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let (net, _heaps) = build(2);
+    net.node(0).put_bytes(1, 0, &[1u8; 16], TransferMode::Dma).unwrap();
+    net.node(0).quiet();
+    assert!(net.take_trace().is_empty());
+}

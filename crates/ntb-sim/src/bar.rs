@@ -1,0 +1,247 @@
+//! BAR (Base Address Register) setup and the requester-ID LUT.
+//!
+//! An NTB port exposes up to six BARs in its PCIe Type-0 header; each BAR
+//! (or pair of consecutive BARs for 64-bit) opens a *memory window*:
+//! accesses between the BAR address and the BAR limit are translated by the
+//! translation register into the peer hierarchy's address space (paper
+//! Fig. 1). The PEX 87xx parts additionally require the requester ID of the
+//! sender to be present in a Look-Up Table (LUT) on the receiving side —
+//! the paper's `shmem_init` explicitly programs "write/read ID setup for
+//! LUT entry mapping for NTB device identification".
+
+use parking_lot::RwLock;
+
+use crate::error::{NtbError, Result};
+
+/// 32-bit or 64-bit BAR. 64-bit windows consume two consecutive BAR slots,
+/// as in the PCIe spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarKind {
+    /// One 32-bit BAR slot.
+    Bar32,
+    /// Two consecutive BAR slots forming a 64-bit window.
+    Bar64,
+}
+
+impl BarKind {
+    /// Number of BAR slots this kind consumes.
+    pub fn slots(self) -> u8 {
+        match self {
+            BarKind::Bar32 => 1,
+            BarKind::Bar64 => 2,
+        }
+    }
+}
+
+/// Configuration of one translation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarConfig {
+    /// First BAR slot used (0..6).
+    pub index: u8,
+    /// 32- or 64-bit window.
+    pub kind: BarKind,
+    /// Window size in bytes; PCIe requires a power of two.
+    pub size: u64,
+    /// Translation base: where in the peer's address space offset 0 of the
+    /// window lands.
+    pub translation_base: u64,
+}
+
+impl BarConfig {
+    /// Validate PCIe constraints: size must be a nonzero power of two, the
+    /// window must fit in the BAR slots available, and a 32-bit BAR cannot
+    /// address beyond 4 GiB.
+    pub fn validate(&self) -> Result<()> {
+        if self.size == 0 || !self.size.is_power_of_two() {
+            return Err(NtbError::BadDescriptor { reason: "BAR size must be a nonzero power of two" });
+        }
+        if self.index as u32 + self.kind.slots() as u32 > 6 {
+            return Err(NtbError::BadDescriptor { reason: "BAR slots exceed the six available" });
+        }
+        if self.kind == BarKind::Bar32
+            && self.translation_base.checked_add(self.size).is_none_or(|end| end > u64::from(u32::MAX))
+        {
+            return Err(NtbError::BadDescriptor { reason: "32-bit BAR cannot translate beyond 4 GiB" });
+        }
+        Ok(())
+    }
+
+    /// Check that an access `[offset, offset+len)` stays inside the window
+    /// (paper Fig. 1: translation happens only up to the BAR limit).
+    pub fn check_access(&self, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.size) {
+            return Err(NtbError::WindowLimitExceeded { offset, len, window_size: self.size });
+        }
+        Ok(())
+    }
+
+    /// Translate a window offset into a peer address.
+    pub fn translate(&self, offset: u64) -> u64 {
+        self.translation_base + offset
+    }
+}
+
+/// One LUT entry: a requester ID allowed to access this port's windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutEntry {
+    /// PCIe requester id (bus/dev/fn) of the permitted sender.
+    pub requester_id: u16,
+    /// Entries can be parked disabled.
+    pub enabled: bool,
+}
+
+/// The requester-ID look-up table of one port.
+#[derive(Debug, Default)]
+pub struct LutTable {
+    entries: RwLock<Vec<LutEntry>>,
+}
+
+impl LutTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or re-enable) a requester id.
+    pub fn insert(&self, requester_id: u16) {
+        let mut e = self.entries.write();
+        if let Some(existing) = e.iter_mut().find(|x| x.requester_id == requester_id) {
+            existing.enabled = true;
+        } else {
+            e.push(LutEntry { requester_id, enabled: true });
+        }
+    }
+
+    /// Disable a requester id (it stays in the table).
+    pub fn disable(&self, requester_id: u16) {
+        let mut e = self.entries.write();
+        if let Some(existing) = e.iter_mut().find(|x| x.requester_id == requester_id) {
+            existing.enabled = false;
+        }
+    }
+
+    /// Remove a requester id entirely.
+    pub fn remove(&self, requester_id: u16) {
+        self.entries.write().retain(|x| x.requester_id != requester_id);
+    }
+
+    /// Check a transaction from `requester_id`; errors with
+    /// [`NtbError::LutMiss`] if absent or disabled.
+    pub fn check(&self, requester_id: u16) -> Result<()> {
+        let e = self.entries.read();
+        match e.iter().find(|x| x.requester_id == requester_id) {
+            Some(entry) if entry.enabled => Ok(()),
+            _ => Err(NtbError::LutMiss { requester_id }),
+        }
+    }
+
+    /// Number of (enabled or disabled) entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar(size: u64) -> BarConfig {
+        BarConfig { index: 2, kind: BarKind::Bar64, size, translation_base: 0x4000_0000 }
+    }
+
+    #[test]
+    fn validate_accepts_power_of_two() {
+        assert!(bar(1 << 20).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two() {
+        assert!(bar(3 << 20).validate().is_err());
+        assert!(bar(0).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_slot_overflow() {
+        let b = BarConfig { index: 5, kind: BarKind::Bar64, size: 1 << 20, translation_base: 0 };
+        assert!(b.validate().is_err());
+        let b32 = BarConfig { index: 5, kind: BarKind::Bar32, size: 1 << 20, translation_base: 0 };
+        assert!(b32.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_32bit_overflow() {
+        let b = BarConfig {
+            index: 0,
+            kind: BarKind::Bar32,
+            size: 1 << 20,
+            translation_base: u64::from(u32::MAX),
+        };
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn access_limit_checked() {
+        let b = bar(4096);
+        assert!(b.check_access(0, 4096).is_ok());
+        assert!(b.check_access(4095, 1).is_ok());
+        let err = b.check_access(4095, 2).unwrap_err();
+        assert!(matches!(err, NtbError::WindowLimitExceeded { .. }));
+        assert!(b.check_access(u64::MAX, 2).is_err(), "overflow must be caught");
+    }
+
+    #[test]
+    fn translation_adds_base() {
+        let b = bar(4096);
+        assert_eq!(b.translate(0x10), 0x4000_0010);
+    }
+
+    #[test]
+    fn lut_insert_and_check() {
+        let lut = LutTable::new();
+        assert!(lut.check(7).is_err());
+        lut.insert(7);
+        assert!(lut.check(7).is_ok());
+        assert_eq!(lut.len(), 1);
+    }
+
+    #[test]
+    fn lut_disable_keeps_entry_but_blocks() {
+        let lut = LutTable::new();
+        lut.insert(7);
+        lut.disable(7);
+        assert_eq!(lut.len(), 1);
+        assert_eq!(lut.check(7).unwrap_err(), NtbError::LutMiss { requester_id: 7 });
+        lut.insert(7); // re-enable
+        assert!(lut.check(7).is_ok());
+    }
+
+    #[test]
+    fn lut_remove() {
+        let lut = LutTable::new();
+        lut.insert(1);
+        lut.insert(2);
+        lut.remove(1);
+        assert!(lut.check(1).is_err());
+        assert!(lut.check(2).is_ok());
+        assert_eq!(lut.len(), 1);
+    }
+
+    #[test]
+    fn lut_duplicate_insert_is_idempotent() {
+        let lut = LutTable::new();
+        lut.insert(9);
+        lut.insert(9);
+        assert_eq!(lut.len(), 1);
+    }
+
+    #[test]
+    fn bar_kind_slots() {
+        assert_eq!(BarKind::Bar32.slots(), 1);
+        assert_eq!(BarKind::Bar64.slots(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! PCIe configuration space: the enumeration surface of the NTB adapter.
+//!
+//! Before any window is programmed, the host's PCI subsystem discovers
+//! the adapter by walking its Type-0 configuration header: vendor/device
+//! IDs (the paper's adapters are PLX PEX 8733/8749), the command/status
+//! registers, and the six Base Address Registers with their sizing
+//! protocol (write all-ones, read back the size mask). The model
+//! implements that protocol faithfully so the `connect_ports` setup is
+//! the same "probe, size, assign, enable" sequence a real NTB driver
+//! performs.
+
+use parking_lot::Mutex;
+
+use crate::bar::{BarConfig, BarKind};
+use crate::error::{NtbError, Result};
+
+/// PLX Technology's PCI vendor id.
+pub const VENDOR_PLX: u16 = 0x10B5;
+/// PEX 8749 device id (the 48-lane multi-root switch of the paper).
+pub const DEVICE_PEX8749: u16 = 0x8749;
+/// PEX 8733 device id (the 32-lane part).
+pub const DEVICE_PEX8733: u16 = 0x8733;
+/// Class code for "bridge device, other" — how NTB functions enumerate.
+pub const CLASS_BRIDGE_OTHER: u32 = 0x068000;
+
+/// Register byte offsets in the Type-0 header.
+mod regs {
+    pub const VENDOR_DEVICE: usize = 0x00;
+    pub const COMMAND_STATUS: usize = 0x04;
+    pub const CLASS_REVISION: usize = 0x08;
+    pub const BAR0: usize = 0x10;
+}
+
+/// Command-register bits.
+pub mod command {
+    /// Memory-space decoding enabled.
+    pub const MEMORY_SPACE: u16 = 1 << 1;
+    /// Bus-mastering (DMA) enabled.
+    pub const BUS_MASTER: u16 = 1 << 2;
+}
+
+const BAR_COUNT: usize = 6;
+/// Bit 2 of a memory BAR: 64-bit decoder (consumes the next BAR slot).
+const BAR_TYPE_64: u32 = 0b100;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BarSlot {
+    /// Size in bytes (0 = unimplemented slot).
+    size: u64,
+    /// True if this slot is the low half of a 64-bit BAR.
+    is_64: bool,
+    /// True if this slot is the *upper* half of the previous 64-bit BAR.
+    upper_half: bool,
+    /// Value last written by software (address assignment / sizing probe).
+    written: u32,
+}
+
+/// A Type-0 configuration header with the BAR sizing protocol.
+#[derive(Debug)]
+pub struct ConfigSpace {
+    device_id: u16,
+    command: Mutex<u16>,
+    bars: Mutex<[BarSlot; BAR_COUNT]>,
+}
+
+impl ConfigSpace {
+    /// Build the header of an adapter exposing the given windows.
+    pub fn new(device_id: u16, windows: &[BarConfig]) -> Result<ConfigSpace> {
+        let mut bars = [BarSlot::default(); BAR_COUNT];
+        for w in windows {
+            w.validate()?;
+            let idx = w.index as usize;
+            let is_64 = w.kind == BarKind::Bar64;
+            if bars[idx].size != 0 || (is_64 && bars[idx + 1].size != 0) {
+                return Err(NtbError::BadDescriptor { reason: "overlapping BAR slots" });
+            }
+            bars[idx] = BarSlot { size: w.size, is_64, upper_half: false, written: 0 };
+            if is_64 {
+                bars[idx + 1] = BarSlot { size: w.size, is_64: true, upper_half: true, written: 0 };
+            }
+        }
+        Ok(ConfigSpace { device_id, command: Mutex::new(0), bars: Mutex::new(bars) })
+    }
+
+    /// Read a 32-bit register at byte offset `offset` (must be aligned).
+    pub fn read_dword(&self, offset: usize) -> Result<u32> {
+        if !offset.is_multiple_of(4) || offset >= 0x40 {
+            return Err(NtbError::BadDescriptor { reason: "misaligned or out-of-range config read" });
+        }
+        Ok(match offset {
+            regs::VENDOR_DEVICE => (u32::from(self.device_id) << 16) | u32::from(VENDOR_PLX),
+            regs::COMMAND_STATUS => u32::from(*self.command.lock()),
+            regs::CLASS_REVISION => CLASS_BRIDGE_OTHER << 8, // revision 0
+            off if (regs::BAR0..regs::BAR0 + 4 * BAR_COUNT).contains(&off) => {
+                let idx = (off - regs::BAR0) / 4;
+                self.read_bar(idx)
+            }
+            _ => 0,
+        })
+    }
+
+    /// Write a 32-bit register (command register and BARs are writable;
+    /// everything else is read-only and silently ignores writes, like
+    /// hardware).
+    pub fn write_dword(&self, offset: usize, value: u32) -> Result<()> {
+        if !offset.is_multiple_of(4) || offset >= 0x40 {
+            return Err(NtbError::BadDescriptor { reason: "misaligned or out-of-range config write" });
+        }
+        match offset {
+            regs::COMMAND_STATUS => *self.command.lock() = value as u16,
+            off if (regs::BAR0..regs::BAR0 + 4 * BAR_COUNT).contains(&off) => {
+                let idx = (off - regs::BAR0) / 4;
+                self.bars.lock()[idx].written = value;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn read_bar(&self, idx: usize) -> u32 {
+        let bars = self.bars.lock();
+        let slot = bars[idx];
+        if slot.size == 0 {
+            return 0; // unimplemented BAR reads as zero
+        }
+        if slot.upper_half {
+            // Upper half of a 64-bit BAR: sizing probe returns the high
+            // size mask, otherwise the written high address bits.
+            let low_written = bars[idx - 1].written;
+            if low_written == u32::MAX && slot.written == u32::MAX {
+                return (!(slot.size - 1) >> 32) as u32;
+            }
+            return slot.written;
+        }
+        let type_bits = if slot.is_64 { BAR_TYPE_64 } else { 0 };
+        if slot.written == u32::MAX {
+            // Sizing probe: size mask in the address bits, type bits kept.
+            let mask = !(slot.size - 1) as u32;
+            return (mask & !0xF) | type_bits;
+        }
+        (slot.written & !0xF & !(slot.size as u32).wrapping_sub(1)) | type_bits
+    }
+
+    /// The standard driver sizing walk: probe every BAR and return the
+    /// discovered `(index, size, is_64bit)` triples.
+    pub fn enumerate_bars(&self) -> Vec<(u8, u64, bool)> {
+        let mut found = Vec::new();
+        let mut idx = 0usize;
+        while idx < BAR_COUNT {
+            let off = regs::BAR0 + 4 * idx;
+            let original = self.read_dword(off).expect("aligned");
+            self.write_dword(off, u32::MAX).expect("probe");
+            let probed = self.read_dword(off).expect("aligned");
+            self.write_dword(off, original).expect("restore");
+            if probed == 0 {
+                idx += 1;
+                continue;
+            }
+            let is_64 = probed & BAR_TYPE_64 != 0;
+            let mut size_mask = u64::from(probed & !0xF);
+            if is_64 {
+                let off_hi = off + 4;
+                let orig_hi = self.read_dword(off_hi).expect("aligned");
+                self.write_dword(off, u32::MAX).expect("probe lo");
+                self.write_dword(off_hi, u32::MAX).expect("probe hi");
+                let hi = self.read_dword(off_hi).expect("aligned");
+                self.write_dword(off, original).expect("restore lo");
+                self.write_dword(off_hi, orig_hi).expect("restore hi");
+                size_mask |= u64::from(hi) << 32;
+                size_mask |= 0xFFFF_FFFF_0000_0000 & if hi == 0 { 0 } else { u64::MAX };
+            } else {
+                size_mask |= 0xFFFF_FFFF_0000_0000;
+            }
+            let size = !(size_mask) + 1;
+            found.push((idx as u8, size, is_64));
+            idx += if is_64 { 2 } else { 1 };
+        }
+        found
+    }
+
+    /// Enable memory decoding and bus mastering (what the driver does
+    /// after address assignment).
+    pub fn enable(&self) {
+        let mut cmd = self.command.lock();
+        *cmd |= command::MEMORY_SPACE | command::BUS_MASTER;
+    }
+
+    /// True once memory decoding and DMA are enabled.
+    pub fn is_enabled(&self) -> bool {
+        let cmd = *self.command.lock();
+        cmd & (command::MEMORY_SPACE | command::BUS_MASTER)
+            == (command::MEMORY_SPACE | command::BUS_MASTER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(
+            DEVICE_PEX8749,
+            &[BarConfig { index: 2, kind: BarKind::Bar64, size: 4 << 20, translation_base: 0 }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vendor_and_device_ids() {
+        let cs = space();
+        let vd = cs.read_dword(0x00).unwrap();
+        assert_eq!(vd & 0xFFFF, u32::from(VENDOR_PLX));
+        assert_eq!(vd >> 16, u32::from(DEVICE_PEX8749));
+    }
+
+    #[test]
+    fn class_code_is_bridge() {
+        let cs = space();
+        assert_eq!(cs.read_dword(0x08).unwrap() >> 8, CLASS_BRIDGE_OTHER);
+    }
+
+    #[test]
+    fn unimplemented_bars_read_zero() {
+        let cs = space();
+        assert_eq!(cs.read_dword(0x10).unwrap(), 0, "BAR0 empty");
+        assert_eq!(cs.read_dword(0x14).unwrap(), 0, "BAR1 empty");
+    }
+
+    #[test]
+    fn bar_sizing_protocol() {
+        let cs = space();
+        // Probe BAR2 (low half).
+        cs.write_dword(0x18, u32::MAX).unwrap();
+        let low = cs.read_dword(0x18).unwrap();
+        assert_eq!(low & BAR_TYPE_64, BAR_TYPE_64, "64-bit type bits");
+        assert_eq!(u64::from(low & !0xFu32), (!(4u64 << 20) + 1) & 0xFFFF_FFF0, "low size mask");
+        // Probe the upper half.
+        cs.write_dword(0x1C, u32::MAX).unwrap();
+        let high = cs.read_dword(0x1C).unwrap();
+        assert_eq!(high, ((!(4u64 << 20) + 1) >> 32) as u32, "high size mask");
+    }
+
+    #[test]
+    fn enumerate_discovers_configured_windows() {
+        let cs = ConfigSpace::new(
+            DEVICE_PEX8733,
+            &[
+                BarConfig { index: 0, kind: BarKind::Bar32, size: 64 << 10, translation_base: 0 },
+                BarConfig { index: 2, kind: BarKind::Bar64, size: 4 << 20, translation_base: 0 },
+            ],
+        )
+        .unwrap();
+        let bars = cs.enumerate_bars();
+        assert_eq!(bars, vec![(0, 64 << 10, false), (2, 4 << 20, true)]);
+    }
+
+    #[test]
+    fn address_assignment_masks_low_bits() {
+        let cs = space();
+        cs.write_dword(0x18, 0xFE00_0123).unwrap(); // unaligned address bits
+        let v = cs.read_dword(0x18).unwrap();
+        assert_eq!(v & 0xF, BAR_TYPE_64, "type bits preserved, flags area clean");
+        assert_eq!(v & !0xF, 0xFE00_0000 & !((4u32 << 20) - 1), "address aligned to size");
+    }
+
+    #[test]
+    fn command_register_and_enable() {
+        let cs = space();
+        assert!(!cs.is_enabled());
+        cs.enable();
+        assert!(cs.is_enabled());
+        let cmd = cs.read_dword(0x04).unwrap() as u16;
+        assert_eq!(cmd & command::MEMORY_SPACE, command::MEMORY_SPACE);
+        assert_eq!(cmd & command::BUS_MASTER, command::BUS_MASTER);
+    }
+
+    #[test]
+    fn read_only_registers_ignore_writes() {
+        let cs = space();
+        cs.write_dword(0x00, 0xDEAD_BEEF).unwrap();
+        let vd = cs.read_dword(0x00).unwrap();
+        assert_eq!(vd & 0xFFFF, u32::from(VENDOR_PLX), "vendor id immutable");
+    }
+
+    #[test]
+    fn misaligned_access_rejected() {
+        let cs = space();
+        assert!(cs.read_dword(0x02).is_err());
+        assert!(cs.write_dword(0x13, 0).is_err());
+        assert!(cs.read_dword(0x40).is_err());
+    }
+
+    #[test]
+    fn overlapping_bars_rejected() {
+        let r = ConfigSpace::new(
+            DEVICE_PEX8749,
+            &[
+                BarConfig { index: 2, kind: BarKind::Bar64, size: 1 << 20, translation_base: 0 },
+                BarConfig { index: 3, kind: BarKind::Bar32, size: 1 << 20, translation_base: 0 },
+            ],
+        );
+        assert!(r.is_err(), "BAR3 is the upper half of the 64-bit BAR2");
+    }
+}

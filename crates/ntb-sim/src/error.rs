@@ -1,0 +1,136 @@
+//! Error types for the NTB hardware model.
+//!
+//! Real NTB transactions fail in observable ways: a TLP that falls outside
+//! the BAR limit is dropped (and typically raises an AER error), a requester
+//! ID missing from the LUT is rejected, DMA descriptors referencing unmapped
+//! memory abort the channel. The model surfaces each of these as a typed
+//! error instead of silently corrupting memory, so the upper layers (and the
+//! failure-injection tests) can observe them.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NtbError>;
+
+/// Everything that can go wrong inside the NTB model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NtbError {
+    /// An access through a translation window fell outside the BAR limit
+    /// (paper Fig. 1: accesses are only translated between BAR address and
+    /// BAR limit).
+    WindowLimitExceeded {
+        /// Offset at which the access started.
+        offset: u64,
+        /// Length of the access in bytes.
+        len: u64,
+        /// Size of the window in bytes.
+        window_size: u64,
+    },
+    /// An access to a [`Region`](crate::memory::Region) fell outside its
+    /// bounds.
+    RegionOutOfBounds {
+        /// Offset at which the access started.
+        offset: u64,
+        /// Length of the access in bytes.
+        len: u64,
+        /// Size of the region in bytes.
+        region_size: u64,
+    },
+    /// The requester ID of a transaction is not present (or not enabled) in
+    /// the LUT of the receiving port.
+    LutMiss {
+        /// Requester id that was looked up.
+        requester_id: u16,
+    },
+    /// A scratchpad register index outside `0..SCRATCHPAD_COUNT`.
+    BadScratchpadIndex {
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// A doorbell bit outside `0..DOORBELL_BITS`.
+    BadDoorbellBit {
+        /// The out-of-range bit.
+        bit: u32,
+    },
+    /// The DMA engine was shut down while requests were outstanding.
+    DmaShutdown,
+    /// A DMA descriptor was malformed (zero length, overlapping source and
+    /// destination in the same region, ...).
+    BadDescriptor {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The port is not connected to a peer (cable unplugged).
+    NotConnected,
+    /// Host memory arena exhausted.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for NtbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NtbError::WindowLimitExceeded { offset, len, window_size } => write!(
+                f,
+                "window limit exceeded: access [{offset:#x}, {:#x}) outside window of {window_size:#x} bytes",
+                offset + len
+            ),
+            NtbError::RegionOutOfBounds { offset, len, region_size } => write!(
+                f,
+                "region access out of bounds: [{offset:#x}, {:#x}) outside region of {region_size:#x} bytes",
+                offset + len
+            ),
+            NtbError::LutMiss { requester_id } => {
+                write!(f, "LUT miss for requester id {requester_id:#x}")
+            }
+            NtbError::BadScratchpadIndex { index } => {
+                write!(f, "scratchpad index {index} out of range")
+            }
+            NtbError::BadDoorbellBit { bit } => write!(f, "doorbell bit {bit} out of range"),
+            NtbError::DmaShutdown => write!(f, "DMA engine shut down"),
+            NtbError::BadDescriptor { reason } => write!(f, "bad DMA descriptor: {reason}"),
+            NtbError::NotConnected => write!(f, "NTB port not connected to a peer"),
+            NtbError::OutOfMemory { requested, available } => write!(
+                f,
+                "host memory exhausted: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NtbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_window_limit() {
+        let e = NtbError::WindowLimitExceeded { offset: 0x10, len: 0x20, window_size: 0x18 };
+        let s = e.to_string();
+        assert!(s.contains("window limit exceeded"), "{s}");
+        assert!(s.contains("0x30"), "{s}");
+    }
+
+    #[test]
+    fn display_lut_miss() {
+        let e = NtbError::LutMiss { requester_id: 0xab };
+        assert!(e.to_string().contains("0xab"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(NtbError::DmaShutdown, NtbError::DmaShutdown);
+        assert_ne!(NtbError::DmaShutdown, NtbError::NotConnected);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(NtbError::NotConnected);
+        assert!(e.to_string().contains("not connected"));
+    }
+}

@@ -1,0 +1,200 @@
+//! PCIe link parameters: generation, lane count, encoding efficiency.
+//!
+//! The paper's testbed connects hosts with PCIe Gen3 x8 fabric cables driven
+//! by PLX PEX 8733/8749 NTB chips and measures 20–30 Gbps of effective DMA
+//! bandwidth per connection. This module captures the *physical-layer* math:
+//! per-lane signalling rate, 8b/10b vs 128b/130b encoding, and a protocol
+//! efficiency factor that accounts for TLP/DLLP framing, flow-control
+//! credits, and chipset limits. [`LinkSpec::effective_bandwidth`] is what the
+//! timing model uses to charge transfer time.
+
+use std::fmt;
+use std::time::Duration;
+
+/// PCIe generation of a link. Determines the per-lane signalling rate and
+/// the line encoding (Gen1/2 use 8b/10b, Gen3 uses 128b/130b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PcieGen {
+    /// 2.5 GT/s per lane, 8b/10b.
+    Gen1,
+    /// 5.0 GT/s per lane, 8b/10b.
+    Gen2,
+    /// 8.0 GT/s per lane, 128b/130b.
+    Gen3,
+}
+
+impl PcieGen {
+    /// Raw signalling rate per lane in transfers (bits) per second.
+    pub fn raw_gigatransfers(self) -> f64 {
+        match self {
+            PcieGen::Gen1 => 2.5e9,
+            PcieGen::Gen2 => 5.0e9,
+            PcieGen::Gen3 => 8.0e9,
+        }
+    }
+
+    /// Fraction of raw bits that carry payload after line encoding.
+    pub fn encoding_efficiency(self) -> f64 {
+        match self {
+            // 8b/10b: 8 payload bits per 10 line bits.
+            PcieGen::Gen1 | PcieGen::Gen2 => 8.0 / 10.0,
+            // 128b/130b.
+            PcieGen::Gen3 => 128.0 / 130.0,
+        }
+    }
+
+    /// Usable bytes per second per lane after line encoding (before protocol
+    /// overhead).
+    pub fn lane_bytes_per_sec(self) -> f64 {
+        self.raw_gigatransfers() * self.encoding_efficiency() / 8.0
+    }
+}
+
+impl fmt::Display for PcieGen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcieGen::Gen1 => write!(f, "Gen1"),
+            PcieGen::Gen2 => write!(f, "Gen2"),
+            PcieGen::Gen3 => write!(f, "Gen3"),
+        }
+    }
+}
+
+/// Number of lanes in a link. The PEX 87xx adapters in the paper support x4,
+/// x8 and x16 configurations; the testbed cables are x8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneCount {
+    /// Four lanes.
+    X4,
+    /// Eight lanes (the paper's configuration).
+    X8,
+    /// Sixteen lanes.
+    X16,
+}
+
+impl LaneCount {
+    /// Lane count as an integer.
+    pub fn lanes(self) -> u32 {
+        match self {
+            LaneCount::X4 => 4,
+            LaneCount::X8 => 8,
+            LaneCount::X16 => 16,
+        }
+    }
+}
+
+impl fmt::Display for LaneCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.lanes())
+    }
+}
+
+/// Full physical description of one NTB link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// PCIe generation.
+    pub gen: PcieGen,
+    /// Lane count.
+    pub lanes: LaneCount,
+    /// Fraction of post-encoding bandwidth that survives TLP/DLLP framing,
+    /// flow control and chipset overheads. The paper's measured 20–30 Gbps
+    /// on a Gen3 x8 link (62.9 Gbps post-encoding) corresponds to roughly
+    /// 0.35–0.45; the default 0.40 reproduces the middle of that band.
+    pub protocol_efficiency: f64,
+}
+
+impl LinkSpec {
+    /// The paper's testbed link: Gen3 x8 with the efficiency measured for
+    /// the PEX 8733/8749 pair.
+    pub fn paper_testbed() -> Self {
+        LinkSpec { gen: PcieGen::Gen3, lanes: LaneCount::X8, protocol_efficiency: 0.40 }
+    }
+
+    /// Post-encoding bandwidth in bytes/second (no protocol overhead).
+    pub fn encoded_bandwidth(&self) -> f64 {
+        self.gen.lane_bytes_per_sec() * f64::from(self.lanes.lanes())
+    }
+
+    /// Effective payload bandwidth in bytes/second, the number the timing
+    /// model charges DMA transfers against.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.encoded_bandwidth() * self.protocol_efficiency
+    }
+
+    /// Time on the wire for `bytes` of payload at effective bandwidth.
+    pub fn wire_time(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.effective_bandwidth())
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+impl fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PCIe {} {} ({:.1} GB/s effective)",
+            self.gen,
+            self.lanes,
+            self.effective_bandwidth() / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_rates_ascend() {
+        assert!(PcieGen::Gen1.raw_gigatransfers() < PcieGen::Gen2.raw_gigatransfers());
+        assert!(PcieGen::Gen2.raw_gigatransfers() < PcieGen::Gen3.raw_gigatransfers());
+    }
+
+    #[test]
+    fn encoding_efficiency_matches_spec() {
+        assert!((PcieGen::Gen1.encoding_efficiency() - 0.8).abs() < 1e-12);
+        assert!((PcieGen::Gen3.encoding_efficiency() - 128.0 / 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gen3_x8_encoded_bandwidth() {
+        // 8 GT/s * 128/130 / 8 bits = ~0.985 GB/s per lane; x8 = ~7.88 GB/s.
+        let spec = LinkSpec { gen: PcieGen::Gen3, lanes: LaneCount::X8, protocol_efficiency: 1.0 };
+        let gbps = spec.encoded_bandwidth() / 1e9;
+        assert!((gbps - 7.88).abs() < 0.02, "got {gbps}");
+    }
+
+    #[test]
+    fn paper_testbed_lands_in_measured_band() {
+        // Paper: 20-30 Gbps effective => 2.5-3.75 GB/s.
+        let bw = LinkSpec::paper_testbed().effective_bandwidth();
+        assert!(bw > 2.5e9 && bw < 3.75e9, "effective bandwidth {bw} outside the paper's band");
+    }
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let spec = LinkSpec::paper_testbed();
+        let t1 = spec.wire_time(1 << 20);
+        let t2 = spec.wire_time(2 << 20);
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = LinkSpec::paper_testbed().to_string();
+        assert!(s.contains("Gen3") && s.contains("x8"), "{s}");
+    }
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(LaneCount::X4.lanes(), 4);
+        assert_eq!(LaneCount::X8.lanes(), 8);
+        assert_eq!(LaneCount::X16.lanes(), 16);
+    }
+}

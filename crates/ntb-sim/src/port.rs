@@ -1,0 +1,469 @@
+//! The NTB port: composition of windows, scratchpads, doorbells and DMA.
+//!
+//! A [`NtbPort`] models one NTB host adapter as seen by its driver. Two
+//! ports are cabled together with [`connect_ports`], which mirrors the
+//! paper's setup step: allocate the incoming window memory on each side,
+//! program the BAR translation so each side's outgoing window lands in the
+//! other's incoming region, share the scratchpad bank, cross-wire the
+//! doorbells, and program each side's requester ID into the peer's LUT.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::bar::{BarConfig, BarKind, LutTable};
+use crate::config_space::{ConfigSpace, DEVICE_PEX8749};
+use crate::dma::{DmaEngine, DmaHandle, DmaRequest};
+use crate::doorbell::{Doorbell, DoorbellWaiter};
+use crate::error::Result;
+use crate::memory::{HostMemory, Region};
+use crate::scratchpad::ScratchpadBank;
+use crate::stats::PortStats;
+use crate::timing::{LinkDirection, LinkTimer, TimeModel, TransferMode};
+use crate::window::{IncomingWindow, OutgoingWindow};
+
+/// Identity of a port: which host it is installed in and which of the
+/// host's adapter slots it occupies (the paper installs two adapters per
+/// host: "left" and "right").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId {
+    /// Host id.
+    pub host: usize,
+    /// Adapter slot within the host (0 = left, 1 = right by convention).
+    pub slot: usize,
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}.ntb{}", self.host, self.slot)
+    }
+}
+
+/// Configuration for one side of a connection.
+#[derive(Debug, Clone)]
+pub struct PortConfig {
+    /// Port identity.
+    pub id: PortId,
+    /// Size of the incoming window to allocate (power of two).
+    pub window_size: u64,
+    /// PCIe requester id of this adapter (programmed into the peer's LUT).
+    pub requester_id: u16,
+    /// DMA channels to spawn.
+    pub dma_channels: usize,
+}
+
+impl PortConfig {
+    /// Reasonable defaults: 4 MiB window, one DMA channel.
+    pub fn new(host: usize, slot: usize) -> Self {
+        PortConfig {
+            id: PortId { host, slot },
+            window_size: 4 << 20,
+            requester_id: (host as u16) << 4 | slot as u16,
+            dma_channels: 1,
+        }
+    }
+
+    /// Override the incoming window size.
+    pub fn with_window_size(mut self, size: u64) -> Self {
+        self.window_size = size;
+        self
+    }
+}
+
+/// One side of a connected NTB link.
+pub struct NtbPort {
+    id: PortId,
+    config_space: ConfigSpace,
+    model: Arc<TimeModel>,
+    scratchpads: Arc<ScratchpadBank>,
+    doorbell: Arc<Doorbell>,
+    peer_doorbell: Arc<Doorbell>,
+    outgoing: Arc<OutgoingWindow>,
+    incoming: IncomingWindow,
+    dma: Arc<DmaEngine>,
+    lut: Arc<LutTable>,
+    stats: Arc<PortStats>,
+    link: Arc<LinkTimer>,
+}
+
+impl fmt::Debug for NtbPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NtbPort").field("id", &self.id).finish()
+    }
+}
+
+impl NtbPort {
+    /// This port's identity.
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// The adapter's PCIe configuration header (enumeration surface: the
+    /// IDs and sized BARs a probing driver sees; enabled by
+    /// `connect_ports` after "address assignment").
+    pub fn config_space(&self) -> &ConfigSpace {
+        &self.config_space
+    }
+
+    /// The shared timing model.
+    pub fn model(&self) -> &Arc<TimeModel> {
+        &self.model
+    }
+
+    /// The link's shared scratchpad bank.
+    pub fn scratchpads(&self) -> &Arc<ScratchpadBank> {
+        &self.scratchpads
+    }
+
+    /// Write one scratchpad register (stats-accounted).
+    pub fn spad_write(&self, index: usize, value: u32) -> Result<()> {
+        self.stats.add_scratchpad_access();
+        self.scratchpads.write(index, value)
+    }
+
+    /// Read one scratchpad register (stats-accounted).
+    pub fn spad_read(&self, index: usize) -> Result<u32> {
+        self.stats.add_scratchpad_access();
+        self.scratchpads.read(index)
+    }
+
+    /// Ring doorbell `bit` on the peer.
+    pub fn ring_peer(&self, bit: u32) -> Result<()> {
+        self.stats.add_doorbell_rung();
+        self.peer_doorbell.ring(bit)
+    }
+
+    /// Block until one of `interest`'s doorbell bits is delivered (or the
+    /// timeout passes). Does not clear.
+    pub fn wait_doorbell(&self, interest: u32, timeout: Option<Duration>) -> DoorbellWaiter {
+        let r = self.doorbell.wait(interest, timeout);
+        if matches!(r, DoorbellWaiter::Fired(_)) {
+            self.stats.add_doorbell_received();
+        }
+        r
+    }
+
+    /// This port's incoming doorbell register (for mask/pending/clear).
+    pub fn doorbell(&self) -> &Arc<Doorbell> {
+        &self.doorbell
+    }
+
+    /// The outgoing (translated) window into the peer's memory.
+    pub fn outgoing(&self) -> &Arc<OutgoingWindow> {
+        &self.outgoing
+    }
+
+    /// This port's incoming window (local memory the peer writes into).
+    pub fn incoming(&self) -> &IncomingWindow {
+        &self.incoming
+    }
+
+    /// This port's requester-ID LUT (admission control for the peer).
+    pub fn lut(&self) -> &Arc<LutTable> {
+        &self.lut
+    }
+
+    /// Port counters.
+    pub fn stats(&self) -> &Arc<PortStats> {
+        &self.stats
+    }
+
+    /// The underlying link timer (shared with the peer port).
+    pub fn link(&self) -> &Arc<LinkTimer> {
+        &self.link
+    }
+
+    /// Submit an asynchronous DMA descriptor through the outgoing window.
+    pub fn dma_submit(&self, req: DmaRequest) -> Result<DmaHandle> {
+        self.dma.submit(Arc::clone(&self.outgoing), req)
+    }
+
+    /// Synchronous DMA transfer through the outgoing window.
+    pub fn dma_transfer(&self, req: DmaRequest) -> Result<()> {
+        self.dma.submit(Arc::clone(&self.outgoing), req)?.wait()
+    }
+
+    /// CPU-`memcpy` (PIO) write through the window.
+    pub fn pio_write(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.outgoing.write_bytes(offset, data, TransferMode::Memcpy)
+    }
+
+    /// CPU (PIO) read through the window. Slow: non-posted reads.
+    pub fn pio_read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.outgoing.read_bytes(offset, buf, TransferMode::Memcpy)
+    }
+
+    /// Push from a local region through the window under `mode`,
+    /// synchronously. The building block `ntb-net` uses for both paths.
+    pub fn push_region(
+        &self,
+        src: &Region,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+        mode: TransferMode,
+    ) -> Result<()> {
+        match mode {
+            TransferMode::Dma => self.dma_transfer(DmaRequest {
+                src: src.clone(),
+                src_offset,
+                dst_offset,
+                len,
+            }),
+            TransferMode::Memcpy => {
+                self.outgoing.write_from_region(src, src_offset, dst_offset, len, TransferMode::Memcpy)
+            }
+        }
+    }
+
+    /// Shut down this port's DMA engine (joins its workers).
+    pub fn shutdown(&self) {
+        self.dma.shutdown();
+    }
+}
+
+/// Cable two NTB adapters together.
+///
+/// Allocates each side's incoming window from its host arena, shares one
+/// scratchpad bank and one link timer, cross-wires the doorbells, programs
+/// the LUTs, and returns the two connected ports. `a` transmits
+/// [`LinkDirection::Upstream`], `b` transmits `Downstream`.
+pub fn connect_ports(
+    cfg_a: PortConfig,
+    cfg_b: PortConfig,
+    mem_a: &HostMemory,
+    mem_b: &HostMemory,
+    model: Arc<TimeModel>,
+) -> Result<(Arc<NtbPort>, Arc<NtbPort>)> {
+    let win_a = mem_a.alloc_region(cfg_a.window_size)?; // A's incoming (B writes here)
+    let win_b = mem_b.alloc_region(cfg_b.window_size)?; // B's incoming (A writes here)
+
+    let spads = ScratchpadBank::new(Arc::clone(&model));
+    let link = LinkTimer::new();
+
+    let db_a = Doorbell::new(Arc::clone(&model));
+    let db_b = Doorbell::new(Arc::clone(&model));
+
+    let lut_a = Arc::new(LutTable::new());
+    let lut_b = Arc::new(LutTable::new());
+    lut_a.insert(cfg_b.requester_id);
+    lut_b.insert(cfg_a.requester_id);
+
+    let stats_a = Arc::new(PortStats::new());
+    let stats_b = Arc::new(PortStats::new());
+
+    let bar_a = BarConfig { index: 2, kind: BarKind::Bar64, size: cfg_b.window_size, translation_base: 0 };
+    let bar_b = BarConfig { index: 2, kind: BarKind::Bar64, size: cfg_a.window_size, translation_base: 0 };
+
+    // A's outgoing window lands in B's incoming region; admission is
+    // checked against B's LUT with A's requester id.
+    let out_a = OutgoingWindow::new(
+        bar_a,
+        win_b.clone(),
+        Arc::clone(&link),
+        LinkDirection::Upstream,
+        Arc::clone(&model),
+        Arc::clone(&lut_b),
+        cfg_a.requester_id,
+        Arc::clone(&stats_a),
+        Arc::clone(&stats_b),
+        Arc::clone(mem_a.activity()),
+        Arc::clone(mem_b.activity()),
+    )?;
+    let out_b = OutgoingWindow::new(
+        bar_b,
+        win_a.clone(),
+        Arc::clone(&link),
+        LinkDirection::Downstream,
+        Arc::clone(&model),
+        Arc::clone(&lut_a),
+        cfg_b.requester_id,
+        Arc::clone(&stats_b),
+        Arc::clone(&stats_a),
+        Arc::clone(mem_b.activity()),
+        Arc::clone(mem_a.activity()),
+    )?;
+
+    let in_a = IncomingWindow::new(
+        BarConfig { index: 2, kind: BarKind::Bar64, size: cfg_a.window_size, translation_base: 0 },
+        win_a,
+    )?;
+    let in_b = IncomingWindow::new(
+        BarConfig { index: 2, kind: BarKind::Bar64, size: cfg_b.window_size, translation_base: 0 },
+        win_b,
+    )?;
+
+    let cs_a = ConfigSpace::new(DEVICE_PEX8749, &[bar_a])?;
+    cs_a.enable();
+    let cs_b = ConfigSpace::new(DEVICE_PEX8749, &[bar_b])?;
+    cs_b.enable();
+
+    let port_a = Arc::new(NtbPort {
+        id: cfg_a.id,
+        config_space: cs_a,
+        model: Arc::clone(&model),
+        scratchpads: Arc::clone(&spads),
+        doorbell: Arc::clone(&db_a),
+        peer_doorbell: Arc::clone(&db_b),
+        outgoing: out_a,
+        incoming: in_a,
+        dma: DmaEngine::new(cfg_a.dma_channels),
+        lut: lut_a,
+        stats: stats_a,
+        link: Arc::clone(&link),
+    });
+    let port_b = Arc::new(NtbPort {
+        id: cfg_b.id,
+        config_space: cs_b,
+        model,
+        scratchpads: spads,
+        doorbell: db_b,
+        peer_doorbell: db_a,
+        outgoing: out_b,
+        incoming: in_b,
+        dma: DmaEngine::new(cfg_b.dma_channels),
+        lut: lut_b,
+        stats: stats_b,
+        link,
+    });
+    Ok((port_a, port_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doorbell::DoorbellWaiter;
+
+    fn pair() -> (Arc<NtbPort>, Arc<NtbPort>) {
+        let mem_a = HostMemory::new(0, 64 << 20);
+        let mem_b = HostMemory::new(1, 64 << 20);
+        connect_ports(
+            PortConfig::new(0, 1),
+            PortConfig::new(1, 0),
+            &mem_a,
+            &mem_b,
+            Arc::new(TimeModel::zero()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pio_write_visible_at_peer() {
+        let (a, b) = pair();
+        a.pio_write(64, b"over the bridge").unwrap();
+        assert_eq!(b.incoming().region().read_vec(64, 15).unwrap(), b"over the bridge");
+    }
+
+    #[test]
+    fn both_directions_work() {
+        let (a, b) = pair();
+        a.pio_write(0, b"a->b").unwrap();
+        b.pio_write(0, b"b->a").unwrap();
+        assert_eq!(b.incoming().region().read_vec(0, 4).unwrap(), b"a->b");
+        assert_eq!(a.incoming().region().read_vec(0, 4).unwrap(), b"b->a");
+    }
+
+    #[test]
+    fn dma_transfer_visible_at_peer() {
+        let (a, b) = pair();
+        let src = Region::anonymous(1024);
+        src.fill(0, 1024, 0x5A).unwrap();
+        a.dma_transfer(DmaRequest { src, src_offset: 0, dst_offset: 2048, len: 1024 }).unwrap();
+        assert_eq!(b.incoming().region().read_vec(2048, 1024).unwrap(), vec![0x5A; 1024]);
+    }
+
+    #[test]
+    fn doorbell_crosses_link() {
+        let (a, b) = pair();
+        a.ring_peer(3).unwrap();
+        assert_eq!(b.wait_doorbell(1 << 3, Some(Duration::from_secs(1))), DoorbellWaiter::Fired(1 << 3));
+        // A's own doorbell untouched.
+        assert_eq!(a.doorbell().pending(), 0);
+    }
+
+    #[test]
+    fn scratchpads_shared_between_sides() {
+        let (a, b) = pair();
+        a.spad_write(2, 777).unwrap();
+        assert_eq!(b.spad_read(2).unwrap(), 777);
+        b.spad_write(2, 888).unwrap();
+        assert_eq!(a.spad_read(2).unwrap(), 888);
+    }
+
+    #[test]
+    fn lut_removal_blocks_peer_traffic() {
+        let (a, b) = pair();
+        // Remove A's requester id from B's admission table (held by b.lut()).
+        b.lut().remove(a.outgoing().bar().index as u16); // wrong id: no effect
+        a.pio_write(0, b"ok").unwrap();
+        let a_reqid = PortConfig::new(0, 1).requester_id;
+        b.lut().remove(a_reqid);
+        assert!(a.pio_write(0, b"blocked").is_err());
+        assert_eq!(b.stats().lut_rejects(), 1);
+    }
+
+    #[test]
+    fn window_memory_charged_to_host_arena() {
+        let mem_a = HostMemory::new(0, 64 << 20);
+        let mem_b = HostMemory::new(1, 64 << 20);
+        let _ = connect_ports(
+            PortConfig::new(0, 1).with_window_size(1 << 20),
+            PortConfig::new(1, 0).with_window_size(2 << 20),
+            &mem_a,
+            &mem_b,
+            Arc::new(TimeModel::zero()),
+        )
+        .unwrap();
+        assert_eq!(mem_a.allocated(), 1 << 20);
+        assert_eq!(mem_b.allocated(), 2 << 20);
+    }
+
+    #[test]
+    fn stats_flow_matches_traffic() {
+        let (a, b) = pair();
+        a.pio_write(0, &[0u8; 100]).unwrap();
+        a.ring_peer(0).unwrap();
+        assert_eq!(a.stats().bytes_tx(), 100);
+        assert_eq!(b.stats().bytes_rx(), 100);
+        assert_eq!(a.stats().doorbells_rung(), 1);
+    }
+
+    #[test]
+    fn pio_read_pulls_remote_window() {
+        let (a, b) = pair();
+        b.incoming().region().write(32, b"readable").unwrap();
+        let mut buf = [0u8; 8];
+        a.pio_read(32, &mut buf).unwrap();
+        assert_eq!(&buf, b"readable");
+    }
+
+    #[test]
+    fn config_space_reflects_window() {
+        let (a, b) = pair();
+        for port in [&a, &b] {
+            let cs = port.config_space();
+            assert!(cs.is_enabled(), "connect enables decoding + DMA");
+            let bars = cs.enumerate_bars();
+            assert_eq!(bars.len(), 1);
+            let (idx, size, is_64) = bars[0];
+            assert_eq!(idx, 2);
+            assert_eq!(size, port.outgoing().size());
+            assert!(is_64);
+        }
+    }
+
+    #[test]
+    fn port_id_display() {
+        assert_eq!(PortId { host: 2, slot: 1 }.to_string(), "host2.ntb1");
+    }
+
+    #[test]
+    fn shutdown_is_clean() {
+        let (a, _b) = pair();
+        a.shutdown();
+        let src = Region::anonymous(16);
+        assert!(a
+            .dma_submit(DmaRequest { src, src_offset: 0, dst_offset: 0, len: 16 })
+            .is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Observability counters for ports and links.
+//!
+//! The benchmark harness reads these to compute per-link and total network
+//! transfer rates (Fig. 8d sums per-connection rates), and the tests use
+//! them to assert that traffic actually flowed where the protocol says it
+//! should.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of one NTB port. All methods are lock-free and callable from
+/// any thread.
+#[derive(Debug, Default)]
+pub struct PortStats {
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    dma_ops: AtomicU64,
+    pio_ops: AtomicU64,
+    doorbells_rung: AtomicU64,
+    doorbells_received: AtomicU64,
+    scratchpad_accesses: AtomicU64,
+    lut_rejects: AtomicU64,
+    window_violations: AtomicU64,
+}
+
+impl PortStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` bytes transmitted through the outgoing window.
+    pub fn add_tx(&self, n: u64) {
+        self.bytes_tx.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` bytes received into the incoming window.
+    pub fn add_rx(&self, n: u64) {
+        self.bytes_rx.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one DMA descriptor completion.
+    pub fn add_dma_op(&self) {
+        self.dma_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one PIO transfer.
+    pub fn add_pio_op(&self) {
+        self.pio_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record ringing the peer's doorbell.
+    pub fn add_doorbell_rung(&self) {
+        self.doorbells_rung.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record receiving a doorbell interrupt.
+    pub fn add_doorbell_received(&self) {
+        self.doorbells_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one scratchpad register access.
+    pub fn add_scratchpad_access(&self) {
+        self.scratchpad_accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a transaction rejected by the LUT.
+    pub fn add_lut_reject(&self) {
+        self.lut_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an access beyond the window limit.
+    pub fn add_window_violation(&self) {
+        self.window_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes transmitted.
+    pub fn bytes_tx(&self) -> u64 {
+        self.bytes_tx.load(Ordering::Relaxed)
+    }
+
+    /// Bytes received.
+    pub fn bytes_rx(&self) -> u64 {
+        self.bytes_rx.load(Ordering::Relaxed)
+    }
+
+    /// DMA descriptor count.
+    pub fn dma_ops(&self) -> u64 {
+        self.dma_ops.load(Ordering::Relaxed)
+    }
+
+    /// PIO transfer count.
+    pub fn pio_ops(&self) -> u64 {
+        self.pio_ops.load(Ordering::Relaxed)
+    }
+
+    /// Doorbells rung towards the peer.
+    pub fn doorbells_rung(&self) -> u64 {
+        self.doorbells_rung.load(Ordering::Relaxed)
+    }
+
+    /// Doorbell interrupts received.
+    pub fn doorbells_received(&self) -> u64 {
+        self.doorbells_received.load(Ordering::Relaxed)
+    }
+
+    /// Scratchpad accesses.
+    pub fn scratchpad_accesses(&self) -> u64 {
+        self.scratchpad_accesses.load(Ordering::Relaxed)
+    }
+
+    /// LUT rejections observed.
+    pub fn lut_rejects(&self) -> u64 {
+        self.lut_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Window-limit violations observed.
+    pub fn window_violations(&self) -> u64 {
+        self.window_violations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every counter (for report printing).
+    pub fn snapshot(&self) -> PortStatsSnapshot {
+        PortStatsSnapshot {
+            bytes_tx: self.bytes_tx(),
+            bytes_rx: self.bytes_rx(),
+            dma_ops: self.dma_ops(),
+            pio_ops: self.pio_ops(),
+            doorbells_rung: self.doorbells_rung(),
+            doorbells_received: self.doorbells_received(),
+            scratchpad_accesses: self.scratchpad_accesses(),
+            lut_rejects: self.lut_rejects(),
+            window_violations: self.window_violations(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`PortStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStatsSnapshot {
+    /// Bytes transmitted through the outgoing window.
+    pub bytes_tx: u64,
+    /// Bytes received into the incoming window.
+    pub bytes_rx: u64,
+    /// DMA descriptors completed.
+    pub dma_ops: u64,
+    /// PIO transfers performed.
+    pub pio_ops: u64,
+    /// Doorbells rung towards the peer.
+    pub doorbells_rung: u64,
+    /// Doorbell interrupts received.
+    pub doorbells_received: u64,
+    /// Scratchpad register accesses.
+    pub scratchpad_accesses: u64,
+    /// LUT rejections.
+    pub lut_rejects: u64,
+    /// Window-limit violations.
+    pub window_violations: u64,
+}
+
+impl fmt::Display for PortStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tx={}B rx={}B dma={} pio={} db_out={} db_in={} spad={} lut_rej={} win_viol={}",
+            self.bytes_tx,
+            self.bytes_rx,
+            self.dma_ops,
+            self.pio_ops,
+            self.doorbells_rung,
+            self.doorbells_received,
+            self.scratchpad_accesses,
+            self.lut_rejects,
+            self.window_violations
+        )
+    }
+}
+
+/// Aggregated counters over one link (both ports).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Total bytes moved in either direction.
+    pub total_bytes: u64,
+    /// Total DMA operations.
+    pub total_dma_ops: u64,
+    /// Total PIO operations.
+    pub total_pio_ops: u64,
+}
+
+impl LinkStats {
+    /// Combine the two port snapshots of a link. Bytes are counted once
+    /// (tx side).
+    pub fn from_ports(a: &PortStatsSnapshot, b: &PortStatsSnapshot) -> Self {
+        LinkStats {
+            total_bytes: a.bytes_tx + b.bytes_tx,
+            total_dma_ops: a.dma_ops + b.dma_ops,
+            total_pio_ops: a.pio_ops + b.pio_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = PortStats::new();
+        s.add_tx(100);
+        s.add_tx(50);
+        s.add_rx(10);
+        s.add_dma_op();
+        s.add_pio_op();
+        s.add_doorbell_rung();
+        s.add_doorbell_received();
+        s.add_scratchpad_access();
+        s.add_lut_reject();
+        s.add_window_violation();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_tx, 150);
+        assert_eq!(snap.bytes_rx, 10);
+        assert_eq!(snap.dma_ops, 1);
+        assert_eq!(snap.pio_ops, 1);
+        assert_eq!(snap.doorbells_rung, 1);
+        assert_eq!(snap.doorbells_received, 1);
+        assert_eq!(snap.scratchpad_accesses, 1);
+        assert_eq!(snap.lut_rejects, 1);
+        assert_eq!(snap.window_violations, 1);
+    }
+
+    #[test]
+    fn snapshot_display_contains_fields() {
+        let s = PortStats::new();
+        s.add_tx(42);
+        let out = s.snapshot().to_string();
+        assert!(out.contains("tx=42B"), "{out}");
+    }
+
+    #[test]
+    fn link_stats_sum_tx_sides() {
+        let a = PortStatsSnapshot { bytes_tx: 100, dma_ops: 2, ..Default::default() };
+        let b = PortStatsSnapshot { bytes_tx: 50, pio_ops: 3, ..Default::default() };
+        let l = LinkStats::from_ports(&a, &b);
+        assert_eq!(l.total_bytes, 150);
+        assert_eq!(l.total_dma_ops, 2);
+        assert_eq!(l.total_pio_ops, 3);
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        use std::sync::Arc;
+        let s = Arc::new(PortStats::new());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.add_tx(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.bytes_tx(), 4000);
+    }
+}

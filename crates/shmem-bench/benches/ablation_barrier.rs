@@ -1,0 +1,101 @@
+//! Ablation: the paper's ring start/end doorbell barrier vs a naive
+//! centralized counter barrier built from remote atomics.
+//!
+//! The paper argues the centralized barrier "is not suitable since it is
+//! hard to make a centralized shared counter in the switchless
+//! interconnect network". This ablation quantifies that: the counter
+//! barrier needs `2(N-1)` AMO round trips through PE 0 (each a full
+//! request/response over the ring), while the ring sweep needs `2N`
+//! one-way doorbells — so the sweep wins and scales linearly rather than
+//! quadratically in ring distance.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntb_sim::TimeModel;
+use shmem_core::{BarrierAlgorithm, CmpOp, ShmemConfig, ShmemCtx, ShmemWorld, TypedSym};
+
+/// Naive centralized barrier: every PE increments a counter on PE 0 and
+/// waits (polling with remote fetches) until the epoch's target count.
+fn centralized_barrier(ctx: &ShmemCtx, counter: &TypedSym<u64>, epoch: u64) {
+    let n = ctx.num_pes() as u64;
+    ctx.atomic_fetch_add(counter, 0, 1u64, 0).unwrap();
+    let target = epoch * n;
+    if ctx.my_pe() == 0 {
+        // PE 0 can watch its own copy change.
+        ctx.wait_until(counter, 0, CmpOp::Ge, target).unwrap();
+    } else {
+        loop {
+            let v = ctx.atomic_fetch(counter, 0, 0).unwrap();
+            if v >= target {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn run_world<F>(hosts: usize, iters: u64, alg: BarrierAlgorithm, f: F) -> Duration
+where
+    F: Fn(&ShmemCtx, u64) + Send + Sync,
+{
+    let mut cfg = ShmemConfig::paper()
+        .with_hosts(hosts)
+        .with_model(TimeModel::scaled(0.02))
+        .with_barrier_algorithm(alg);
+    cfg.barrier_timeout = Duration::from_secs(120);
+    let totals = ShmemWorld::run(cfg, move |ctx| {
+        let t0 = Instant::now();
+        f(ctx, iters);
+        t0.elapsed()
+    })
+    .expect("world");
+    totals[0]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_barrier");
+    group.sample_size(10);
+    for &hosts in &[3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("ring_sweep", hosts), &hosts, |b, &hosts| {
+            b.iter_custom(|iters| {
+                run_world(hosts, iters, BarrierAlgorithm::RingSweep, |ctx, iters| {
+                    for _ in 0..iters {
+                        ctx.barrier_all().unwrap();
+                    }
+                })
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dissemination", hosts),
+            &hosts,
+            |b, &hosts| {
+                b.iter_custom(|iters| {
+                    run_world(hosts, iters, BarrierAlgorithm::Dissemination, |ctx, iters| {
+                        for _ in 0..iters {
+                            ctx.barrier_all().unwrap();
+                        }
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("centralized_counter", hosts),
+            &hosts,
+            |b, &hosts| {
+                b.iter_custom(|iters| {
+                    run_world(hosts, iters, BarrierAlgorithm::RingSweep, |ctx, iters| {
+                        let counter = ctx.calloc_array::<u64>(1).unwrap();
+                        for epoch in 1..=iters {
+                            centralized_barrier(ctx, &counter, epoch);
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

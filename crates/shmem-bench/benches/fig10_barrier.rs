@@ -1,0 +1,50 @@
+//! Criterion bench for Fig. 10: `shmem_barrier_all` latency following
+//! puts of varying size. Each sample spawns a scaled-down 5-PE world and
+//! times `iters` barriers inside it (iter_custom), so world construction
+//! stays out of the measurement.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntb_sim::{TimeModel, TransferMode};
+use shmem_core::{ShmemConfig, ShmemWorld};
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_barrier");
+    group.sample_size(10);
+    for &put_size in &[0usize, 4 << 10, 256 << 10] {
+        group.bench_with_input(
+            BenchmarkId::new("after_put", put_size),
+            &put_size,
+            |b, &put_size| {
+                b.iter_custom(|iters| {
+                    let mut cfg = ShmemConfig::paper()
+                        .with_hosts(5)
+                        .with_model(TimeModel::scaled(0.02));
+                    cfg.barrier_timeout = Duration::from_secs(120);
+                    let totals = ShmemWorld::run(cfg, move |ctx| {
+                        let sym = ctx.malloc_array::<u8>(put_size.max(1)).unwrap();
+                        let data = vec![0u8; put_size];
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            if ctx.my_pe() == 0 && put_size > 0 {
+                                ctx.put_slice_with_mode(&sym, 0, &data, 1, TransferMode::Dma)
+                                    .unwrap();
+                            }
+                            let t0 = Instant::now();
+                            ctx.barrier_all().unwrap();
+                            total += t0.elapsed();
+                        }
+                        total
+                    })
+                    .expect("world");
+                    totals[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrier);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Fig. 8 primitive: raw one-hop window transfers
+//! (DMA vs PIO) at the paper's small/medium/large sizes, on a shrunk time
+//! scale so the suite stays fast while preserving relative shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntb_net::{NetConfig, RingNetwork, RouteDirection};
+use ntb_sim::{Region, TimeModel, TransferMode};
+
+fn bench_raw_link(c: &mut Criterion) {
+    let net = RingNetwork::build(NetConfig::paper(3).with_model(TimeModel::scaled(0.02)))
+        .expect("build ring");
+    let node = net.node(0);
+    let mut group = c.benchmark_group("fig8_raw_link");
+    group.sample_size(10);
+    for &size in &[4u64 << 10, 64 << 10, 512 << 10] {
+        let src = Region::anonymous(size);
+        src.fill(0, size, 0x5A).unwrap();
+        group.throughput(Throughput::Bytes(size));
+        for mode in [TransferMode::Dma, TransferMode::Memcpy] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        node.raw_send(RouteDirection::Right, &src, 0, 0, size, mode).unwrap();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+    net.shutdown();
+}
+
+criterion_group!(benches, bench_raw_link);
+criterion_main!(benches);

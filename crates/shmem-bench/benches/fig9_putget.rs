@@ -1,0 +1,82 @@
+//! Criterion bench for the Fig. 9 primitives: protocol-level put and get
+//! across {DMA, memcpy} × {1 hop, 2 hops}, against a live 5-host ring
+//! with symmetric heaps installed (the same data path `shmem_put`/
+//! `shmem_get` take, without respawning a world per sample).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntb_net::{DeliveryTarget, NetConfig, RingNetwork};
+use ntb_sim::{TimeModel, TransferMode};
+use shmem_core::SymmetricHeap;
+
+struct Rig {
+    net: RingNetwork,
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let net = RingNetwork::build(NetConfig::paper(5).with_model(TimeModel::scaled(0.02)))
+            .expect("build ring");
+        for node in net.nodes() {
+            let heap = SymmetricHeap::new(Arc::clone(node.memory()), 1 << 20);
+            heap.malloc(1 << 20).expect("symmetric buffer");
+            node.set_delivery(heap as Arc<dyn DeliveryTarget>);
+        }
+        Rig { net }
+    }
+}
+
+fn bench_put(c: &mut Criterion) {
+    let rig = Rig::new();
+    let node = rig.net.node(0);
+    let mut group = c.benchmark_group("fig9_put");
+    group.sample_size(10);
+    for &size in &[4usize << 10, 256 << 10] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        for mode in [TransferMode::Dma, TransferMode::Memcpy] {
+            for (hops, dest) in [(1usize, 1usize), (2, 2)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}_{}hop", mode.label(), hops), size),
+                    &size,
+                    |b, _| {
+                        b.iter(|| node.put_bytes(dest, 0, &data, mode).unwrap());
+                        node.quiet();
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+    rig.net.shutdown();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let rig = Rig::new();
+    let node = rig.net.node(0);
+    let mut group = c.benchmark_group("fig9_get");
+    group.sample_size(10);
+    for &size in &[4u64 << 10, 256 << 10] {
+        group.throughput(Throughput::Bytes(size));
+        for mode in [TransferMode::Dma, TransferMode::Memcpy] {
+            for (hops, src) in [(1usize, 1usize), (2, 2)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}_{}hop", mode.label(), hops), size),
+                    &size,
+                    |b, &size| {
+                        b.iter(|| {
+                            let v = node.get_bytes(src, 0, size, mode).unwrap();
+                            assert_eq!(v.len(), size as usize);
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+    rig.net.shutdown();
+}
+
+criterion_group!(benches, bench_put, bench_get);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Microbenchmarks of the hot data structures (no injected delays):
+//! frame codec, symmetric-heap allocator, region copies, scratchpad and
+//! doorbell register paths. These bound the model's own overhead — the
+//! part of every measured latency that is *not* calibrated wire time.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntb_net::Frame;
+use ntb_sim::{Doorbell, HostMemory, Region, ScratchpadBank, TimeModel, TransferMode};
+use shmem_core::SymmetricHeap;
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let frame = Frame::put(3, 7, 65536, 1024, TransferMode::Dma);
+    c.bench_function("frame_encode", |b| b.iter(|| std::hint::black_box(frame.encode())));
+    let words = frame.encode();
+    c.bench_function("frame_decode", |b| {
+        b.iter(|| Frame::decode(std::hint::black_box(words)).unwrap())
+    });
+}
+
+fn bench_heap_alloc(c: &mut Criterion) {
+    c.bench_function("heap_malloc_free", |b| {
+        let heap = SymmetricHeap::new(HostMemory::new(0, 1 << 30), 1 << 20);
+        b.iter(|| {
+            let a = heap.malloc(std::hint::black_box(256)).unwrap();
+            heap.free(a).unwrap();
+        })
+    });
+    c.bench_function("heap_flat_write_4k", |b| {
+        let heap = SymmetricHeap::new(HostMemory::new(0, 1 << 30), 1 << 20);
+        let a = heap.malloc(8192).unwrap();
+        let data = vec![7u8; 4096];
+        b.iter(|| heap.write_flat(a.offset(), &data).unwrap())
+    });
+}
+
+fn bench_region_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_copy");
+    for &size in &[4u64 << 10, 256 << 10] {
+        let src = Region::anonymous(size);
+        let dst = Region::anonymous(size);
+        group.throughput(Throughput::Bytes(size));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| src.copy_to(0, &dst, 0, size).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_registers(c: &mut Criterion) {
+    let model = Arc::new(TimeModel::zero());
+    let spads = ScratchpadBank::new(Arc::clone(&model));
+    c.bench_function("scratchpad_write_read", |b| {
+        b.iter(|| {
+            spads.write(0, 0xABCD).unwrap();
+            std::hint::black_box(spads.read(0).unwrap());
+        })
+    });
+    let db = Doorbell::new(model);
+    c.bench_function("doorbell_ring_clear", |b| {
+        b.iter(|| {
+            db.ring(3).unwrap();
+            db.clear(1 << 3);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frame_codec,
+    bench_heap_alloc,
+    bench_region_copy,
+    bench_registers
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Switchless ring vs switch-emulating full mesh — the tradeoff the paper
+//! motivates ("high cost interconnection switches may not be required if
+//! a cost-effective HPC system is desired").
+//!
+//! The mesh gives every pair a dedicated one-hop link (what an ideal
+//! non-blocking switch provides) at the cost of N-1 adapters per host;
+//! the ring needs exactly two adapters per host but pays forwarding
+//! latency for non-neighbours. This bench quantifies the gap for put and
+//! get to the "far" host of a 5-node network.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntb_net::{DeliveryTarget, NetConfig, RingNetwork, Topology};
+use ntb_sim::{TimeModel, TransferMode};
+use shmem_core::SymmetricHeap;
+
+fn rig(topology: Topology) -> RingNetwork {
+    let cfg = NetConfig::paper(5).with_model(TimeModel::scaled(0.05)).with_topology(topology);
+    let net = RingNetwork::build(cfg).expect("build network");
+    for node in net.nodes() {
+        let heap = SymmetricHeap::new(Arc::clone(node.memory()), 1 << 20);
+        heap.malloc(1 << 20).expect("symmetric buffer");
+        node.set_delivery(heap as Arc<dyn DeliveryTarget>);
+    }
+    net
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_far_host");
+    group.sample_size(10);
+    let size = 128usize << 10;
+    group.throughput(Throughput::Bytes(size as u64));
+    for (name, topology) in [("ring", Topology::Ring), ("mesh", Topology::FullMesh)] {
+        let net = rig(topology);
+        let node = Arc::clone(net.node(0));
+        let data = vec![0xD7u8; size];
+        // Host 2 is two ring hops away; on the mesh it is adjacent.
+        group.bench_with_input(BenchmarkId::new(format!("{name}_put"), size), &size, |b, _| {
+            b.iter(|| node.put_bytes(2, 0, &data, TransferMode::Dma).unwrap());
+            node.quiet();
+        });
+        group.bench_with_input(BenchmarkId::new(format!("{name}_get"), size), &size, |b, &s| {
+            b.iter(|| {
+                let v = node.get_bytes(2, 0, s as u64, TransferMode::Dma).unwrap();
+                assert_eq!(v.len(), s);
+            })
+        });
+        net.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topologies);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! `repro` — regenerate every figure of the paper's evaluation section.
+//!
+//! ```text
+//! repro [all|fig8|fig9|fig10|compare] [--scale F] [--reps N] [--quick] [--csv DIR]
+//! ```
+//!
+//! `compare` runs the beyond-paper topology comparison: the switchless
+//! ring against the switch-emulating full mesh.
+//!
+//! * `--scale F`  — time-model scale (1.0 = paper-calibrated latencies,
+//!   smaller = proportionally faster runs with the same shapes).
+//! * `--reps N`   — measurement repetitions per point.
+//! * `--quick`    — 4-point size axis instead of the paper's 10.
+//! * `--csv DIR`  — also write each panel as CSV into DIR.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ntb_sim::TimeModel;
+use shmem_bench::compare::{run_compare, CompareConfig};
+use shmem_bench::fig10::{run_fig10, Fig10Config};
+use shmem_bench::fig8::{run_fig8, run_scaling, Fig8Config};
+use shmem_bench::fig9::{run_fig9, Fig9Config};
+use shmem_bench::report::{render_csv, Series};
+use shmem_bench::sizes::{paper_sizes, quick_sizes};
+
+struct Options {
+    what: String,
+    scale: f64,
+    reps: Option<usize>,
+    quick: bool,
+    csv: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options { what: "all".into(), scale: 1.0, reps: None, quick: false, csv: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "all" | "fig8" | "fig9" | "fig10" | "compare" | "scaling" => opts.what = a,
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a float"));
+            }
+            "--reps" => {
+                opts.reps = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--reps needs an integer")),
+                );
+            }
+            "--quick" => opts.quick = true,
+            "--csv" => {
+                opts.csv =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| die("--csv needs a directory"))));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [all|fig8|fig9|fig10|compare|scaling] [--scale F] [--reps N] [--quick] [--csv DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn write_csv(dir: &Option<PathBuf>, name: &str, labels: &[String], series: &[Series]) {
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, render_csv(labels, series)).expect("write csv");
+        println!("  wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let sizes = if opts.quick { quick_sizes() } else { paper_sizes() };
+    let model = if opts.scale == 1.0 { TimeModel::paper() } else { TimeModel::scaled(opts.scale) };
+    println!(
+        "# OpenSHMEM over switchless PCIe NTB — evaluation reproduction (scale {}, {} sizes)\n",
+        opts.scale,
+        sizes.len()
+    );
+
+    if opts.what == "all" || opts.what == "fig8" {
+        let cfg = Fig8Config {
+            sizes: sizes.clone(),
+            reps: opts.reps.unwrap_or(8),
+            model: model.clone(),
+            ..Fig8Config::default()
+        };
+        let t0 = std::time::Instant::now();
+        let r = run_fig8(&cfg);
+        println!("{}", r.render());
+        println!("(fig8 ran in {:.1?})\n", t0.elapsed());
+        let labels = r.labels();
+        for (i, (ind, ring)) in r.independent.iter().zip(&r.ring).enumerate() {
+            write_csv(
+                &opts.csv,
+                &format!("fig8_link{i}"),
+                &labels,
+                &[Series::new("independent", ind.clone()), Series::new("ring", ring.clone())],
+            );
+        }
+        write_csv(
+            &opts.csv,
+            "fig8_total",
+            &labels,
+            &[
+                Series::new("independent", r.total_independent()),
+                Series::new("ring", r.total_ring()),
+            ],
+        );
+    }
+
+    if opts.what == "all" || opts.what == "fig9" {
+        let cfg = Fig9Config {
+            sizes: sizes.clone(),
+            put_reps: opts.reps.unwrap_or(6),
+            get_reps: opts.reps.unwrap_or(6).div_ceil(2),
+            model: model.clone(),
+        };
+        let t0 = std::time::Instant::now();
+        let r = run_fig9(&cfg);
+        println!("{}", r.render());
+        println!("(fig9 ran in {:.1?})\n", t0.elapsed());
+        let labels = r.labels();
+        let names: Vec<String> = r.configs.iter().map(|c| c.label()).collect();
+        let mk = |vals: &[Vec<f64>]| -> Vec<Series> {
+            names.iter().zip(vals).map(|(n, v)| Series::new(n.clone(), v.clone())).collect()
+        };
+        write_csv(&opts.csv, "fig9a_put_latency", &labels, &mk(&r.put.latency_us));
+        write_csv(&opts.csv, "fig9b_get_latency", &labels, &mk(&r.get.latency_us));
+        write_csv(&opts.csv, "fig9c_put_throughput", &labels, &mk(&r.put.throughput));
+        write_csv(&opts.csv, "fig9d_get_throughput", &labels, &mk(&r.get.throughput));
+    }
+
+    if opts.what == "scaling" {
+        let t0 = std::time::Instant::now();
+        let r = run_scaling(&[2, 3, 4, 5, 6], 512 << 10, opts.reps.unwrap_or(8), &model);
+        println!("{}", r.render());
+        println!("(scaling ran in {:.1?})\n", t0.elapsed());
+    }
+
+    if opts.what == "compare" {
+        let cfg = CompareConfig {
+            sizes: sizes.clone(),
+            reps: opts.reps.unwrap_or(4),
+            model: model.clone(),
+        };
+        let t0 = std::time::Instant::now();
+        let r = run_compare(&cfg);
+        println!("{}", r.render());
+        println!("(compare ran in {:.1?})\n", t0.elapsed());
+        let labels = r.labels();
+        write_csv(
+            &opts.csv,
+            "compare_topologies",
+            &labels,
+            &[
+                Series::new("ring put", r.ring_put_us.clone()),
+                Series::new("mesh put", r.mesh_put_us.clone()),
+                Series::new("ring get", r.ring_get_us.clone()),
+                Series::new("mesh get", r.mesh_get_us.clone()),
+            ],
+        );
+    }
+
+    if opts.what == "all" || opts.what == "fig10" {
+        let cfg = Fig10Config {
+            sizes: sizes.clone(),
+            reps: opts.reps.unwrap_or(5),
+            model: model.clone(),
+        };
+        let t0 = std::time::Instant::now();
+        let r = run_fig10(&cfg);
+        println!("{}", r.render());
+        println!("(fig10 ran in {:.1?})\n", t0.elapsed());
+        let labels = r.labels();
+        let series: Vec<Series> = r
+            .configs
+            .iter()
+            .zip(&r.latency_us)
+            .map(|(c, v)| Series::new(c.label(), v.clone()))
+            .collect();
+        write_csv(&opts.csv, "fig10_barrier_latency", &labels, &series);
+    }
+}

@@ -1,0 +1,155 @@
+//! Beyond the paper: switchless ring vs switch-emulating full mesh.
+//!
+//! The paper's pitch is that "high cost interconnection switches may not
+//! be required if a cost-effective HPC system is desired". This module
+//! quantifies what the switch would have bought: put and get latency to
+//! the *far* host (two ring hops; one mesh hop) across the request-size
+//! sweep, on identically calibrated links. The delta is exactly the
+//! forwarding cost of the switchless design — the price paid for needing
+//! only two adapters per host instead of N-1 (or a multi-root switch that,
+//! as the paper notes, does not exist commercially).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ntb_net::{DeliveryTarget, NetConfig, RingNetwork, Topology};
+use ntb_sim::{TimeModel, TransferMode};
+use shmem_core::SymmetricHeap;
+
+use crate::report::Series;
+use crate::sizes::size_label;
+
+/// Parameters of the comparison run.
+#[derive(Debug, Clone)]
+pub struct CompareConfig {
+    /// Request sizes.
+    pub sizes: Vec<u64>,
+    /// Repetitions per point.
+    pub reps: usize,
+    /// Timing model.
+    pub model: TimeModel,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig { sizes: crate::sizes::paper_sizes(), reps: 4, model: TimeModel::paper() }
+    }
+}
+
+/// Result of the comparison.
+#[derive(Debug, Clone)]
+pub struct CompareResult {
+    /// The swept sizes.
+    pub sizes: Vec<u64>,
+    /// Put latency to the far host on the ring (µs).
+    pub ring_put_us: Vec<f64>,
+    /// Put latency to the far host on the mesh (µs).
+    pub mesh_put_us: Vec<f64>,
+    /// Get latency from the far host on the ring (µs).
+    pub ring_get_us: Vec<f64>,
+    /// Get latency from the far host on the mesh (µs).
+    pub mesh_get_us: Vec<f64>,
+}
+
+impl CompareResult {
+    /// X-axis labels.
+    pub fn labels(&self) -> Vec<String> {
+        self.sizes.iter().map(|&s| size_label(s)).collect()
+    }
+
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        crate::report::render_series_table(
+            "Topology comparison: far-host latency, switchless ring vs switch-like mesh (us)",
+            &self.labels(),
+            &[
+                Series::new("ring put", self.ring_put_us.clone()),
+                Series::new("mesh put", self.mesh_put_us.clone()),
+                Series::new("ring get", self.ring_get_us.clone()),
+                Series::new("mesh get", self.mesh_get_us.clone()),
+            ],
+        )
+    }
+}
+
+/// Hosts in both networks (host 2 is the far target: two ring hops).
+pub const COMPARE_HOSTS: usize = 5;
+
+fn measure(topology: Topology, cfg: &CompareConfig) -> (Vec<f64>, Vec<f64>) {
+    let net_cfg =
+        NetConfig::paper(COMPARE_HOSTS).with_model(cfg.model.clone()).with_topology(topology);
+    let net = RingNetwork::build(net_cfg).expect("build network");
+    for node in net.nodes() {
+        let heap = SymmetricHeap::new(Arc::clone(node.memory()), 1 << 20);
+        heap.malloc(1 << 20).expect("symmetric buffer");
+        node.set_delivery(heap as Arc<dyn DeliveryTarget>);
+    }
+    let node = net.node(0);
+    let mut put_us = Vec::with_capacity(cfg.sizes.len());
+    let mut get_us = Vec::with_capacity(cfg.sizes.len());
+    for &size in &cfg.sizes {
+        let data = vec![0xE1u8; size as usize];
+        // Warm-up, then steady-state puts (as in fig9).
+        node.put_bytes(2, 0, &data, TransferMode::Dma).expect("warm-up");
+        let t0 = Instant::now();
+        for _ in 0..cfg.reps {
+            node.put_bytes(2, 0, &data, TransferMode::Dma).expect("put");
+        }
+        put_us.push((t0.elapsed() / cfg.reps as u32).as_secs_f64() * 1e6);
+        node.quiet();
+        let t0 = Instant::now();
+        for _ in 0..cfg.reps {
+            let v = node.get_bytes(2, 0, size, TransferMode::Dma).expect("get");
+            assert_eq!(v.len(), size as usize);
+        }
+        get_us.push((t0.elapsed() / cfg.reps as u32).as_secs_f64() * 1e6);
+    }
+    net.shutdown();
+    (put_us, get_us)
+}
+
+/// Run the comparison: the same operations on both topologies.
+pub fn run_compare(cfg: &CompareConfig) -> CompareResult {
+    let (ring_put_us, ring_get_us) = measure(Topology::Ring, cfg);
+    let (mesh_put_us, mesh_get_us) = measure(Topology::FullMesh, cfg);
+    CompareResult { sizes: cfg.sizes.clone(), ring_put_us, mesh_put_us, ring_get_us, mesh_get_us }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_gets_beat_ring_gets_to_far_host() {
+        let _serial = crate::timing_test_guard();
+        crate::assert_shape_with_retries(3, || {
+            let r = run_compare(&CompareConfig {
+                sizes: vec![4 << 10, 256 << 10],
+                reps: 3,
+                model: TimeModel::paper(),
+            });
+            // Gets round-trip, so the extra ring hops show up clearly at
+            // every size.
+            for (i, (ring, mesh)) in r.ring_get_us.iter().zip(&r.mesh_get_us).enumerate() {
+                if mesh >= ring {
+                    return Err(format!(
+                        "mesh get {mesh} must beat ring get {ring} (size idx {i})"
+                    ));
+                }
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn render_mentions_both_topologies() {
+        let _serial = crate::timing_test_guard();
+        let r = run_compare(&CompareConfig {
+            sizes: vec![4 << 10],
+            reps: 2,
+            model: TimeModel::paper(),
+        });
+        let txt = r.render();
+        assert!(txt.contains("ring put") && txt.contains("mesh get"), "{txt}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Figure 10: `shmem_barrier_all` latency.
+//!
+//! The paper calls `shmem_barrier_all()` after Put operations of varying
+//! sizes and measures the barrier's latency under the same four
+//! configurations as Fig. 9. Expected shape: the barrier costs far more
+//! than a small put (two full doorbell sweeps around the ring, each hop
+//! paying interrupt delivery and thread wake-up), and its latency is
+//! roughly flat in the preceding request size — the property the paper
+//! highlights ("the latencies are sustained as the requested data size
+//! increases").
+
+use std::time::Instant;
+
+use ntb_sim::TimeModel;
+use shmem_core::{ShmemConfig, ShmemWorld};
+
+use crate::fig9::{PathConfig, FIG9_HOSTS};
+use crate::report::Series;
+use crate::sizes::size_label;
+
+/// Parameters of the Fig. 10 run.
+#[derive(Debug, Clone)]
+pub struct Fig10Config {
+    /// Request sizes for the preceding puts.
+    pub sizes: Vec<u64>,
+    /// Barrier repetitions per point.
+    pub reps: usize,
+    /// Timing model.
+    pub model: TimeModel,
+}
+
+impl Default for Fig10Config {
+    fn default() -> Self {
+        Fig10Config { sizes: crate::sizes::paper_sizes(), reps: 5, model: TimeModel::paper() }
+    }
+}
+
+/// Result of the Fig. 10 run.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// The swept sizes.
+    pub sizes: Vec<u64>,
+    /// The four configurations.
+    pub configs: Vec<PathConfig>,
+    /// Mean barrier latency (µs) at PE 0, indexed `[config][size]`.
+    pub latency_us: Vec<Vec<f64>>,
+}
+
+impl Fig10Result {
+    /// X-axis labels.
+    pub fn labels(&self) -> Vec<String> {
+        self.sizes.iter().map(|&s| size_label(s)).collect()
+    }
+
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let series: Vec<Series> = self
+            .configs
+            .iter()
+            .zip(&self.latency_us)
+            .map(|(c, v)| Series::new(c.label(), v.clone()))
+            .collect();
+        crate::report::render_series_table(
+            "Fig 10 Latency of shmem_barrier_all after Puts (us)",
+            &self.labels(),
+            &series,
+        )
+    }
+}
+
+/// Run the full Fig. 10 sweep. Every PE participates in every barrier;
+/// PE 0 issues the preceding put and reports the barrier latency.
+pub fn run_fig10(cfg: &Fig10Config) -> Fig10Result {
+    let mut world_cfg = ShmemConfig::paper().with_hosts(FIG9_HOSTS).with_model(cfg.model.clone());
+    world_cfg.barrier_timeout = std::time::Duration::from_secs(600);
+    let configs = PathConfig::paper_grid();
+    let sizes = cfg.sizes.clone();
+    let reps = cfg.reps;
+    let mut results = ShmemWorld::run(world_cfg, move |ctx| {
+        let max_size = *sizes.iter().max().expect("non-empty sizes") as usize;
+        let sym = ctx.malloc_array::<u8>(max_size).expect("symmetric buffer");
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for pc in PathConfig::paper_grid() {
+            let mut per_size = Vec::with_capacity(sizes.len());
+            for &size in &sizes {
+                let data = vec![0x3Cu8; size as usize];
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..reps {
+                    if ctx.my_pe() == 0 {
+                        ctx.put_slice_with_mode(&sym, 0, &data, pc.partner, pc.mode)
+                            .expect("preceding put");
+                    }
+                    let t0 = Instant::now();
+                    ctx.barrier_all().expect("measured barrier");
+                    total += t0.elapsed();
+                }
+                per_size.push((total / reps as u32).as_secs_f64() * 1e6);
+            }
+            rows.push(per_size);
+        }
+        rows
+    })
+    .expect("fig10 world");
+    Fig10Result { sizes: cfg.sizes.clone(), configs, latency_us: results.remove(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntb_sim::TransferMode;
+    use shmem_core::ShmemConfig as SC;
+
+    fn quick() -> Fig10Result {
+        run_fig10(&Fig10Config {
+            sizes: vec![4 << 10, 256 << 10],
+            reps: 2,
+            model: TimeModel::paper(),
+        })
+    }
+
+    #[test]
+    fn barrier_latency_roughly_flat_in_size() {
+        let _serial = crate::timing_test_guard();
+        crate::assert_shape_with_retries(3, || {
+            let r = quick();
+            for (c, row) in r.latency_us.iter().enumerate() {
+                let ratio = row.last().unwrap() / row.first().unwrap();
+                if !(0.2..5.0).contains(&ratio) {
+                    return Err(format!(
+                        "config {c}: barrier latency should be roughly flat, got ratio {ratio}"
+                    ));
+                }
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn barrier_costs_more_than_small_put() {
+        let _serial = crate::timing_test_guard();
+        // Measure a small put's steady latency in the same model scale and
+        // compare with the barrier.
+        let model = TimeModel::paper();
+        let r = quick();
+        let mut wc = SC::paper().with_hosts(FIG9_HOSTS).with_model(model);
+        wc.barrier_timeout = std::time::Duration::from_secs(120);
+        let put_us = ShmemWorld::run(wc, |ctx| {
+            // malloc is collective: every PE calls it.
+            let sym = ctx.malloc_array::<u8>(1024).unwrap();
+            let us = if ctx.my_pe() == 0 {
+                let data = vec![0u8; 1024];
+                let t0 = Instant::now();
+                ctx.put_slice_with_mode(&sym, 0, &data, 1, TransferMode::Dma).unwrap();
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                ctx.quiet();
+                us
+            } else {
+                0.0
+            };
+            ctx.barrier_all().unwrap();
+            us
+        })
+        .unwrap()[0];
+        let barrier_us = r.latency_us[0][0];
+        assert!(barrier_us > put_us, "barrier {barrier_us} must exceed a 1KB put {put_us}");
+    }
+
+    #[test]
+    fn render_lists_all_configs() {
+        let _serial = crate::timing_test_guard();
+        let r = quick();
+        let txt = r.render();
+        assert!(txt.contains("Fig 10"));
+        for c in &r.configs {
+            assert!(txt.contains(&c.label()));
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Figure 8: raw NTB link transfer rate, independent vs ring-simultaneous.
+//!
+//! The paper's first experiment bypasses the OpenSHMEM layer entirely: it
+//! DMAs blocks of 1 KB – 512 KB through a single NTB connection
+//! ("independent", only that pair of hosts active) and then has **all**
+//! hosts transmit rightward at once ("ring"), plotting per-connection
+//! throughput (Fig. 8(a)–(c)) and the network total (Fig. 8(d)). The
+//! finding: per-link rate dips slightly under simultaneous transfer —
+//! both adapters of a host contend — while total network throughput grows
+//! with the number of active connections.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use ntb_net::{NetConfig, RingNetwork, RouteDirection};
+use ntb_sim::{Region, TimeModel, TransferMode};
+
+use crate::report::Series;
+use crate::sizes::size_label;
+use crate::stats::mb_per_sec;
+
+/// Parameters of the Fig. 8 run.
+#[derive(Debug, Clone)]
+pub struct Fig8Config {
+    /// Ring size (the paper's testbed: 3).
+    pub hosts: usize,
+    /// Request sizes to sweep.
+    pub sizes: Vec<u64>,
+    /// Transfers per measurement.
+    pub reps: usize,
+    /// Timing model (use [`TimeModel::paper`] for paper-scale numbers).
+    pub model: TimeModel,
+    /// Data path (the paper's Fig. 8 uses the DMA engine).
+    pub mode: TransferMode,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            hosts: 3,
+            sizes: crate::sizes::paper_sizes(),
+            reps: 8,
+            model: TimeModel::paper(),
+            mode: TransferMode::Dma,
+        }
+    }
+}
+
+/// Result of the Fig. 8 run.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// The swept sizes.
+    pub sizes: Vec<u64>,
+    /// Per-link throughput (MB/s), indexed `[link][size]`, link *i* being
+    /// host *i* → host *i+1*: the "independent" setup (one link active).
+    pub independent: Vec<Vec<f64>>,
+    /// Same links under simultaneous all-host transmission ("ring").
+    pub ring: Vec<Vec<f64>>,
+}
+
+impl Fig8Result {
+    /// Total network rate per size for the independent setup
+    /// (sum of individually-measured link rates, as the paper sums its
+    /// per-connection results in Fig. 8(d)).
+    pub fn total_independent(&self) -> Vec<f64> {
+        self.sum_links(&self.independent)
+    }
+
+    /// Total network rate per size under simultaneous transfer.
+    pub fn total_ring(&self) -> Vec<f64> {
+        self.sum_links(&self.ring)
+    }
+
+    fn sum_links(&self, per_link: &[Vec<f64>]) -> Vec<f64> {
+        (0..self.sizes.len())
+            .map(|i| per_link.iter().map(|link| link[i]).sum())
+            .collect()
+    }
+
+    /// X-axis labels.
+    pub fn labels(&self) -> Vec<String> {
+        self.sizes.iter().map(|&s| size_label(s)).collect()
+    }
+
+    /// Render the four panels as text tables.
+    pub fn render(&self) -> String {
+        let labels = self.labels();
+        let mut out = String::new();
+        for (i, (ind, ring)) in self.independent.iter().zip(&self.ring).enumerate() {
+            let j = (i + 1) % self.independent.len();
+            out.push_str(&crate::report::render_series_table(
+                &format!(
+                    "Fig 8({}) Data transfer rate host{i} -> host{j} (MB/s)",
+                    char::from(b'a' + i as u8)
+                ),
+                &labels,
+                &[Series::new("Independent", ind.clone()), Series::new("Ring", ring.clone())],
+            ));
+            out.push('\n');
+        }
+        out.push_str(&crate::report::render_series_table(
+            "Fig 8(d) Total data transfer rate of the network (MB/s)",
+            &labels,
+            &[
+                Series::new("Independent", self.total_independent()),
+                Series::new("Ring", self.total_ring()),
+            ],
+        ));
+        out
+    }
+}
+
+/// Measure one sender transmitting `reps` blocks of `size` rightward.
+/// Returns throughput in MB/s.
+fn measure_sender(
+    net: &RingNetwork,
+    host: usize,
+    size: u64,
+    reps: usize,
+    mode: TransferMode,
+    start: &Barrier,
+) -> f64 {
+    let node = net.node(host);
+    let src = Region::anonymous(size);
+    src.fill(0, size, 0x5A).expect("fill staging buffer");
+    // Unmeasured warm-up: first-touch faults and DMA-worker wake-up.
+    node.raw_send(RouteDirection::Right, &src, 0, 0, size, mode).expect("warm-up transfer");
+    start.wait();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        node.raw_send(RouteDirection::Right, &src, 0, 0, size, mode).expect("raw transfer");
+    }
+    mb_per_sec(size * reps as u64, t0.elapsed())
+}
+
+/// Run the full Fig. 8 sweep.
+pub fn run_fig8(cfg: &Fig8Config) -> Fig8Result {
+    assert!(cfg.hosts >= 2, "fig8 needs at least two hosts");
+    let net = RingNetwork::build(NetConfig::paper(cfg.hosts).with_model(cfg.model.clone()))
+        .expect("build ring");
+    let n_links = cfg.hosts;
+    let mut independent = vec![Vec::with_capacity(cfg.sizes.len()); n_links];
+    let mut ring = vec![Vec::with_capacity(cfg.sizes.len()); n_links];
+
+    for &size in &cfg.sizes {
+        // Independent: one active link at a time.
+        for (host, series) in independent.iter_mut().enumerate() {
+            let start = Barrier::new(1);
+            series.push(measure_sender(&net, host, size, cfg.reps, cfg.mode, &start));
+        }
+        // Ring: all hosts transmit rightward simultaneously.
+        let start = Arc::new(Barrier::new(cfg.hosts));
+        let rates: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.hosts)
+                .map(|host| {
+                    let net = &net;
+                    let start = Arc::clone(&start);
+                    let mode = cfg.mode;
+                    let reps = cfg.reps;
+                    s.spawn(move || measure_sender(net, host, size, reps, mode, &start))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sender thread")).collect()
+        });
+        for (host, rate) in rates.into_iter().enumerate() {
+            ring[host].push(rate);
+        }
+    }
+    net.shutdown();
+    Fig8Result { sizes: cfg.sizes.clone(), independent, ring }
+}
+
+/// The paper's scaling observation (§IV, Fig. 8 discussion): "overall
+/// network throughput increased in the ring network as the number of
+/// hosts that participated in the network increased". Sweep the ring
+/// size at a fixed request size and report the total simultaneous rate.
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// Ring sizes swept.
+    pub hosts: Vec<usize>,
+    /// Total network rate (MB/s) with all hosts transmitting.
+    pub total_ring: Vec<f64>,
+    /// Mean per-link rate (MB/s) in the same runs.
+    pub per_link: Vec<f64>,
+}
+
+impl ScalingResult {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let labels: Vec<String> = self.hosts.iter().map(|h| format!("{h} hosts")).collect();
+        crate::report::render_series_table(
+            "Ring scaling: total simultaneous transfer rate vs ring size (MB/s)",
+            &labels,
+            &[
+                Series::new("total", self.total_ring.clone()),
+                Series::new("per-link mean", self.per_link.clone()),
+            ],
+        )
+    }
+}
+
+/// Run the ring-size sweep at `size`-byte transfers.
+pub fn run_scaling(hosts: &[usize], size: u64, reps: usize, model: &TimeModel) -> ScalingResult {
+    let mut total_ring = Vec::with_capacity(hosts.len());
+    let mut per_link = Vec::with_capacity(hosts.len());
+    for &n in hosts {
+        let r = run_fig8(&Fig8Config {
+            hosts: n,
+            sizes: vec![size],
+            reps,
+            model: model.clone(),
+            mode: TransferMode::Dma,
+        });
+        let total: f64 = r.total_ring()[0];
+        total_ring.push(total);
+        per_link.push(total / n as f64);
+    }
+    ScalingResult { hosts: hosts.to_vec(), total_ring, per_link }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shape-checking run at full calibrated scale (raw link transfers
+    /// are microseconds; the whole sweep stays in the low milliseconds).
+    /// Smaller scales would push the modelled times below real thread
+    /// overheads and drown the shapes in noise.
+    fn quick() -> Fig8Result {
+        run_fig8(&Fig8Config {
+            hosts: 3,
+            sizes: vec![4 << 10, 64 << 10, 512 << 10],
+            reps: 8,
+            model: TimeModel::paper(),
+            mode: TransferMode::Dma,
+        })
+    }
+
+    #[test]
+    fn throughput_grows_with_size() {
+        let _serial = crate::timing_test_guard();
+        crate::assert_shape_with_retries(3, || {
+            let r = quick();
+            for link in &r.independent {
+                if link.last().unwrap() <= link.first().unwrap() {
+                    return Err(format!("large transfers amortize setup: {link:?}"));
+                }
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn ring_total_exceeds_single_link() {
+        let _serial = crate::timing_test_guard();
+        crate::assert_shape_with_retries(3, || {
+            let r = quick();
+            // Compare against the *best* single link so scheduler noise
+            // on any one measurement cannot flip the verdict.
+            let best_single = r
+                .independent
+                .iter()
+                .map(|l| l.last().copied().unwrap())
+                .fold(0.0f64, f64::max);
+            let total = *r.total_ring().last().unwrap();
+            if total <= 1.2 * best_single {
+                return Err(format!(
+                    "three simultaneous links beat one: total {total} vs best single {best_single}"
+                ));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn ring_per_link_at_most_independent() {
+        let _serial = crate::timing_test_guard();
+        crate::assert_shape_with_retries(3, || {
+            let r = quick();
+            // Allow 20% measurement noise, but on average the ring rate
+            // must not exceed the independent rate (host contention).
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let ind: f64 = r.independent.iter().map(|l| avg(l)).sum::<f64>() / 3.0;
+            let ring: f64 = r.ring.iter().map(|l| avg(l)).sum::<f64>() / 3.0;
+            if ring > ind * 1.2 {
+                return Err(format!("ring {ring} should not beat independent {ind}"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn total_rate_grows_with_ring_size() {
+        let _serial = crate::timing_test_guard();
+        // The paper's claim is made on its 3-host testbed; we assert the
+        // 2 -> 3 host growth. 512 KB transfers and long runs keep the
+        // modelled wire time dominant over the harness's real per-op CPU
+        // cost; past ~4 simultaneous senders a small (1-core) measurement
+        // machine becomes the bottleneck itself (see EXPERIMENTS.md), so
+        // wider sweeps belong on bigger hardware.
+        crate::assert_shape_with_retries(3, || {
+            let r = run_scaling(&[2, 3], 512 << 10, 40, &TimeModel::paper());
+            if r.total_ring[1] <= 1.1 * r.total_ring[0] {
+                return Err(format!("3 hosts must out-aggregate 2: {:?}", r.total_ring));
+            }
+            if !r.render().contains("3 hosts") {
+                return Err("render missing labels".into());
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn render_mentions_all_panels() {
+        let _serial = crate::timing_test_guard();
+        let r = quick();
+        let txt = r.render();
+        assert!(txt.contains("Fig 8(a)"));
+        assert!(txt.contains("Fig 8(d)"));
+        assert!(txt.contains("Independent"));
+        assert!(txt.contains("Ring"));
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's request-size axis: 1 KB to 512 KB in powers of two.
+
+/// The ten request sizes every figure sweeps.
+pub fn paper_sizes() -> Vec<u64> {
+    (0..10).map(|i| 1024u64 << i).collect()
+}
+
+/// A short subset for quick (CI) runs.
+pub fn quick_sizes() -> Vec<u64> {
+    vec![1 << 10, 16 << 10, 128 << 10, 512 << 10]
+}
+
+/// Human label matching the paper's axes ("1KB" ... "512KB").
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_axis_is_1k_to_512k() {
+        let s = paper_sizes();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 1024);
+        assert_eq!(*s.last().unwrap(), 512 * 1024);
+        assert!(s.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(size_label(1024), "1KB");
+        assert_eq!(size_label(512 * 1024), "512KB");
+        assert_eq!(size_label(1 << 20), "1MB");
+        assert_eq!(size_label(100), "100B");
+    }
+
+    #[test]
+    fn quick_is_subset_of_paper() {
+        let p = paper_sizes();
+        assert!(quick_sizes().iter().all(|s| p.contains(s)));
+    }
+}

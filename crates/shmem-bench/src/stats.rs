@@ -1,0 +1,95 @@
+//! Measurement summaries.
+
+use std::time::Duration;
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean in microseconds.
+    pub mean_us: f64,
+    /// Median in microseconds.
+    pub median_us: f64,
+    /// Minimum in microseconds.
+    pub min_us: f64,
+    /// Maximum in microseconds.
+    pub max_us: f64,
+    /// 95th percentile in microseconds.
+    pub p95_us: f64,
+}
+
+impl Summary {
+    /// Summarize a sample set; panics on an empty input.
+    pub fn from_samples(samples: &[Duration]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        us.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let n = us.len();
+        let mean = us.iter().sum::<f64>() / n as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            us[idx]
+        };
+        Summary {
+            n,
+            mean_us: mean,
+            median_us: pct(0.5),
+            min_us: us[0],
+            max_us: us[n - 1],
+            p95_us: pct(0.95),
+        }
+    }
+}
+
+/// Throughput in the paper's unit (MB/s, decimal) for `bytes` moved in
+/// `elapsed`.
+pub fn mb_per_sec(bytes: u64, elapsed: Duration) -> f64 {
+    if elapsed.is_zero() {
+        return f64::INFINITY;
+    }
+    bytes as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Duration {
+        Duration::from_micros(v)
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_samples(&[us(10), us(20), us(30), us(40), us(100)]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean_us - 40.0).abs() < 1e-9);
+        assert!((s.median_us - 30.0).abs() < 1e-9);
+        assert!((s.min_us - 10.0).abs() < 1e-9);
+        assert!((s.max_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[us(7)]);
+        assert_eq!(s.n, 1);
+        assert!((s.median_us - 7.0).abs() < 1e-9);
+        assert!((s.p95_us - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn throughput_math() {
+        // 1 MB in 1 second = 1 MB/s.
+        assert!((mb_per_sec(1_000_000, Duration::from_secs(1)) - 1.0).abs() < 1e-9);
+        // 512 KiB in 1 ms ≈ 524 MB/s.
+        let t = mb_per_sec(512 << 10, Duration::from_millis(1));
+        assert!((t - 524.288).abs() < 1e-6);
+        assert!(mb_per_sec(1, Duration::ZERO).is_infinite());
+    }
+}

@@ -1,0 +1,167 @@
+//! Remote atomic memory operations (`shmem_TYPE_atomic_*`).
+//!
+//! §II-B lists remote atomics among the features a SHMEM library must
+//! support. Each operation is shipped as an `AmoReq` frame to the target
+//! host and executed inside its service thread, serialized with every
+//! other atomic at that host by the heap's AMO lock — which is exactly the
+//! OpenSHMEM atomicity domain (atomic with respect to other AMOs on the
+//! same datum, not to plain puts).
+
+use ntb_net::AmoOp;
+
+use crate::ctx::ShmemCtx;
+use crate::error::Result;
+use crate::symmetric::TypedSym;
+use crate::types::ShmemAtomicInt;
+
+impl ShmemCtx {
+    fn amo<T: ShmemAtomicInt>(
+        &self,
+        op: AmoOp,
+        sym: &TypedSym<T>,
+        index: usize,
+        operand: T,
+        compare: T,
+        pe: usize,
+    ) -> Result<T> {
+        self.check_pe(pe)?;
+        let off = sym.elem_offset(index, 1)?;
+        let old = if pe == self.my_pe() {
+            self.heap.local_atomic(op, off, T::WIDTH, operand.to_bits64(), compare.to_bits64())?
+        } else {
+            self.node.amo(pe, op, off, T::WIDTH, operand.to_bits64(), compare.to_bits64())?
+        };
+        Ok(T::from_bits64(old))
+    }
+
+    /// `shmem_TYPE_atomic_fetch_add`: add `value` at PE `pe`, return the
+    /// old value.
+    ///
+    /// ```
+    /// use shmem_core::{ShmemConfig, ShmemWorld};
+    /// ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(3), |ctx| {
+    ///     let counter = ctx.calloc_array::<u64>(1).unwrap();
+    ///     // Every PE increments the counter hosted at PE 0.
+    ///     let old = ctx.atomic_fetch_add(&counter, 0, 1u64, 0).unwrap();
+    ///     assert!(old < 3);
+    ///     ctx.barrier_all().unwrap();
+    ///     if ctx.my_pe() == 0 {
+    ///         assert_eq!(ctx.read_local::<u64>(&counter, 0).unwrap(), 3);
+    ///     }
+    /// })
+    /// .unwrap();
+    /// ```
+    pub fn atomic_fetch_add<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+    ) -> Result<T> {
+        self.amo(AmoOp::FetchAdd, sym, index, value, T::from_bits64(0), pe)
+    }
+
+    /// `shmem_TYPE_atomic_add`: add without fetching.
+    pub fn atomic_add<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+    ) -> Result<()> {
+        self.atomic_fetch_add(sym, index, value, pe).map(|_| ())
+    }
+
+    /// `shmem_TYPE_atomic_inc` (+1 without fetching).
+    pub fn atomic_inc<T: ShmemAtomicInt>(&self, sym: &TypedSym<T>, index: usize, pe: usize) -> Result<()> {
+        self.atomic_add(sym, index, T::from_bits64(1), pe)
+    }
+
+    /// `shmem_TYPE_atomic_fetch_inc`.
+    pub fn atomic_fetch_inc<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        pe: usize,
+    ) -> Result<T> {
+        self.atomic_fetch_add(sym, index, T::from_bits64(1), pe)
+    }
+
+    /// `shmem_TYPE_atomic_swap`: store `value`, return the old value.
+    pub fn atomic_swap<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+    ) -> Result<T> {
+        self.amo(AmoOp::Swap, sym, index, value, T::from_bits64(0), pe)
+    }
+
+    /// `shmem_TYPE_atomic_compare_swap`: store `value` iff the current
+    /// value equals `compare`; returns the old value either way.
+    pub fn atomic_compare_swap<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        compare: T,
+        value: T,
+        pe: usize,
+    ) -> Result<T> {
+        self.amo(AmoOp::CompareSwap, sym, index, value, compare, pe)
+    }
+
+    /// `shmem_TYPE_atomic_fetch`: atomic read.
+    pub fn atomic_fetch<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        pe: usize,
+    ) -> Result<T> {
+        self.amo(AmoOp::Fetch, sym, index, T::from_bits64(0), T::from_bits64(0), pe)
+    }
+
+    /// `shmem_TYPE_atomic_set`: atomic write.
+    pub fn atomic_set<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+    ) -> Result<()> {
+        self.amo(AmoOp::Set, sym, index, value, T::from_bits64(0), pe).map(|_| ())
+    }
+
+    /// `shmem_TYPE_atomic_fetch_and`.
+    pub fn atomic_fetch_and<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+    ) -> Result<T> {
+        self.amo(AmoOp::FetchAnd, sym, index, value, T::from_bits64(0), pe)
+    }
+
+    /// `shmem_TYPE_atomic_fetch_or`.
+    pub fn atomic_fetch_or<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+    ) -> Result<T> {
+        self.amo(AmoOp::FetchOr, sym, index, value, T::from_bits64(0), pe)
+    }
+
+    /// `shmem_TYPE_atomic_fetch_xor`.
+    pub fn atomic_fetch_xor<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+    ) -> Result<T> {
+        self.amo(AmoOp::FetchXor, sym, index, value, T::from_bits64(0), pe)
+    }
+}

@@ -1,0 +1,130 @@
+//! `shmem_barrier_all`: the two-round ring sweep of paper Fig. 6.
+//!
+//! The centralized-counter barrier needs shared memory every host can
+//! reach, which the switchless ring does not have; the paper instead
+//! circulates two doorbell sweeps:
+//!
+//! 1. **start sweep** — host 0 rings `BARRIER_START` on host 1; every
+//!    other host waits for start from its left, then rings start on its
+//!    right. The sweep returning to host 0 proves every host reached the
+//!    barrier.
+//! 2. **end sweep** — host 0 rings `BARRIER_END` rightward and releases;
+//!    each host releases when end arrives from its left and passes it on.
+//!    Host 0 finally consumes the end signal returning from host N-1,
+//!    leaving the doorbell registers clean for the next barrier.
+//!
+//! Before signalling, each PE drains its outstanding puts (`quiet`) — the
+//! paper's "first checked if previous DMA data transfer for Put or Get has
+//! been completed" — which is what gives the barrier its memory-ordering
+//! semantics.
+
+use std::time::{Duration, Instant};
+
+use ntb_net::RouteDirection;
+
+use crate::config::BarrierAlgorithm;
+use crate::ctx::ShmemCtx;
+use crate::error::{Result, ShmemError};
+use crate::sync::CmpOp;
+
+impl ShmemCtx {
+    /// Synchronize all PEs and complete all outstanding memory updates
+    /// (`shmem_barrier_all`).
+    pub fn barrier_all(&self) -> Result<()> {
+        self.barrier_all_with_timeout(self.cfg.barrier_timeout)
+    }
+
+    /// `barrier_all` with an explicit timeout.
+    pub fn barrier_all_with_timeout(&self, timeout: Duration) -> Result<()> {
+        match self.cfg.barrier_algorithm {
+            BarrierAlgorithm::RingSweep => self.barrier_ring_sweep(timeout),
+            BarrierAlgorithm::Dissemination => self.barrier_dissemination(timeout),
+        }
+    }
+
+    /// The paper's Fig. 6 algorithm: start sweep + end sweep of doorbells
+    /// around the ring.
+    pub fn barrier_ring_sweep(&self, timeout: Duration) -> Result<()> {
+        // Complete this PE's outstanding communication first.
+        self.quiet();
+        if self.num_pes() == 1 {
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        let remaining = |deadline: Instant| -> Result<Duration> {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ShmemError::BarrierTimeout);
+            }
+            Ok(deadline - now)
+        };
+
+        if self.my_pe() == 0 {
+            // Initiate the start sweep.
+            self.node.send_barrier(RouteDirection::Right, true)?;
+            // Wait for it to come around the ring.
+            if !self.node.wait_barrier(RouteDirection::Left, true, remaining(deadline)?)? {
+                return Err(ShmemError::BarrierTimeout);
+            }
+            // Initiate the end sweep.
+            self.node.send_barrier(RouteDirection::Right, false)?;
+            // Consume the end signal returning from host N-1 so the
+            // doorbell register is clean for the next barrier.
+            if !self.node.wait_barrier(RouteDirection::Left, false, remaining(deadline)?)? {
+                return Err(ShmemError::BarrierTimeout);
+            }
+        } else {
+            // Wait for start from the left, pass it right.
+            if !self.node.wait_barrier(RouteDirection::Left, true, remaining(deadline)?)? {
+                return Err(ShmemError::BarrierTimeout);
+            }
+            self.node.send_barrier(RouteDirection::Right, true)?;
+            // Wait for end from the left, pass it right, release.
+            if !self.node.wait_barrier(RouteDirection::Left, false, remaining(deadline)?)? {
+                return Err(ShmemError::BarrierTimeout);
+            }
+            self.node.send_barrier(RouteDirection::Right, false)?;
+        }
+        Ok(())
+    }
+
+    /// The "future work" algorithm: a ⌈log₂N⌉-round dissemination barrier
+    /// (Mellor-Crummey & Scott, reference \[20\] in the paper's references). In round
+    /// *k* every PE puts the current barrier epoch into the round-*k* flag
+    /// of PE `(me + 2^k) mod N` and waits for its own round-*k* flag to
+    /// reach the epoch. Signals are ordinary small puts, so they traverse
+    /// the ring like any payload — no doorbell vectors are consumed and
+    /// the hop count per round stays ≤ N/2.
+    pub fn barrier_dissemination(&self, timeout: Duration) -> Result<()> {
+        self.quiet();
+        let n = self.num_pes();
+        if n == 1 {
+            return Ok(());
+        }
+        let epoch = self.barrier_epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+        let deadline = Instant::now() + timeout;
+        let mut round = 0usize;
+        let mut dist = 1usize;
+        while dist < n {
+            let peer = (self.my_pe() + dist) % n;
+            self.put(&self.barrier_flags, round, epoch, peer)?;
+            // Wait for our own round flag. Epochs are monotonic, so `>=`
+            // tolerates a fast peer that already signalled a later epoch
+            // of this round (impossible here, but cheap insurance).
+            loop {
+                let seen = self.heap.version();
+                let v = self.read_local(&self.barrier_flags, round)?;
+                if CmpOp::Ge.eval(&v, &epoch) {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return Err(ShmemError::BarrierTimeout);
+                }
+                self.heap.wait_change(seen, Duration::from_millis(20));
+            }
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,328 @@
+//! Collective operations: broadcast, reductions, collect, all-to-all.
+//!
+//! §II-B lists broadcasts and reductions among the essential SHMEM
+//! features. On the switchless ring they are built from the primitives
+//! the paper implements — put, get and the ring barrier — in the
+//! simplest correct shape: data moves with puts, and the barrier provides
+//! the entry/exit synchronization the OpenSHMEM collectives specify over
+//! their active set (here always the full world, as in the paper).
+
+use crate::ctx::ShmemCtx;
+use crate::error::{Result, ShmemError};
+use crate::symmetric::TypedSym;
+use crate::types::ShmemScalar;
+
+/// Reduction operators (`shmem_TYPE_{sum,prod,min,max}_reduce`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum.
+    Sum,
+    /// Product.
+    Prod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Scalars that support the arithmetic reductions.
+pub trait ShmemReduce: ShmemScalar {
+    /// Combine two values under `op`.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+
+    /// The identity element of `op`.
+    fn identity(op: ReduceOp) -> Self;
+}
+
+macro_rules! impl_reduce_int {
+    ($($t:ty),*) => {$(
+        impl ShmemReduce for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                }
+            }
+
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => 0,
+                    ReduceOp::Prod => 1,
+                    ReduceOp::Min => <$t>::MAX,
+                    ReduceOp::Max => <$t>::MIN,
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_reduce_float {
+    ($($t:ty),*) => {$(
+        impl ShmemReduce for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                }
+            }
+
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => 0.0,
+                    ReduceOp::Prod => 1.0,
+                    ReduceOp::Min => <$t>::INFINITY,
+                    ReduceOp::Max => <$t>::NEG_INFINITY,
+                }
+            }
+        }
+    )*};
+}
+
+impl_reduce_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+impl_reduce_float!(f32, f64);
+
+impl ShmemCtx {
+    /// `shmem_broadcast`: replicate `count` elements starting at `index`
+    /// of `root`'s copy of `sym` into every other PE's copy. Collective.
+    pub fn broadcast<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        count: usize,
+        root: usize,
+    ) -> Result<()> {
+        self.check_pe(root)?;
+        // Entry barrier: everyone's buffers are ready to be overwritten.
+        self.barrier_all()?;
+        if self.my_pe() == root {
+            let data = self.read_local_slice(sym, index, count)?;
+            for pe in 0..self.num_pes() {
+                if pe != root {
+                    self.put_slice(sym, index, &data, pe)?;
+                }
+            }
+        }
+        // Exit barrier: broadcast data visible everywhere.
+        self.barrier_all()
+    }
+
+    /// `shmem_fcollect`: concatenate each PE's `src` block into every
+    /// PE's copy of `dest` at slot `my_pe`. `dest.count()` must equal
+    /// `num_pes * src.len()`. Collective.
+    pub fn fcollect<T: ShmemScalar>(&self, dest: &TypedSym<T>, src: &[T]) -> Result<()> {
+        let n = self.num_pes();
+        if dest.count() != n * src.len() {
+            return Err(ShmemError::Runtime("fcollect: dest.count() != num_pes * src.len()"));
+        }
+        self.barrier_all()?;
+        let slot = self.my_pe() * src.len();
+        self.write_local_slice(dest, slot, src)?;
+        for pe in 0..n {
+            if pe != self.my_pe() {
+                self.put_slice(dest, slot, src, pe)?;
+            }
+        }
+        self.barrier_all()
+    }
+
+    /// `shmem_alltoall`: PE *i*'s block *j* of `src` lands in PE *j*'s
+    /// `dest` at slot *i*. Both arrays hold `num_pes * block` elements.
+    /// Collective.
+    pub fn alltoall<T: ShmemScalar>(
+        &self,
+        dest: &TypedSym<T>,
+        src: &[T],
+        block: usize,
+    ) -> Result<()> {
+        let n = self.num_pes();
+        if src.len() != n * block || dest.count() != n * block {
+            return Err(ShmemError::Runtime("alltoall: arrays must hold num_pes * block elements"));
+        }
+        self.barrier_all()?;
+        let me = self.my_pe();
+        for pe in 0..n {
+            let chunk = &src[pe * block..(pe + 1) * block];
+            if pe == me {
+                self.write_local_slice(dest, me * block, chunk)?;
+            } else {
+                self.put_slice(dest, me * block, chunk, pe)?;
+            }
+        }
+        self.barrier_all()
+    }
+
+    /// All-reduce `src` element-wise under `op`; every PE gets the full
+    /// result.
+    ///
+    /// ```
+    /// use shmem_core::{ReduceOp, ShmemConfig, ShmemWorld};
+    /// let sums = ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(4), |ctx| {
+    ///     ctx.allreduce(ReduceOp::Sum, &[ctx.my_pe() as u64, 1]).unwrap()
+    /// })
+    /// .unwrap();
+    /// assert!(sums.iter().all(|v| v == &[6, 4]));
+    /// ```
+    ///
+    /// Implemented as an fcollect into internal symmetric scratch
+    /// followed by a local combine (the gather-then-reduce shape the
+    /// paper's primitives support directly). Collective.
+    pub fn allreduce<T: ShmemReduce>(&self, op: ReduceOp, src: &[T]) -> Result<Vec<T>> {
+        let n = self.num_pes();
+        // Collective allocation is safe: all PEs execute the same call.
+        let scratch: TypedSym<T> = self.malloc_array(n * src.len())?;
+        let result = (|| {
+            self.fcollect(&scratch, src)?;
+            let all = self.read_local_slice(&scratch, 0, n * src.len())?;
+            let mut out = vec![T::identity(op); src.len()];
+            for pe in 0..n {
+                for (i, item) in out.iter_mut().enumerate() {
+                    *item = T::combine(op, *item, all[pe * src.len() + i]);
+                }
+            }
+            Ok(out)
+        })();
+        self.free_array(scratch)?;
+        result
+    }
+
+    /// Ring-pipelined broadcast: the natural broadcast for the switchless
+    /// topology. Instead of the root issuing N-1 puts (all of which leave
+    /// through the root's two adapters), the payload travels **once**
+    /// around the ring: the root puts to its right neighbour with a
+    /// signal; each PE waits for the signal, forwards to *its* right
+    /// neighbour, and is done. Per-PE link work is constant, so large
+    /// broadcasts scale with the ring instead of bottlenecking the root.
+    /// Collective (allocates an internal signal word).
+    pub fn broadcast_ring<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        count: usize,
+        root: usize,
+    ) -> Result<()> {
+        use crate::signal::SignalOp;
+        use crate::sync::CmpOp;
+        self.check_pe(root)?;
+        let n = self.num_pes();
+        let sig: TypedSym<u64> = self.calloc_array(1)?; // collective + entry sync
+        let result = (|| {
+            if n == 1 {
+                return Ok(());
+            }
+            let me = self.my_pe();
+            let right = (me + 1) % n;
+            // Rank positions along the pipeline, starting at the root.
+            let rank = (me + n - root) % n;
+            if rank == 0 {
+                let data = self.read_local_slice(sym, index, count)?;
+                self.put_with_signal(sym, index, &data, &sig, 0, 1u64, SignalOp::Set, right)?;
+            } else {
+                self.signal_wait_until(&sig, 0, CmpOp::Eq, 1u64)?;
+                if rank + 1 < n {
+                    // Forward the (now local) payload down the pipeline.
+                    let data = self.read_local_slice(sym, index, count)?;
+                    self.put_with_signal(sym, index, &data, &sig, 0, 1u64, SignalOp::Set, right)?;
+                }
+            }
+            Ok(())
+        })();
+        // Exit sync doubles as the signal-word teardown barrier.
+        self.free_array(sig)?;
+        result
+    }
+
+    /// `shmem_collect`: concatenate *variable-length* per-PE
+    /// contributions in PE order into every PE's copy of `dest`.
+    /// `dest.count()` must be at least the global total. Returns the
+    /// total number of collected elements. Collective (exchanges sizes
+    /// through an internal symmetric array first).
+    pub fn collect<T: ShmemScalar>(&self, dest: &TypedSym<T>, src: &[T]) -> Result<usize> {
+        let n = self.num_pes();
+        // Phase 1: everyone learns everyone's contribution size.
+        let sizes: TypedSym<u64> = self.calloc_array(n)?;
+        let result = (|| {
+            self.fcollect(&sizes, &[src.len() as u64])?;
+            let all_sizes = self.read_local_slice::<u64>(&sizes, 0, n)?;
+            let total: u64 = all_sizes.iter().sum();
+            if total as usize > dest.count() {
+                return Err(ShmemError::Runtime("collect: dest too small for the global total"));
+            }
+            let my_off: u64 = all_sizes[..self.my_pe()].iter().sum();
+            // Phase 2: everyone places its block at its prefix offset on
+            // every PE.
+            self.write_local_slice(dest, my_off as usize, src)?;
+            for pe in 0..n {
+                if pe != self.my_pe() {
+                    self.put_slice(dest, my_off as usize, src, pe)?;
+                }
+            }
+            self.barrier_all()?;
+            Ok(total as usize)
+        })();
+        self.free_array(sizes)?;
+        result
+    }
+
+    /// Reduce to `root` only (other PEs get `None`). Collective.
+    pub fn reduce_to_root<T: ShmemReduce>(
+        &self,
+        op: ReduceOp,
+        src: &[T],
+        root: usize,
+    ) -> Result<Option<Vec<T>>> {
+        self.check_pe(root)?;
+        let full = self.allreduce(op, src)?;
+        Ok((self.my_pe() == root).then_some(full))
+    }
+
+    /// Convenience: broadcast one value from `root` to every PE and
+    /// return it. Collective (allocates internal scratch).
+    pub fn broadcast_value<T: ShmemScalar>(&self, value: T, root: usize) -> Result<T> {
+        let scratch: TypedSym<T> = self.malloc_array(1)?;
+        let result = (|| {
+            if self.my_pe() == root {
+                self.write_local(&scratch, 0, value)?;
+            }
+            self.broadcast(&scratch, 0, 1, root)?;
+            self.read_local(&scratch, 0)
+        })();
+        self.free_array(scratch)?;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_combine() {
+        assert_eq!(i32::combine(ReduceOp::Sum, 3, 4), 7);
+        assert_eq!(i32::combine(ReduceOp::Prod, 3, 4), 12);
+        assert_eq!(i32::combine(ReduceOp::Min, 3, 4), 3);
+        assert_eq!(i32::combine(ReduceOp::Max, 3, 4), 4);
+        assert_eq!(u8::combine(ReduceOp::Sum, 255, 1), 0, "wrapping");
+    }
+
+    #[test]
+    fn float_combine() {
+        assert_eq!(f64::combine(ReduceOp::Sum, 1.5, 2.5), 4.0);
+        assert_eq!(f64::combine(ReduceOp::Min, -1.0, 2.0), -1.0);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max] {
+            for v in [-5i64, 0, 42] {
+                assert_eq!(i64::combine(op, i64::identity(op), v), v, "{op:?} identity on {v}");
+            }
+            for v in [-1.5f64, 0.0, 3.25] {
+                assert_eq!(f64::combine(op, f64::identity(op), v), v, "{op:?} identity on {v}");
+            }
+        }
+    }
+}

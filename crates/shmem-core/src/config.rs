@@ -1,0 +1,164 @@
+//! OpenSHMEM runtime configuration.
+
+use std::time::Duration;
+
+use ntb_net::NetConfig;
+use ntb_sim::{TimeModel, TransferMode};
+
+/// Which algorithm `shmem_barrier_all` runs.
+///
+/// The paper implements the two-round ring doorbell sweep (Fig. 6) and
+/// notes that "the reduction of the latency overhead should be done in
+/// future work"; [`BarrierAlgorithm::Dissemination`] is that future work:
+/// the classic ⌈log₂N⌉-round dissemination barrier (Mellor-Crummey &
+/// Scott), with the round signals carried as small puts through the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierAlgorithm {
+    /// The paper's algorithm: a barrier-start sweep around the ring
+    /// followed by a barrier-end sweep (2N doorbell hops).
+    RingSweep,
+    /// ⌈log₂N⌉ rounds of put-flag signalling to PE `(me + 2^k) mod N`.
+    Dissemination,
+}
+
+/// Configuration of a [`ShmemWorld`](crate::runtime::ShmemWorld).
+#[derive(Debug, Clone)]
+pub struct ShmemConfig {
+    /// Interconnect configuration (hosts, windows, timing model).
+    pub net: NetConfig,
+    /// Symmetric heap chunk size (the fixed on-demand allocation unit of
+    /// paper Fig. 3; power of two).
+    pub heap_chunk: u64,
+    /// Data path used by puts/gets unless a call overrides it
+    /// (the paper's DMA-vs-memcpy axis in Fig. 9).
+    pub default_mode: TransferMode,
+    /// `shmem_barrier_all` gives up after this long (a peer died).
+    pub barrier_timeout: Duration,
+    /// `shmem_wait_until` gives up after this long.
+    pub wait_timeout: Duration,
+    /// Barrier algorithm (default: the paper's ring sweep).
+    pub barrier_algorithm: BarrierAlgorithm,
+}
+
+impl ShmemConfig {
+    /// Paper-scale timing (latencies comparable to the PEX testbed).
+    pub fn paper() -> Self {
+        ShmemConfig {
+            net: NetConfig::paper(3),
+            heap_chunk: 1 << 20,
+            default_mode: TransferMode::Dma,
+            barrier_timeout: Duration::from_secs(60),
+            wait_timeout: Duration::from_secs(60),
+            barrier_algorithm: BarrierAlgorithm::RingSweep,
+        }
+    }
+
+    /// Fast functional simulation (no injected delays): the configuration
+    /// tests and examples use.
+    pub fn fast_sim() -> Self {
+        ShmemConfig {
+            net: NetConfig::fast(3),
+            // Generous: `cargo test` oversubscribes small machines with
+            // several concurrent worlds, and a timeout here aborts the
+            // whole run rather than just slowing it.
+            barrier_timeout: Duration::from_secs(60),
+            wait_timeout: Duration::from_secs(60),
+            ..Self::paper()
+        }
+    }
+
+    /// Set the number of PEs (one per host in the switchless ring).
+    pub fn with_hosts(mut self, hosts: usize) -> Self {
+        self.net.hosts = hosts;
+        self
+    }
+
+    /// Set the default transfer mode.
+    pub fn with_mode(mut self, mode: TransferMode) -> Self {
+        self.default_mode = mode;
+        self
+    }
+
+    /// Replace the timing model.
+    pub fn with_model(mut self, model: TimeModel) -> Self {
+        self.net.model = model;
+        self
+    }
+
+    /// Scale all injected delays (1.0 = paper scale, 0.0 = none).
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        self.net.model = TimeModel::scaled(scale);
+        self
+    }
+
+    /// Set the symmetric heap chunk size.
+    pub fn with_heap_chunk(mut self, chunk: u64) -> Self {
+        self.heap_chunk = chunk;
+        self
+    }
+
+    /// Select the barrier algorithm.
+    pub fn with_barrier_algorithm(mut self, alg: BarrierAlgorithm) -> Self {
+        self.barrier_algorithm = alg;
+        self
+    }
+
+    /// Select the interconnect topology (the paper's switchless ring, or
+    /// the switch-emulating full mesh baseline).
+    pub fn with_topology(mut self, topology: ntb_net::Topology) -> Self {
+        self.net.topology = topology;
+        self
+    }
+
+    /// Number of PEs.
+    pub fn hosts(&self) -> usize {
+        self.net.hosts
+    }
+
+    /// Validate invariants (delegates to the net config and checks the
+    /// heap chunk).
+    pub fn validate(&self) {
+        self.net.validate();
+        assert!(
+            self.heap_chunk.is_power_of_two() && self.heap_chunk >= 4096,
+            "heap chunk must be a power of two >= 4096"
+        );
+    }
+}
+
+impl Default for ShmemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        ShmemConfig::paper().validate();
+        ShmemConfig::fast_sim().validate();
+        ShmemConfig::fast_sim().with_hosts(6).with_mode(TransferMode::Memcpy).validate();
+    }
+
+    #[test]
+    fn fast_sim_disables_delays() {
+        assert!(!ShmemConfig::fast_sim().net.model.enabled());
+        assert!(ShmemConfig::paper().net.model.enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "heap chunk")]
+    fn bad_heap_chunk_rejected() {
+        ShmemConfig::fast_sim().with_heap_chunk(1000).validate();
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = ShmemConfig::fast_sim().with_hosts(5).with_heap_chunk(8192);
+        assert_eq!(c.hosts(), 5);
+        assert_eq!(c.heap_chunk, 8192);
+    }
+}

@@ -1,0 +1,453 @@
+//! The per-PE OpenSHMEM context: Table I's API surface.
+//!
+//! | OpenSHMEM routine (Table I)  | `ShmemCtx` equivalent |
+//! |------------------------------|------------------------|
+//! | `shmem_init()`               | [`ShmemWorld::run`](crate::runtime::ShmemWorld::run) performs the NTB setup, id exchange and service-thread creation before the PE closure runs |
+//! | `my_pe()`                    | [`ShmemCtx::my_pe`] |
+//! | `num_pes()`                  | [`ShmemCtx::num_pes`] |
+//! | `shmem_malloc(size)`         | [`ShmemCtx::malloc`] / [`ShmemCtx::malloc_array`] |
+//! | `shmem_TYPE_put(...)`        | [`ShmemCtx::put_slice`] / [`ShmemCtx::put`] (generic over the type) |
+//! | `shmem_TYPE_get(...)`        | [`ShmemCtx::get_slice`] / [`ShmemCtx::get`] |
+//! | `shmem_barrier_all()`        | [`ShmemCtx::barrier_all`](crate::barrier) |
+//! | `shmem_finalize()`           | automatic at the end of `ShmemWorld::run` |
+//!
+//! Beyond Table I, the essential-features list of §II-B (atomics,
+//! broadcast, reductions, distributed locking, synchronization) is covered
+//! by the `atomics`, `collectives`, `lock` and `sync` modules, all as
+//! methods on this same context.
+
+use std::sync::Arc;
+
+use ntb_net::NtbNode;
+use ntb_sim::TransferMode;
+
+use crate::config::ShmemConfig;
+use crate::error::{Result, ShmemError};
+use crate::heap::SymmetricHeap;
+use crate::symmetric::{SymAddr, TypedSym};
+use crate::types::ShmemScalar;
+
+/// One PE's handle to the OpenSHMEM world. Created by
+/// [`ShmemWorld::run`](crate::runtime::ShmemWorld::run); every routine of
+/// the model hangs off it.
+pub struct ShmemCtx {
+    pub(crate) node: Arc<NtbNode>,
+    pub(crate) heap: Arc<SymmetricHeap>,
+    pub(crate) cfg: ShmemConfig,
+    /// Round flags of the dissemination barrier (one epoch word per
+    /// round; allocated identically on every PE during init).
+    pub(crate) barrier_flags: TypedSym<u64>,
+    /// Monotonic epoch of the dissemination barrier.
+    pub(crate) barrier_epoch: std::sync::atomic::AtomicU64,
+}
+
+/// Rounds reserved for the dissemination barrier (supports up to 2^64
+/// PEs; the frame format caps the world at 64 anyway).
+const BARRIER_ROUNDS: usize = 8;
+
+impl ShmemCtx {
+    pub(crate) fn new(node: Arc<NtbNode>, cfg: ShmemConfig) -> ShmemCtx {
+        let heap = SymmetricHeap::new(Arc::clone(node.memory()), cfg.heap_chunk);
+        node.set_delivery(Arc::clone(&heap) as Arc<dyn ntb_net::DeliveryTarget>);
+        // Pre-user symmetric allocation: every PE performs it identically
+        // during init, so offsets match without a barrier (no peer is
+        // running user code yet).
+        let flags_addr = heap
+            .malloc((BARRIER_ROUNDS * <u64 as ShmemScalar>::WIDTH) as u64)
+            .expect("dissemination barrier flags");
+        heap.fill_flat(flags_addr.offset(), flags_addr.len(), 0).expect("zero barrier flags");
+        let barrier_flags = TypedSym::new(flags_addr, BARRIER_ROUNDS).expect("typed flags");
+        ShmemCtx {
+            node,
+            heap,
+            cfg,
+            barrier_flags,
+            barrier_epoch: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn finalize(&self) {
+        self.node.clear_delivery();
+    }
+
+    /// This PE's integer identity (`my_pe()`).
+    pub fn my_pe(&self) -> usize {
+        self.node.host_id()
+    }
+
+    /// Number of PEs executing the application (`num_pes()`).
+    pub fn num_pes(&self) -> usize {
+        self.node.num_hosts()
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &ShmemConfig {
+        &self.cfg
+    }
+
+    /// The default data path for puts/gets.
+    pub fn default_mode(&self) -> TransferMode {
+        self.cfg.default_mode
+    }
+
+    /// The underlying interconnect node (stats, raw transfers — used by
+    /// the benchmark harness).
+    pub fn node(&self) -> &Arc<NtbNode> {
+        &self.node
+    }
+
+    /// This PE's symmetric heap (introspection and tests).
+    pub fn heap(&self) -> &Arc<SymmetricHeap> {
+        &self.heap
+    }
+
+    pub(crate) fn check_pe(&self, pe: usize) -> Result<()> {
+        if pe >= self.num_pes() {
+            return Err(ShmemError::BadPe { pe, num_pes: self.num_pes() });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Symmetric allocation (shmem_malloc / shmem_free)
+    // ------------------------------------------------------------------
+
+    /// Allocate `size` bytes of symmetric memory (`shmem_malloc`).
+    ///
+    /// Collective: every PE must call it with the same size in the same
+    /// order; it barriers on exit as the OpenSHMEM spec requires, which
+    /// also guarantees the allocation exists everywhere before any PE
+    /// touches it remotely.
+    pub fn malloc(&self, size: u64) -> Result<SymAddr> {
+        let addr = self.heap.malloc(size)?;
+        self.barrier_all()?;
+        Ok(addr)
+    }
+
+    /// Allocate a symmetric array of `count` elements of `T`
+    /// (`shmem_malloc` + typing).
+    ///
+    /// Like `shmem_malloc`, the memory is **not** zeroed when it recycles
+    /// previously freed heap space — use [`calloc_array`](Self::calloc_array)
+    /// for guaranteed-zero contents.
+    pub fn malloc_array<T: ShmemScalar>(&self, count: usize) -> Result<TypedSym<T>> {
+        let addr = self.malloc((count * T::WIDTH) as u64)?;
+        TypedSym::new(addr, count)
+    }
+
+    /// Allocate symmetric memory whose offset is a multiple of `align`
+    /// (`shmem_align`). Collective.
+    pub fn malloc_aligned(&self, size: u64, align: u64) -> Result<SymAddr> {
+        let addr = self.heap.malloc_aligned(size, align)?;
+        self.barrier_all()?;
+        Ok(addr)
+    }
+
+    /// Allocate zero-initialized symmetric memory (`shmem_calloc`).
+    /// Collective; on return every PE's copy is zeroed.
+    pub fn calloc(&self, size: u64) -> Result<SymAddr> {
+        let addr = self.heap.malloc(size)?;
+        self.heap.fill_flat(addr.offset(), addr.len(), 0)?;
+        self.barrier_all()?;
+        Ok(addr)
+    }
+
+    /// Allocate a zero-initialized symmetric array (`shmem_calloc` +
+    /// typing). Collective.
+    pub fn calloc_array<T: ShmemScalar>(&self, count: usize) -> Result<TypedSym<T>> {
+        let addr = self.calloc((count * T::WIDTH) as u64)?;
+        TypedSym::new(addr, count)
+    }
+
+    /// Release a symmetric allocation (`shmem_free`). Collective: the
+    /// entry barrier guarantees no PE is still accessing it.
+    pub fn free(&self, addr: SymAddr) -> Result<()> {
+        self.barrier_all()?;
+        self.heap.free(addr)
+    }
+
+    /// Release a typed symmetric array.
+    pub fn free_array<T: ShmemScalar>(&self, sym: TypedSym<T>) -> Result<()> {
+        self.free(sym.addr())
+    }
+
+    // ------------------------------------------------------------------
+    // RMA: put / get (shmem_TYPE_put / shmem_TYPE_get and friends)
+    // ------------------------------------------------------------------
+
+    /// `shmem_TYPE_put`: copy `data` into PE `pe`'s symmetric array at
+    /// element `index`, with an explicit transfer mode. Locally blocking:
+    /// returns once `data` is reusable; remote delivery is asynchronous
+    /// and ordered by [`quiet`](Self::quiet) / barriers.
+    pub fn put_slice_with_mode<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        data: &[T],
+        pe: usize,
+        mode: TransferMode,
+    ) -> Result<()> {
+        self.check_pe(pe)?;
+        let off = sym.elem_offset(index, data.len())?;
+        let bytes = T::slice_to_bytes(data);
+        if pe == self.my_pe() {
+            self.heap.write_flat(off, &bytes)?;
+            self.heap.bump_version();
+            Ok(())
+        } else {
+            self.node.put_bytes(pe, off, &bytes, mode)?;
+            Ok(())
+        }
+    }
+
+    /// `shmem_TYPE_put` with the default transfer mode.
+    ///
+    /// ```
+    /// use shmem_core::{ShmemConfig, ShmemWorld};
+    /// ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(2), |ctx| {
+    ///     let sym = ctx.calloc_array::<u32>(4).unwrap();
+    ///     if ctx.my_pe() == 0 {
+    ///         ctx.put_slice(&sym, 0, &[10, 20, 30, 40], 1).unwrap();
+    ///     }
+    ///     ctx.barrier_all().unwrap();
+    ///     if ctx.my_pe() == 1 {
+    ///         assert_eq!(ctx.read_local_slice::<u32>(&sym, 0, 4).unwrap(), vec![10, 20, 30, 40]);
+    ///     }
+    /// })
+    /// .unwrap();
+    /// ```
+    pub fn put_slice<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        data: &[T],
+        pe: usize,
+    ) -> Result<()> {
+        self.put_slice_with_mode(sym, index, data, pe, self.cfg.default_mode)
+    }
+
+    /// Put a single element (`shmem_TYPE_p`).
+    pub fn put<T: ShmemScalar>(&self, sym: &TypedSym<T>, index: usize, value: T, pe: usize) -> Result<()> {
+        self.put_slice(sym, index, &[value], pe)
+    }
+
+    /// Non-blocking put (`shmem_TYPE_put_nbi`). In this model `put` is
+    /// already locally blocking only until the payload is staged, so the
+    /// nbi variant shares the fast path; `quiet` is the completion point
+    /// for both.
+    pub fn put_slice_nbi<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        data: &[T],
+        pe: usize,
+    ) -> Result<()> {
+        self.put_slice(sym, index, data, pe)
+    }
+
+    /// `shmem_TYPE_get`: copy `count` elements from PE `pe`'s symmetric
+    /// array at element `index`, with an explicit transfer mode. Blocks
+    /// until the data arrived.
+    pub fn get_slice_with_mode<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        count: usize,
+        pe: usize,
+        mode: TransferMode,
+    ) -> Result<Vec<T>> {
+        self.check_pe(pe)?;
+        let off = sym.elem_offset(index, count)?;
+        let len = (count * T::WIDTH) as u64;
+        let bytes = if pe == self.my_pe() {
+            self.heap.read_flat_vec(off, len)?
+        } else {
+            self.node.get_bytes(pe, off, len, mode)?
+        };
+        Ok(T::bytes_to_vec(&bytes))
+    }
+
+    /// `shmem_TYPE_get` with the default transfer mode.
+    ///
+    /// ```
+    /// use shmem_core::{ShmemConfig, ShmemWorld};
+    /// ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(2), |ctx| {
+    ///     let sym = ctx.calloc_array::<f64>(2).unwrap();
+    ///     ctx.write_local_slice(&sym, 0, &[ctx.my_pe() as f64, 0.5]).unwrap();
+    ///     ctx.barrier_all().unwrap();
+    ///     let other = 1 - ctx.my_pe();
+    ///     let theirs = ctx.get_slice::<f64>(&sym, 0, 2, other).unwrap();
+    ///     assert_eq!(theirs, vec![other as f64, 0.5]);
+    ///     ctx.barrier_all().unwrap();
+    /// })
+    /// .unwrap();
+    /// ```
+    pub fn get_slice<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        count: usize,
+        pe: usize,
+    ) -> Result<Vec<T>> {
+        self.get_slice_with_mode(sym, index, count, pe, self.cfg.default_mode)
+    }
+
+    /// Get a single element (`shmem_TYPE_g`).
+    pub fn get<T: ShmemScalar>(&self, sym: &TypedSym<T>, index: usize, pe: usize) -> Result<T> {
+        Ok(self.get_slice(sym, index, 1, pe)?[0])
+    }
+
+    /// Non-blocking get (`shmem_TYPE_get_nbi`); completion at `quiet`.
+    /// This model completes it eagerly (see `put_slice_nbi`).
+    pub fn get_slice_nbi<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        count: usize,
+        pe: usize,
+    ) -> Result<Vec<T>> {
+        self.get_slice(sym, index, count, pe)
+    }
+
+    // ------------------------------------------------------------------
+    // Local access to symmetric memory
+    // ------------------------------------------------------------------
+
+    /// Read this PE's own copy of a symmetric array slice.
+    pub fn read_local_slice<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        count: usize,
+    ) -> Result<Vec<T>> {
+        let off = sym.elem_offset(index, count)?;
+        let bytes = self.heap.read_flat_vec(off, (count * T::WIDTH) as u64)?;
+        Ok(T::bytes_to_vec(&bytes))
+    }
+
+    /// Read one element of this PE's own copy.
+    pub fn read_local<T: ShmemScalar>(&self, sym: &TypedSym<T>, index: usize) -> Result<T> {
+        Ok(self.read_local_slice(sym, index, 1)?[0])
+    }
+
+    /// Write this PE's own copy of a symmetric array slice.
+    pub fn write_local_slice<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        data: &[T],
+    ) -> Result<()> {
+        let off = sym.elem_offset(index, data.len())?;
+        self.heap.write_flat(off, &T::slice_to_bytes(data))?;
+        self.heap.bump_version();
+        Ok(())
+    }
+
+    /// Write one element of this PE's own copy.
+    pub fn write_local<T: ShmemScalar>(&self, sym: &TypedSym<T>, index: usize, value: T) -> Result<()> {
+        self.write_local_slice(sym, index, &[value])
+    }
+
+    // ------------------------------------------------------------------
+    // Ordering (shmem_quiet / shmem_fence)
+    // ------------------------------------------------------------------
+
+    /// `shmem_quiet`: block until every put this PE issued has been
+    /// delivered into its destination's symmetric memory (tracked by the
+    /// interconnect's delivery acknowledgements).
+    ///
+    /// ```
+    /// use shmem_core::{CmpOp, ShmemConfig, ShmemWorld};
+    /// ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(2), |ctx| {
+    ///     let data = ctx.calloc_array::<u64>(1).unwrap();
+    ///     let flag = ctx.calloc_array::<u64>(1).unwrap();
+    ///     if ctx.my_pe() == 0 {
+    ///         ctx.put(&data, 0, 42u64, 1).unwrap();
+    ///         ctx.quiet(); // 42 is now in PE 1's memory...
+    ///         ctx.put(&flag, 0, 1u64, 1).unwrap(); // ...before the flag can arrive
+    ///     } else {
+    ///         ctx.wait_until(&flag, 0, CmpOp::Eq, 1u64).unwrap();
+    ///         assert_eq!(ctx.read_local::<u64>(&data, 0).unwrap(), 42);
+    ///     }
+    ///     ctx.barrier_all().unwrap();
+    /// })
+    /// .unwrap();
+    /// ```
+    pub fn quiet(&self) {
+        self.node.quiet();
+    }
+
+    /// `shmem_fence`: order puts to each destination. The ring transport
+    /// delivers frames per link in FIFO order, but multi-hop routes can
+    /// reorder against single-hop ones, so fence is implemented as quiet
+    /// (a conservative, spec-compliant strengthening).
+    pub fn fence(&self) {
+        self.quiet();
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Snapshot of this PE's communication counters (protocol activity
+    /// plus raw bytes through both NTB adapters).
+    pub fn stats_snapshot(&self) -> PeStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = self.node.stats();
+        let mut bytes_tx = 0;
+        let mut bytes_rx = 0;
+        if self.num_pes() > 1 {
+            for dir in [ntb_net::RouteDirection::Left, ntb_net::RouteDirection::Right] {
+                let p = self.node.port_stats(dir);
+                bytes_tx += p.bytes_tx;
+                bytes_rx += p.bytes_rx;
+            }
+        }
+        PeStats {
+            frames_rx: s.frames_rx.load(Relaxed),
+            forwards: s.forwards.load(Relaxed),
+            puts_delivered: s.puts_delivered.load(Relaxed),
+            gets_served: s.gets_served.load(Relaxed),
+            acks_received: s.acks_received.load(Relaxed),
+            amos_served: s.amos_served.load(Relaxed),
+            bytes_tx,
+            bytes_rx,
+            heap_capacity: self.heap.capacity(),
+            heap_live_bytes: self.heap.live_bytes(),
+        }
+    }
+}
+
+/// A point-in-time view of one PE's communication and memory counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeStats {
+    /// Frames handled by this host's service threads.
+    pub frames_rx: u64,
+    /// Frames forwarded around the ring (this host as intermediate).
+    pub forwards: u64,
+    /// Put chunks delivered into this PE's symmetric memory.
+    pub puts_delivered: u64,
+    /// Get requests served from this PE's symmetric memory.
+    pub gets_served: u64,
+    /// Put acknowledgements returned to this origin.
+    pub acks_received: u64,
+    /// Atomic operations executed at this PE.
+    pub amos_served: u64,
+    /// Bytes transmitted through both NTB adapters.
+    pub bytes_tx: u64,
+    /// Bytes received through both NTB adapters.
+    pub bytes_rx: u64,
+    /// Symmetric heap capacity (bytes).
+    pub heap_capacity: u64,
+    /// Bytes inside live symmetric allocations.
+    pub heap_live_bytes: u64,
+}
+
+impl std::fmt::Debug for ShmemCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmemCtx")
+            .field("my_pe", &self.my_pe())
+            .field("num_pes", &self.num_pes())
+            .finish()
+    }
+}

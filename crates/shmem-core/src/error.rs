@@ -1,0 +1,105 @@
+//! Error types of the OpenSHMEM layer.
+
+use std::fmt;
+
+use ntb_sim::NtbError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ShmemError>;
+
+/// Everything that can go wrong in the OpenSHMEM layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmemError {
+    /// An error surfaced from the NTB interconnect.
+    Net(NtbError),
+    /// The symmetric heap cannot grow to satisfy an allocation.
+    OutOfSymmetricMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// `free` of an address that is not the start of a live allocation.
+    InvalidFree {
+        /// Offending flat offset.
+        offset: u64,
+    },
+    /// An access through a symmetric address fell outside its allocation.
+    SymmetricBounds {
+        /// Offending flat offset.
+        offset: u64,
+        /// Access length.
+        len: u64,
+    },
+    /// A PE index outside `0..num_pes`.
+    BadPe {
+        /// The offending PE number.
+        pe: usize,
+        /// The world size.
+        num_pes: usize,
+    },
+    /// `shmem_barrier_all` did not complete within the configured timeout
+    /// (a peer died or diverged).
+    BarrierTimeout,
+    /// `wait_until` exceeded the configured timeout.
+    WaitTimeout,
+    /// The runtime was misused (documented in the message).
+    Runtime(&'static str),
+}
+
+impl fmt::Display for ShmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmemError::Net(e) => write!(f, "interconnect error: {e}"),
+            ShmemError::OutOfSymmetricMemory { requested } => {
+                write!(f, "symmetric heap exhausted: {requested} bytes requested")
+            }
+            ShmemError::InvalidFree { offset } => {
+                write!(f, "invalid shmem_free at offset {offset:#x}")
+            }
+            ShmemError::SymmetricBounds { offset, len } => {
+                write!(f, "symmetric access out of bounds: offset {offset:#x}, len {len}")
+            }
+            ShmemError::BadPe { pe, num_pes } => {
+                write!(f, "PE {pe} out of range (num_pes = {num_pes})")
+            }
+            ShmemError::BarrierTimeout => write!(f, "shmem_barrier_all timed out"),
+            ShmemError::WaitTimeout => write!(f, "shmem_wait_until timed out"),
+            ShmemError::Runtime(msg) => write!(f, "runtime misuse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShmemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShmemError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NtbError> for ShmemError {
+    fn from(e: NtbError) -> Self {
+        ShmemError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ShmemError::BarrierTimeout.to_string().contains("barrier"));
+        assert!(ShmemError::OutOfSymmetricMemory { requested: 42 }.to_string().contains("42"));
+        assert!(ShmemError::BadPe { pe: 9, num_pes: 3 }.to_string().contains("9"));
+        assert!(ShmemError::InvalidFree { offset: 0x40 }.to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn net_errors_convert_and_chain() {
+        let e: ShmemError = NtbError::NotConnected.into();
+        assert!(matches!(e, ShmemError::Net(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,599 @@
+//! The symmetric heap (paper §III-B2, Fig. 3).
+//!
+//! OpenSHMEM symmetric data objects "have the same name, size, type, and
+//! relative address on all PEs". The paper implements this as a heap of
+//! fixed-size chunks allocated on demand and *virtually concatenated*: the
+//! actual memory is scattered, but the address space the application (and
+//! the remote side) sees is one contiguous range of flat offsets. Remote
+//! PEs address symmetric objects purely by flat offset (Fig. 3(b)).
+//!
+//! Because every PE executes the same allocation sequence (OpenSHMEM is
+//! SPMD and `shmem_malloc` is collective), the deterministic first-fit
+//! allocator below yields identical offsets on every PE — the invariant
+//! the property tests pin down.
+//!
+//! The heap is also the interconnect's [`DeliveryTarget`]: arriving puts,
+//! get reads and atomics all resolve against it, and every remote mutation
+//! bumps a change counter that `shmem_wait_until` sleeps on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntb_net::{AmoOp, DeliveryTarget};
+use ntb_sim::{HostMemory, Region};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Result, ShmemError};
+use crate::symmetric::SymAddr;
+
+/// Allocation alignment (and minimum block size).
+pub const SYMMETRIC_ALIGN: u64 = 16;
+
+#[derive(Debug)]
+struct HeapInner {
+    /// The on-demand chunks, each exactly `chunk_size` long, forming the
+    /// virtually contiguous flat space.
+    segments: Vec<Region>,
+    /// Sorted, coalesced free ranges `(offset, len)` over the flat space.
+    free: Vec<(u64, u64)>,
+    /// Live allocations: start offset -> (aligned) length.
+    live: HashMap<u64, u64>,
+}
+
+impl HeapInner {
+    fn capacity(&self, chunk_size: u64) -> u64 {
+        self.segments.len() as u64 * chunk_size
+    }
+}
+
+/// One PE's symmetric heap.
+pub struct SymmetricHeap {
+    mem: Arc<HostMemory>,
+    chunk_size: u64,
+    inner: Mutex<HeapInner>,
+    /// Serializes all atomic memory operations executed at this PE
+    /// (from remote requests and from local calls).
+    amo_lock: Mutex<()>,
+    /// Change notification for `wait_until`.
+    version: Mutex<u64>,
+    version_cond: Condvar,
+}
+
+impl SymmetricHeap {
+    /// Create an empty heap that grows in `chunk_size` chunks charged to
+    /// `mem`.
+    pub fn new(mem: Arc<HostMemory>, chunk_size: u64) -> Arc<Self> {
+        assert!(chunk_size >= SYMMETRIC_ALIGN && chunk_size.is_power_of_two(),
+            "chunk size must be a power of two >= {SYMMETRIC_ALIGN}");
+        Arc::new(SymmetricHeap {
+            mem,
+            chunk_size,
+            inner: Mutex::new(HeapInner { segments: Vec::new(), free: Vec::new(), live: HashMap::new() }),
+            amo_lock: Mutex::new(()),
+            version: Mutex::new(0),
+            version_cond: Condvar::new(),
+        })
+    }
+
+    /// Heap chunk size.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// Number of chunks currently backing the heap.
+    pub fn segment_count(&self) -> usize {
+        self.inner.lock().segments.len()
+    }
+
+    /// Total flat capacity (bytes).
+    pub fn capacity(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.capacity(self.chunk_size)
+    }
+
+    /// Bytes currently inside live allocations.
+    pub fn live_bytes(&self) -> u64 {
+        self.inner.lock().live.values().sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.inner.lock().live.len()
+    }
+
+    fn round_up(size: u64) -> u64 {
+        size.div_ceil(SYMMETRIC_ALIGN) * SYMMETRIC_ALIGN
+    }
+
+    /// Allocate `size` bytes of symmetric memory. **Not** collective by
+    /// itself — `ShmemCtx::malloc` adds the barrier the spec requires.
+    /// A zero-size request returns a zero-length address.
+    pub fn malloc(&self, size: u64) -> Result<SymAddr> {
+        self.malloc_aligned(size, SYMMETRIC_ALIGN)
+    }
+
+    /// `shmem_align`: allocate `size` bytes whose flat offset is a
+    /// multiple of `align` (a power of two). Deterministic first fit, so
+    /// replicas still agree on offsets.
+    pub fn malloc_aligned(&self, size: u64, align: u64) -> Result<SymAddr> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let align = align.max(SYMMETRIC_ALIGN);
+        if size == 0 {
+            return Ok(SymAddr { offset: 0, len: 0 });
+        }
+        let need = Self::round_up(size);
+        let fits = |off: u64, len: u64| -> Option<u64> {
+            let aligned = off.next_multiple_of(align);
+            (aligned + need <= off + len).then_some(aligned)
+        };
+        let mut inner = self.inner.lock();
+        // First fit over the sorted free list (deterministic: identical
+        // call sequences give identical offsets on every PE).
+        let found = inner.free.iter().enumerate().find_map(|(i, &(off, len))| {
+            fits(off, len).map(|aligned| (i, aligned))
+        });
+        let (pos, aligned) = match found {
+            Some(hit) => hit,
+            None => {
+                // Grow: extend the flat space with exactly enough fresh
+                // chunks for the aligned allocation to fit at the end of
+                // the (possibly free) tail, merging the new space into a
+                // trailing free range.
+                let cap = inner.capacity(self.chunk_size);
+                let (tail_start, _tail_free) = match inner.free.last() {
+                    Some(&(off, len)) if off + len == cap => (off, len),
+                    _ => (cap, 0),
+                };
+                let aligned_start = tail_start.next_multiple_of(align);
+                let extra = (aligned_start + need).saturating_sub(cap);
+                let chunks = extra.div_ceil(self.chunk_size);
+                for _ in 0..chunks {
+                    let region = self
+                        .mem
+                        .alloc_region(self.chunk_size)
+                        .map_err(|_| ShmemError::OutOfSymmetricMemory { requested: size })?;
+                    inner.segments.push(region);
+                }
+                let grown = chunks * self.chunk_size;
+                match inner.free.last_mut() {
+                    Some(last) if last.0 + last.1 == cap => last.1 += grown,
+                    _ => inner.free.push((cap, grown)),
+                }
+                let pos = inner.free.len() - 1;
+                let (off, len) = inner.free[pos];
+                let aligned = fits(off, len).expect("grow sized for alignment slack");
+                (pos, aligned)
+            }
+        };
+        let (off, len) = inner.free[pos];
+        // Carve [aligned, aligned+need) out of [off, off+len): up to two
+        // remainders stay free (leading alignment pad, trailing tail).
+        inner.free.remove(pos);
+        let mut insert_at = pos;
+        if aligned > off {
+            inner.free.insert(insert_at, (off, aligned - off));
+            insert_at += 1;
+        }
+        if aligned + need < off + len {
+            inner.free.insert(insert_at, (aligned + need, off + len - (aligned + need)));
+        }
+        inner.live.insert(aligned, need);
+        Ok(SymAddr { offset: aligned, len: need })
+    }
+
+    /// Release an allocation. **Not** collective by itself (see
+    /// `ShmemCtx::free`). Freeing a zero-length address is a no-op.
+    pub fn free(&self, addr: SymAddr) -> Result<()> {
+        if addr.len == 0 {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        let len = inner
+            .live
+            .remove(&addr.offset)
+            .ok_or(ShmemError::InvalidFree { offset: addr.offset })?;
+        // Insert sorted and coalesce with both neighbours.
+        let idx = inner.free.partition_point(|&(off, _)| off < addr.offset);
+        inner.free.insert(idx, (addr.offset, len));
+        // Coalesce with successor first (indices stay valid), then
+        // predecessor.
+        if idx + 1 < inner.free.len() && inner.free[idx].0 + inner.free[idx].1 == inner.free[idx + 1].0
+        {
+            inner.free[idx].1 += inner.free[idx + 1].1;
+            inner.free.remove(idx + 1);
+        }
+        if idx > 0 && inner.free[idx - 1].0 + inner.free[idx - 1].1 == inner.free[idx].0 {
+            inner.free[idx - 1].1 += inner.free[idx].1;
+            inner.free.remove(idx);
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, inner: &HeapInner, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > inner.capacity(self.chunk_size)) {
+            return Err(ShmemError::SymmetricBounds { offset, len });
+        }
+        Ok(())
+    }
+
+    /// Write `data` at flat offset `offset`, crossing chunk boundaries as
+    /// needed (the "scattered but virtually continuative" copy of Fig. 3).
+    pub fn write_flat(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let inner = self.inner.lock();
+        self.check_range(&inner, offset, data.len() as u64)?;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let flat = offset + pos as u64;
+            let seg = (flat / self.chunk_size) as usize;
+            let within = flat % self.chunk_size;
+            let n = ((self.chunk_size - within) as usize).min(data.len() - pos);
+            inner.segments[seg].write(within, &data[pos..pos + n]).map_err(ShmemError::Net)?;
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Read `out.len()` bytes from flat offset `offset`.
+    pub fn read_flat(&self, offset: u64, out: &mut [u8]) -> Result<()> {
+        let inner = self.inner.lock();
+        self.check_range(&inner, offset, out.len() as u64)?;
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let flat = offset + pos as u64;
+            let seg = (flat / self.chunk_size) as usize;
+            let within = flat % self.chunk_size;
+            let n = ((self.chunk_size - within) as usize).min(out.len() - pos);
+            inner.segments[seg].read(within, &mut out[pos..pos + n]).map_err(ShmemError::Net)?;
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes into a fresh vector.
+    pub fn read_flat_vec(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let mut v = vec![0u8; len as usize];
+        self.read_flat(offset, &mut v)?;
+        Ok(v)
+    }
+
+    /// Fill `len` bytes at flat offset `offset` with `byte` (used by
+    /// `shmem_calloc`: recycled heap memory is *not* zeroed by `malloc`,
+    /// matching the OpenSHMEM spec).
+    pub fn fill_flat(&self, offset: u64, len: u64, byte: u8) -> Result<()> {
+        let inner = self.inner.lock();
+        self.check_range(&inner, offset, len)?;
+        let mut pos = 0u64;
+        while pos < len {
+            let flat = offset + pos;
+            let seg = (flat / self.chunk_size) as usize;
+            let within = flat % self.chunk_size;
+            let n = (self.chunk_size - within).min(len - pos);
+            inner.segments[seg].fill(within, n, byte).map_err(ShmemError::Net)?;
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Execute an atomic at flat offset `offset` on `width` bytes,
+    /// serialized with every other atomic at this PE. Returns the old
+    /// value zero-extended to 64 bits.
+    pub fn local_atomic(
+        &self,
+        op: AmoOp,
+        offset: u64,
+        width: usize,
+        operand: u64,
+        compare: u64,
+    ) -> Result<u64> {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "AMO width must be 1/2/4/8");
+        let _guard = self.amo_lock.lock();
+        let mut buf = [0u8; 8];
+        self.read_flat(offset, &mut buf[..width])?;
+        let old = u64::from_le_bytes(buf);
+        let new = op.apply(old, operand, compare);
+        self.write_flat(offset, &new.to_le_bytes()[..width])?;
+        self.bump_version();
+        Ok(old)
+    }
+
+    /// Signal `wait_until` sleepers that symmetric memory changed.
+    pub fn bump_version(&self) {
+        let mut v = self.version.lock();
+        *v += 1;
+        self.version_cond.notify_all();
+    }
+
+    /// Current change-counter value.
+    pub fn version(&self) -> u64 {
+        *self.version.lock()
+    }
+
+    /// Block until the change counter moves past `seen` (or `timeout`
+    /// passes). Returns the new counter value.
+    pub fn wait_change(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut v = self.version.lock();
+        if *v == seen {
+            let _ = self.version_cond.wait_for(&mut v, timeout);
+        }
+        *v
+    }
+}
+
+impl std::fmt::Debug for SymmetricHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymmetricHeap")
+            .field("chunk_size", &self.chunk_size)
+            .field("segments", &self.segment_count())
+            .field("live", &self.live_allocations())
+            .finish()
+    }
+}
+
+impl DeliveryTarget for SymmetricHeap {
+    fn deliver_put(&self, offset: u64, data: &[u8]) -> ntb_sim::Result<()> {
+        self.write_flat(offset, data).map_err(shmem_to_ntb)?;
+        self.bump_version();
+        Ok(())
+    }
+
+    fn read_for_get(&self, offset: u64, out: &mut [u8]) -> ntb_sim::Result<()> {
+        self.read_flat(offset, out).map_err(shmem_to_ntb)
+    }
+
+    fn deliver_atomic(
+        &self,
+        op: AmoOp,
+        offset: u64,
+        width: usize,
+        operand: u64,
+        compare: u64,
+    ) -> ntb_sim::Result<u64> {
+        self.local_atomic(op, offset, width, operand, compare).map_err(shmem_to_ntb)
+    }
+}
+
+/// Delivery errors must cross the `ntb-net` boundary as `NtbError`.
+fn shmem_to_ntb(e: ShmemError) -> ntb_sim::NtbError {
+    match e {
+        ShmemError::Net(inner) => inner,
+        ShmemError::SymmetricBounds { .. } => {
+            ntb_sim::NtbError::BadDescriptor { reason: "delivery outside the symmetric heap" }
+        }
+        _ => ntb_sim::NtbError::BadDescriptor { reason: "symmetric heap rejected delivery" },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Arc<SymmetricHeap> {
+        SymmetricHeap::new(HostMemory::new(0, 256 << 20), 4096)
+    }
+
+    #[test]
+    fn malloc_aligns_and_packs() {
+        let h = heap();
+        let a = h.malloc(10).unwrap();
+        let b = h.malloc(20).unwrap();
+        assert_eq!(a.offset, 0);
+        assert_eq!(a.len, 16);
+        assert_eq!(b.offset, 16);
+        assert_eq!(b.len, 32);
+        assert_eq!(h.live_allocations(), 2);
+    }
+
+    #[test]
+    fn zero_size_malloc() {
+        let h = heap();
+        let a = h.malloc(0).unwrap();
+        assert_eq!(a.len, 0);
+        h.free(a).unwrap();
+        assert_eq!(h.segment_count(), 0, "no chunk needed");
+    }
+
+    #[test]
+    fn grows_by_chunks() {
+        let h = heap();
+        let _a = h.malloc(4096).unwrap();
+        assert_eq!(h.segment_count(), 1);
+        let _b = h.malloc(10_000).unwrap();
+        // 10_000 doesn't fit the remaining 0 bytes: needs 3 more chunks
+        // (10_000+? -> rounded 10000->10000? aligned to 10000+? )
+        assert!(h.segment_count() >= 3);
+        assert_eq!(h.capacity(), h.segment_count() as u64 * 4096);
+    }
+
+    #[test]
+    fn allocation_spans_chunk_boundary() {
+        let h = heap();
+        let a = h.malloc(3 * 4096 + 100).unwrap();
+        let payload: Vec<u8> = (0..(3 * 4096 + 100)).map(|i| (i % 251) as u8).collect();
+        h.write_flat(a.offset, &payload).unwrap();
+        assert_eq!(h.read_flat_vec(a.offset, payload.len() as u64).unwrap(), payload);
+    }
+
+    #[test]
+    fn free_reuses_space_first_fit() {
+        let h = heap();
+        let a = h.malloc(64).unwrap();
+        let _b = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        let c = h.malloc(32).unwrap();
+        assert_eq!(c.offset, 0, "first fit reuses the freed hole");
+        let d = h.malloc(32).unwrap();
+        assert_eq!(d.offset, 32, "remainder of the hole");
+    }
+
+    #[test]
+    fn free_coalesces_neighbors() {
+        let h = heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        let c = h.malloc(64).unwrap();
+        let _d = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        h.free(b).unwrap(); // merges a+b+c into one 192-byte hole
+        let e = h.malloc(192).unwrap();
+        assert_eq!(e.offset, 0, "coalesced hole satisfies a large request");
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let h = heap();
+        let a = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a).unwrap_err(), ShmemError::InvalidFree { offset: 0 });
+    }
+
+    #[test]
+    fn free_of_interior_pointer_detected() {
+        let h = heap();
+        let _a = h.malloc(64).unwrap();
+        let bogus = SymAddr { offset: 8, len: 8 };
+        assert!(matches!(h.free(bogus), Err(ShmemError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_flat_access() {
+        let h = heap();
+        let _a = h.malloc(100).unwrap();
+        assert!(h.write_flat(4090, &[0u8; 100]).is_err());
+        let mut buf = [0u8; 16];
+        assert!(h.read_flat(1 << 30, &mut buf).is_err());
+    }
+
+    #[test]
+    fn identical_call_sequences_identical_offsets() {
+        // The symmetric invariant: two independent heaps replaying the
+        // same malloc/free trace produce the same offsets.
+        let h1 = heap();
+        let h2 = heap();
+        let script: Vec<u64> = vec![10, 200, 4096, 33, 7, 1024];
+        let a1: Vec<_> = script.iter().map(|&s| h1.malloc(s).unwrap()).collect();
+        let a2: Vec<_> = script.iter().map(|&s| h2.malloc(s).unwrap()).collect();
+        assert_eq!(a1, a2);
+        h1.free(a1[2]).unwrap();
+        h2.free(a2[2]).unwrap();
+        assert_eq!(h1.malloc(100).unwrap(), h2.malloc(100).unwrap());
+    }
+
+    #[test]
+    fn aligned_malloc_honors_alignment() {
+        let h = heap();
+        let _pad = h.malloc(24).unwrap(); // occupy [0, 32)
+        let a = h.malloc_aligned(100, 256).unwrap();
+        assert_eq!(a.offset % 256, 0);
+        assert!(a.offset >= 32);
+        // The alignment pad stays allocatable.
+        let b = h.malloc(16).unwrap();
+        assert!(b.offset < a.offset, "pad hole reused: {b:?}");
+    }
+
+    #[test]
+    fn aligned_malloc_deterministic_across_replicas() {
+        let h1 = heap();
+        let h2 = heap();
+        for (size, align) in [(10, 16), (100, 512), (5000, 64), (7, 2048)] {
+            assert_eq!(h1.malloc_aligned(size, align).unwrap(), h2.malloc_aligned(size, align).unwrap());
+        }
+    }
+
+    #[test]
+    fn aligned_malloc_grows_with_slack() {
+        let h = SymmetricHeap::new(HostMemory::new(0, 256 << 20), 4096);
+        // Force growth where the aligned start is beyond the fresh chunk
+        // boundary remainder.
+        let _a = h.malloc(4000).unwrap();
+        let b = h.malloc_aligned(8192, 8192).unwrap();
+        assert_eq!(b.offset % 8192, 0);
+        let payload = vec![0xC3u8; 8192];
+        h.write_flat(b.offset, &payload).unwrap();
+        assert_eq!(h.read_flat_vec(b.offset, 8192).unwrap(), payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let h = heap();
+        let _ = h.malloc_aligned(8, 48);
+    }
+
+    #[test]
+    fn arena_exhaustion_is_typed() {
+        let h = SymmetricHeap::new(HostMemory::new(0, 8192), 4096);
+        let _a = h.malloc(8192).unwrap();
+        assert_eq!(
+            h.malloc(1).unwrap_err(),
+            ShmemError::OutOfSymmetricMemory { requested: 1 }
+        );
+    }
+
+    #[test]
+    fn local_atomics() {
+        let h = heap();
+        let a = h.malloc(8).unwrap();
+        let old = h.local_atomic(AmoOp::FetchAdd, a.offset, 8, 5, 0).unwrap();
+        assert_eq!(old, 0);
+        let old = h.local_atomic(AmoOp::FetchAdd, a.offset, 8, 3, 0).unwrap();
+        assert_eq!(old, 5);
+        assert_eq!(h.read_flat_vec(a.offset, 8).unwrap(), 8u64.to_le_bytes());
+    }
+
+    #[test]
+    fn atomics_are_serialized_across_threads() {
+        let h = heap();
+        let a = h.malloc(8).unwrap();
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    h.local_atomic(AmoOp::FetchAdd, a.offset, 8, 1, 0).unwrap();
+                }
+            }));
+        }
+        for th in handles {
+            th.join().unwrap();
+        }
+        let mut buf = [0u8; 8];
+        h.read_flat(a.offset, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 4000);
+    }
+
+    #[test]
+    fn version_bumps_and_waits() {
+        let h = heap();
+        let v0 = h.version();
+        h.bump_version();
+        assert_eq!(h.version(), v0 + 1);
+        // wait_change returns immediately when already moved.
+        assert_eq!(h.wait_change(v0, Duration::from_millis(1)), v0 + 1);
+        // times out when nothing changes.
+        let v1 = h.version();
+        assert_eq!(h.wait_change(v1, Duration::from_millis(5)), v1);
+    }
+
+    #[test]
+    fn delivery_target_roundtrip() {
+        let h = heap();
+        let a = h.malloc(64).unwrap();
+        let target: &dyn DeliveryTarget = &*h;
+        target.deliver_put(a.offset, b"via the ring").unwrap();
+        let mut out = vec![0u8; 12];
+        target.read_for_get(a.offset, &mut out).unwrap();
+        assert_eq!(out, b"via the ring");
+        let old = target.deliver_atomic(AmoOp::Swap, a.offset + 16, 8, 9, 0).unwrap();
+        assert_eq!(old, 0);
+    }
+
+    #[test]
+    fn delivery_oob_becomes_ntb_error() {
+        let h = heap();
+        let target: &dyn DeliveryTarget = &*h;
+        let err = target.deliver_put(1 << 40, &[1]).unwrap_err();
+        assert!(matches!(err, ntb_sim::NtbError::BadDescriptor { .. }));
+    }
+}

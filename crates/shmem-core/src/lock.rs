@@ -1,0 +1,92 @@
+//! Distributed locking (`shmem_set_lock` / `shmem_test_lock` /
+//! `shmem_clear_lock`).
+//!
+//! §II-B requires "distributed locking and synchronization primitives".
+//! The lock variable is a symmetric `u64`; as in most OpenSHMEM
+//! implementations the PE-0 copy is the authoritative one, and ownership
+//! is taken with a remote compare-and-swap (0 → owner's PE id + 1)
+//! executed atomically inside PE 0's service thread.
+
+use crate::ctx::ShmemCtx;
+use crate::error::{Result, ShmemError};
+use crate::symmetric::TypedSym;
+
+/// The PE whose copy of the lock word arbitrates ownership.
+const LOCK_HOME: usize = 0;
+
+impl ShmemCtx {
+    /// Allocate a symmetric lock variable (collective), initialized
+    /// unlocked on every PE before any PE can return and contend for it.
+    pub fn lock_alloc(&self) -> Result<TypedSym<u64>> {
+        // calloc barriers after zeroing: without that, a fast PE could
+        // CAS against a peer's stale (recycled, non-zero) lock word.
+        self.calloc_array(1)
+    }
+
+    fn lock_token(&self) -> u64 {
+        self.my_pe() as u64 + 1
+    }
+
+    /// `shmem_set_lock`: acquire, spinning (with backoff) on the remote
+    /// CAS until ownership is obtained.
+    ///
+    /// ```
+    /// use shmem_core::{ShmemConfig, ShmemWorld};
+    /// ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(3), |ctx| {
+    ///     let lock = ctx.lock_alloc().unwrap();
+    ///     let total = ctx.calloc_array::<u64>(1).unwrap();
+    ///     ctx.set_lock(&lock).unwrap();
+    ///     // Unprotected read-modify-write, safe only inside the lock.
+    ///     let v = ctx.get::<u64>(&total, 0, 0).unwrap();
+    ///     ctx.put(&total, 0, v + 1, 0).unwrap();
+    ///     ctx.quiet();
+    ///     ctx.clear_lock(&lock).unwrap();
+    ///     ctx.barrier_all().unwrap();
+    ///     if ctx.my_pe() == 0 {
+    ///         assert_eq!(ctx.read_local::<u64>(&total, 0).unwrap(), 3);
+    ///     }
+    /// })
+    /// .unwrap();
+    /// ```
+    pub fn set_lock(&self, lock: &TypedSym<u64>) -> Result<()> {
+        let token = self.lock_token();
+        let mut attempts = 0u32;
+        loop {
+            let old = self.atomic_compare_swap(lock, 0, 0u64, token, LOCK_HOME)?;
+            if old == 0 {
+                return Ok(());
+            }
+            if old == token {
+                return Err(ShmemError::Runtime("set_lock: lock already held by this PE"));
+            }
+            // Contended: back off politely. Spinning on remote CAS burns
+            // both this core and the lock home's service thread; after a
+            // few failed attempts, sleep (bounded exponential).
+            attempts = attempts.saturating_add(1);
+            if attempts <= 4 {
+                std::thread::yield_now();
+            } else {
+                let us = 100u64 << attempts.min(13);
+                std::thread::sleep(std::time::Duration::from_micros(us.min(5_000)));
+            }
+        }
+    }
+
+    /// `shmem_test_lock`: try to acquire; `true` if the lock was obtained.
+    pub fn test_lock(&self, lock: &TypedSym<u64>) -> Result<bool> {
+        let old = self.atomic_compare_swap(lock, 0, 0u64, self.lock_token(), LOCK_HOME)?;
+        Ok(old == 0)
+    }
+
+    /// `shmem_clear_lock`: release. Completes this PE's outstanding puts
+    /// first, so memory written inside the critical section is visible to
+    /// the next owner.
+    pub fn clear_lock(&self, lock: &TypedSym<u64>) -> Result<()> {
+        self.quiet();
+        let old = self.atomic_compare_swap(lock, 0, self.lock_token(), 0u64, LOCK_HOME)?;
+        if old != self.lock_token() {
+            return Err(ShmemError::Runtime("clear_lock: lock not held by this PE"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,76 @@
+//! The SPMD runtime: `shmem_init` … `shmem_finalize` as a scoped world.
+//!
+//! [`ShmemWorld::run`] performs everything the paper's `shmem_init` does —
+//! builds the switchless ring (BAR setup, id exchange, LUT programming),
+//! allocates the bypass buffers, starts the service threads — then runs
+//! one OS thread per PE over the user's closure and tears the world down
+//! (`shmem_finalize`) when every PE returns.
+
+use std::sync::Arc;
+
+use ntb_net::RingNetwork;
+
+use crate::config::ShmemConfig;
+use crate::ctx::ShmemCtx;
+use crate::error::Result;
+
+/// Entry point of the OpenSHMEM model.
+pub struct ShmemWorld;
+
+impl ShmemWorld {
+    /// Run `f` as an SPMD program on `cfg.hosts()` PEs (one thread per
+    /// simulated host). Returns each PE's result, indexed by PE number.
+    ///
+    /// If any PE panics, the panic is re-raised here after the world is
+    /// torn down; PEs blocked on a barrier against a dead peer fail with
+    /// [`ShmemError::BarrierTimeout`](crate::error::ShmemError) after the
+    /// configured timeout.
+    pub fn run<F, T>(cfg: ShmemConfig, f: F) -> Result<Vec<T>>
+    where
+        F: Fn(&ShmemCtx) -> T + Send + Sync,
+        T: Send,
+    {
+        cfg.validate();
+        let net = RingNetwork::build(cfg.net.clone())?;
+        let ctxs: Vec<ShmemCtx> =
+            (0..cfg.hosts()).map(|i| ShmemCtx::new(Arc::clone(net.node(i)), cfg.clone())).collect();
+
+        let results: Vec<std::thread::Result<T>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ctxs
+                .iter()
+                .map(|ctx| {
+                    let f = &f;
+                    std::thread::Builder::new()
+                        .name(format!("shmem-pe{}", ctx.my_pe()))
+                        .spawn_scoped(s, move || f(ctx))
+                        .expect("spawn PE thread")
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        for ctx in &ctxs {
+            ctx.finalize();
+        }
+        net.shutdown();
+
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run and keep only PE 0's result (common for programs whose other
+    /// PEs return `()`-like values).
+    pub fn run_root<F, T>(cfg: ShmemConfig, f: F) -> Result<T>
+    where
+        F: Fn(&ShmemCtx) -> T + Send + Sync,
+        T: Send,
+    {
+        Ok(Self::run(cfg, f)?.remove(0))
+    }
+}

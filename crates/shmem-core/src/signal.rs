@@ -1,0 +1,100 @@
+//! Put-with-signal (`shmem_put_signal`, OpenSHMEM 1.5).
+//!
+//! A put followed by a signal-word update that the target can wait on,
+//! with the guarantee that *when the signal is visible, the data is too* —
+//! without the origin paying a full `quiet` round trip between them.
+//!
+//! On this transport the guarantee comes from FIFO delivery along a fixed
+//! route: the data chunks and the trailing signal put travel the same
+//! sequence of link mailboxes (the route to a given destination is
+//! deterministic — shortest ring direction, or the dedicated mesh link),
+//! each link preserves order, and the destination's service thread
+//! delivers frames of one inbound link in order. The signal frame is
+//! enqueued after the last data chunk, so it lands last.
+
+use crate::ctx::ShmemCtx;
+use crate::error::Result;
+use crate::symmetric::TypedSym;
+use crate::sync::CmpOp;
+use crate::types::{ShmemAtomicInt, ShmemScalar};
+use ntb_sim::TransferMode;
+
+/// How the signal word is updated (`SHMEM_SIGNAL_SET` / `_ADD`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalOp {
+    /// Overwrite the signal word.
+    Set,
+    /// Add to the signal word (useful when several producers target the
+    /// same consumer).
+    Add,
+}
+
+impl ShmemCtx {
+    /// `shmem_put_signal`: put `data` into `sym[index..]` at PE `pe`, then
+    /// update the signal word `sig[sig_index]` there with
+    /// `op`/`sig_value`. When the target observes the signal, the data is
+    /// guaranteed visible. Locally blocking like `put`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_with_signal<T: ShmemScalar, S: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        data: &[T],
+        sig: &TypedSym<S>,
+        sig_index: usize,
+        sig_value: S,
+        op: SignalOp,
+        pe: usize,
+    ) -> Result<()> {
+        self.put_with_signal_mode(sym, index, data, sig, sig_index, sig_value, op, pe, self.default_mode())
+    }
+
+    /// [`put_with_signal`](Self::put_with_signal) with an explicit
+    /// transfer mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_with_signal_mode<T: ShmemScalar, S: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        data: &[T],
+        sig: &TypedSym<S>,
+        sig_index: usize,
+        sig_value: S,
+        op: SignalOp,
+        pe: usize,
+        mode: TransferMode,
+    ) -> Result<()> {
+        self.check_pe(pe)?;
+        self.put_slice_with_mode(sym, index, data, pe, mode)?;
+        match op {
+            SignalOp::Set => {
+                // An ordinary put of the signal word: same route as the
+                // data, FIFO behind it.
+                self.put_slice_with_mode(sig, sig_index, &[sig_value], pe, mode)
+            }
+            SignalOp::Add => {
+                // Additive signals must be atomic across producers. The
+                // AMO request frame follows the same route, so ordering
+                // behind the data still holds.
+                self.atomic_add(sig, sig_index, sig_value, pe)
+            }
+        }
+    }
+
+    /// `shmem_signal_wait_until`: block until this PE's signal word
+    /// satisfies `cmp target` and return its value.
+    pub fn signal_wait_until<S: ShmemAtomicInt + PartialOrd>(
+        &self,
+        sig: &TypedSym<S>,
+        sig_index: usize,
+        cmp: CmpOp,
+        target: S,
+    ) -> Result<S> {
+        self.wait_until(sig, sig_index, cmp, target)
+    }
+
+    /// `shmem_signal_fetch`: read this PE's signal word.
+    pub fn signal_fetch<S: ShmemAtomicInt>(&self, sig: &TypedSym<S>, sig_index: usize) -> Result<S> {
+        self.read_local(sig, sig_index)
+    }
+}

@@ -1,0 +1,85 @@
+//! Strided RMA: `shmem_TYPE_iput` / `shmem_TYPE_iget`.
+//!
+//! The classic strided transfers: `iput` copies `nelems` elements read
+//! from the source at stride `sst` into the target's symmetric array at
+//! stride `tst`; `iget` is the mirror image. The PEX DMA engine has no
+//! scatter-gather descriptors in the paper's prototype, so strided
+//! transfers decompose into per-element (or per-run) operations — with a
+//! fast path when the *target* side is contiguous (`tst == 1`), which
+//! batches into a single wire transfer.
+
+use crate::ctx::ShmemCtx;
+use crate::error::{Result, ShmemError};
+use crate::symmetric::TypedSym;
+use crate::types::ShmemScalar;
+
+impl ShmemCtx {
+    /// `shmem_TYPE_iput`: for `i in 0..nelems`, write `src[i * sst]` into
+    /// `sym[index + i * tst]` at PE `pe`. Locally blocking like `put`.
+    #[allow(clippy::too_many_arguments)] // mirrors the C shmem_iput signature
+    pub fn iput<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        tst: usize,
+        src: &[T],
+        sst: usize,
+        nelems: usize,
+        pe: usize,
+    ) -> Result<()> {
+        self.check_strides(src.len(), sst, nelems)?;
+        if nelems == 0 {
+            return Ok(());
+        }
+        if tst == 0 {
+            return Err(ShmemError::Runtime("iput: target stride must be >= 1"));
+        }
+        let gathered: Vec<T> = (0..nelems).map(|i| src[i * sst]).collect();
+        if tst == 1 {
+            // Contiguous target: one wire transfer.
+            return self.put_slice(sym, index, &gathered, pe);
+        }
+        for (i, v) in gathered.into_iter().enumerate() {
+            self.put(sym, index + i * tst, v, pe)?;
+        }
+        Ok(())
+    }
+
+    /// `shmem_TYPE_iget`: for `i in 0..nelems`, read `sym[index + i * sst]`
+    /// from PE `pe`; element `i` of the result corresponds to target
+    /// stride position `i` (the caller scatters into its own buffer).
+    pub fn iget<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        sst: usize,
+        nelems: usize,
+        pe: usize,
+    ) -> Result<Vec<T>> {
+        if sst == 0 {
+            return Err(ShmemError::Runtime("iget: source stride must be >= 1"));
+        }
+        if nelems == 0 {
+            return Ok(Vec::new());
+        }
+        if sst == 1 {
+            // Contiguous source: one wire transfer.
+            return self.get_slice(sym, index, nelems, pe);
+        }
+        // Fetch the covering range in one transfer and pick the strided
+        // elements locally — one round trip instead of `nelems`.
+        let span = (nelems - 1) * sst + 1;
+        let covering = self.get_slice::<T>(sym, index, span, pe)?;
+        Ok((0..nelems).map(|i| covering[i * sst]).collect())
+    }
+
+    fn check_strides(&self, src_len: usize, sst: usize, nelems: usize) -> Result<()> {
+        if sst == 0 {
+            return Err(ShmemError::Runtime("iput: source stride must be >= 1"));
+        }
+        if nelems > 0 && (nelems - 1) * sst >= src_len {
+            return Err(ShmemError::Runtime("iput: strided read exceeds the source slice"));
+        }
+        Ok(())
+    }
+}

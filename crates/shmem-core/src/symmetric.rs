@@ -1,0 +1,147 @@
+//! Symmetric address handles.
+//!
+//! A [`SymAddr`] names a symmetric allocation by its flat offset in the
+//! symmetric heap — the same offset on every PE (paper Fig. 3(b): "the
+//! symmetric data objects of a remote PE can be accessed with the address
+//! offset for that PE"). [`TypedSym`] adds an element type and count so
+//! the RMA API can bounds-check accesses.
+
+use std::marker::PhantomData;
+
+use crate::error::{Result, ShmemError};
+use crate::types::ShmemScalar;
+
+/// An untyped symmetric allocation: flat offset + byte length, identical
+/// on all PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymAddr {
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+}
+
+impl SymAddr {
+    /// Flat offset in the symmetric heap.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Allocation length in bytes (after alignment rounding).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True for a zero-length allocation.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Flat offset of byte `start` in this allocation, bounds-checking a
+    /// `len`-byte access.
+    pub fn byte_offset(&self, start: u64, len: u64) -> Result<u64> {
+        if start.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(ShmemError::SymmetricBounds { offset: self.offset.saturating_add(start), len });
+        }
+        Ok(self.offset + start)
+    }
+}
+
+/// A typed symmetric array of `count` elements of `T`.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct TypedSym<T: ShmemScalar> {
+    pub(crate) addr: SymAddr,
+    pub(crate) count: usize,
+    _ph: PhantomData<T>,
+}
+
+// Manual Copy/Clone: derive would bound them on `T: Copy`, which holds,
+// but also on PhantomData quirks; explicit impls keep the handle Copy for
+// every ShmemScalar.
+impl<T: ShmemScalar> Clone for TypedSym<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ShmemScalar> Copy for TypedSym<T> {}
+
+impl<T: ShmemScalar> TypedSym<T> {
+    /// Wrap an untyped allocation. `addr` must hold at least
+    /// `count * T::WIDTH` bytes.
+    pub fn new(addr: SymAddr, count: usize) -> Result<Self> {
+        let need = (count * T::WIDTH) as u64;
+        if need > addr.len {
+            return Err(ShmemError::SymmetricBounds { offset: addr.offset, len: need });
+        }
+        Ok(TypedSym { addr, count, _ph: PhantomData })
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The underlying untyped allocation.
+    pub fn addr(&self) -> SymAddr {
+        self.addr
+    }
+
+    /// Flat offset of element `index`, bounds-checking an access of
+    /// `count` elements starting there.
+    pub fn elem_offset(&self, index: usize, count: usize) -> Result<u64> {
+        if index.checked_add(count).is_none_or(|end| end > self.count) {
+            return Err(ShmemError::SymmetricBounds {
+                offset: self.addr.offset.saturating_add((index as u64).saturating_mul(T::WIDTH as u64)),
+                len: (count as u64).saturating_mul(T::WIDTH as u64),
+            });
+        }
+        Ok(self.addr.offset + (index * T::WIDTH) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_offset_bounds() {
+        let a = SymAddr { offset: 1000, len: 64 };
+        assert_eq!(a.byte_offset(0, 64).unwrap(), 1000);
+        assert_eq!(a.byte_offset(10, 54).unwrap(), 1010);
+        assert!(a.byte_offset(10, 55).is_err());
+        assert!(a.byte_offset(u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn typed_wrap_checks_capacity() {
+        let a = SymAddr { offset: 0, len: 32 };
+        assert!(TypedSym::<u64>::new(a, 4).is_ok());
+        assert!(TypedSym::<u64>::new(a, 5).is_err());
+        assert!(TypedSym::<u8>::new(a, 32).is_ok());
+    }
+
+    #[test]
+    fn elem_offset_math() {
+        let a = SymAddr { offset: 100, len: 80 };
+        let t = TypedSym::<u32>::new(a, 20).unwrap();
+        assert_eq!(t.elem_offset(0, 20).unwrap(), 100);
+        assert_eq!(t.elem_offset(5, 1).unwrap(), 120);
+        assert!(t.elem_offset(19, 2).is_err());
+        assert!(t.elem_offset(20, 0).is_ok(), "end iterator position");
+    }
+
+    #[test]
+    fn handles_are_copy() {
+        let a = SymAddr { offset: 0, len: 16 };
+        let t = TypedSym::<f64>::new(a, 2).unwrap();
+        let t2 = t;
+        assert_eq!(t.count(), t2.count());
+        assert_eq!(t.addr(), a);
+    }
+
+    #[test]
+    fn empty_addr() {
+        let a = SymAddr { offset: 0, len: 0 };
+        assert!(a.is_empty());
+        let t = TypedSym::<u8>::new(a, 0).unwrap();
+        assert_eq!(t.count(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Point-to-point synchronization: `shmem_wait_until` / `shmem_test`.
+//!
+//! A PE blocks until *its own copy* of a symmetric variable satisfies a
+//! comparison — the variable being updated remotely by another PE's put or
+//! atomic. The wait sleeps on the heap's change counter, which every
+//! remote delivery bumps, so no busy spinning is needed in the functional
+//! configuration; under the paper-scale model the wake-up latency of the
+//! service path is already charged by the delivery itself.
+
+use std::time::{Duration, Instant};
+
+use crate::ctx::ShmemCtx;
+use crate::error::{Result, ShmemError};
+use crate::symmetric::TypedSym;
+use crate::types::ShmemScalar;
+
+/// Comparison operators of `shmem_wait_until` (SHMEM_CMP_*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+impl CmpOp {
+    /// Evaluate `value <op> target`.
+    pub fn eval<T: PartialOrd>(self, value: &T, target: &T) -> bool {
+        match self {
+            CmpOp::Eq => value == target,
+            CmpOp::Ne => value != target,
+            CmpOp::Gt => value > target,
+            CmpOp::Ge => value >= target,
+            CmpOp::Lt => value < target,
+            CmpOp::Le => value <= target,
+        }
+    }
+}
+
+impl ShmemCtx {
+    /// `shmem_TYPE_wait_until`: block until this PE's copy of
+    /// `sym[index]` satisfies `cmp target`. Returns the satisfying value.
+    pub fn wait_until<T: ShmemScalar + PartialOrd>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        cmp: CmpOp,
+        target: T,
+    ) -> Result<T> {
+        let deadline = Instant::now() + self.cfg.wait_timeout;
+        loop {
+            let seen = self.heap.version();
+            let v = self.read_local(sym, index)?;
+            if cmp.eval(&v, &target) {
+                return Ok(v);
+            }
+            if Instant::now() >= deadline {
+                return Err(ShmemError::WaitTimeout);
+            }
+            // Sleep until symmetric memory changes (or a short tick, to
+            // re-check the deadline).
+            self.heap.wait_change(seen, Duration::from_millis(50));
+        }
+    }
+
+    /// `shmem_TYPE_test`: non-blocking check of `sym[index] <cmp> target`.
+    pub fn test<T: ShmemScalar + PartialOrd>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        cmp: CmpOp,
+        target: T,
+    ) -> Result<bool> {
+        let v = self.read_local(sym, index)?;
+        Ok(cmp.eval(&v, &target))
+    }
+
+    /// `shmem_TYPE_wait_until_any`: block until at least one of the given
+    /// element indices satisfies `cmp target`; returns the position (into
+    /// `indices`) of one satisfying element.
+    pub fn wait_until_any<T: ShmemScalar + PartialOrd>(
+        &self,
+        sym: &TypedSym<T>,
+        indices: &[usize],
+        cmp: CmpOp,
+        target: T,
+    ) -> Result<usize> {
+        if indices.is_empty() {
+            return Err(ShmemError::Runtime("wait_until_any: empty index set"));
+        }
+        let deadline = Instant::now() + self.cfg.wait_timeout;
+        loop {
+            let seen = self.heap.version();
+            for (pos, &idx) in indices.iter().enumerate() {
+                let v = self.read_local(sym, idx)?;
+                if cmp.eval(&v, &target) {
+                    return Ok(pos);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ShmemError::WaitTimeout);
+            }
+            self.heap.wait_change(seen, Duration::from_millis(50));
+        }
+    }
+
+    /// `shmem_TYPE_wait_until_all`: block until *every* given element
+    /// index satisfies `cmp target`; returns the satisfying values.
+    pub fn wait_until_all<T: ShmemScalar + PartialOrd>(
+        &self,
+        sym: &TypedSym<T>,
+        indices: &[usize],
+        cmp: CmpOp,
+        target: T,
+    ) -> Result<Vec<T>> {
+        let deadline = Instant::now() + self.cfg.wait_timeout;
+        loop {
+            let seen = self.heap.version();
+            let values: Vec<T> =
+                indices.iter().map(|&i| self.read_local(sym, i)).collect::<Result<_>>()?;
+            if values.iter().all(|v| cmp.eval(v, &target)) {
+                return Ok(values);
+            }
+            if Instant::now() >= deadline {
+                return Err(ShmemError::WaitTimeout);
+            }
+            self.heap.wait_change(seen, Duration::from_millis(50));
+        }
+    }
+
+    /// The `shmem_ptr` capability query: can symmetric memory of `pe` be
+    /// accessed with plain loads and stores from this PE? On the
+    /// switchless NTB interconnect only local memory qualifies (remote
+    /// windows go through the protocol), exactly like `shmem_ptr`
+    /// returning NULL for non-local PEs on the real prototype.
+    pub fn is_locally_accessible(&self, pe: usize) -> bool {
+        pe == self.my_pe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_eval() {
+        assert!(CmpOp::Eq.eval(&5, &5));
+        assert!(!CmpOp::Eq.eval(&5, &6));
+        assert!(CmpOp::Ne.eval(&5, &6));
+        assert!(CmpOp::Gt.eval(&7, &6));
+        assert!(!CmpOp::Gt.eval(&6, &6));
+        assert!(CmpOp::Ge.eval(&6, &6));
+        assert!(CmpOp::Lt.eval(&5, &6));
+        assert!(CmpOp::Le.eval(&6, &6));
+        assert!(!CmpOp::Le.eval(&7, &6));
+    }
+
+    #[test]
+    fn cmp_ops_on_floats() {
+        assert!(CmpOp::Gt.eval(&1.5f64, &1.0));
+        assert!(CmpOp::Ne.eval(&f64::NAN, &0.0));
+        assert!(!CmpOp::Eq.eval(&f64::NAN, &f64::NAN));
+    }
+}

@@ -1,0 +1,156 @@
+//! The OpenSHMEM scalar type family.
+//!
+//! OpenSHMEM defines its RMA and atomic routines per C type
+//! (`shmem_long_put`, `shmem_int_fadd`, ...). In Rust the same surface is
+//! one generic routine bounded by [`ShmemScalar`] (any RMA-able scalar) or
+//! [`ShmemAtomicInt`] (the integer subset that supports remote atomics),
+//! so `ctx.put_slice::<i64>` *is* `shmem_long_put`.
+
+/// A fixed-width scalar that can live in symmetric memory and travel
+/// through put/get. The encoding on the wire is little-endian, matching
+/// the x86 hosts of the paper's testbed.
+pub trait ShmemScalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Size in bytes.
+    const WIDTH: usize;
+
+    /// Serialize into exactly `Self::WIDTH` bytes.
+    fn store_le(self, out: &mut [u8]);
+
+    /// Deserialize from exactly `Self::WIDTH` bytes.
+    fn load_le(bytes: &[u8]) -> Self;
+
+    /// Serialize a slice into a byte vector.
+    fn slice_to_bytes(data: &[Self]) -> Vec<u8> {
+        let mut out = vec![0u8; data.len() * Self::WIDTH];
+        for (i, v) in data.iter().enumerate() {
+            v.store_le(&mut out[i * Self::WIDTH..(i + 1) * Self::WIDTH]);
+        }
+        out
+    }
+
+    /// Deserialize a byte slice (length must be a multiple of `WIDTH`).
+    fn bytes_to_vec(bytes: &[u8]) -> Vec<Self> {
+        assert_eq!(bytes.len() % Self::WIDTH, 0, "byte length not a multiple of element width");
+        bytes.chunks_exact(Self::WIDTH).map(Self::load_le).collect()
+    }
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl ShmemScalar for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+
+            fn store_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn load_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("width-checked slice"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+/// The integer subset usable with remote atomic operations
+/// (`shmem_TYPE_atomic_*`). Values are widened to `u64` bit patterns on
+/// the wire and truncated back at the requester.
+pub trait ShmemAtomicInt: ShmemScalar {
+    /// Widen to a 64-bit wire representation (zero-extended bit pattern).
+    fn to_bits64(self) -> u64;
+
+    /// Truncate a 64-bit wire value back.
+    fn from_bits64(bits: u64) -> Self;
+}
+
+macro_rules! impl_atomic_int {
+    ($($t:ty),*) => {$(
+        impl ShmemAtomicInt for $t {
+            fn to_bits64(self) -> u64 {
+                // Cast through the unsigned twin so sign bits don't smear
+                // beyond the type's own width.
+                self as u64 & (u64::MAX >> (64 - 8 * std::mem::size_of::<$t>()))
+            }
+
+            fn from_bits64(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_atomic_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_size_of() {
+        assert_eq!(<u8 as ShmemScalar>::WIDTH, 1);
+        assert_eq!(<i32 as ShmemScalar>::WIDTH, 4);
+        assert_eq!(<f64 as ShmemScalar>::WIDTH, 8);
+    }
+
+    #[test]
+    fn scalar_roundtrip_all_types() {
+        macro_rules! check {
+            ($t:ty, $v:expr) => {{
+                let v: $t = $v;
+                let mut buf = vec![0u8; <$t as ShmemScalar>::WIDTH];
+                v.store_le(&mut buf);
+                assert_eq!(<$t as ShmemScalar>::load_le(&buf), v);
+            }};
+        }
+        check!(u8, 0xAB);
+        check!(u16, 0xABCD);
+        check!(u32, 0xDEAD_BEEF);
+        check!(u64, u64::MAX - 1);
+        check!(i8, -100);
+        check!(i16, -30_000);
+        check!(i32, i32::MIN);
+        check!(i64, i64::MIN + 1);
+        check!(f32, -1.25e9);
+        check!(f64, std::f64::consts::PI);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data: Vec<i32> = vec![-5, 0, 7, i32::MAX];
+        let bytes = ShmemScalar::slice_to_bytes(&data);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(<i32 as ShmemScalar>::bytes_to_vec(&bytes), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of element width")]
+    fn misaligned_bytes_panic() {
+        let _ = <u32 as ShmemScalar>::bytes_to_vec(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn atomic_bits_zero_extend() {
+        assert_eq!((-1i8).to_bits64(), 0xFF);
+        assert_eq!((-1i32).to_bits64(), 0xFFFF_FFFF);
+        assert_eq!(200u8.to_bits64(), 200);
+        assert_eq!(u64::MAX.to_bits64(), u64::MAX);
+    }
+
+    #[test]
+    fn atomic_bits_roundtrip_signed() {
+        for v in [-128i8, -1, 0, 1, 127] {
+            assert_eq!(i8::from_bits64(v.to_bits64()), v);
+        }
+        for v in [i64::MIN, -1, 0, 42, i64::MAX] {
+            assert_eq!(i64::from_bits64(v.to_bits64()), v);
+        }
+    }
+
+    #[test]
+    fn float_slice_roundtrip() {
+        let data = vec![0.5f64, -2.25, f64::INFINITY];
+        let bytes = ShmemScalar::slice_to_bytes(&data);
+        assert_eq!(<f64 as ShmemScalar>::bytes_to_vec(&bytes), data);
+    }
+}

@@ -1,0 +1,190 @@
+//! Failure injection across the stack: LUT rejections, window-limit
+//! violations, symmetric-heap exhaustion and misuse, barrier timeouts
+//! against a diverged peer, and doorbell masking.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use shmem_ntb::net::{doorbells, NetConfig, RingNetwork, RouteDirection};
+use shmem_ntb::shmem::{ShmemConfig, ShmemError, ShmemWorld};
+use shmem_ntb::sim::{
+    connect_ports, DoorbellWaiter, HostMemory, NtbError, PortConfig, Region, TimeModel,
+    TransferMode,
+};
+
+#[test]
+fn lut_rejection_blocks_and_recovers() {
+    let ma = HostMemory::new(0, 64 << 20);
+    let mb = HostMemory::new(1, 64 << 20);
+    let cfg_a = PortConfig::new(0, 1);
+    let a_reqid = cfg_a.requester_id;
+    let (a, b) =
+        connect_ports(cfg_a, PortConfig::new(1, 0), &ma, &mb, Arc::new(TimeModel::zero())).unwrap();
+    a.pio_write(0, b"allowed").unwrap();
+    // Pull A's requester id out of B's admission table: traffic must fail
+    // observably, not corrupt memory.
+    b.lut().disable(a_reqid);
+    let before = b.incoming().region().read_vec(0, 7).unwrap();
+    let err = a.pio_write(0, b"BLOCKED").unwrap_err();
+    assert_eq!(err, NtbError::LutMiss { requester_id: a_reqid });
+    assert_eq!(b.incoming().region().read_vec(0, 7).unwrap(), before, "no partial write");
+    assert_eq!(b.stats().lut_rejects(), 1);
+    // Re-enabling restores the link.
+    b.lut().insert(a_reqid);
+    a.pio_write(0, b"again ok").unwrap();
+}
+
+#[test]
+fn window_limit_violation_is_typed_and_harmless() {
+    let ma = HostMemory::new(0, 64 << 20);
+    let mb = HostMemory::new(1, 64 << 20);
+    let (a, _b) = connect_ports(
+        PortConfig::new(0, 1).with_window_size(4096),
+        PortConfig::new(1, 0).with_window_size(4096),
+        &ma,
+        &mb,
+        Arc::new(TimeModel::zero()),
+    )
+    .unwrap();
+    let err = a.pio_write(4000, &[0u8; 200]).unwrap_err();
+    assert!(matches!(err, NtbError::WindowLimitExceeded { .. }));
+    assert_eq!(a.stats().window_violations(), 1);
+    // The DMA path reports the same failure through its completion.
+    let src = Region::anonymous(256);
+    let h = a
+        .dma_submit(shmem_ntb::sim::DmaRequest { src, src_offset: 0, dst_offset: 4000, len: 200 })
+        .unwrap();
+    assert!(matches!(h.wait(), Err(NtbError::WindowLimitExceeded { .. })));
+}
+
+#[test]
+fn masked_doorbell_defers_service_until_unmask() {
+    let net = RingNetwork::build(NetConfig::fast(2)).unwrap();
+    let n1 = net.node(1);
+    let port = n1.endpoint(RouteDirection::Left).port();
+    // Mask the barrier-start vector at host 1, ring it from host 0: it
+    // must latch but not deliver, then fire on unmask.
+    port.doorbell().mask(1 << doorbells::DB_BARRIER_START);
+    net.node(0).send_barrier(RouteDirection::Right, true).unwrap();
+    let waited = n1.wait_barrier(RouteDirection::Left, true, Duration::from_millis(30)).unwrap();
+    assert!(!waited, "masked interrupt must not deliver");
+    port.doorbell().unmask(1 << doorbells::DB_BARRIER_START);
+    let waited = n1.wait_barrier(RouteDirection::Left, true, Duration::from_secs(1)).unwrap();
+    assert!(waited, "latched interrupt replays on unmask");
+}
+
+#[test]
+fn symmetric_heap_exhaustion_is_reported_per_pe() {
+    // Tiny host arenas: the windows fit, the second big malloc does not.
+    let mut cfg = ShmemConfig::fast_sim().with_hosts(2).with_heap_chunk(1 << 20);
+    cfg.net.host_mem_capacity = 64 << 20;
+    cfg.net.window_size = 1 << 20;
+    let outcomes = ShmemWorld::run(cfg, |ctx| {
+        // Two links/host * 1 MiB windows = 2 MiB; leave room for one 32 MiB
+        // heap grab, then exhaust.
+        let first = ctx.malloc(32 << 20);
+        assert!(first.is_ok());
+        let second = ctx.heap().malloc(512 << 20);
+        matches!(second, Err(ShmemError::OutOfSymmetricMemory { .. }))
+    })
+    .unwrap();
+    assert_eq!(outcomes, vec![true, true]);
+}
+
+#[test]
+fn invalid_and_double_free_detected() {
+    ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(2), |ctx| {
+        let a = ctx.malloc(128).unwrap();
+        ctx.free(a).unwrap();
+        let err = ctx.free(a).unwrap_err();
+        assert!(matches!(err, ShmemError::InvalidFree { .. }));
+        ctx.barrier_all().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn barrier_times_out_against_diverged_peer() {
+    let mut cfg = ShmemConfig::fast_sim().with_hosts(3);
+    cfg.barrier_timeout = Duration::from_millis(200);
+    let outcomes = ShmemWorld::run(cfg, |ctx| {
+        if ctx.my_pe() == 2 {
+            // PE 2 "diverges": it never reaches the barrier.
+            return true;
+        }
+        matches!(ctx.barrier_all(), Err(ShmemError::BarrierTimeout))
+    })
+    .unwrap();
+    assert_eq!(outcomes, vec![true, true, true]);
+}
+
+#[test]
+fn wait_until_times_out_when_nobody_writes() {
+    let mut cfg = ShmemConfig::fast_sim().with_hosts(2);
+    cfg.wait_timeout = Duration::from_millis(100);
+    ShmemWorld::run(cfg, |ctx| {
+        let sym = ctx.calloc_array::<u64>(1).unwrap();
+        let err = ctx.wait_until(&sym, 0, shmem_ntb::shmem::CmpOp::Eq, 1u64).unwrap_err();
+        assert_eq!(err, ShmemError::WaitTimeout);
+        ctx.barrier_all().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn oversized_transfers_rejected_cleanly() {
+    ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(2), |ctx| {
+        let sym = ctx.calloc_array::<u8>(64).unwrap();
+        // Out-of-bounds put and get: typed errors, no panic, no delivery.
+        assert!(matches!(
+            ctx.put_slice(&sym, 60, &[0u8; 10], 1),
+            Err(ShmemError::SymmetricBounds { .. })
+        ));
+        assert!(matches!(
+            ctx.get_slice::<u8>(&sym, 0, 65, 1),
+            Err(ShmemError::SymmetricBounds { .. })
+        ));
+        ctx.barrier_all().unwrap();
+        // The world is still healthy afterwards.
+        if ctx.my_pe() == 0 {
+            ctx.put_slice(&sym, 0, &[7u8; 64], 1).unwrap();
+        }
+        ctx.barrier_all().unwrap();
+        if ctx.my_pe() == 1 {
+            assert_eq!(ctx.read_local_slice::<u8>(&sym, 0, 64).unwrap(), vec![7u8; 64]);
+        }
+        ctx.barrier_all().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn transfer_mode_failures_do_not_wedge_the_ring() {
+    // Interleave failing and succeeding operations in both modes.
+    ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(3), |ctx| {
+        let sym = ctx.calloc_array::<u8>(256).unwrap();
+        for round in 0..10 {
+            let mode =
+                if round % 2 == 0 { TransferMode::Dma } else { TransferMode::Memcpy };
+            let bad = ctx.put_slice_with_mode(&sym, 200, &[0u8; 100], 1, mode);
+            assert!(bad.is_err());
+            if ctx.my_pe() == 0 {
+                ctx.put_slice_with_mode(&sym, 0, &[round as u8; 16], 1, mode).unwrap();
+            }
+            ctx.barrier_all().unwrap();
+            if ctx.my_pe() == 1 {
+                assert_eq!(ctx.read_local::<u8>(&sym, 0).unwrap(), round as u8);
+            }
+            ctx.barrier_all().unwrap();
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn doorbell_waiter_timeout_is_clean() {
+    let net = RingNetwork::build(NetConfig::fast(2)).unwrap();
+    let port = net.node(0).endpoint(RouteDirection::Right).port();
+    let r = port.wait_doorbell(1 << doorbells::DB_BARRIER_END, Some(Duration::from_millis(20)));
+    assert_eq!(r, DoorbellWaiter::TimedOut);
+}

@@ -1,0 +1,211 @@
+//! Whole-stack integration scenarios: realistic distributed algorithms
+//! exercising many features together, with results checked against
+//! sequential oracles and traffic checked against the stats counters.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use shmem_ntb::shmem::{
+    ActiveSet, BarrierAlgorithm, CmpOp, ReduceOp, ShmemConfig, ShmemWorld, TransferMode,
+};
+
+/// Distributed bucket sort: sample keys, alltoall into owner buckets,
+/// sort locally, collect the (variable-length) sorted runs back.
+#[test]
+fn distributed_bucket_sort() {
+    const PES: usize = 4;
+    const KEYS_PER_PE: usize = 500;
+    let cfg = ShmemConfig::fast_sim().with_hosts(PES);
+    let sorted_views = ShmemWorld::run(cfg, |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.num_pes();
+
+        // Deterministic keys in [0, 4n*256): bucket b owns [b*256n, ...).
+        let mut rng = StdRng::seed_from_u64(0x50FA + me as u64);
+        let keys: Vec<u32> = (0..KEYS_PER_PE).map(|_| rng.random_range(0..(n as u32 * 1024))).collect();
+
+        // Exchange: block j of my send buffer holds my keys for bucket j.
+        // Count first so blocks are fixed-size with a length prefix.
+        let block = KEYS_PER_PE + 1; // worst case: all my keys in one bucket
+        let mut send = vec![0u32; n * block];
+        for j in 0..n {
+            let lo = (j as u32) * 1024;
+            let hi = lo + 1024;
+            let mine: Vec<u32> = keys.iter().copied().filter(|&k| k >= lo && k < hi).collect();
+            send[j * block] = mine.len() as u32;
+            send[j * block + 1..j * block + 1 + mine.len()].copy_from_slice(&mine);
+        }
+        let recv = ctx.calloc_array::<u32>(n * block).unwrap();
+        ctx.alltoall(&recv, &send, block).unwrap();
+
+        // Local sort of everything this bucket received.
+        let raw = ctx.read_local_slice::<u32>(&recv, 0, n * block).unwrap();
+        let mut bucket: Vec<u32> = Vec::new();
+        for j in 0..n {
+            let len = raw[j * block] as usize;
+            bucket.extend_from_slice(&raw[j * block + 1..j * block + 1 + len]);
+        }
+        bucket.sort_unstable();
+
+        // Collect variable-length sorted runs back to everyone.
+        let dest = ctx.calloc_array::<u32>(n * KEYS_PER_PE).unwrap();
+        let total = ctx.collect(&dest, &bucket).unwrap();
+        assert_eq!(total, n * KEYS_PER_PE, "no key lost");
+        ctx.read_local_slice::<u32>(&dest, 0, total).unwrap()
+    })
+    .unwrap();
+
+    // Every PE assembled the same, globally sorted sequence.
+    let reference = {
+        let mut all: Vec<u32> = (0..PES)
+            .flat_map(|pe| {
+                let mut rng = StdRng::seed_from_u64(0x50FA + pe as u64);
+                (0..KEYS_PER_PE).map(move |_| rng.random_range(0..(PES as u32 * 1024))).collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable();
+        all
+    };
+    for view in &sorted_views {
+        assert_eq!(view, &reference);
+    }
+}
+
+/// A producer/consumer pipeline across teams: even PEs produce into odd
+/// PEs' queues with puts + flags; odd PEs consume with wait_until; a
+/// team-allreduce checks the grand total.
+#[test]
+fn producer_consumer_pipeline_with_teams() {
+    const PES: usize = 6;
+    const ITEMS: usize = 40;
+    let cfg = ShmemConfig::fast_sim().with_hosts(PES);
+    ShmemWorld::run(cfg, |ctx| {
+        let me = ctx.my_pe();
+        let producers = ctx.team_split(ActiveSet::new(0, 1, 3)).unwrap(); // 0,2,4
+        let consumers = ctx.team_split(ActiveSet::new(1, 1, 3)).unwrap(); // 1,3,5
+        let queue = ctx.calloc_array::<u64>(ITEMS).unwrap();
+        let head = ctx.calloc_array::<u64>(1).unwrap();
+
+        if producers.is_member() {
+            // Produce into my right neighbour (a consumer).
+            let target = me + 1;
+            for i in 0..ITEMS {
+                ctx.put(&queue, i, (me * 1000 + i) as u64, target).unwrap();
+                ctx.quiet(); // item visible before the head moves
+                ctx.put(&head, 0, i as u64 + 1, target).unwrap();
+            }
+            ctx.quiet();
+        } else {
+            // Consume: wait for the head to advance, check items in order.
+            let source = me - 1;
+            let mut expect = 0u64;
+            while (expect as usize) < ITEMS {
+                ctx.wait_until(&head, 0, CmpOp::Gt, expect).unwrap();
+                let available = ctx.read_local::<u64>(&head, 0).unwrap();
+                while expect < available {
+                    let item = ctx.read_local::<u64>(&queue, expect as usize).unwrap();
+                    assert_eq!(item, (source * 1000) as u64 + expect, "in-order delivery");
+                    expect += 1;
+                }
+            }
+        }
+        ctx.barrier_all().unwrap();
+
+        // Consumers agree on the total consumed via their team reduction.
+        let consumed = if consumers.is_member() { ITEMS as u64 } else { 0 };
+        if let Some(totals) = ctx.team_allreduce(&consumers, ReduceOp::Sum, &[consumed]).unwrap() {
+            assert_eq!(totals[0], 3 * ITEMS as u64);
+        }
+        ctx.barrier_all().unwrap();
+        ctx.team_destroy(producers).unwrap();
+        ctx.team_destroy(consumers).unwrap();
+    })
+    .unwrap();
+}
+
+/// Mixed chaos: every PE concurrently puts, gets, atomics and barriers
+/// for several epochs in both transfer modes and both barrier
+/// algorithms; verify per-epoch invariants and final counters.
+#[test]
+fn mixed_traffic_stress_all_modes() {
+    for alg in [BarrierAlgorithm::RingSweep, BarrierAlgorithm::Dissemination] {
+        let cfg = ShmemConfig::fast_sim().with_hosts(5).with_barrier_algorithm(alg);
+        ShmemWorld::run(cfg, |ctx| {
+            let me = ctx.my_pe();
+            let n = ctx.num_pes();
+            let board = ctx.calloc_array::<u64>(n * n).unwrap();
+            let counter = ctx.calloc_array::<u64>(1).unwrap();
+            for epoch in 1..=4u64 {
+                let mode = if epoch % 2 == 0 { TransferMode::Dma } else { TransferMode::Memcpy };
+                // Scatter a row to every PE.
+                for pe in 0..n {
+                    let row: Vec<u64> = (0..n).map(|c| epoch * 10_000 + (me * n + c) as u64).collect();
+                    if pe == me {
+                        ctx.write_local_slice(&board, me * n, &row).unwrap();
+                    } else {
+                        ctx.put_slice_with_mode(&board, me * n, &row, pe, mode).unwrap();
+                    }
+                }
+                // Bump the shared counter at the epoch's owner PE.
+                ctx.atomic_fetch_add(&counter, 0, 1u64, (epoch as usize) % n).unwrap();
+                ctx.barrier_all().unwrap();
+                // Validate the full board locally and by remote get.
+                let local = ctx.read_local_slice::<u64>(&board, 0, n * n).unwrap();
+                for (i, v) in local.iter().enumerate() {
+                    assert_eq!(*v, epoch * 10_000 + i as u64, "epoch {epoch} cell {i}");
+                }
+                let remote = ctx.get_slice::<u64>(&board, 0, n, (me + 1) % n).unwrap();
+                for (c, v) in remote.iter().enumerate() {
+                    assert_eq!(*v, epoch * 10_000 + c as u64);
+                }
+                ctx.barrier_all().unwrap();
+            }
+            // Each epoch's owner saw n increments.
+            let owner_count = ctx.read_local::<u64>(&counter, 0).unwrap();
+            let expected: u64 = (1..=4u64).filter(|e| (*e as usize) % n == me).count() as u64 * n as u64;
+            assert_eq!(owner_count, expected);
+            ctx.barrier_all().unwrap();
+        })
+        .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+    }
+}
+
+/// The stats surface reflects real traffic.
+#[test]
+fn stats_reflect_traffic() {
+    let cfg = ShmemConfig::fast_sim().with_hosts(3);
+    let stats = ShmemWorld::run(cfg, |ctx| {
+        let sym = ctx.calloc_array::<u8>(4096).unwrap();
+        if ctx.my_pe() == 0 {
+            ctx.put_slice(&sym, 0, &[1u8; 4096], 1).unwrap();
+            ctx.quiet();
+            let _ = ctx.get_slice::<u8>(&sym, 0, 1024, 2).unwrap();
+        }
+        ctx.barrier_all().unwrap();
+        ctx.stats_snapshot()
+    })
+    .unwrap();
+    // PE 1 delivered the put; PE 2 served the get; PE 0 got its ack.
+    assert!(stats[1].puts_delivered >= 1, "{:?}", stats[1]);
+    assert!(stats[2].gets_served >= 1, "{:?}", stats[2]);
+    assert!(stats[0].acks_received >= 1, "{:?}", stats[0]);
+    assert!(stats[0].bytes_tx >= 4096);
+    assert!(stats[1].bytes_rx >= 4096);
+    for s in &stats {
+        assert!(s.heap_capacity > 0);
+        assert!(s.heap_live_bytes >= 4096 + 64, "sym + barrier flags live");
+    }
+}
+
+/// Aligned symmetric allocation keeps the cross-PE offset invariant.
+#[test]
+fn aligned_alloc_is_symmetric() {
+    let cfg = ShmemConfig::fast_sim().with_hosts(3);
+    let offs = ShmemWorld::run(cfg, |ctx| {
+        let _pad = ctx.malloc(24).unwrap();
+        let a = ctx.malloc_aligned(100, 4096).unwrap();
+        assert_eq!(a.offset() % 4096, 0);
+        a.offset()
+    })
+    .unwrap();
+    assert!(offs.windows(2).all(|w| w[0] == w[1]));
+}

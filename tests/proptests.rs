@@ -1,0 +1,311 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property-based tests over the core invariants:
+//! allocator determinism and non-overlap, frame-codec round-trips, ring
+//! routing, and a randomized put/get workload checked against a flat
+//! byte-array oracle.
+
+use proptest::prelude::*;
+
+use shmem_ntb::net::{hop_count, Frame, FrameKind, RingTopology};
+use shmem_ntb::shmem::{ShmemConfig, ShmemWorld, SymmetricHeap, TransferMode};
+use shmem_ntb::sim::HostMemory;
+
+// ---------------------------------------------------------------------
+// Symmetric heap allocator
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Malloc(u64),
+    /// Free the i-th (mod live count) oldest live allocation.
+    Free(usize),
+}
+
+fn heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..200_000).prop_map(HeapOp::Malloc),
+            (0usize..64).prop_map(HeapOp::Free),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Live allocations never overlap, and replaying the same script on a
+    /// second heap yields identical offsets (the symmetric invariant).
+    #[test]
+    fn allocator_no_overlap_and_deterministic(ops in heap_ops()) {
+        let h1 = SymmetricHeap::new(HostMemory::new(0, 1 << 30), 64 << 10);
+        let h2 = SymmetricHeap::new(HostMemory::new(1, 1 << 30), 64 << 10);
+        let mut live: Vec<shmem_ntb::shmem::SymAddr> = Vec::new();
+        for op in &ops {
+            match op {
+                HeapOp::Malloc(size) => {
+                    let a1 = h1.malloc(*size).unwrap();
+                    let a2 = h2.malloc(*size).unwrap();
+                    prop_assert_eq!(a1, a2, "replicas must agree");
+                    // Non-overlap with every live allocation.
+                    for b in &live {
+                        let disjoint = a1.offset() + a1.len() <= b.offset()
+                            || b.offset() + b.len() <= a1.offset();
+                        prop_assert!(disjoint, "{a1:?} overlaps {b:?}");
+                    }
+                    live.push(a1);
+                }
+                HeapOp::Free(idx) => {
+                    if !live.is_empty() {
+                        let a = live.remove(idx % live.len());
+                        h1.free(a).unwrap();
+                        h2.free(a).unwrap();
+                    }
+                }
+            }
+        }
+        // Accounting: live bytes equal the sum of live allocation lengths.
+        let expect: u64 = live.iter().map(|a| a.len()).sum();
+        prop_assert_eq!(h1.live_bytes(), expect);
+        prop_assert_eq!(h1.live_allocations(), live.len());
+    }
+
+    /// Freeing everything lets a maximal allocation reuse offset 0
+    /// (coalescing works and nothing leaks).
+    #[test]
+    fn allocator_full_coalesce(sizes in prop::collection::vec(1u64..50_000, 1..20)) {
+        let h = SymmetricHeap::new(HostMemory::new(0, 1 << 30), 64 << 10);
+        let allocs: Vec<_> = sizes.iter().map(|&s| h.malloc(s).unwrap()).collect();
+        let total_cap = h.capacity();
+        for a in allocs {
+            h.free(a).unwrap();
+        }
+        prop_assert_eq!(h.live_bytes(), 0);
+        let big = h.malloc(total_cap).unwrap();
+        prop_assert_eq!(big.offset(), 0, "all space coalesced back into one range");
+    }
+
+    /// Data written across arbitrary chunk boundaries reads back intact.
+    #[test]
+    fn heap_flat_io_roundtrip(offset in 0u64..100_000, data in prop::collection::vec(any::<u8>(), 1..5000)) {
+        let h = SymmetricHeap::new(HostMemory::new(0, 1 << 30), 4096);
+        let _ = h.malloc(offset + data.len() as u64).unwrap();
+        h.write_flat(offset, &data).unwrap();
+        prop_assert_eq!(h.read_flat_vec(offset, data.len() as u64).unwrap(), data);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        0usize..=63,
+        0usize..=63,
+        any::<u16>(),
+        0u32..(1 << 30),
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        0usize..4,
+    )
+        .prop_map(|(src, dest, seq, len, offset, aux, memcpy, kind_sel)| {
+            let mode = if memcpy { TransferMode::Memcpy } else { TransferMode::Dma };
+            let mut f = match kind_sel {
+                0 => Frame::put(src, dest, len, offset, mode),
+                1 => Frame::get_req(src, dest, len, offset, aux, mode),
+                2 => Frame::get_resp(src, dest, len, offset, aux, mode),
+                _ => Frame::put_ack(src, dest, len),
+            };
+            f.seq = seq;
+            f
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every frame survives the scratchpad encoding.
+    #[test]
+    fn frame_roundtrip(f in arb_frame()) {
+        let decoded = Frame::decode(f.encode()).unwrap();
+        prop_assert_eq!(decoded, f);
+    }
+
+    /// The header word is never zero (zero means "empty mailbox slot").
+    #[test]
+    fn frame_header_nonzero(f in arb_frame()) {
+        prop_assert_ne!(f.encode()[0], 0);
+    }
+
+    /// AMO frames round-trip with opcode and mode intact.
+    #[test]
+    fn amo_frame_roundtrip(src in 0usize..=63, dest in 0usize..=63,
+                           off in any::<u32>(), req in any::<u32>(), op_sel in 0usize..8) {
+        let op = shmem_ntb::net::AmoOp::ALL[op_sel];
+        let f = Frame::amo_req(src, dest, op, off, req);
+        let d = Frame::decode(f.encode()).unwrap();
+        prop_assert_eq!(d.amo_op, Some(op));
+        prop_assert_eq!(d.kind, FrameKind::AmoReq);
+        prop_assert_eq!(d.offset, off);
+        prop_assert_eq!(d.aux, req);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ring routing
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Walking next_hop reaches the destination in exactly hop_count
+    /// steps, and hop_count never exceeds half the ring.
+    #[test]
+    fn routing_reaches_destination(n in 2usize..=16, src in 0usize..16, dst in 0usize..16) {
+        let src = src % n;
+        let dst = dst % n;
+        prop_assume!(src != dst);
+        let hops = hop_count(src, dst, n);
+        prop_assert!(hops <= n / 2);
+        let mut cur = src;
+        for _ in 0..hops {
+            cur = RingTopology::new(cur, n).next_hop(dst);
+        }
+        prop_assert_eq!(cur, dst);
+    }
+
+    /// Hop count is symmetric.
+    #[test]
+    fn hop_count_symmetric(n in 1usize..=16, a in 0usize..16, b in 0usize..16) {
+        let a = a % n;
+        let b = b % n;
+        prop_assert_eq!(hop_count(a, b, n), hop_count(b, a, n));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Put/get against a flat oracle
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct XferOp {
+    put: bool,
+    pe: usize,
+    offset: usize,
+    len: usize,
+    seed: u8,
+    memcpy: bool,
+}
+
+fn xfer_ops() -> impl Strategy<Value = Vec<XferOp>> {
+    prop::collection::vec(
+        (any::<bool>(), 1usize..4, 0usize..3000, 1usize..2048, any::<u8>(), any::<bool>())
+            .prop_map(|(put, pe, offset, len, seed, memcpy)| XferOp {
+                put,
+                pe,
+                offset,
+                len,
+                seed,
+                memcpy,
+            }),
+        1..25,
+    )
+}
+
+proptest! {
+    // Worlds are comparatively expensive; a handful of randomized scripts
+    // with ~25 operations each still explores a lot of interleaving.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PE 0 drives a random put/get script against PEs 1..4; symmetric
+    /// memory must always match a per-PE byte-array oracle.
+    #[test]
+    fn putget_matches_oracle(ops in xfer_ops()) {
+        const REGION: usize = 8192;
+        let cfg = ShmemConfig::fast_sim().with_hosts(4);
+        let result = ShmemWorld::run(cfg, |ctx| {
+            let sym = ctx.calloc_array::<u8>(REGION).unwrap();
+            if ctx.my_pe() == 0 {
+                let mut oracle = vec![vec![0u8; REGION]; ctx.num_pes()];
+                for (i, op) in ops.iter().enumerate() {
+                    let offset = op.offset.min(REGION - 1);
+                    let len = op.len.min(REGION - offset);
+                    let mode = if op.memcpy { TransferMode::Memcpy } else { TransferMode::Dma };
+                    if op.put {
+                        let data: Vec<u8> =
+                            (0..len).map(|j| op.seed.wrapping_add(j as u8)).collect();
+                        ctx.put_slice_with_mode(&sym, offset, &data, op.pe, mode).unwrap();
+                        ctx.quiet();
+                        oracle[op.pe][offset..offset + len].copy_from_slice(&data);
+                    } else {
+                        let got =
+                            ctx.get_slice_with_mode::<u8>(&sym, offset, len, op.pe, mode).unwrap();
+                        assert_eq!(got, &oracle[op.pe][offset..offset + len], "op {i}: {op:?}");
+                    }
+                }
+                // Final sweep: every byte of every PE matches the oracle.
+                for pe in 1..ctx.num_pes() {
+                    let all = ctx.get_slice::<u8>(&sym, 0, REGION, pe).unwrap();
+                    assert_eq!(all, oracle[pe], "final sweep PE {pe}");
+                }
+            }
+            ctx.barrier_all().unwrap();
+        });
+        prop_assert!(result.is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aligned allocation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aligned allocations honor the alignment, stay disjoint from
+    /// neighbours, and stay deterministic across replicas.
+    #[test]
+    fn aligned_allocator_deterministic(
+        script in prop::collection::vec((1u64..50_000, 0u32..8), 1..20)
+    ) {
+        let h1 = SymmetricHeap::new(HostMemory::new(0, 1 << 30), 64 << 10);
+        let h2 = SymmetricHeap::new(HostMemory::new(1, 1 << 30), 64 << 10);
+        let mut live: Vec<shmem_ntb::shmem::SymAddr> = Vec::new();
+        for (size, align_log) in script {
+            let align = 16u64 << align_log;
+            let a1 = h1.malloc_aligned(size, align).unwrap();
+            let a2 = h2.malloc_aligned(size, align).unwrap();
+            prop_assert_eq!(a1, a2, "replicas agree");
+            prop_assert_eq!(a1.offset() % align, 0, "alignment honored");
+            for b in &live {
+                let disjoint = a1.offset() + a1.len() <= b.offset()
+                    || b.offset() + b.len() <= a1.offset();
+                prop_assert!(disjoint, "{a1:?} overlaps {b:?}");
+            }
+            live.push(a1);
+        }
+    }
+
+    /// Alignment padding is reusable: freeing everything coalesces back
+    /// to one hole even with mixed alignments.
+    #[test]
+    fn aligned_allocator_coalesces(
+        script in prop::collection::vec((1u64..20_000, 0u32..6), 1..15)
+    ) {
+        let h = SymmetricHeap::new(HostMemory::new(0, 1 << 30), 64 << 10);
+        let allocs: Vec<_> = script
+            .iter()
+            .map(|&(size, al)| h.malloc_aligned(size, 16 << al).unwrap())
+            .collect();
+        let cap = h.capacity();
+        for a in allocs {
+            h.free(a).unwrap();
+        }
+        prop_assert_eq!(h.live_bytes(), 0);
+        let big = h.malloc(cap).unwrap();
+        prop_assert_eq!(big.offset(), 0, "fully coalesced");
+    }
+}

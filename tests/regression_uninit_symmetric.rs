@@ -1,0 +1,99 @@
+//! Regression tests for the uninitialized-symmetric-memory class of bug.
+//!
+//! `shmem_malloc` (like the spec) does not zero recycled heap space, so a
+//! control word allocated after a free can contain stale data from an
+//! earlier collective. This bit the Monte-Carlo example: a lock-protected
+//! cursor read back a stale hit count from a freed `allreduce` scratch
+//! buffer. The fix is `shmem_calloc` (zero + barrier) and a `lock_alloc`
+//! that publishes the zeroed lock word before anyone can contend.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use shmem_ntb::shmem::{CmpOp, ReduceOp, ShmemConfig, ShmemWorld};
+
+#[test]
+fn malloc_recycled_memory_is_stale_and_calloc_is_not() {
+    ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(2), |ctx| {
+        // Dirty a region, free it.
+        let a = ctx.malloc_array::<u64>(4).unwrap();
+        ctx.write_local_slice(&a, 0, &[0xDEAD, 0xBEEF, 0xFEED, 0xFACE]).unwrap();
+        ctx.free_array(a).unwrap();
+        // malloc reuses it *without* zeroing (spec behaviour).
+        let b = ctx.malloc_array::<u64>(4).unwrap();
+        assert_eq!(b.addr().offset(), a.addr().offset(), "hole reused");
+        assert_eq!(
+            ctx.read_local_slice::<u64>(&b, 0, 4).unwrap(),
+            vec![0xDEAD, 0xBEEF, 0xFEED, 0xFACE],
+            "malloc must not hide the stale bytes (documented spec behaviour)"
+        );
+        ctx.free_array(b).unwrap();
+        // calloc gives zeroed memory even when recycling.
+        let c = ctx.calloc_array::<u64>(4).unwrap();
+        assert_eq!(c.addr().offset(), a.addr().offset(), "hole reused again");
+        assert_eq!(ctx.read_local_slice::<u64>(&c, 0, 4).unwrap(), vec![0; 4]);
+        ctx.barrier_all().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn lock_alloc_is_safe_on_recycled_dirty_memory() {
+    ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(3), |ctx| {
+        // Make the next allocation land on dirty recycled bytes that look
+        // like a held lock.
+        let dirty = ctx.malloc_array::<u64>(1).unwrap();
+        ctx.write_local(&dirty, 0, u64::MAX).unwrap();
+        ctx.barrier_all().unwrap();
+        ctx.free_array(dirty).unwrap();
+        // lock_alloc must still hand out an acquirable lock.
+        let lock = ctx.lock_alloc().unwrap();
+        ctx.set_lock(&lock).unwrap();
+        ctx.clear_lock(&lock).unwrap();
+        ctx.barrier_all().unwrap();
+    })
+    .unwrap();
+}
+
+/// The full failing scenario from the example, kept as an end-to-end
+/// regression: broadcast + allreduce (dirtying scratch), then a
+/// lock-protected shared log on PE 0.
+#[test]
+fn lock_protected_log_after_collectives() {
+    let cfg = ShmemConfig::fast_sim().with_hosts(5);
+    ShmemWorld::run(cfg, |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.num_pes();
+        let samples = ctx.broadcast_value(if me == 0 { 5_000u64 } else { 0 }, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x314159 + me as u64);
+        let mut hits = 0u64;
+        for _ in 0..samples {
+            let (x, y): (f64, f64) = (rng.random(), rng.random());
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        let total = ctx.allreduce(ReduceOp::Sum, &[hits]).unwrap()[0];
+        assert!(total > 0);
+
+        let lock = ctx.lock_alloc().unwrap();
+        let cursor = ctx.calloc_array::<u64>(1).unwrap();
+        let log = ctx.calloc_array::<u64>(2 * n).unwrap();
+        ctx.set_lock(&lock).unwrap();
+        let slot = ctx.get::<u64>(&cursor, 0, 0).unwrap();
+        assert!(slot < n as u64, "PE {me}: cursor must be a valid slot, got {slot}");
+        ctx.put_slice(&log, 2 * slot as usize, &[me as u64, hits], 0).unwrap();
+        ctx.quiet();
+        ctx.put(&cursor, 0, slot + 1, 0).unwrap();
+        ctx.quiet();
+        ctx.clear_lock(&lock).unwrap();
+
+        if me == 0 {
+            ctx.wait_until(&cursor, 0, CmpOp::Eq, n as u64).unwrap();
+            let entries = ctx.read_local_slice::<u64>(&log, 0, 2 * n).unwrap();
+            let logged: u64 = entries.chunks(2).map(|e| e[1]).sum();
+            assert_eq!(logged, total, "every PE's entry logged exactly once");
+        }
+        ctx.barrier_all().unwrap();
+    })
+    .unwrap();
+}
