@@ -1,6 +1,74 @@
 //! Interconnect configuration.
 
-use ntb_sim::TimeModel;
+use std::time::Duration;
+
+use ntb_sim::{FaultPlan, TimeModel};
+
+/// Retry/recovery knobs for the lossy-link protocol: how long to wait for
+/// a positive acknowledgement, how many retransmissions to attempt, and
+/// how the backoff between them grows. The defaults are deliberately
+/// generous relative to simulated wire latencies (microseconds) so a
+/// fault-free run never trips a spurious retransmit, yet bound every
+/// blocking call: with the default policy an unreachable peer surfaces
+/// `LinkFailed` in well under ten seconds instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long an unacknowledged put (or outstanding Get/AMO response)
+    /// may age before it is retransmitted.
+    pub ack_timeout: Duration,
+    /// Retransmissions to attempt after the initial send before the
+    /// operation is declared failed.
+    pub max_retries: u32,
+    /// Backoff added to `ack_timeout` after the first retransmission;
+    /// doubles per attempt.
+    pub backoff_base: Duration,
+    /// Cap on the exponential backoff.
+    pub backoff_max: Duration,
+    /// How often a `Down` link endpoint is probed for recovery.
+    pub probe_interval: Duration,
+    /// How long a sender spins on a full mailbox slot before re-ringing
+    /// the last doorbell (recovers a dropped interrupt).
+    pub mailbox_timeout: Duration,
+    /// Consecutive transient failures before a link endpoint is marked
+    /// `Down` and traffic reroutes around it.
+    pub failure_threshold: u32,
+}
+
+impl RetryPolicy {
+    /// Backoff for the given retransmission attempt (0-based):
+    /// `backoff_base * 2^attempt`, capped at `backoff_max`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let shifted = self
+            .backoff_base
+            .checked_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+            .unwrap_or(self.backoff_max);
+        shifted.min(self.backoff_max)
+    }
+
+    /// Rough upper bound on how long an operation can stay pending before
+    /// `LinkFailed` surfaces: every attempt's timeout plus every backoff.
+    pub fn worst_case(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 0..=self.max_retries {
+            total += self.ack_timeout + self.backoff(attempt);
+        }
+        total
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            ack_timeout: Duration::from_millis(200),
+            max_retries: 5,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_millis(400),
+            probe_interval: Duration::from_millis(50),
+            mailbox_timeout: Duration::from_millis(100),
+            failure_threshold: 3,
+        }
+    }
+}
 
 /// Configuration of the switchless ring network.
 #[derive(Debug, Clone)]
@@ -27,6 +95,10 @@ pub struct NetConfig {
     pub host_mem_capacity: u64,
     /// The timing model all hardware shares.
     pub model: TimeModel,
+    /// Retry/recovery policy for the lossy-link protocol.
+    pub retry: RetryPolicy,
+    /// Fault-injection plan applied to every link (empty = clean links).
+    pub faults: FaultPlan,
 }
 
 impl NetConfig {
@@ -65,6 +137,18 @@ impl NetConfig {
         self
     }
 
+    /// Override the retry/recovery policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Install a fault-injection plan on every link.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The put chunking granularity: a payload larger than this is split.
     /// Bounded by both areas because a chunk may need forwarding.
     pub fn put_chunk(&self) -> u64 {
@@ -80,8 +164,10 @@ impl NetConfig {
                 <= self.window_size,
             "window too small for direct+bypass areas"
         );
-        assert!(self.get_resp_chunk > 0 && self.get_resp_chunk <= self.put_chunk(),
-            "get response chunk must fit the payload areas");
+        assert!(
+            self.get_resp_chunk > 0 && self.get_resp_chunk <= self.put_chunk(),
+            "get response chunk must fit the payload areas"
+        );
         assert!(self.dma_channels >= 1, "need at least one DMA channel");
         if self.topology == crate::topology::Topology::FullMesh {
             assert!(self.hosts <= 16, "mesh adapter slots are limited to 16 hosts");
@@ -101,6 +187,8 @@ impl Default for NetConfig {
             dma_channels: 1,
             host_mem_capacity: 512 << 20,
             model: TimeModel::paper(),
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -149,6 +237,35 @@ mod tests {
     #[should_panic(expected = "get response chunk")]
     fn oversized_get_chunk_rejected() {
         let c = NetConfig::fast(3).with_get_chunk(1 << 20);
+        c.validate();
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(35),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(35));
+        assert_eq!(p.backoff(31), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn worst_case_bounds_all_attempts() {
+        let p = RetryPolicy::default();
+        // One initial attempt + max_retries retransmissions, each bounded.
+        assert!(p.worst_case() >= p.ack_timeout * (p.max_retries + 1));
+        assert!(p.worst_case() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn default_faults_inactive() {
+        assert!(!NetConfig::default().faults.is_active());
+        let c = NetConfig::fast(3).with_faults(FaultPlan::none().with_doorbell_drop(0.01));
+        assert!(c.faults.is_active());
         c.validate();
     }
 }

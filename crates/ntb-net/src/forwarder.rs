@@ -25,8 +25,12 @@ pub struct ForwardJob {
     /// payload.
     pub payload: Option<Vec<u8>>,
     /// Modelled think time charged before transmitting (bypass forwarding
-    /// delay, get-response pacing).
+    /// delay, get-response pacing, retry backoff).
     pub think: Duration,
+    /// Transmission attempts so far; a transiently failed send is
+    /// re-dispatched until this reaches the retry budget, after which the
+    /// frame is dropped (the origin's end-to-end retransmission recovers).
+    pub attempts: u32,
 }
 
 #[derive(Debug, Default)]
@@ -93,9 +97,10 @@ mod tests {
 
     fn job(n: u32) -> ForwardJob {
         ForwardJob {
-            frame: Frame::put(0, 1, n, 0, TransferMode::Dma),
+            frame: Frame::put(0, 1, n, 0, 0, TransferMode::Dma),
             payload: Some(vec![0u8; n as usize]),
             think: Duration::ZERO,
+            attempts: 0,
         }
     }
 

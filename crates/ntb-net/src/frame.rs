@@ -12,7 +12,7 @@
 //! | `base+0` | header: `kind(4) \| src(6) \| dest(6) \| seq(16)` — zero means *empty mailbox* |
 //! | `base+1` | bit 31: transfer mode (0=DMA, 1=memcpy); bits 0..24/31: length (AMO frames pack the opcode in bits 24..31) |
 //! | `base+2` | address offset (symmetric-heap or response-buffer relative) |
-//! | `base+3` | auxiliary word (request id for Get/AMO traffic) |
+//! | `base+3` | auxiliary word (request id for Get/AMO traffic, put id for Put/PutAck) |
 //!
 //! The header register is written **last** by the sender and zeroed by the
 //! receiver as the acknowledgement, giving a one-slot mailbox per link
@@ -40,7 +40,8 @@ pub enum FrameKind {
     /// requester's destination buffer, `aux` is the request id.
     GetResp,
     /// Delivery acknowledgement for put chunks, routed back to the origin
-    /// (consumed by `quiet`/barrier); `len` counts the chunks acked.
+    /// (consumed by `quiet`/barrier); `len` counts the chunks acked and
+    /// `aux` echoes the put id being retired.
     PutAck,
     /// Remote atomic request; 24-byte operand payload
     /// `[operand, compare, width]` in the window, `aux` is the request id.
@@ -105,7 +106,8 @@ pub struct Frame {
     /// Address offset: symmetric-heap offset for Put/GetReq/Amo,
     /// response-buffer offset for GetResp.
     pub offset: u32,
-    /// Auxiliary word: request id for Get/AMO traffic, zero otherwise.
+    /// Auxiliary word: request id for Get/AMO traffic, put id for
+    /// Put/PutAck traffic.
     pub aux: u32,
     /// Transfer mode this operation (and its forwards) uses on the wire.
     pub mode: TransferMode,
@@ -115,8 +117,17 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// A put (data) frame.
-    pub fn put(src: usize, dest: usize, len: u32, heap_offset: u32, mode: TransferMode) -> Frame {
+    /// A put (data) frame. `put_id` is the origin-assigned retransmission
+    /// id echoed back in the matching [`FrameKind::PutAck`]; the receiver
+    /// uses it to suppress duplicate deliveries of retransmitted chunks.
+    pub fn put(
+        src: usize,
+        dest: usize,
+        len: u32,
+        heap_offset: u32,
+        put_id: u32,
+        mode: TransferMode,
+    ) -> Frame {
         Frame {
             kind: FrameKind::Put,
             src,
@@ -124,7 +135,7 @@ impl Frame {
             seq: 0,
             len,
             offset: heap_offset,
-            aux: 0,
+            aux: put_id,
             mode,
             amo_op: None,
         }
@@ -175,8 +186,10 @@ impl Frame {
         }
     }
 
-    /// A put-delivery acknowledgement frame covering `chunks` chunks.
-    pub fn put_ack(src: usize, dest: usize, chunks: u32) -> Frame {
+    /// A put-delivery acknowledgement frame covering `chunks` chunks;
+    /// `put_id` echoes the acknowledged put frame's retransmission id so
+    /// the origin can retire the matching unacked-put record.
+    pub fn put_ack(src: usize, dest: usize, chunks: u32, put_id: u32) -> Frame {
         Frame {
             kind: FrameKind::PutAck,
             src,
@@ -184,7 +197,7 @@ impl Frame {
             seq: 0,
             len: chunks,
             offset: 0,
-            aux: 0,
+            aux: put_id,
             mode: TransferMode::Dma,
             amo_op: None,
         }
@@ -272,7 +285,7 @@ mod tests {
     #[test]
     fn put_roundtrip_both_modes() {
         for mode in [TransferMode::Dma, TransferMode::Memcpy] {
-            let mut f = Frame::put(3, 7, 65536, 1024, mode);
+            let mut f = Frame::put(3, 7, 65536, 1024, 17, mode);
             f.seq = 42;
             let decoded = Frame::decode(f.encode()).unwrap();
             assert_eq!(decoded, f);
@@ -293,9 +306,10 @@ mod tests {
 
     #[test]
     fn put_ack_roundtrip() {
-        let f = Frame::put_ack(2, 0, 3);
+        let f = Frame::put_ack(2, 0, 3, 0xABCD);
         assert_eq!(Frame::decode(f.encode()).unwrap(), f);
         assert!(!f.kind.has_payload());
+        assert_eq!(Frame::decode(f.encode()).unwrap().aux, 0xABCD);
     }
 
     #[test]
@@ -329,10 +343,10 @@ mod tests {
     fn header_nonzero_for_all_kinds() {
         // The mailbox relies on header==0 meaning empty.
         let frames = [
-            Frame::put(0, 0, 0, 0, TransferMode::Dma),
+            Frame::put(0, 0, 0, 0, 0, TransferMode::Dma),
             Frame::get_req(0, 0, 0, 0, 0, TransferMode::Dma),
             Frame::get_resp(0, 0, 0, 0, 0, TransferMode::Dma),
-            Frame::put_ack(0, 0, 0),
+            Frame::put_ack(0, 0, 0, 0),
             Frame::amo_req(0, 0, AmoOp::FetchAdd, 0, 0),
             Frame::amo_resp(0, 0, 0),
         ];
@@ -364,7 +378,7 @@ mod tests {
 
     #[test]
     fn max_host_ids_survive() {
-        let f = Frame::put(MAX_HOSTS, MAX_HOSTS, 1, 1, TransferMode::Dma);
+        let f = Frame::put(MAX_HOSTS, MAX_HOSTS, 1, 1, 1, TransferMode::Dma);
         let d = Frame::decode(f.encode()).unwrap();
         assert_eq!(d.src, MAX_HOSTS);
         assert_eq!(d.dest, MAX_HOSTS);

@@ -191,8 +191,8 @@ mod tests {
     #[test]
     fn silent_peer_times_out() {
         let (a, _b) = pair();
-        let err = exchange_link_info(&a, 0, 1 << 20, 1 << 10, Duration::from_millis(50))
-            .unwrap_err();
+        let err =
+            exchange_link_info(&a, 0, 1 << 20, 1 << 10, Duration::from_millis(50)).unwrap_err();
         assert_eq!(err, NtbError::NotConnected);
     }
 

@@ -4,20 +4,36 @@
 //! paper's buffer structure:
 //!
 //! ```text
-//! +----------------+--------------------+
-//! | direct buffer  | bypass buffer      |
-//! | (terminating   | (forwarded         |
-//! |  payloads)     |  payloads)         |
-//! +----------------+--------------------+
-//! 0            direct_buf     direct_buf+bypass_buf
+//! +----------------+--------------------+------+
+//! | direct buffer  | bypass buffer      | ctrl |
+//! | (terminating   | (forwarded         | slot |
+//! |  payloads)     |  payloads)         |      |
+//! +----------------+--------------------+------+
+//! 0            direct_buf     direct_buf+bypass_buf  (+CTRL_LEN)
 //! ```
 //!
 //! The sender chooses the area: if the *next hop is the final destination*
 //! the payload goes to the direct buffer; otherwise it goes to the bypass
 //! buffer, from which the receiving host's service thread stages and
 //! forwards it (paper §III-B3, Fig. 4).
+//!
+//! The trailing control slot is a small fixed region past both payload
+//! areas: bytes 0..4 hold the CRC-32 of the in-flight payload (written by
+//! the sender before the doorbell, verified by the receiving hop), bytes
+//! 4..8 are a scratch word down-link probes write to test the path without
+//! touching payload bytes. One slot suffices because the mailbox protocol
+//! allows only one in-flight frame per link direction.
 
 use ntb_sim::{Region, Result};
+
+/// Size of the control slot appended after the payload areas.
+pub const CTRL_LEN: u64 = 8;
+
+/// Offset within the control slot of the payload CRC word.
+pub const CTRL_CRC_OFF: u64 = 0;
+
+/// Offset within the control slot of the probe scratch word.
+pub const CTRL_PROBE_OFF: u64 = 4;
 
 /// Resolved offsets of one incoming window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,17 +46,35 @@ pub struct WindowLayout {
     pub bypass_off: u64,
     /// Bypass buffer size.
     pub bypass_len: u64,
+    /// Control slot offset (CRC + probe words live here).
+    pub ctrl_off: u64,
 }
 
 impl WindowLayout {
     /// Build a layout with the given area sizes.
     pub fn new(direct_len: u64, bypass_len: u64) -> Self {
-        WindowLayout { direct_off: 0, direct_len, bypass_off: direct_len, bypass_len }
+        WindowLayout {
+            direct_off: 0,
+            direct_len,
+            bypass_off: direct_len,
+            bypass_len,
+            ctrl_off: direct_len + bypass_len,
+        }
     }
 
-    /// Minimum window size that holds both areas.
+    /// Minimum window size that holds both areas plus the control slot.
     pub fn required_size(direct_len: u64, bypass_len: u64) -> u64 {
-        direct_len + bypass_len
+        direct_len + bypass_len + CTRL_LEN
+    }
+
+    /// Offset of the payload CRC word within the window.
+    pub fn crc_off(&self) -> u64 {
+        self.ctrl_off + CTRL_CRC_OFF
+    }
+
+    /// Offset of the probe scratch word within the window.
+    pub fn probe_off(&self) -> u64 {
+        self.ctrl_off + CTRL_PROBE_OFF
     }
 
     /// Offset of the area payloads of the given routing class land in.
@@ -81,7 +115,10 @@ mod tests {
         let l = WindowLayout::new(256 << 10, 128 << 10);
         assert_eq!(l.direct_off, 0);
         assert_eq!(l.bypass_off, 256 << 10);
-        assert_eq!(WindowLayout::required_size(256 << 10, 128 << 10), 384 << 10);
+        assert_eq!(l.ctrl_off, 384 << 10);
+        assert_eq!(WindowLayout::required_size(256 << 10, 128 << 10), (384 << 10) + CTRL_LEN);
+        assert_eq!(l.crc_off(), 384 << 10);
+        assert_eq!(l.probe_off(), (384 << 10) + 4);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! model on top.
 
 pub mod config;
+pub mod crc;
 pub mod delivery;
 pub mod forwarder;
 pub mod frame;
@@ -37,13 +38,15 @@ pub mod service;
 pub mod topology;
 pub mod trace;
 
-pub use config::NetConfig;
+pub use config::{NetConfig, RetryPolicy};
+pub use crc::crc32;
 pub use delivery::{AmoOp, DeliveryTarget};
 pub use frame::{Frame, FrameKind};
 pub use handshake::{exchange_link_info, PeerInfo};
 pub use layout::WindowLayout;
 pub use network::RingNetwork;
-pub use node::NtbNode;
+pub use node::{NodeStats, NtbNode};
+pub use pending::FillOutcome;
 pub use topology::{hop_count, route, RingTopology, RouteDirection, Topology};
 pub use trace::{to_chrome_json, TraceKind, TraceRecord, Tracer};
 

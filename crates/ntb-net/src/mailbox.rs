@@ -10,13 +10,26 @@
 //! The initiator side of a link (the port whose outgoing direction is
 //! `Upstream`) transmits in registers 0–3; the responder transmits in 4–7,
 //! so the two directions never collide.
+//!
+//! Lossy-link recovery: the slot-free wait is *bounded*. A doorbell the
+//! fault model swallowed leaves the receiver asleep and the slot full
+//! forever; after [`TxMailbox::set_retry`]'s timeout the sender re-rings
+//! the doorbell of the frame still occupying the slot (a second interrupt
+//! for the same frame is harmless — the service loop drains by polling)
+//! and eventually gives up with [`NtbError::LinkFailed`] so no send can
+//! block unboundedly.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use ntb_sim::{LinkDirection, NtbPort, Result};
+use ntb_sim::{LinkDirection, NtbError, NtbPort, Result};
 use parking_lot::Mutex;
 
 use crate::frame::Frame;
+
+/// Sentinel for "no doorbell rung yet" in `last_doorbell`.
+const NO_DOORBELL: u32 = u32::MAX;
 
 /// Scratchpad base register for a port's transmit mailbox.
 fn tx_base(port: &NtbPort) -> usize {
@@ -34,13 +47,29 @@ pub struct TxMailbox {
     base: usize,
     seq: Mutex<u16>,
     abort: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// Doorbell bit of the most recent published frame (`NO_DOORBELL`
+    /// before the first send); re-rung when the slot stays full past the
+    /// timeout.
+    last_doorbell: AtomicU32,
+    /// `(timeout, max re-rings)` once [`Self::set_retry`] installs them;
+    /// `None` keeps the historical unbounded wait (unit tests).
+    retry: Option<(Duration, u32)>,
+    rerings: AtomicU64,
 }
 
 impl TxMailbox {
     /// Transmit mailbox of `port`.
     pub fn new(port: Arc<NtbPort>) -> Self {
         let base = tx_base(&port);
-        TxMailbox { port, base, seq: Mutex::new(0), abort: None }
+        TxMailbox {
+            port,
+            base,
+            seq: Mutex::new(0),
+            abort: None,
+            last_doorbell: AtomicU32::new(NO_DOORBELL),
+            retry: None,
+            rerings: AtomicU64::new(0),
+        }
     }
 
     /// Install an abort flag: a send blocked on a full slot fails with
@@ -49,23 +78,51 @@ impl TxMailbox {
         self.abort = Some(flag);
     }
 
+    /// Bound the slot-free wait: after `timeout` the last doorbell is
+    /// re-rung (recovering a dropped interrupt), and after `max_rerings`
+    /// such rounds the send fails with [`NtbError::LinkFailed`].
+    pub fn set_retry(&mut self, timeout: Duration, max_rerings: u32) {
+        self.retry = Some((timeout, max_rerings));
+    }
+
     /// The port this mailbox transmits through.
     pub fn port(&self) -> &Arc<NtbPort> {
         &self.port
     }
 
+    /// Doorbell re-rings performed to recover dropped interrupts.
+    pub fn rerings(&self) -> u64 {
+        self.rerings.load(Ordering::Relaxed)
+    }
+
     fn wait_empty(&self) -> Result<()> {
         let mut spins: u32 = 0;
+        let mut round_start = Instant::now();
+        let mut rounds: u32 = 0;
         while self.port.spad_read(self.base)? != 0 {
             spins = spins.wrapping_add(1);
             std::thread::yield_now();
             if spins.is_multiple_of(64) {
-                if self
-                    .abort
-                    .as_ref()
-                    .is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst))
+                if self.abort.as_ref().is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst))
                 {
-                    return Err(ntb_sim::NtbError::DmaShutdown);
+                    return Err(NtbError::DmaShutdown);
+                }
+                if let Some((timeout, max_rerings)) = self.retry {
+                    if round_start.elapsed() >= timeout {
+                        if rounds >= max_rerings {
+                            return Err(NtbError::LinkFailed { attempts: rounds + 1 });
+                        }
+                        rounds += 1;
+                        round_start = Instant::now();
+                        // The peer likely never saw the interrupt for the
+                        // frame occupying the slot; ring it again. A down
+                        // link rejects the ring — keep waiting, the retry
+                        // budget bounds us.
+                        let bit = self.last_doorbell.load(Ordering::Relaxed);
+                        if bit != NO_DOORBELL && self.port.ring_peer(bit).is_ok() {
+                            self.rerings.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
                 std::thread::yield_now();
             } else {
@@ -95,6 +152,7 @@ impl TxMailbox {
         // Header last: publishing the frame releases the body registers
         // and the payload (PCIe posted-write ordering).
         self.port.spad_write(self.base, words[0])?;
+        self.last_doorbell.store(frame.kind.doorbell(), Ordering::Relaxed);
         self.port.ring_peer(frame.kind.doorbell())?;
         Ok(())
     }
@@ -166,8 +224,14 @@ mod tests {
     fn pair() -> (Arc<NtbPort>, Arc<NtbPort>) {
         let ma = HostMemory::new(0, 64 << 20);
         let mb = HostMemory::new(1, 64 << 20);
-        connect_ports(PortConfig::new(0, 1), PortConfig::new(1, 0), &ma, &mb, Arc::new(TimeModel::zero()))
-            .unwrap()
+        connect_ports(
+            PortConfig::new(0, 1),
+            PortConfig::new(1, 0),
+            &ma,
+            &mb,
+            Arc::new(TimeModel::zero()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -176,7 +240,7 @@ mod tests {
         let tx = TxMailbox::new(a);
         let rx = RxMailbox::new(b);
         assert!(rx.try_recv().unwrap().is_none());
-        tx.send_control(Frame::put_ack(0, 1, 2)).unwrap();
+        tx.send_control(Frame::put_ack(0, 1, 2, 0)).unwrap();
         let f = rx.try_recv().unwrap().unwrap();
         assert_eq!(f.kind, crate::frame::FrameKind::PutAck);
         assert_eq!(f.src, 0);
@@ -189,7 +253,7 @@ mod tests {
         let (a, b) = pair();
         let tx = TxMailbox::new(Arc::clone(&a));
         let rx = RxMailbox::new(Arc::clone(&b));
-        tx.send(Frame::put(0, 1, 5, 0, ntb_sim::TransferMode::Memcpy), |port| {
+        tx.send(Frame::put(0, 1, 5, 0, 1, ntb_sim::TransferMode::Memcpy), |port| {
             port.pio_write(0, b"hello")
         })
         .unwrap();
@@ -204,11 +268,11 @@ mod tests {
         let (a, b) = pair();
         let tx = Arc::new(TxMailbox::new(a));
         let rx = RxMailbox::new(b);
-        tx.send_control(Frame::put_ack(0, 1, 1)).unwrap();
+        tx.send_control(Frame::put_ack(0, 1, 1, 0)).unwrap();
         // Second send must block until rx acks; do it from a thread.
         let tx2 = Arc::clone(&tx);
         let h = std::thread::spawn(move || {
-            tx2.send_control(Frame::put_ack(0, 1, 2)).unwrap();
+            tx2.send_control(Frame::put_ack(0, 1, 2, 0)).unwrap();
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(!h.is_finished(), "second send must wait for ack");
@@ -228,10 +292,43 @@ mod tests {
         let tx_ba = TxMailbox::new(Arc::clone(&b));
         let rx_at_b = RxMailbox::new(b);
         let rx_at_a = RxMailbox::new(a);
-        tx_ab.send_control(Frame::put_ack(0, 1, 11)).unwrap();
-        tx_ba.send_control(Frame::put_ack(1, 0, 22)).unwrap();
+        tx_ab.send_control(Frame::put_ack(0, 1, 11, 0)).unwrap();
+        tx_ba.send_control(Frame::put_ack(1, 0, 22, 0)).unwrap();
         assert_eq!(rx_at_b.try_recv().unwrap().unwrap().len, 11);
         assert_eq!(rx_at_a.try_recv().unwrap().unwrap().len, 22);
+    }
+
+    #[test]
+    fn full_slot_wait_is_bounded_and_rerings() {
+        let (a, b) = pair();
+        let mut tx = TxMailbox::new(a);
+        tx.set_retry(std::time::Duration::from_millis(5), 2);
+        let _rx = RxMailbox::new(b);
+        tx.send_control(Frame::put_ack(0, 1, 1, 0)).unwrap();
+        // Nobody acks: the second send must re-ring the stuck frame's
+        // doorbell and then fail in bounded time instead of hanging.
+        let t0 = std::time::Instant::now();
+        let err = tx.send_control(Frame::put_ack(0, 1, 2, 0)).unwrap_err();
+        assert_eq!(err, NtbError::LinkFailed { attempts: 3 });
+        assert_eq!(tx.rerings(), 2);
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn bounded_wait_still_succeeds_on_late_ack() {
+        let (a, b) = pair();
+        let mut tx = TxMailbox::new(a);
+        tx.set_retry(std::time::Duration::from_millis(5), 1000);
+        let tx = Arc::new(tx);
+        let rx = RxMailbox::new(b);
+        tx.send_control(Frame::put_ack(0, 1, 1, 0)).unwrap();
+        let tx2 = Arc::clone(&tx);
+        let h = std::thread::spawn(move || tx2.send_control(Frame::put_ack(0, 1, 2, 0)));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        rx.try_recv().unwrap().unwrap();
+        rx.ack().unwrap();
+        h.join().unwrap().unwrap();
+        assert!(tx.rerings() >= 1, "timeout rounds re-rang the doorbell");
     }
 
     #[test]
@@ -244,7 +341,7 @@ mod tests {
         for i in 0..n {
             let tx = Arc::clone(&tx);
             handles.push(std::thread::spawn(move || {
-                tx.send_control(Frame::put_ack(0, 1, i)).unwrap();
+                tx.send_control(Frame::put_ack(0, 1, i, 0)).unwrap();
             }));
         }
         // Drain from this thread.

@@ -9,7 +9,10 @@
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use ntb_sim::{connect_ports, HostMemory, NtbPort, PortConfig, Result, TimeModel};
+use ntb_sim::{
+    connect_ports_with_faults, FaultInjector, FaultStatsSnapshot, HostMemory, NtbPort, PortConfig,
+    Result, TimeModel,
+};
 
 use crate::config::NetConfig;
 use crate::handshake::exchange_link_info;
@@ -49,6 +52,9 @@ fn bring_up_link(
 pub struct RingNetwork {
     nodes: Vec<Arc<NtbNode>>,
     config: NetConfig,
+    /// One fault injector per physical link, in cabling order (ring: link
+    /// *i* connects host *i* to host *i+1*; mesh: pairs in `(i, j)` order).
+    injectors: Vec<Arc<FaultInjector>>,
 }
 
 impl RingNetwork {
@@ -64,8 +70,16 @@ impl RingNetwork {
         let mems: Vec<Arc<HostMemory>> =
             (0..n).map(|i| HostMemory::new(i, config.host_mem_capacity)).collect();
 
-        // Per-host adapter lists: (neighbor, port).
+        // Per-host adapter lists: (neighbor, port). Each physical link
+        // gets its own fault injector derived from the network-wide plan
+        // and the link's cabling-order index (an empty plan is inert).
         let mut ports: Vec<Vec<(usize, Arc<NtbPort>)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut injectors: Vec<Arc<FaultInjector>> = Vec::new();
+        let next_injector = |injectors: &mut Vec<Arc<FaultInjector>>| {
+            let inj = FaultInjector::new(config.faults.clone(), injectors.len());
+            injectors.push(Arc::clone(&inj));
+            inj
+        };
         match kind {
             Topology::Ring => {
                 // Host i's right adapter (slot 1) to host i+1's left (slot 0).
@@ -74,12 +88,13 @@ impl RingNetwork {
                         let j = (i + 1) % n;
                         let cfg_right = PortConfig::new(i, 1).with_window_size(config.window_size);
                         let cfg_left = PortConfig::new(j, 0).with_window_size(config.window_size);
-                        let (pr, pl) = connect_ports(
+                        let (pr, pl) = connect_ports_with_faults(
                             cfg_right,
                             cfg_left,
                             &mems[i],
                             &mems[j],
                             Arc::clone(&model),
+                            next_injector(&mut injectors),
                         )?;
                         bring_up_link(&pr, i, &pl, j, &config)?;
                         ports[i].push((j, pr));
@@ -96,8 +111,14 @@ impl RingNetwork {
                         let slot_j = i;
                         let cfg_i = PortConfig::new(i, slot_i).with_window_size(config.window_size);
                         let cfg_j = PortConfig::new(j, slot_j).with_window_size(config.window_size);
-                        let (pi, pj) =
-                            connect_ports(cfg_i, cfg_j, &mems[i], &mems[j], Arc::clone(&model))?;
+                        let (pi, pj) = connect_ports_with_faults(
+                            cfg_i,
+                            cfg_j,
+                            &mems[i],
+                            &mems[j],
+                            Arc::clone(&model),
+                            next_injector(&mut injectors),
+                        )?;
                         bring_up_link(&pi, i, &pj, j, &config)?;
                         ports[i].push((j, pi));
                         ports[j].push((i, pj));
@@ -125,12 +146,31 @@ impl RingNetwork {
         for node in &nodes {
             node.start();
         }
-        Ok(RingNetwork { nodes, config })
+        Ok(RingNetwork { nodes, config, injectors })
     }
 
     /// The configuration the network was built with.
     pub fn config(&self) -> &NetConfig {
         &self.config
+    }
+
+    /// Injected-fault counters per physical link, in cabling order (ring:
+    /// link *i* connects host *i* to host *i+1*).
+    pub fn fault_stats(&self) -> Vec<FaultStatsSnapshot> {
+        self.injectors.iter().map(|inj| inj.stats().snapshot()).collect()
+    }
+
+    /// Sum of the injected-fault counters across every link.
+    pub fn fault_stats_total(&self) -> FaultStatsSnapshot {
+        let mut total = FaultStatsSnapshot::default();
+        for s in self.fault_stats() {
+            total.doorbells_dropped += s.doorbells_dropped;
+            total.payloads_corrupted += s.payloads_corrupted;
+            total.dma_failures += s.dma_failures;
+            total.dma_stalls += s.dma_stalls;
+            total.link_down_windows += s.link_down_windows;
+        }
+        total
     }
 
     /// Number of hosts.

@@ -1,25 +1,35 @@
 //! One host of the switchless ring: ports, mailboxes, forwarders, and the
 //! host-side operations (put / get / atomics / quiet / barrier signals).
+//!
+//! Lossy-link recovery lives here too: every put chunk is tracked in
+//! [`UnackedPuts`] until its positive acknowledgement returns, a per-node
+//! retry sweeper retransmits overdue chunks with exponential backoff and
+//! probes `Down` links back to life, per-endpoint
+//! [`LinkHealthTracker`]s steer traffic the long way around the ring
+//! while a link is down, and receivers suppress the duplicate deliveries
+//! retransmission inevitably creates.
 
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ntb_sim::{
-    DmaRequest, HostMemory, NtbError, NtbPort, PortStatsSnapshot, Region, Result, TimeModel,
-    TransferMode,
+    DmaRequest, HostMemory, LinkHealth, LinkHealthTracker, NtbError, NtbPort, PortStatsSnapshot,
+    Region, Result, TimeModel, TransferMode,
 };
 use parking_lot::{Mutex, RwLock};
 
 use crate::config::NetConfig;
+use crate::crc::crc32;
 use crate::delivery::{AmoOp, DeliveryTarget};
 use crate::doorbells::{DB_BARRIER_END, DB_BARRIER_START, DB_SHUTDOWN};
 use crate::forwarder::ForwardQueue;
 use crate::frame::Frame;
 use crate::layout::WindowLayout;
 use crate::mailbox::{RxMailbox, TxMailbox};
-use crate::pending::{OutstandingPuts, PendingOps};
+use crate::pending::{PendingOps, UnackedPuts};
 use crate::topology::{RingTopology, RouteDirection, Topology};
 use crate::trace::{TraceKind, Tracer};
 
@@ -38,11 +48,95 @@ pub struct NodeStats {
     pub acks_received: AtomicU64,
     /// Atomic operations executed at this host.
     pub amos_served: AtomicU64,
+    /// Frames retransmitted after an acknowledgement timeout (puts by the
+    /// sweeper, get/AMO requests by the bounded requester wait).
+    pub retransmits: AtomicU64,
+    /// Inbound frames dropped because the payload CRC did not match.
+    pub checksum_rejects: AtomicU64,
+    /// Sends steered away from a `Down` endpoint (the long way around).
+    pub reroutes: AtomicU64,
+    /// Duplicate deliveries suppressed (retransmitted puts/AMOs already
+    /// applied, duplicated get-response chunks already deposited).
+    pub duplicates_suppressed: AtomicU64,
+    /// Probe writes issued to `Down` endpoints by the sweeper.
+    pub probes_sent: AtomicU64,
+    /// Endpoint transitions into the `Down` state.
+    pub link_down_events: AtomicU64,
 }
 
 impl NodeStats {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum of all recovery-path counters — zero on a clean run.
+    pub fn recovery_total(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+            + self.checksum_rejects.load(Ordering::Relaxed)
+            + self.reroutes.load(Ordering::Relaxed)
+            + self.duplicates_suppressed.load(Ordering::Relaxed)
+            + self.probes_sent.load(Ordering::Relaxed)
+            + self.link_down_events.load(Ordering::Relaxed)
+    }
+}
+
+/// How many recently-seen put ids (per node, across all origins) are
+/// remembered for duplicate suppression. Retransmission timeouts bound
+/// how stale a duplicate can be, so a few thousand ids is plenty.
+const PUT_DEDUP_WINDOW: usize = 4096;
+
+/// Sliding window of `(origin, put id)` pairs already delivered.
+#[derive(Debug, Default)]
+pub(crate) struct SeenPuts {
+    set: HashSet<(usize, u32)>,
+    order: VecDeque<(usize, u32)>,
+}
+
+impl SeenPuts {
+    /// Record a delivery; `false` if this id was already delivered (the
+    /// caller must suppress the duplicate).
+    pub(crate) fn insert(&mut self, origin: usize, put_id: u32) -> bool {
+        if !self.set.insert((origin, put_id)) {
+            return false;
+        }
+        self.order.push_back((origin, put_id));
+        if self.order.len() > PUT_DEDUP_WINDOW {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+}
+
+/// How many served AMO results are cached for duplicate re-serving.
+const AMO_CACHE_WINDOW: usize = 1024;
+
+/// Cache of `(origin, request id) → old value` for served atomics: a
+/// retransmitted AMO request must *not* re-execute (the first execution
+/// already mutated the heap); the cached old value is re-served instead.
+#[derive(Debug, Default)]
+pub(crate) struct AmoCache {
+    map: HashMap<(usize, u32), u64>,
+    order: VecDeque<(usize, u32)>,
+}
+
+impl AmoCache {
+    /// Old value served for this request, if it already executed.
+    pub(crate) fn lookup(&self, origin: usize, req_id: u32) -> Option<u64> {
+        self.map.get(&(origin, req_id)).copied()
+    }
+
+    /// Remember a served request's old value.
+    pub(crate) fn insert(&mut self, origin: usize, req_id: u32, old: u64) {
+        if self.map.insert((origin, req_id), old).is_none() {
+            self.order.push_back((origin, req_id));
+            if self.order.len() > AMO_CACHE_WINDOW {
+                if let Some(stale) = self.order.pop_front() {
+                    self.map.remove(&stale);
+                }
+            }
+        }
     }
 }
 
@@ -63,6 +157,8 @@ pub struct LinkEndpoint {
     pub(crate) rx: RxMailbox,
     /// Store-and-forward queue consumed by this endpoint's forwarder.
     pub(crate) fwd: Arc<ForwardQueue>,
+    /// Observed link health (drives rerouting and recovery probes).
+    pub(crate) health: LinkHealthTracker,
 }
 
 impl LinkEndpoint {
@@ -74,6 +170,11 @@ impl LinkEndpoint {
     /// Neighbour host id.
     pub fn neighbor(&self) -> usize {
         self.neighbor
+    }
+
+    /// Observed health of this endpoint.
+    pub fn health(&self) -> LinkHealth {
+        self.health.health()
     }
 }
 
@@ -89,7 +190,9 @@ pub struct NtbNode {
     pub(crate) endpoints: Vec<LinkEndpoint>,
     pub(crate) delivery: RwLock<Option<Arc<dyn DeliveryTarget>>>,
     pub(crate) pending: PendingOps,
-    pub(crate) outstanding: OutstandingPuts,
+    pub(crate) unacked: UnackedPuts,
+    pub(crate) seen_puts: Mutex<SeenPuts>,
+    pub(crate) amo_cache: Mutex<AmoCache>,
     pub(crate) shutdown: Arc<AtomicBool>,
     pub(crate) threads: Mutex<Vec<JoinHandle<()>>>,
     pub(crate) stats: NodeStats,
@@ -131,6 +234,7 @@ impl NtbNode {
             .map(|(neighbor, port)| {
                 let mut tx = TxMailbox::new(Arc::clone(&port));
                 tx.set_abort(Arc::clone(&shutdown));
+                tx.set_retry(config.retry.mailbox_timeout, config.retry.max_retries);
                 LinkEndpoint {
                     neighbor,
                     rx_seq: std::sync::atomic::AtomicU32::new(0),
@@ -138,6 +242,7 @@ impl NtbNode {
                     tx,
                     port,
                     fwd: Arc::new(ForwardQueue::new()),
+                    health: LinkHealthTracker::new(config.retry.failure_threshold),
                 }
             })
             .collect();
@@ -149,7 +254,9 @@ impl NtbNode {
             endpoints,
             delivery: RwLock::new(None),
             pending: PendingOps::new(),
-            outstanding: OutstandingPuts::new(),
+            unacked: UnackedPuts::new(),
+            seen_puts: Mutex::new(SeenPuts::default()),
+            amo_cache: Mutex::new(AmoCache::default()),
             shutdown,
             threads: Mutex::new(Vec::new()),
             stats: NodeStats::default(),
@@ -220,12 +327,43 @@ impl NtbNode {
     }
 
     /// The endpoint a message to `dest` leaves through: shortest ring
-    /// direction on a ring, the dedicated link on a mesh.
+    /// direction on a ring, the dedicated link on a mesh. On a ring,
+    /// a `Down` preferred endpoint is routed around — the message goes
+    /// the long way — as long as the other endpoint is healthy.
     pub(crate) fn endpoint_for(&self, dest: usize) -> &LinkEndpoint {
         match self.kind {
-            Topology::Ring => self.endpoint(self.topo.route_to(dest)),
+            Topology::Ring => {
+                let preferred = self.endpoint(self.topo.route_to(dest));
+                if preferred.health.is_down() && self.endpoints.len() > 1 {
+                    if let Some(other) = self
+                        .endpoints
+                        .iter()
+                        .find(|e| !std::ptr::eq(*e, preferred) && !e.health.is_down())
+                    {
+                        NodeStats::bump(&self.stats.reroutes);
+                        return other;
+                    }
+                }
+                preferred
+            }
             Topology::FullMesh => self.endpoint_to(dest),
         }
+    }
+
+    /// The endpoint a *forwarded* frame leaves through. Split horizon: a
+    /// frame never goes back out the endpoint it arrived on (`arrived`),
+    /// which would orbit the ring forever once rerouting reverses a
+    /// route mid-flight.
+    pub(crate) fn forward_endpoint(&self, dest: usize, arrived: usize) -> &LinkEndpoint {
+        let preferred = self.endpoint_for(dest);
+        if std::ptr::eq(preferred, &self.endpoints[arrived]) {
+            if let Some(other) =
+                self.endpoints.iter().enumerate().find(|(i, _)| *i != arrived).map(|(_, e)| e)
+            {
+                return other;
+            }
+        }
+        preferred
     }
 
     /// Install the delivery target (the symmetric heap). Called by
@@ -240,10 +378,9 @@ impl NtbNode {
     }
 
     pub(crate) fn deliver(&self) -> Result<Arc<dyn DeliveryTarget>> {
-        self.delivery
-            .read()
-            .clone()
-            .ok_or(NtbError::BadDescriptor { reason: "no delivery target installed (shmem_init not run?)" })
+        self.delivery.read().clone().ok_or(NtbError::BadDescriptor {
+            reason: "no delivery target installed (shmem_init not run?)",
+        })
     }
 
     pub(crate) fn record_error(&self, err: NtbError) {
@@ -292,7 +429,9 @@ impl NtbNode {
         mode: TransferMode,
     ) -> Result<()> {
         match mode {
-            TransferMode::Memcpy => port.outgoing().write_bytes(area_off, data, TransferMode::Memcpy),
+            TransferMode::Memcpy => {
+                port.outgoing().write_bytes(area_off, data, TransferMode::Memcpy)?
+            }
             TransferMode::Dma => {
                 let staging = Region::anonymous(data.len() as u64);
                 staging.write(0, data)?;
@@ -302,9 +441,62 @@ impl NtbNode {
                     src_offset: 0,
                     dst_offset: area_off,
                     len: data.len() as u64,
-                })
+                })?;
             }
         }
+        // Publish the payload checksum in the control slot so the
+        // receiving hop can verify integrity before staging. Written
+        // after the payload and before the frame header — the same
+        // posted-write ordering that publishes the payload itself. Only
+        // links with an armed fault plan pay the checksum tax: the clean
+        // hardware model never corrupts a posted write, and benchmark
+        // latencies must not shift when no faults are configured.
+        if !data.is_empty() && port.outgoing().faults().is_active() {
+            let crc = crc32(data);
+            port.outgoing().write_bytes(
+                self.layout.crc_off(),
+                &crc.to_le_bytes(),
+                TransferMode::Memcpy,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Feed a send result into the endpoint's health tracker; an
+    /// `Up`/`Degraded` → `Down` transition is counted.
+    pub(crate) fn note_send_result(&self, ep: &LinkEndpoint, result: &Result<()>) {
+        match result {
+            Ok(()) => {
+                ep.health.record_success();
+            }
+            Err(e) if e.is_transient() || matches!(e, NtbError::LinkFailed { .. }) => {
+                let was_down = ep.health.is_down();
+                if ep.health.record_failure() == LinkHealth::Down && !was_down {
+                    NodeStats::bump(&self.stats.link_down_events);
+                }
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Transmit (or retransmit) one tracked put chunk. Does not touch the
+    /// unacked table — registration and retirement are the caller's job.
+    pub(crate) fn transmit_put(
+        &self,
+        put_id: u32,
+        dest: usize,
+        heap_offset: u32,
+        chunk: &[u8],
+        mode: TransferMode,
+    ) -> Result<()> {
+        let ep = self.endpoint_for(dest);
+        let terminating = ep.neighbor == dest;
+        let area = self.layout.area_offset(terminating);
+        let frame = Frame::put(self.topo.me, dest, chunk.len() as u32, heap_offset, put_id, mode);
+        self.trace(TraceKind::FrameSent, self.topo.me, dest, chunk.len() as u32);
+        let result = ep.tx.send(frame, |port| self.push_payload(port, area, chunk, mode));
+        self.note_send_result(ep, &result);
+        result
     }
 
     fn send_put_chunk(
@@ -314,17 +506,20 @@ impl NtbNode {
         chunk: &[u8],
         mode: TransferMode,
     ) -> Result<()> {
-        let ep = self.endpoint_for(dest);
-        let terminating = ep.neighbor == dest;
-        let area = self.layout.area_offset(terminating);
-        let frame = Frame::put(self.topo.me, dest, chunk.len() as u32, offset32(heap_offset)?, mode);
-        self.trace(TraceKind::FrameSent, self.topo.me, dest, chunk.len() as u32);
-        self.outstanding.add(1);
-        let result = ep.tx.send(frame, |port| self.push_payload(port, area, chunk, mode));
-        if result.is_err() {
-            self.outstanding.ack(1);
+        let offset = offset32(heap_offset)?;
+        let deadline = Instant::now() + self.config.retry.ack_timeout;
+        let put_id = self.unacked.register(dest, offset, chunk.to_vec(), mode, deadline);
+        match self.transmit_put(put_id, dest, offset, chunk, mode) {
+            Ok(()) => Ok(()),
+            // A transiently failed first transmission stays registered:
+            // the retry sweeper owns it from here (retransmission,
+            // rerouting, and eventually abandonment into `quiet`).
+            Err(e) if e.is_transient() || matches!(e, NtbError::LinkFailed { .. }) => Ok(()),
+            Err(e) => {
+                self.unacked.ack(put_id);
+                Err(e)
+            }
         }
-        result
     }
 
     /// One-sided put: write `data` into host `dest`'s symmetric space at
@@ -365,8 +560,24 @@ impl NtbNode {
         let frame =
             Frame::get_req(self.topo.me, src, len31(len)?, offset32(heap_offset)?, req_id, mode);
         self.trace(TraceKind::FrameSent, self.topo.me, src, 0);
-        self.endpoint_for(src).tx.send_control(frame)?;
-        let buf = self.pending.wait(req_id, &self.model)?;
+        let send_req = || {
+            let ep = self.endpoint_for(src);
+            let result = ep.tx.send_control(frame);
+            self.note_send_result(ep, &result);
+            result
+        };
+        if let Err(e) = send_req() {
+            // A transient failure leaves the entry pending; the bounded
+            // wait below re-issues the request (possibly rerouted).
+            if !(e.is_transient() || matches!(e, NtbError::LinkFailed { .. })) {
+                self.pending.abandon(req_id);
+                return Err(e);
+            }
+        }
+        let buf = self.pending.wait_with_retry(req_id, &self.model, &self.config.retry, |_| {
+            NodeStats::bump(&self.stats.retransmits);
+            send_req()
+        })?;
         self.model.delay(self.model.requester_wake_delay);
         Ok(buf)
     }
@@ -386,42 +597,87 @@ impl NtbNode {
         assert_ne!(target, self.topo.me, "local atomics are handled by the SHMEM layer");
         assert!(matches!(width, 1 | 2 | 4 | 8), "AMO width must be 1/2/4/8");
         let req_id = self.pending.register(8);
-        let ep = self.endpoint_for(target);
-        let terminating = ep.neighbor == target;
-        let area = self.layout.area_offset(terminating);
         let mut payload = [0u8; 24];
         payload[0..8].copy_from_slice(&operand.to_le_bytes());
         payload[8..16].copy_from_slice(&compare.to_le_bytes());
         payload[16] = width as u8;
         let frame = Frame::amo_req(self.topo.me, target, op, offset32(heap_offset)?, req_id);
-        ep.tx.send(frame, |port| self.push_payload(port, area, &payload, TransferMode::Dma))?;
-        let buf = self.pending.wait(req_id, &self.model)?;
+        let send_req = || {
+            let ep = self.endpoint_for(target);
+            let terminating = ep.neighbor == target;
+            let area = self.layout.area_offset(terminating);
+            let result = ep
+                .tx
+                .send(frame, |port| self.push_payload(port, area, &payload, TransferMode::Dma));
+            self.note_send_result(ep, &result);
+            result
+        };
+        if let Err(e) = send_req() {
+            if !(e.is_transient() || matches!(e, NtbError::LinkFailed { .. })) {
+                self.pending.abandon(req_id);
+                return Err(e);
+            }
+        }
+        // Retransmission is idempotent: the target caches the old value
+        // per (origin, request id) and re-serves it without re-executing.
+        let buf = self.pending.wait_with_retry(req_id, &self.model, &self.config.retry, |_| {
+            NodeStats::bump(&self.stats.retransmits);
+            send_req()
+        })?;
         Ok(u64::from_le_bytes(buf[0..8].try_into().expect("8-byte response")))
     }
 
     /// Block until every put chunk this host has issued is acknowledged
-    /// by its destination (`shmem_quiet`).
-    pub fn quiet(&self) {
-        self.outstanding.wait_zero();
+    /// by its destination or abandoned by the retry sweeper
+    /// (`shmem_quiet`). The sweeper bounds how long a chunk can stay
+    /// unacknowledged, so this returns in bounded time — with
+    /// [`NtbError::LinkFailed`] if any chunk exhausted its retries.
+    pub fn quiet(&self) -> Result<()> {
+        self.unacked.quiet()
     }
 
     /// Outstanding unacknowledged put chunks (diagnostics).
     pub fn outstanding_puts(&self) -> u64 {
-        self.outstanding.current()
+        self.unacked.current() as u64
     }
 
     /// Ring the barrier doorbell (`start` or end) on the neighbour in
     /// `dir` (paper Fig. 6 sends the sweep rightward).
+    ///
+    /// The barrier sweep is structural — it must travel this exact link —
+    /// so a down link cannot be routed around; instead the ring is
+    /// retried with backoff until the link recovers or the retry budget
+    /// is spent (down windows are timed, so recovery is the common case).
     pub fn send_barrier(&self, dir: RouteDirection, start: bool) -> Result<()> {
         let bit = if start { DB_BARRIER_START } else { DB_BARRIER_END };
         let peer = self.endpoint(dir).neighbor;
         self.trace(TraceKind::BarrierSignal, self.topo.me, peer, 0);
-        self.endpoint(dir).port.ring_peer(bit)
+        let policy = &self.config.retry;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.endpoint(dir).port.ring_peer(bit) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    NodeStats::bump(&self.stats.retransmits);
+                    std::thread::sleep(policy.backoff(attempt - 1).max(Duration::from_millis(1)));
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(NtbError::LinkFailed { attempts: attempt + 1 })
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Wait for a barrier doorbell from the neighbour in `from`
     /// direction; clears it on delivery. Returns `false` on timeout.
-    pub fn wait_barrier(&self, from: RouteDirection, start: bool, timeout: Duration) -> Result<bool> {
+    pub fn wait_barrier(
+        &self,
+        from: RouteDirection,
+        start: bool,
+        timeout: Duration,
+    ) -> Result<bool> {
         let bit = if start { DB_BARRIER_START } else { DB_BARRIER_END };
         let fired = self.endpoint(from).port.doorbell().wait_and_clear(bit, Some(timeout))?;
         if fired {
@@ -466,6 +722,15 @@ impl NtbNode {
                     .name(format!("ntb-fwd-h{}-to{}", self.topo.me, peer))
                     .spawn(move || crate::service::forwarder_loop(&node, idx))
                     .expect("spawn forwarder thread"),
+            );
+        }
+        if !self.endpoints.is_empty() {
+            let node = Arc::clone(self);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ntb-rty-h{}", self.topo.me))
+                    .spawn(move || crate::service::retry_sweeper_loop(&node))
+                    .expect("spawn retry sweeper thread"),
             );
         }
     }
@@ -517,13 +782,45 @@ impl NtbNode {
     pub(crate) fn count_amo(&self) {
         NodeStats::bump(&self.stats.amos_served);
     }
+
+    /// Record a retransmission.
+    pub(crate) fn count_retransmit(&self) {
+        NodeStats::bump(&self.stats.retransmits);
+    }
+
+    /// Record a checksum-rejected inbound frame.
+    pub(crate) fn count_checksum_reject(&self) {
+        NodeStats::bump(&self.stats.checksum_rejects);
+    }
+
+    /// Record a suppressed duplicate delivery.
+    pub(crate) fn count_duplicate(&self) {
+        NodeStats::bump(&self.stats.duplicates_suppressed);
+    }
+
+    /// Probe every `Down` endpoint with a one-byte write to the probe
+    /// word of the peer's control slot; a successful write proves the
+    /// path works again and snaps the endpoint back to `Up`.
+    pub(crate) fn probe_down_links(&self) {
+        for ep in &self.endpoints {
+            if !ep.health.is_down() {
+                continue;
+            }
+            NodeStats::bump(&self.stats.probes_sent);
+            if ep
+                .port
+                .outgoing()
+                .write_bytes(self.layout.probe_off(), &[0xA5], TransferMode::Memcpy)
+                .is_ok()
+            {
+                ep.health.record_success();
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for NtbNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NtbNode")
-            .field("host", &self.topo.me)
-            .field("hosts", &self.topo.n)
-            .finish()
+        f.debug_struct("NtbNode").field("host", &self.topo.me).field("hosts", &self.topo.n).finish()
     }
 }

@@ -8,22 +8,48 @@
 //! [`TimeModel::get_poll_interval`](ntb_sim::TimeModel) — the dominant
 //! term of its Fig. 9(b) Get latencies.
 //!
-//! [`OutstandingPuts`] counts put chunks that have left this host but whose
-//! delivery acknowledgement has not returned; `shmem_quiet` (and therefore
-//! the barrier) drains it.
+//! On a lossy link the response (or the request itself) can vanish, so the
+//! wait is *bounded*: [`PendingOps::wait_with_retry`] re-issues the request
+//! after each acknowledgement timeout (same request id, so a duplicated
+//! response is filtered by the per-entry chunk-offset set) and surfaces
+//! [`NtbError::LinkFailed`] once the [`RetryPolicy`] is exhausted — the
+//! caller gets a typed error in bounded time instead of a hang.
+//!
+//! [`UnackedPuts`] tracks put chunks that have left this host but whose
+//! delivery acknowledgement has not returned, keyed by put id so the
+//! retry sweeper can retransmit exactly the overdue ones; `shmem_quiet`
+//! (and therefore the barrier) drains it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ntb_sim::{spin_for, NtbError, Result, TimeModel};
+use ntb_sim::{spin_for, NtbError, Result, TimeModel, TransferMode};
 use parking_lot::{Condvar, Mutex};
+
+use crate::config::RetryPolicy;
 
 #[derive(Debug)]
 struct Entry {
     buf: Vec<u8>,
     received: u64,
     done: bool,
+    /// Chunk offsets already deposited — duplicate responses (from request
+    /// retransmission) must not double-count `received`.
+    filled: HashSet<u64>,
+}
+
+/// What became of a response chunk handed to [`PendingOps::fill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Fresh chunk, deposited.
+    Filled,
+    /// A chunk at this offset was already deposited (retransmitted
+    /// request → duplicated response); ignored.
+    Duplicate,
+    /// No such request id — the operation already completed or was
+    /// abandoned; a late response straggler. Ignored.
+    Stale,
 }
 
 /// Table of in-flight request-response operations (Gets and AMOs).
@@ -44,21 +70,33 @@ impl PendingOps {
     /// its request id.
     pub fn register(&self, total: u64) -> u32 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let entry = Entry { buf: vec![0u8; total as usize], received: 0, done: total == 0 };
+        let entry = Entry {
+            buf: vec![0u8; total as usize],
+            received: 0,
+            done: total == 0,
+            filled: HashSet::new(),
+        };
         self.inner.lock().insert(id, entry);
         id
     }
 
     /// Service-thread side: deposit a response chunk at `offset`. Marks
     /// the entry done once all bytes arrived and wakes the requester.
-    pub fn fill(&self, req_id: u32, offset: u64, data: &[u8]) -> Result<()> {
+    /// Late (stale) and duplicated chunks are tolerated and reported in
+    /// the outcome — both are expected under retransmission.
+    pub fn fill(&self, req_id: u32, offset: u64, data: &[u8]) -> Result<FillOutcome> {
         let mut map = self.inner.lock();
-        let entry = map
-            .get_mut(&req_id)
-            .ok_or(NtbError::BadDescriptor { reason: "response for unknown request id" })?;
+        let Some(entry) = map.get_mut(&req_id) else {
+            return Ok(FillOutcome::Stale);
+        };
         let end = offset as usize + data.len();
         if end > entry.buf.len() {
-            return Err(NtbError::BadDescriptor { reason: "response chunk overflows request buffer" });
+            return Err(NtbError::BadDescriptor {
+                reason: "response chunk overflows request buffer",
+            });
+        }
+        if !entry.filled.insert(offset) {
+            return Ok(FillOutcome::Duplicate);
         }
         entry.buf[offset as usize..end].copy_from_slice(data);
         entry.received += data.len() as u64;
@@ -66,26 +104,93 @@ impl PendingOps {
             entry.done = true;
             self.cond.notify_all();
         }
-        Ok(())
+        Ok(FillOutcome::Filled)
+    }
+
+    /// Abandon an operation (e.g. the request could not be sent); the
+    /// entry is removed and late responses become [`FillOutcome::Stale`].
+    pub fn abandon(&self, req_id: u32) {
+        self.inner.lock().remove(&req_id);
     }
 
     /// Requester side: block until the operation completes and take its
     /// buffer. With an enabled time model the wait polls at the model's
     /// get-poll interval (no wake-up notification — reproducing the
     /// prototype's sleep loop); otherwise it waits on the condvar.
+    ///
+    /// Unbounded: on a lossy link use [`Self::wait_with_retry`].
     pub fn wait(&self, req_id: u32, model: &TimeModel) -> Result<Vec<u8>> {
+        match self.wait_until(req_id, model, None)? {
+            Some(buf) => Ok(buf),
+            None => unreachable!("deadline-free wait cannot time out"),
+        }
+    }
+
+    /// Bounded requester wait with retransmission: waits up to the
+    /// policy's ack timeout per attempt, calling `resend` (which should
+    /// re-issue the request under the *same* request id) between
+    /// attempts, and failing with [`NtbError::LinkFailed`] once
+    /// `max_retries` retransmissions did not complete the operation.
+    /// Transient resend errors (link down) do not abort early — the link
+    /// may recover within the retry budget; non-transient ones do.
+    pub fn wait_with_retry<F>(
+        &self,
+        req_id: u32,
+        model: &TimeModel,
+        policy: &RetryPolicy,
+        mut resend: F,
+    ) -> Result<Vec<u8>>
+    where
+        F: FnMut(u32) -> Result<()>,
+    {
+        let mut attempt: u32 = 0;
+        loop {
+            let window = policy.ack_timeout
+                + if attempt == 0 { Duration::ZERO } else { policy.backoff(attempt - 1) };
+            if let Some(buf) = self.wait_until(req_id, model, Some(Instant::now() + window))? {
+                return Ok(buf);
+            }
+            if attempt >= policy.max_retries {
+                self.abandon(req_id);
+                return Err(NtbError::LinkFailed { attempts: attempt + 1 });
+            }
+            attempt += 1;
+            if let Err(e) = resend(attempt) {
+                if !e.is_transient() {
+                    self.abandon(req_id);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Wait until done or `deadline`; `Ok(None)` means timed out with the
+    /// entry still pending.
+    fn wait_until(
+        &self,
+        req_id: u32,
+        model: &TimeModel,
+        deadline: Option<Instant>,
+    ) -> Result<Option<Vec<u8>>> {
         if model.enabled() {
-            let interval = model.scaled_duration(model.get_poll_interval).max(Duration::from_micros(1));
+            let interval =
+                model.scaled_duration(model.get_poll_interval).max(Duration::from_micros(1));
             loop {
                 {
                     let mut map = self.inner.lock();
-                    if map.get(&req_id).is_none() {
-                        return Err(NtbError::BadDescriptor { reason: "unknown request id" });
+                    match map.get(&req_id) {
+                        None => {
+                            return Err(NtbError::BadDescriptor { reason: "unknown request id" })
+                        }
+                        Some(e) if e.done => {
+                            let entry = map.remove(&req_id).expect("checked above");
+                            return Ok(Some(entry.buf));
+                        }
+                        Some(_) => {}
                     }
-                    if map.get(&req_id).is_some_and(|e| e.done) {
-                        let entry = map.remove(&req_id).expect("checked above");
-                        return Ok(entry.buf);
-                    }
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Ok(None);
                 }
                 spin_for(interval);
             }
@@ -96,9 +201,22 @@ impl PendingOps {
                     None => return Err(NtbError::BadDescriptor { reason: "unknown request id" }),
                     Some(e) if e.done => {
                         let entry = map.remove(&req_id).expect("checked above");
-                        return Ok(entry.buf);
+                        return Ok(Some(entry.buf));
                     }
-                    Some(_) => self.cond.wait(&mut map),
+                    Some(_) => match deadline {
+                        Some(d) => {
+                            if self.cond.wait_until(&mut map, d).timed_out() {
+                                // Re-check once: completion may have raced
+                                // the timeout.
+                                if map.get(&req_id).is_some_and(|e| e.done) {
+                                    let entry = map.remove(&req_id).expect("checked above");
+                                    return Ok(Some(entry.buf));
+                                }
+                                return Ok(None);
+                            }
+                        }
+                        None => self.cond.wait(&mut map),
+                    },
                 }
             }
         }
@@ -110,45 +228,145 @@ impl PendingOps {
     }
 }
 
-/// Count of put chunks awaiting their delivery acknowledgement.
-#[derive(Debug, Default)]
-pub struct OutstandingPuts {
-    count: Mutex<u64>,
-    cond: Condvar,
+/// One put chunk awaiting its delivery acknowledgement.
+#[derive(Debug, Clone)]
+pub struct UnackedPut {
+    /// Final destination host.
+    pub dest: usize,
+    /// Symmetric-heap offset the chunk lands at.
+    pub heap_offset: u32,
+    /// The chunk bytes (kept for retransmission).
+    pub data: Vec<u8>,
+    /// Wire mode of the transfer.
+    pub mode: TransferMode,
+    /// Transmissions so far (1 after the initial send).
+    pub attempts: u32,
+    /// When the chunk becomes overdue for retransmission.
+    pub deadline: Instant,
 }
 
-impl OutstandingPuts {
-    /// Zero counter.
+#[derive(Debug, Default)]
+struct PutState {
+    map: HashMap<u32, UnackedPut>,
+    /// Attempt counts of puts abandoned since the last `quiet`; non-empty
+    /// means the next quiet must report `LinkFailed`.
+    failed: Vec<u32>,
+}
+
+/// Put chunks awaiting their delivery acknowledgement, keyed by put id.
+///
+/// Replaces a bare counter so the retry sweeper can see *which* puts are
+/// overdue, retransmit exactly those, and abandon them individually once
+/// the retry budget is spent — at which point `quiet` reports the failure
+/// instead of hanging forever on a count that will never reach zero.
+#[derive(Debug)]
+pub struct UnackedPuts {
+    state: Mutex<PutState>,
+    cond: Condvar,
+    next_id: AtomicU32,
+}
+
+impl Default for UnackedPuts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UnackedPuts {
+    /// Empty table.
     pub fn new() -> Self {
-        Self::default()
+        UnackedPuts {
+            state: Mutex::new(PutState::default()),
+            cond: Condvar::new(),
+            // Start at 1: put id 0 is reserved for payload-free traffic.
+            next_id: AtomicU32::new(1),
+        }
     }
 
-    /// Record `n` chunks leaving this host.
-    pub fn add(&self, n: u64) {
-        *self.count.lock() += n;
+    /// Record a chunk leaving this host; returns its put id.
+    pub fn register(
+        &self,
+        dest: usize,
+        heap_offset: u32,
+        data: Vec<u8>,
+        mode: TransferMode,
+        deadline: Instant,
+    ) -> u32 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let put = UnackedPut { dest, heap_offset, data, mode, attempts: 1, deadline };
+        self.state.lock().map.insert(id, put);
+        id
     }
 
-    /// Record `n` chunks acknowledged by their destination.
-    pub fn ack(&self, n: u64) {
-        let mut c = self.count.lock();
-        *c = c.saturating_sub(n);
-        if *c == 0 {
+    /// Retire a chunk on acknowledgement; `false` if the id was unknown
+    /// (a duplicated ack from a retransmission — harmless).
+    pub fn ack(&self, id: u32) -> bool {
+        let mut st = self.state.lock();
+        let known = st.map.remove(&id).is_some();
+        if st.map.is_empty() {
+            self.cond.notify_all();
+        }
+        known
+    }
+
+    /// Snapshot the entries whose deadline has passed (for the sweeper).
+    pub fn overdue(&self, now: Instant) -> Vec<(u32, UnackedPut)> {
+        self.state
+            .lock()
+            .map
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&id, p)| (id, p.clone()))
+            .collect()
+    }
+
+    /// Record a retransmission attempt; returns the new attempt count
+    /// (`None` if the entry was acked in the meantime).
+    pub fn note_attempt(&self, id: u32, new_deadline: Instant) -> Option<u32> {
+        let mut st = self.state.lock();
+        let put = st.map.get_mut(&id)?;
+        put.attempts += 1;
+        put.deadline = new_deadline;
+        Some(put.attempts)
+    }
+
+    /// Abandon a chunk whose retry budget is spent. The failure is
+    /// remembered and reported by the next [`Self::quiet`].
+    pub fn fail(&self, id: u32) {
+        let mut st = self.state.lock();
+        if let Some(put) = st.map.remove(&id) {
+            st.failed.push(put.attempts);
+        }
+        if st.map.is_empty() {
             self.cond.notify_all();
         }
     }
 
-    /// Current outstanding count.
-    pub fn current(&self) -> u64 {
-        *self.count.lock()
+    /// Current unacknowledged chunk count.
+    pub fn current(&self) -> usize {
+        self.state.lock().map.len()
     }
 
-    /// Block until every outstanding chunk is acknowledged
-    /// (`shmem_quiet`).
-    pub fn wait_zero(&self) {
-        let mut c = self.count.lock();
-        while *c != 0 {
-            self.cond.wait(&mut c);
+    /// Block until every outstanding chunk is acknowledged or abandoned
+    /// (`shmem_quiet`). Reports [`NtbError::LinkFailed`] — with the worst
+    /// attempt count — if any chunk was abandoned since the last call,
+    /// clearing the failure record.
+    pub fn quiet(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        while !st.map.is_empty() {
+            self.cond.wait(&mut st);
         }
+        if st.failed.is_empty() {
+            Ok(())
+        } else {
+            let attempts = st.failed.drain(..).max().unwrap_or(1);
+            Err(NtbError::LinkFailed { attempts })
+        }
+    }
+
+    /// Whether any puts have been abandoned and not yet reported.
+    pub fn has_failures(&self) -> bool {
+        !self.state.lock().failed.is_empty()
     }
 }
 
@@ -161,8 +379,8 @@ mod tests {
     fn register_fill_wait() {
         let p = PendingOps::new();
         let id = p.register(8);
-        p.fill(id, 0, &[1, 2, 3, 4]).unwrap();
-        p.fill(id, 4, &[5, 6, 7, 8]).unwrap();
+        assert_eq!(p.fill(id, 0, &[1, 2, 3, 4]).unwrap(), FillOutcome::Filled);
+        assert_eq!(p.fill(id, 4, &[5, 6, 7, 8]).unwrap(), FillOutcome::Filled);
         let buf = p.wait(id, &TimeModel::zero()).unwrap();
         assert_eq!(buf, vec![1, 2, 3, 4, 5, 6, 7, 8]);
         assert_eq!(p.in_flight(), 0);
@@ -176,10 +394,25 @@ mod tests {
     }
 
     #[test]
-    fn unknown_id_errors() {
+    fn stale_fill_ignored_unknown_wait_errors() {
         let p = PendingOps::new();
-        assert!(p.fill(99, 0, &[1]).is_err());
+        assert_eq!(p.fill(99, 0, &[1]).unwrap(), FillOutcome::Stale);
         assert!(p.wait(99, &TimeModel::zero()).is_err());
+    }
+
+    #[test]
+    fn duplicate_chunk_suppressed() {
+        let p = PendingOps::new();
+        let id = p.register(8);
+        assert_eq!(p.fill(id, 0, &[1, 2, 3, 4]).unwrap(), FillOutcome::Filled);
+        // Retransmitted response redelivers the same chunk with different
+        // bytes; the first deposit wins and `received` is not double
+        // counted (a double count would mark the entry done early).
+        assert_eq!(p.fill(id, 0, &[9, 9, 9, 9]).unwrap(), FillOutcome::Duplicate);
+        assert_eq!(p.in_flight(), 1);
+        assert_eq!(p.fill(id, 4, &[5, 6, 7, 8]).unwrap(), FillOutcome::Filled);
+        let buf = p.wait(id, &TimeModel::zero()).unwrap();
+        assert_eq!(buf, vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]
@@ -232,37 +465,119 @@ mod tests {
         assert_ne!(a, b);
     }
 
-    #[test]
-    fn outstanding_puts_flow() {
-        let o = OutstandingPuts::new();
-        o.add(3);
-        assert_eq!(o.current(), 3);
-        o.ack(1);
-        assert_eq!(o.current(), 2);
-        o.ack(2);
-        assert_eq!(o.current(), 0);
-        o.wait_zero(); // returns immediately
+    fn tight_policy() -> RetryPolicy {
+        RetryPolicy {
+            ack_timeout: Duration::from_millis(10),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        }
     }
 
     #[test]
-    fn wait_zero_blocks_until_acked() {
-        let o = Arc::new(OutstandingPuts::new());
-        o.add(1);
-        let o2 = Arc::clone(&o);
+    fn wait_with_retry_resends_then_completes() {
+        let p = Arc::new(PendingOps::new());
+        let id = p.register(2);
+        let resent = Arc::new(AtomicU32::new(0));
+        let (p2, r2) = (Arc::clone(&p), Arc::clone(&resent));
+        // "Network": completes the operation only after the first
+        // retransmission arrives.
+        let buf = p.wait_with_retry(id, &TimeModel::zero(), &tight_policy(), |attempt| {
+            r2.fetch_add(1, Ordering::Relaxed);
+            assert!(attempt >= 1);
+            p2.fill(id, 0, b"ok").map(|_| ())
+        });
+        assert_eq!(buf.unwrap(), b"ok");
+        assert_eq!(resent.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wait_with_retry_bounded_failure() {
+        let p = PendingOps::new();
+        let id = p.register(4);
+        let policy = tight_policy();
+        let t0 = std::time::Instant::now();
+        let err = p.wait_with_retry(id, &TimeModel::zero(), &policy, |_| Ok(())).unwrap_err();
+        assert_eq!(err, NtbError::LinkFailed { attempts: 3 });
+        assert!(t0.elapsed() <= policy.worst_case() + Duration::from_secs(1));
+        // The entry is gone; stragglers become stale.
+        assert_eq!(p.in_flight(), 0);
+        assert_eq!(p.fill(id, 0, &[0u8; 4]).unwrap(), FillOutcome::Stale);
+    }
+
+    #[test]
+    fn wait_with_retry_transient_resend_errors_tolerated() {
+        let p = Arc::new(PendingOps::new());
+        let id = p.register(1);
+        let p2 = Arc::clone(&p);
+        let buf = p.wait_with_retry(id, &TimeModel::zero(), &tight_policy(), |attempt| {
+            if attempt == 1 {
+                Err(NtbError::LinkDown)
+            } else {
+                p2.fill(id, 0, &[7]).map(|_| ())
+            }
+        });
+        assert_eq!(buf.unwrap(), vec![7]);
+    }
+
+    fn put_entry(u: &UnackedPuts, deadline: Instant) -> u32 {
+        u.register(1, 0, vec![1, 2, 3], TransferMode::Dma, deadline)
+    }
+
+    #[test]
+    fn unacked_puts_flow() {
+        let u = UnackedPuts::new();
+        let far = Instant::now() + Duration::from_secs(60);
+        let a = put_entry(&u, far);
+        let b = put_entry(&u, far);
+        assert_ne!(a, b);
+        assert_eq!(u.current(), 2);
+        assert!(u.ack(a));
+        assert!(!u.ack(a), "duplicate ack is harmless");
+        assert!(u.ack(b));
+        assert_eq!(u.current(), 0);
+        u.quiet().unwrap();
+    }
+
+    #[test]
+    fn quiet_blocks_until_acked() {
+        let u = Arc::new(UnackedPuts::new());
+        let id = put_entry(&u, Instant::now() + Duration::from_secs(60));
+        let u2 = Arc::clone(&u);
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(10));
-            o2.ack(1);
+            u2.ack(id);
         });
-        o.wait_zero();
-        assert_eq!(o.current(), 0);
+        u.quiet().unwrap();
+        assert_eq!(u.current(), 0);
         h.join().unwrap();
     }
 
     #[test]
-    fn over_ack_saturates() {
-        let o = OutstandingPuts::new();
-        o.add(1);
-        o.ack(5);
-        assert_eq!(o.current(), 0);
+    fn overdue_and_attempts() {
+        let u = UnackedPuts::new();
+        let now = Instant::now();
+        let late = put_entry(&u, now - Duration::from_millis(1));
+        let _fresh = put_entry(&u, now + Duration::from_secs(60));
+        let overdue = u.overdue(now);
+        assert_eq!(overdue.len(), 1);
+        assert_eq!(overdue[0].0, late);
+        assert_eq!(overdue[0].1.attempts, 1);
+        assert_eq!(u.note_attempt(late, now + Duration::from_secs(60)), Some(2));
+        assert!(u.overdue(Instant::now()).is_empty());
+        assert_eq!(u.note_attempt(9999, now), None);
+    }
+
+    #[test]
+    fn failed_put_reported_by_quiet_then_cleared() {
+        let u = UnackedPuts::new();
+        let id = put_entry(&u, Instant::now());
+        u.note_attempt(id, Instant::now());
+        u.fail(id);
+        assert!(u.has_failures());
+        assert_eq!(u.quiet().unwrap_err(), NtbError::LinkFailed { attempts: 2 });
+        // Failure record is consumed; the next quiet is clean.
+        u.quiet().unwrap();
     }
 }

@@ -14,21 +14,56 @@
 //!
 //! The split is what makes the ring deadlock-free: the service loop never
 //! blocks on an outbound mailbox.
+//!
+//! A third per-*node* thread, the **retry sweeper**, owns end-to-end
+//! recovery: it retransmits put chunks whose acknowledgement is overdue
+//! (exponential backoff, abandonment into `quiet` once the budget is
+//! spent) and probes `Down` endpoints back into service.
+//!
+//! Lossy-link hardening in the receive path: the idle tick also polls the
+//! mailbox (a dropped doorbell otherwise strands a frame in the slot),
+//! every staged payload is CRC-checked against the window's control slot
+//! (a corrupted payload is dropped and recovered by retransmission), and
+//! deliveries are deduplicated so retransmissions stay idempotent.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ntb_sim::{DoorbellWaiter, Result};
 
+use crate::crc::crc32;
 use crate::doorbells::{DB_DMAGET, DB_DMAPUT, DB_SHUTDOWN, SERVICE_INTEREST};
 use crate::forwarder::ForwardJob;
 use crate::frame::{Frame, FrameKind};
 use crate::node::NtbNode;
+use crate::pending::FillOutcome;
 use crate::trace::TraceKind;
 
 /// How long the service loop sleeps between shutdown-flag checks when the
-/// doorbell stays silent.
+/// doorbell stays silent. Doubles as the lost-doorbell recovery latency:
+/// the idle tick polls the mailbox even without an interrupt.
 const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// Drain every frame currently in the endpoint's receive mailbox.
+fn drain_mailbox(node: &Arc<NtbNode>, idx: usize) {
+    let ep = &node.endpoints[idx];
+    loop {
+        match ep.rx.try_recv() {
+            Ok(Some(frame)) => {
+                if let Err(e) = handle_frame(node, idx, frame) {
+                    node.record_error(e);
+                    // Free the link even on a failed frame.
+                    let _ = ep.rx.ack();
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                node.record_error(e);
+                break;
+            }
+        }
+    }
+}
 
 /// Receive loop for endpoint `idx` (paper Fig. 5:
 /// `Do_DMAPutInterruptService` / `Do_DMAGetInterruptService`).
@@ -39,7 +74,12 @@ pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
             return;
         }
         match ep.port().wait_doorbell(SERVICE_INTEREST, Some(IDLE_TICK)) {
-            DoorbellWaiter::TimedOut => continue,
+            DoorbellWaiter::TimedOut => {
+                // Lost-interrupt safety net: a dropped doorbell leaves a
+                // frame stranded in the slot with no ring to announce it;
+                // the idle poll picks it up within one tick.
+                drain_mailbox(node, idx);
+            }
             DoorbellWaiter::Fired(bits) => {
                 if bits & (1 << DB_SHUTDOWN) != 0 {
                     return;
@@ -50,22 +90,7 @@ pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
                 ep.port().doorbell().clear(bits & ((1 << DB_DMAPUT) | (1 << DB_DMAGET)));
                 // ISR + wakeup + the prototype's sleep-and-wait loop.
                 node.model().delay(node.model().interrupt_service_delay);
-                loop {
-                    match ep.rx.try_recv() {
-                        Ok(Some(frame)) => {
-                            if let Err(e) = handle_frame(node, idx, frame) {
-                                node.record_error(e);
-                                // Free the link even on a failed frame.
-                                let _ = ep.rx.ack();
-                            }
-                        }
-                        Ok(None) => break,
-                        Err(e) => {
-                            node.record_error(e);
-                            break;
-                        }
-                    }
-                }
+                drain_mailbox(node, idx);
             }
         }
     }
@@ -76,7 +101,9 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
     node.count_frame();
     node.trace(TraceKind::FrameHandled, frame.src, frame.dest, frame.len);
     // Per-link-direction frames carry a 16-bit sequence number; a gap or
-    // repeat means the one-slot mailbox protocol was violated.
+    // repeat means the one-slot mailbox protocol was violated. (Sequence
+    // numbers are assigned per transmission, so retransmitted frames do
+    // not create gaps.)
     {
         use std::sync::atomic::Ordering;
         let expected = node.endpoints[idx].rx_seq.load(Ordering::Relaxed) as u16;
@@ -85,9 +112,7 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
                 reason: "frame sequence gap on link (mailbox protocol violation)",
             });
         }
-        node.endpoints[idx]
-            .rx_seq
-            .store(u32::from(frame.seq.wrapping_add(1)), Ordering::Relaxed);
+        node.endpoints[idx].rx_seq.store(u32::from(frame.seq.wrapping_add(1)), Ordering::Relaxed);
     }
     let ep = &node.endpoints[idx];
     let me = node.host_id();
@@ -99,6 +124,22 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
     let payload: Option<Vec<u8>> = if frame.kind.has_payload() && frame.len > 0 {
         let area = node.layout.area_offset(terminating);
         let data = ep.port().incoming().region().read_vec(area, u64::from(frame.len))?;
+        // Hop-by-hop integrity: on links with an armed fault plan the
+        // sender published crc32(payload) in the control slot. A mismatch
+        // means the window write was corrupted in flight — drop the frame
+        // (the ack below frees the slot) and let the sender's
+        // retransmission recover. Clean links skip the check; their
+        // posted writes cannot corrupt.
+        if ep.port().outgoing().faults().is_active() {
+            let crc_bytes = ep.port().incoming().region().read_vec(node.layout.crc_off(), 4)?;
+            let expected_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+            if crc32(&data) != expected_crc {
+                node.count_checksum_reject();
+                node.trace(TraceKind::FrameHandled, frame.src, frame.dest, 0);
+                ep.rx.ack()?;
+                return Ok(());
+            }
+        }
         node.model().delay(node.model().window_copy_time(u64::from(frame.len)));
         Some(data)
     } else {
@@ -109,36 +150,55 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
     if !terminating {
         // Paper Fig. 5: "Destination is my neighbor? / Bypass data via
         // transfer buffer" — either way the frame continues around the
-        // ring through the forwarder.
-        let think = if payload.is_some() {
-            node.model().bypass_forward_delay
-        } else {
-            Duration::ZERO
-        };
+        // ring through the forwarder. Split horizon: never back out the
+        // arrival endpoint.
+        let think =
+            if payload.is_some() { node.model().bypass_forward_delay } else { Duration::ZERO };
         node.trace(TraceKind::Forwarded, frame.src, frame.dest, frame.len);
-        node.endpoint_for(frame.dest).fwd.push(ForwardJob { frame, payload, think });
+        node.forward_endpoint(frame.dest, idx).fwd.push(ForwardJob {
+            frame,
+            payload,
+            think,
+            attempts: 0,
+        });
         node.count_forward();
         return Ok(());
     }
 
     match frame.kind {
         FrameKind::Put => {
-            let data = payload.unwrap_or_default();
-            node.deliver()?.deliver_put(u64::from(frame.offset), &data)?;
-            node.count_put_delivered();
-            node.trace(TraceKind::PutDelivered, frame.src, frame.dest, frame.len);
+            // Duplicate suppression: a retransmitted chunk whose first
+            // copy already landed must not be re-applied (the heap may
+            // have been overwritten since), but is re-acknowledged —
+            // the first ack evidently went missing. Put id 0 marks
+            // untracked traffic and bypasses dedup.
+            let fresh = frame.aux == 0 || node.seen_puts.lock().insert(frame.src, frame.aux);
+            if fresh {
+                let data = payload.unwrap_or_default();
+                node.deliver()?.deliver_put(u64::from(frame.offset), &data)?;
+                node.count_put_delivered();
+                node.trace(TraceKind::PutDelivered, frame.src, frame.dest, frame.len);
+            } else {
+                node.count_duplicate();
+            }
             // Route the delivery acknowledgement back to the origin.
-            let ack = Frame::put_ack(me, frame.src, 1);
+            let ack = Frame::put_ack(me, frame.src, 1, frame.aux);
             node.endpoint_for(frame.src).fwd.push(ForwardJob {
                 frame: ack,
                 payload: None,
                 think: Duration::ZERO,
+                attempts: 0,
             });
         }
         FrameKind::PutAck => {
-            node.outstanding.ack(u64::from(frame.len));
-            node.count_ack();
-            node.trace(TraceKind::AckReceived, frame.src, frame.dest, 0);
+            if node.unacked.ack(frame.aux) {
+                node.count_ack();
+                node.trace(TraceKind::AckReceived, frame.src, frame.dest, 0);
+            } else {
+                // The put was already retired by an earlier copy of this
+                // ack (retransmission raced the acknowledgement).
+                node.count_duplicate();
+            }
         }
         FrameKind::GetReq => {
             let mut data = vec![0u8; frame.len as usize];
@@ -163,15 +223,33 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
                     // The serving host's thread paces response chunks
                     // through its sleep loop.
                     think: node.model().get_response_service_delay,
+                    attempts: 0,
                 });
                 off += n;
             }
         }
         FrameKind::GetResp => {
             let data = payload.unwrap_or_default();
-            node.pending.fill(frame.aux, u64::from(frame.offset), &data)?;
+            match node.pending.fill(frame.aux, u64::from(frame.offset), &data)? {
+                FillOutcome::Filled => {}
+                FillOutcome::Duplicate | FillOutcome::Stale => node.count_duplicate(),
+            }
         }
         FrameKind::AmoReq => {
+            // Idempotency: a retransmitted AMO request must not execute
+            // twice; the cached old value of the first execution is
+            // re-served.
+            if let Some(old) = node.amo_cache.lock().lookup(frame.src, frame.aux) {
+                node.count_duplicate();
+                let resp = Frame::amo_resp(me, frame.src, frame.aux);
+                node.endpoint_for(frame.src).fwd.push(ForwardJob {
+                    frame: resp,
+                    payload: Some(old.to_le_bytes().to_vec()),
+                    think: Duration::ZERO,
+                    attempts: 0,
+                });
+                return Ok(());
+            }
             let p = payload.unwrap_or_default();
             if p.len() < 17 {
                 return Err(ntb_sim::NtbError::BadDescriptor { reason: "short AMO payload" });
@@ -182,8 +260,14 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
             let op = frame
                 .amo_op
                 .ok_or(ntb_sim::NtbError::BadDescriptor { reason: "AMO frame without opcode" })?;
-            let old =
-                node.deliver()?.deliver_atomic(op, u64::from(frame.offset), width, operand, compare)?;
+            let old = node.deliver()?.deliver_atomic(
+                op,
+                u64::from(frame.offset),
+                width,
+                operand,
+                compare,
+            )?;
+            node.amo_cache.lock().insert(frame.src, frame.aux, old);
             node.count_amo();
             node.trace(TraceKind::AmoServed, frame.src, frame.dest, frame.len);
             let resp = Frame::amo_resp(me, frame.src, frame.aux);
@@ -191,6 +275,7 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
                 frame: resp,
                 payload: Some(old.to_le_bytes().to_vec()),
                 think: Duration::ZERO,
+                attempts: 0,
             });
         }
         FrameKind::AmoResp => {
@@ -198,16 +283,24 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
             if data.len() < 8 {
                 return Err(ntb_sim::NtbError::BadDescriptor { reason: "short AMO response" });
             }
-            node.pending.fill(frame.aux, 0, &data[0..8])?;
+            match node.pending.fill(frame.aux, 0, &data[0..8])? {
+                FillOutcome::Filled => {}
+                FillOutcome::Duplicate | FillOutcome::Stale => node.count_duplicate(),
+            }
         }
     }
     Ok(())
 }
 
-/// Transmit loop for endpoint `idx`: drains the forward queue.
+/// Transmit loop for endpoint `idx`: drains the forward queue. A
+/// transiently failed transmission is re-dispatched (possibly through the
+/// other endpoint once rerouting kicks in) up to the retry budget; after
+/// that the frame is dropped and the origin's end-to-end retransmission
+/// recovers.
 pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
     let ep = &node.endpoints[idx];
-    while let Some(job) = ep.fwd.pop() {
+    let policy = node.config().retry;
+    while let Some(mut job) = ep.fwd.pop() {
         node.model().delay(job.think);
         let terminating = ep.neighbor() == job.frame.dest;
         let area = node.layout.area_offset(terminating);
@@ -216,11 +309,58 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
             Some(data) => ep.tx.send(job.frame, |port| node.push_payload(port, area, data, mode)),
             None => ep.tx.send_control(job.frame),
         };
+        node.note_send_result(ep, &result);
         if let Err(e) = result {
             if node.is_shutdown() {
                 return;
             }
-            node.record_error(e);
+            let transient = e.is_transient() || matches!(e, ntb_sim::NtbError::LinkFailed { .. });
+            if transient && job.attempts < policy.max_retries {
+                job.attempts += 1;
+                job.think = policy.backoff(job.attempts - 1).max(Duration::from_millis(1));
+                node.count_retransmit();
+                // Re-dispatch through whatever endpoint routing now
+                // prefers — the health tracker may have failed this one
+                // over in the meantime.
+                node.endpoint_for(job.frame.dest).fwd.push(job);
+            } else {
+                node.record_error(e);
+            }
+        }
+    }
+}
+
+/// Per-node recovery thread: retransmits overdue put chunks (bounded by
+/// the retry policy, with exponential backoff) and probes `Down`
+/// endpoints at the configured interval so rerouted traffic can return
+/// to the short path once a link recovers.
+pub(crate) fn retry_sweeper_loop(node: &Arc<NtbNode>) {
+    let policy = node.config().retry;
+    let tick = (policy.ack_timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    let mut last_probe = Instant::now();
+    loop {
+        std::thread::sleep(tick);
+        if node.is_shutdown() {
+            return;
+        }
+        let now = Instant::now();
+        for (id, put) in node.unacked.overdue(now) {
+            if put.attempts > policy.max_retries {
+                // Budget spent: abandon. The failure surfaces as
+                // `LinkFailed` from the next `quiet`.
+                node.unacked.fail(id);
+                continue;
+            }
+            let next = Instant::now() + policy.ack_timeout + policy.backoff(put.attempts - 1);
+            if node.unacked.note_attempt(id, next).is_none() {
+                continue; // acked while we looked
+            }
+            node.count_retransmit();
+            let _ = node.transmit_put(id, put.dest, put.heap_offset, &put.data, put.mode);
+        }
+        if now.duration_since(last_probe) >= policy.probe_interval {
+            last_probe = now;
+            node.probe_down_links();
         }
     }
 }

@@ -210,8 +210,22 @@ mod tests {
     #[test]
     fn chrome_json_shape() {
         let records = vec![
-            TraceRecord { t_us: 1.5, host: 0, kind: TraceKind::FrameSent, src: 0, dest: 2, len: 64 },
-            TraceRecord { t_us: 2.5, host: 1, kind: TraceKind::Forwarded, src: 0, dest: 2, len: 64 },
+            TraceRecord {
+                t_us: 1.5,
+                host: 0,
+                kind: TraceKind::FrameSent,
+                src: 0,
+                dest: 2,
+                len: 64,
+            },
+            TraceRecord {
+                t_us: 2.5,
+                host: 1,
+                kind: TraceKind::Forwarded,
+                src: 0,
+                dest: 2,
+                len: 64,
+            },
         ];
         let json = to_chrome_json(&records);
         assert!(json.starts_with('[') && json.ends_with(']'));

@@ -48,8 +48,7 @@ impl DeliveryTarget for TestHeap {
 }
 
 fn build(hosts: usize) -> (RingNetwork, Vec<Arc<TestHeap>>) {
-    let net =
-        RingNetwork::build(NetConfig::fast(hosts).with_topology(Topology::FullMesh)).unwrap();
+    let net = RingNetwork::build(NetConfig::fast(hosts).with_topology(Topology::FullMesh)).unwrap();
     let heaps: Vec<Arc<TestHeap>> = (0..hosts).map(|_| TestHeap::new()).collect();
     for (i, heap) in heaps.iter().enumerate() {
         net.node(i).set_delivery(Arc::clone(heap) as Arc<dyn DeliveryTarget>);
@@ -68,7 +67,7 @@ fn all_pairs_put_get_without_forwarding() {
             let payload = vec![(src * 16 + dst) as u8; 999];
             let off = (src * 5 + dst) as u64 * 1024;
             net.node(src).put_bytes(dst, off, &payload, TransferMode::Dma).unwrap();
-            net.node(src).quiet();
+            net.node(src).quiet().expect("quiet");
             assert_eq!(heaps[dst].region.read_vec(off, 999).unwrap(), payload);
             let back = net.node(src).get_bytes(dst, off, 999, TransferMode::Dma).unwrap();
             assert_eq!(back, payload);
@@ -110,7 +109,7 @@ fn mesh_has_dedicated_links_per_pair() {
     // 4 hosts -> each node has 3 endpoints; traffic between 0 and 3 never
     // touches the 0-1 link.
     net.node(0).put_bytes(3, 0, &[9u8; 4096], TransferMode::Dma).unwrap();
-    net.node(0).quiet();
+    net.node(0).quiet().expect("quiet");
     let to_1 = net.node(0).endpoint_to(1).port().stats().bytes_tx();
     let to_3 = net.node(0).endpoint_to(3).port().stats().bytes_tx();
     assert_eq!(to_1, 0, "0-1 link must stay idle");
@@ -122,8 +121,8 @@ fn two_host_mesh_is_a_single_link() {
     let (net, heaps) = build(2);
     net.node(0).put_bytes(1, 0, &[1u8; 64], TransferMode::Memcpy).unwrap();
     net.node(1).put_bytes(0, 0, &[2u8; 64], TransferMode::Memcpy).unwrap();
-    net.node(0).quiet();
-    net.node(1).quiet();
+    net.node(0).quiet().expect("quiet");
+    net.node(1).quiet().expect("quiet");
     assert_eq!(heaps[1].region.read_vec(0, 64).unwrap(), vec![1u8; 64]);
     assert_eq!(heaps[0].region.read_vec(0, 64).unwrap(), vec![2u8; 64]);
 }

@@ -71,7 +71,7 @@ fn put_to_neighbor_delivers_and_acks() {
     let (net, heaps) = build(3);
     let payload = vec![0xAB_u8; 4096];
     net.node(0).put_bytes(1, 128, &payload, TransferMode::Dma).unwrap();
-    net.node(0).quiet();
+    net.node(0).quiet().expect("quiet");
     assert_eq!(heaps[1].region.read_vec(128, 4096).unwrap(), payload);
     assert_eq!(net.node(0).outstanding_puts(), 0);
     assert_eq!(net.node(1).stats().puts_delivered.load(std::sync::atomic::Ordering::Relaxed), 1);
@@ -84,7 +84,7 @@ fn put_two_hops_forwards_through_bypass() {
     let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
     // 0 -> 2 is two hops on a 4-ring.
     net.node(0).put_bytes(2, 0, &payload, TransferMode::Dma).unwrap();
-    net.node(0).quiet();
+    net.node(0).quiet().expect("quiet");
     assert_eq!(heaps[2].region.read_vec(0, 8192).unwrap(), payload);
     // Exactly one intermediate host forwarded (host 1, the rightward path).
     let fwd1 = net.node(1).stats().forwards.load(std::sync::atomic::Ordering::Relaxed);
@@ -102,7 +102,7 @@ fn put_chunking_spans_buffer_size() {
     }
     let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
     net.node(0).put_bytes(1, 64, &payload, TransferMode::Memcpy).unwrap();
-    net.node(0).quiet();
+    net.node(0).quiet().expect("quiet");
     assert_eq!(heaps[1].region.read_vec(64, 20_000).unwrap(), payload);
     // ceil(20000/4096) = 5 chunks delivered.
     assert_eq!(net.node(1).stats().puts_delivered.load(std::sync::atomic::Ordering::Relaxed), 5);
@@ -142,7 +142,7 @@ fn get_memcpy_mode_round_trip() {
 fn zero_length_put_and_get() {
     let (net, _heaps) = build(3);
     net.node(0).put_bytes(1, 0, &[], TransferMode::Dma).unwrap();
-    net.node(0).quiet();
+    net.node(0).quiet().expect("quiet");
     let data = net.node(0).get_bytes(1, 0, 0, TransferMode::Dma).unwrap();
     assert!(data.is_empty());
     assert_no_errors(&net);
@@ -159,11 +159,11 @@ fn bidirectional_traffic() {
     let b2 = b.clone();
     let h0 = std::thread::spawn(move || {
         n0.put_bytes(1, 0, &a2, TransferMode::Dma).unwrap();
-        n0.quiet();
+        n0.quiet().expect("quiet");
     });
     let h1 = std::thread::spawn(move || {
         n1.put_bytes(0, 0, &b2, TransferMode::Dma).unwrap();
-        n1.quiet();
+        n1.quiet().expect("quiet");
     });
     h0.join().unwrap();
     h1.join().unwrap();
@@ -183,7 +183,7 @@ fn all_pairs_put_get_on_six_ring() {
             let payload = vec![(src * 16 + dst) as u8; 777];
             let off = (src * 6 + dst) as u64 * 1024;
             net.node(src).put_bytes(dst, off, &payload, TransferMode::Dma).unwrap();
-            net.node(src).quiet();
+            net.node(src).quiet().expect("quiet");
             assert_eq!(heaps[dst].region.read_vec(off, 777).unwrap(), payload, "{src}->{dst}");
             let back = net.node(src).get_bytes(dst, off, 777, TransferMode::Dma).unwrap();
             assert_eq!(back, payload, "get {src}<-{dst}");
@@ -197,8 +197,8 @@ fn two_host_ring_uses_both_links() {
     let (net, heaps) = build(2);
     net.node(0).put_bytes(1, 0, &[5u8; 100], TransferMode::Dma).unwrap();
     net.node(1).put_bytes(0, 0, &[6u8; 100], TransferMode::Dma).unwrap();
-    net.node(0).quiet();
-    net.node(1).quiet();
+    net.node(0).quiet().expect("quiet");
+    net.node(1).quiet().expect("quiet");
     assert_eq!(heaps[1].region.read_vec(0, 100).unwrap(), vec![5u8; 100]);
     assert_eq!(heaps[0].region.read_vec(0, 100).unwrap(), vec![6u8; 100]);
     assert_no_errors(&net);
@@ -301,8 +301,12 @@ fn stress_random_traffic() {
         let payload: Vec<u8> = (0..len).map(|_| rng.random()).collect();
         if rng.random_bool(0.5) {
             net.node(src).put_bytes(dst, off, &payload, mode).unwrap();
-            net.node(src).quiet();
-            assert_eq!(heaps[dst].region.read_vec(off, len as u64).unwrap(), payload, "round {round}");
+            net.node(src).quiet().expect("quiet");
+            assert_eq!(
+                heaps[dst].region.read_vec(off, len as u64).unwrap(),
+                payload,
+                "round {round}"
+            );
         } else {
             heaps[dst].region.write(off, &payload).unwrap();
             let got = net.node(src).get_bytes(dst, off, len as u64, mode).unwrap();
@@ -316,7 +320,7 @@ fn stress_random_traffic() {
 fn shutdown_is_clean_and_idempotent() {
     let (net, _heaps) = build(3);
     net.node(0).put_bytes(1, 0, &[1u8; 64], TransferMode::Dma).unwrap();
-    net.node(0).quiet();
+    net.node(0).quiet().expect("quiet");
     net.shutdown();
     net.shutdown();
 }
@@ -326,7 +330,7 @@ fn trace_records_protocol_events() {
     let (net, heaps) = build(4);
     net.enable_tracing();
     net.node(0).put_bytes(2, 0, &[7u8; 4096], TransferMode::Dma).unwrap();
-    net.node(0).quiet();
+    net.node(0).quiet().expect("quiet");
     heaps[1].region.write(0, &[3u8; 64]).unwrap();
     let _ = net.node(0).get_bytes(1, 0, 64, TransferMode::Dma).unwrap();
     net.disable_tracing();
@@ -350,7 +354,7 @@ fn trace_records_protocol_events() {
     let (net2, _h2) = build(2);
     net2.enable_tracing();
     net2.node(0).put_bytes(1, 0, &[1u8; 16], TransferMode::Dma).unwrap();
-    net2.node(0).quiet();
+    net2.node(0).quiet().expect("quiet");
     let json = net2.take_trace_json();
     assert!(json.starts_with('[') && json.contains("put_delivered"));
 }
@@ -359,6 +363,6 @@ fn trace_records_protocol_events() {
 fn trace_disabled_by_default() {
     let (net, _heaps) = build(2);
     net.node(0).put_bytes(1, 0, &[1u8; 16], TransferMode::Dma).unwrap();
-    net.node(0).quiet();
+    net.node(0).quiet().expect("quiet");
     assert!(net.take_trace().is_empty());
 }

@@ -53,15 +53,22 @@ impl BarConfig {
     /// address beyond 4 GiB.
     pub fn validate(&self) -> Result<()> {
         if self.size == 0 || !self.size.is_power_of_two() {
-            return Err(NtbError::BadDescriptor { reason: "BAR size must be a nonzero power of two" });
+            return Err(NtbError::BadDescriptor {
+                reason: "BAR size must be a nonzero power of two",
+            });
         }
         if self.index as u32 + self.kind.slots() as u32 > 6 {
             return Err(NtbError::BadDescriptor { reason: "BAR slots exceed the six available" });
         }
         if self.kind == BarKind::Bar32
-            && self.translation_base.checked_add(self.size).is_none_or(|end| end > u64::from(u32::MAX))
+            && self
+                .translation_base
+                .checked_add(self.size)
+                .is_none_or(|end| end > u64::from(u32::MAX))
         {
-            return Err(NtbError::BadDescriptor { reason: "32-bit BAR cannot translate beyond 4 GiB" });
+            return Err(NtbError::BadDescriptor {
+                reason: "32-bit BAR cannot translate beyond 4 GiB",
+            });
         }
         Ok(())
     }

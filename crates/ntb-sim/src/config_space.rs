@@ -85,7 +85,9 @@ impl ConfigSpace {
     /// Read a 32-bit register at byte offset `offset` (must be aligned).
     pub fn read_dword(&self, offset: usize) -> Result<u32> {
         if !offset.is_multiple_of(4) || offset >= 0x40 {
-            return Err(NtbError::BadDescriptor { reason: "misaligned or out-of-range config read" });
+            return Err(NtbError::BadDescriptor {
+                reason: "misaligned or out-of-range config read",
+            });
         }
         Ok(match offset {
             regs::VENDOR_DEVICE => (u32::from(self.device_id) << 16) | u32::from(VENDOR_PLX),
@@ -104,7 +106,9 @@ impl ConfigSpace {
     /// hardware).
     pub fn write_dword(&self, offset: usize, value: u32) -> Result<()> {
         if !offset.is_multiple_of(4) || offset >= 0x40 {
-            return Err(NtbError::BadDescriptor { reason: "misaligned or out-of-range config write" });
+            return Err(NtbError::BadDescriptor {
+                reason: "misaligned or out-of-range config write",
+            });
         }
         match offset {
             regs::COMMAND_STATUS => *self.command.lock() = value as u16,

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{NtbError, Result};
+use crate::fault::DmaFaultOutcome;
 use crate::memory::Region;
 use crate::timing::TransferMode;
 use crate::window::OutgoingWindow;
@@ -48,7 +49,10 @@ struct Completion {
 
 impl Completion {
     fn new() -> Arc<Self> {
-        Arc::new(Completion { state: Mutex::new(CompletionState { result: None }), cond: Condvar::new() })
+        Arc::new(Completion {
+            state: Mutex::new(CompletionState { result: None }),
+            cond: Condvar::new(),
+        })
     }
 
     fn complete(&self, result: Result<()>) {
@@ -147,6 +151,17 @@ impl DmaEngine {
                     shared.cond.wait(&mut q);
                 }
             };
+            // Consult the fault model before touching the wire: a failed
+            // descriptor completes with an error without moving data, a
+            // stalled one holds its channel for the stall time.
+            match job.window.dma_fault_outcome() {
+                DmaFaultOutcome::Fail => {
+                    job.completion.complete(Err(NtbError::DmaFault));
+                    continue;
+                }
+                DmaFaultOutcome::Stall(d) => std::thread::sleep(d),
+                DmaFaultOutcome::None => {}
+            }
             let result = job.window.write_from_region(
                 &job.req.src,
                 job.req.src_offset,
@@ -248,9 +263,7 @@ mod tests {
         let (w, remote) = window(4096);
         let src = Region::anonymous(256);
         src.write(0, &[9u8; 256]).unwrap();
-        engine
-            .transfer(w, DmaRequest { src, src_offset: 0, dst_offset: 512, len: 256 })
-            .unwrap();
+        engine.transfer(w, DmaRequest { src, src_offset: 0, dst_offset: 512, len: 256 }).unwrap();
         assert_eq!(remote.read_vec(512, 256).unwrap(), vec![9u8; 256]);
     }
 
@@ -259,9 +272,8 @@ mod tests {
         let engine = DmaEngine::new(1);
         let (w, _remote) = window(4096);
         let src = Region::anonymous(64);
-        let h = engine
-            .submit(w, DmaRequest { src, src_offset: 0, dst_offset: 0, len: 64 })
-            .unwrap();
+        let h =
+            engine.submit(w, DmaRequest { src, src_offset: 0, dst_offset: 0, len: 64 }).unwrap();
         h.wait().unwrap();
         assert!(h.is_done());
         assert_eq!(h.try_result(), Some(Ok(())));
@@ -272,9 +284,8 @@ mod tests {
         let engine = DmaEngine::new(1);
         let (w, _) = window(4096);
         let src = Region::anonymous(64);
-        let err = engine
-            .submit(w, DmaRequest { src, src_offset: 0, dst_offset: 0, len: 0 })
-            .unwrap_err();
+        let err =
+            engine.submit(w, DmaRequest { src, src_offset: 0, dst_offset: 0, len: 0 }).unwrap_err();
         assert!(matches!(err, NtbError::BadDescriptor { .. }));
     }
 

@@ -58,7 +58,11 @@ pub enum DoorbellWaiter {
 impl Doorbell {
     /// New doorbell with no pending bits and nothing masked.
     pub fn new(model: Arc<TimeModel>) -> Arc<Self> {
-        Arc::new(Doorbell { state: Mutex::new(DoorbellState::default()), cond: Condvar::new(), model })
+        Arc::new(Doorbell {
+            state: Mutex::new(DoorbellState::default()),
+            cond: Condvar::new(),
+            model,
+        })
     }
 
     fn check_bit(bit: u32) -> Result<()> {

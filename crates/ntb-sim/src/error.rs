@@ -69,6 +69,29 @@ pub enum NtbError {
         /// Bytes available.
         available: u64,
     },
+    /// The link is (currently) down: writes, doorbells and DMA through it
+    /// are rejected until it comes back. Transient — retry may succeed.
+    LinkDown,
+    /// A DMA descriptor completed with an error (injected fault or
+    /// modelled transfer abort). Transient — the descriptor can be
+    /// reissued.
+    DmaFault,
+    /// Recovery gave up: the operation was retried `attempts` times and
+    /// the link never accepted it. Terminal — surfaced to the application
+    /// instead of hanging.
+    LinkFailed {
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl NtbError {
+    /// Whether a retry of the failed operation can reasonably succeed.
+    /// The recovery layer retries transient errors and propagates the
+    /// rest.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NtbError::LinkDown | NtbError::DmaFault)
+    }
 }
 
 impl fmt::Display for NtbError {
@@ -98,6 +121,11 @@ impl fmt::Display for NtbError {
                 f,
                 "host memory exhausted: requested {requested} bytes, {available} available"
             ),
+            NtbError::LinkDown => write!(f, "NTB link is down"),
+            NtbError::DmaFault => write!(f, "DMA descriptor completed with an error"),
+            NtbError::LinkFailed { attempts } => {
+                write!(f, "link failed: operation abandoned after {attempts} attempts")
+            }
         }
     }
 }
@@ -132,5 +160,20 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(NtbError::NotConnected);
         assert!(e.to_string().contains("not connected"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(NtbError::LinkDown.is_transient());
+        assert!(NtbError::DmaFault.is_transient());
+        assert!(!NtbError::LinkFailed { attempts: 5 }.is_transient());
+        assert!(!NtbError::DmaShutdown.is_transient());
+        assert!(!NtbError::NotConnected.is_transient());
+    }
+
+    #[test]
+    fn display_fault_variants() {
+        assert!(NtbError::LinkDown.to_string().contains("down"));
+        assert!(NtbError::LinkFailed { attempts: 7 }.to_string().contains('7'));
     }
 }

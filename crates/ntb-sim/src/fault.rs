@@ -1,0 +1,552 @@
+//! Deterministic fault injection for the NTB link model.
+//!
+//! The paper's prototype assumes a lossless PCIe fabric; §V flags exactly
+//! this as the operational risk of a switchless interconnect. This module
+//! lets tests and chaos harnesses inject the faults such a fabric can
+//! produce — lost doorbell writes, flipped payload bits, failed or stalled
+//! DMA completions, and whole-link outages — while staying *deterministic*
+//! for a given seed, so a failing run can be replayed exactly.
+//!
+//! Determinism model: every injection decision is a pure hash of
+//! `(plan.seed, link index, event stream, event index)`. Event indices are
+//! per-stream atomic counters (one stream per link direction per fault
+//! class), so the decision sequence does not depend on thread interleaving
+//! between streams. As long as the workload drives a deterministic number
+//! of events down each stream, the injected-event *counts* are reproducible
+//! run-to-run for the same seed.
+//!
+//! A [`FaultPlan`] describes *what* to inject (probabilistic rates, plus
+//! scripted one-shots like "drop the 3rd doorbell on link 2"); a
+//! [`FaultInjector`] is the per-link runtime instance the port, window and
+//! DMA paths consult. Injected events are counted in
+//! [`FaultStats`](crate::stats::FaultStats).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::stats::FaultStats;
+use crate::timing::LinkDirection;
+
+/// Doorbell bits eligible for probabilistic dropping by default: the data
+/// vectors (bits 0 and 1 — Put/Get in the `ntb-net` assignment). Control
+/// sweeps (barrier, shutdown) ride higher bits and have no ack/retransmit
+/// protocol above them, so dropping those models a fault the paper's
+/// design simply cannot recover from; keep them lossless unless a test
+/// opts in explicitly via [`FaultPlan::doorbell_drop_mask`].
+pub const DATA_DOORBELL_MASK: u32 = 0b11;
+
+/// Which fault class a scripted one-shot triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Silently discard the Nth doorbell ring (posted write lost).
+    DropDoorbell,
+    /// Flip one payload byte of the Nth window write.
+    CorruptPayload,
+    /// Complete the Nth DMA descriptor with an error.
+    FailDma,
+    /// Stall the Nth DMA descriptor by [`FaultPlan::dma_stall`].
+    StallDma,
+}
+
+/// A scripted one-shot fault: "inject `action` on exactly the `nth` event
+/// (1-based) of its stream on `link`", regardless of the probabilistic
+/// rates. Both directions of the link count into the same script so "the
+/// Nth doorbell on link 2→3" reads naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Link index (as assigned by the network builder).
+    pub link: usize,
+    /// Fault class to force.
+    pub action: FaultAction,
+    /// 1-based event index within that class's stream (summed over both
+    /// directions).
+    pub nth: u64,
+}
+
+/// A timed link outage: after the link has carried `after_doorbells`
+/// doorbell events, it goes Down for `duration` — every window write,
+/// doorbell ring and DMA through it fails with
+/// [`NtbError::LinkDown`](crate::error::NtbError) until the window
+/// expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDownWindow {
+    /// Link index the outage applies to.
+    pub link: usize,
+    /// Trigger: total doorbell events on the link before the outage.
+    pub after_doorbells: u64,
+    /// Wall-clock length of the outage.
+    pub duration: Duration,
+}
+
+/// Declarative description of the faults to inject, shared by every link
+/// of a network (each link filters the parts addressed to it by index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    /// Probability of discarding an eligible doorbell ring.
+    pub doorbell_drop_rate: f64,
+    /// Which doorbell bits the drop rate applies to
+    /// (default [`DATA_DOORBELL_MASK`]).
+    pub doorbell_drop_mask: u32,
+    /// Probability of flipping one byte of a window payload write.
+    pub payload_corrupt_rate: f64,
+    /// Probability of failing a DMA descriptor at completion.
+    pub dma_fail_rate: f64,
+    /// Probability of stalling a DMA descriptor.
+    pub dma_stall_rate: f64,
+    /// How long a stalled DMA descriptor sleeps before completing.
+    pub dma_stall: Duration,
+    /// Timed outages, matched to links by index.
+    pub link_down: Vec<LinkDownWindow>,
+    /// One-shot scripted faults, matched to links by index.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            doorbell_drop_rate: 0.0,
+            doorbell_drop_mask: DATA_DOORBELL_MASK,
+            payload_corrupt_rate: 0.0,
+            dma_fail_rate: 0.0,
+            dma_stall_rate: 0.0,
+            dma_stall: Duration::from_millis(5),
+            link_down: Vec::new(),
+            scripted: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, costs nothing on the hot path.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Seed every probabilistic decision.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Drop eligible doorbells with probability `rate`.
+    pub fn with_doorbell_drop(mut self, rate: f64) -> Self {
+        self.doorbell_drop_rate = rate;
+        self
+    }
+
+    /// Restrict (or widen) which doorbell bits the drop rate targets.
+    pub fn with_doorbell_drop_mask(mut self, mask: u32) -> Self {
+        self.doorbell_drop_mask = mask;
+        self
+    }
+
+    /// Flip one payload byte per window write with probability `rate`.
+    pub fn with_payload_corrupt(mut self, rate: f64) -> Self {
+        self.payload_corrupt_rate = rate;
+        self
+    }
+
+    /// Fail DMA descriptors with probability `rate`.
+    pub fn with_dma_fail(mut self, rate: f64) -> Self {
+        self.dma_fail_rate = rate;
+        self
+    }
+
+    /// Stall DMA descriptors with probability `rate` for `stall`.
+    pub fn with_dma_stall(mut self, rate: f64, stall: Duration) -> Self {
+        self.dma_stall_rate = rate;
+        self.dma_stall = stall;
+        self
+    }
+
+    /// Add a timed outage on `link` after `after_doorbells` doorbell
+    /// events.
+    pub fn with_link_down(mut self, link: usize, after_doorbells: u64, duration: Duration) -> Self {
+        self.link_down.push(LinkDownWindow { link, after_doorbells, duration });
+        self
+    }
+
+    /// Add a scripted one-shot fault.
+    pub fn with_scripted(mut self, link: usize, action: FaultAction, nth: u64) -> Self {
+        self.scripted.push(ScriptedFault { link, action, nth });
+        self
+    }
+
+    /// Whether this plan can inject anything at all (used to keep the
+    /// empty plan off the hot path).
+    pub fn is_active(&self) -> bool {
+        self.doorbell_drop_rate > 0.0
+            || self.payload_corrupt_rate > 0.0
+            || self.dma_fail_rate > 0.0
+            || self.dma_stall_rate > 0.0
+            || !self.link_down.is_empty()
+            || !self.scripted.is_empty()
+    }
+}
+
+/// What the DMA worker should do with a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaFaultOutcome {
+    /// Execute normally.
+    None,
+    /// Complete with [`NtbError::DmaFault`](crate::error::NtbError).
+    Fail,
+    /// Sleep for the duration, then execute normally.
+    Stall(Duration),
+}
+
+#[derive(Debug)]
+struct DownWindowState {
+    window: LinkDownWindow,
+    fired: bool,
+}
+
+#[derive(Debug, Default)]
+struct DownState {
+    windows: Vec<DownWindowState>,
+    until: Option<Instant>,
+}
+
+/// Per-link runtime fault source, shared by the two ports of a link (like
+/// the link timer). All decisions are deterministic per seed; see the
+/// module docs for the counter-hash scheme.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    link: usize,
+    active: bool,
+    stats: Arc<FaultStats>,
+    /// Event counters, one stream per (class, direction).
+    doorbell_events: [AtomicU64; 2],
+    corrupt_events: [AtomicU64; 2],
+    dma_events: [AtomicU64; 2],
+    /// Doorbell events summed over both directions (down-window trigger
+    /// and scripted-`nth` reference frame).
+    total_doorbells: AtomicU64,
+    total_corrupts: AtomicU64,
+    total_dmas: AtomicU64,
+    down: Mutex<DownState>,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to `[0, 1)` using the top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const STREAM_DOORBELL: u64 = 1;
+const STREAM_CORRUPT: u64 = 2;
+const STREAM_DMA: u64 = 3;
+
+impl FaultInjector {
+    /// A lossless injector (empty plan); the shared instance for networks
+    /// built without fault injection.
+    pub fn none() -> Arc<Self> {
+        Self::new(FaultPlan::none(), 0)
+    }
+
+    /// Build the injector for link `link` out of a network-wide plan.
+    pub fn new(plan: FaultPlan, link: usize) -> Arc<Self> {
+        let windows = plan
+            .link_down
+            .iter()
+            .filter(|w| w.link == link)
+            .map(|w| DownWindowState { window: *w, fired: false })
+            .collect();
+        let active = plan.is_active();
+        Arc::new(FaultInjector {
+            plan,
+            link,
+            active,
+            stats: Arc::new(FaultStats::new()),
+            doorbell_events: Default::default(),
+            corrupt_events: Default::default(),
+            dma_events: Default::default(),
+            total_doorbells: AtomicU64::new(0),
+            total_corrupts: AtomicU64::new(0),
+            total_dmas: AtomicU64::new(0),
+            down: Mutex::new(DownState { windows, until: None }),
+        })
+    }
+
+    /// Injected-event counters of this link.
+    pub fn stats(&self) -> &Arc<FaultStats> {
+        &self.stats
+    }
+
+    /// The link index this injector was built for.
+    pub fn link_index(&self) -> usize {
+        self.link
+    }
+
+    /// Whether the plan can inject anything (false for the shared
+    /// lossless injector).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn decide(&self, stream: u64, dir_stream_index: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let h = mix(self
+            .plan
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((self.link as u64) << 48)
+            .wrapping_add(stream << 40)
+            .wrapping_add(dir_stream_index));
+        unit(h) < rate
+    }
+
+    fn scripted_hit(&self, action: FaultAction, nth: u64) -> bool {
+        self.plan.scripted.iter().any(|s| s.link == self.link && s.action == action && s.nth == nth)
+    }
+
+    /// Whether the link is currently in a Down window. Also arms pending
+    /// windows whose doorbell trigger has been reached and retires
+    /// expired ones.
+    pub fn link_is_down(&self) -> bool {
+        if !self.active {
+            return false;
+        }
+        let mut st = self.down.lock();
+        if let Some(until) = st.until {
+            if Instant::now() < until {
+                return true;
+            }
+            st.until = None;
+        }
+        let total = self.total_doorbells.load(Ordering::Relaxed);
+        let mut fired_until = None;
+        for w in st.windows.iter_mut() {
+            if !w.fired && total >= w.window.after_doorbells {
+                w.fired = true;
+                fired_until = Some(Instant::now() + w.window.duration);
+                self.stats.add_link_down_window();
+                break;
+            }
+        }
+        if let Some(until) = fired_until {
+            st.until = Some(until);
+            return true;
+        }
+        false
+    }
+
+    /// Consulted by [`NtbPort::ring_peer`](crate::port::NtbPort::ring_peer):
+    /// returns `true` if this ring should be silently discarded. Counts
+    /// one doorbell event per call (drops included — the write left the
+    /// CPU either way).
+    pub fn should_drop_doorbell(&self, dir: LinkDirection, bit: u32) -> bool {
+        if !self.active {
+            return false;
+        }
+        let n = self.doorbell_events[dir.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total_doorbells.fetch_add(1, Ordering::Relaxed) + 1;
+        let eligible = self.plan.doorbell_drop_mask & (1 << bit) != 0;
+        let drop = self.scripted_hit(FaultAction::DropDoorbell, total)
+            || (eligible
+                && self.decide(STREAM_DOORBELL + ((dir.index() as u64) << 4), n, {
+                    self.plan.doorbell_drop_rate
+                }));
+        if drop {
+            self.stats.add_doorbell_dropped();
+        }
+        drop
+    }
+
+    /// Consulted by the outgoing window after a payload write of `len`
+    /// bytes: returns the byte offset and XOR mask to flip, if this write
+    /// should be corrupted.
+    pub fn corrupt_payload(&self, dir: LinkDirection, len: u64) -> Option<(u64, u8)> {
+        if !self.active || len == 0 {
+            return None;
+        }
+        let n = self.corrupt_events[dir.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total_corrupts.fetch_add(1, Ordering::Relaxed) + 1;
+        let corrupt = self.scripted_hit(FaultAction::CorruptPayload, total)
+            || self.decide(STREAM_CORRUPT + ((dir.index() as u64) << 4), n, {
+                self.plan.payload_corrupt_rate
+            });
+        if !corrupt {
+            return None;
+        }
+        self.stats.add_payload_corrupted();
+        // Position and mask derive from the same hash family, so the
+        // flipped bit is reproducible too.
+        let h = mix(self.plan.seed
+            ^ ((self.link as u64) << 32)
+            ^ n.wrapping_mul(0xD134_2543_DE82_EF95));
+        let offset = h % len;
+        let mask = ((h >> 32) as u8) | 1; // never zero: guarantee a real flip
+        Some((offset, mask))
+    }
+
+    /// Consulted by the DMA worker per descriptor.
+    pub fn dma_outcome(&self, dir: LinkDirection) -> DmaFaultOutcome {
+        if !self.active {
+            return DmaFaultOutcome::None;
+        }
+        let n = self.dma_events[dir.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total_dmas.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.scripted_hit(FaultAction::FailDma, total)
+            || self.decide(STREAM_DMA + ((dir.index() as u64) << 4), n, self.plan.dma_fail_rate)
+        {
+            self.stats.add_dma_failure();
+            return DmaFaultOutcome::Fail;
+        }
+        if self.scripted_hit(FaultAction::StallDma, total)
+            || self.decide(STREAM_DMA + 0x100 + ((dir.index() as u64) << 4), n, {
+                self.plan.dma_stall_rate
+            })
+        {
+            self.stats.add_dma_stall();
+            return DmaFaultOutcome::Stall(self.plan.dma_stall);
+        }
+        DmaFaultOutcome::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let inj = FaultInjector::none();
+        assert!(!inj.is_active());
+        for _ in 0..1000 {
+            assert!(!inj.should_drop_doorbell(LinkDirection::Upstream, 0));
+            assert!(inj.corrupt_payload(LinkDirection::Upstream, 4096).is_none());
+            assert_eq!(inj.dma_outcome(LinkDirection::Downstream), DmaFaultOutcome::None);
+            assert!(!inj.link_is_down());
+        }
+        assert_eq!(inj.stats().snapshot().doorbells_dropped, 0);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan =
+            FaultPlan::none().with_seed(0xFEED).with_doorbell_drop(0.1).with_payload_corrupt(0.05);
+        let a = FaultInjector::new(plan.clone(), 3);
+        let b = FaultInjector::new(plan, 3);
+        let da: Vec<bool> =
+            (0..2000).map(|_| a.should_drop_doorbell(LinkDirection::Upstream, 0)).collect();
+        let db: Vec<bool> =
+            (0..2000).map(|_| b.should_drop_doorbell(LinkDirection::Upstream, 0)).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(|&d| d), "10% over 2000 events must fire");
+        let ca: Vec<_> =
+            (0..2000).map(|_| a.corrupt_payload(LinkDirection::Downstream, 512)).collect();
+        let cb: Vec<_> =
+            (0..2000).map(|_| b.corrupt_payload(LinkDirection::Downstream, 512)).collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultInjector::new(FaultPlan::none().with_seed(1).with_doorbell_drop(0.2), 0);
+        let b = FaultInjector::new(FaultPlan::none().with_seed(2).with_doorbell_drop(0.2), 0);
+        let da: Vec<bool> =
+            (0..500).map(|_| a.should_drop_doorbell(LinkDirection::Upstream, 1)).collect();
+        let db: Vec<bool> =
+            (0..500).map(|_| b.should_drop_doorbell(LinkDirection::Upstream, 1)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn drop_rate_roughly_honored() {
+        let inj = FaultInjector::new(FaultPlan::none().with_seed(7).with_doorbell_drop(0.1), 0);
+        let drops =
+            (0..10_000).filter(|_| inj.should_drop_doorbell(LinkDirection::Upstream, 0)).count();
+        assert!((700..1300).contains(&drops), "~10% of 10k, got {drops}");
+        assert_eq!(inj.stats().snapshot().doorbells_dropped, drops as u64);
+    }
+
+    #[test]
+    fn mask_excludes_control_bits() {
+        let inj = FaultInjector::new(FaultPlan::none().with_seed(7).with_doorbell_drop(1.0), 0);
+        // Bits outside DATA_DOORBELL_MASK are never dropped even at rate 1.
+        assert!(!inj.should_drop_doorbell(LinkDirection::Upstream, 2));
+        assert!(!inj.should_drop_doorbell(LinkDirection::Upstream, 15));
+        // Data bits are.
+        assert!(inj.should_drop_doorbell(LinkDirection::Upstream, 0));
+        assert!(inj.should_drop_doorbell(LinkDirection::Downstream, 1));
+    }
+
+    #[test]
+    fn scripted_nth_doorbell_fires_exactly_once() {
+        let inj =
+            FaultInjector::new(FaultPlan::none().with_scripted(5, FaultAction::DropDoorbell, 3), 5);
+        let drops: Vec<bool> =
+            (0..6).map(|_| inj.should_drop_doorbell(LinkDirection::Upstream, 2)).collect();
+        // Scripted drops ignore the eligibility mask: they name an exact event.
+        assert_eq!(drops, vec![false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn scripted_wrong_link_never_fires() {
+        let inj =
+            FaultInjector::new(FaultPlan::none().with_scripted(5, FaultAction::DropDoorbell, 1), 4);
+        assert!(!inj.should_drop_doorbell(LinkDirection::Upstream, 0));
+    }
+
+    #[test]
+    fn corruption_offset_within_len_and_mask_nonzero() {
+        let inj = FaultInjector::new(FaultPlan::none().with_seed(3).with_payload_corrupt(1.0), 0);
+        for len in [1u64, 2, 7, 4096] {
+            let (off, mask) = inj.corrupt_payload(LinkDirection::Upstream, len).unwrap();
+            assert!(off < len);
+            assert_ne!(mask, 0);
+        }
+    }
+
+    #[test]
+    fn dma_outcomes() {
+        let inj = FaultInjector::new(FaultPlan::none().with_seed(1).with_dma_fail(1.0), 0);
+        assert_eq!(inj.dma_outcome(LinkDirection::Upstream), DmaFaultOutcome::Fail);
+        let stall_dur = Duration::from_millis(2);
+        let inj = FaultInjector::new(FaultPlan::none().with_dma_stall(1.0, stall_dur), 0);
+        assert_eq!(inj.dma_outcome(LinkDirection::Upstream), DmaFaultOutcome::Stall(stall_dur));
+        assert_eq!(inj.stats().snapshot().dma_stalls, 1);
+    }
+
+    #[test]
+    fn link_down_window_arms_after_trigger_and_expires() {
+        let inj = FaultInjector::new(
+            FaultPlan::none().with_link_down(0, 2, Duration::from_millis(30)),
+            0,
+        );
+        assert!(!inj.link_is_down(), "not armed before trigger");
+        inj.should_drop_doorbell(LinkDirection::Upstream, 0);
+        assert!(!inj.link_is_down(), "one event: still below trigger");
+        inj.should_drop_doorbell(LinkDirection::Upstream, 0);
+        assert!(inj.link_is_down(), "trigger reached: down");
+        assert_eq!(inj.stats().snapshot().link_down_windows, 1);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!inj.link_is_down(), "window expired: back up");
+        assert_eq!(inj.stats().snapshot().link_down_windows, 1, "fires once");
+    }
+
+    #[test]
+    fn plan_activity_detection() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan::none().with_doorbell_drop(0.01).is_active());
+        assert!(FaultPlan::none().with_link_down(0, 0, Duration::ZERO).is_active());
+        assert!(FaultPlan::none().with_scripted(0, FaultAction::FailDma, 1).is_active());
+    }
+}

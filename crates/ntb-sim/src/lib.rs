@@ -32,6 +32,7 @@ pub mod config_space;
 pub mod dma;
 pub mod doorbell;
 pub mod error;
+pub mod fault;
 pub mod link;
 pub mod memory;
 pub mod port;
@@ -45,10 +46,14 @@ pub use config_space::{ConfigSpace, DEVICE_PEX8733, DEVICE_PEX8749, VENDOR_PLX};
 pub use dma::{DmaEngine, DmaHandle, DmaRequest};
 pub use doorbell::{Doorbell, DoorbellWaiter, DOORBELL_BITS};
 pub use error::{NtbError, Result};
-pub use link::{LaneCount, LinkSpec, PcieGen};
+pub use fault::{
+    DmaFaultOutcome, FaultAction, FaultInjector, FaultPlan, LinkDownWindow, ScriptedFault,
+    DATA_DOORBELL_MASK,
+};
+pub use link::{LaneCount, LinkHealth, LinkHealthTracker, LinkSpec, PcieGen};
 pub use memory::{HostMemory, Region};
-pub use port::{connect_ports, NtbPort, PortConfig, PortId};
+pub use port::{connect_ports, connect_ports_with_faults, NtbPort, PortConfig, PortId};
 pub use scratchpad::{ScratchpadBank, SCRATCHPAD_COUNT};
-pub use stats::{LinkStats, PortStats, PortStatsSnapshot};
+pub use stats::{FaultStats, FaultStatsSnapshot, LinkStats, PortStats, PortStatsSnapshot};
 pub use timing::{spin_for, spin_until, LinkDirection, LinkTimer, TimeModel, TransferMode};
 pub use window::{IncomingWindow, OutgoingWindow};

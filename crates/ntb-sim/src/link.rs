@@ -9,6 +9,7 @@
 //! timing model uses to charge transfer time.
 
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 /// PCIe generation of a link. Determines the per-lane signalling rate and
@@ -145,6 +146,94 @@ impl fmt::Display for LinkSpec {
     }
 }
 
+/// Observed health of one link endpoint, as tracked by the layer driving
+/// traffic through it.
+///
+/// This is *observed* state, distinct from the fault model's ground truth
+/// (a [`FaultInjector`](crate::fault::FaultInjector) down-window): the
+/// driver only learns the link is bad by watching its own operations
+/// fail, exactly as on real hardware where a surprise link-down
+/// manifests as failed TLPs before the AER interrupt arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// Operating normally.
+    Up,
+    /// Some recent operations failed; still in use but suspect.
+    Degraded,
+    /// Enough consecutive failures that traffic should route around it
+    /// until a probe succeeds.
+    Down,
+}
+
+impl fmt::Display for LinkHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkHealth::Up => write!(f, "up"),
+            LinkHealth::Degraded => write!(f, "degraded"),
+            LinkHealth::Down => write!(f, "down"),
+        }
+    }
+}
+
+/// Consecutive-failure state machine: `Up` → (first failure) `Degraded` →
+/// (`threshold` consecutive failures) `Down`; any success returns to
+/// `Up`. Lock-free; callable from service, forwarder and sweeper threads.
+#[derive(Debug)]
+pub struct LinkHealthTracker {
+    /// Encoded [`LinkHealth`]: 0 = Up, 1 = Degraded, 2 = Down.
+    state: std::sync::atomic::AtomicU8,
+    consecutive_failures: std::sync::atomic::AtomicU32,
+    threshold: u32,
+}
+
+impl LinkHealthTracker {
+    /// Track health with the given consecutive-failure threshold
+    /// (minimum 1: the first failure of a 1-threshold tracker goes
+    /// straight to `Down`).
+    pub fn new(threshold: u32) -> Self {
+        LinkHealthTracker {
+            state: std::sync::atomic::AtomicU8::new(0),
+            consecutive_failures: std::sync::atomic::AtomicU32::new(0),
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Current observed health.
+    pub fn health(&self) -> LinkHealth {
+        match self.state.load(Ordering::Relaxed) {
+            0 => LinkHealth::Up,
+            1 => LinkHealth::Degraded,
+            _ => LinkHealth::Down,
+        }
+    }
+
+    /// Whether traffic should avoid this endpoint.
+    pub fn is_down(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == 2
+    }
+
+    /// Record a successful operation; resets to `Up`. Returns the new
+    /// health.
+    pub fn record_success(&self) -> LinkHealth {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.state.store(0, Ordering::Relaxed);
+        LinkHealth::Up
+    }
+
+    /// Record a failed (transient) operation. Returns the new health, so
+    /// the caller can count an `Up`/`Degraded` → `Down` transition.
+    pub fn record_failure(&self) -> LinkHealth {
+        let fails = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let new = if fails >= self.threshold { 2 } else { 1 };
+        self.state.store(new, Ordering::Relaxed);
+        if new == 2 {
+            LinkHealth::Down
+        } else {
+            LinkHealth::Degraded
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +285,38 @@ mod tests {
         assert_eq!(LaneCount::X4.lanes(), 4);
         assert_eq!(LaneCount::X8.lanes(), 8);
         assert_eq!(LaneCount::X16.lanes(), 16);
+    }
+
+    #[test]
+    fn health_tracker_state_machine() {
+        let t = LinkHealthTracker::new(3);
+        assert_eq!(t.health(), LinkHealth::Up);
+        assert!(!t.is_down());
+        assert_eq!(t.record_failure(), LinkHealth::Degraded);
+        assert_eq!(t.record_failure(), LinkHealth::Degraded);
+        assert_eq!(t.record_failure(), LinkHealth::Down);
+        assert!(t.is_down());
+        // Any success snaps back to Up.
+        assert_eq!(t.record_success(), LinkHealth::Up);
+        assert_eq!(t.health(), LinkHealth::Up);
+        // Failure streak must be consecutive to reach Down again.
+        t.record_failure();
+        t.record_failure();
+        t.record_success();
+        t.record_failure();
+        assert_eq!(t.health(), LinkHealth::Degraded);
+    }
+
+    #[test]
+    fn health_tracker_threshold_clamped_to_one() {
+        let t = LinkHealthTracker::new(0);
+        assert_eq!(t.record_failure(), LinkHealth::Down);
+    }
+
+    #[test]
+    fn health_display() {
+        assert_eq!(LinkHealth::Up.to_string(), "up");
+        assert_eq!(LinkHealth::Degraded.to_string(), "degraded");
+        assert_eq!(LinkHealth::Down.to_string(), "down");
     }
 }

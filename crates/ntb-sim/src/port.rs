@@ -15,7 +15,8 @@ use crate::bar::{BarConfig, BarKind, LutTable};
 use crate::config_space::{ConfigSpace, DEVICE_PEX8749};
 use crate::dma::{DmaEngine, DmaHandle, DmaRequest};
 use crate::doorbell::{Doorbell, DoorbellWaiter};
-use crate::error::Result;
+use crate::error::{NtbError, Result};
+use crate::fault::FaultInjector;
 use crate::memory::{HostMemory, Region};
 use crate::scratchpad::ScratchpadBank;
 use crate::stats::PortStats;
@@ -128,8 +129,21 @@ impl NtbPort {
     }
 
     /// Ring doorbell `bit` on the peer.
+    ///
+    /// Subject to the link's fault model: fails with
+    /// [`NtbError::LinkDown`] while the link is in a down window, and may
+    /// silently *succeed without delivering* if the injector drops the
+    /// posted write — exactly the failure mode a lossy fabric produces,
+    /// which the recovery layer above must detect by timeout.
     pub fn ring_peer(&self, bit: u32) -> Result<()> {
+        let faults = self.outgoing.faults();
+        if faults.link_is_down() {
+            return Err(NtbError::LinkDown);
+        }
         self.stats.add_doorbell_rung();
+        if faults.should_drop_doorbell(self.outgoing.direction(), bit) {
+            return Ok(());
+        }
         self.peer_doorbell.ring(bit)
     }
 
@@ -173,6 +187,12 @@ impl NtbPort {
         &self.link
     }
 
+    /// The link's fault injector (shared with the peer port; the lossless
+    /// injector unless connected with [`connect_ports_with_faults`]).
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        self.outgoing.faults()
+    }
+
     /// Submit an asynchronous DMA descriptor through the outgoing window.
     pub fn dma_submit(&self, req: DmaRequest) -> Result<DmaHandle> {
         self.dma.submit(Arc::clone(&self.outgoing), req)
@@ -204,15 +224,16 @@ impl NtbPort {
         mode: TransferMode,
     ) -> Result<()> {
         match mode {
-            TransferMode::Dma => self.dma_transfer(DmaRequest {
-                src: src.clone(),
+            TransferMode::Dma => {
+                self.dma_transfer(DmaRequest { src: src.clone(), src_offset, dst_offset, len })
+            }
+            TransferMode::Memcpy => self.outgoing.write_from_region(
+                src,
                 src_offset,
                 dst_offset,
                 len,
-            }),
-            TransferMode::Memcpy => {
-                self.outgoing.write_from_region(src, src_offset, dst_offset, len, TransferMode::Memcpy)
-            }
+                TransferMode::Memcpy,
+            ),
         }
     }
 
@@ -235,6 +256,19 @@ pub fn connect_ports(
     mem_b: &HostMemory,
     model: Arc<TimeModel>,
 ) -> Result<(Arc<NtbPort>, Arc<NtbPort>)> {
+    connect_ports_with_faults(cfg_a, cfg_b, mem_a, mem_b, model, FaultInjector::none())
+}
+
+/// [`connect_ports`] with a link fault injector: both directions of the
+/// link consult the same injector, mirroring a single lossy cable.
+pub fn connect_ports_with_faults(
+    cfg_a: PortConfig,
+    cfg_b: PortConfig,
+    mem_a: &HostMemory,
+    mem_b: &HostMemory,
+    model: Arc<TimeModel>,
+    faults: Arc<FaultInjector>,
+) -> Result<(Arc<NtbPort>, Arc<NtbPort>)> {
     let win_a = mem_a.alloc_region(cfg_a.window_size)?; // A's incoming (B writes here)
     let win_b = mem_b.alloc_region(cfg_b.window_size)?; // B's incoming (A writes here)
 
@@ -252,12 +286,14 @@ pub fn connect_ports(
     let stats_a = Arc::new(PortStats::new());
     let stats_b = Arc::new(PortStats::new());
 
-    let bar_a = BarConfig { index: 2, kind: BarKind::Bar64, size: cfg_b.window_size, translation_base: 0 };
-    let bar_b = BarConfig { index: 2, kind: BarKind::Bar64, size: cfg_a.window_size, translation_base: 0 };
+    let bar_a =
+        BarConfig { index: 2, kind: BarKind::Bar64, size: cfg_b.window_size, translation_base: 0 };
+    let bar_b =
+        BarConfig { index: 2, kind: BarKind::Bar64, size: cfg_a.window_size, translation_base: 0 };
 
     // A's outgoing window lands in B's incoming region; admission is
     // checked against B's LUT with A's requester id.
-    let out_a = OutgoingWindow::new(
+    let out_a = OutgoingWindow::with_faults(
         bar_a,
         win_b.clone(),
         Arc::clone(&link),
@@ -269,8 +305,9 @@ pub fn connect_ports(
         Arc::clone(&stats_b),
         Arc::clone(mem_a.activity()),
         Arc::clone(mem_b.activity()),
+        Arc::clone(&faults),
     )?;
-    let out_b = OutgoingWindow::new(
+    let out_b = OutgoingWindow::with_faults(
         bar_b,
         win_a.clone(),
         Arc::clone(&link),
@@ -282,6 +319,7 @@ pub fn connect_ports(
         Arc::clone(&stats_a),
         Arc::clone(mem_b.activity()),
         Arc::clone(mem_a.activity()),
+        faults,
     )?;
 
     let in_a = IncomingWindow::new(
@@ -376,7 +414,10 @@ mod tests {
     fn doorbell_crosses_link() {
         let (a, b) = pair();
         a.ring_peer(3).unwrap();
-        assert_eq!(b.wait_doorbell(1 << 3, Some(Duration::from_secs(1))), DoorbellWaiter::Fired(1 << 3));
+        assert_eq!(
+            b.wait_doorbell(1 << 3, Some(Duration::from_secs(1))),
+            DoorbellWaiter::Fired(1 << 3)
+        );
         // A's own doorbell untouched.
         assert_eq!(a.doorbell().pending(), 0);
     }
@@ -458,12 +499,123 @@ mod tests {
     }
 
     #[test]
+    fn faulty_pair_drops_scripted_doorbell() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let mem_a = HostMemory::new(0, 64 << 20);
+        let mem_b = HostMemory::new(1, 64 << 20);
+        let inj = crate::fault::FaultInjector::new(
+            FaultPlan::none().with_scripted(0, FaultAction::DropDoorbell, 2),
+            0,
+        );
+        let (a, b) = connect_ports_with_faults(
+            PortConfig::new(0, 1),
+            PortConfig::new(1, 0),
+            &mem_a,
+            &mem_b,
+            Arc::new(TimeModel::zero()),
+            Arc::clone(&inj),
+        )
+        .unwrap();
+        a.ring_peer(0).unwrap(); // delivered
+        a.ring_peer(0).unwrap(); // dropped (scripted 2nd)
+        a.ring_peer(1).unwrap(); // delivered
+        assert_eq!(b.doorbell().pending(), 0b11);
+        assert_eq!(inj.stats().doorbells_dropped(), 1);
+        // Sender-side stats still count the ring: the write left the CPU.
+        assert_eq!(a.stats().doorbells_rung(), 3);
+    }
+
+    #[test]
+    fn down_window_rejects_traffic_then_recovers() {
+        use crate::fault::FaultPlan;
+        let mem_a = HostMemory::new(0, 64 << 20);
+        let mem_b = HostMemory::new(1, 64 << 20);
+        let inj = crate::fault::FaultInjector::new(
+            FaultPlan::none().with_link_down(0, 1, Duration::from_millis(50)),
+            0,
+        );
+        let (a, _b) = connect_ports_with_faults(
+            PortConfig::new(0, 1),
+            PortConfig::new(1, 0),
+            &mem_a,
+            &mem_b,
+            Arc::new(TimeModel::zero()),
+            inj,
+        )
+        .unwrap();
+        a.ring_peer(0).unwrap(); // arms the trigger
+        assert_eq!(a.ring_peer(0).unwrap_err(), crate::error::NtbError::LinkDown);
+        assert_eq!(a.pio_write(0, b"blocked").unwrap_err(), crate::error::NtbError::LinkDown);
+        std::thread::sleep(Duration::from_millis(60));
+        a.ring_peer(0).unwrap();
+        a.pio_write(0, b"flows").unwrap();
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let mem_a = HostMemory::new(0, 64 << 20);
+        let mem_b = HostMemory::new(1, 64 << 20);
+        let inj = crate::fault::FaultInjector::new(
+            FaultPlan::none().with_scripted(0, FaultAction::CorruptPayload, 1),
+            0,
+        );
+        let (a, b) = connect_ports_with_faults(
+            PortConfig::new(0, 1),
+            PortConfig::new(1, 0),
+            &mem_a,
+            &mem_b,
+            Arc::new(TimeModel::zero()),
+            Arc::clone(&inj),
+        )
+        .unwrap();
+        let payload = vec![0xAAu8; 256];
+        a.pio_write(0, &payload).unwrap();
+        let landed = b.incoming().region().read_vec(0, 256).unwrap();
+        let flipped = landed.iter().zip(&payload).filter(|(l, p)| l != p).count();
+        assert_eq!(flipped, 1, "exactly one corrupted byte");
+        assert_eq!(inj.stats().payloads_corrupted(), 1);
+        // Next write is clean.
+        a.pio_write(0, &payload).unwrap();
+        assert_eq!(b.incoming().region().read_vec(0, 256).unwrap(), payload);
+    }
+
+    #[test]
+    fn scripted_dma_failure_surfaces_at_completion() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let mem_a = HostMemory::new(0, 64 << 20);
+        let mem_b = HostMemory::new(1, 64 << 20);
+        let inj = crate::fault::FaultInjector::new(
+            FaultPlan::none().with_scripted(0, FaultAction::FailDma, 1),
+            0,
+        );
+        let (a, b) = connect_ports_with_faults(
+            PortConfig::new(0, 1),
+            PortConfig::new(1, 0),
+            &mem_a,
+            &mem_b,
+            Arc::new(TimeModel::zero()),
+            inj,
+        )
+        .unwrap();
+        let src = Region::anonymous(128);
+        src.fill(0, 128, 0x77).unwrap();
+        let err = a
+            .dma_transfer(DmaRequest { src: src.clone(), src_offset: 0, dst_offset: 0, len: 128 })
+            .unwrap_err();
+        assert_eq!(err, crate::error::NtbError::DmaFault);
+        assert!(err.is_transient());
+        // Nothing landed; the retried descriptor goes through.
+        assert_eq!(b.incoming().region().read_vec(0, 1).unwrap(), vec![0]);
+        a.dma_transfer(DmaRequest { src, src_offset: 0, dst_offset: 0, len: 128 }).unwrap();
+        assert_eq!(b.incoming().region().read_vec(0, 128).unwrap(), vec![0x77; 128]);
+    }
+
+    #[test]
     fn shutdown_is_clean() {
         let (a, _b) = pair();
         a.shutdown();
         let src = Region::anonymous(16);
-        assert!(a
-            .dma_submit(DmaRequest { src, src_offset: 0, dst_offset: 0, len: 16 })
-            .is_err());
+        assert!(a.dma_submit(DmaRequest { src, src_offset: 0, dst_offset: 0, len: 16 }).is_err());
     }
 }

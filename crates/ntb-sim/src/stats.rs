@@ -176,6 +176,128 @@ impl fmt::Display for PortStatsSnapshot {
     }
 }
 
+/// Counters of faults injected into one link by a
+/// [`FaultInjector`](crate::fault::FaultInjector). Separate from
+/// [`PortStats`] because they describe what the *fault model* did, not
+/// what the traffic did — chaos tests assert these are reproducible for a
+/// given seed.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    doorbells_dropped: AtomicU64,
+    payloads_corrupted: AtomicU64,
+    dma_failures: AtomicU64,
+    dma_stalls: AtomicU64,
+    link_down_windows: AtomicU64,
+}
+
+impl FaultStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a silently discarded doorbell ring.
+    pub fn add_doorbell_dropped(&self) {
+        self.doorbells_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a flipped payload byte.
+    pub fn add_payload_corrupted(&self) {
+        self.payloads_corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a DMA descriptor completed with an error.
+    pub fn add_dma_failure(&self) {
+        self.dma_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a stalled DMA descriptor.
+    pub fn add_dma_stall(&self) {
+        self.dma_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a link-down window being armed.
+    pub fn add_link_down_window(&self) {
+        self.link_down_windows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Doorbell rings discarded.
+    pub fn doorbells_dropped(&self) -> u64 {
+        self.doorbells_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Payload writes corrupted.
+    pub fn payloads_corrupted(&self) -> u64 {
+        self.payloads_corrupted.load(Ordering::Relaxed)
+    }
+
+    /// DMA descriptors failed.
+    pub fn dma_failures(&self) -> u64 {
+        self.dma_failures.load(Ordering::Relaxed)
+    }
+
+    /// DMA descriptors stalled.
+    pub fn dma_stalls(&self) -> u64 {
+        self.dma_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Link-down windows armed.
+    pub fn link_down_windows(&self) -> u64 {
+        self.link_down_windows.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            doorbells_dropped: self.doorbells_dropped(),
+            payloads_corrupted: self.payloads_corrupted(),
+            dma_failures: self.dma_failures(),
+            dma_stalls: self.dma_stalls(),
+            link_down_windows: self.link_down_windows(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStatsSnapshot {
+    /// Doorbell rings silently discarded.
+    pub doorbells_dropped: u64,
+    /// Payload writes with a flipped byte.
+    pub payloads_corrupted: u64,
+    /// DMA descriptors completed with an error.
+    pub dma_failures: u64,
+    /// DMA descriptors stalled.
+    pub dma_stalls: u64,
+    /// Link-down windows armed.
+    pub link_down_windows: u64,
+}
+
+impl FaultStatsSnapshot {
+    /// Total injected events of any kind.
+    pub fn total(&self) -> u64 {
+        self.doorbells_dropped
+            + self.payloads_corrupted
+            + self.dma_failures
+            + self.dma_stalls
+            + self.link_down_windows
+    }
+}
+
+impl fmt::Display for FaultStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "db_dropped={} corrupted={} dma_fail={} dma_stall={} down_windows={}",
+            self.doorbells_dropped,
+            self.payloads_corrupted,
+            self.dma_failures,
+            self.dma_stalls,
+            self.link_down_windows
+        )
+    }
+}
+
 /// Aggregated counters over one link (both ports).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LinkStats {
@@ -244,6 +366,22 @@ mod tests {
         assert_eq!(l.total_bytes, 150);
         assert_eq!(l.total_dma_ops, 2);
         assert_eq!(l.total_pio_ops, 3);
+    }
+
+    #[test]
+    fn fault_stats_accumulate_and_display() {
+        let s = FaultStats::new();
+        s.add_doorbell_dropped();
+        s.add_doorbell_dropped();
+        s.add_payload_corrupted();
+        s.add_dma_failure();
+        s.add_dma_stall();
+        s.add_link_down_window();
+        let snap = s.snapshot();
+        assert_eq!(snap.doorbells_dropped, 2);
+        assert_eq!(snap.total(), 6);
+        let out = snap.to_string();
+        assert!(out.contains("db_dropped=2"), "{out}");
     }
 
     #[test]

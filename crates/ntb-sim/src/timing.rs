@@ -63,7 +63,9 @@ impl LinkDirection {
         }
     }
 
-    fn index(self) -> usize {
+    /// 0 for Upstream, 1 for Downstream — stable array index for
+    /// per-direction state (timer slots, fault-injection streams).
+    pub fn index(self) -> usize {
         match self {
             LinkDirection::Upstream => 0,
             LinkDirection::Downstream => 1,
@@ -440,10 +442,7 @@ mod tests {
         let _up = lt.reserve(LinkDirection::Upstream, w, 1.5, false);
         let down = lt.reserve(LinkDirection::Downstream, w, 1.5, false);
         let stretched = down.duration_since(t0);
-        assert!(
-            stretched >= w.mul_f64(1.45),
-            "expected ~1.5x stretch, got {stretched:?} vs {w:?}"
-        );
+        assert!(stretched >= w.mul_f64(1.45), "expected ~1.5x stretch, got {stretched:?} vs {w:?}");
     }
 
     #[test]

@@ -19,7 +19,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::bar::{BarConfig, LutTable};
-use crate::error::Result;
+use crate::error::{NtbError, Result};
+use crate::fault::{DmaFaultOutcome, FaultInjector};
 use crate::memory::Region;
 use crate::stats::PortStats;
 use crate::timing::{spin_until, HostActivity, LinkDirection, LinkTimer, TimeModel, TransferMode};
@@ -40,6 +41,9 @@ pub struct OutgoingWindow {
     /// Transmit activity of the receiving host (contention source: its
     /// other adapter sending while we write into it).
     peer_activity: Arc<HostActivity>,
+    /// The link's fault source (shared with the peer port; the lossless
+    /// injector unless the network was built with a fault plan).
+    faults: Arc<FaultInjector>,
 }
 
 impl std::fmt::Debug for OutgoingWindow {
@@ -69,6 +73,38 @@ impl OutgoingWindow {
         local_activity: Arc<HostActivity>,
         peer_activity: Arc<HostActivity>,
     ) -> Result<Arc<Self>> {
+        Self::with_faults(
+            bar,
+            remote,
+            link,
+            dir,
+            model,
+            peer_lut,
+            requester_id,
+            stats,
+            peer_stats,
+            local_activity,
+            peer_activity,
+            FaultInjector::none(),
+        )
+    }
+
+    /// Like [`OutgoingWindow::new`], with the link's fault injector.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_faults(
+        bar: BarConfig,
+        remote: Region,
+        link: Arc<LinkTimer>,
+        dir: LinkDirection,
+        model: Arc<TimeModel>,
+        peer_lut: Arc<LutTable>,
+        requester_id: u16,
+        stats: Arc<PortStats>,
+        peer_stats: Arc<PortStats>,
+        local_activity: Arc<HostActivity>,
+        peer_activity: Arc<HostActivity>,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Arc<Self>> {
         bar.validate()?;
         Ok(Arc::new(OutgoingWindow {
             bar,
@@ -82,6 +118,7 @@ impl OutgoingWindow {
             peer_stats,
             local_activity,
             peer_activity,
+            faults,
         }))
     }
 
@@ -100,7 +137,21 @@ impl OutgoingWindow {
         self.dir
     }
 
+    /// The link's fault injector.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// Consult the fault model for the next DMA descriptor through this
+    /// window (called by the DMA worker before executing it).
+    pub fn dma_fault_outcome(&self) -> DmaFaultOutcome {
+        self.faults.dma_outcome(self.dir)
+    }
+
     fn admit(&self, offset: u64, len: u64) -> Result<()> {
+        if self.faults.link_is_down() {
+            return Err(NtbError::LinkDown);
+        }
         if let Err(e) = self.bar.check_access(offset, len) {
             self.stats.add_window_violation();
             return Err(e);
@@ -133,12 +184,26 @@ impl OutgoingWindow {
         }
     }
 
+    /// If the fault model wants this payload corrupted, flip one byte of
+    /// what just landed in the remote region. The sender cannot tell — a
+    /// bit flip on the wire is invisible until the receiver checks
+    /// integrity.
+    fn maybe_corrupt(&self, offset: u64, len: u64) -> Result<()> {
+        if let Some((delta, mask)) = self.faults.corrupt_payload(self.dir, len) {
+            let mut byte = [0u8; 1];
+            self.remote.read(offset + delta, &mut byte)?;
+            self.remote.write(offset + delta, &[byte[0] ^ mask])?;
+        }
+        Ok(())
+    }
+
     /// Synchronously push `data` through the window at `offset`.
     /// Blocks for the modelled wire time (plus queueing on a busy link).
     pub fn write_bytes(&self, offset: u64, data: &[u8], mode: TransferMode) -> Result<()> {
         self.admit(offset, data.len() as u64)?;
         let deadline = self.reserve(data.len() as u64, mode);
         self.remote.write(offset, data)?;
+        self.maybe_corrupt(offset, data.len() as u64)?;
         self.account(data.len() as u64, mode);
         if self.model.enabled() {
             spin_until(deadline);
@@ -160,6 +225,7 @@ impl OutgoingWindow {
         self.admit(dst_offset, len)?;
         let deadline = self.reserve(len, mode);
         src.copy_to(src_offset, &self.remote, dst_offset, len)?;
+        self.maybe_corrupt(dst_offset, len)?;
         self.account(len, mode);
         if self.model.enabled() {
             spin_until(deadline);

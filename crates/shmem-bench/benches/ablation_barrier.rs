@@ -66,19 +66,15 @@ fn bench_ablation(c: &mut Criterion) {
                 })
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("dissemination", hosts),
-            &hosts,
-            |b, &hosts| {
-                b.iter_custom(|iters| {
-                    run_world(hosts, iters, BarrierAlgorithm::Dissemination, |ctx, iters| {
-                        for _ in 0..iters {
-                            ctx.barrier_all().unwrap();
-                        }
-                    })
+        group.bench_with_input(BenchmarkId::new("dissemination", hosts), &hosts, |b, &hosts| {
+            b.iter_custom(|iters| {
+                run_world(hosts, iters, BarrierAlgorithm::Dissemination, |ctx, iters| {
+                    for _ in 0..iters {
+                        ctx.barrier_all().unwrap();
+                    }
                 })
-            },
-        );
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("centralized_counter", hosts),
             &hosts,

@@ -54,7 +54,7 @@ fn bench_service_wake_delay(c: &mut Criterion) {
         let data = vec![0u8; 64 << 10];
         group.bench_with_input(BenchmarkId::from_parameter(wake_us), &wake_us, |b, _| {
             b.iter(|| node.put_bytes(1, 0, &data, TransferMode::Dma).unwrap());
-            node.quiet();
+            node.quiet().expect("quiet");
         });
         net.shutdown();
     }
@@ -74,9 +74,8 @@ fn bench_broadcast_algorithms(c: &mut Criterion) {
             &pipelined,
             |b, &pipelined| {
                 b.iter_custom(|iters| {
-                    let mut cfg = ShmemConfig::paper()
-                        .with_hosts(5)
-                        .with_model(TimeModel::scaled(0.05));
+                    let mut cfg =
+                        ShmemConfig::paper().with_hosts(5).with_model(TimeModel::scaled(0.05));
                     cfg.barrier_timeout = std::time::Duration::from_secs(120);
                     let totals = ShmemWorld::run(cfg, move |ctx| {
                         let sym = ctx.calloc_array::<u8>(64 << 10).unwrap();
@@ -99,5 +98,10 @@ fn bench_broadcast_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_get_chunk_size, bench_service_wake_delay, bench_broadcast_algorithms);
+criterion_group!(
+    benches,
+    bench_get_chunk_size,
+    bench_service_wake_delay,
+    bench_broadcast_algorithms
+);
 criterion_main!(benches);

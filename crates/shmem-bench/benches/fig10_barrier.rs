@@ -18,9 +18,8 @@ fn bench_barrier(c: &mut Criterion) {
             &put_size,
             |b, &put_size| {
                 b.iter_custom(|iters| {
-                    let mut cfg = ShmemConfig::paper()
-                        .with_hosts(5)
-                        .with_model(TimeModel::scaled(0.02));
+                    let mut cfg =
+                        ShmemConfig::paper().with_hosts(5).with_model(TimeModel::scaled(0.02));
                     cfg.barrier_timeout = Duration::from_secs(120);
                     let totals = ShmemWorld::run(cfg, move |ctx| {
                         let sym = ctx.malloc_array::<u8>(put_size.max(1)).unwrap();

@@ -17,15 +17,11 @@ fn bench_raw_link(c: &mut Criterion) {
         src.fill(0, size, 0x5A).unwrap();
         group.throughput(Throughput::Bytes(size));
         for mode in [TransferMode::Dma, TransferMode::Memcpy] {
-            group.bench_with_input(
-                BenchmarkId::new(mode.label(), size),
-                &size,
-                |b, &size| {
-                    b.iter(|| {
-                        node.raw_send(RouteDirection::Right, &src, 0, 0, size, mode).unwrap();
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mode.label(), size), &size, |b, &size| {
+                b.iter(|| {
+                    node.raw_send(RouteDirection::Right, &src, 0, 0, size, mode).unwrap();
+                })
+            });
         }
     }
     group.finish();

@@ -42,7 +42,7 @@ fn bench_put(c: &mut Criterion) {
                     &size,
                     |b, _| {
                         b.iter(|| node.put_bytes(dest, 0, &data, mode).unwrap());
-                        node.quiet();
+                        node.quiet().expect("quiet");
                     },
                 );
             }

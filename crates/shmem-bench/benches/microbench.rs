@@ -11,7 +11,7 @@ use ntb_sim::{Doorbell, HostMemory, Region, ScratchpadBank, TimeModel, TransferM
 use shmem_core::SymmetricHeap;
 
 fn bench_frame_codec(c: &mut Criterion) {
-    let frame = Frame::put(3, 7, 65536, 1024, TransferMode::Dma);
+    let frame = Frame::put(3, 7, 65536, 1024, 1, TransferMode::Dma);
     c.bench_function("frame_encode", |b| b.iter(|| std::hint::black_box(frame.encode())));
     let words = frame.encode();
     c.bench_function("frame_decode", |b| {
@@ -66,11 +66,5 @@ fn bench_registers(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_frame_codec,
-    bench_heap_alloc,
-    bench_region_copy,
-    bench_registers
-);
+criterion_group!(benches, bench_frame_codec, bench_heap_alloc, bench_region_copy, bench_registers);
 criterion_main!(benches);

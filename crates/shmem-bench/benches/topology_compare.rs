@@ -38,7 +38,7 @@ fn bench_topologies(c: &mut Criterion) {
         // Host 2 is two ring hops away; on the mesh it is adjacent.
         group.bench_with_input(BenchmarkId::new(format!("{name}_put"), size), &size, |b, _| {
             b.iter(|| node.put_bytes(2, 0, &data, TransferMode::Dma).unwrap());
-            node.quiet();
+            node.quiet().expect("quiet");
         });
         group.bench_with_input(BenchmarkId::new(format!("{name}_get"), size), &size, |b, &s| {
             b.iter(|| {

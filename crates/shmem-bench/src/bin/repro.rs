@@ -53,8 +53,9 @@ fn parse_args() -> Options {
             }
             "--quick" => opts.quick = true,
             "--csv" => {
-                opts.csv =
-                    Some(PathBuf::from(args.next().unwrap_or_else(|| die("--csv needs a directory"))));
+                opts.csv = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--csv needs a directory")),
+                ));
             }
             "--help" | "-h" => {
                 println!(

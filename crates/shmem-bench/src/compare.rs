@@ -96,7 +96,7 @@ fn measure(topology: Topology, cfg: &CompareConfig) -> (Vec<f64>, Vec<f64>) {
             node.put_bytes(2, 0, &data, TransferMode::Dma).expect("put");
         }
         put_us.push((t0.elapsed() / cfg.reps as u32).as_secs_f64() * 1e6);
-        node.quiet();
+        node.quiet().expect("quiet");
         let t0 = Instant::now();
         for _ in 0..cfg.reps {
             let v = node.get_bytes(2, 0, size, TransferMode::Dma).expect("get");

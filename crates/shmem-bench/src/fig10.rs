@@ -152,7 +152,7 @@ mod tests {
                 let t0 = Instant::now();
                 ctx.put_slice_with_mode(&sym, 0, &data, 1, TransferMode::Dma).unwrap();
                 let us = t0.elapsed().as_secs_f64() * 1e6;
-                ctx.quiet();
+                ctx.quiet().expect("quiet");
                 us
             } else {
                 0.0

@@ -72,9 +72,7 @@ impl Fig8Result {
     }
 
     fn sum_links(&self, per_link: &[Vec<f64>]) -> Vec<f64> {
-        (0..self.sizes.len())
-            .map(|i| per_link.iter().map(|link| link[i]).sum())
-            .collect()
+        (0..self.sizes.len()).map(|i| per_link.iter().map(|link| link[i]).sum()).collect()
     }
 
     /// X-axis labels.
@@ -257,11 +255,8 @@ mod tests {
             let r = quick();
             // Compare against the *best* single link so scheduler noise
             // on any one measurement cannot flip the verdict.
-            let best_single = r
-                .independent
-                .iter()
-                .map(|l| l.last().copied().unwrap())
-                .fold(0.0f64, f64::max);
+            let best_single =
+                r.independent.iter().map(|l| l.last().copied().unwrap()).fold(0.0f64, f64::max);
             let total = *r.total_ring().last().unwrap();
             if total <= 1.2 * best_single {
                 return Err(format!(

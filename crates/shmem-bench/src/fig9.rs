@@ -107,11 +107,7 @@ impl Fig9Result {
     }
 
     fn series(&self, values: &[Vec<f64>]) -> Vec<Series> {
-        self.configs
-            .iter()
-            .zip(values)
-            .map(|(c, v)| Series::new(c.label(), v.clone()))
-            .collect()
+        self.configs.iter().zip(values).map(|(c, v)| Series::new(c.label(), v.clone())).collect()
     }
 
     /// Render the four panels as text tables.
@@ -174,7 +170,7 @@ fn measure_pe0(
                 ctx.put_slice_with_mode(sym, 0, &data, pc.partner, pc.mode).expect("timed put");
             }
             let per_op = t0.elapsed() / cfg.put_reps as u32;
-            ctx.quiet();
+            ctx.quiet().expect("quiet");
             put_lat.push(per_op.as_secs_f64() * 1e6);
             put_tput.push(mb_per_sec(size, per_op));
             // --- Get: each operation is a full round trip.

@@ -73,7 +73,12 @@ impl ShmemCtx {
     }
 
     /// `shmem_TYPE_atomic_inc` (+1 without fetching).
-    pub fn atomic_inc<T: ShmemAtomicInt>(&self, sym: &TypedSym<T>, index: usize, pe: usize) -> Result<()> {
+    pub fn atomic_inc<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        pe: usize,
+    ) -> Result<()> {
         self.atomic_add(sym, index, T::from_bits64(1), pe)
     }
 

@@ -46,7 +46,7 @@ impl ShmemCtx {
     /// around the ring.
     pub fn barrier_ring_sweep(&self, timeout: Duration) -> Result<()> {
         // Complete this PE's outstanding communication first.
-        self.quiet();
+        self.quiet()?;
         if self.num_pes() == 1 {
             return Ok(());
         }
@@ -96,7 +96,7 @@ impl ShmemCtx {
     /// the ring like any payload — no doorbell vectors are consumed and
     /// the hop count per round stays ≤ N/2.
     pub fn barrier_dissemination(&self, timeout: Duration) -> Result<()> {
-        self.quiet();
+        self.quiet()?;
         let n = self.num_pes();
         if n == 1 {
             return Ok(());

@@ -83,12 +83,12 @@ impl<'a> CApi<'a> {
     }
 
     /// `shmem_quiet()`.
-    pub fn shmem_quiet(&self) {
+    pub fn shmem_quiet(&self) -> Result<()> {
         self.ctx.quiet()
     }
 
     /// `shmem_fence()`.
-    pub fn shmem_fence(&self) {
+    pub fn shmem_fence(&self) -> Result<()> {
         self.ctx.fence()
     }
 
@@ -171,12 +171,60 @@ macro_rules! c_rma {
 }
 
 c_rma!(i32, shmem_int_put, shmem_int_get, shmem_int_p, shmem_int_g, shmem_int_iput, shmem_int_iget);
-c_rma!(i64, shmem_long_put, shmem_long_get, shmem_long_p, shmem_long_g, shmem_long_iput, shmem_long_iget);
-c_rma!(i16, shmem_short_put, shmem_short_get, shmem_short_p, shmem_short_g, shmem_short_iput, shmem_short_iget);
-c_rma!(f32, shmem_float_put, shmem_float_get, shmem_float_p, shmem_float_g, shmem_float_iput, shmem_float_iget);
-c_rma!(f64, shmem_double_put, shmem_double_get, shmem_double_p, shmem_double_g, shmem_double_iput, shmem_double_iget);
-c_rma!(u32, shmem_uint_put, shmem_uint_get, shmem_uint_p, shmem_uint_g, shmem_uint_iput, shmem_uint_iget);
-c_rma!(u64, shmem_ulong_put, shmem_ulong_get, shmem_ulong_p, shmem_ulong_g, shmem_ulong_iput, shmem_ulong_iget);
+c_rma!(
+    i64,
+    shmem_long_put,
+    shmem_long_get,
+    shmem_long_p,
+    shmem_long_g,
+    shmem_long_iput,
+    shmem_long_iget
+);
+c_rma!(
+    i16,
+    shmem_short_put,
+    shmem_short_get,
+    shmem_short_p,
+    shmem_short_g,
+    shmem_short_iput,
+    shmem_short_iget
+);
+c_rma!(
+    f32,
+    shmem_float_put,
+    shmem_float_get,
+    shmem_float_p,
+    shmem_float_g,
+    shmem_float_iput,
+    shmem_float_iget
+);
+c_rma!(
+    f64,
+    shmem_double_put,
+    shmem_double_get,
+    shmem_double_p,
+    shmem_double_g,
+    shmem_double_iput,
+    shmem_double_iget
+);
+c_rma!(
+    u32,
+    shmem_uint_put,
+    shmem_uint_get,
+    shmem_uint_p,
+    shmem_uint_g,
+    shmem_uint_iput,
+    shmem_uint_iget
+);
+c_rma!(
+    u64,
+    shmem_ulong_put,
+    shmem_ulong_get,
+    shmem_ulong_p,
+    shmem_ulong_g,
+    shmem_ulong_iput,
+    shmem_ulong_iget
+);
 
 /// Atomic routines for one C integer type name.
 macro_rules! c_atomic {
@@ -208,7 +256,13 @@ macro_rules! c_atomic {
             }
 
             /// `shmem_TYPE_atomic_compare_swap(target, cond, value, pe)`.
-            pub fn $cswap(&self, target: &TypedSym<$t>, cond: $t, value: $t, pe: i32) -> Result<$t> {
+            pub fn $cswap(
+                &self,
+                target: &TypedSym<$t>,
+                cond: $t,
+                value: $t,
+                pe: i32,
+            ) -> Result<$t> {
                 self.ctx.atomic_compare_swap(target, 0, cond, value, pe as usize)
             }
 
@@ -286,10 +340,34 @@ macro_rules! c_reduce {
     };
 }
 
-c_reduce!(i32, shmem_int_sum_to_all, shmem_int_prod_to_all, shmem_int_min_to_all, shmem_int_max_to_all);
-c_reduce!(i64, shmem_long_sum_to_all, shmem_long_prod_to_all, shmem_long_min_to_all, shmem_long_max_to_all);
-c_reduce!(f32, shmem_float_sum_to_all, shmem_float_prod_to_all, shmem_float_min_to_all, shmem_float_max_to_all);
-c_reduce!(f64, shmem_double_sum_to_all, shmem_double_prod_to_all, shmem_double_min_to_all, shmem_double_max_to_all);
+c_reduce!(
+    i32,
+    shmem_int_sum_to_all,
+    shmem_int_prod_to_all,
+    shmem_int_min_to_all,
+    shmem_int_max_to_all
+);
+c_reduce!(
+    i64,
+    shmem_long_sum_to_all,
+    shmem_long_prod_to_all,
+    shmem_long_min_to_all,
+    shmem_long_max_to_all
+);
+c_reduce!(
+    f32,
+    shmem_float_sum_to_all,
+    shmem_float_prod_to_all,
+    shmem_float_min_to_all,
+    shmem_float_max_to_all
+);
+c_reduce!(
+    f64,
+    shmem_double_sum_to_all,
+    shmem_double_prod_to_all,
+    shmem_double_min_to_all,
+    shmem_double_max_to_all
+);
 
 impl<'a> CApi<'a> {
     /// `shmem_TYPE_wait_until(ivar, cmp, value)` (generic over the type).

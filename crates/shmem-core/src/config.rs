@@ -110,6 +110,20 @@ impl ShmemConfig {
         self
     }
 
+    /// Override the lossy-link retry/recovery policy (acknowledgement
+    /// timeouts, retransmission budget, backoff, link probing).
+    pub fn with_retry(mut self, retry: ntb_net::RetryPolicy) -> Self {
+        self.net.retry = retry;
+        self
+    }
+
+    /// Install a fault-injection plan on every interconnect link (chaos
+    /// and recovery testing; the default plan is inert).
+    pub fn with_faults(mut self, faults: ntb_sim::FaultPlan) -> Self {
+        self.net.faults = faults;
+        self
+    }
+
     /// Number of PEs.
     pub fn hosts(&self) -> usize {
         self.net.hosts

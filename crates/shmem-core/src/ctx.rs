@@ -227,7 +227,13 @@ impl ShmemCtx {
     }
 
     /// Put a single element (`shmem_TYPE_p`).
-    pub fn put<T: ShmemScalar>(&self, sym: &TypedSym<T>, index: usize, value: T, pe: usize) -> Result<()> {
+    pub fn put<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+    ) -> Result<()> {
         self.put_slice(sym, index, &[value], pe)
     }
 
@@ -344,7 +350,12 @@ impl ShmemCtx {
     }
 
     /// Write one element of this PE's own copy.
-    pub fn write_local<T: ShmemScalar>(&self, sym: &TypedSym<T>, index: usize, value: T) -> Result<()> {
+    pub fn write_local<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+    ) -> Result<()> {
         self.write_local_slice(sym, index, &[value])
     }
 
@@ -363,7 +374,7 @@ impl ShmemCtx {
     ///     let flag = ctx.calloc_array::<u64>(1).unwrap();
     ///     if ctx.my_pe() == 0 {
     ///         ctx.put(&data, 0, 42u64, 1).unwrap();
-    ///         ctx.quiet(); // 42 is now in PE 1's memory...
+    ///         ctx.quiet().unwrap(); // 42 is now in PE 1's memory...
     ///         ctx.put(&flag, 0, 1u64, 1).unwrap(); // ...before the flag can arrive
     ///     } else {
     ///         ctx.wait_until(&flag, 0, CmpOp::Eq, 1u64).unwrap();
@@ -373,16 +384,22 @@ impl ShmemCtx {
     /// })
     /// .unwrap();
     /// ```
-    pub fn quiet(&self) {
-        self.node.quiet();
+    ///
+    /// On a lossy link the wait is bounded: a put whose retransmission
+    /// budget is exhausted surfaces as
+    /// [`ShmemError::LinkFailed`](crate::error::ShmemError::LinkFailed)
+    /// instead of hanging.
+    pub fn quiet(&self) -> Result<()> {
+        self.node.quiet()?;
+        Ok(())
     }
 
     /// `shmem_fence`: order puts to each destination. The ring transport
     /// delivers frames per link in FIFO order, but multi-hop routes can
     /// reorder against single-hop ones, so fence is implemented as quiet
     /// (a conservative, spec-compliant strengthening).
-    pub fn fence(&self) {
-        self.quiet();
+    pub fn fence(&self) -> Result<()> {
+        self.quiet()
     }
 
     // ------------------------------------------------------------------
@@ -410,6 +427,12 @@ impl ShmemCtx {
             gets_served: s.gets_served.load(Relaxed),
             acks_received: s.acks_received.load(Relaxed),
             amos_served: s.amos_served.load(Relaxed),
+            retransmits: s.retransmits.load(Relaxed),
+            checksum_rejects: s.checksum_rejects.load(Relaxed),
+            reroutes: s.reroutes.load(Relaxed),
+            duplicates_suppressed: s.duplicates_suppressed.load(Relaxed),
+            probes_sent: s.probes_sent.load(Relaxed),
+            link_down_events: s.link_down_events.load(Relaxed),
             bytes_tx,
             bytes_rx,
             heap_capacity: self.heap.capacity(),
@@ -433,6 +456,18 @@ pub struct PeStats {
     pub acks_received: u64,
     /// Atomic operations executed at this PE.
     pub amos_served: u64,
+    /// Frames retransmitted after an acknowledgement timeout.
+    pub retransmits: u64,
+    /// Inbound frames dropped on a payload CRC mismatch.
+    pub checksum_rejects: u64,
+    /// Sends steered away from a `Down` link (the long way around).
+    pub reroutes: u64,
+    /// Duplicate deliveries suppressed (retransmission idempotency).
+    pub duplicates_suppressed: u64,
+    /// Probe writes issued to `Down` links.
+    pub probes_sent: u64,
+    /// Link-endpoint transitions into the `Down` state.
+    pub link_down_events: u64,
     /// Bytes transmitted through both NTB adapters.
     pub bytes_tx: u64,
     /// Bytes received through both NTB adapters.
@@ -441,6 +476,19 @@ pub struct PeStats {
     pub heap_capacity: u64,
     /// Bytes inside live symmetric allocations.
     pub heap_live_bytes: u64,
+}
+
+impl PeStats {
+    /// Sum of the recovery-path counters — zero on a clean (fault-free)
+    /// run, nonzero once the retry machinery had to act.
+    pub fn recovery_total(&self) -> u64 {
+        self.retransmits
+            + self.checksum_rejects
+            + self.reroutes
+            + self.duplicates_suppressed
+            + self.probes_sent
+            + self.link_down_events
+    }
 }
 
 impl std::fmt::Debug for ShmemCtx {

@@ -12,6 +12,13 @@ pub type Result<T> = std::result::Result<T, ShmemError>;
 pub enum ShmemError {
     /// An error surfaced from the NTB interconnect.
     Net(NtbError),
+    /// A remote operation exhausted its retry budget: the link (or the
+    /// peer) stayed unreachable through every retransmission. Surfaced in
+    /// bounded time — never as a hang — so the application can fail over.
+    LinkFailed {
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
     /// The symmetric heap cannot grow to satisfy an allocation.
     OutOfSymmetricMemory {
         /// Bytes requested.
@@ -49,6 +56,9 @@ impl fmt::Display for ShmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ShmemError::Net(e) => write!(f, "interconnect error: {e}"),
+            ShmemError::LinkFailed { attempts } => {
+                write!(f, "remote operation failed after {attempts} transmission attempts")
+            }
             ShmemError::OutOfSymmetricMemory { requested } => {
                 write!(f, "symmetric heap exhausted: {requested} bytes requested")
             }
@@ -79,7 +89,10 @@ impl std::error::Error for ShmemError {
 
 impl From<NtbError> for ShmemError {
     fn from(e: NtbError) -> Self {
-        ShmemError::Net(e)
+        match e {
+            NtbError::LinkFailed { attempts } => ShmemError::LinkFailed { attempts },
+            other => ShmemError::Net(other),
+        }
     }
 }
 
@@ -101,5 +114,12 @@ mod tests {
         assert!(matches!(e, ShmemError::Net(_)));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn link_failed_converts_to_typed_variant() {
+        let e: ShmemError = NtbError::LinkFailed { attempts: 6 }.into();
+        assert_eq!(e, ShmemError::LinkFailed { attempts: 6 });
+        assert!(e.to_string().contains("6 transmission attempts"));
     }
 }

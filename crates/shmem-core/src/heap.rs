@@ -64,12 +64,18 @@ impl SymmetricHeap {
     /// Create an empty heap that grows in `chunk_size` chunks charged to
     /// `mem`.
     pub fn new(mem: Arc<HostMemory>, chunk_size: u64) -> Arc<Self> {
-        assert!(chunk_size >= SYMMETRIC_ALIGN && chunk_size.is_power_of_two(),
-            "chunk size must be a power of two >= {SYMMETRIC_ALIGN}");
+        assert!(
+            chunk_size >= SYMMETRIC_ALIGN && chunk_size.is_power_of_two(),
+            "chunk size must be a power of two >= {SYMMETRIC_ALIGN}"
+        );
         Arc::new(SymmetricHeap {
             mem,
             chunk_size,
-            inner: Mutex::new(HeapInner { segments: Vec::new(), free: Vec::new(), live: HashMap::new() }),
+            inner: Mutex::new(HeapInner {
+                segments: Vec::new(),
+                free: Vec::new(),
+                live: HashMap::new(),
+            }),
             amo_lock: Mutex::new(()),
             version: Mutex::new(0),
             version_cond: Condvar::new(),
@@ -130,9 +136,11 @@ impl SymmetricHeap {
         let mut inner = self.inner.lock();
         // First fit over the sorted free list (deterministic: identical
         // call sequences give identical offsets on every PE).
-        let found = inner.free.iter().enumerate().find_map(|(i, &(off, len))| {
-            fits(off, len).map(|aligned| (i, aligned))
-        });
+        let found = inner
+            .free
+            .iter()
+            .enumerate()
+            .find_map(|(i, &(off, len))| fits(off, len).map(|aligned| (i, aligned)));
         let (pos, aligned) = match found {
             Some(hit) => hit,
             None => {
@@ -198,7 +206,8 @@ impl SymmetricHeap {
         inner.free.insert(idx, (addr.offset, len));
         // Coalesce with successor first (indices stay valid), then
         // predecessor.
-        if idx + 1 < inner.free.len() && inner.free[idx].0 + inner.free[idx].1 == inner.free[idx + 1].0
+        if idx + 1 < inner.free.len()
+            && inner.free[idx].0 + inner.free[idx].1 == inner.free[idx + 1].0
         {
             inner.free[idx].1 += inner.free[idx + 1].1;
             inner.free.remove(idx + 1);
@@ -497,7 +506,10 @@ mod tests {
         let h1 = heap();
         let h2 = heap();
         for (size, align) in [(10, 16), (100, 512), (5000, 64), (7, 2048)] {
-            assert_eq!(h1.malloc_aligned(size, align).unwrap(), h2.malloc_aligned(size, align).unwrap());
+            assert_eq!(
+                h1.malloc_aligned(size, align).unwrap(),
+                h2.malloc_aligned(size, align).unwrap()
+            );
         }
     }
 
@@ -525,10 +537,7 @@ mod tests {
     fn arena_exhaustion_is_typed() {
         let h = SymmetricHeap::new(HostMemory::new(0, 8192), 4096);
         let _a = h.malloc(8192).unwrap();
-        assert_eq!(
-            h.malloc(1).unwrap_err(),
-            ShmemError::OutOfSymmetricMemory { requested: 1 }
-        );
+        assert_eq!(h.malloc(1).unwrap_err(), ShmemError::OutOfSymmetricMemory { requested: 1 });
     }
 
     #[test]

@@ -39,7 +39,7 @@ impl ShmemCtx {
     ///     // Unprotected read-modify-write, safe only inside the lock.
     ///     let v = ctx.get::<u64>(&total, 0, 0).unwrap();
     ///     ctx.put(&total, 0, v + 1, 0).unwrap();
-    ///     ctx.quiet();
+    ///     ctx.quiet().unwrap();
     ///     ctx.clear_lock(&lock).unwrap();
     ///     ctx.barrier_all().unwrap();
     ///     if ctx.my_pe() == 0 {
@@ -82,7 +82,7 @@ impl ShmemCtx {
     /// first, so memory written inside the critical section is visible to
     /// the next owner.
     pub fn clear_lock(&self, lock: &TypedSym<u64>) -> Result<()> {
-        self.quiet();
+        self.quiet()?;
         let old = self.atomic_compare_swap(lock, 0, self.lock_token(), 0u64, LOCK_HOME)?;
         if old != self.lock_token() {
             return Err(ShmemError::Runtime("clear_lock: lock not held by this PE"));

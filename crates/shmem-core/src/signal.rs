@@ -46,7 +46,17 @@ impl ShmemCtx {
         op: SignalOp,
         pe: usize,
     ) -> Result<()> {
-        self.put_with_signal_mode(sym, index, data, sig, sig_index, sig_value, op, pe, self.default_mode())
+        self.put_with_signal_mode(
+            sym,
+            index,
+            data,
+            sig,
+            sig_index,
+            sig_value,
+            op,
+            pe,
+            self.default_mode(),
+        )
     }
 
     /// [`put_with_signal`](Self::put_with_signal) with an explicit
@@ -94,7 +104,11 @@ impl ShmemCtx {
     }
 
     /// `shmem_signal_fetch`: read this PE's signal word.
-    pub fn signal_fetch<S: ShmemAtomicInt>(&self, sig: &TypedSym<S>, sig_index: usize) -> Result<S> {
+    pub fn signal_fetch<S: ShmemAtomicInt>(
+        &self,
+        sig: &TypedSym<S>,
+        sig_index: usize,
+    ) -> Result<S> {
         self.read_local(sig, sig_index)
     }
 }

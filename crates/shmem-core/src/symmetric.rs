@@ -39,7 +39,10 @@ impl SymAddr {
     /// `len`-byte access.
     pub fn byte_offset(&self, start: u64, len: u64) -> Result<u64> {
         if start.checked_add(len).is_none_or(|end| end > self.len) {
-            return Err(ShmemError::SymmetricBounds { offset: self.offset.saturating_add(start), len });
+            return Err(ShmemError::SymmetricBounds {
+                offset: self.offset.saturating_add(start),
+                len,
+            });
         }
         Ok(self.offset + start)
     }
@@ -89,7 +92,10 @@ impl<T: ShmemScalar> TypedSym<T> {
     pub fn elem_offset(&self, index: usize, count: usize) -> Result<u64> {
         if index.checked_add(count).is_none_or(|end| end > self.count) {
             return Err(ShmemError::SymmetricBounds {
-                offset: self.addr.offset.saturating_add((index as u64).saturating_mul(T::WIDTH as u64)),
+                offset: self
+                    .addr
+                    .offset
+                    .saturating_add((index as u64).saturating_mul(T::WIDTH as u64)),
                 len: (count as u64).saturating_mul(T::WIDTH as u64),
             });
         }

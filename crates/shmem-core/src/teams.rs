@@ -144,7 +144,7 @@ impl ShmemCtx {
         let Some(rank) = team.my_rank else {
             return Ok(());
         };
-        self.quiet();
+        self.quiet()?;
         let n = team.size();
         if n == 1 {
             return Ok(());

@@ -120,15 +120,12 @@ fn classic_wait_until_and_putmem() {
         let flag = TypedSym::<i64>::new(shmem.shmem_calloc(1, 8).unwrap(), 1).unwrap();
         if shmem.shmem_my_pe() == 0 {
             shmem.shmem_putmem(&bytes, b"classic putmem!!", 1).unwrap();
-            shmem.shmem_quiet();
+            shmem.shmem_quiet().expect("quiet");
             shmem.shmem_long_p(&flag, 1, 1).unwrap();
         } else {
             let v = shmem.shmem_wait_until(&flag, CmpOp::Eq, 1i64).unwrap();
             assert_eq!(v, 1);
-            assert_eq!(
-                ctx.read_local_slice::<u8>(&bytes, 0, 16).unwrap(),
-                b"classic putmem!!"
-            );
+            assert_eq!(ctx.read_local_slice::<u8>(&bytes, 0, 16).unwrap(), b"classic putmem!!");
             // getmem path too.
             assert_eq!(shmem.shmem_getmem(&bytes, 7, 1).unwrap(), b"classic");
         }

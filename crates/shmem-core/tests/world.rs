@@ -127,7 +127,7 @@ fn quiet_makes_puts_visible() {
         let flag = ctx.malloc_array::<u64>(1).unwrap();
         if ctx.my_pe() == 0 {
             ctx.put(&sym, 0, 0xFEED, 1).unwrap();
-            ctx.quiet(); // data delivered at PE 1
+            ctx.quiet().expect("quiet"); // data delivered at PE 1
             ctx.put(&flag, 0, 1u64, 1).unwrap();
         }
         if ctx.my_pe() == 1 {
@@ -341,7 +341,7 @@ fn distributed_lock_mutual_exclusion() {
             // the lock.
             let v = ctx.get::<u64>(&shared, 0, 0).unwrap();
             ctx.put(&shared, 0, v + 1, 0).unwrap();
-            ctx.quiet();
+            ctx.quiet().expect("quiet");
             ctx.clear_lock(&lock).unwrap();
         }
         ctx.barrier_all().unwrap();

@@ -32,8 +32,10 @@ fn main() {
     cfg.barrier_timeout = std::time::Duration::from_secs(600);
 
     println!("point-to-point PE0 <-> PE{partner} (time scale {scale})");
-    println!("{:>8} {:>6} | {:>12} {:>12} | {:>12} {:>12}",
-        "size", "mode", "put lat(us)", "put MB/s", "get lat(us)", "get MB/s");
+    println!(
+        "{:>8} {:>6} | {:>12} {:>12} | {:>12} {:>12}",
+        "size", "mode", "put lat(us)", "put MB/s", "get lat(us)", "get MB/s"
+    );
 
     ShmemWorld::run(cfg, |ctx| {
         let max = 512 << 10;
@@ -52,13 +54,12 @@ fn main() {
                     ctx.put_slice_with_mode(&sym, 0, &data, partner, mode).expect("put");
                 }
                 let put = t0.elapsed() / REPS as u32;
-                ctx.quiet();
+                ctx.quiet().expect("quiet");
 
                 let t0 = Instant::now();
                 for _ in 0..REPS {
-                    let v = ctx
-                        .get_slice_with_mode::<u8>(&sym, 0, size, partner, mode)
-                        .expect("get");
+                    let v =
+                        ctx.get_slice_with_mode::<u8>(&sym, 0, size, partner, mode).expect("get");
                     assert_eq!(v.len(), size);
                 }
                 let get = t0.elapsed() / REPS as u32;

@@ -86,11 +86,7 @@ fn main() {
             if observer == peer {
                 continue;
             }
-            assert_eq!(
-                suspect,
-                peer == FAILING_PE,
-                "observer {observer} verdict on {peer}"
-            );
+            assert_eq!(suspect, peer == FAILING_PE, "observer {observer} verdict on {peer}");
         }
     }
     println!("OK: every live PE detected exactly the failed peer (PE {FAILING_PE})");

@@ -140,8 +140,7 @@ fn main() {
     let x_dist: Vec<f64> = pieces.into_iter().flatten().collect();
     let b_full: Vec<f64> = (0..n).map(rhs).collect();
     let x_ref = serial_cg(n, &b_full);
-    let max_err =
-        x_dist.iter().zip(&x_ref).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    let max_err = x_dist.iter().zip(&x_ref).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
 
     println!("NPB-style CG: n = {n} over {PES} PEs, converged in {} iterations", iters[0]);
     println!("  max |x_distributed - x_serial| = {max_err:.3e}");

@@ -23,7 +23,8 @@ fn main() {
         let n = ctx.num_pes();
 
         // PE 0 decides the sample count; everyone learns it by broadcast.
-        let samples_per_pe = ctx.broadcast_value(if me == 0 { 200_000u64 } else { 0 }, 0).expect("bcast");
+        let samples_per_pe =
+            ctx.broadcast_value(if me == 0 { 200_000u64 } else { 0 }, 0).expect("bcast");
         assert_eq!(samples_per_pe, 200_000);
 
         // Embarrassingly parallel dart throwing.
@@ -50,9 +51,9 @@ fn main() {
         ctx.set_lock(&lock).expect("acquire");
         let slot = ctx.get::<u64>(&cursor, 0, 0).expect("read cursor") as usize;
         ctx.put_slice(&log, 2 * slot, &[me as u64, hits], 0).expect("append");
-        ctx.quiet();
+        ctx.quiet().expect("quiet");
         ctx.put(&cursor, 0, slot as u64 + 1, 0).expect("advance cursor");
-        ctx.quiet();
+        ctx.quiet().expect("quiet");
         ctx.clear_lock(&lock).expect("release");
 
         // PE 0 waits until every entry landed, then prints the log.
@@ -71,7 +72,10 @@ fn main() {
 
     let pi = estimates[0];
     assert!(estimates.iter().all(|&e| (e - pi).abs() < 1e-12), "allreduce agrees everywhere");
-    println!("π ≈ {pi:.5} from {} samples across {PES} PEs (error {:+.5})",
-        200_000 * PES, pi - std::f64::consts::PI);
+    println!(
+        "π ≈ {pi:.5} from {} samples across {PES} PEs (error {:+.5})",
+        200_000 * PES,
+        pi - std::f64::consts::PI
+    );
     assert!((pi - std::f64::consts::PI).abs() < 0.01, "estimate in the right neighbourhood");
 }

@@ -67,7 +67,8 @@ fn main() {
             // Local stencil update.
             let snapshot = ctx.read_local_slice::<f64>(&field, 0, CELLS_PER_PE + 2).expect("read");
             for i in 1..=CELLS_PER_PE {
-                let v = snapshot[i] + ALPHA * (snapshot[i - 1] - 2.0 * snapshot[i] + snapshot[i + 1]);
+                let v =
+                    snapshot[i] + ALPHA * (snapshot[i - 1] - 2.0 * snapshot[i] + snapshot[i + 1]);
                 ctx.write_local(&field, i, v).expect("write");
             }
             // Second barrier: nobody reads halos while neighbours still
@@ -81,11 +82,8 @@ fn main() {
 
     let distributed: Vec<f64> = pieces.into_iter().flatten().collect();
     let reference = oracle(total, STEPS);
-    let max_err = distributed
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err =
+        distributed.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
 
     println!("1-D heat diffusion: {total} cells over {PES} PEs, {STEPS} steps");
     println!("  centre temperatures: {:?}", &distributed[total / 2 - 2..total / 2 + 2]);

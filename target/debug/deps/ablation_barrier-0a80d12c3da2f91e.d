@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_barrier-0a80d12c3da2f91e.d: crates/shmem-bench/benches/ablation_barrier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_barrier-0a80d12c3da2f91e.rmeta: crates/shmem-bench/benches/ablation_barrier.rs Cargo.toml
+
+crates/shmem-bench/benches/ablation_barrier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_barrier-3a6ad028516392b2.d: crates/shmem-bench/benches/ablation_barrier.rs
+
+/root/repo/target/debug/deps/ablation_barrier-3a6ad028516392b2: crates/shmem-bench/benches/ablation_barrier.rs
+
+crates/shmem-bench/benches/ablation_barrier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_params-1bb5d625d5d5977e.d: crates/shmem-bench/benches/ablation_params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_params-1bb5d625d5d5977e.rmeta: crates/shmem-bench/benches/ablation_params.rs Cargo.toml
+
+crates/shmem-bench/benches/ablation_params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

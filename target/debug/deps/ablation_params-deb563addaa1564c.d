@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_params-deb563addaa1564c.d: crates/shmem-bench/benches/ablation_params.rs
+
+/root/repo/target/debug/deps/ablation_params-deb563addaa1564c: crates/shmem-bench/benches/ablation_params.rs
+
+crates/shmem-bench/benches/ablation_params.rs:

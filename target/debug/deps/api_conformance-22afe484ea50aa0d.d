@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_conformance-22afe484ea50aa0d.d: tests/api_conformance.rs
+
+/root/repo/target/debug/deps/api_conformance-22afe484ea50aa0d: tests/api_conformance.rs
+
+tests/api_conformance.rs:

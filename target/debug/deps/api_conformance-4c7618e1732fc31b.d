@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_conformance-4c7618e1732fc31b.d: tests/api_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_conformance-4c7618e1732fc31b.rmeta: tests/api_conformance.rs Cargo.toml
+
+tests/api_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capi-5f96ab01004a7068.d: crates/shmem-core/tests/capi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapi-5f96ab01004a7068.rmeta: crates/shmem-core/tests/capi.rs Cargo.toml
+
+crates/shmem-core/tests/capi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

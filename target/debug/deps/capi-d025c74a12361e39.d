@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capi-d025c74a12361e39.d: crates/shmem-core/tests/capi.rs
+
+/root/repo/target/debug/deps/capi-d025c74a12361e39: crates/shmem-core/tests/capi.rs
+
+crates/shmem-core/tests/capi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-273c866ef7eb218c.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-273c866ef7eb218c.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

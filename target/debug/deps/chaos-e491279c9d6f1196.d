@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-e491279c9d6f1196.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-e491279c9d6f1196: tests/chaos.rs
+
+tests/chaos.rs:

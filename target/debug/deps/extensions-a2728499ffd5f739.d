@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a2728499ffd5f739.d: crates/shmem-core/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a2728499ffd5f739: crates/shmem-core/tests/extensions.rs
+
+crates/shmem-core/tests/extensions.rs:

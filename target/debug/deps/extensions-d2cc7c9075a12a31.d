@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-d2cc7c9075a12a31.d: crates/shmem-core/tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-d2cc7c9075a12a31.rmeta: crates/shmem-core/tests/extensions.rs Cargo.toml
+
+crates/shmem-core/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

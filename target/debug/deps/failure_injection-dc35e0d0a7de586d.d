@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-dc35e0d0a7de586d.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-dc35e0d0a7de586d: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_barrier-5be73b2058e10df4.d: crates/shmem-bench/benches/fig10_barrier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_barrier-5be73b2058e10df4.rmeta: crates/shmem-bench/benches/fig10_barrier.rs Cargo.toml
+
+crates/shmem-bench/benches/fig10_barrier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

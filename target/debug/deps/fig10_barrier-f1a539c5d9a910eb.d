@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_barrier-f1a539c5d9a910eb.d: crates/shmem-bench/benches/fig10_barrier.rs
+
+/root/repo/target/debug/deps/fig10_barrier-f1a539c5d9a910eb: crates/shmem-bench/benches/fig10_barrier.rs
+
+crates/shmem-bench/benches/fig10_barrier.rs:

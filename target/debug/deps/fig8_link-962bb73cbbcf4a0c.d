@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_link-962bb73cbbcf4a0c.d: crates/shmem-bench/benches/fig8_link.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_link-962bb73cbbcf4a0c.rmeta: crates/shmem-bench/benches/fig8_link.rs Cargo.toml
+
+crates/shmem-bench/benches/fig8_link.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

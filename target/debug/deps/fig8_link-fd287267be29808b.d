@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_link-fd287267be29808b.d: crates/shmem-bench/benches/fig8_link.rs
+
+/root/repo/target/debug/deps/fig8_link-fd287267be29808b: crates/shmem-bench/benches/fig8_link.rs
+
+crates/shmem-bench/benches/fig8_link.rs:

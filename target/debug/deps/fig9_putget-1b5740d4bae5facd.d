@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_putget-1b5740d4bae5facd.d: crates/shmem-bench/benches/fig9_putget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_putget-1b5740d4bae5facd.rmeta: crates/shmem-bench/benches/fig9_putget.rs Cargo.toml
+
+crates/shmem-bench/benches/fig9_putget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_putget-1c475f44c67b8ec6.d: crates/shmem-bench/benches/fig9_putget.rs
+
+/root/repo/target/debug/deps/fig9_putget-1c475f44c67b8ec6: crates/shmem-bench/benches/fig9_putget.rs
+
+crates/shmem-bench/benches/fig9_putget.rs:

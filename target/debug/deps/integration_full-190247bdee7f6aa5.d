@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_full-190247bdee7f6aa5.d: tests/integration_full.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_full-190247bdee7f6aa5.rmeta: tests/integration_full.rs Cargo.toml
+
+tests/integration_full.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_full-c78439170cc412fd.d: tests/integration_full.rs
+
+/root/repo/target/debug/deps/integration_full-c78439170cc412fd: tests/integration_full.rs
+
+tests/integration_full.rs:

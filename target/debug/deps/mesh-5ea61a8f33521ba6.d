@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh-5ea61a8f33521ba6.d: crates/ntb-net/tests/mesh.rs
+
+/root/repo/target/debug/deps/mesh-5ea61a8f33521ba6: crates/ntb-net/tests/mesh.rs
+
+crates/ntb-net/tests/mesh.rs:

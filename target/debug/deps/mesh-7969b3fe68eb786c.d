@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mesh-7969b3fe68eb786c.d: crates/ntb-net/tests/mesh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmesh-7969b3fe68eb786c.rmeta: crates/ntb-net/tests/mesh.rs Cargo.toml
+
+crates/ntb-net/tests/mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microbench-ca91b66bf442beb1.d: crates/shmem-bench/benches/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobench-ca91b66bf442beb1.rmeta: crates/shmem-bench/benches/microbench.rs Cargo.toml
+
+crates/shmem-bench/benches/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

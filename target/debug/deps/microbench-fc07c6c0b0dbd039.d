@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-fc07c6c0b0dbd039.d: crates/shmem-bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/microbench-fc07c6c0b0dbd039: crates/shmem-bench/benches/microbench.rs
+
+crates/shmem-bench/benches/microbench.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ntb_sim-7027c08bd234a3af.d: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
+
+/root/repo/target/debug/deps/libntb_sim-7027c08bd234a3af.rmeta: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
+
+crates/ntb-sim/src/lib.rs:
+crates/ntb-sim/src/bar.rs:
+crates/ntb-sim/src/config_space.rs:
+crates/ntb-sim/src/dma.rs:
+crates/ntb-sim/src/doorbell.rs:
+crates/ntb-sim/src/error.rs:
+crates/ntb-sim/src/link.rs:
+crates/ntb-sim/src/memory.rs:
+crates/ntb-sim/src/port.rs:
+crates/ntb-sim/src/scratchpad.rs:
+crates/ntb-sim/src/stats.rs:
+crates/ntb-sim/src/timing.rs:
+crates/ntb-sim/src/window.rs:

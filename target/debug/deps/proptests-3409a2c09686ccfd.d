@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3409a2c09686ccfd.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3409a2c09686ccfd: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d30a38e260607e21.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d30a38e260607e21.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

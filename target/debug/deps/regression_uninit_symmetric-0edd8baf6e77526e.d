@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regression_uninit_symmetric-0edd8baf6e77526e.d: tests/regression_uninit_symmetric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregression_uninit_symmetric-0edd8baf6e77526e.rmeta: tests/regression_uninit_symmetric.rs Cargo.toml
+
+tests/regression_uninit_symmetric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

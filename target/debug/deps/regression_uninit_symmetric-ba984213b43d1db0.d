@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression_uninit_symmetric-ba984213b43d1db0.d: tests/regression_uninit_symmetric.rs
+
+/root/repo/target/debug/deps/regression_uninit_symmetric-ba984213b43d1db0: tests/regression_uninit_symmetric.rs
+
+tests/regression_uninit_symmetric.rs:

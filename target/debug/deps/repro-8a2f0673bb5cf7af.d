@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-8a2f0673bb5cf7af.d: crates/shmem-bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-8a2f0673bb5cf7af.rmeta: crates/shmem-bench/src/bin/repro.rs Cargo.toml
+
+crates/shmem-bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-92578530fd1019f0.d: crates/shmem-bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-92578530fd1019f0.rmeta: crates/shmem-bench/src/bin/repro.rs Cargo.toml
+
+crates/shmem-bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

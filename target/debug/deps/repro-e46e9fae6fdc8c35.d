@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e46e9fae6fdc8c35.d: crates/shmem-bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-e46e9fae6fdc8c35: crates/shmem-bench/src/bin/repro.rs
+
+crates/shmem-bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e8be3d4cab25e459.d: crates/shmem-bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-e8be3d4cab25e459: crates/shmem-bench/src/bin/repro.rs
+
+crates/shmem-bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring-07b3d39a951703ae.d: crates/ntb-net/tests/ring.rs
+
+/root/repo/target/debug/deps/ring-07b3d39a951703ae: crates/ntb-net/tests/ring.rs
+
+crates/ntb-net/tests/ring.rs:

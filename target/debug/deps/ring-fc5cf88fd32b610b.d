@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ring-fc5cf88fd32b610b.d: crates/ntb-net/tests/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libring-fc5cf88fd32b610b.rmeta: crates/ntb-net/tests/ring.rs Cargo.toml
+
+crates/ntb-net/tests/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shmem_bench-1184995d80154417.d: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmem_bench-1184995d80154417.rmeta: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs Cargo.toml
+
+crates/shmem-bench/src/lib.rs:
+crates/shmem-bench/src/compare.rs:
+crates/shmem-bench/src/fig10.rs:
+crates/shmem-bench/src/fig8.rs:
+crates/shmem-bench/src/fig9.rs:
+crates/shmem-bench/src/report.rs:
+crates/shmem-bench/src/sizes.rs:
+crates/shmem-bench/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

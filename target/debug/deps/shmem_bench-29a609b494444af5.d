@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shmem_bench-29a609b494444af5.d: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs
+
+/root/repo/target/debug/deps/shmem_bench-29a609b494444af5: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs
+
+crates/shmem-bench/src/lib.rs:
+crates/shmem-bench/src/compare.rs:
+crates/shmem-bench/src/fig10.rs:
+crates/shmem-bench/src/fig8.rs:
+crates/shmem-bench/src/fig9.rs:
+crates/shmem-bench/src/report.rs:
+crates/shmem-bench/src/sizes.rs:
+crates/shmem-bench/src/stats.rs:

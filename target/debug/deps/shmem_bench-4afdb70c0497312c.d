@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shmem_bench-4afdb70c0497312c.d: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs
+
+/root/repo/target/debug/deps/libshmem_bench-4afdb70c0497312c.rlib: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs
+
+/root/repo/target/debug/deps/libshmem_bench-4afdb70c0497312c.rmeta: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs
+
+crates/shmem-bench/src/lib.rs:
+crates/shmem-bench/src/compare.rs:
+crates/shmem-bench/src/fig10.rs:
+crates/shmem-bench/src/fig8.rs:
+crates/shmem-bench/src/fig9.rs:
+crates/shmem-bench/src/report.rs:
+crates/shmem-bench/src/sizes.rs:
+crates/shmem-bench/src/stats.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/shmem_core-f53730e9c80af5ef.d: crates/shmem-core/src/lib.rs crates/shmem-core/src/atomics.rs crates/shmem-core/src/barrier.rs crates/shmem-core/src/capi.rs crates/shmem-core/src/collectives.rs crates/shmem-core/src/config.rs crates/shmem-core/src/ctx.rs crates/shmem-core/src/error.rs crates/shmem-core/src/heap.rs crates/shmem-core/src/lock.rs crates/shmem-core/src/runtime.rs crates/shmem-core/src/signal.rs crates/shmem-core/src/strided.rs crates/shmem-core/src/symmetric.rs crates/shmem-core/src/sync.rs crates/shmem-core/src/teams.rs crates/shmem-core/src/types.rs
+
+/root/repo/target/debug/deps/libshmem_core-f53730e9c80af5ef.rlib: crates/shmem-core/src/lib.rs crates/shmem-core/src/atomics.rs crates/shmem-core/src/barrier.rs crates/shmem-core/src/capi.rs crates/shmem-core/src/collectives.rs crates/shmem-core/src/config.rs crates/shmem-core/src/ctx.rs crates/shmem-core/src/error.rs crates/shmem-core/src/heap.rs crates/shmem-core/src/lock.rs crates/shmem-core/src/runtime.rs crates/shmem-core/src/signal.rs crates/shmem-core/src/strided.rs crates/shmem-core/src/symmetric.rs crates/shmem-core/src/sync.rs crates/shmem-core/src/teams.rs crates/shmem-core/src/types.rs
+
+/root/repo/target/debug/deps/libshmem_core-f53730e9c80af5ef.rmeta: crates/shmem-core/src/lib.rs crates/shmem-core/src/atomics.rs crates/shmem-core/src/barrier.rs crates/shmem-core/src/capi.rs crates/shmem-core/src/collectives.rs crates/shmem-core/src/config.rs crates/shmem-core/src/ctx.rs crates/shmem-core/src/error.rs crates/shmem-core/src/heap.rs crates/shmem-core/src/lock.rs crates/shmem-core/src/runtime.rs crates/shmem-core/src/signal.rs crates/shmem-core/src/strided.rs crates/shmem-core/src/symmetric.rs crates/shmem-core/src/sync.rs crates/shmem-core/src/teams.rs crates/shmem-core/src/types.rs
+
+crates/shmem-core/src/lib.rs:
+crates/shmem-core/src/atomics.rs:
+crates/shmem-core/src/barrier.rs:
+crates/shmem-core/src/capi.rs:
+crates/shmem-core/src/collectives.rs:
+crates/shmem-core/src/config.rs:
+crates/shmem-core/src/ctx.rs:
+crates/shmem-core/src/error.rs:
+crates/shmem-core/src/heap.rs:
+crates/shmem-core/src/lock.rs:
+crates/shmem-core/src/runtime.rs:
+crates/shmem-core/src/signal.rs:
+crates/shmem-core/src/strided.rs:
+crates/shmem-core/src/symmetric.rs:
+crates/shmem-core/src/sync.rs:
+crates/shmem-core/src/teams.rs:
+crates/shmem-core/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shmem_ntb-179100a68731e077.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmem_ntb-179100a68731e077.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

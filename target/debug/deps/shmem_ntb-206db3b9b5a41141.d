@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shmem_ntb-206db3b9b5a41141.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmem_ntb-206db3b9b5a41141.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

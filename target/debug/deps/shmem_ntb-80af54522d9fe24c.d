@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shmem_ntb-80af54522d9fe24c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshmem_ntb-80af54522d9fe24c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshmem_ntb-80af54522d9fe24c.rmeta: src/lib.rs
+
+src/lib.rs:

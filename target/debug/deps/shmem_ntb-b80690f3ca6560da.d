@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shmem_ntb-b80690f3ca6560da.d: src/lib.rs
+
+/root/repo/target/debug/deps/shmem_ntb-b80690f3ca6560da: src/lib.rs
+
+src/lib.rs:

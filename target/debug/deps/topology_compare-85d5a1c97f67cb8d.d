@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_compare-85d5a1c97f67cb8d.d: crates/shmem-bench/benches/topology_compare.rs
+
+/root/repo/target/debug/deps/topology_compare-85d5a1c97f67cb8d: crates/shmem-bench/benches/topology_compare.rs
+
+crates/shmem-bench/benches/topology_compare.rs:

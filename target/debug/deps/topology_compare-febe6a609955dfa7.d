@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_compare-febe6a609955dfa7.d: crates/shmem-bench/benches/topology_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_compare-febe6a609955dfa7.rmeta: crates/shmem-bench/benches/topology_compare.rs Cargo.toml
+
+crates/shmem-bench/benches/topology_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

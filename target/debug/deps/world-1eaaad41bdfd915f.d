@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/world-1eaaad41bdfd915f.d: crates/shmem-core/tests/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworld-1eaaad41bdfd915f.rmeta: crates/shmem-core/tests/world.rs Cargo.toml
+
+crates/shmem-core/tests/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world-e2b6e404a59033d8.d: crates/shmem-core/tests/world.rs
+
+/root/repo/target/debug/deps/world-e2b6e404a59033d8: crates/shmem-core/tests/world.rs
+
+crates/shmem-core/tests/world.rs:

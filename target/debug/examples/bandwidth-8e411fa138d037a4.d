@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bandwidth-8e411fa138d037a4.d: examples/bandwidth.rs
+
+/root/repo/target/debug/examples/bandwidth-8e411fa138d037a4: examples/bandwidth.rs
+
+examples/bandwidth.rs:

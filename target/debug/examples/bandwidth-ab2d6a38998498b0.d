@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bandwidth-ab2d6a38998498b0.d: examples/bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbandwidth-ab2d6a38998498b0.rmeta: examples/bandwidth.rs Cargo.toml
+
+examples/bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

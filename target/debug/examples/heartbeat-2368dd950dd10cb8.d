@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heartbeat-2368dd950dd10cb8.d: examples/heartbeat.rs
+
+/root/repo/target/debug/examples/heartbeat-2368dd950dd10cb8: examples/heartbeat.rs
+
+examples/heartbeat.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heartbeat-f279014b3b6495b7.d: examples/heartbeat.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheartbeat-f279014b3b6495b7.rmeta: examples/heartbeat.rs Cargo.toml
+
+examples/heartbeat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

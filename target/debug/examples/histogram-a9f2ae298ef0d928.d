@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/histogram-a9f2ae298ef0d928.d: examples/histogram.rs
+
+/root/repo/target/debug/examples/histogram-a9f2ae298ef0d928: examples/histogram.rs
+
+examples/histogram.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/histogram-ca2c5e932cac8367.d: examples/histogram.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhistogram-ca2c5e932cac8367.rmeta: examples/histogram.rs Cargo.toml
+
+examples/histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

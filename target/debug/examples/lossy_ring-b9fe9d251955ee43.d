@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lossy_ring-b9fe9d251955ee43.d: examples/lossy_ring.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblossy_ring-b9fe9d251955ee43.rmeta: examples/lossy_ring.rs Cargo.toml
+
+examples/lossy_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

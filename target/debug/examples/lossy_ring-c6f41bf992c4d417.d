@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_ring-c6f41bf992c4d417.d: examples/lossy_ring.rs
+
+/root/repo/target/debug/examples/lossy_ring-c6f41bf992c4d417: examples/lossy_ring.rs
+
+examples/lossy_ring.rs:

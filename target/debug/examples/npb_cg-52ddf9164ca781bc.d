@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/npb_cg-52ddf9164ca781bc.d: examples/npb_cg.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnpb_cg-52ddf9164ca781bc.rmeta: examples/npb_cg.rs Cargo.toml
+
+examples/npb_cg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/npb_cg-a425d7140a54057a.d: examples/npb_cg.rs
+
+/root/repo/target/debug/examples/npb_cg-a425d7140a54057a: examples/npb_cg.rs
+
+examples/npb_cg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pi_montecarlo-052bb75c47b1b55a.d: examples/pi_montecarlo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpi_montecarlo-052bb75c47b1b55a.rmeta: examples/pi_montecarlo.rs Cargo.toml
+
+examples/pi_montecarlo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pi_montecarlo-efe3465a9bcd1ee4.d: examples/pi_montecarlo.rs
+
+/root/repo/target/debug/examples/pi_montecarlo-efe3465a9bcd1ee4: examples/pi_montecarlo.rs
+
+examples/pi_montecarlo.rs:

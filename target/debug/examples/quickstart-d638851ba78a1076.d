@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-d638851ba78a1076.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-d638851ba78a1076.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f61b72d853b2d320.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f61b72d853b2d320: examples/quickstart.rs
+
+examples/quickstart.rs:

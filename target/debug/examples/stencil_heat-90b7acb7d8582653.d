@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stencil_heat-90b7acb7d8582653.d: examples/stencil_heat.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstencil_heat-90b7acb7d8582653.rmeta: examples/stencil_heat.rs Cargo.toml
+
+examples/stencil_heat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_heat-af1f6b5f9d946b63.d: examples/stencil_heat.rs
+
+/root/repo/target/debug/examples/stencil_heat-af1f6b5f9d946b63: examples/stencil_heat.rs
+
+examples/stencil_heat.rs:

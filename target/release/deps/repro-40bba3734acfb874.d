@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-40bba3734acfb874.d: crates/shmem-bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-40bba3734acfb874: crates/shmem-bench/src/bin/repro.rs
+
+crates/shmem-bench/src/bin/repro.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/shmem_bench-fa015b23eaf594f3.d: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs
+
+/root/repo/target/release/deps/libshmem_bench-fa015b23eaf594f3.rlib: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs
+
+/root/repo/target/release/deps/libshmem_bench-fa015b23eaf594f3.rmeta: crates/shmem-bench/src/lib.rs crates/shmem-bench/src/compare.rs crates/shmem-bench/src/fig10.rs crates/shmem-bench/src/fig8.rs crates/shmem-bench/src/fig9.rs crates/shmem-bench/src/report.rs crates/shmem-bench/src/sizes.rs crates/shmem-bench/src/stats.rs
+
+crates/shmem-bench/src/lib.rs:
+crates/shmem-bench/src/compare.rs:
+crates/shmem-bench/src/fig10.rs:
+crates/shmem-bench/src/fig8.rs:
+crates/shmem-bench/src/fig9.rs:
+crates/shmem-bench/src/report.rs:
+crates/shmem-bench/src/sizes.rs:
+crates/shmem-bench/src/stats.rs:

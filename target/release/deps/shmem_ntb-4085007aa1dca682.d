@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shmem_ntb-4085007aa1dca682.d: src/lib.rs
+
+/root/repo/target/release/deps/libshmem_ntb-4085007aa1dca682.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libshmem_ntb-4085007aa1dca682.rmeta: src/lib.rs
+
+src/lib.rs:

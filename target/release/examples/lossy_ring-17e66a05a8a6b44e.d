@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lossy_ring-17e66a05a8a6b44e.d: examples/lossy_ring.rs
+
+/root/repo/target/release/examples/lossy_ring-17e66a05a8a6b44e: examples/lossy_ring.rs
+
+examples/lossy_ring.rs:

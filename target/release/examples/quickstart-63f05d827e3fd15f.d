@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-63f05d827e3fd15f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-63f05d827e3fd15f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_scratch-151d36b2c85f53d0.d: examples/verify_scratch.rs
+
+/root/repo/target/release/examples/verify_scratch-151d36b2c85f53d0: examples/verify_scratch.rs
+
+examples/verify_scratch.rs:

@@ -91,7 +91,7 @@ fn essential_features_of_section_2b() {
             for pe in 1..3 {
                 ctx.put(&flag, 0, 9u64, pe).unwrap();
             }
-            ctx.quiet();
+            ctx.quiet().expect("quiet");
         } else {
             let got = ctx.wait_until(&flag, 0, CmpOp::Eq, 9u64).expect("wait_until");
             assert_eq!(got, 9);
@@ -113,7 +113,7 @@ fn one_sided_local_blocking_semantics() {
             // Locally blocking: the buffer is ours again; scribbling on
             // it must not affect the data in flight.
             buf.fill(99);
-            ctx.quiet();
+            ctx.quiet().expect("quiet");
         }
         ctx.barrier_all().unwrap();
         if ctx.my_pe() == 1 {

@@ -1,15 +1,20 @@
 //! Failure injection across the stack: LUT rejections, window-limit
 //! violations, symmetric-heap exhaustion and misuse, barrier timeouts
-//! against a diverged peer, and doorbell masking.
+//! against a diverged peer, doorbell masking, and the lossy-link
+//! recovery scenarios (dropped doorbells, corrupted payloads, link-down
+//! windows, retry exhaustion).
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use shmem_ntb::net::{doorbells, NetConfig, RingNetwork, RouteDirection};
+use shmem_ntb::net::{
+    doorbells, AmoOp, DeliveryTarget, NetConfig, RetryPolicy, RingNetwork, RouteDirection,
+};
 use shmem_ntb::shmem::{ShmemConfig, ShmemError, ShmemWorld};
 use shmem_ntb::sim::{
-    connect_ports, DoorbellWaiter, HostMemory, NtbError, PortConfig, Region, TimeModel,
-    TransferMode,
+    connect_ports, DoorbellWaiter, FaultAction, FaultPlan, HostMemory, LinkHealth, NtbError,
+    PortConfig, Region, TimeModel, TransferMode,
 };
 
 #[test]
@@ -164,8 +169,7 @@ fn transfer_mode_failures_do_not_wedge_the_ring() {
     ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(3), |ctx| {
         let sym = ctx.calloc_array::<u8>(256).unwrap();
         for round in 0..10 {
-            let mode =
-                if round % 2 == 0 { TransferMode::Dma } else { TransferMode::Memcpy };
+            let mode = if round % 2 == 0 { TransferMode::Dma } else { TransferMode::Memcpy };
             let bad = ctx.put_slice_with_mode(&sym, 200, &[0u8; 100], 1, mode);
             assert!(bad.is_err());
             if ctx.my_pe() == 0 {
@@ -187,4 +191,185 @@ fn doorbell_waiter_timeout_is_clean() {
     let port = net.node(0).endpoint(RouteDirection::Right).port();
     let r = port.wait_doorbell(1 << doorbells::DB_BARRIER_END, Some(Duration::from_millis(20)));
     assert_eq!(r, DoorbellWaiter::TimedOut);
+}
+
+// ---------------------------------------------------------------------------
+// Lossy-link recovery scenarios: scripted fault plans exercising the
+// end-to-end retransmission, checksum, reroute and bounded-failure
+// machinery of the ntb-net layer.
+// ---------------------------------------------------------------------------
+
+/// A flat 1 MiB symmetric space standing in for the OpenSHMEM heap, so
+/// the recovery protocol can be observed without the shmem runtime in
+/// the way.
+struct LossyHeap {
+    region: Region,
+    amo_lock: std::sync::Mutex<()>,
+}
+
+impl LossyHeap {
+    fn new() -> Arc<Self> {
+        Arc::new(LossyHeap {
+            region: Region::anonymous(1 << 20),
+            amo_lock: std::sync::Mutex::new(()),
+        })
+    }
+}
+
+impl DeliveryTarget for LossyHeap {
+    fn deliver_put(&self, offset: u64, data: &[u8]) -> shmem_ntb::sim::Result<()> {
+        self.region.write(offset, data)
+    }
+
+    fn read_for_get(&self, offset: u64, out: &mut [u8]) -> shmem_ntb::sim::Result<()> {
+        self.region.read(offset, out)
+    }
+
+    fn deliver_atomic(
+        &self,
+        op: AmoOp,
+        offset: u64,
+        width: usize,
+        operand: u64,
+        compare: u64,
+    ) -> shmem_ntb::sim::Result<u64> {
+        let _guard = self.amo_lock.lock().unwrap();
+        let mut buf = [0u8; 8];
+        self.region.read(offset, &mut buf[..width])?;
+        let old = u64::from_le_bytes(buf);
+        let new = op.apply(old, operand, compare);
+        self.region.write(offset, &new.to_le_bytes()[..width])?;
+        Ok(old)
+    }
+}
+
+/// Tight timeouts so recovery rounds complete in milliseconds.
+fn lossy_retry() -> RetryPolicy {
+    RetryPolicy {
+        ack_timeout: Duration::from_millis(40),
+        max_retries: 4,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(40),
+        probe_interval: Duration::from_millis(20),
+        mailbox_timeout: Duration::from_millis(20),
+        failure_threshold: 2,
+    }
+}
+
+fn build_lossy(hosts: usize, faults: FaultPlan) -> (RingNetwork, Vec<Arc<LossyHeap>>) {
+    let cfg = NetConfig::fast(hosts).with_retry(lossy_retry()).with_faults(faults);
+    let net = RingNetwork::build(cfg).unwrap();
+    let heaps: Vec<Arc<LossyHeap>> = (0..hosts).map(|_| LossyHeap::new()).collect();
+    for (i, heap) in heaps.iter().enumerate() {
+        net.node(i).set_delivery(Arc::clone(heap) as Arc<dyn DeliveryTarget>);
+    }
+    (net, heaps)
+}
+
+#[test]
+fn dropped_doorbell_put_is_retransmitted_to_completion() {
+    // The handshake uses only scratchpad spin-waits, so the very first
+    // doorbell on link 0 (host 0 -> host 1) is this put's DMA doorbell.
+    let plan = FaultPlan::none().with_seed(7).with_scripted(0, FaultAction::DropDoorbell, 1);
+    let (net, heaps) = build_lossy(3, plan);
+    let payload: Vec<u8> = (0..4096u32).map(|i| (i * 7 % 251) as u8).collect();
+    net.node(0).put_bytes(1, 256, &payload, TransferMode::Dma).unwrap();
+    net.node(0).quiet().expect("put must complete despite the dropped doorbell");
+    assert_eq!(heaps[1].region.read_vec(256, 4096).unwrap(), payload, "heap must be byte-exact");
+    let dropped: u64 = net.fault_stats().iter().map(|s| s.doorbells_dropped).sum();
+    assert_eq!(dropped, 1, "exactly the scripted doorbell was dropped");
+    assert_eq!(net.node(0).outstanding_puts(), 0);
+    for node in net.nodes() {
+        assert!(node.take_errors().is_empty(), "host {} saw errors", node.host_id());
+    }
+}
+
+#[test]
+fn corrupted_payload_is_rejected_and_redelivered() {
+    // The first window write on link 0 is the put's payload; it is
+    // corrupted in flight, so the receiver's CRC check must reject it
+    // and the ack-timeout sweeper must redeliver a clean copy.
+    let plan = FaultPlan::none().with_seed(9).with_scripted(0, FaultAction::CorruptPayload, 1);
+    let (net, heaps) = build_lossy(3, plan);
+    let payload: Vec<u8> = (0..8192u32).map(|i| (i * 13 % 251) as u8).collect();
+    net.node(0).put_bytes(1, 0, &payload, TransferMode::Dma).unwrap();
+    net.node(0).quiet().expect("put must complete despite the corrupted payload");
+    assert_eq!(heaps[1].region.read_vec(0, 8192).unwrap(), payload, "heap must be byte-exact");
+    let corrupted: u64 = net.fault_stats().iter().map(|s| s.payloads_corrupted).sum();
+    assert_eq!(corrupted, 1, "exactly the scripted payload write was corrupted");
+    assert!(
+        net.node(1).stats().checksum_rejects.load(Ordering::Relaxed) >= 1,
+        "receiver must have rejected the corrupted frame"
+    );
+    assert!(
+        net.node(0).stats().retransmits.load(Ordering::Relaxed) >= 1,
+        "origin must have retransmitted after the missing ack"
+    );
+    for node in net.nodes() {
+        assert!(node.take_errors().is_empty(), "host {} saw errors", node.host_id());
+    }
+}
+
+#[test]
+fn link_down_window_reroutes_and_recovers() {
+    // Link 0 (host 0 <-> host 1) goes dark for 150 ms the moment it is
+    // first used. The put from 0 to 1 must arrive the long way around
+    // (0 -> 2 -> 1), and once the outage expires a probe must bring the
+    // endpoint back to Up.
+    let plan = FaultPlan::none().with_link_down(0, 0, Duration::from_millis(150));
+    let (net, heaps) = build_lossy(3, plan);
+    let payload: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+    net.node(0).put_bytes(1, 512, &payload, TransferMode::Dma).unwrap();
+    net.node(0).quiet().expect("put must complete via the long way around");
+    assert_eq!(heaps[1].region.read_vec(512, 4096).unwrap(), payload, "heap must be byte-exact");
+    let stats = net.node(0).stats();
+    assert!(stats.link_down_events.load(Ordering::Relaxed) >= 1, "endpoint must go Down");
+    assert!(stats.reroutes.load(Ordering::Relaxed) >= 1, "traffic must reroute leftward");
+    let windows: u64 = net.fault_stats().iter().map(|s| s.link_down_windows).sum();
+    assert_eq!(windows, 1, "exactly one outage window fired");
+    // Recovery: the sweeper probes the Down endpoint; once the window
+    // expires the probe succeeds and health returns to Up.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if net.node(0).endpoint(RouteDirection::Right).health() == LinkHealth::Up {
+            break;
+        }
+        assert!(Instant::now() < deadline, "link did not recover after the outage window");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(net.node(0).stats().probes_sent.load(Ordering::Relaxed) >= 1, "sweeper must probe");
+    // The restored path carries traffic again.
+    let second: Vec<u8> = (0..2048u32).map(|i| (i * 3 % 251) as u8).collect();
+    net.node(0).put_bytes(1, 65536, &second, TransferMode::Memcpy).unwrap();
+    net.node(0).quiet().expect("post-recovery put");
+    assert_eq!(heaps[1].region.read_vec(65536, 2048).unwrap(), second);
+    for node in net.nodes() {
+        assert!(node.take_errors().is_empty(), "host {} saw errors", node.host_id());
+    }
+}
+
+#[test]
+fn exhausted_retries_fail_within_the_policy_deadline() {
+    // Both links of a 2-host ring stay dark for far longer than the
+    // retry budget: the put must be abandoned and surface as a typed
+    // LinkFailed from quiet(), within the policy's worst-case bound.
+    let outage = Duration::from_secs(30);
+    let plan = FaultPlan::none().with_link_down(0, 0, outage).with_link_down(1, 0, outage);
+    let (net, _heaps) = build_lossy(2, plan);
+    let policy = lossy_retry();
+    let start = Instant::now();
+    net.node(0).put_bytes(1, 0, &[0xEE; 1024], TransferMode::Dma).unwrap();
+    let err = net.node(0).quiet().expect_err("put cannot complete with every link down");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(err, NtbError::LinkFailed { attempts } if attempts >= 1),
+        "expected LinkFailed, got {err:?}"
+    );
+    // Generous slack over worst_case() for sweeper tick granularity and
+    // scheduler noise; the point is "bounded", not "instant".
+    let bound = policy.worst_case() + Duration::from_secs(2);
+    assert!(elapsed < bound, "failure took {elapsed:?}, bound {bound:?}");
+    assert_eq!(net.node(0).outstanding_puts(), 0, "abandoned put must not linger");
+    // A second quiet() must not re-report the consumed failure.
+    net.node(0).quiet().expect("failure already reported and cleared");
 }

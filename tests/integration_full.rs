@@ -21,7 +21,8 @@ fn distributed_bucket_sort() {
 
         // Deterministic keys in [0, 4n*256): bucket b owns [b*256n, ...).
         let mut rng = StdRng::seed_from_u64(0x50FA + me as u64);
-        let keys: Vec<u32> = (0..KEYS_PER_PE).map(|_| rng.random_range(0..(n as u32 * 1024))).collect();
+        let keys: Vec<u32> =
+            (0..KEYS_PER_PE).map(|_| rng.random_range(0..(n as u32 * 1024))).collect();
 
         // Exchange: block j of my send buffer holds my keys for bucket j.
         // Count first so blocks are fixed-size with a length prefix.
@@ -59,7 +60,9 @@ fn distributed_bucket_sort() {
         let mut all: Vec<u32> = (0..PES)
             .flat_map(|pe| {
                 let mut rng = StdRng::seed_from_u64(0x50FA + pe as u64);
-                (0..KEYS_PER_PE).map(move |_| rng.random_range(0..(PES as u32 * 1024))).collect::<Vec<_>>()
+                (0..KEYS_PER_PE)
+                    .map(move |_| rng.random_range(0..(PES as u32 * 1024)))
+                    .collect::<Vec<_>>()
             })
             .collect();
         all.sort_unstable();
@@ -90,10 +93,10 @@ fn producer_consumer_pipeline_with_teams() {
             let target = me + 1;
             for i in 0..ITEMS {
                 ctx.put(&queue, i, (me * 1000 + i) as u64, target).unwrap();
-                ctx.quiet(); // item visible before the head moves
+                ctx.quiet().expect("quiet"); // item visible before the head moves
                 ctx.put(&head, 0, i as u64 + 1, target).unwrap();
             }
-            ctx.quiet();
+            ctx.quiet().expect("quiet");
         } else {
             // Consume: wait for the head to advance, check items in order.
             let source = me - 1;
@@ -138,7 +141,8 @@ fn mixed_traffic_stress_all_modes() {
                 let mode = if epoch % 2 == 0 { TransferMode::Dma } else { TransferMode::Memcpy };
                 // Scatter a row to every PE.
                 for pe in 0..n {
-                    let row: Vec<u64> = (0..n).map(|c| epoch * 10_000 + (me * n + c) as u64).collect();
+                    let row: Vec<u64> =
+                        (0..n).map(|c| epoch * 10_000 + (me * n + c) as u64).collect();
                     if pe == me {
                         ctx.write_local_slice(&board, me * n, &row).unwrap();
                     } else {
@@ -161,7 +165,8 @@ fn mixed_traffic_stress_all_modes() {
             }
             // Each epoch's owner saw n increments.
             let owner_count = ctx.read_local::<u64>(&counter, 0).unwrap();
-            let expected: u64 = (1..=4u64).filter(|e| (*e as usize) % n == me).count() as u64 * n as u64;
+            let expected: u64 =
+                (1..=4u64).filter(|e| (*e as usize) % n == me).count() as u64 * n as u64;
             assert_eq!(owner_count, expected);
             ctx.barrier_all().unwrap();
         })
@@ -177,7 +182,7 @@ fn stats_reflect_traffic() {
         let sym = ctx.calloc_array::<u8>(4096).unwrap();
         if ctx.my_pe() == 0 {
             ctx.put_slice(&sym, 0, &[1u8; 4096], 1).unwrap();
-            ctx.quiet();
+            ctx.quiet().expect("quiet");
             let _ = ctx.get_slice::<u8>(&sym, 0, 1024, 2).unwrap();
         }
         ctx.barrier_all().unwrap();

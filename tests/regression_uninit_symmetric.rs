@@ -82,9 +82,9 @@ fn lock_protected_log_after_collectives() {
         let slot = ctx.get::<u64>(&cursor, 0, 0).unwrap();
         assert!(slot < n as u64, "PE {me}: cursor must be a valid slot, got {slot}");
         ctx.put_slice(&log, 2 * slot as usize, &[me as u64, hits], 0).unwrap();
-        ctx.quiet();
+        ctx.quiet().expect("quiet");
         ctx.put(&cursor, 0, slot + 1, 0).unwrap();
-        ctx.quiet();
+        ctx.quiet().expect("quiet");
         ctx.clear_lock(&lock).unwrap();
 
         if me == 0 {

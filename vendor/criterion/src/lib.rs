@@ -1,0 +1,322 @@
+//! Offline stand-in for the subset of `criterion` the benches use.
+//!
+//! The build environment has no crates.io mirror, so the workspace vendors
+//! a minimal benchmark harness with `criterion`'s API shape: benches keep
+//! `harness = false` + `criterion_group!`/`criterion_main!`, and `cargo
+//! bench` prints one mean-per-iteration line per benchmark.
+//!
+//! Measurement model: each benchmark runs batches of doubling iteration
+//! counts until it has consumed a small wall-clock budget (default 200 ms,
+//! override with `CRITERION_SHIM_BUDGET_MS`), then reports the mean. There
+//! is no statistical analysis, outlier detection, or HTML report — for
+//! regression comparisons, diff the printed means between runs.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from const-folding a benchmark input or sinking
+/// a result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_secs_f64() * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bencher
+// ---------------------------------------------------------------------
+
+/// Passed to each benchmark closure; records one timing measurement.
+pub struct Bencher {
+    budget: Duration,
+    /// Total elapsed time and iteration count of the measurement.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher { budget, measured: None }
+    }
+
+    /// Time `routine`, escalating the iteration count until the time
+    /// budget is consumed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (not measured).
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut iters_done = 0u64;
+        let mut batch = 1u64;
+        while total < self.budget && iters_done < (1 << 24) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            iters_done += batch;
+            batch = batch.saturating_mul(2);
+        }
+        self.measured = Some((total, iters_done.max(1)));
+    }
+
+    /// Like [`Criterion`]'s `iter_custom`: the routine receives an
+    /// iteration count and returns the time those iterations took.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let first = routine(1);
+        if first * 8 >= self.budget {
+            self.measured = Some((first, 1));
+            return;
+        }
+        // Cheap enough to average over a larger batch.
+        let per = first.max(Duration::from_nanos(1));
+        let n = (self.budget.as_nanos() / per.as_nanos()).clamp(1, 1 << 16) as u64;
+        let total = routine(n);
+        self.measured = Some((total, n));
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        self.measured.map(|(total, iters)| total / iters.max(1) as u32)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ids and throughput
+// ---------------------------------------------------------------------
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only id (the group name provides the prefix).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+fn report(label: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
+    match mean {
+        Some(m) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Bytes(b) => {
+                    let mibps = b as f64 / m.as_secs_f64() / (1 << 20) as f64;
+                    format!("  {mibps:.1} MiB/s")
+                }
+                Throughput::Elements(e) => {
+                    let eps = e as f64 / m.as_secs_f64();
+                    format!("  {eps:.0} elem/s")
+                }
+            });
+            println!(
+                "bench: {label:<50} {:>12}/iter{}",
+                format_duration(m),
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("bench: {label:<50} (no measurement)"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Criterion + groups
+// ---------------------------------------------------------------------
+
+/// The top-level harness handle.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: budget() }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented in the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(name, b.mean(), None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), budget: self.budget, throughput: None, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's measurement budget is
+    /// time-based, so the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Report a rate alongside the mean for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.mean(), self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F, D>(&mut self, id: D, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        D: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.budget);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.mean(), self.throughput);
+        self
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Define a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` from bench groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        std::env::set_var("CRITERION_SHIM_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("CRITERION_SHIM_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("x", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.bench_function(BenchmarkId::from_parameter(8), |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(8u64 * 2);
+                }
+                t0.elapsed()
+            });
+        });
+        g.finish();
+    }
+}
