@@ -1,0 +1,660 @@
+//! Offline protocol invariant checker: replays a merged event trace and
+//! asserts the end-to-end guarantees the recovery machinery promises.
+//!
+//! The invariants, over a quiescent trace (all application traffic
+//! finished, `quiet`/barrier drained before the trace was taken):
+//!
+//! 1. **Put resolution** — every issued put chunk (`PutIssue`) is
+//!    resolved exactly once: one `PutAcked` *or* one `PutAbandon`, never
+//!    both, never twice, never zero times.
+//! 2. **AMO exactly-once** — an AMO request is applied (`AmoApply`) at
+//!    most once; retransmissions must hit the replay cache
+//!    (`AmoReplay`). A completed AMO (`AmoDone`) has exactly one apply.
+//! 3. **Get coverage** — the response chunks (`GetChunkRx`) of a
+//!    completed get (`GetDone`) tile the requested byte range exactly:
+//!    no gap, no overlap, no spill past the end.
+//! 4. **Barrier ordering** — no PE leaves a barrier epoch
+//!    (`BarrierEnd`) before every participating PE has entered it
+//!    (`BarrierStart`), and each PE's epochs are strictly increasing.
+//! 5. **Down-link discipline** — no put chunk is transmitted
+//!    (`PutChunkTx`) over a link the emitting PE currently holds Down
+//!    (between its `LinkDown` and the matching `LinkUp`).
+//!
+//! Soundness of the replay relies on two properties of the
+//! [`EventLog`]: the global sequence number is allocated with one atomic
+//! `fetch_add` (a total order consistent with each thread's program
+//! order), and the emission sites are placed *after* the state
+//! transitions they describe (e.g. `PutChunkTx` is emitted after the
+//! link-health bookkeeping, so a successful send on a recovering link
+//! orders its `LinkUp` first).
+//!
+//! A trace that overflowed its per-PE rings ([`EventLog::dropped`]) is
+//! refused rather than certified — an invariant cannot be checked
+//! against evidence that was evicted.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use ntb_sim::{render_events, EventKind, EventLog, TraceEvent};
+
+/// How many events of leading/trailing context a violation window keeps
+/// around the offending events.
+const WINDOW_CONTEXT: usize = 12;
+
+/// One invariant violation, with the trace window that proves it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Short stable identifier of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// The offending events plus surrounding context, in seq order.
+    pub window: Vec<TraceEvent>,
+}
+
+impl Violation {
+    /// Render the violation with its trace window, the format the chaos
+    /// harness dumps to `target/trace-dumps/`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "invariant violated: {} — {}", self.invariant, self.message);
+        out.push_str(&render_events(&self.window));
+        out
+    }
+}
+
+/// Outcome of one checker run.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Distinct put chunks tracked through invariant 1.
+    pub puts_checked: usize,
+    /// Distinct AMO requests tracked through invariant 2.
+    pub amos_checked: usize,
+    /// Completed gets tracked through invariant 3.
+    pub gets_checked: usize,
+    /// Barrier epochs tracked through invariant 4.
+    pub barriers_checked: usize,
+    /// Every violation found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// True when every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render every violation (empty string when clean).
+    pub fn render_violations(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Cut a context window out of `events`: everything matching `pick`
+/// plus [`WINDOW_CONTEXT`] events on either side of the first match.
+fn window(events: &[TraceEvent], pick: impl Fn(&TraceEvent) -> bool) -> Vec<TraceEvent> {
+    let Some(first) = events.iter().position(&pick) else {
+        return Vec::new();
+    };
+    let lo = first.saturating_sub(WINDOW_CONTEXT);
+    let hi = (first + WINDOW_CONTEXT + 1).min(events.len());
+    let mut out: Vec<TraceEvent> = events[lo..hi].to_vec();
+    // Matching events outside the context range still matter (e.g. the
+    // second ack of a double-acked put, far downstream).
+    for ev in &events[hi..] {
+        if pick(ev) {
+            out.push(*ev);
+        }
+    }
+    out
+}
+
+/// Invariant 1: every `PutIssue` resolves exactly once.
+fn check_puts(events: &[TraceEvent], report: &mut CheckReport) {
+    // Keyed by (origin pe, put id): put ids are per-origin.
+    let mut issued: HashMap<(u16, u64), (u32, u32)> = HashMap::new(); // (acked, abandoned)
+    for ev in events {
+        match ev.kind {
+            EventKind::PutIssue => {
+                issued.entry((ev.pe, ev.op_id)).or_insert((0, 0));
+            }
+            EventKind::PutAcked => {
+                if let Some(e) = issued.get_mut(&(ev.pe, ev.op_id)) {
+                    e.0 += 1;
+                } else {
+                    report.violations.push(Violation {
+                        invariant: "put-resolution",
+                        message: format!(
+                            "pe {} put {} acked without a PutIssue record",
+                            ev.pe, ev.op_id
+                        ),
+                        window: window(events, |e| {
+                            e.pe == ev.pe && e.op_id == ev.op_id && put_lifecycle(e.kind)
+                        }),
+                    });
+                }
+            }
+            EventKind::PutAbandon => {
+                if let Some(e) = issued.get_mut(&(ev.pe, ev.op_id)) {
+                    e.1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    report.puts_checked = issued.len();
+    for (&(pe, id), &(acked, abandoned)) in &issued {
+        let resolved = acked + abandoned;
+        if resolved == 1 {
+            continue;
+        }
+        let message = if resolved == 0 {
+            format!("pe {pe} put {id} was issued but never acked nor abandoned")
+        } else {
+            format!(
+                "pe {pe} put {id} resolved {resolved} times ({acked} acks, {abandoned} abandons)"
+            )
+        };
+        report.violations.push(Violation {
+            invariant: "put-resolution",
+            message,
+            window: window(events, |e| e.pe == pe && e.op_id == id && put_lifecycle(e.kind)),
+        });
+    }
+}
+
+fn put_lifecycle(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::PutIssue
+            | EventKind::PutChunkTx
+            | EventKind::PutDeliver
+            | EventKind::PutAcked
+            | EventKind::PutAbandon
+            | EventKind::AckRx
+            | EventKind::Retransmit
+    )
+}
+
+/// Invariant 2: an AMO is applied at most once, and exactly once when it
+/// completed at the origin.
+fn check_amos(events: &[TraceEvent], report: &mut CheckReport) {
+    // AmoApply is emitted at the *target* with payload[0] = origin pe and
+    // op_id = the origin's request id; AmoDone at the origin.
+    let mut applies: HashMap<(u64, u64), u32> = HashMap::new(); // (origin, req) -> count
+    let mut done: HashSet<(u64, u64)> = HashSet::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::AmoApply => {
+                *applies.entry((ev.payload[0], ev.op_id)).or_insert(0) += 1;
+            }
+            EventKind::AmoDone => {
+                done.insert((u64::from(ev.pe), ev.op_id));
+            }
+            _ => {}
+        }
+    }
+    report.amos_checked = applies.len().max(done.len());
+    for (&(origin, req), &count) in &applies {
+        if count > 1 {
+            report.violations.push(Violation {
+                invariant: "amo-exactly-once",
+                message: format!("AMO req {req} from pe {origin} applied {count} times"),
+                window: window(events, |e| {
+                    e.op_id == req
+                        && matches!(e.kind, EventKind::AmoApply | EventKind::AmoReplay)
+                        && e.payload[0] == origin
+                }),
+            });
+        }
+    }
+    for &(origin, req) in &done {
+        if applies.get(&(origin, req)).copied().unwrap_or(0) == 0 {
+            report.violations.push(Violation {
+                invariant: "amo-exactly-once",
+                message: format!("AMO req {req} from pe {origin} completed without an AmoApply"),
+                window: window(events, |e| {
+                    e.op_id == req
+                        && matches!(
+                            e.kind,
+                            EventKind::AmoReqTx
+                                | EventKind::AmoApply
+                                | EventKind::AmoReplay
+                                | EventKind::AmoDone
+                        )
+                }),
+            });
+        }
+    }
+}
+
+/// Invariant 3: the chunks of a completed get tile `[0, len)` exactly.
+fn check_gets(events: &[TraceEvent], report: &mut CheckReport) {
+    let mut requested: HashMap<(u16, u64), u64> = HashMap::new(); // (pe, req) -> len
+    let mut chunks: HashMap<(u16, u64), Vec<(u64, u64)>> = HashMap::new();
+    let mut done: HashSet<(u16, u64)> = HashSet::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::GetReqTx => {
+                requested.insert((ev.pe, ev.op_id), ev.payload[1]);
+            }
+            EventKind::GetChunkRx => {
+                chunks.entry((ev.pe, ev.op_id)).or_default().push((ev.payload[0], ev.payload[1]));
+            }
+            EventKind::GetDone => {
+                done.insert((ev.pe, ev.op_id));
+            }
+            _ => {}
+        }
+    }
+    report.gets_checked = done.len();
+    for &(pe, req) in &done {
+        let Some(&len) = requested.get(&(pe, req)) else {
+            continue; // request issued before tracing was enabled
+        };
+        let mut cs = chunks.get(&(pe, req)).cloned().unwrap_or_default();
+        cs.sort_unstable();
+        let mut cursor = 0u64;
+        let mut bad: Option<String> = None;
+        for &(off, clen) in &cs {
+            if off < cursor {
+                bad = Some(format!("chunk at {off} overlaps previous coverage up to {cursor}"));
+                break;
+            }
+            if off > cursor {
+                bad =
+                    Some(format!("gap: coverage ends at {cursor} but next chunk starts at {off}"));
+                break;
+            }
+            cursor = off + clen;
+        }
+        if bad.is_none() && cursor != len {
+            bad = Some(format!("chunks cover {cursor} of {len} requested bytes"));
+        }
+        if let Some(why) = bad {
+            report.violations.push(Violation {
+                invariant: "get-coverage",
+                message: format!("pe {pe} get {req}: {why}"),
+                window: window(events, |e| {
+                    e.pe == pe
+                        && e.op_id == req
+                        && matches!(
+                            e.kind,
+                            EventKind::GetReqTx | EventKind::GetChunkRx | EventKind::GetDone
+                        )
+                }),
+            });
+        }
+    }
+}
+
+/// Invariant 4: barrier epochs are collective and ordered — no PE ends
+/// an epoch before every PE started it, and each PE's epochs increase.
+fn check_barriers(events: &[TraceEvent], pes: usize, report: &mut CheckReport) {
+    let mut starts: HashMap<u64, Vec<(u16, u64)>> = HashMap::new(); // epoch -> (pe, seq)
+    let mut ends: HashMap<u64, Vec<(u16, u64)>> = HashMap::new();
+    let mut last_epoch: HashMap<u16, u64> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::BarrierStart => {
+                starts.entry(ev.op_id).or_default().push((ev.pe, ev.seq));
+                if let Some(&prev) = last_epoch.get(&ev.pe) {
+                    if ev.op_id <= prev {
+                        report.violations.push(Violation {
+                            invariant: "barrier-order",
+                            message: format!(
+                                "pe {} entered barrier epoch {} after epoch {}",
+                                ev.pe, ev.op_id, prev
+                            ),
+                            window: window(events, |e| {
+                                e.pe == ev.pe && e.kind == EventKind::BarrierStart
+                            }),
+                        });
+                    }
+                }
+                last_epoch.insert(ev.pe, ev.op_id);
+            }
+            EventKind::BarrierEnd => {
+                ends.entry(ev.op_id).or_default().push((ev.pe, ev.seq));
+            }
+            _ => {}
+        }
+    }
+    report.barriers_checked = ends.len();
+    for (&epoch, enders) in &ends {
+        let empty = Vec::new();
+        let enterers = starts.get(&epoch).unwrap_or(&empty);
+        let entered: HashSet<u16> = enterers.iter().map(|&(pe, _)| pe).collect();
+        let missing: Vec<u16> = (0..pes as u16).filter(|pe| !entered.contains(pe)).collect();
+        if !missing.is_empty() {
+            report.violations.push(Violation {
+                invariant: "barrier-order",
+                message: format!(
+                    "barrier epoch {epoch} ended but PEs {missing:?} never entered it"
+                ),
+                window: window(events, |e| {
+                    e.op_id == epoch
+                        && matches!(e.kind, EventKind::BarrierStart | EventKind::BarrierEnd)
+                }),
+            });
+            continue;
+        }
+        let max_start = enterers.iter().map(|&(_, s)| s).max().unwrap_or(0);
+        for &(pe, end_seq) in enders {
+            if end_seq < max_start {
+                report.violations.push(Violation {
+                    invariant: "barrier-order",
+                    message: format!(
+                        "pe {pe} left barrier epoch {epoch} (seq {end_seq}) before every PE \
+                         entered it (last entry seq {max_start})"
+                    ),
+                    window: window(events, |e| {
+                        e.op_id == epoch
+                            && matches!(e.kind, EventKind::BarrierStart | EventKind::BarrierEnd)
+                    }),
+                });
+            }
+        }
+    }
+}
+
+/// Invariant 5: no put chunk leaves over a link its PE holds Down.
+fn check_down_links(events: &[TraceEvent], report: &mut CheckReport) {
+    let mut down: HashSet<(u16, u16)> = HashSet::new(); // (pe, link)
+    for ev in events {
+        match ev.kind {
+            EventKind::LinkDown => {
+                down.insert((ev.pe, ev.link));
+            }
+            EventKind::LinkUp => {
+                down.remove(&(ev.pe, ev.link));
+            }
+            EventKind::PutChunkTx if down.contains(&(ev.pe, ev.link)) => {
+                let (pe, link, seq) = (ev.pe, ev.link, ev.seq);
+                report.violations.push(Violation {
+                    invariant: "down-link-discipline",
+                    message: format!(
+                        "pe {pe} transmitted put {} on link {link} while holding it Down \
+                         (no reroute/recovery first)",
+                        ev.op_id
+                    ),
+                    window: window(events, move |e| {
+                        e.seq == seq
+                            || (e.pe == pe
+                                && e.link == link
+                                && matches!(
+                                    e.kind,
+                                    EventKind::LinkDown | EventKind::LinkUp | EventKind::Reroute
+                                ))
+                    }),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Replay `events` (must be seq-sorted, as [`EventLog::take`] returns
+/// them) and check every invariant. `pes` is the PE count of the network
+/// the trace came from (barrier membership).
+pub fn check(events: &[TraceEvent], pes: usize) -> CheckReport {
+    let mut report = CheckReport { events: events.len(), ..CheckReport::default() };
+    check_puts(events, &mut report);
+    check_amos(events, &mut report);
+    check_gets(events, &mut report);
+    check_barriers(events, pes, &mut report);
+    check_down_links(events, &mut report);
+    report
+}
+
+/// Check a live log without draining it. Refuses to certify a truncated
+/// trace: ring overflow means evidence was evicted.
+pub fn check_log(log: &EventLog, pes: usize) -> CheckReport {
+    let events = log.merged();
+    let mut report = check(&events, pes);
+    let dropped = log.dropped();
+    if dropped > 0 {
+        report.violations.push(Violation {
+            invariant: "trace-complete",
+            message: format!(
+                "{dropped} events were dropped (ring overflow); refusing to certify a \
+                 truncated trace"
+            ),
+            window: Vec::new(),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntb_sim::NO_LINK;
+
+    fn ev(
+        seq: u64,
+        pe: u16,
+        link: u16,
+        kind: EventKind,
+        op_id: u64,
+        payload: [u64; 2],
+    ) -> TraceEvent {
+        TraceEvent { seq, t_us: seq, pe, link, kind, op_id, payload }
+    }
+
+    #[test]
+    fn clean_put_lifecycle_passes() {
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PutIssue, 1, [1, 64]),
+            ev(1, 0, 0, EventKind::PutChunkTx, 1, [1, 64]),
+            ev(2, 1, NO_LINK, EventKind::PutDeliver, 1, [0, 0]),
+            ev(3, 0, NO_LINK, EventKind::AckRx, 1, [1, 0]),
+            ev(4, 0, NO_LINK, EventKind::PutAcked, 1, [1, 0]),
+        ];
+        let r = check(&t, 2);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        assert_eq!(r.puts_checked, 1);
+    }
+
+    #[test]
+    fn unresolved_put_is_flagged() {
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PutIssue, 1, [1, 64]),
+            ev(1, 0, 0, EventKind::PutChunkTx, 1, [1, 64]),
+        ];
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "put-resolution");
+        assert!(r.violations[0].message.contains("never acked"), "{}", r.violations[0].message);
+        assert!(!r.violations[0].window.is_empty());
+    }
+
+    #[test]
+    fn double_acked_put_is_flagged() {
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PutIssue, 7, [1, 64]),
+            ev(1, 0, NO_LINK, EventKind::PutAcked, 7, [1, 0]),
+            ev(2, 0, NO_LINK, EventKind::PutAcked, 7, [1, 0]),
+        ];
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("2 acks"), "{}", r.violations[0].message);
+    }
+
+    #[test]
+    fn acked_and_abandoned_put_is_flagged() {
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PutIssue, 7, [1, 64]),
+            ev(1, 0, NO_LINK, EventKind::PutAbandon, 7, [6, 1]),
+            ev(2, 0, NO_LINK, EventKind::PutAcked, 7, [1, 0]),
+        ];
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("resolved 2 times"));
+    }
+
+    #[test]
+    fn put_ids_are_scoped_per_origin() {
+        // Two different PEs reuse put id 1; both resolve once. Clean.
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PutIssue, 1, [1, 64]),
+            ev(1, 2, NO_LINK, EventKind::PutIssue, 1, [1, 64]),
+            ev(2, 0, NO_LINK, EventKind::PutAcked, 1, [1, 0]),
+            ev(3, 2, NO_LINK, EventKind::PutAbandon, 1, [6, 1]),
+        ];
+        let r = check(&t, 3);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        assert_eq!(r.puts_checked, 2);
+    }
+
+    #[test]
+    fn amo_double_apply_is_flagged_and_replay_is_not() {
+        let clean = vec![
+            ev(0, 0, NO_LINK, EventKind::AmoReqTx, 3, [0, 8]),
+            ev(1, 1, NO_LINK, EventKind::AmoApply, 3, [0, 41]),
+            ev(2, 1, NO_LINK, EventKind::AmoReplay, 3, [0, 0]),
+            ev(3, 0, NO_LINK, EventKind::AmoDone, 3, [0, 0]),
+        ];
+        assert!(check(&clean, 2).is_clean());
+        let broken = vec![
+            ev(0, 0, NO_LINK, EventKind::AmoReqTx, 3, [0, 8]),
+            ev(1, 1, NO_LINK, EventKind::AmoApply, 3, [0, 41]),
+            ev(2, 1, NO_LINK, EventKind::AmoApply, 3, [0, 42]),
+            ev(3, 0, NO_LINK, EventKind::AmoDone, 3, [0, 0]),
+        ];
+        let r = check(&broken, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "amo-exactly-once");
+    }
+
+    #[test]
+    fn get_gap_overlap_and_spill_are_flagged() {
+        let base = |chunks: &[(u64, u64)]| {
+            let mut t = vec![ev(0, 0, NO_LINK, EventKind::GetReqTx, 5, [0, 100])];
+            for (i, &(off, len)) in chunks.iter().enumerate() {
+                t.push(ev(1 + i as u64, 0, NO_LINK, EventKind::GetChunkRx, 5, [off, len]));
+            }
+            t.push(ev(90, 0, NO_LINK, EventKind::GetDone, 5, [0, 100]));
+            t
+        };
+        assert!(check(&base(&[(0, 60), (60, 40)]), 2).is_clean());
+        let gap = check(&base(&[(0, 60), (70, 30)]), 2);
+        assert!(gap.violations[0].message.contains("gap"), "{}", gap.violations[0].message);
+        let overlap = check(&base(&[(0, 60), (50, 50)]), 2);
+        assert!(overlap.violations[0].message.contains("overlap"));
+        let short = check(&base(&[(0, 60)]), 2);
+        assert!(short.violations[0].message.contains("cover 60 of 100"));
+    }
+
+    #[test]
+    fn barrier_escape_and_missing_pe_are_flagged() {
+        let clean = vec![
+            ev(0, 0, NO_LINK, EventKind::BarrierStart, 1, [0, 0]),
+            ev(1, 1, NO_LINK, EventKind::BarrierStart, 1, [0, 0]),
+            ev(2, 0, NO_LINK, EventKind::BarrierEnd, 1, [0, 0]),
+            ev(3, 1, NO_LINK, EventKind::BarrierEnd, 1, [0, 0]),
+        ];
+        assert!(check(&clean, 2).is_clean());
+        let escape = vec![
+            ev(0, 0, NO_LINK, EventKind::BarrierStart, 1, [0, 0]),
+            ev(1, 0, NO_LINK, EventKind::BarrierEnd, 1, [0, 0]),
+            ev(2, 1, NO_LINK, EventKind::BarrierStart, 1, [0, 0]),
+            ev(3, 1, NO_LINK, EventKind::BarrierEnd, 1, [0, 0]),
+        ];
+        let r = check(&escape, 2);
+        assert!(!r.is_clean());
+        assert!(r.violations[0].message.contains("before every PE"));
+        let missing = vec![
+            ev(0, 0, NO_LINK, EventKind::BarrierStart, 1, [0, 0]),
+            ev(1, 0, NO_LINK, EventKind::BarrierEnd, 1, [0, 0]),
+        ];
+        let r = check(&missing, 2);
+        assert!(r.violations[0].message.contains("never entered"));
+    }
+
+    #[test]
+    fn per_pe_epochs_must_increase() {
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::BarrierStart, 2, [0, 0]),
+            ev(1, 0, NO_LINK, EventKind::BarrierStart, 1, [0, 0]),
+        ];
+        let r = check(&t, 1);
+        assert!(!r.is_clean());
+        assert!(r.violations[0].message.contains("after epoch"));
+    }
+
+    #[test]
+    fn put_tx_on_down_link_is_flagged_and_recovery_clears_it() {
+        let broken = vec![
+            ev(0, 0, 1, EventKind::LinkDown, 0, [0, 0]),
+            ev(1, 0, 1, EventKind::PutChunkTx, 4, [1, 64]),
+            ev(2, 0, NO_LINK, EventKind::PutIssue, 4, [1, 64]),
+            ev(3, 0, NO_LINK, EventKind::PutAcked, 4, [1, 0]),
+        ];
+        let r = check(&broken, 2);
+        assert!(r.violations.iter().any(|v| v.invariant == "down-link-discipline"));
+        let recovered = vec![
+            ev(0, 0, NO_LINK, EventKind::PutIssue, 4, [1, 64]),
+            ev(1, 0, 1, EventKind::LinkDown, 0, [0, 0]),
+            ev(2, 0, 1, EventKind::LinkUp, 0, [0, 0]),
+            ev(3, 0, 1, EventKind::PutChunkTx, 4, [1, 64]),
+            ev(4, 0, NO_LINK, EventKind::PutAcked, 4, [1, 0]),
+        ];
+        assert!(check(&recovered, 2).is_clean());
+    }
+
+    #[test]
+    fn down_state_is_per_pe_and_per_link() {
+        // PE 0 holds link 1 down; PE 1 transmitting on link 1 is fine,
+        // and PE 0 transmitting on link 0 is fine.
+        let t = vec![
+            ev(0, 0, 1, EventKind::LinkDown, 0, [0, 0]),
+            ev(1, 1, 1, EventKind::PutChunkTx, 9, [0, 64]),
+            ev(2, 0, 0, EventKind::PutChunkTx, 8, [1, 64]),
+            ev(3, 0, NO_LINK, EventKind::PutIssue, 8, [1, 64]),
+            ev(4, 1, NO_LINK, EventKind::PutIssue, 9, [0, 64]),
+            ev(5, 0, NO_LINK, EventKind::PutAcked, 8, [0, 0]),
+            ev(6, 1, NO_LINK, EventKind::PutAcked, 9, [0, 0]),
+        ];
+        assert!(check(&t, 2).is_clean());
+    }
+
+    #[test]
+    fn truncated_log_is_refused() {
+        let log = EventLog::new(1, 16);
+        log.enable();
+        for i in 0..40u64 {
+            log.emit(0, NO_LINK, EventKind::SpadWrite, i, [0, 0]);
+        }
+        let r = check_log(&log, 1);
+        assert!(r.violations.iter().any(|v| v.invariant == "trace-complete"));
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let r = check(&[], 4);
+        assert!(r.is_clean());
+        assert_eq!(r.events, 0);
+    }
+
+    #[test]
+    fn violation_window_carries_context() {
+        let mut t: Vec<TraceEvent> =
+            (0..40).map(|i| ev(i, 0, NO_LINK, EventKind::SpadWrite, 1000 + i, [0, 0])).collect();
+        t.push(ev(40, 0, NO_LINK, EventKind::PutIssue, 7, [1, 64]));
+        let r = check(&t, 1);
+        assert_eq!(r.violations.len(), 1);
+        let w = &r.violations[0].window;
+        assert!(w.iter().any(|e| e.kind == EventKind::PutIssue));
+        assert!(w.len() > 1, "window should carry surrounding context");
+        let rendered = r.violations[0].render();
+        assert!(rendered.contains("put_issue"), "{rendered}");
+    }
+}

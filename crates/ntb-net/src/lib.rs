@@ -23,6 +23,7 @@
 //! between flat symmetric-address offsets. `shmem-core` layers the PGAS
 //! model on top.
 
+pub mod checker;
 pub mod config;
 pub mod crc;
 pub mod delivery;
@@ -38,6 +39,7 @@ pub mod service;
 pub mod topology;
 pub mod trace;
 
+pub use checker::{check, check_log, CheckReport, Violation};
 pub use config::{NetConfig, RetryPolicy};
 pub use crc::crc32;
 pub use delivery::{AmoOp, DeliveryTarget};

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ntb_sim::{LinkDirection, NtbError, NtbPort, Result};
+use ntb_sim::{EventKind, LinkDirection, NtbError, NtbPort, Result};
 use parking_lot::Mutex;
 
 use crate::frame::Frame;
@@ -154,6 +154,14 @@ impl TxMailbox {
         self.port.spad_write(self.base, words[0])?;
         self.last_doorbell.store(frame.kind.doorbell(), Ordering::Relaxed);
         self.port.ring_peer(frame.kind.doorbell())?;
+        // Informational only: emitted before the caller's health-tracker
+        // bookkeeping, so the checker's down-link invariant is keyed on
+        // `PutChunkTx` (emitted after), not on this event.
+        self.port.obs().emit(
+            EventKind::FrameTx,
+            u64::from(frame.aux),
+            [frame.kind as u64, frame.dest as u64],
+        );
         Ok(())
     }
 

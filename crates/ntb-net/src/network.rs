@@ -10,8 +10,9 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use ntb_sim::{
-    connect_ports_with_faults, FaultInjector, FaultStatsSnapshot, HostMemory, NtbPort, PortConfig,
-    Result, TimeModel,
+    connect_ports_observed, EventLog, FaultInjector, FaultStatsSnapshot, HostMemory,
+    MetricsRegistry, NtbPort, Obs, PortConfig, Result, TimeModel, TraceEvent,
+    DEFAULT_TRACE_CAPACITY,
 };
 
 use crate::config::NetConfig;
@@ -55,6 +56,9 @@ pub struct RingNetwork {
     /// One fault injector per physical link, in cabling order (ring: link
     /// *i* connects host *i* to host *i+1*; mesh: pairs in `(i, j)` order).
     injectors: Vec<Arc<FaultInjector>>,
+    /// The unified structured event log every layer emits into
+    /// (disabled by default; see [`Self::obs_enable`]).
+    event_log: Arc<EventLog>,
 }
 
 impl RingNetwork {
@@ -67,13 +71,17 @@ impl RingNetwork {
         let kind = config.topology;
         let model = Arc::new(config.model.clone());
         let tracer = Arc::new(Tracer::default());
+        let event_log = EventLog::new(n, DEFAULT_TRACE_CAPACITY);
         let mems: Vec<Arc<HostMemory>> =
             (0..n).map(|i| HostMemory::new(i, config.host_mem_capacity)).collect();
 
-        // Per-host adapter lists: (neighbor, port). Each physical link
-        // gets its own fault injector derived from the network-wide plan
-        // and the link's cabling-order index (an empty plan is inert).
-        let mut ports: Vec<Vec<(usize, Arc<NtbPort>)>> = (0..n).map(|_| Vec::new()).collect();
+        // Per-host adapter lists: (neighbor, physical link index, port).
+        // Each physical link gets its own fault injector derived from the
+        // network-wide plan and the link's cabling-order index (an empty
+        // plan is inert); the link index also keys the event trace and
+        // per-link metrics.
+        let mut ports: Vec<Vec<(usize, usize, Arc<NtbPort>)>> =
+            (0..n).map(|_| Vec::new()).collect();
         let mut injectors: Vec<Arc<FaultInjector>> = Vec::new();
         let next_injector = |injectors: &mut Vec<Arc<FaultInjector>>| {
             let inj = FaultInjector::new(config.faults.clone(), injectors.len());
@@ -86,19 +94,22 @@ impl RingNetwork {
                 if n >= 2 {
                     for i in 0..n {
                         let j = (i + 1) % n;
+                        let link_idx = injectors.len();
                         let cfg_right = PortConfig::new(i, 1).with_window_size(config.window_size);
                         let cfg_left = PortConfig::new(j, 0).with_window_size(config.window_size);
-                        let (pr, pl) = connect_ports_with_faults(
+                        let (pr, pl) = connect_ports_observed(
                             cfg_right,
                             cfg_left,
                             &mems[i],
                             &mems[j],
                             Arc::clone(&model),
                             next_injector(&mut injectors),
+                            Obs::new(Arc::clone(&event_log), i, link_idx),
+                            Obs::new(Arc::clone(&event_log), j, link_idx),
                         )?;
                         bring_up_link(&pr, i, &pl, j, &config)?;
-                        ports[i].push((j, pr));
-                        ports[j].push((i, pl));
+                        ports[i].push((j, link_idx, pr));
+                        ports[j].push((i, link_idx, pl));
                     }
                 }
             }
@@ -109,24 +120,28 @@ impl RingNetwork {
                     for j in (i + 1)..n {
                         let slot_i = j - 1; // skip self
                         let slot_j = i;
+                        let link_idx = injectors.len();
                         let cfg_i = PortConfig::new(i, slot_i).with_window_size(config.window_size);
                         let cfg_j = PortConfig::new(j, slot_j).with_window_size(config.window_size);
-                        let (pi, pj) = connect_ports_with_faults(
+                        let (pi, pj) = connect_ports_observed(
                             cfg_i,
                             cfg_j,
                             &mems[i],
                             &mems[j],
                             Arc::clone(&model),
                             next_injector(&mut injectors),
+                            Obs::new(Arc::clone(&event_log), i, link_idx),
+                            Obs::new(Arc::clone(&event_log), j, link_idx),
                         )?;
                         bring_up_link(&pi, i, &pj, j, &config)?;
-                        ports[i].push((j, pi));
-                        ports[j].push((i, pj));
+                        ports[i].push((j, link_idx, pi));
+                        ports[j].push((i, link_idx, pj));
                     }
                 }
             }
         }
 
+        let num_links = injectors.len();
         let nodes: Vec<Arc<NtbNode>> = ports
             .into_iter()
             .enumerate()
@@ -139,6 +154,8 @@ impl RingNetwork {
                     Arc::clone(&mems[i]),
                     Arc::new(AtomicBool::new(false)),
                     Arc::clone(&tracer),
+                    Arc::clone(&event_log),
+                    MetricsRegistry::new(num_links),
                     host_ports,
                 )
             })
@@ -146,7 +163,7 @@ impl RingNetwork {
         for node in &nodes {
             node.start();
         }
-        Ok(RingNetwork { nodes, config, injectors })
+        Ok(RingNetwork { nodes, config, injectors, event_log })
     }
 
     /// The configuration the network was built with.
@@ -169,6 +186,7 @@ impl RingNetwork {
             total.dma_failures += s.dma_failures;
             total.dma_stalls += s.dma_stalls;
             total.link_down_windows += s.link_down_windows;
+            total.acks_suppressed += s.acks_suppressed;
         }
         total
     }
@@ -219,6 +237,38 @@ impl RingNetwork {
     /// (`chrome://tracing` / Perfetto).
     pub fn take_trace_json(&self) -> String {
         to_chrome_json(&self.take_trace())
+    }
+
+    /// The unified structured event log shared by every layer of this
+    /// network (ntb-sim hardware events, ntb-net protocol events and the
+    /// OpenSHMEM API events all land here).
+    pub fn event_log(&self) -> &Arc<EventLog> {
+        &self.event_log
+    }
+
+    /// Start recording structured trace events (the invariant checker's
+    /// input). Off by default; emission sites cost one relaxed load
+    /// while off.
+    pub fn obs_enable(&self) {
+        self.event_log.enable();
+    }
+
+    /// Stop recording structured trace events.
+    pub fn obs_disable(&self) {
+        self.event_log.disable();
+    }
+
+    /// Drain the merged structured event trace, sorted by the global
+    /// sequence number (total emission order).
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        self.event_log.take()
+    }
+
+    /// Every PE's metrics registry rendered as one JSON array (index =
+    /// PE id).
+    pub fn metrics_json(&self) -> String {
+        let per_pe: Vec<String> = self.nodes.iter().map(|n| n.metrics().to_json()).collect();
+        format!("[{}]", per_pe.join(","))
     }
 
     /// Stop every node's background threads. The network must be

@@ -16,8 +16,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ntb_sim::{
-    DmaRequest, HostMemory, LinkHealth, LinkHealthTracker, NtbError, NtbPort, PortStatsSnapshot,
-    Region, Result, TimeModel, TransferMode,
+    DmaRequest, EventKind, EventLog, HostMemory, LinkHealth, LinkHealthTracker, MetricsRegistry,
+    NtbError, NtbPort, Obs, PortStatsSnapshot, Region, Result, TimeModel, TransferMode,
 };
 use parking_lot::{Mutex, RwLock};
 
@@ -145,6 +145,11 @@ impl AmoCache {
 pub struct LinkEndpoint {
     /// The neighbour host on the other side.
     pub(crate) neighbor: usize,
+    /// Physical link index in network cabling order (shared by both
+    /// sides of the cable; indexes the per-link metrics).
+    pub(crate) link_idx: usize,
+    /// Event emission handle bound to `(this host, this link)`.
+    pub(crate) obs: Obs,
     /// Next expected inbound frame sequence number (service thread only;
     /// detects protocol bugs that would lose or duplicate frames).
     pub(crate) rx_seq: std::sync::atomic::AtomicU32,
@@ -176,6 +181,11 @@ impl LinkEndpoint {
     pub fn health(&self) -> LinkHealth {
         self.health.health()
     }
+
+    /// Physical link index in network cabling order.
+    pub fn link_idx(&self) -> usize {
+        self.link_idx
+    }
 }
 
 /// A host in the switchless NTB interconnect (ring or mesh).
@@ -199,6 +209,11 @@ pub struct NtbNode {
     pub(crate) errors: Mutex<Vec<NtbError>>,
     pub(crate) mem: Arc<HostMemory>,
     pub(crate) tracer: Arc<Tracer>,
+    /// Node-scoped event handle (`link = NO_LINK`).
+    pub(crate) obs: Obs,
+    /// Per-PE metrics: op latency histograms plus counters indexed by
+    /// physical link. Always on.
+    pub(crate) metrics: Arc<MetricsRegistry>,
 }
 
 fn offset32(offset: u64) -> Result<u32> {
@@ -225,18 +240,23 @@ impl NtbNode {
         mem: Arc<HostMemory>,
         shutdown: Arc<AtomicBool>,
         tracer: Arc<Tracer>,
-        ports: Vec<(usize, Arc<NtbPort>)>,
+        event_log: Arc<EventLog>,
+        metrics: Arc<MetricsRegistry>,
+        ports: Vec<(usize, usize, Arc<NtbPort>)>,
     ) -> Arc<NtbNode> {
         let topo = RingTopology::new(me, config.hosts);
         let layout = WindowLayout::new(config.direct_buf, config.bypass_buf);
+        let obs = Obs::new(Arc::clone(&event_log), me, 0).unlinked();
         let endpoints = ports
             .into_iter()
-            .map(|(neighbor, port)| {
+            .map(|(neighbor, link_idx, port)| {
                 let mut tx = TxMailbox::new(Arc::clone(&port));
                 tx.set_abort(Arc::clone(&shutdown));
                 tx.set_retry(config.retry.mailbox_timeout, config.retry.max_retries);
                 LinkEndpoint {
                     neighbor,
+                    link_idx,
+                    obs: Obs::new(Arc::clone(&event_log), me, link_idx),
                     rx_seq: std::sync::atomic::AtomicU32::new(0),
                     rx: RxMailbox::new(Arc::clone(&port)),
                     tx,
@@ -263,6 +283,8 @@ impl NtbNode {
             errors: Mutex::new(Vec::new()),
             mem,
             tracer,
+            obs,
+            metrics,
             config,
         })
     }
@@ -341,6 +363,12 @@ impl NtbNode {
                         .find(|e| !std::ptr::eq(*e, preferred) && !e.health.is_down())
                     {
                         NodeStats::bump(&self.stats.reroutes);
+                        self.metrics.bump_link(preferred.link_idx, |l| &l.reroutes);
+                        preferred.obs.emit(
+                            EventKind::Reroute,
+                            0,
+                            [other.link_idx as u64, dest as u64],
+                        );
                         return other;
                     }
                 }
@@ -408,6 +436,19 @@ impl NtbNode {
         &self.stats
     }
 
+    /// This PE's metrics registry: latency histograms per op class plus
+    /// counters per physical link. Always on (a handful of relaxed
+    /// atomics per op).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Node-scoped structured-event handle (`link = NO_LINK`); the
+    /// OpenSHMEM layer emits its API-level events through this.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Stats snapshot of the port facing `dir`.
     pub fn port_stats(&self, dir: RouteDirection) -> PortStatsSnapshot {
         self.endpoint(dir).port.stats().snapshot()
@@ -467,12 +508,17 @@ impl NtbNode {
     pub(crate) fn note_send_result(&self, ep: &LinkEndpoint, result: &Result<()>) {
         match result {
             Ok(()) => {
+                let was_down = ep.health.is_down();
                 ep.health.record_success();
+                if was_down {
+                    ep.obs.emit(EventKind::LinkUp, 0, [0, 0]);
+                }
             }
             Err(e) if e.is_transient() || matches!(e, NtbError::LinkFailed { .. }) => {
                 let was_down = ep.health.is_down();
                 if ep.health.record_failure() == LinkHealth::Down && !was_down {
                     NodeStats::bump(&self.stats.link_down_events);
+                    ep.obs.emit(EventKind::LinkDown, 0, [0, 0]);
                 }
             }
             Err(_) => {}
@@ -488,6 +534,7 @@ impl NtbNode {
         heap_offset: u32,
         chunk: &[u8],
         mode: TransferMode,
+        retransmit: bool,
     ) -> Result<()> {
         let ep = self.endpoint_for(dest);
         let terminating = ep.neighbor == dest;
@@ -496,6 +543,22 @@ impl NtbNode {
         self.trace(TraceKind::FrameSent, self.topo.me, dest, chunk.len() as u32);
         let result = ep.tx.send(frame, |port| self.push_payload(port, area, chunk, mode));
         self.note_send_result(ep, &result);
+        // `PutChunkTx` is emitted only on success and only *after* the
+        // health tracker saw the result: a send that succeeds on a
+        // formerly-Down endpoint first snaps it Up (emitting `LinkUp`
+        // above), so the checker's down-link invariant needs no special
+        // cases.
+        if result.is_ok() {
+            ep.obs.emit(
+                EventKind::PutChunkTx,
+                u64::from(put_id),
+                [dest as u64, chunk.len() as u64],
+            );
+            self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+            if retransmit {
+                self.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
+            }
+        }
         result
     }
 
@@ -509,14 +572,22 @@ impl NtbNode {
         let offset = offset32(heap_offset)?;
         let deadline = Instant::now() + self.config.retry.ack_timeout;
         let put_id = self.unacked.register(dest, offset, chunk.to_vec(), mode, deadline);
-        match self.transmit_put(put_id, dest, offset, chunk, mode) {
+        self.obs.emit(EventKind::PutIssue, u64::from(put_id), [dest as u64, chunk.len() as u64]);
+        match self.transmit_put(put_id, dest, offset, chunk, mode, false) {
             Ok(()) => Ok(()),
             // A transiently failed first transmission stays registered:
             // the retry sweeper owns it from here (retransmission,
             // rerouting, and eventually abandonment into `quiet`).
             Err(e) if e.is_transient() || matches!(e, NtbError::LinkFailed { .. }) => Ok(()),
             Err(e) => {
-                self.unacked.ack(put_id);
+                // Retire the entry without a failure record: the error is
+                // reported synchronously to the caller, and a record would
+                // make the next quiet() re-report it. If the sweeper (or a
+                // racing ack) already retired the id, that path owns the
+                // put's one resolution event — don't emit a second.
+                if self.unacked.ack(put_id) {
+                    self.obs.emit(EventKind::PutAbandon, u64::from(put_id), [1, dest as u64]);
+                }
                 Err(e)
             }
         }
@@ -557,27 +628,45 @@ impl NtbNode {
         assert_ne!(src, self.topo.me, "local gets are handled by the SHMEM layer");
         assert!(src < self.topo.n, "source host out of range");
         let req_id = self.pending.register(len);
+        self.obs.emit(EventKind::GetReqTx, u64::from(req_id), [heap_offset, len]);
         let frame =
             Frame::get_req(self.topo.me, src, len31(len)?, offset32(heap_offset)?, req_id, mode);
         self.trace(TraceKind::FrameSent, self.topo.me, src, 0);
-        let send_req = || {
+        let send_req = |retransmit: bool| {
             let ep = self.endpoint_for(src);
             let result = ep.tx.send_control(frame);
             self.note_send_result(ep, &result);
+            if result.is_ok() {
+                self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+                if retransmit {
+                    self.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
+                }
+            }
             result
         };
-        if let Err(e) = send_req() {
+        if let Err(e) = send_req(false) {
             // A transient failure leaves the entry pending; the bounded
             // wait below re-issues the request (possibly rerouted).
             if !(e.is_transient() || matches!(e, NtbError::LinkFailed { .. })) {
                 self.pending.abandon(req_id);
+                self.obs.emit(EventKind::GetAbandon, u64::from(req_id), [0, 0]);
                 return Err(e);
             }
         }
-        let buf = self.pending.wait_with_retry(req_id, &self.model, &self.config.retry, |_| {
-            NodeStats::bump(&self.stats.retransmits);
-            send_req()
-        })?;
+        let waited =
+            self.pending.wait_with_retry(req_id, &self.model, &self.config.retry, |attempt| {
+                NodeStats::bump(&self.stats.retransmits);
+                self.obs.emit(EventKind::Retransmit, u64::from(req_id), [u64::from(attempt), 0]);
+                send_req(true)
+            });
+        let buf = match waited {
+            Ok(buf) => buf,
+            Err(e) => {
+                self.obs.emit(EventKind::GetAbandon, u64::from(req_id), [0, 0]);
+                return Err(e);
+            }
+        };
+        self.obs.emit(EventKind::GetDone, u64::from(req_id), [heap_offset, len]);
         self.model.delay(self.model.requester_wake_delay);
         Ok(buf)
     }
@@ -597,12 +686,13 @@ impl NtbNode {
         assert_ne!(target, self.topo.me, "local atomics are handled by the SHMEM layer");
         assert!(matches!(width, 1 | 2 | 4 | 8), "AMO width must be 1/2/4/8");
         let req_id = self.pending.register(8);
+        self.obs.emit(EventKind::AmoReqTx, u64::from(req_id), [op as u64, heap_offset]);
         let mut payload = [0u8; 24];
         payload[0..8].copy_from_slice(&operand.to_le_bytes());
         payload[8..16].copy_from_slice(&compare.to_le_bytes());
         payload[16] = width as u8;
         let frame = Frame::amo_req(self.topo.me, target, op, offset32(heap_offset)?, req_id);
-        let send_req = || {
+        let send_req = |retransmit: bool| {
             let ep = self.endpoint_for(target);
             let terminating = ep.neighbor == target;
             let area = self.layout.area_offset(terminating);
@@ -610,20 +700,37 @@ impl NtbNode {
                 .tx
                 .send(frame, |port| self.push_payload(port, area, &payload, TransferMode::Dma));
             self.note_send_result(ep, &result);
+            if result.is_ok() {
+                self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+                if retransmit {
+                    self.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
+                }
+            }
             result
         };
-        if let Err(e) = send_req() {
+        if let Err(e) = send_req(false) {
             if !(e.is_transient() || matches!(e, NtbError::LinkFailed { .. })) {
                 self.pending.abandon(req_id);
+                self.obs.emit(EventKind::AmoAbandon, u64::from(req_id), [0, 0]);
                 return Err(e);
             }
         }
         // Retransmission is idempotent: the target caches the old value
         // per (origin, request id) and re-serves it without re-executing.
-        let buf = self.pending.wait_with_retry(req_id, &self.model, &self.config.retry, |_| {
-            NodeStats::bump(&self.stats.retransmits);
-            send_req()
-        })?;
+        let waited =
+            self.pending.wait_with_retry(req_id, &self.model, &self.config.retry, |attempt| {
+                NodeStats::bump(&self.stats.retransmits);
+                self.obs.emit(EventKind::Retransmit, u64::from(req_id), [u64::from(attempt), 0]);
+                send_req(true)
+            });
+        let buf = match waited {
+            Ok(buf) => buf,
+            Err(e) => {
+                self.obs.emit(EventKind::AmoAbandon, u64::from(req_id), [0, 0]);
+                return Err(e);
+            }
+        };
+        self.obs.emit(EventKind::AmoDone, u64::from(req_id), [op as u64, 0]);
         Ok(u64::from_le_bytes(buf[0..8].try_into().expect("8-byte response")))
     }
 
@@ -807,6 +914,7 @@ impl NtbNode {
                 continue;
             }
             NodeStats::bump(&self.stats.probes_sent);
+            ep.obs.emit(EventKind::ProbeTx, 0, [0, 0]);
             if ep
                 .port
                 .outgoing()
@@ -814,6 +922,7 @@ impl NtbNode {
                 .is_ok()
             {
                 ep.health.record_success();
+                ep.obs.emit(EventKind::LinkUp, 0, [0, 0]);
             }
         }
     }

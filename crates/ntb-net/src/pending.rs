@@ -85,8 +85,28 @@ impl PendingOps {
     /// Late (stale) and duplicated chunks are tolerated and reported in
     /// the outcome — both are expected under retransmission.
     pub fn fill(&self, req_id: u32, offset: u64, data: &[u8]) -> Result<FillOutcome> {
+        self.fill_with(req_id, offset, data, |_| {})
+    }
+
+    /// [`Self::fill`] with an observer invoked *before* the completion
+    /// becomes visible to the waiting requester (the entry lock is still
+    /// held). Trace emission must go through this hook: emitting after
+    /// `fill` returns races the woken requester, which can log its
+    /// completion event — or even have the whole trace drained — before
+    /// the service thread logs the chunk arrival that caused it.
+    pub fn fill_with<F>(
+        &self,
+        req_id: u32,
+        offset: u64,
+        data: &[u8],
+        observe: F,
+    ) -> Result<FillOutcome>
+    where
+        F: FnOnce(FillOutcome),
+    {
         let mut map = self.inner.lock();
         let Some(entry) = map.get_mut(&req_id) else {
+            observe(FillOutcome::Stale);
             return Ok(FillOutcome::Stale);
         };
         let end = offset as usize + data.len();
@@ -96,10 +116,12 @@ impl PendingOps {
             });
         }
         if !entry.filled.insert(offset) {
+            observe(FillOutcome::Duplicate);
             return Ok(FillOutcome::Duplicate);
         }
         entry.buf[offset as usize..end].copy_from_slice(data);
         entry.received += data.len() as u64;
+        observe(FillOutcome::Filled);
         if entry.received >= entry.buf.len() as u64 {
             entry.done = true;
             self.cond.notify_all();
@@ -331,15 +353,24 @@ impl UnackedPuts {
     }
 
     /// Abandon a chunk whose retry budget is spent. The failure is
-    /// remembered and reported by the next [`Self::quiet`].
-    pub fn fail(&self, id: u32) {
+    /// remembered and reported by the next [`Self::quiet`]. Returns
+    /// `false` — recording nothing — when the chunk is no longer in the
+    /// table: an ack can race the sweeper between its overdue snapshot
+    /// and this call, and an acked put must not be reported as failed
+    /// (nor abandoned twice in the trace).
+    pub fn fail(&self, id: u32) -> bool {
         let mut st = self.state.lock();
-        if let Some(put) = st.map.remove(&id) {
-            st.failed.push(put.attempts);
-        }
+        let known = match st.map.remove(&id) {
+            Some(put) => {
+                st.failed.push(put.attempts);
+                true
+            }
+            None => false,
+        };
         if st.map.is_empty() {
             self.cond.notify_all();
         }
+        known
     }
 
     /// Current unacknowledged chunk count.
@@ -574,10 +605,23 @@ mod tests {
         let u = UnackedPuts::new();
         let id = put_entry(&u, Instant::now());
         u.note_attempt(id, Instant::now());
-        u.fail(id);
+        assert!(u.fail(id));
         assert!(u.has_failures());
         assert_eq!(u.quiet().unwrap_err(), NtbError::LinkFailed { attempts: 2 });
         // Failure record is consumed; the next quiet is clean.
         u.quiet().unwrap();
+    }
+
+    #[test]
+    fn fail_after_ack_records_nothing() {
+        // The sweeper's overdue snapshot can race a landing ack: once the
+        // put is acked, the late fail() must be a no-op — no failure
+        // record, no LinkFailed from a quiet of puts that all completed.
+        let u = UnackedPuts::new();
+        let id = put_entry(&u, Instant::now());
+        assert!(u.ack(id));
+        assert!(!u.fail(id), "acked put must not be failable");
+        assert!(!u.has_failures());
+        u.quiet().expect("all puts acked; no stale failure record");
     }
 }

@@ -29,7 +29,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ntb_sim::{DoorbellWaiter, Result};
+use ntb_sim::{DoorbellWaiter, EventKind, Result};
 
 use crate::crc::crc32;
 use crate::doorbells::{DB_DMAGET, DB_DMAPUT, DB_SHUTDOWN, SERVICE_INTEREST};
@@ -87,7 +87,7 @@ pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
                 // Acknowledge the interrupt before processing so a ring
                 // for the *next* frame (sent after our mailbox ack) is
                 // not lost.
-                ep.port().doorbell().clear(bits & ((1 << DB_DMAPUT) | (1 << DB_DMAGET)));
+                ep.port().clear_doorbell(bits & ((1 << DB_DMAPUT) | (1 << DB_DMAGET)));
                 // ISR + wakeup + the prototype's sleep-and-wait loop.
                 node.model().delay(node.model().interrupt_service_delay);
                 drain_mailbox(node, idx);
@@ -100,6 +100,15 @@ pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
 fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
     node.count_frame();
     node.trace(TraceKind::FrameHandled, frame.src, frame.dest, frame.len);
+    {
+        let ep = &node.endpoints[idx];
+        ep.obs.emit(
+            EventKind::FrameRx,
+            u64::from(frame.aux),
+            [frame.kind as u64, frame.src as u64],
+        );
+        node.metrics.bump_link(ep.link_idx, |l| &l.frames_rx);
+    }
     // Per-link-direction frames carry a 16-bit sequence number; a gap or
     // repeat means the one-slot mailbox protocol was violated. (Sequence
     // numbers are assigned per transmission, so retransmitted frames do
@@ -135,6 +144,12 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
             let expected_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
             if crc32(&data) != expected_crc {
                 node.count_checksum_reject();
+                node.metrics.bump_link(ep.link_idx, |l| &l.crc_rejects);
+                ep.obs.emit(
+                    EventKind::CrcReject,
+                    u64::from(frame.aux),
+                    [frame.src as u64, frame.dest as u64],
+                );
                 node.trace(TraceKind::FrameHandled, frame.src, frame.dest, 0);
                 ep.rx.ack()?;
                 return Ok(());
@@ -155,6 +170,11 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
         let think =
             if payload.is_some() { node.model().bypass_forward_delay } else { Duration::ZERO };
         node.trace(TraceKind::Forwarded, frame.src, frame.dest, frame.len);
+        ep.obs.emit(
+            EventKind::FrameFwd,
+            u64::from(frame.aux),
+            [frame.src as u64, frame.dest as u64],
+        );
         node.forward_endpoint(frame.dest, idx).fwd.push(ForwardJob {
             frame,
             payload,
@@ -177,27 +197,50 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
                 let data = payload.unwrap_or_default();
                 node.deliver()?.deliver_put(u64::from(frame.offset), &data)?;
                 node.count_put_delivered();
+                node.obs.emit(
+                    EventKind::PutDeliver,
+                    u64::from(frame.aux),
+                    [frame.src as u64, u64::from(frame.offset)],
+                );
                 node.trace(TraceKind::PutDelivered, frame.src, frame.dest, frame.len);
             } else {
                 node.count_duplicate();
+                node.obs.emit(
+                    EventKind::DupSuppressed,
+                    u64::from(frame.aux),
+                    [frame.src as u64, 0],
+                );
             }
-            // Route the delivery acknowledgement back to the origin.
-            let ack = Frame::put_ack(me, frame.src, 1, frame.aux);
-            node.endpoint_for(frame.src).fwd.push(ForwardJob {
-                frame: ack,
-                payload: None,
-                think: Duration::ZERO,
-                attempts: 0,
-            });
+            // Route the delivery acknowledgement back to the origin —
+            // unless the fault plan deliberately breaks the ack protocol
+            // (the knob exists so the invariant checker can be shown a
+            // genuinely ack-less put in negative tests).
+            let out = node.endpoint_for(frame.src);
+            if !out.port().outgoing().faults().should_drop_ack(out.port().outgoing().direction()) {
+                let ack = Frame::put_ack(me, frame.src, 1, frame.aux);
+                out.fwd.push(ForwardJob {
+                    frame: ack,
+                    payload: None,
+                    think: Duration::ZERO,
+                    attempts: 0,
+                });
+            }
         }
         FrameKind::PutAck => {
+            node.obs.emit(EventKind::AckRx, u64::from(frame.aux), [frame.src as u64, 0]);
             if node.unacked.ack(frame.aux) {
                 node.count_ack();
+                node.obs.emit(EventKind::PutAcked, u64::from(frame.aux), [frame.src as u64, 0]);
                 node.trace(TraceKind::AckReceived, frame.src, frame.dest, 0);
             } else {
                 // The put was already retired by an earlier copy of this
                 // ack (retransmission raced the acknowledgement).
                 node.count_duplicate();
+                node.obs.emit(
+                    EventKind::DupSuppressed,
+                    u64::from(frame.aux),
+                    [frame.src as u64, 1],
+                );
             }
         }
         FrameKind::GetReq => {
@@ -230,9 +273,29 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
         }
         FrameKind::GetResp => {
             let data = payload.unwrap_or_default();
-            match node.pending.fill(frame.aux, u64::from(frame.offset), &data)? {
-                FillOutcome::Filled => {}
-                FillOutcome::Duplicate | FillOutcome::Stale => node.count_duplicate(),
+            // Emission goes through the fill observer so the chunk event
+            // is logged before the woken requester can log completion.
+            let outcome =
+                node.pending.fill_with(frame.aux, u64::from(frame.offset), &data, |outcome| {
+                    match outcome {
+                        FillOutcome::Filled => {
+                            node.obs.emit(
+                                EventKind::GetChunkRx,
+                                u64::from(frame.aux),
+                                [u64::from(frame.offset), data.len() as u64],
+                            );
+                        }
+                        FillOutcome::Duplicate | FillOutcome::Stale => {
+                            node.obs.emit(
+                                EventKind::DupSuppressed,
+                                u64::from(frame.aux),
+                                [u64::from(frame.offset), 2],
+                            );
+                        }
+                    }
+                })?;
+            if !matches!(outcome, FillOutcome::Filled) {
+                node.count_duplicate();
             }
         }
         FrameKind::AmoReq => {
@@ -241,6 +304,7 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
             // re-served.
             if let Some(old) = node.amo_cache.lock().lookup(frame.src, frame.aux) {
                 node.count_duplicate();
+                node.obs.emit(EventKind::AmoReplay, u64::from(frame.aux), [frame.src as u64, 0]);
                 let resp = Frame::amo_resp(me, frame.src, frame.aux);
                 node.endpoint_for(frame.src).fwd.push(ForwardJob {
                     frame: resp,
@@ -269,6 +333,7 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
             )?;
             node.amo_cache.lock().insert(frame.src, frame.aux, old);
             node.count_amo();
+            node.obs.emit(EventKind::AmoApply, u64::from(frame.aux), [frame.src as u64, old]);
             node.trace(TraceKind::AmoServed, frame.src, frame.dest, frame.len);
             let resp = Frame::amo_resp(me, frame.src, frame.aux);
             node.endpoint_for(frame.src).fwd.push(ForwardJob {
@@ -310,6 +375,9 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
             None => ep.tx.send_control(job.frame),
         };
         node.note_send_result(ep, &result);
+        if result.is_ok() {
+            node.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+        }
         if let Err(e) = result {
             if node.is_shutdown() {
                 return;
@@ -319,6 +387,12 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
                 job.attempts += 1;
                 job.think = policy.backoff(job.attempts - 1).max(Duration::from_millis(1));
                 node.count_retransmit();
+                node.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
+                ep.obs.emit(
+                    EventKind::Retransmit,
+                    u64::from(job.frame.aux),
+                    [u64::from(job.attempts), 0],
+                );
                 // Re-dispatch through whatever endpoint routing now
                 // prefers — the health tracker may have failed this one
                 // over in the meantime.
@@ -347,8 +421,17 @@ pub(crate) fn retry_sweeper_loop(node: &Arc<NtbNode>) {
         for (id, put) in node.unacked.overdue(now) {
             if put.attempts > policy.max_retries {
                 // Budget spent: abandon. The failure surfaces as
-                // `LinkFailed` from the next `quiet`.
-                node.unacked.fail(id);
+                // `LinkFailed` from the next `quiet`. An ack may have
+                // landed since the overdue snapshot — then fail() is a
+                // no-op and the put already resolved as acked, so no
+                // abandon is recorded or emitted.
+                if node.unacked.fail(id) {
+                    node.obs.emit(
+                        EventKind::PutAbandon,
+                        u64::from(id),
+                        [u64::from(put.attempts), put.dest as u64],
+                    );
+                }
                 continue;
             }
             let next = Instant::now() + policy.ack_timeout + policy.backoff(put.attempts - 1);
@@ -356,7 +439,8 @@ pub(crate) fn retry_sweeper_loop(node: &Arc<NtbNode>) {
                 continue; // acked while we looked
             }
             node.count_retransmit();
-            let _ = node.transmit_put(id, put.dest, put.heap_offset, &put.data, put.mode);
+            node.obs.emit(EventKind::Retransmit, u64::from(id), [u64::from(put.attempts), 0]);
+            let _ = node.transmit_put(id, put.dest, put.heap_offset, &put.data, put.mode, true);
         }
         if now.duration_since(last_probe) >= policy.probe_interval {
             last_probe = now;

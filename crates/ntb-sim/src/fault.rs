@@ -49,6 +49,10 @@ pub enum FaultAction {
     FailDma,
     /// Stall the Nth DMA descriptor by [`FaultPlan::dma_stall`].
     StallDma,
+    /// Suppress the Nth put acknowledgement the receiver would send — a
+    /// *protocol*-level fault (broken ack path) rather than a fabric
+    /// fault, used to prove the trace checker catches ack-less puts.
+    DropAck,
 }
 
 /// A scripted one-shot fault: "inject `action` on exactly the `nth` event
@@ -98,6 +102,10 @@ pub struct FaultPlan {
     pub dma_fail_rate: f64,
     /// Probability of stalling a DMA descriptor.
     pub dma_stall_rate: f64,
+    /// Probability of suppressing a put acknowledgement at the receiver
+    /// (deliberately breaks the ack protocol; see
+    /// [`FaultAction::DropAck`]).
+    pub ack_drop_rate: f64,
     /// How long a stalled DMA descriptor sleeps before completing.
     pub dma_stall: Duration,
     /// Timed outages, matched to links by index.
@@ -115,6 +123,7 @@ impl Default for FaultPlan {
             payload_corrupt_rate: 0.0,
             dma_fail_rate: 0.0,
             dma_stall_rate: 0.0,
+            ack_drop_rate: 0.0,
             dma_stall: Duration::from_millis(5),
             link_down: Vec::new(),
             scripted: Vec::new(),
@@ -165,6 +174,16 @@ impl FaultPlan {
         self
     }
 
+    /// Suppress put acknowledgements with probability `rate`. Unlike the
+    /// fabric faults, the recovery layer cannot fully hide this (an ack
+    /// that is *never* sent defeats the ack protocol by construction);
+    /// it exists so negative tests can hand the invariant checker a
+    /// genuinely broken trace.
+    pub fn with_ack_drop(mut self, rate: f64) -> Self {
+        self.ack_drop_rate = rate;
+        self
+    }
+
     /// Add a timed outage on `link` after `after_doorbells` doorbell
     /// events.
     pub fn with_link_down(mut self, link: usize, after_doorbells: u64, duration: Duration) -> Self {
@@ -185,6 +204,7 @@ impl FaultPlan {
             || self.payload_corrupt_rate > 0.0
             || self.dma_fail_rate > 0.0
             || self.dma_stall_rate > 0.0
+            || self.ack_drop_rate > 0.0
             || !self.link_down.is_empty()
             || !self.scripted.is_empty()
     }
@@ -226,11 +246,13 @@ pub struct FaultInjector {
     doorbell_events: [AtomicU64; 2],
     corrupt_events: [AtomicU64; 2],
     dma_events: [AtomicU64; 2],
+    ack_events: [AtomicU64; 2],
     /// Doorbell events summed over both directions (down-window trigger
     /// and scripted-`nth` reference frame).
     total_doorbells: AtomicU64,
     total_corrupts: AtomicU64,
     total_dmas: AtomicU64,
+    total_acks: AtomicU64,
     down: Mutex<DownState>,
 }
 
@@ -250,6 +272,7 @@ fn unit(h: u64) -> f64 {
 const STREAM_DOORBELL: u64 = 1;
 const STREAM_CORRUPT: u64 = 2;
 const STREAM_DMA: u64 = 3;
+const STREAM_ACK: u64 = 4;
 
 impl FaultInjector {
     /// A lossless injector (empty plan); the shared instance for networks
@@ -275,9 +298,11 @@ impl FaultInjector {
             doorbell_events: Default::default(),
             corrupt_events: Default::default(),
             dma_events: Default::default(),
+            ack_events: Default::default(),
             total_doorbells: AtomicU64::new(0),
             total_corrupts: AtomicU64::new(0),
             total_dmas: AtomicU64::new(0),
+            total_acks: AtomicU64::new(0),
             down: Mutex::new(DownState { windows, until: None }),
         })
     }
@@ -394,6 +419,24 @@ impl FaultInjector {
         let offset = h % len;
         let mask = ((h >> 32) as u8) | 1; // never zero: guarantee a real flip
         Some((offset, mask))
+    }
+
+    /// Consulted by the service loop before it queues a put
+    /// acknowledgement: returns `true` if the ack should never be sent.
+    /// A protocol-breaking fault by design — the origin will retransmit
+    /// forever (or abandon), and the invariant checker must notice.
+    pub fn should_drop_ack(&self, dir: LinkDirection) -> bool {
+        if !self.active {
+            return false;
+        }
+        let n = self.ack_events[dir.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total_acks.fetch_add(1, Ordering::Relaxed) + 1;
+        let drop = self.scripted_hit(FaultAction::DropAck, total)
+            || self.decide(STREAM_ACK + ((dir.index() as u64) << 4), n, self.plan.ack_drop_rate);
+        if drop {
+            self.stats.add_ack_suppressed();
+        }
+        drop
     }
 
     /// Consulted by the DMA worker per descriptor.

@@ -35,6 +35,7 @@ pub mod error;
 pub mod fault;
 pub mod link;
 pub mod memory;
+pub mod obs;
 pub mod port;
 pub mod scratchpad;
 pub mod stats;
@@ -52,7 +53,13 @@ pub use fault::{
 };
 pub use link::{LaneCount, LinkHealth, LinkHealthTracker, LinkSpec, PcieGen};
 pub use memory::{HostMemory, Region};
-pub use port::{connect_ports, connect_ports_with_faults, NtbPort, PortConfig, PortId};
+pub use obs::{
+    events_to_json, render_events, EventKind, EventLog, LatencyHistogram, LinkMetrics,
+    MetricsRegistry, Obs, OpClass, TraceEvent, DEFAULT_TRACE_CAPACITY, NO_LINK,
+};
+pub use port::{
+    connect_ports, connect_ports_observed, connect_ports_with_faults, NtbPort, PortConfig, PortId,
+};
 pub use scratchpad::{ScratchpadBank, SCRATCHPAD_COUNT};
 pub use stats::{FaultStats, FaultStatsSnapshot, LinkStats, PortStats, PortStatsSnapshot};
 pub use timing::{spin_for, spin_until, LinkDirection, LinkTimer, TimeModel, TransferMode};

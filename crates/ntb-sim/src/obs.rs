@@ -1,0 +1,830 @@
+//! Unified event-trace observability: per-PE ring-buffered event logs
+//! and a metrics registry shared by every layer of the stack.
+//!
+//! The simulator, the interconnect protocol (`ntb-net`) and the
+//! OpenSHMEM runtime (`shmem-core`) all emit [`TraceEvent`]s into one
+//! [`EventLog`] per network. Each PE owns a fixed-capacity ring, so a
+//! hot emitter can never grow memory without bound; a single global
+//! atomic sequence number gives the merged trace a total order that the
+//! protocol invariant checker (`ntb_net::checker`) replays offline.
+//!
+//! Cost discipline: when tracing is off (the default), every emission
+//! site reduces to one relaxed atomic load — the same gating pattern the
+//! fault injector uses — so the layer can stay compiled in without
+//! shifting the latency figures.
+//!
+//! The [`MetricsRegistry`] half is always on: per-op-kind latency
+//! histograms (log2 buckets) and per-link counters, exportable as JSON
+//! and rendered by `shmem-bench` reports.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// `link` value for events not scoped to a single link.
+pub const NO_LINK: u16 = u16::MAX;
+
+/// What happened. One flat namespace across the three layers so a merged
+/// trace reads as a single timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    // --- ntb-sim: hardware-ish events -------------------------------
+    /// A doorbell bit was rung toward the peer (`op_id` = bit;
+    /// `payload[0]` = 1 if the injector dropped it).
+    DoorbellSet,
+    /// Doorbell bits were cleared at the receiver (`op_id` = mask).
+    DoorbellClear,
+    /// A scratchpad register was published (`op_id` = register index,
+    /// `payload[0]` = value).
+    SpadWrite,
+    /// A DMA descriptor was queued (`op_id` = job id, `payload` =
+    /// [dst_offset, len]).
+    DmaSubmit,
+    /// A DMA job copied its payload (`op_id` = job id).
+    DmaComplete,
+    /// A DMA job failed (`op_id` = job id).
+    DmaFail,
+    /// The emitting PE marked this link endpoint Down.
+    LinkDown,
+    /// The emitting PE restored this link endpoint to Up.
+    LinkUp,
+    /// A probe write toward a Down endpoint.
+    ProbeTx,
+
+    // --- ntb-net: protocol events -----------------------------------
+    /// A frame was published into the peer mailbox (`op_id` = frame aux,
+    /// `payload` = [frame kind code, dest]).
+    FrameTx,
+    /// A frame was dispatched by the service loop (`op_id` = frame aux,
+    /// `payload` = [frame kind code, src]).
+    FrameRx,
+    /// A terminating hop forwarded a frame onward (`op_id` = aux).
+    FrameFwd,
+    /// Payload checksum mismatch; frame dropped (`op_id` = aux).
+    CrcReject,
+    /// A put chunk was registered in the unacked table (`op_id` =
+    /// put id, `payload` = [dest, len]).
+    PutIssue,
+    /// A put chunk send succeeded on `link` (`op_id` = put id).
+    PutChunkTx,
+    /// A put chunk was written into the target heap (`op_id` = put id,
+    /// `payload` = [src, offset]).
+    PutDeliver,
+    /// The origin removed the put from the unacked table — the
+    /// exactly-once resolution point (`op_id` = put id).
+    PutAcked,
+    /// The origin abandoned the put after exhausting retries (`op_id` =
+    /// put id, `payload[0]` = attempts).
+    PutAbandon,
+    /// A PutAck frame arrived (`op_id` = put id). Duplicates appear
+    /// here but not as `PutAcked`.
+    AckRx,
+    /// The sweeper or a wait loop re-sent something (`op_id` = put/req
+    /// id, `payload[0]` = attempt number).
+    Retransmit,
+    /// Traffic steered away from a Down preferred endpoint (`link` =
+    /// the Down link avoided, `payload` = [chosen link, dest]).
+    Reroute,
+    /// A duplicate delivery/ack was suppressed (`op_id` = id).
+    DupSuppressed,
+    /// A get request was issued (`op_id` = req id, `payload` =
+    /// [offset, len]).
+    GetReqTx,
+    /// A fresh get-response chunk filled part of the request (`op_id` =
+    /// req id, `payload` = [chunk offset, chunk len]).
+    GetChunkRx,
+    /// The get completed (`op_id` = req id).
+    GetDone,
+    /// The get was abandoned (`op_id` = req id).
+    GetAbandon,
+    /// An AMO request was issued (`op_id` = req id, `payload` =
+    /// [opcode, offset]).
+    AmoReqTx,
+    /// The target applied an AMO for the first time (`op_id` = req id,
+    /// `payload` = [origin pe, old value]).
+    AmoApply,
+    /// The target replayed a cached AMO response (`op_id` = req id,
+    /// `payload[0]` = origin pe).
+    AmoReplay,
+    /// The AMO completed at the origin (`op_id` = req id).
+    AmoDone,
+    /// The AMO was abandoned at the origin (`op_id` = req id).
+    AmoAbandon,
+
+    // --- shmem-core: API-level events -------------------------------
+    /// `shmem_put` entered (`op_id` = per-PE op counter, `payload` =
+    /// [dest pe, len]).
+    ApiPutIssue,
+    /// `shmem_put` returned locally complete (`op_id` matches issue).
+    ApiPutComplete,
+    /// `shmem_get` entered (`op_id` = op counter, `payload` =
+    /// [src pe, len]).
+    ApiGetIssue,
+    /// `shmem_get` returned with data (`op_id` matches issue).
+    ApiGetComplete,
+    /// An atomic entered (`op_id` = op counter, `payload` = [target
+    /// pe, opcode]).
+    ApiAmoIssue,
+    /// The atomic returned (`op_id` matches issue).
+    ApiAmoComplete,
+    /// A PE entered `barrier_all` (`op_id` = per-PE barrier epoch).
+    BarrierStart,
+    /// One dissemination round finished (`op_id` = epoch,
+    /// `payload[0]` = round).
+    BarrierRound,
+    /// A PE left `barrier_all` (`op_id` = epoch).
+    BarrierEnd,
+    /// `shmem_quiet` entered (`op_id` = op counter).
+    QuietStart,
+    /// `shmem_quiet` returned (`op_id` matches, `payload[0]` = 1 on
+    /// error).
+    QuietEnd,
+    /// `shmem_fence` was called (delegates to quiet).
+    Fence,
+}
+
+impl EventKind {
+    /// Stable lowercase name for dumps and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::DoorbellSet => "doorbell_set",
+            EventKind::DoorbellClear => "doorbell_clear",
+            EventKind::SpadWrite => "spad_write",
+            EventKind::DmaSubmit => "dma_submit",
+            EventKind::DmaComplete => "dma_complete",
+            EventKind::DmaFail => "dma_fail",
+            EventKind::LinkDown => "link_down",
+            EventKind::LinkUp => "link_up",
+            EventKind::ProbeTx => "probe_tx",
+            EventKind::FrameTx => "frame_tx",
+            EventKind::FrameRx => "frame_rx",
+            EventKind::FrameFwd => "frame_fwd",
+            EventKind::CrcReject => "crc_reject",
+            EventKind::PutIssue => "put_issue",
+            EventKind::PutChunkTx => "put_chunk_tx",
+            EventKind::PutDeliver => "put_deliver",
+            EventKind::PutAcked => "put_acked",
+            EventKind::PutAbandon => "put_abandon",
+            EventKind::AckRx => "ack_rx",
+            EventKind::Retransmit => "retransmit",
+            EventKind::Reroute => "reroute",
+            EventKind::DupSuppressed => "dup_suppressed",
+            EventKind::GetReqTx => "get_req_tx",
+            EventKind::GetChunkRx => "get_chunk_rx",
+            EventKind::GetDone => "get_done",
+            EventKind::GetAbandon => "get_abandon",
+            EventKind::AmoReqTx => "amo_req_tx",
+            EventKind::AmoApply => "amo_apply",
+            EventKind::AmoReplay => "amo_replay",
+            EventKind::AmoDone => "amo_done",
+            EventKind::AmoAbandon => "amo_abandon",
+            EventKind::ApiPutIssue => "api_put_issue",
+            EventKind::ApiPutComplete => "api_put_complete",
+            EventKind::ApiGetIssue => "api_get_issue",
+            EventKind::ApiGetComplete => "api_get_complete",
+            EventKind::ApiAmoIssue => "api_amo_issue",
+            EventKind::ApiAmoComplete => "api_amo_complete",
+            EventKind::BarrierStart => "barrier_start",
+            EventKind::BarrierRound => "barrier_round",
+            EventKind::BarrierEnd => "barrier_end",
+            EventKind::QuietStart => "quiet_start",
+            EventKind::QuietEnd => "quiet_end",
+            EventKind::Fence => "fence",
+        }
+    }
+}
+
+/// One entry of the merged trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the global total order (dense only per log).
+    pub seq: u64,
+    /// Microseconds since the log was created.
+    pub t_us: u64,
+    /// Emitting PE.
+    pub pe: u16,
+    /// Link index the event refers to, or [`NO_LINK`].
+    pub link: u16,
+    /// What happened.
+    pub kind: EventKind,
+    /// Protocol-level correlation id (put id, req id, epoch, ...); 0
+    /// when not applicable.
+    pub op_id: u64,
+    /// Two kind-specific payload words (see [`EventKind`] docs).
+    pub payload: [u64; 2],
+}
+
+impl TraceEvent {
+    /// One-line human-readable rendering, used by trace dumps.
+    pub fn render(&self) -> String {
+        let link = if self.link == NO_LINK { "-".to_string() } else { self.link.to_string() };
+        format!(
+            "#{:<8} {:>10}us pe{:<3} link {:<3} {:<16} op {:<8} [{:#x}, {:#x}]",
+            self.seq,
+            self.t_us,
+            self.pe,
+            link,
+            self.kind.name(),
+            self.op_id,
+            self.payload[0],
+            self.payload[1],
+        )
+    }
+}
+
+struct PeRing {
+    buf: VecDeque<TraceEvent>,
+}
+
+/// Shared, per-PE ring-buffered event log. Cheap to keep around
+/// disabled; bounded when enabled.
+pub struct EventLog {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+    rings: Vec<Mutex<PeRing>>,
+    capacity: usize,
+}
+
+/// Default per-PE ring capacity (events).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+impl EventLog {
+    /// A log for `pes` PEs with `capacity` events buffered per PE.
+    pub fn new(pes: usize, capacity: usize) -> Arc<EventLog> {
+        let capacity = capacity.max(16);
+        Arc::new(EventLog {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+            rings: (0..pes.max(1))
+                .map(|_| Mutex::new(PeRing { buf: VecDeque::with_capacity(16) }))
+                .collect(),
+            capacity,
+        })
+    }
+
+    /// Start recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (already-buffered events stay).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether emissions are currently recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. A no-op (one relaxed load) while disabled.
+    #[inline]
+    pub fn emit(&self, pe: u16, link: u16, kind: EventKind, op_id: u64, payload: [u64; 2]) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit_slow(pe, link, kind, op_id, payload);
+    }
+
+    #[cold]
+    fn emit_slow(&self, pe: u16, link: u16, kind: EventKind, op_id: u64, payload: [u64; 2]) {
+        let Some(ring) = self.rings.get(pe as usize) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = TraceEvent {
+            seq,
+            t_us: self.epoch.elapsed().as_micros() as u64,
+            pe,
+            link,
+            kind,
+            op_id,
+            payload,
+        };
+        let mut ring = ring.lock();
+        if ring.buf.len() >= self.capacity {
+            ring.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.buf.push_back(ev);
+    }
+
+    /// Events evicted (ring overflow) or unattributable, so a checker
+    /// can refuse to certify a truncated trace.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the merged trace, sorted by global sequence number.
+    pub fn merged(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for ring in &self.rings {
+            all.extend(ring.lock().buf.iter().copied());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Drain the merged trace, leaving every ring empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for ring in &self.rings {
+            all.extend(ring.lock().buf.drain(..));
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Buffered event count for one PE.
+    pub fn pe_len(&self, pe: usize) -> usize {
+        self.rings.get(pe).map_or(0, |r| r.lock().buf.len())
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("enabled", &self.is_enabled())
+            .field("pes", &self.rings.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Render a trace window as text, one event per line.
+pub fn render_events(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a trace window as a JSON array (no external dependencies,
+/// hence hand-rolled; every field is numeric or a fixed identifier).
+pub fn events_to_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[\n");
+    for (i, ev) in events.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"seq\":{},\"t_us\":{},\"pe\":{},\"link\":{},\"kind\":\"{}\",\"op_id\":{},\"payload\":[{},{}]}}",
+            ev.seq,
+            ev.t_us,
+            ev.pe,
+            if ev.link == NO_LINK { -1i64 } else { ev.link as i64 },
+            ev.kind.name(),
+            ev.op_id,
+            ev.payload[0],
+            ev.payload[1],
+        );
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// A cheap, cloneable emission handle: an optional log plus the fixed
+/// (pe, link) coordinates of the component holding it. `Obs::off()` is
+/// the default everywhere, so standalone ports and tests pay only an
+/// `Option` check per site.
+#[derive(Clone, Default)]
+pub struct Obs {
+    log: Option<Arc<EventLog>>,
+    pe: u16,
+    link: u16,
+}
+
+impl Obs {
+    /// A handle that never records.
+    pub fn off() -> Obs {
+        Obs { log: None, pe: 0, link: NO_LINK }
+    }
+
+    /// A recording handle bound to `pe` and `link`.
+    pub fn new(log: Arc<EventLog>, pe: usize, link: usize) -> Obs {
+        Obs { log: Some(log), pe: pe as u16, link: link as u16 }
+    }
+
+    /// The same log bound to a different link.
+    pub fn with_link(&self, link: usize) -> Obs {
+        Obs { log: self.log.clone(), pe: self.pe, link: link as u16 }
+    }
+
+    /// The same log with no link scope.
+    pub fn unlinked(&self) -> Obs {
+        Obs { log: self.log.clone(), pe: self.pe, link: NO_LINK }
+    }
+
+    /// The underlying log, if any.
+    pub fn log(&self) -> Option<&Arc<EventLog>> {
+        self.log.as_ref()
+    }
+
+    /// Whether an emission right now would be recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.log.as_ref().is_some_and(|l| l.is_enabled())
+    }
+
+    /// Emit at this handle's (pe, link).
+    #[inline]
+    pub fn emit(&self, kind: EventKind, op_id: u64, payload: [u64; 2]) {
+        if let Some(log) = &self.log {
+            log.emit(self.pe, self.link, kind, op_id, payload);
+        }
+    }
+
+    /// Emit at this handle's pe with an explicit link.
+    #[inline]
+    pub fn emit_link(&self, link: u16, kind: EventKind, op_id: u64, payload: [u64; 2]) {
+        if let Some(log) = &self.log {
+            log.emit(self.pe, link, kind, op_id, payload);
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("attached", &self.log.is_some())
+            .field("pe", &self.pe)
+            .field("link", &self.link)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry: always-on counters and latency histograms.
+// ---------------------------------------------------------------------
+
+/// Histogram bucket count: bucket `i` covers `[2^i, 2^(i+1))` µs.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Lock-free log2-bucketed latency histogram (microseconds).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_index(us: u64) -> usize {
+        (63 - us.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Record one sample in microseconds.
+    pub fn record(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (µs).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample (µs).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (µs), 0.0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us() as f64 / n as f64
+        }
+    }
+
+    /// Bucket upper bound (exclusive, µs) for quantile `q` in [0, 1]:
+    /// the resolution is the log2 bucketing, good enough for reports.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64 * q).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_us()
+    }
+
+    /// JSON object for this histogram.
+    pub fn to_json(&self) -> String {
+        let nonzero: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let v = b.load(Ordering::Relaxed);
+                (v > 0).then(|| format!("[{i},{v}]"))
+            })
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum_us\":{},\"mean_us\":{:.1},\"max_us\":{},\"p50_le_us\":{},\"p99_le_us\":{},\"log2_buckets\":[{}]}}",
+            self.count(),
+            self.sum_us(),
+            self.mean_us(),
+            self.max_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            nonzero.join(",")
+        )
+    }
+}
+
+/// The operation classes the registry keeps histograms for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// `shmem_put` family.
+    Put,
+    /// `shmem_get` family.
+    Get,
+    /// Remote atomics.
+    Amo,
+    /// `shmem_barrier_all`.
+    Barrier,
+    /// `shmem_quiet` / `shmem_fence`.
+    Quiet,
+}
+
+impl OpClass {
+    /// Every class, in JSON/report order.
+    pub const ALL: [OpClass; 5] =
+        [OpClass::Put, OpClass::Get, OpClass::Amo, OpClass::Barrier, OpClass::Quiet];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Put => "put",
+            OpClass::Get => "get",
+            OpClass::Amo => "amo",
+            OpClass::Barrier => "barrier",
+            OpClass::Quiet => "quiet",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Put => 0,
+            OpClass::Get => 1,
+            OpClass::Amo => 2,
+            OpClass::Barrier => 3,
+            OpClass::Quiet => 4,
+        }
+    }
+}
+
+/// Per-link traffic counters.
+#[derive(Debug, Default)]
+pub struct LinkMetrics {
+    /// Frames published toward the peer.
+    pub frames_tx: AtomicU64,
+    /// Frames dispatched from the peer.
+    pub frames_rx: AtomicU64,
+    /// Retransmissions driven over this link.
+    pub retransmits: AtomicU64,
+    /// Times traffic was steered away from this (Down) link.
+    pub reroutes: AtomicU64,
+    /// Frames rejected by the CRC check on this link.
+    pub crc_rejects: AtomicU64,
+}
+
+impl LinkMetrics {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"frames_tx\":{},\"frames_rx\":{},\"retransmits\":{},\"reroutes\":{},\"crc_rejects\":{}}}",
+            self.frames_tx.load(Ordering::Relaxed),
+            self.frames_rx.load(Ordering::Relaxed),
+            self.retransmits.load(Ordering::Relaxed),
+            self.reroutes.load(Ordering::Relaxed),
+            self.crc_rejects.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One PE's metrics: a latency histogram per [`OpClass`] and counters
+/// per link endpoint. Always on; recording is a handful of relaxed
+/// atomic adds.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    ops: [LatencyHistogram; 5],
+    links: Vec<LinkMetrics>,
+}
+
+impl MetricsRegistry {
+    /// A registry for a PE with `links` link endpoints.
+    pub fn new(links: usize) -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry {
+            ops: std::array::from_fn(|_| LatencyHistogram::default()),
+            links: (0..links).map(|_| LinkMetrics::default()).collect(),
+        })
+    }
+
+    /// The histogram for one op class.
+    pub fn op(&self, class: OpClass) -> &LatencyHistogram {
+        &self.ops[class.index()]
+    }
+
+    /// Record one op latency sample.
+    pub fn record_op(&self, class: OpClass, us: u64) {
+        self.op(class).record(us);
+    }
+
+    /// Counters for one link endpoint, if in range.
+    pub fn link(&self, idx: usize) -> Option<&LinkMetrics> {
+        self.links.get(idx)
+    }
+
+    /// Number of link endpoints tracked.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Bump a per-link counter, tolerant of out-of-range indices.
+    pub fn bump_link(&self, idx: usize, f: impl Fn(&LinkMetrics) -> &AtomicU64) {
+        if let Some(l) = self.links.get(idx) {
+            f(l).fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// JSON object: `{"ops":{...},"links":[...]}`.
+    pub fn to_json(&self) -> String {
+        let ops: Vec<String> = OpClass::ALL
+            .iter()
+            .map(|c| format!("\"{}\":{}", c.name(), self.op(*c).to_json()))
+            .collect();
+        let links: Vec<String> = self.links.iter().map(|l| l.to_json()).collect();
+        format!("{{\"ops\":{{{}}},\"links\":[{}]}}", ops.join(","), links.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::new(2, 64);
+        log.emit(0, 0, EventKind::DoorbellSet, 1, [0, 0]);
+        assert!(log.merged().is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn merged_trace_is_seq_sorted_across_pes() {
+        let log = EventLog::new(3, 64);
+        log.enable();
+        for i in 0..30u64 {
+            log.emit((i % 3) as u16, NO_LINK, EventKind::FrameTx, i, [i, 0]);
+        }
+        let all = log.merged();
+        assert_eq!(all.len(), 30);
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Per-PE rings hold only their own events.
+        assert_eq!(log.pe_len(0), 10);
+        // take() drains.
+        assert_eq!(log.take().len(), 30);
+        assert!(log.merged().is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_evicts_oldest_and_counts() {
+        let log = EventLog::new(1, 16);
+        log.enable();
+        for i in 0..40u64 {
+            log.emit(0, NO_LINK, EventKind::SpadWrite, i, [0, 0]);
+        }
+        let all = log.merged();
+        assert_eq!(all.len(), 16);
+        assert_eq!(log.dropped(), 24);
+        assert_eq!(all.first().unwrap().op_id, 24, "oldest evicted first");
+    }
+
+    #[test]
+    fn out_of_range_pe_is_dropped_not_panicked() {
+        let log = EventLog::new(1, 16);
+        log.enable();
+        log.emit(7, NO_LINK, EventKind::FrameRx, 0, [0, 0]);
+        assert!(log.merged().is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn obs_handles_emit_at_their_coordinates() {
+        let log = EventLog::new(2, 64);
+        log.enable();
+        let obs = Obs::new(Arc::clone(&log), 1, 0);
+        obs.emit(EventKind::DoorbellSet, 5, [1, 2]);
+        obs.with_link(9).emit(EventKind::FrameTx, 6, [0, 0]);
+        obs.unlinked().emit(EventKind::QuietStart, 7, [0, 0]);
+        obs.emit_link(3, EventKind::FrameFwd, 8, [0, 0]);
+        let all = log.merged();
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().all(|e| e.pe == 1));
+        assert_eq!(all[0].link, 0);
+        assert_eq!(all[1].link, 9);
+        assert_eq!(all[2].link, NO_LINK);
+        assert_eq!(all[3].link, 3);
+        // Off handles stay silent and cheap.
+        let off = Obs::off();
+        assert!(!off.is_enabled());
+        off.emit(EventKind::FrameTx, 0, [0, 0]);
+        assert_eq!(log.merged().len(), 4);
+    }
+
+    #[test]
+    fn render_and_json_cover_fields() {
+        let log = EventLog::new(1, 16);
+        log.enable();
+        log.emit(0, 1, EventKind::PutAcked, 42, [7, 8]);
+        log.emit(0, NO_LINK, EventKind::QuietEnd, 3, [0, 0]);
+        let all = log.merged();
+        let text = render_events(&all);
+        assert!(text.contains("put_acked"), "{text}");
+        assert!(text.contains("quiet_end"), "{text}");
+        let json = events_to_json(&all);
+        assert!(json.contains("\"kind\":\"put_acked\""), "{json}");
+        assert!(json.contains("\"link\":-1"), "{json}");
+        assert!(json.contains("\"op_id\":42"), "{json}");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for us in [1u64, 1, 1, 1, 100, 100, 100, 10_000, 10_000, 1_000_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max_us(), 1_000_000);
+        assert!((h.mean_us() - 102_030.3).abs() < 1.0);
+        // p50 falls in the 100µs bucket [64, 128) -> upper bound 128.
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert!(h.quantile_us(0.99) >= 1 << 19);
+        let json = h.to_json();
+        assert!(json.contains("\"count\":10"), "{json}");
+        assert!(json.contains("log2_buckets"), "{json}");
+    }
+
+    #[test]
+    fn zero_latency_sample_lands_in_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(1.0), 2);
+    }
+
+    #[test]
+    fn registry_json_shape() {
+        let m = MetricsRegistry::new(2);
+        m.record_op(OpClass::Put, 50);
+        m.bump_link(0, |l| &l.frames_tx);
+        m.bump_link(1, |l| &l.frames_rx);
+        m.bump_link(9, |l| &l.frames_tx); // out of range: ignored
+        let json = m.to_json();
+        assert!(json.contains("\"put\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"links\":[{\"frames_tx\":1"), "{json}");
+        assert_eq!(m.link(0).unwrap().frames_tx.load(Ordering::Relaxed), 1);
+        assert_eq!(m.link_count(), 2);
+    }
+}

@@ -8,6 +8,7 @@
 //! doorbells, and program each side's requester ID into the peer's LUT.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,6 +19,7 @@ use crate::doorbell::{Doorbell, DoorbellWaiter};
 use crate::error::{NtbError, Result};
 use crate::fault::FaultInjector;
 use crate::memory::{HostMemory, Region};
+use crate::obs::{EventKind, Obs};
 use crate::scratchpad::ScratchpadBank;
 use crate::stats::PortStats;
 use crate::timing::{LinkDirection, LinkTimer, TimeModel, TransferMode};
@@ -85,6 +87,8 @@ pub struct NtbPort {
     lut: Arc<LutTable>,
     stats: Arc<PortStats>,
     link: Arc<LinkTimer>,
+    obs: Obs,
+    dma_seq: AtomicU64,
 }
 
 impl fmt::Debug for NtbPort {
@@ -119,6 +123,7 @@ impl NtbPort {
     /// Write one scratchpad register (stats-accounted).
     pub fn spad_write(&self, index: usize, value: u32) -> Result<()> {
         self.stats.add_scratchpad_access();
+        self.obs.emit(EventKind::SpadWrite, index as u64, [value as u64, 0]);
         self.scratchpads.write(index, value)
     }
 
@@ -141,7 +146,9 @@ impl NtbPort {
             return Err(NtbError::LinkDown);
         }
         self.stats.add_doorbell_rung();
-        if faults.should_drop_doorbell(self.outgoing.direction(), bit) {
+        let dropped = faults.should_drop_doorbell(self.outgoing.direction(), bit);
+        self.obs.emit(EventKind::DoorbellSet, bit as u64, [dropped as u64, 0]);
+        if dropped {
             return Ok(());
         }
         self.peer_doorbell.ring(bit)
@@ -160,6 +167,19 @@ impl NtbPort {
     /// This port's incoming doorbell register (for mask/pending/clear).
     pub fn doorbell(&self) -> &Arc<Doorbell> {
         &self.doorbell
+    }
+
+    /// Clear pending doorbell bits at this port — the service loop's
+    /// interrupt acknowledge, recorded in the event trace.
+    pub fn clear_doorbell(&self, bits: u32) {
+        self.obs.emit(EventKind::DoorbellClear, bits as u64, [0, 0]);
+        self.doorbell.clear(bits);
+    }
+
+    /// This port's observability handle (off unless connected through
+    /// [`connect_ports_observed`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The outgoing (translated) window into the peer's memory.
@@ -195,12 +215,21 @@ impl NtbPort {
 
     /// Submit an asynchronous DMA descriptor through the outgoing window.
     pub fn dma_submit(&self, req: DmaRequest) -> Result<DmaHandle> {
+        let job = self.dma_seq.fetch_add(1, Ordering::Relaxed);
+        self.obs.emit(EventKind::DmaSubmit, job, [req.dst_offset, req.len]);
         self.dma.submit(Arc::clone(&self.outgoing), req)
     }
 
     /// Synchronous DMA transfer through the outgoing window.
     pub fn dma_transfer(&self, req: DmaRequest) -> Result<()> {
-        self.dma.submit(Arc::clone(&self.outgoing), req)?.wait()
+        let job = self.dma_seq.fetch_add(1, Ordering::Relaxed);
+        self.obs.emit(EventKind::DmaSubmit, job, [req.dst_offset, req.len]);
+        let res = self.dma.submit(Arc::clone(&self.outgoing), req).and_then(|h| h.wait());
+        match &res {
+            Ok(()) => self.obs.emit(EventKind::DmaComplete, job, [0, 0]),
+            Err(_) => self.obs.emit(EventKind::DmaFail, job, [0, 0]),
+        }
+        res
     }
 
     /// CPU-`memcpy` (PIO) write through the window.
@@ -268,6 +297,23 @@ pub fn connect_ports_with_faults(
     mem_b: &HostMemory,
     model: Arc<TimeModel>,
     faults: Arc<FaultInjector>,
+) -> Result<(Arc<NtbPort>, Arc<NtbPort>)> {
+    connect_ports_observed(cfg_a, cfg_b, mem_a, mem_b, model, faults, Obs::off(), Obs::off())
+}
+
+/// [`connect_ports_with_faults`] with per-side observability handles, so
+/// doorbell/scratchpad/DMA events land in a shared
+/// [`EventLog`](crate::obs::EventLog) attributed to each port's PE.
+#[allow(clippy::too_many_arguments)]
+pub fn connect_ports_observed(
+    cfg_a: PortConfig,
+    cfg_b: PortConfig,
+    mem_a: &HostMemory,
+    mem_b: &HostMemory,
+    model: Arc<TimeModel>,
+    faults: Arc<FaultInjector>,
+    obs_a: Obs,
+    obs_b: Obs,
 ) -> Result<(Arc<NtbPort>, Arc<NtbPort>)> {
     let win_a = mem_a.alloc_region(cfg_a.window_size)?; // A's incoming (B writes here)
     let win_b = mem_b.alloc_region(cfg_b.window_size)?; // B's incoming (A writes here)
@@ -349,6 +395,8 @@ pub fn connect_ports_with_faults(
         lut: lut_a,
         stats: stats_a,
         link: Arc::clone(&link),
+        obs: obs_a,
+        dma_seq: AtomicU64::new(0),
     });
     let port_b = Arc::new(NtbPort {
         id: cfg_b.id,
@@ -363,6 +411,8 @@ pub fn connect_ports_with_faults(
         lut: lut_b,
         stats: stats_b,
         link,
+        obs: obs_b,
+        dma_seq: AtomicU64::new(0),
     });
     Ok((port_a, port_b))
 }

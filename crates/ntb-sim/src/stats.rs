@@ -188,6 +188,7 @@ pub struct FaultStats {
     dma_failures: AtomicU64,
     dma_stalls: AtomicU64,
     link_down_windows: AtomicU64,
+    acks_suppressed: AtomicU64,
 }
 
 impl FaultStats {
@@ -221,6 +222,11 @@ impl FaultStats {
         self.link_down_windows.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a put acknowledgement suppressed at the receiver.
+    pub fn add_ack_suppressed(&self) {
+        self.acks_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Doorbell rings discarded.
     pub fn doorbells_dropped(&self) -> u64 {
         self.doorbells_dropped.load(Ordering::Relaxed)
@@ -246,6 +252,11 @@ impl FaultStats {
         self.link_down_windows.load(Ordering::Relaxed)
     }
 
+    /// Put acknowledgements suppressed.
+    pub fn acks_suppressed(&self) -> u64 {
+        self.acks_suppressed.load(Ordering::Relaxed)
+    }
+
     /// Snapshot every counter.
     pub fn snapshot(&self) -> FaultStatsSnapshot {
         FaultStatsSnapshot {
@@ -254,6 +265,7 @@ impl FaultStats {
             dma_failures: self.dma_failures(),
             dma_stalls: self.dma_stalls(),
             link_down_windows: self.link_down_windows(),
+            acks_suppressed: self.acks_suppressed(),
         }
     }
 }
@@ -271,6 +283,8 @@ pub struct FaultStatsSnapshot {
     pub dma_stalls: u64,
     /// Link-down windows armed.
     pub link_down_windows: u64,
+    /// Put acknowledgements suppressed at the receiver.
+    pub acks_suppressed: u64,
 }
 
 impl FaultStatsSnapshot {
@@ -281,6 +295,7 @@ impl FaultStatsSnapshot {
             + self.dma_failures
             + self.dma_stalls
             + self.link_down_windows
+            + self.acks_suppressed
     }
 }
 
@@ -288,12 +303,13 @@ impl fmt::Display for FaultStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "db_dropped={} corrupted={} dma_fail={} dma_stall={} down_windows={}",
+            "db_dropped={} corrupted={} dma_fail={} dma_stall={} down_windows={} acks_suppressed={}",
             self.doorbells_dropped,
             self.payloads_corrupted,
             self.dma_failures,
             self.dma_stalls,
-            self.link_down_windows
+            self.link_down_windows,
+            self.acks_suppressed
         )
     }
 }

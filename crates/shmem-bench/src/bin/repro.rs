@@ -1,11 +1,13 @@
 //! `repro` — regenerate every figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro [all|fig8|fig9|fig10|compare] [--scale F] [--reps N] [--quick] [--csv DIR]
+//! repro [all|fig8|fig9|fig10|compare|trace] [--scale F] [--reps N] [--quick] [--csv DIR]
 //! ```
 //!
 //! `compare` runs the beyond-paper topology comparison: the switchless
-//! ring against the switch-emulating full mesh.
+//! ring against the switch-emulating full mesh. `trace` runs a small
+//! traced workload and prints the event trace, the per-PE metrics report
+//! and the protocol-invariant checker's verdict.
 //!
 //! * `--scale F`  — time-model scale (1.0 = paper-calibrated latencies,
 //!   smaller = proportionally faster runs with the same shapes).
@@ -37,7 +39,7 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "all" | "fig8" | "fig9" | "fig10" | "compare" | "scaling" => opts.what = a,
+            "all" | "fig8" | "fig9" | "fig10" | "compare" | "scaling" | "trace" => opts.what = a,
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -59,7 +61,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig8|fig9|fig10|compare|scaling] [--scale F] [--reps N] [--quick] [--csv DIR]"
+                    "usage: repro [all|fig8|fig9|fig10|compare|scaling|trace] [--scale F] [--reps N] [--quick] [--csv DIR]"
                 );
                 std::process::exit(0);
             }
@@ -83,8 +85,55 @@ fn write_csv(dir: &Option<PathBuf>, name: &str, labels: &[String], series: &[Ser
     }
 }
 
+/// Run a small fully-traced workload (puts, gets, AMOs, barriers on a
+/// 3-PE ring), print the structured event trace and the metrics report,
+/// and put the trace through the protocol-invariant checker.
+fn run_trace_demo() {
+    use shmem_core::{ShmemConfig, ShmemWorld};
+    const PES: usize = 3;
+    let results = ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(PES), |ctx| {
+        let log = ctx.node().obs().log().expect("observed world");
+        log.enable();
+        let sym = ctx.calloc_array::<u64>(64).expect("alloc");
+        let right = (ctx.my_pe() + 1) % ctx.num_pes();
+        let data: Vec<u64> = (0..64).map(|i| (ctx.my_pe() * 1000 + i) as u64).collect();
+        ctx.put_slice(&sym, 0, &data, right).expect("put");
+        ctx.quiet().expect("quiet");
+        ctx.barrier_all().expect("barrier");
+        ctx.get_slice::<u64>(&sym, 0, 64, right).expect("get");
+        ctx.atomic_fetch_add(&sym, 0, 1u64, 0).expect("amo");
+        ctx.barrier_all().expect("barrier");
+        (std::sync::Arc::clone(log), std::sync::Arc::clone(ctx.metrics()))
+    })
+    .expect("trace demo world");
+    let log = std::sync::Arc::clone(&results[0].0);
+    let registries: Vec<_> = results.into_iter().map(|(_, m)| m).collect();
+    let events = log.take();
+    println!("{}", ntb_sim::render_events(&events));
+    println!("({} events, {} dropped)\n", events.len(), log.dropped());
+    println!("{}", shmem_bench::render_metrics_report("per-PE metrics", &registries));
+    let report = ntb_net::check(&events, PES);
+    if report.is_clean() {
+        println!(
+            "checker: clean ({} puts, {} gets, {} AMOs, {} barriers checked)",
+            report.puts_checked, report.gets_checked, report.amos_checked, report.barriers_checked
+        );
+    } else {
+        println!(
+            "checker: {} violation(s)\n{}",
+            report.violations.len(),
+            report.render_violations()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.what == "trace" {
+        run_trace_demo();
+        return;
+    }
     let sizes = if opts.quick { quick_sizes() } else { paper_sizes() };
     let model = if opts.scale == 1.0 { TimeModel::paper() } else { TimeModel::scaled(opts.scale) };
     println!(

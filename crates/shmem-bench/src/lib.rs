@@ -24,7 +24,7 @@ pub mod report;
 pub mod sizes;
 pub mod stats;
 
-pub use report::{render_series_table, Series};
+pub use report::{render_metrics_report, render_series_table, Series};
 pub use sizes::{paper_sizes, size_label};
 pub use stats::{mb_per_sec, Summary};
 

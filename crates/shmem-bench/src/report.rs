@@ -1,6 +1,8 @@
-//! Paper-style table rendering and CSV export.
+//! Paper-style table rendering, CSV export, and observability reports.
 
 use std::fmt::Write as _;
+
+use ntb_sim::{MetricsRegistry, OpClass};
 
 /// One curve of a figure: a name plus one value per x-axis point.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +74,54 @@ pub fn render_csv(x_labels: &[String], series: &[Series]) -> String {
     out
 }
 
+/// Render the per-PE metrics registries gathered while tracing was on:
+/// one latency line per op class with traffic, then the per-link frame
+/// and recovery counters. The numeric companion to a trace dump.
+pub fn render_metrics_report(
+    title: &str,
+    registries: &[std::sync::Arc<MetricsRegistry>],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (pe, reg) in registries.iter().enumerate() {
+        for class in OpClass::ALL {
+            let h = reg.op(class);
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  pe {pe} {:<7} count={:<6} mean={:.1}us p50<={}us p99<={}us max={}us",
+                class.name(),
+                h.count(),
+                h.mean_us(),
+                h.quantile_us(0.50),
+                h.quantile_us(0.99),
+                h.max_us()
+            );
+        }
+        for link in 0..reg.link_count() {
+            let Some(l) = reg.link(link) else { continue };
+            let relaxed = std::sync::atomic::Ordering::Relaxed;
+            let (tx, rx) = (l.frames_tx.load(relaxed), l.frames_rx.load(relaxed));
+            let (retx, rer, crc) = (
+                l.retransmits.load(relaxed),
+                l.reroutes.load(relaxed),
+                l.crc_rejects.load(relaxed),
+            );
+            if tx + rx + retx + rer + crc == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  pe {pe} link {link}  tx={tx} rx={rx} retransmits={retx} reroutes={rer} \
+                 crc_rejects={crc}"
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +175,19 @@ mod tests {
         assert!(t.contains('-'));
         let c = render_csv(&labels, &series);
         assert!(c.lines().nth(2).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn metrics_report_shows_active_classes_and_links() {
+        let reg = MetricsRegistry::new(2);
+        reg.record_op(OpClass::Put, 12);
+        reg.record_op(OpClass::Put, 20);
+        reg.bump_link(1, |l| &l.frames_tx);
+        let r = render_metrics_report("metrics", &[std::sync::Arc::clone(&reg)]);
+        assert!(r.contains("pe 0 put"), "{r}");
+        assert!(r.contains("count=2"), "{r}");
+        assert!(r.contains("pe 0 link 1"), "{r}");
+        assert!(!r.contains("barrier"), "idle classes are elided: {r}");
+        assert!(!r.contains("link 0 "), "idle links are elided: {r}");
     }
 }

@@ -8,6 +8,7 @@
 //! same datum, not to plain puts).
 
 use ntb_net::AmoOp;
+use ntb_sim::{EventKind, OpClass};
 
 use crate::ctx::ShmemCtx;
 use crate::error::Result;
@@ -29,7 +30,25 @@ impl ShmemCtx {
         let old = if pe == self.my_pe() {
             self.heap.local_atomic(op, off, T::WIDTH, operand.to_bits64(), compare.to_bits64())?
         } else {
-            self.node.amo(pe, op, off, T::WIDTH, operand.to_bits64(), compare.to_bits64())?
+            let obs = self.node.obs();
+            if obs.is_enabled() {
+                let api_op = self.next_api_op();
+                let t0 = std::time::Instant::now();
+                obs.emit(EventKind::ApiAmoIssue, api_op, [pe as u64, op as u64]);
+                let old = self.node.amo(
+                    pe,
+                    op,
+                    off,
+                    T::WIDTH,
+                    operand.to_bits64(),
+                    compare.to_bits64(),
+                )?;
+                self.node.metrics().record_op(OpClass::Amo, t0.elapsed().as_micros() as u64);
+                obs.emit(EventKind::ApiAmoComplete, api_op, [pe as u64, op as u64]);
+                old
+            } else {
+                self.node.amo(pe, op, off, T::WIDTH, operand.to_bits64(), compare.to_bits64())?
+            }
         };
         Ok(T::from_bits64(old))
     }

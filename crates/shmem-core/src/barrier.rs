@@ -18,9 +18,11 @@
 //! been completed" — which is what gives the barrier its memory-ordering
 //! semantics.
 
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use ntb_net::RouteDirection;
+use ntb_sim::{EventKind, OpClass};
 
 use crate::config::BarrierAlgorithm;
 use crate::ctx::ShmemCtx;
@@ -42,12 +44,36 @@ impl ShmemCtx {
         }
     }
 
+    /// Allocate the next trace epoch and emit `BarrierStart`. Barriers
+    /// are collective and called in the same order on every PE, so the
+    /// per-PE count names the same barrier everywhere — the checker's
+    /// barrier invariant groups events by it.
+    fn barrier_trace_enter(&self) -> u64 {
+        let epoch = self.barrier_trace_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let obs = self.node.obs();
+        if obs.is_enabled() {
+            obs.emit(EventKind::BarrierStart, epoch, [self.num_pes() as u64, 0]);
+        }
+        epoch
+    }
+
+    fn barrier_trace_exit(&self, epoch: u64, t0: Instant) {
+        let obs = self.node.obs();
+        if obs.is_enabled() {
+            self.node.metrics().record_op(OpClass::Barrier, t0.elapsed().as_micros() as u64);
+            obs.emit(EventKind::BarrierEnd, epoch, [0, 0]);
+        }
+    }
+
     /// The paper's Fig. 6 algorithm: start sweep + end sweep of doorbells
     /// around the ring.
     pub fn barrier_ring_sweep(&self, timeout: Duration) -> Result<()> {
+        let t0 = Instant::now();
+        let epoch = self.barrier_trace_enter();
         // Complete this PE's outstanding communication first.
         self.quiet()?;
         if self.num_pes() == 1 {
+            self.barrier_trace_exit(epoch, t0);
             return Ok(());
         }
         let deadline = Instant::now() + timeout;
@@ -66,6 +92,10 @@ impl ShmemCtx {
             if !self.node.wait_barrier(RouteDirection::Left, true, remaining(deadline)?)? {
                 return Err(ShmemError::BarrierTimeout);
             }
+            if self.node.obs().is_enabled() {
+                // Start sweep complete: every PE has entered the barrier.
+                self.node.obs().emit(EventKind::BarrierRound, epoch, [0, 0]);
+            }
             // Initiate the end sweep.
             self.node.send_barrier(RouteDirection::Right, false)?;
             // Consume the end signal returning from host N-1 so the
@@ -83,8 +113,14 @@ impl ShmemCtx {
             if !self.node.wait_barrier(RouteDirection::Left, false, remaining(deadline)?)? {
                 return Err(ShmemError::BarrierTimeout);
             }
+            if self.node.obs().is_enabled() {
+                // The end sweep reaching this PE proves the start sweep
+                // closed the ring: every PE has entered.
+                self.node.obs().emit(EventKind::BarrierRound, epoch, [0, 0]);
+            }
             self.node.send_barrier(RouteDirection::Right, false)?;
         }
+        self.barrier_trace_exit(epoch, t0);
         Ok(())
     }
 
@@ -96,9 +132,12 @@ impl ShmemCtx {
     /// the ring like any payload — no doorbell vectors are consumed and
     /// the hop count per round stays ≤ N/2.
     pub fn barrier_dissemination(&self, timeout: Duration) -> Result<()> {
+        let t0 = Instant::now();
+        let trace_epoch = self.barrier_trace_enter();
         self.quiet()?;
         let n = self.num_pes();
         if n == 1 {
+            self.barrier_trace_exit(trace_epoch, t0);
             return Ok(());
         }
         let epoch = self.barrier_epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
@@ -122,9 +161,17 @@ impl ShmemCtx {
                 }
                 self.heap.wait_change(seen, Duration::from_millis(20));
             }
+            if self.node.obs().is_enabled() {
+                self.node.obs().emit(
+                    EventKind::BarrierRound,
+                    trace_epoch,
+                    [round as u64, dist as u64],
+                );
+            }
             dist <<= 1;
             round += 1;
         }
+        self.barrier_trace_exit(trace_epoch, t0);
         Ok(())
     }
 }

@@ -16,10 +16,12 @@
 //! by the `atomics`, `collectives`, `lock` and `sync` modules, all as
 //! methods on this same context.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use ntb_net::NtbNode;
-use ntb_sim::TransferMode;
+use ntb_sim::{EventKind, OpClass, TransferMode};
 
 use crate::config::ShmemConfig;
 use crate::error::{Result, ShmemError};
@@ -39,6 +41,13 @@ pub struct ShmemCtx {
     pub(crate) barrier_flags: TypedSym<u64>,
     /// Monotonic epoch of the dissemination barrier.
     pub(crate) barrier_epoch: std::sync::atomic::AtomicU64,
+    /// Monotonic id generator for API-level trace events (put/get/AMO
+    /// issue/complete pairs share one id).
+    pub(crate) api_op: AtomicU64,
+    /// Monotonic barrier count for trace epochs. Barriers are collective
+    /// and every PE calls them in the same order, so the count names the
+    /// same barrier on every PE.
+    pub(crate) barrier_trace_epoch: AtomicU64,
 }
 
 /// Rounds reserved for the dissemination barrier (supports up to 2^64
@@ -63,7 +72,14 @@ impl ShmemCtx {
             cfg,
             barrier_flags,
             barrier_epoch: std::sync::atomic::AtomicU64::new(0),
+            api_op: AtomicU64::new(0),
+            barrier_trace_epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Fresh id for an API-level trace event pair.
+    pub(crate) fn next_api_op(&self) -> u64 {
+        self.api_op.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     pub(crate) fn finalize(&self) {
@@ -195,7 +211,17 @@ impl ShmemCtx {
             self.heap.bump_version();
             Ok(())
         } else {
-            self.node.put_bytes(pe, off, &bytes, mode)?;
+            let obs = self.node.obs();
+            if obs.is_enabled() {
+                let op = self.next_api_op();
+                let t0 = Instant::now();
+                obs.emit(EventKind::ApiPutIssue, op, [pe as u64, bytes.len() as u64]);
+                self.node.put_bytes(pe, off, &bytes, mode)?;
+                self.node.metrics().record_op(OpClass::Put, t0.elapsed().as_micros() as u64);
+                obs.emit(EventKind::ApiPutComplete, op, [pe as u64, 0]);
+            } else {
+                self.node.put_bytes(pe, off, &bytes, mode)?;
+            }
             Ok(())
         }
     }
@@ -268,7 +294,18 @@ impl ShmemCtx {
         let bytes = if pe == self.my_pe() {
             self.heap.read_flat_vec(off, len)?
         } else {
-            self.node.get_bytes(pe, off, len, mode)?
+            let obs = self.node.obs();
+            if obs.is_enabled() {
+                let op = self.next_api_op();
+                let t0 = Instant::now();
+                obs.emit(EventKind::ApiGetIssue, op, [pe as u64, len]);
+                let bytes = self.node.get_bytes(pe, off, len, mode)?;
+                self.node.metrics().record_op(OpClass::Get, t0.elapsed().as_micros() as u64);
+                obs.emit(EventKind::ApiGetComplete, op, [pe as u64, 0]);
+                bytes
+            } else {
+                self.node.get_bytes(pe, off, len, mode)?
+            }
         };
         Ok(T::bytes_to_vec(&bytes))
     }
@@ -390,7 +427,18 @@ impl ShmemCtx {
     /// [`ShmemError::LinkFailed`](crate::error::ShmemError::LinkFailed)
     /// instead of hanging.
     pub fn quiet(&self) -> Result<()> {
-        self.node.quiet()?;
+        let obs = self.node.obs();
+        if obs.is_enabled() {
+            let op = self.next_api_op();
+            let t0 = Instant::now();
+            obs.emit(EventKind::QuietStart, op, [0, 0]);
+            let result = self.node.quiet();
+            self.node.metrics().record_op(OpClass::Quiet, t0.elapsed().as_micros() as u64);
+            obs.emit(EventKind::QuietEnd, op, [u64::from(result.is_err()), 0]);
+            result?;
+        } else {
+            self.node.quiet()?;
+        }
         Ok(())
     }
 
@@ -399,12 +447,33 @@ impl ShmemCtx {
     /// reorder against single-hop ones, so fence is implemented as quiet
     /// (a conservative, spec-compliant strengthening).
     pub fn fence(&self) -> Result<()> {
+        let obs = self.node.obs();
+        if obs.is_enabled() {
+            obs.emit(EventKind::Fence, self.next_api_op(), [0, 0]);
+        }
         self.quiet()
     }
 
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
+
+    /// This PE's metrics registry (op-latency histograms and per-link
+    /// counters), populated while structured tracing is enabled.
+    pub fn metrics(&self) -> &Arc<ntb_sim::MetricsRegistry> {
+        self.node.metrics()
+    }
+
+    /// This PE's counters and metrics as one JSON object:
+    /// `{"pe": .., "stats": {..}, "metrics": {"ops": .., "links": ..}}`.
+    pub fn metrics_json(&self) -> String {
+        format!(
+            "{{\"pe\":{},\"stats\":{},\"metrics\":{}}}",
+            self.my_pe(),
+            self.stats_snapshot().to_json(),
+            self.node.metrics().to_json()
+        )
+    }
 
     /// Snapshot of this PE's communication counters (protocol activity
     /// plus raw bytes through both NTB adapters).
@@ -479,6 +548,33 @@ pub struct PeStats {
 }
 
 impl PeStats {
+    /// Render the snapshot as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"frames_rx\":{},\"forwards\":{},\"puts_delivered\":{},\"gets_served\":{},\
+             \"acks_received\":{},\"amos_served\":{},\"retransmits\":{},\
+             \"checksum_rejects\":{},\"reroutes\":{},\"duplicates_suppressed\":{},\
+             \"probes_sent\":{},\"link_down_events\":{},\"bytes_tx\":{},\"bytes_rx\":{},\
+             \"heap_capacity\":{},\"heap_live_bytes\":{}}}",
+            self.frames_rx,
+            self.forwards,
+            self.puts_delivered,
+            self.gets_served,
+            self.acks_received,
+            self.amos_served,
+            self.retransmits,
+            self.checksum_rejects,
+            self.reroutes,
+            self.duplicates_suppressed,
+            self.probes_sent,
+            self.link_down_events,
+            self.bytes_tx,
+            self.bytes_rx,
+            self.heap_capacity,
+            self.heap_live_bytes
+        )
+    }
+
     /// Sum of the recovery-path counters — zero on a clean (fault-free)
     /// run, nonzero once the retry machinery had to act.
     pub fn recovery_total(&self) -> u64 {

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/ntb_net-f3573caafcb1faf1.d: crates/ntb-net/src/lib.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/ntb_net-f3573caafcb1faf1.d: crates/ntb-net/src/lib.rs crates/ntb-net/src/checker.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libntb_net-f3573caafcb1faf1.rmeta: crates/ntb-net/src/lib.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libntb_net-f3573caafcb1faf1.rmeta: crates/ntb-net/src/lib.rs crates/ntb-net/src/checker.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs Cargo.toml
 
 crates/ntb-net/src/lib.rs:
+crates/ntb-net/src/checker.rs:
 crates/ntb-net/src/config.rs:
 crates/ntb-net/src/crc.rs:
 crates/ntb-net/src/delivery.rs:

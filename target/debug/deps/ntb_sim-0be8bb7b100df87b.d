@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/ntb_sim-0be8bb7b100df87b.d: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
+/root/repo/target/debug/deps/ntb_sim-0be8bb7b100df87b.d: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/obs.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
 
-/root/repo/target/debug/deps/ntb_sim-0be8bb7b100df87b: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
+/root/repo/target/debug/deps/ntb_sim-0be8bb7b100df87b: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/obs.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
 
 crates/ntb-sim/src/lib.rs:
 crates/ntb-sim/src/bar.rs:
@@ -11,6 +11,7 @@ crates/ntb-sim/src/error.rs:
 crates/ntb-sim/src/fault.rs:
 crates/ntb-sim/src/link.rs:
 crates/ntb-sim/src/memory.rs:
+crates/ntb-sim/src/obs.rs:
 crates/ntb-sim/src/port.rs:
 crates/ntb-sim/src/scratchpad.rs:
 crates/ntb-sim/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_checker-99e5952fe58e64a8.d: tests/trace_checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_checker-99e5952fe58e64a8.rmeta: tests/trace_checker.rs Cargo.toml
+
+tests/trace_checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_checker-9b9bf7f9ebfbf392.d: tests/trace_checker.rs
+
+/root/repo/target/debug/deps/trace_checker-9b9bf7f9ebfbf392: tests/trace_checker.rs
+
+tests/trace_checker.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/ntb_net-655f2c25a77cccc1.d: crates/ntb-net/src/lib.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs
+/root/repo/target/release/deps/ntb_net-655f2c25a77cccc1.d: crates/ntb-net/src/lib.rs crates/ntb-net/src/checker.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs
 
-/root/repo/target/release/deps/libntb_net-655f2c25a77cccc1.rlib: crates/ntb-net/src/lib.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs
+/root/repo/target/release/deps/libntb_net-655f2c25a77cccc1.rlib: crates/ntb-net/src/lib.rs crates/ntb-net/src/checker.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs
 
-/root/repo/target/release/deps/libntb_net-655f2c25a77cccc1.rmeta: crates/ntb-net/src/lib.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs
+/root/repo/target/release/deps/libntb_net-655f2c25a77cccc1.rmeta: crates/ntb-net/src/lib.rs crates/ntb-net/src/checker.rs crates/ntb-net/src/config.rs crates/ntb-net/src/crc.rs crates/ntb-net/src/delivery.rs crates/ntb-net/src/forwarder.rs crates/ntb-net/src/frame.rs crates/ntb-net/src/handshake.rs crates/ntb-net/src/layout.rs crates/ntb-net/src/mailbox.rs crates/ntb-net/src/network.rs crates/ntb-net/src/node.rs crates/ntb-net/src/pending.rs crates/ntb-net/src/service.rs crates/ntb-net/src/topology.rs crates/ntb-net/src/trace.rs
 
 crates/ntb-net/src/lib.rs:
+crates/ntb-net/src/checker.rs:
 crates/ntb-net/src/config.rs:
 crates/ntb-net/src/crc.rs:
 crates/ntb-net/src/delivery.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/ntb_sim-5479bfbacd5cd18a.d: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
+/root/repo/target/release/deps/ntb_sim-5479bfbacd5cd18a.d: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/obs.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
 
-/root/repo/target/release/deps/libntb_sim-5479bfbacd5cd18a.rlib: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
+/root/repo/target/release/deps/libntb_sim-5479bfbacd5cd18a.rlib: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/obs.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
 
-/root/repo/target/release/deps/libntb_sim-5479bfbacd5cd18a.rmeta: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
+/root/repo/target/release/deps/libntb_sim-5479bfbacd5cd18a.rmeta: crates/ntb-sim/src/lib.rs crates/ntb-sim/src/bar.rs crates/ntb-sim/src/config_space.rs crates/ntb-sim/src/dma.rs crates/ntb-sim/src/doorbell.rs crates/ntb-sim/src/error.rs crates/ntb-sim/src/fault.rs crates/ntb-sim/src/link.rs crates/ntb-sim/src/memory.rs crates/ntb-sim/src/obs.rs crates/ntb-sim/src/port.rs crates/ntb-sim/src/scratchpad.rs crates/ntb-sim/src/stats.rs crates/ntb-sim/src/timing.rs crates/ntb-sim/src/window.rs
 
 crates/ntb-sim/src/lib.rs:
 crates/ntb-sim/src/bar.rs:
@@ -13,6 +13,7 @@ crates/ntb-sim/src/error.rs:
 crates/ntb-sim/src/fault.rs:
 crates/ntb-sim/src/link.rs:
 crates/ntb-sim/src/memory.rs:
+crates/ntb-sim/src/obs.rs:
 crates/ntb-sim/src/port.rs:
 crates/ntb-sim/src/scratchpad.rs:
 crates/ntb-sim/src/stats.rs:

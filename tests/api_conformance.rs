@@ -140,3 +140,141 @@ fn symmetric_address_invariant() {
     .unwrap();
     assert!(offsets.windows(2).all(|w| w[0] == w[1]), "{offsets:?}");
 }
+
+// ---------------------------------------------------------------------
+// Strided transfers and collectives across ring sizes
+// ---------------------------------------------------------------------
+
+/// Ring sizes the conformance sweep runs at: the smallest ring, the
+/// paper's 3-node testbed, and an odd ring with multi-hop routes.
+const RING_SIZES: [usize; 3] = [2, 3, 5];
+
+fn ring_cfg(n: usize) -> ShmemConfig {
+    ShmemConfig::fast_sim().with_hosts(n)
+}
+
+/// `shmem_iput`/`shmem_iget`: strided transfers land on the expected
+/// elements at every ring size, including a self-targeted transfer and
+/// the zero-element degenerate call.
+#[test]
+fn strided_iput_iget_across_ring_sizes() {
+    for n in RING_SIZES {
+        ShmemWorld::run(ring_cfg(n), |ctx| {
+            let me = ctx.my_pe();
+            let sym = ctx.calloc_array::<u32>(128).expect("alloc");
+            let right = (me + 1) % n;
+            let left = (me + n - 1) % n;
+
+            // Contiguous source, stride-3 destination on the right
+            // neighbour: element k lands at index 5 + 3k.
+            let src: Vec<u32> = (0..16).map(|k| (me * 100 + k) as u32).collect();
+            ctx.iput(&sym, 5, 3, &src, 1, 16, right).expect("iput");
+            ctx.quiet().expect("quiet");
+            ctx.barrier_all().expect("barrier");
+
+            // Read the strided elements back from our own copy — both a
+            // self-target iget and the check of the left neighbour's put.
+            let mine = ctx.iget(&sym, 5, 3, 16, me).expect("self iget");
+            let want: Vec<u32> = (0..16).map(|k| (left * 100 + k) as u32).collect();
+            assert_eq!(mine, want, "ring {n}: left neighbour's strided put");
+
+            // Strided source: every second element of `src`, fetched
+            // remotely from the right neighbour's strided region.
+            let sparse = ctx.iget(&sym, 5, 6, 8, right).expect("remote strided iget");
+            let expect: Vec<u32> = (0..8).map(|k| (me * 100 + 2 * k) as u32).collect();
+            assert_eq!(sparse, expect, "ring {n}: stride-6 reads every second element");
+
+            // Self-target iput with distinct source and target strides.
+            let local: Vec<u32> = (0..10).map(|k| 9000 + k).collect();
+            ctx.iput(&sym, 80, 2, &local, 1, 10, me).expect("self iput");
+            assert_eq!(
+                ctx.iget(&sym, 80, 2, 10, me).expect("verify self iput"),
+                local,
+                "ring {n}: self-targeted strided round-trip"
+            );
+
+            // Zero-length calls are no-ops, never errors.
+            ctx.iput(&sym, 0, 1, &[] as &[u32], 1, 0, right).expect("zero-length iput");
+            assert_eq!(
+                ctx.iget::<u32>(&sym, 0, 1, 0, right).expect("zero-length iget"),
+                Vec::<u32>::new(),
+                "ring {n}: zero-length iget returns empty"
+            );
+
+            ctx.barrier_all().expect("exit barrier");
+            ctx.free_array(sym).expect("free");
+        })
+        .unwrap_or_else(|e| panic!("ring {n}: {e}"));
+    }
+}
+
+/// Broadcast (every root), fcollect, variable-length collect (with
+/// zero-length contributions) and all four reductions, at every ring
+/// size.
+#[test]
+fn collectives_across_ring_sizes() {
+    for n in RING_SIZES {
+        ShmemWorld::run(ring_cfg(n), |ctx| {
+            let me = ctx.my_pe();
+
+            // broadcast_value from every root: everyone ends up with the
+            // root's contribution, not their own.
+            for root in 0..n {
+                let v = ctx.broadcast_value((me * 10 + root) as u64, root).expect("broadcast");
+                assert_eq!(v, (root * 10 + root) as u64, "ring {n}: broadcast from root {root}");
+            }
+
+            // Zero-length broadcast: a degenerate but legal collective.
+            let sym = ctx.calloc_array::<u64>(8).expect("alloc");
+            ctx.broadcast(&sym, 0, 0, 0).expect("zero-length broadcast");
+
+            // fcollect: fixed two-element contribution per PE, in PE order.
+            let dest = ctx.calloc_array::<u64>(2 * n).expect("alloc");
+            ctx.fcollect(&dest, &[me as u64, (me + 100) as u64]).expect("fcollect");
+            let all = ctx.read_local_slice::<u64>(&dest, 0, 2 * n).expect("read");
+            for pe in 0..n {
+                assert_eq!(all[2 * pe], pe as u64, "ring {n}: fcollect slot {pe}");
+                assert_eq!(all[2 * pe + 1], (pe + 100) as u64, "ring {n}: fcollect slot {pe}");
+            }
+
+            // collect: variable-length contributions, including empty
+            // ones (PEs divisible by 3 contribute nothing).
+            let cdest = ctx.calloc_array::<u32>(4 * n).expect("alloc");
+            let mine: Vec<u32> = (0..me % 3).map(|k| (me * 1000 + k) as u32).collect();
+            let total = ctx.collect(&cdest, &mine).expect("collect");
+            let want_total: usize = (0..n).map(|pe| pe % 3).sum();
+            assert_eq!(total, want_total, "ring {n}: collect total");
+            let gathered = ctx.read_local_slice::<u32>(&cdest, 0, total).expect("read");
+            let mut expect = Vec::new();
+            for pe in 0..n {
+                expect.extend((0..pe % 3).map(|k| (pe * 1000 + k) as u32));
+            }
+            assert_eq!(gathered, expect, "ring {n}: collect concatenates in PE order");
+
+            // Reductions: all four ops over a two-element vector.
+            let src = [(me + 1) as u64, (2 * me) as u64];
+            let sum = ctx.allreduce(ReduceOp::Sum, &src).expect("sum");
+            assert_eq!(sum[0], (1..=n as u64).sum::<u64>(), "ring {n}: sum of 1..=n");
+            assert_eq!(sum[1], (0..n as u64).map(|p| 2 * p).sum::<u64>(), "ring {n}");
+            let max = ctx.allreduce(ReduceOp::Max, &src).expect("max");
+            assert_eq!(max, vec![n as u64, 2 * (n as u64 - 1)], "ring {n}: max");
+            let min = ctx.allreduce(ReduceOp::Min, &src).expect("min");
+            assert_eq!(min, vec![1, 0], "ring {n}: min");
+            let prod = ctx.allreduce(ReduceOp::Prod, &[(me + 1) as u64]).expect("prod");
+            assert_eq!(prod, vec![(1..=n as u64).product::<u64>()], "ring {n}: n! product");
+
+            // reduce_to_root: only the root sees the result.
+            let at_root = ctx.reduce_to_root(ReduceOp::Sum, &[1u64], n - 1).expect("reduce");
+            if me == n - 1 {
+                assert_eq!(at_root, Some(vec![n as u64]), "ring {n}: root holds the sum");
+            } else {
+                assert_eq!(at_root, None, "ring {n}: non-roots get None");
+            }
+
+            ctx.free_array(cdest).expect("free");
+            ctx.free_array(dest).expect("free");
+            ctx.free_array(sym).expect("free");
+        })
+        .unwrap_or_else(|e| panic!("ring {n}: {e}"));
+    }
+}

@@ -5,17 +5,29 @@
 //! deterministic part of the injection (scripted events, outage
 //! windows) reproduces across same-seed runs.
 //!
+//! Every run records a full event trace and puts it through the
+//! protocol-invariant checker (`shmem_ntb::net::check`): puts resolved
+//! exactly once, AMOs applied exactly once, get chunks tiling their
+//! request, no transmit on a down link. A violation writes the
+//! rendered trace window to `target/trace-dumps/<label>.txt` before
+//! panicking, so the offending interleaving can be read offline.
+//!
+//! The seed matrix at the bottom sweeps ≥8 seeds through each fault
+//! family (doorbell-drop, payload-corruption, link-flap); the two
+//! legacy "mixed" seeds additionally assert same-seed reproducibility.
+//!
 //! Retransmission *timing* is scheduler-dependent, so rate-based
 //! injected-event totals can differ between same-seed runs (a retried
 //! send adds events to the decision streams). The reproducibility
 //! assertions therefore cover the deterministic subset — final memory
 //! contents and outage-window counts — as DESIGN.md documents.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use shmem_ntb::net::{AmoOp, DeliveryTarget, NetConfig, RetryPolicy, RingNetwork};
-use shmem_ntb::sim::{FaultPlan, Region, TransferMode};
+use shmem_ntb::net::{check, AmoOp, DeliveryTarget, NetConfig, RetryPolicy, RingNetwork};
+use shmem_ntb::sim::{render_events, FaultPlan, Region, TraceEvent, TransferMode};
 
 const HOSTS: usize = 3;
 const ROUNDS: usize = 6;
@@ -75,13 +87,57 @@ fn pattern(src: usize, dest: usize, round: usize) -> Vec<u8> {
     (0..CHUNK as u32).map(|i| ((i.wrapping_mul(2654435761) >> 8) as u8) ^ tag as u8).collect()
 }
 
-fn chaos_plan(seed: u64) -> FaultPlan {
-    FaultPlan::none()
-        .with_seed(seed)
-        .with_doorbell_drop(0.02)
-        .with_payload_corrupt(0.02)
-        .with_dma_fail(0.01)
-        .with_link_down(1, 10, Duration::from_millis(60))
+/// A fault family: one axis of the chaos matrix. Each family stresses
+/// one injection mechanism hard instead of blending them, so a
+/// regression in (say) CRC rejection shows up as a corruption-family
+/// failure rather than noise in a mixed run.
+#[derive(Clone, Copy, Debug)]
+enum Family {
+    /// Legacy blend: a little of everything plus one outage window.
+    Mixed,
+    /// Heavy doorbell loss: every retransmission path fires.
+    DoorbellDrop,
+    /// Heavy payload corruption: CRC rejection and resend.
+    Corruption,
+    /// Two scripted outage windows, one per link direction.
+    LinkFlap,
+}
+
+impl Family {
+    fn label(self) -> &'static str {
+        match self {
+            Family::Mixed => "mixed",
+            Family::DoorbellDrop => "doorbell-drop",
+            Family::Corruption => "corruption",
+            Family::LinkFlap => "link-flap",
+        }
+    }
+
+    fn plan(self, seed: u64) -> FaultPlan {
+        let base = FaultPlan::none().with_seed(seed);
+        match self {
+            Family::Mixed => base
+                .with_doorbell_drop(0.02)
+                .with_payload_corrupt(0.02)
+                .with_dma_fail(0.01)
+                .with_link_down(1, 10, Duration::from_millis(60)),
+            Family::DoorbellDrop => base.with_doorbell_drop(0.06).with_dma_fail(0.01),
+            Family::Corruption => base.with_payload_corrupt(0.06).with_dma_fail(0.01),
+            Family::LinkFlap => base
+                .with_doorbell_drop(0.01)
+                .with_link_down(0, 8, Duration::from_millis(40))
+                .with_link_down(1, 24, Duration::from_millis(40)),
+        }
+    }
+
+    /// Scripted outage windows the plan must fire (deterministic).
+    fn expected_windows(self) -> u64 {
+        match self {
+            Family::Mixed => 1,
+            Family::DoorbellDrop | Family::Corruption => 0,
+            Family::LinkFlap => 2,
+        }
+    }
 }
 
 fn chaos_retry() -> RetryPolicy {
@@ -108,11 +164,16 @@ struct ChaosOutcome {
     injected: u64,
     /// Recovery actions observed across all hosts (diagnostics).
     recovered: u64,
+    /// The full merged event trace of the run.
+    events: Vec<TraceEvent>,
+    /// Events lost to ring-buffer wrap (must be 0 for certification).
+    dropped: u64,
 }
 
-fn run_chaos(seed: u64) -> ChaosOutcome {
-    let cfg = NetConfig::fast(HOSTS).with_retry(chaos_retry()).with_faults(chaos_plan(seed));
+fn run_chaos(family: Family, seed: u64) -> ChaosOutcome {
+    let cfg = NetConfig::fast(HOSTS).with_retry(chaos_retry()).with_faults(family.plan(seed));
     let net = RingNetwork::build(cfg).unwrap();
+    net.obs_enable();
     let heaps: Vec<Arc<ChaosHeap>> = (0..HOSTS).map(|_| ChaosHeap::new()).collect();
     for (i, heap) in heaps.iter().enumerate() {
         net.node(i).set_delivery(Arc::clone(heap) as Arc<dyn DeliveryTarget>);
@@ -171,17 +232,88 @@ fn run_chaos(seed: u64) -> ChaosOutcome {
     heaps[0].region.read(COUNTER_OFF, &mut counter).unwrap();
     let fault_totals = net.fault_stats_total();
     let recovered = (0..HOSTS).map(|i| net.node(i).stats().recovery_total()).sum();
+    let dropped = net.event_log().dropped();
     ChaosOutcome {
         ranges,
         counter: u64::from_le_bytes(counter),
         down_windows: fault_totals.link_down_windows,
         injected: fault_totals.total(),
         recovered,
+        events: net.take_events(),
+        dropped,
     }
 }
 
+/// Run the trace through the invariant checker; on violation, dump the
+/// rendered report plus the full trace to `target/trace-dumps/` and
+/// panic with the artifact path.
+fn certify_trace(label: &str, outcome: &ChaosOutcome) {
+    assert_eq!(outcome.dropped, 0, "{label}: trace ring buffer wrapped; raise the capacity");
+    let report = check(&outcome.events, HOSTS);
+    if report.is_clean() {
+        return;
+    }
+    let dir = PathBuf::from("target/trace-dumps");
+    std::fs::create_dir_all(&dir).expect("create target/trace-dumps");
+    let path = dir.join(format!("{label}.txt"));
+    let body = format!(
+        "{} violation(s) in {} events\n\n{}\nfull trace:\n{}",
+        report.violations.len(),
+        outcome.events.len(),
+        report.render_violations(),
+        render_events(&outcome.events),
+    );
+    std::fs::write(&path, body).expect("write trace dump");
+    panic!(
+        "{label}: {} protocol-invariant violation(s); trace dump at {}",
+        report.violations.len(),
+        path.display()
+    );
+}
+
+/// One matrix cell: byte-exact memory, exactly-once atomics, the
+/// family's scripted outage count, and a checker-clean trace.
+fn assert_chaos_checked(family: Family, seed: u64) {
+    let outcome = run_chaos(family, seed);
+    let mut idx = 0;
+    for src in 0..HOSTS {
+        for hop in 1..HOSTS {
+            let dest = (src + hop) % HOSTS;
+            assert_eq!(
+                outcome.ranges[idx],
+                pattern(src, dest, ROUNDS - 1),
+                "{}/{seed:#x}: range {src} -> {dest} differs from the final pattern",
+                family.label(),
+            );
+            idx += 1;
+        }
+    }
+    assert_eq!(
+        outcome.counter,
+        (HOSTS as u64 - 1) * ROUNDS as u64,
+        "{}/{seed:#x}: fetch-add applied exactly once each",
+        family.label(),
+    );
+    assert_eq!(
+        outcome.down_windows,
+        family.expected_windows(),
+        "{}/{seed:#x}: scripted outage windows",
+        family.label(),
+    );
+    certify_trace(&format!("chaos-{}-{seed:#x}", family.label()), &outcome);
+    eprintln!(
+        "chaos {}/{seed:#x}: {} events, injected {}, recovered {}",
+        family.label(),
+        outcome.events.len(),
+        outcome.injected,
+        outcome.recovered
+    );
+}
+
+/// The legacy deep check: everything in [`assert_chaos_checked`] plus
+/// same-seed reproducibility of the deterministic subset.
 fn assert_chaos_seed(seed: u64) {
-    let first = run_chaos(seed);
+    let first = run_chaos(Family::Mixed, seed);
 
     // Byte-exactness: every put range holds exactly the final round's
     // pattern — no torn, stale or misplaced chunk anywhere.
@@ -205,12 +337,14 @@ fn assert_chaos_seed(seed: u64) {
     );
     // The plan's single outage window fired.
     assert_eq!(first.down_windows, 1, "exactly one scripted outage window");
+    certify_trace(&format!("chaos-mixed-{seed:#x}-run1"), &first);
 
     // Same-seed reproducibility of the deterministic subset.
-    let second = run_chaos(seed);
+    let second = run_chaos(Family::Mixed, seed);
     assert_eq!(first.ranges, second.ranges, "same seed must leave identical memory");
     assert_eq!(first.counter, second.counter);
     assert_eq!(first.down_windows, second.down_windows);
+    certify_trace(&format!("chaos-mixed-{seed:#x}-run2"), &second);
 
     eprintln!(
         "chaos seed {seed:#x}: injected {} events (run1) / {} (run2), {} recovery actions (run1)",
@@ -226,4 +360,46 @@ fn chaos_seed_a_is_byte_exact_and_reproducible() {
 #[test]
 fn chaos_seed_b_is_byte_exact_and_reproducible() {
     assert_chaos_seed(42);
+}
+
+/// The seed matrix: 8 seeds through each of the three focused fault
+/// families, every run certified by the invariant checker. One `#[test]`
+/// per cell so the harness parallelizes them and a failure names its
+/// exact (family, seed) coordinates.
+macro_rules! chaos_matrix {
+    ($($name:ident => $family:expr, $seed:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                assert_chaos_checked($family, $seed);
+            }
+        )*
+    };
+}
+
+chaos_matrix! {
+    chaos_doorbell_drop_seed_01 => Family::DoorbellDrop, 0xD0_0B01;
+    chaos_doorbell_drop_seed_02 => Family::DoorbellDrop, 0xD0_0B02;
+    chaos_doorbell_drop_seed_03 => Family::DoorbellDrop, 0xD0_0B03;
+    chaos_doorbell_drop_seed_04 => Family::DoorbellDrop, 0xD0_0B04;
+    chaos_doorbell_drop_seed_05 => Family::DoorbellDrop, 0xD0_0B05;
+    chaos_doorbell_drop_seed_06 => Family::DoorbellDrop, 0xD0_0B06;
+    chaos_doorbell_drop_seed_07 => Family::DoorbellDrop, 0xD0_0B07;
+    chaos_doorbell_drop_seed_08 => Family::DoorbellDrop, 0xD0_0B08;
+    chaos_corruption_seed_01 => Family::Corruption, 0xC0_4401;
+    chaos_corruption_seed_02 => Family::Corruption, 0xC0_4402;
+    chaos_corruption_seed_03 => Family::Corruption, 0xC0_4403;
+    chaos_corruption_seed_04 => Family::Corruption, 0xC0_4404;
+    chaos_corruption_seed_05 => Family::Corruption, 0xC0_4405;
+    chaos_corruption_seed_06 => Family::Corruption, 0xC0_4406;
+    chaos_corruption_seed_07 => Family::Corruption, 0xC0_4407;
+    chaos_corruption_seed_08 => Family::Corruption, 0xC0_4408;
+    chaos_link_flap_seed_01 => Family::LinkFlap, 0xF1_A901;
+    chaos_link_flap_seed_02 => Family::LinkFlap, 0xF1_A902;
+    chaos_link_flap_seed_03 => Family::LinkFlap, 0xF1_A903;
+    chaos_link_flap_seed_04 => Family::LinkFlap, 0xF1_A904;
+    chaos_link_flap_seed_05 => Family::LinkFlap, 0xF1_A905;
+    chaos_link_flap_seed_06 => Family::LinkFlap, 0xF1_A906;
+    chaos_link_flap_seed_07 => Family::LinkFlap, 0xF1_A907;
+    chaos_link_flap_seed_08 => Family::LinkFlap, 0xF1_A908;
 }

@@ -373,3 +373,90 @@ fn exhausted_retries_fail_within_the_policy_deadline() {
     // A second quiet() must not re-report the consumed failure.
     net.node(0).quiet().expect("failure already reported and cleared");
 }
+
+#[test]
+fn quiet_after_abandonment_is_clean_for_puts_on_the_restored_link() {
+    // Regression: a finite outage long enough to exhaust the retry
+    // budget abandons the in-flight put (quiet -> LinkFailed), then the
+    // link recovers. Subsequent puts must complete with a clean quiet()
+    // and an empty unacked table — generations must not bleed: no stale
+    // entry from the abandoned put, no stale failure record, and no
+    // late ack of the dead put id resurrecting anything.
+    let outage = Duration::from_millis(700); // > lossy_retry().worst_case()
+    let plan = FaultPlan::none().with_link_down(0, 0, outage).with_link_down(1, 0, outage);
+    let (net, heaps) = build_lossy(2, plan);
+    net.obs_enable();
+    net.node(0).put_bytes(1, 0, &[0xAB; 1024], TransferMode::Dma).unwrap();
+    let err = net.node(0).quiet().expect_err("put cannot survive the outage");
+    assert!(matches!(err, NtbError::LinkFailed { .. }), "expected LinkFailed, got {err:?}");
+    assert_eq!(net.node(0).outstanding_puts(), 0, "abandoned put must leave the table");
+    // Second generation, issued while the links are still dark: the
+    // sweeper owns it. Depending on where the outage ends it either
+    // completes after recovery or is abandoned — both are legal, but in
+    // both cases its fate must be reported exactly once and nothing may
+    // linger.
+    net.node(0).put_bytes(1, 2048, &[0xCD; 1024], TransferMode::Dma).unwrap();
+    // Wait out the outage until a probe restores either endpoint.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let up = [RouteDirection::Right, RouteDirection::Left]
+            .iter()
+            .any(|&d| net.node(0).endpoint(d).health() == LinkHealth::Up);
+        if up {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no endpoint recovered after the outage window");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Resolve the second generation: delivered or abandoned, exactly
+    // once, leaving the table empty either way.
+    match net.node(0).quiet() {
+        Ok(()) => {
+            assert_eq!(
+                heaps[1].region.read_vec(2048, 1024).unwrap(),
+                vec![0xCD; 1024],
+                "second-generation put must be byte-exact when it completes"
+            );
+        }
+        Err(e) => {
+            assert!(matches!(e, NtbError::LinkFailed { .. }), "unexpected error {e:?}");
+        }
+    }
+    assert_eq!(net.node(0).outstanding_puts(), 0, "second generation must not linger");
+    net.node(0).quiet().expect("failure records must not survive their report");
+    // Fresh puts on the restored link: every one must ack, quiet must be
+    // clean, and nothing may linger in the unacked table afterwards.
+    for round in 0..4u8 {
+        let payload = vec![round.wrapping_mul(31).wrapping_add(5); 2048];
+        net.node(0)
+            .put_bytes(1, 4096 + u64::from(round) * 4096, &payload, TransferMode::Dma)
+            .unwrap();
+        net.node(0).quiet().unwrap_or_else(|e| {
+            panic!("post-recovery quiet round {round} failed: {e:?}");
+        });
+        assert_eq!(
+            net.node(0).outstanding_puts(),
+            0,
+            "stale unacked entries after post-recovery round {round}"
+        );
+        assert_eq!(
+            heaps[1].region.read_vec(4096 + u64::from(round) * 4096, 2048).unwrap(),
+            payload,
+            "post-recovery payload round {round}"
+        );
+    }
+    // The merged trace must satisfy every protocol invariant: in
+    // particular the abandoned put resolved exactly once (PutAbandon)
+    // and its late acks, if any, were suppressed rather than double
+    // resolving it.
+    let events = net.take_events();
+    let report = shmem_ntb::net::check(&events, 2);
+    assert!(
+        report.is_clean(),
+        "invariant violations after recovery:\n{}",
+        report.render_violations()
+    );
+    for node in net.nodes() {
+        assert!(node.take_errors().is_empty(), "host {} saw errors", node.host_id());
+    }
+}

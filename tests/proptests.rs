@@ -332,6 +332,96 @@ fn aligned_allocator_deterministic() {
     }
 }
 
+/// The heap grows in exact `chunk_size` steps, only when an allocation
+/// does not fit, and replicas running the same script grow identically
+/// (a diverging segment count would break symmetric addressing).
+#[test]
+fn allocator_chunk_growth_is_minimal_and_deterministic() {
+    for case in 0..64u64 {
+        let mut rng = case_rng(12, case);
+        let chunk = 4096u64 << rng.random_range(0u32..5);
+        let h1 = SymmetricHeap::new(HostMemory::new(0, 1 << 30), chunk);
+        let h2 = SymmetricHeap::new(HostMemory::new(1, 1 << 30), chunk);
+        assert_eq!(h1.segment_count(), 0, "case {case}: heaps start empty");
+        for _ in 0..rng.random_range(1..30) {
+            let size = rng.random_range(1u64..3 * chunk);
+            let before = h1.capacity();
+            let a1 = h1.malloc(size).unwrap();
+            let a2 = h2.malloc(size).unwrap();
+            assert_eq!(a1, a2, "case {case}: replicas agree");
+            let after = h1.capacity();
+            assert_eq!(after % chunk, 0, "case {case}: capacity is whole chunks");
+            assert_eq!(
+                after,
+                h1.segment_count() as u64 * chunk,
+                "case {case}: capacity matches the segment count"
+            );
+            assert_eq!(h1.segment_count(), h2.segment_count(), "case {case}: replicas grew alike");
+            if after > before {
+                // Growth is minimal: one fewer chunk would not have held
+                // the end of this allocation.
+                assert!(
+                    a1.offset() + a1.len() > after - chunk,
+                    "case {case}: grew to {after} but allocation ends at {}",
+                    a1.offset() + a1.len()
+                );
+            } else {
+                assert!(
+                    a1.offset() + a1.len() <= before,
+                    "case {case}: no growth, so the allocation must fit the old capacity"
+                );
+            }
+        }
+    }
+}
+
+/// Free-list reuse: replaying an allocation script after freeing
+/// everything reproduces the exact offsets without growing the heap,
+/// and interleaved reuse never hands out bytes that overlap a live
+/// allocation.
+#[test]
+fn allocator_reuses_freed_space_without_overlap() {
+    for case in 0..64u64 {
+        let mut rng = case_rng(13, case);
+        let sizes: Vec<u64> =
+            (0..rng.random_range(2..25)).map(|_| rng.random_range(1u64..100_000)).collect();
+        let h = SymmetricHeap::new(HostMemory::new(0, 1 << 30), 64 << 10);
+
+        // Pass 1: allocate the script, remember the layout, free it all.
+        let first: Vec<_> = sizes.iter().map(|&s| h.malloc(s).unwrap()).collect();
+        let grown = h.capacity();
+        for a in &first {
+            h.free(*a).unwrap();
+        }
+        assert_eq!(h.live_bytes(), 0, "case {case}");
+
+        // Pass 2: the same script fits entirely in reused space.
+        let second: Vec<_> = sizes.iter().map(|&s| h.malloc(s).unwrap()).collect();
+        assert_eq!(first, second, "case {case}: freed space is reused at the same offsets");
+        assert_eq!(h.capacity(), grown, "case {case}: reuse must not grow the heap");
+
+        // Pass 3: free a random subset, then allocate into the holes —
+        // nothing handed out may overlap what is still live.
+        let mut live = second;
+        for _ in 0..sizes.len() {
+            if rng.random_bool(0.5) && !live.is_empty() {
+                let victim = live.remove(rng.random_range(0usize..live.len()));
+                h.free(victim).unwrap();
+            } else {
+                let a = h.malloc(rng.random_range(1u64..50_000)).unwrap();
+                for b in &live {
+                    let disjoint =
+                        a.offset() + a.len() <= b.offset() || b.offset() + b.len() <= a.offset();
+                    assert!(disjoint, "case {case}: reused {a:?} overlaps live {b:?}");
+                }
+                live.push(a);
+            }
+        }
+        let expect: u64 = live.iter().map(|a| a.len()).sum();
+        assert_eq!(h.live_bytes(), expect, "case {case}: accounting survives reuse");
+    }
+}
+
 /// Alignment padding is reusable: freeing everything coalesces back to
 /// one hole even with mixed alignments.
 #[test]

@@ -1,0 +1,268 @@
+//! The protocol-invariant checker as a test harness: clean workloads
+//! must certify clean, recovery under injected faults must certify
+//! clean, and a *deliberately broken* protocol — acknowledgements
+//! suppressed by the fault plan — must be caught, with the offending
+//! trace window dumped to `target/trace-dumps/` exactly as a real
+//! violation would be.
+//!
+//! This is the negative control for the chaos matrix in `chaos.rs`: a
+//! checker that cannot flag a protocol with its acks cut off would
+//! certify anything.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use shmem_ntb::net::{
+    check, AmoOp, DeliveryTarget, NetConfig, RetryPolicy, RingNetwork, Violation,
+};
+use shmem_ntb::shmem::{ReduceOp, ShmemConfig, ShmemWorld};
+use shmem_ntb::sim::{
+    render_events, EventKind, FaultAction, FaultPlan, Region, TraceEvent, TransferMode,
+};
+
+struct TraceHeap {
+    region: Region,
+    amo_lock: std::sync::Mutex<()>,
+}
+
+impl TraceHeap {
+    fn new() -> Arc<Self> {
+        Arc::new(TraceHeap {
+            region: Region::anonymous(1 << 20),
+            amo_lock: std::sync::Mutex::new(()),
+        })
+    }
+}
+
+impl DeliveryTarget for TraceHeap {
+    fn deliver_put(&self, offset: u64, data: &[u8]) -> shmem_ntb::sim::Result<()> {
+        self.region.write(offset, data)
+    }
+
+    fn read_for_get(&self, offset: u64, out: &mut [u8]) -> shmem_ntb::sim::Result<()> {
+        self.region.read(offset, out)
+    }
+
+    fn deliver_atomic(
+        &self,
+        op: AmoOp,
+        offset: u64,
+        width: usize,
+        operand: u64,
+        compare: u64,
+    ) -> shmem_ntb::sim::Result<u64> {
+        let _guard = self.amo_lock.lock().unwrap();
+        let mut buf = [0u8; 8];
+        self.region.read(offset, &mut buf[..width])?;
+        let old = u64::from_le_bytes(buf);
+        let new = op.apply(old, operand, compare);
+        self.region.write(offset, &new.to_le_bytes()[..width])?;
+        Ok(old)
+    }
+}
+
+fn attach_heaps(net: &RingNetwork, hosts: usize) -> Vec<Arc<TraceHeap>> {
+    let heaps: Vec<Arc<TraceHeap>> = (0..hosts).map(|_| TraceHeap::new()).collect();
+    for (i, heap) in heaps.iter().enumerate() {
+        net.node(i).set_delivery(Arc::clone(heap) as Arc<dyn DeliveryTarget>);
+    }
+    heaps
+}
+
+fn lossy_retry() -> RetryPolicy {
+    RetryPolicy {
+        ack_timeout: Duration::from_millis(40),
+        max_retries: 4,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(40),
+        probe_interval: Duration::from_millis(20),
+        mailbox_timeout: Duration::from_millis(20),
+        failure_threshold: 2,
+    }
+}
+
+fn dump_violations(label: &str, violations: &[Violation], events: &[TraceEvent]) -> PathBuf {
+    let dir = PathBuf::from("target/trace-dumps");
+    std::fs::create_dir_all(&dir).expect("create target/trace-dumps");
+    let path = dir.join(format!("{label}.txt"));
+    let rendered: String = violations.iter().map(|v| v.render()).collect();
+    let body = format!(
+        "{} violation(s) in {} events\n\n{}\nfull trace:\n{}",
+        violations.len(),
+        events.len(),
+        rendered,
+        render_events(events),
+    );
+    std::fs::write(&path, body).expect("write trace dump");
+    path
+}
+
+/// A full SHMEM workload — puts, strided puts/gets, atomics, barriers,
+/// broadcast and a reduction — certifies clean, and the trace contains
+/// every layer's events (API issue/complete, chunk transport, AMO
+/// application, barrier rounds).
+#[test]
+fn shmem_workload_trace_is_certified_clean() {
+    const PES: usize = 3;
+    let results = ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(PES), |ctx| {
+        let log = ctx.node().obs().log().expect("observed world");
+        log.enable();
+        let sym = ctx.calloc_array::<u64>(256).expect("alloc");
+        let right = (ctx.my_pe() + 1) % ctx.num_pes();
+        let data: Vec<u64> = (0..64).map(|i| (ctx.my_pe() * 1000 + i) as u64).collect();
+        ctx.put_slice(&sym, 0, &data, right).expect("put");
+        ctx.iput(&sym, 64, 2, &data, 1, 32, right).expect("iput");
+        ctx.quiet().expect("quiet");
+        ctx.barrier_all().expect("barrier");
+        let back = ctx.get_slice::<u64>(&sym, 0, 64, right).expect("get");
+        assert_eq!(back.len(), 64);
+        ctx.iget(&sym, 64, 2, 32, right).expect("iget");
+        ctx.atomic_fetch_add(&sym, 255, 1u64, 0).expect("amo");
+        ctx.barrier_all().expect("barrier");
+        let sum = ctx.allreduce(ReduceOp::Sum, &[ctx.my_pe() as u64]).expect("allreduce");
+        assert_eq!(sum, vec![(0..PES as u64).sum::<u64>()]);
+        ctx.free_array(sym).expect("free");
+        std::sync::Arc::clone(log)
+    })
+    .expect("world");
+    let log = &results[0];
+    let events = log.take();
+    assert_eq!(log.dropped(), 0, "trace must be complete");
+    let report = check(&events, PES);
+    if !report.is_clean() {
+        let path = dump_violations("shmem-workload", &report.violations, &events);
+        panic!("clean workload flagged; dump at {}", path.display());
+    }
+    assert!(report.puts_checked > 0, "puts traced");
+    assert!(report.gets_checked > 0, "gets traced");
+    assert!(report.amos_checked > 0, "AMOs traced");
+    assert!(report.barriers_checked > 0, "barriers traced");
+    for kind in [
+        EventKind::ApiPutIssue,
+        EventKind::ApiGetComplete,
+        EventKind::BarrierStart,
+        EventKind::BarrierEnd,
+        EventKind::QuietStart,
+        EventKind::PutDeliver,
+    ] {
+        assert!(events.iter().any(|e| e.kind == kind), "trace must contain {}", kind.name());
+    }
+}
+
+/// One scripted dropped ack forces an end-to-end retransmission; the
+/// recovery leaves a clean trace — the retransmit is visible, the put
+/// still resolves exactly once (the duplicate ack path must not
+/// double-resolve it).
+#[test]
+fn recovered_ack_drop_certifies_clean() {
+    const HOSTS: usize = 2;
+    let plan = FaultPlan::none().with_seed(11).with_scripted(0, FaultAction::DropAck, 1);
+    let cfg = NetConfig::fast(HOSTS).with_retry(lossy_retry()).with_faults(plan);
+    let net = RingNetwork::build(cfg).unwrap();
+    net.obs_enable();
+    let heaps = attach_heaps(&net, HOSTS);
+
+    let payload = vec![0xA5u8; 4096];
+    net.node(0).put_bytes(1, 512, &payload, TransferMode::Memcpy).unwrap();
+    net.node(0).quiet().expect("retransmission recovers the dropped ack");
+    assert_eq!(net.node(0).outstanding_puts(), 0);
+    assert_eq!(heaps[1].region.read_vec(512, 4096).unwrap(), payload);
+    assert_eq!(net.fault_stats_total().acks_suppressed, 1, "the scripted drop fired");
+
+    let events = net.take_events();
+    let report = check(&events, HOSTS);
+    if !report.is_clean() {
+        let path = dump_violations("recovered-ack-drop", &report.violations, &events);
+        panic!("recovered run flagged; dump at {}", path.display());
+    }
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Retransmit),
+        "the dropped ack must force a visible retransmission"
+    );
+    for node in net.nodes() {
+        assert!(node.take_errors().is_empty());
+    }
+}
+
+/// Negative control: with *every* ack suppressed and a retry policy too
+/// patient to abandon within the observation window, the trace shows a
+/// put that never resolves — the checker must flag it and the harness
+/// must produce a readable trace-window artifact.
+#[test]
+fn suppressed_acks_are_caught_by_the_checker() {
+    const HOSTS: usize = 2;
+    let plan = FaultPlan::none().with_seed(13).with_ack_drop(1.0);
+    let patient = RetryPolicy {
+        ack_timeout: Duration::from_secs(30),
+        max_retries: 1,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(40),
+        probe_interval: Duration::from_millis(20),
+        mailbox_timeout: Duration::from_millis(20),
+        failure_threshold: 1000,
+    };
+    let cfg = NetConfig::fast(HOSTS).with_retry(patient).with_faults(plan);
+    let net = RingNetwork::build(cfg).unwrap();
+    net.obs_enable();
+    let heaps = attach_heaps(&net, HOSTS);
+
+    let payload = vec![0x5Au8; 2048];
+    net.node(0).put_bytes(1, 256, &payload, TransferMode::Memcpy).unwrap();
+    // The put is delivered (data plane works) but its ack never returns.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while heaps[1].region.read_vec(256, 2048).unwrap() != payload {
+        assert!(std::time::Instant::now() < deadline, "put must still be delivered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(net.node(0).outstanding_puts(), 1, "the put can never be acknowledged");
+    assert!(net.fault_stats_total().acks_suppressed >= 1);
+
+    let events = net.take_events();
+    let report = check(&events, HOSTS);
+    assert!(!report.is_clean(), "an unresolvable put must not certify");
+    let broken: Vec<&Violation> =
+        report.violations.iter().filter(|v| v.invariant == "put-resolution").collect();
+    assert!(
+        !broken.is_empty(),
+        "expected a put-resolution violation, got: {}",
+        report.render_violations()
+    );
+    assert!(
+        broken[0].message.contains("never acked nor abandoned"),
+        "violation names the unresolved put: {}",
+        broken[0].message
+    );
+    assert!(!broken[0].window.is_empty(), "violation carries its trace window");
+
+    // The artifact a CI failure would upload: render it and check it is
+    // a readable account of the failure.
+    let path = dump_violations("negative-ack-suppressed", &report.violations, &events);
+    let dump = std::fs::read_to_string(&path).unwrap();
+    assert!(dump.contains("put-resolution"), "dump names the invariant");
+    assert!(dump.contains("put_issue"), "dump shows the unresolved put's issue event");
+}
+
+/// Tampering control: start from a certified-clean trace and erase the
+/// target-side AMO applications — the checker must notice that the AMO
+/// completions have no matching application.
+#[test]
+fn tampered_trace_fails_amo_invariant() {
+    const HOSTS: usize = 2;
+    let cfg = NetConfig::fast(HOSTS).with_retry(lossy_retry());
+    let net = RingNetwork::build(cfg).unwrap();
+    net.obs_enable();
+    let _heaps = attach_heaps(&net, HOSTS);
+    net.node(0).amo(1, AmoOp::FetchAdd, 64, 8, 3, 0).unwrap();
+
+    let events = net.take_events();
+    assert!(check(&events, HOSTS).is_clean(), "baseline trace must certify");
+    let tampered: Vec<TraceEvent> =
+        events.into_iter().filter(|e| e.kind != EventKind::AmoApply).collect();
+    let report = check(&tampered, HOSTS);
+    assert!(
+        report.violations.iter().any(|v| v.invariant == "amo-exactly-once"),
+        "erased AMO application must be flagged, got: {}",
+        report.render_violations()
+    );
+}
