@@ -1,0 +1,363 @@
+//! A hand-rolled Rust tokenizer — just enough lexical structure for the
+//! concurrency rules, with no external parser dependency (the workspace is
+//! vendored-offline, so `syn` is not an option).
+//!
+//! The lexer understands the token shapes that would otherwise produce
+//! false positives in a grep-based pass: line and (nested) block comments,
+//! plain / byte / raw string literals, character literals vs. lifetimes,
+//! and numeric literals. Everything else becomes an identifier or a
+//! single-character punctuation token. Every token carries its 1-based
+//! source line so findings and annotation lookups stay line-accurate.
+
+/// Lexical class of a [`Tok`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `lock`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `:`, `#`, ...).
+    Punct,
+    /// String, byte-string or raw-string literal (contents opaque).
+    Str,
+    /// Character literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Source text (for `Str` the raw literal including quotes).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// A comment, kept out of the token stream but recorded for annotation
+/// lookups (`// SAFETY:`, `// lint: ...`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// Tokenize `src`, returning the token stream and the comments.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment { line, text: chars[start..i].iter().collect() });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: chars[start..i.min(n)].iter().collect(),
+                });
+                continue;
+            }
+        }
+        // Raw strings / raw identifiers / byte strings: r"..", r#".."#,
+        // br".."/b"..", r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (prefix_len, raw) = match (c, chars.get(i + 1), chars.get(i + 2)) {
+                ('r', Some('"'), _) | ('r', Some('#'), _) => (1, true),
+                ('b', Some('"'), _) => (1, false),
+                ('b', Some('r'), Some('"')) | ('b', Some('r'), Some('#')) => (2, true),
+                _ => (0, false),
+            };
+            if prefix_len > 0 {
+                let start = i;
+                let start_line = line;
+                let mut j = i + prefix_len;
+                if raw {
+                    let mut hashes = 0usize;
+                    while j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '"' {
+                        j += 1;
+                        // Scan for `"` followed by `hashes` hashes.
+                        'raw: while j < n {
+                            if chars[j] == '\n' {
+                                line += 1;
+                            } else if chars[j] == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    j += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            j += 1;
+                        }
+                        toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: chars[start..j.min(n)].iter().collect(),
+                            line: start_line,
+                        });
+                        i = j;
+                        continue;
+                    } else if c == 'r' && hashes == 1 && j < n && is_ident_start(chars[j]) {
+                        // Raw identifier r#ident.
+                        let id_start = j;
+                        while j < n && is_ident_cont(chars[j]) {
+                            j += 1;
+                        }
+                        toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: chars[id_start..j].iter().collect(),
+                            line,
+                        });
+                        i = j;
+                        continue;
+                    }
+                    // Not actually a raw literal: fall through to ident.
+                } else {
+                    // b"...": delegate to the plain-string scanner below by
+                    // consuming the prefix here.
+                    i += prefix_len;
+                    let (j, nl) = scan_plain_string(&chars, i);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: chars[start..j].iter().collect(),
+                        line: start_line,
+                    });
+                    line += nl;
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            let (j, nl) = scan_plain_string(&chars, i);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: chars[start..j].iter().collect(),
+                line: start_line,
+            });
+            line += nl;
+            i = j;
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote.
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let mut j = i + 2;
+                while j < n && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+                if j >= n || chars[j] != '\'' {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            // Char literal: 'x', '\n', '\u{1F600}', '\''.
+            let start = i;
+            let mut j = i + 1;
+            while j < n {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\'' {
+                    j += 1;
+                    break;
+                }
+                if chars[j] == '\n' {
+                    break; // malformed; bail at line end
+                }
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: chars[start..j.min(n)].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            // Fractional part only when followed by a digit (so `0..n`
+            // ranges and `1.max(2)` method calls keep their dots).
+            if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                j += 2;
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Num, text: chars[start..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i + 1;
+            while j < n && is_ident_cont(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: chars[start..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Everything else: one punctuation character.
+        toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    (toks, comments)
+}
+
+/// Scan a `"..."` literal starting at the opening quote; returns the index
+/// one past the closing quote and the number of newlines crossed.
+fn scan_plain_string(chars: &[char], open: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut j = open + 1;
+    let mut newlines = 0u32;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j.min(n), newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).0.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone()).collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let (toks, comments) = lex("let x = 1; // unwrap() in a comment\n/* unsafe */ let y;");
+        assert!(toks.iter().all(|t| t.text != "unwrap" && t.text != "unsafe"));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let (toks, _) = lex(r#"let s = "call .unwrap() here"; s.len();"#);
+        assert!(!idents(r#"let s = ".unwrap()";"#).contains(&"unwrap".to_string()));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let (toks, _) =
+            lex(r##"let a = r#"raw "quoted" unsafe"#; let b = b"bytes"; let c = br"rb";"##);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let (toks, comments) = lex("a\nb // c\nd");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(comments[0].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "x");
+        assert_eq!(comments.len(), 1);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let (toks, _) = lex("for i in 0..10 { let m = 1.max(2); let f = 1.5e3; }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "max"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "1.5e3"));
+    }
+}

@@ -1,0 +1,753 @@
+//! `ntb-lint` — workspace-native concurrency lint for the NTB/OpenSHMEM
+//! workspace.
+//!
+//! Four rules, all keyed to the paper's ordered shared-state protocol
+//! (ScratchPad publish → doorbell → service-thread consume):
+//!
+//! 1. **safety** — every `unsafe` block / fn / impl carries a
+//!    `// SAFETY:` comment explaining the invariant.
+//! 2. **atomics** — atomic `Ordering`s are allowlisted per site
+//!    (`SeqCst`/`Acquire`/`Release`/`AcqRel`); `Relaxed` requires a
+//!    `// lint: relaxed-ok(reason)` annotation, and `use ...::Ordering::Relaxed`
+//!    imports are forbidden outright (they hide the ordering at use sites).
+//! 3. **unwraps** — no `.unwrap()` / `.expect()` in non-test
+//!    `ntb-net` / `shmem-core` code unless annotated
+//!    `// lint: unwrap-ok(reason)`.
+//! 4. **locks** — every lock acquisition is classified in the
+//!    [`manifest::LOCK_SITES`] table, nested acquisitions respect the
+//!    declared rank order (or carry `// lint: lock-order-ok(reason)`),
+//!    and the runtime lockdep class table stays in sync with the manifest.
+//!
+//! All rules skip `#[test]` / `#[cfg(test)]` regions. The pass is
+//! deliberately dependency-free (hand-rolled lexer, no `syn`): the
+//! workspace is vendored-offline and the lint must run anywhere the
+//! workspace builds.
+
+pub mod lexer;
+pub mod manifest;
+
+use lexer::{lex, Comment, Tok, TokKind};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in (as passed to the scanner).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id: `safety`, `atomics`, `unwraps`, `locks`, `lockdep-sync`.
+    pub rule: &'static str,
+    /// Human-readable description with the expected annotation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// How path-scoped rules treat the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileMode {
+    /// Normal workspace scan: the unwraps rule applies only to
+    /// `ntb-net/src` and `shmem-core/src`.
+    Workspace,
+    /// Fixture / single-file mode: every rule applies unconditionally.
+    Single,
+}
+
+/// Pre-lexed view of one source file shared by all rules.
+struct FileCtx<'a> {
+    file: &'a str,
+    toks: Vec<Tok>,
+    /// Lines that contain at least one code token.
+    code_lines: HashSet<u32>,
+    /// Comment text per start line (multiple comments concatenated).
+    comments: HashMap<u32, String>,
+    /// Inclusive line ranges covered by `#[test]` / `#[cfg(test)]` items.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(file: &'a str, src: &str) -> Self {
+        let (toks, raw_comments) = lex(src);
+        let mut comments: HashMap<u32, String> = HashMap::new();
+        for Comment { line, text } in raw_comments {
+            comments.entry(line).or_default().push_str(&text);
+        }
+        let code_lines = toks.iter().map(|t| t.line).collect();
+        let test_ranges = find_test_ranges(&toks);
+        FileCtx { file, toks, code_lines, comments, test_ranges }
+    }
+
+    fn in_test(&self, line: u32) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// True when `needle` appears in a comment on the token's line, on a
+    /// contiguous run of comment/blank lines directly above it, or (for
+    /// block-opening constructs) on the line just below.
+    fn annotated(&self, line: u32, needle: &str) -> bool {
+        if self.comments.get(&line).is_some_and(|c| c.contains(needle)) {
+            return true;
+        }
+        // Walk up through comments and blank lines; stop at code.
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if let Some(c) = self.comments.get(&l) {
+                if c.contains(needle) {
+                    return true;
+                }
+                continue;
+            }
+            if self.code_lines.contains(&l) {
+                break;
+            }
+            // blank line: keep walking
+        }
+        // First line inside an opened block (e.g. `unsafe {` + SAFETY below).
+        self.comments.get(&(line + 1)).is_some_and(|c| c.contains(needle))
+    }
+}
+
+/// Token ranges covered by test-only items, as inclusive line spans.
+///
+/// An item is test-only when introduced by `#[test]`, `#[cfg(test)]`, or a
+/// `#[...::test]`-style attribute; the span runs to the end of the item's
+/// brace block (or its terminating `;`).
+fn find_test_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Parse one attribute: # [ ... ].
+        let Some((attr_toks, after)) = parse_attr(toks, i) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(&attr_toks) {
+            i = after;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Skip any further attributes on the same item.
+        let mut j = after;
+        while j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "#" {
+            match parse_attr(toks, j) {
+                Some((_, nj)) => j = nj,
+                None => break,
+            }
+        }
+        // Find the item's end: first `;` at depth 0, or the `}` matching
+        // the first `{`.
+        let mut depth = 0i32;
+        let mut end_line = toks.get(j).map_or(start_line, |t| t.line);
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = t.line;
+                            j += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end_line = t.line;
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line;
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = j;
+    }
+    ranges
+}
+
+/// Parse `# [ ... ]` starting at index `i` (which must be `#`); returns the
+/// attribute's inner tokens and the index just past the closing `]`.
+fn parse_attr(toks: &[Tok], i: usize) -> Option<(Vec<String>, usize)> {
+    let mut j = i + 1;
+    // Tolerate inner attributes `#![...]`.
+    if toks.get(j).is_some_and(|t| t.text == "!") {
+        j += 1;
+    }
+    if toks.get(j).is_none_or(|t| t.text != "[") {
+        return None;
+    }
+    j += 1;
+    let mut depth = 1i32;
+    let mut inner = Vec::new();
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            if t.text == "[" {
+                depth += 1;
+            } else if t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((inner, j + 1));
+                }
+            }
+        }
+        inner.push(t.text.clone());
+        j += 1;
+    }
+    None
+}
+
+/// Is this attribute a test marker? Catches `test`, `cfg(test)`,
+/// `path::test` — but not `cfg(not(test))`.
+fn attr_is_test(attr: &[String]) -> bool {
+    if attr.iter().any(|t| t == "not") {
+        return false;
+    }
+    match attr.iter().position(|t| t == "test") {
+        None => false,
+        Some(0) => true,
+        Some(p) => {
+            // `cfg ( test ...` or `tokio :: test`.
+            matches!(attr[p - 1].as_str(), "(" | "," | ":")
+        }
+    }
+}
+
+const ALLOWED_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
+
+/// Rule 1: every non-test `unsafe` carries a SAFETY comment.
+fn rule_safety(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for t in &ctx.toks {
+        if t.kind == TokKind::Ident
+            && t.text == "unsafe"
+            && !ctx.in_test(t.line)
+            && !ctx.annotated(t.line, "SAFETY:")
+        {
+            out.push(Finding {
+                file: ctx.file.to_string(),
+                line: t.line,
+                rule: "safety",
+                message: "`unsafe` without a `// SAFETY:` comment stating the upheld invariant"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Rule 2: allowlisted atomic orderings; `Relaxed` needs
+/// `// lint: relaxed-ok(reason)`, and importing `Ordering::Relaxed` is
+/// forbidden (it hides the ordering at every use site).
+fn rule_atomics(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "Ordering") {
+            continue;
+        }
+        // Match `Ordering :: <Variant>`.
+        let (Some(c1), Some(c2), Some(v)) = (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
+        else {
+            continue;
+        };
+        if c1.text != ":" || c2.text != ":" || v.kind != TokKind::Ident {
+            continue;
+        }
+        if ctx.in_test(v.line) {
+            continue;
+        }
+        if stmt_starts_with_use(toks, i) {
+            if v.text == "Relaxed" {
+                out.push(Finding {
+                    file: ctx.file.to_string(),
+                    line: v.line,
+                    rule: "atomics",
+                    message: "importing `Ordering::Relaxed` hides the ordering at use sites; \
+                              name `Ordering::Relaxed` explicitly at each load/store"
+                        .into(),
+                });
+            }
+            continue;
+        }
+        if ALLOWED_ORDERINGS.contains(&v.text.as_str()) {
+            continue;
+        }
+        if v.text == "Relaxed" {
+            if !ctx.annotated(v.line, "lint: relaxed-ok") {
+                out.push(Finding {
+                    file: ctx.file.to_string(),
+                    line: v.line,
+                    rule: "atomics",
+                    message: "`Ordering::Relaxed` without `// lint: relaxed-ok(reason)`; \
+                              protocol state needs an explicit justification for no ordering"
+                        .into(),
+                });
+            }
+        } else {
+            out.push(Finding {
+                file: ctx.file.to_string(),
+                line: v.line,
+                rule: "atomics",
+                message: format!("unknown atomic ordering `{}`", v.text),
+            });
+        }
+    }
+}
+
+/// Does the statement containing token `i` start with `use`?
+fn stmt_starts_with_use(toks: &[Tok], i: usize) -> bool {
+    for j in (0..i).rev() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            return toks.get(j + 1).is_some_and(|t| t.text == "use");
+        }
+    }
+    toks.first().is_some_and(|t| t.text == "use")
+}
+
+/// Rule 3: no `.unwrap()` / `.expect(` in non-test ntb-net / shmem-core
+/// code without `// lint: unwrap-ok(reason)`.
+fn rule_unwraps(ctx: &FileCtx<'_>, mode: FileMode, out: &mut Vec<Finding>) {
+    if mode == FileMode::Workspace {
+        let norm = ctx.file.replace('\\', "/");
+        if !(norm.contains("ntb-net/src/") || norm.contains("shmem-core/src/")) {
+            return;
+        }
+    }
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == ".") {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        if !(m.kind == TokKind::Ident && (m.text == "unwrap" || m.text == "expect")) {
+            continue;
+        }
+        if toks.get(i + 2).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        if ctx.in_test(m.line) || ctx.annotated(m.line, "lint: unwrap-ok") {
+            continue;
+        }
+        out.push(Finding {
+            file: ctx.file.to_string(),
+            line: m.line,
+            rule: "unwraps",
+            message: format!(
+                "`.{}()` in non-test code: return a typed `ShmemError`/`NtbError`, \
+                 or justify with `// lint: unwrap-ok(reason)`",
+                m.text
+            ),
+        });
+    }
+}
+
+/// One lock acquisition discovered in the token stream.
+struct Acq {
+    line: u32,
+    receiver: String,
+    /// Index of the `.` token, for statement-shape probing.
+    dot: usize,
+}
+
+/// Rule 4: classified lock sites + intra-function rank ordering, plus the
+/// lockdep class-table sync check.
+fn rule_locks(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    // Pass A: find acquisitions -> classify.
+    let mut acqs: Vec<(Acq, Option<&'static manifest::LockClassDecl>)> = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == ".") {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        if !(m.kind == TokKind::Ident && matches!(m.text.as_str(), "lock" | "read" | "write")) {
+            continue;
+        }
+        // Require an empty argument list: distinguishes RwLock::read()
+        // from e.g. Region::read(addr, buf).
+        if !(toks.get(i + 2).is_some_and(|t| t.text == "(")
+            && toks.get(i + 3).is_some_and(|t| t.text == ")"))
+        {
+            continue;
+        }
+        if ctx.in_test(m.line) {
+            continue;
+        }
+        let Some(recv) = (i > 0).then(|| &toks[i - 1]).filter(|t| t.kind == TokKind::Ident) else {
+            // `.lock()` on a non-identifier receiver (call result etc.).
+            if !ctx.annotated(m.line, "lint: lock-order-ok") {
+                out.push(Finding {
+                    file: ctx.file.to_string(),
+                    line: m.line,
+                    rule: "locks",
+                    message: format!(
+                        "`.{}()` on a non-identifier receiver cannot be classified; \
+                         bind the lock to a named field/binding listed in LOCK_SITES",
+                        m.text
+                    ),
+                });
+            }
+            continue;
+        };
+        let class = manifest::classify(ctx.file, &recv.text);
+        if class.is_none() {
+            out.push(Finding {
+                file: ctx.file.to_string(),
+                line: m.line,
+                rule: "locks",
+                message: format!(
+                    "unclassified lock acquisition `{}.{}()`; add a LOCK_SITES entry \
+                     (file suffix + receiver -> class) to crates/ntb-lint/src/manifest.rs",
+                    recv.text, m.text
+                ),
+            });
+        }
+        acqs.push((Acq { line: m.line, receiver: recv.text.clone(), dot: i }, class));
+    }
+
+    // Pass B: intra-function ordering. Walk the token stream tracking brace
+    // depth; a guard bound by a `let`-containing statement lives until its
+    // enclosing block closes, anything else dies at the statement's `;`.
+    struct Held {
+        rank: u32,
+        name: &'static str,
+        depth: i32,
+        block_scoped: bool,
+    }
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut stmt_start = 0usize; // token index of current statement start
+    let mut acq_iter = acqs.iter().filter(|(_, c)| c.is_some()).peekable();
+    for i in 0..toks.len() {
+        // Acquisition at this token?
+        while let Some((acq, class)) = acq_iter.peek() {
+            if acq.dot != i {
+                break;
+            }
+            let class = class.expect("filtered to classified sites");
+            let block_scoped = guard_is_block_scoped(toks, stmt_start, acq.dot);
+            for h in &held {
+                if class.rank <= h.rank && !ctx.annotated(acq.line, "lint: lock-order-ok") {
+                    out.push(Finding {
+                        file: ctx.file.to_string(),
+                        line: acq.line,
+                        rule: "locks",
+                        message: format!(
+                            "lock order violation: acquiring `{}` (class {}, rank {}) while \
+                             holding `{}` (rank {}); ranks must strictly increase — \
+                             see the LOCK_ORDER manifest",
+                            acq.receiver, class.name, class.rank, h.name, h.rank
+                        ),
+                    });
+                }
+            }
+            held.push(Held { rank: class.rank, name: class.name, depth, block_scoped });
+            acq_iter.next();
+        }
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "{" => {
+                    depth += 1;
+                    stmt_start = i + 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                    stmt_start = i + 1;
+                }
+                // `,` ends a match arm (and an argument position, where a
+                // temporary guard dies with the full expression anyway).
+                ";" | "," => {
+                    held.retain(|h| h.block_scoped || h.depth < depth);
+                    stmt_start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Pass C: lockdep class-table sync. When scanning the runtime lockdep
+    // module, every `LockClass { name: "...", rank: N }` literal must match
+    // the manifest.
+    if ctx.file.replace('\\', "/").ends_with("ntb-net/src/lockdep.rs") {
+        for i in 0..toks.len() {
+            if !(toks[i].kind == TokKind::Ident && toks[i].text == "LockClass") {
+                continue;
+            }
+            if toks.get(i + 1).is_none_or(|t| t.text != "{") {
+                continue;
+            }
+            let mut name: Option<String> = None;
+            let mut rank: Option<u32> = None;
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "}" {
+                if toks[j].text == "name" && toks.get(j + 2).map(|t| t.kind) == Some(TokKind::Str) {
+                    name = Some(toks[j + 2].text.trim_matches('"').to_string());
+                }
+                if toks[j].text == "rank" && toks.get(j + 2).map(|t| t.kind) == Some(TokKind::Num) {
+                    rank = toks[j + 2].text.parse().ok();
+                }
+                j += 1;
+            }
+            if let (Some(name), Some(rank)) = (name, rank) {
+                match manifest::class_by_name(&name) {
+                    Some(decl) if decl.rank == rank => {}
+                    Some(decl) => out.push(Finding {
+                        file: ctx.file.to_string(),
+                        line: toks[i].line,
+                        rule: "lockdep-sync",
+                        message: format!(
+                            "lockdep class `{}` has rank {} but the LOCK_ORDER manifest says {}",
+                            name, rank, decl.rank
+                        ),
+                    }),
+                    None => out.push(Finding {
+                        file: ctx.file.to_string(),
+                        line: toks[i].line,
+                        rule: "lockdep-sync",
+                        message: format!(
+                            "lockdep class `{}` is not declared in the LOCK_ORDER manifest",
+                            name
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Does a guard acquired at `dot` inside the statement spanning
+/// `[start, dot)` live past the statement's terminator?
+///
+/// - `if let` / `while let` / `match` scrutinee temporaries survive the
+///   whole construct under Rust 2021 drop rules, so any guard in the
+///   scrutinee is block-scoped even when a chained call consumes it.
+/// - A plain `let` block-scopes the guard only when the guard itself is
+///   what gets bound: `.lock()` ending the chain (modulo guard-preserving
+///   adapters like `unwrap`). A chain that continues past `.lock()`
+///   consumes the guard as a temporary, which dies at the `;`.
+fn guard_is_block_scoped(toks: &[Tok], start: usize, dot: usize) -> bool {
+    let mut saw_let = false;
+    for t in &toks[start..dot.min(toks.len())] {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "if" | "while" | "match" => return true,
+            "let" => saw_let = true,
+            _ => {}
+        }
+    }
+    if !saw_let {
+        return false;
+    }
+    // `.lock ( )` occupies dot..dot+3; inspect what follows the guard.
+    let mut j = dot + 4;
+    loop {
+        match toks.get(j).map(|t| t.text.as_str()) {
+            // `?` propagates without consuming the guard value's identity.
+            Some("?") => j += 1,
+            Some(".") => {
+                // Guard-preserving adapters yield the guard back to the
+                // `let`; anything else consumes it as a temporary.
+                return toks.get(j + 1).is_some_and(|t| {
+                    t.kind == TokKind::Ident
+                        && matches!(t.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
+                });
+            }
+            _ => return true,
+        }
+    }
+}
+
+/// Lint one source string.
+pub fn scan_source(file: &str, src: &str, mode: FileMode) -> Vec<Finding> {
+    let ctx = FileCtx::new(file, src);
+    let mut out = Vec::new();
+    rule_safety(&ctx, &mut out);
+    rule_atomics(&ctx, &mut out);
+    rule_unwraps(&ctx, mode, &mut out);
+    rule_locks(&ctx, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lint one file on disk.
+pub fn scan_file(path: &Path, mode: FileMode) -> std::io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(scan_source(&path.display().to_string(), &src, mode))
+}
+
+/// Collect the workspace's lintable `.rs` files: `crates/*/src/**`,
+/// skipping `vendor/` (third-party shims), `target/`, test/bench trees and
+/// the lint's own fixtures.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for c in crate_dirs {
+        let src = c.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "target" | "fixtures" | "tests" | "benches") {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut out = Vec::new();
+    for f in workspace_files(root)? {
+        out.extend(scan_file(&f, FileMode::Workspace)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        scan_source("mem://ntb-net/src/x.rs", src, FileMode::Single)
+    }
+
+    #[test]
+    fn safety_rule_basics() {
+        let bad = "fn f() { unsafe { core::ptr::read(p) } }";
+        assert!(findings(bad).iter().any(|f| f.rule == "safety"));
+        let good = "fn f() {\n    // SAFETY: p is valid for reads, checked above.\n    unsafe { core::ptr::read(p) }\n}";
+        assert!(findings(good).iter().all(|f| f.rule != "safety"));
+    }
+
+    #[test]
+    fn safety_in_tests_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { x() } }\n}";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn atomics_rule_basics() {
+        assert!(findings("x.load(Ordering::Relaxed);").iter().any(|f| f.rule == "atomics"));
+        assert!(findings("x.load(Ordering::SeqCst);").is_empty());
+        let annotated =
+            "// lint: relaxed-ok(monotonic counter, read only for stats)\nx.load(Ordering::Relaxed);";
+        assert!(findings(annotated).is_empty());
+        assert!(findings("use std::sync::atomic::Ordering::Relaxed;")
+            .iter()
+            .any(|f| f.rule == "atomics"));
+        assert!(findings("use std::sync::atomic::Ordering;").is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_scoping() {
+        let src = "fn f() { x.unwrap(); }";
+        assert!(findings(src).iter().any(|f| f.rule == "unwraps"));
+        // Out-of-scope path in workspace mode.
+        let out = scan_source("crates/ntb-sim/src/x.rs", src, FileMode::Workspace);
+        assert!(out.iter().all(|f| f.rule != "unwraps"));
+        // unwrap_or_default is a different method.
+        assert!(findings("fn f() { x.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn lock_rule_classification_and_order() {
+        // Unclassified receiver.
+        let src = "fn f() { self.mystery.lock(); }";
+        assert!(findings(src).iter().any(|f| f.rule == "locks"));
+        // Correct order low -> high via the fixture classes.
+        let ok = "fn f() { let a = low.lock(); let b = high.lock(); }";
+        let out = scan_source("fixtures/locks_pass.rs", ok, FileMode::Single);
+        assert!(out.is_empty(), "{out:?}");
+        // Inverted order high -> low.
+        let bad = "fn f() { let a = high.lock(); let b = low.lock(); }";
+        let out = scan_source("fixtures/locks_fail_order.rs", bad, FileMode::Single);
+        assert!(
+            out.iter().any(|f| f.rule == "locks" && f.message.contains("violation")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn lock_rule_temporary_guard_released_at_statement_end() {
+        // Temporaries do not pin the hierarchy across statements.
+        let src = "fn f() { high.lock().push(1); low.lock().push(2); }";
+        let out = scan_source("fixtures/locks_pass.rs", src, FileMode::Single);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_rule_block_scope_release() {
+        let src = "fn f() { { let g = high.lock(); } let g2 = low.lock(); }";
+        let out = scan_source("fixtures/locks_pass.rs", src, FileMode::Single);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_rule_let_chain_consumes_guard_but_if_let_pins_it() {
+        // `let v = guard-chain;` drops the temporary guard at the `;`.
+        let ok = "fn f() { let v = high.lock().get(k); low.lock().push(v); }";
+        let out = scan_source("fixtures/locks_pass.rs", ok, FileMode::Single);
+        assert!(out.is_empty(), "{out:?}");
+        // An `if let` scrutinee pins the guard for the whole construct
+        // (Rust 2021 temporary-scope rules).
+        let bad = "fn f() { if let Some(v) = high.lock().get(k) { low.lock().push(v); } }";
+        let out = scan_source("fixtures/locks_fail_order.rs", bad, FileMode::Single);
+        assert!(
+            out.iter().any(|f| f.rule == "locks" && f.message.contains("violation")),
+            "{out:?}"
+        );
+        // But binding the guard itself stays block-scoped.
+        let bad2 = "fn f() { let g = high.lock(); low.lock().push(1); }";
+        let out = scan_source("fixtures/locks_fail_order.rs", bad2, FileMode::Single);
+        assert!(
+            out.iter().any(|f| f.rule == "locks" && f.message.contains("violation")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn annotation_same_line_and_preceding() {
+        let same = "x.load(Ordering::Relaxed); // lint: relaxed-ok(counter)";
+        assert!(findings(same).is_empty());
+        let preceding = "// lint: relaxed-ok(counter)\n// more words\nx.load(Ordering::Relaxed);";
+        assert!(findings(preceding).is_empty());
+        let blocked = "// lint: relaxed-ok(counter)\nlet y = 1;\nx.load(Ordering::Relaxed);";
+        assert!(findings(blocked).iter().any(|f| f.rule == "atomics"));
+    }
+}

@@ -1,0 +1,120 @@
+//! CLI for the workspace concurrency lint.
+//!
+//! ```text
+//! cargo run -p ntb-lint                  # lint the workspace (crates/*/src)
+//! cargo run -p ntb-lint -- --file F.rs   # lint one file, all rules apply
+//! cargo run -p ntb-lint -- --print-order # show the declared lock hierarchy
+//! cargo run -p ntb-lint -- --root DIR    # lint a workspace rooted elsewhere
+//! ```
+//!
+//! Exits 0 when clean, 1 on findings, 2 on usage/IO errors.
+
+use ntb_lint::{manifest, scan_file, scan_workspace, FileMode};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) => files.push(PathBuf::from(f)),
+                    None => return usage("--file requires a path"),
+                }
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(r) => root = Some(PathBuf::from(r)),
+                    None => return usage("--root requires a directory"),
+                }
+            }
+            "--print-order" => {
+                print_order();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let result = if files.is_empty() {
+        let root = root.unwrap_or_else(find_workspace_root);
+        scan_workspace(&root)
+    } else {
+        let mut out = Vec::new();
+        for f in &files {
+            match scan_file(f, FileMode::Single) {
+                Ok(fs) => out.extend(fs),
+                Err(e) => {
+                    eprintln!("ntb-lint: cannot read {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Ok(out)
+    };
+
+    match result {
+        Ok(findings) if findings.is_empty() => {
+            println!("ntb-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("ntb-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ntb-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walk up from the current directory (or this crate's manifest dir) to the
+/// directory containing `crates/`.
+fn find_workspace_root() -> PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for dir in start.ancestors() {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir.to_path_buf();
+        }
+    }
+    // Fall back to the location baked in at compile time (../.. from this
+    // crate), so `cargo run -p ntb-lint` works from anywhere.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap_or(start)
+}
+
+fn print_order() {
+    println!("Declared lock hierarchy (acquire top-to-bottom; ranks strictly increase):\n");
+    for c in manifest::LOCK_ORDER {
+        println!("  {:>4}  {:<18} {}", c.rank, c.name, c.rationale);
+    }
+    println!("\nClassified sites: {}", manifest::LOCK_SITES.len());
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("ntb-lint: {err}");
+    }
+    eprintln!(
+        "usage: ntb-lint [--root DIR] [--file FILE.rs]... [--print-order]\n\
+         \n\
+         With no arguments, lints every workspace source file (crates/*/src).\n\
+         --file applies every rule to the named file (fixture mode)."
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,257 @@
+//! The declared lock hierarchy (`LOCK_ORDER`) and the site-classification
+//! table (`LOCK_SITES`).
+//!
+//! Every `Mutex`/`RwLock` acquisition site in the workspace's non-test code
+//! must be classified here (or the locks rule reports it). Classes carry an
+//! integer rank; a thread must acquire locks in strictly increasing rank
+//! order. The same table is mirrored at runtime by `ntb_net::lockdep` —
+//! the static pass declares the order, lockdep proves the code obeys it.
+//!
+//! Rank rationale (see DESIGN.md §11 for the full diagram):
+//!
+//! - Ranks grow "outside-in → inside-out": SHMEM-layer locks rank lowest
+//!   because a SHMEM call holds them while descending into ntb-net, and
+//!   ntb-net locks rank below ntb-sim locks because the network layer holds
+//!   its own state while driving the simulated hardware (mailbox `seq` is
+//!   held across the ScratchPad-publish → doorbell-ring sequence, the
+//!   paper's Fig. 5 ordered dance).
+//! - Observability sinks (`obs`, trace event buffers) rank highest: any
+//!   layer may emit an event while holding its own lock, so the sink must
+//!   always be acquirable last.
+//! - `lockdep-internal` sits above everything — the runtime checker's own
+//!   bookkeeping lock is taken inside `track()` while the caller may hold
+//!   arbitrary tracked locks.
+
+/// One declared lock class.
+#[derive(Debug, Clone, Copy)]
+pub struct LockClassDecl {
+    /// Stable class name (shared with `ntb_net::lockdep`).
+    pub name: &'static str,
+    /// Hierarchy rank; acquisitions must be strictly increasing per thread.
+    pub rank: u32,
+    /// Human rationale, surfaced in `--print-order`.
+    pub rationale: &'static str,
+}
+
+/// The lock hierarchy, lowest rank (acquired first / outermost) first.
+pub const LOCK_ORDER: &[LockClassDecl] = &[
+    LockClassDecl {
+        name: "bench-serial",
+        rank: 1,
+        rationale: "benchmark serialization guard; held across a whole bench run, so it must sit below every runtime lock",
+    },
+    LockClassDecl {
+        name: "shmem-amo",
+        rank: 10,
+        rationale: "symmetric-heap AMO atomicity guard; held across heap read+write+version-bump",
+    },
+    LockClassDecl {
+        name: "shmem-heap",
+        rank: 20,
+        rationale: "symmetric-heap allocator state; taken under shmem-amo by local_atomic",
+    },
+    LockClassDecl {
+        name: "shmem-version",
+        rank: 30,
+        rationale: "heap mutation-version counter + condvar; bumped after heap writes, waited on by wait_until",
+    },
+    LockClassDecl {
+        name: "net-delivery",
+        rank: 40,
+        rationale: "per-node delivery target (RwLock); read on every inbound frame",
+    },
+    LockClassDecl {
+        name: "net-dedup",
+        rank: 50,
+        rationale: "seen-puts / AMO replay caches; consulted by the service thread which may then forward or emit",
+    },
+    LockClassDecl {
+        name: "net-pending-ops",
+        rank: 60,
+        rationale: "pending get/AMO completion map; fill_with emits trace events while holding it",
+    },
+    LockClassDecl {
+        name: "net-unacked",
+        rank: 64,
+        rationale: "unacked-put retry state; distinct from pending-ops so ack/sweeper interleavings stay cycle-free",
+    },
+    LockClassDecl {
+        name: "net-forward",
+        rank: 70,
+        rationale: "forwarder job queue; fed by the service thread while it still holds dedup state",
+    },
+    LockClassDecl {
+        name: "net-mailbox",
+        rank: 80,
+        rationale: "TX mailbox sequence lock; held across the ScratchPad publish -> doorbell ring sequence (paper Fig. 5), so it must rank below every sim-side lock",
+    },
+    LockClassDecl {
+        name: "net-admin",
+        rank: 90,
+        rationale: "node thread registry + error sink; stop() holds it while shutting down sim ports",
+    },
+    LockClassDecl {
+        name: "sim-doorbell",
+        rank: 100,
+        rationale: "doorbell pending/mask bits; rung by the mailbox while net-mailbox is held",
+    },
+    LockClassDecl {
+        name: "sim-dma-queue",
+        rank: 102,
+        rationale: "DMA job queue; fed under net-mailbox, drained by DMA workers",
+    },
+    LockClassDecl {
+        name: "sim-dma-state",
+        rank: 104,
+        rationale: "per-transfer completion state; workers complete a job after releasing the queue",
+    },
+    LockClassDecl {
+        name: "sim-dma-admin",
+        rank: 106,
+        rationale: "DMA worker-handle registry; shutdown drains the queue before joining",
+    },
+    LockClassDecl {
+        name: "sim-config",
+        rank: 108,
+        rationale: "PCI config-space command/BAR registers; never nested with each other",
+    },
+    LockClassDecl {
+        name: "sim-bar",
+        rank: 110,
+        rationale: "BAR translation-window table (RwLock)",
+    },
+    LockClassDecl {
+        name: "sim-timing",
+        rank: 112,
+        rationale: "link timing model busy-until state",
+    },
+    LockClassDecl {
+        name: "sim-fault",
+        rank: 114,
+        rationale: "fault-injection link-down state; consulted deep inside port TX paths",
+    },
+    LockClassDecl {
+        name: "obs",
+        rank: 120,
+        rationale: "trace / observability event sinks; any layer may emit while holding its own lock, so the sink is always acquired last",
+    },
+    LockClassDecl {
+        name: "lockdep-internal",
+        rank: 130,
+        rationale: "runtime lockdep bookkeeping; taken inside track() while the caller holds arbitrary tracked locks",
+    },
+];
+
+/// One classified acquisition site: (path suffix, receiver identifier)
+/// maps to a class name from [`LOCK_ORDER`].
+#[derive(Debug, Clone, Copy)]
+pub struct LockSite {
+    /// Path suffix matched against the scanned file (uses `/` separators).
+    pub file_suffix: &'static str,
+    /// Identifier immediately preceding the `.lock()` / `.read()` /
+    /// `.write()` call (a field or binding name).
+    pub receiver: &'static str,
+    /// Class name.
+    pub class: &'static str,
+}
+
+/// Classification of every known acquisition site, by file and receiver.
+pub const LOCK_SITES: &[LockSite] = &[
+    // shmem-bench
+    LockSite { file_suffix: "shmem-bench/src/lib.rs", receiver: "LOCK", class: "bench-serial" },
+    // shmem-core
+    LockSite { file_suffix: "shmem-core/src/heap.rs", receiver: "amo_lock", class: "shmem-amo" },
+    LockSite { file_suffix: "shmem-core/src/heap.rs", receiver: "inner", class: "shmem-heap" },
+    LockSite { file_suffix: "shmem-core/src/heap.rs", receiver: "version", class: "shmem-version" },
+    // ntb-net
+    LockSite { file_suffix: "ntb-net/src/node.rs", receiver: "delivery", class: "net-delivery" },
+    LockSite { file_suffix: "ntb-net/src/node.rs", receiver: "seen_puts", class: "net-dedup" },
+    LockSite { file_suffix: "ntb-net/src/node.rs", receiver: "amo_cache", class: "net-dedup" },
+    LockSite { file_suffix: "ntb-net/src/node.rs", receiver: "threads", class: "net-admin" },
+    LockSite { file_suffix: "ntb-net/src/node.rs", receiver: "errors", class: "net-admin" },
+    LockSite { file_suffix: "ntb-net/src/service.rs", receiver: "seen_puts", class: "net-dedup" },
+    LockSite { file_suffix: "ntb-net/src/service.rs", receiver: "amo_cache", class: "net-dedup" },
+    LockSite { file_suffix: "ntb-net/src/pending.rs", receiver: "inner", class: "net-pending-ops" },
+    LockSite { file_suffix: "ntb-net/src/pending.rs", receiver: "state", class: "net-unacked" },
+    LockSite { file_suffix: "ntb-net/src/forwarder.rs", receiver: "state", class: "net-forward" },
+    LockSite { file_suffix: "ntb-net/src/mailbox.rs", receiver: "seq", class: "net-mailbox" },
+    LockSite { file_suffix: "ntb-net/src/trace.rs", receiver: "events", class: "obs" },
+    LockSite {
+        file_suffix: "ntb-net/src/lockdep.rs",
+        receiver: "STATE",
+        class: "lockdep-internal",
+    },
+    // ntb-sim
+    LockSite { file_suffix: "ntb-sim/src/doorbell.rs", receiver: "state", class: "sim-doorbell" },
+    LockSite { file_suffix: "ntb-sim/src/dma.rs", receiver: "queue", class: "sim-dma-queue" },
+    LockSite { file_suffix: "ntb-sim/src/dma.rs", receiver: "state", class: "sim-dma-state" },
+    LockSite { file_suffix: "ntb-sim/src/dma.rs", receiver: "workers", class: "sim-dma-admin" },
+    LockSite {
+        file_suffix: "ntb-sim/src/config_space.rs",
+        receiver: "command",
+        class: "sim-config",
+    },
+    LockSite { file_suffix: "ntb-sim/src/config_space.rs", receiver: "bars", class: "sim-config" },
+    LockSite { file_suffix: "ntb-sim/src/bar.rs", receiver: "entries", class: "sim-bar" },
+    LockSite {
+        file_suffix: "ntb-sim/src/timing.rs",
+        receiver: "tx_busy_until",
+        class: "sim-timing",
+    },
+    LockSite { file_suffix: "ntb-sim/src/timing.rs", receiver: "inner", class: "sim-timing" },
+    LockSite { file_suffix: "ntb-sim/src/fault.rs", receiver: "down", class: "sim-fault" },
+    LockSite { file_suffix: "ntb-sim/src/obs.rs", receiver: "ring", class: "obs" },
+    LockSite { file_suffix: "ntb-sim/src/obs.rs", receiver: "r", class: "obs" },
+    // Lint self-test fixtures (single-file mode).
+    LockSite { file_suffix: "fixtures/locks_pass.rs", receiver: "low", class: "shmem-amo" },
+    LockSite { file_suffix: "fixtures/locks_pass.rs", receiver: "high", class: "obs" },
+    LockSite { file_suffix: "fixtures/locks_fail_order.rs", receiver: "low", class: "shmem-amo" },
+    LockSite { file_suffix: "fixtures/locks_fail_order.rs", receiver: "high", class: "obs" },
+];
+
+/// Look up a class declaration by name.
+pub fn class_by_name(name: &str) -> Option<&'static LockClassDecl> {
+    LOCK_ORDER.iter().find(|c| c.name == name)
+}
+
+/// Classify a lock site, preferring the longest matching file suffix.
+pub fn classify(file: &str, receiver: &str) -> Option<&'static LockClassDecl> {
+    let norm = file.replace('\\', "/");
+    LOCK_SITES
+        .iter()
+        .filter(|s| norm.ends_with(s.file_suffix) && s.receiver == receiver)
+        .map(|s| s.class)
+        .next()
+        .and_then(class_by_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_strictly_increase() {
+        for w in LOCK_ORDER.windows(2) {
+            assert!(w[0].rank < w[1].rank, "{} vs {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn every_site_class_is_declared() {
+        for s in LOCK_SITES {
+            assert!(
+                class_by_name(s.class).is_some(),
+                "undeclared class {} for {}",
+                s.class,
+                s.receiver
+            );
+        }
+    }
+
+    #[test]
+    fn classify_by_suffix() {
+        let c = classify("crates/shmem-core/src/heap.rs", "amo_lock").unwrap();
+        assert_eq!(c.name, "shmem-amo");
+        assert!(classify("crates/shmem-core/src/heap.rs", "nonesuch").is_none());
+    }
+}

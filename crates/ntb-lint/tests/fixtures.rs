@@ -1,0 +1,77 @@
+//! Fixture conformance: every rule has at least one fixture that must
+//! scan clean and one that must produce findings of exactly that rule —
+//! guarding both false positives and false negatives. The final test
+//! scans the real workspace, pinning the tree itself at zero findings.
+
+use std::path::{Path, PathBuf};
+
+use ntb_lint::{scan_file, scan_workspace, FileMode, Finding};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn scan(name: &str) -> Vec<Finding> {
+    scan_file(&fixture(name), FileMode::Single).expect("fixture readable")
+}
+
+fn assert_clean(name: &str) {
+    let got = scan(name);
+    assert!(got.is_empty(), "{name} must scan clean, got: {got:#?}");
+}
+
+fn assert_flags(name: &str, rule: &str, at_least: usize) {
+    let got = scan(name);
+    let hits = got.iter().filter(|f| f.rule == rule).count();
+    assert!(
+        hits >= at_least,
+        "{name} must produce >= {at_least} `{rule}` finding(s), got: {got:#?}"
+    );
+    let other: Vec<_> = got.iter().filter(|f| f.rule != rule).collect();
+    assert!(other.is_empty(), "{name} must only trip `{rule}`, also got: {other:#?}");
+}
+
+#[test]
+fn safety_fixtures() {
+    assert_clean("safety_pass.rs");
+    assert_flags("safety_fail.rs", "safety", 1);
+}
+
+#[test]
+fn atomics_fixtures() {
+    assert_clean("atomics_pass.rs");
+    assert_flags("atomics_fail.rs", "atomics", 1);
+    // Importing `Ordering::Relaxed` hides the ordering at use sites; the
+    // import line itself is the finding.
+    assert_flags("atomics_fail_import.rs", "atomics", 1);
+}
+
+#[test]
+fn unwraps_fixtures() {
+    assert_clean("unwraps_pass.rs");
+    assert_flags("unwraps_fail.rs", "unwraps", 2);
+}
+
+#[test]
+fn locks_fixtures() {
+    assert_clean("locks_pass.rs");
+    assert_flags("locks_fail_order.rs", "locks", 1);
+    assert_flags("locks_fail_unclassified.rs", "locks", 1);
+    let msg = &scan("locks_fail_order.rs")[0].message;
+    assert!(
+        msg.contains("rank 10") && msg.contains("rank 120"),
+        "order finding names both ranks: {msg}"
+    );
+}
+
+/// The linter's reason to exist: the workspace it ships in stays clean.
+/// Walks the real crate tree (two levels up from this crate's manifest).
+#[test]
+fn workspace_self_scan_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolvable");
+    let findings = scan_workspace(&root).expect("workspace scannable");
+    assert!(findings.is_empty(), "workspace must lint clean, got: {findings:#?}");
+}

@@ -1,0 +1,7 @@
+// Fixture: bare Relaxed without annotation must be flagged (rule: atomics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn sneaky(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

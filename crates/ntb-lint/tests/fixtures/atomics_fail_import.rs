@@ -1,0 +1,8 @@
+// Fixture: importing Relaxed hides the ordering at use sites; the import
+// itself must be flagged (rule: atomics).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+pub fn hidden(counter: &AtomicU64) -> u64 {
+    counter.load(Relaxed)
+}

@@ -1,0 +1,11 @@
+// Fixture: allowlisted orderings plus an annotated Relaxed (rule: atomics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64, counter: &AtomicU64) {
+    counter.store(1, Ordering::Release);
+    let _ = flag.load(Ordering::Acquire);
+    let _ = flag.swap(2, Ordering::SeqCst);
+    // lint: relaxed-ok(diagnostic counter; read only for stats reporting)
+    let _ = counter.load(Ordering::Relaxed);
+}

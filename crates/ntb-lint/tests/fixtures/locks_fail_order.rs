@@ -1,0 +1,9 @@
+// Fixture: inverted acquisition order must be flagged (rule: locks).
+// The manifest maps `low` to shmem-amo (rank 10) and `high` to obs
+// (rank 120).
+
+pub fn nested_inverted(low: &Mutex<u64>, high: &Mutex<Vec<u64>>) {
+    let b = high.lock();
+    let a = low.lock(); // acquiring rank 10 while holding rank 120
+    drop((a, b));
+}

@@ -1,0 +1,6 @@
+// Fixture: a lock receiver with no LOCK_SITES entry must be flagged
+// (rule: locks).
+
+pub fn mystery_lock(mystery: &Mutex<u64>) -> u64 {
+    *mystery.lock()
+}

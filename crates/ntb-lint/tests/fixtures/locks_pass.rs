@@ -1,0 +1,15 @@
+// Fixture: nested acquisition in strictly increasing rank order
+// (rule: locks). The manifest maps this file's `low` receiver to
+// shmem-amo (rank 10) and `high` to obs (rank 120).
+
+pub fn nested_in_order(low: &Mutex<u64>, high: &Mutex<Vec<u64>>) {
+    let a = low.lock();
+    let mut b = high.lock();
+    b.push(*a);
+}
+
+pub fn temporaries_do_not_pin(low: &Mutex<u64>, high: &Mutex<Vec<u64>>) {
+    high.lock().push(1);
+    // The high guard died at the statement end; low is a fresh chain.
+    let _v = *low.lock();
+}

@@ -1,0 +1,5 @@
+// Fixture: unsafe without a SAFETY comment must be flagged (rule: safety).
+
+pub fn read_shared(p: *const u64) -> u64 {
+    unsafe { core::ptr::read_volatile(p) }
+}

@@ -1,0 +1,11 @@
+// Fixture: bare unwrap/expect in non-test code must be flagged
+// (rule: unwraps).
+
+pub fn parse(bytes: &[u8]) -> u64 {
+    let arr: [u8; 8] = bytes.try_into().unwrap();
+    u64::from_le_bytes(arr)
+}
+
+pub fn lookup(map: &std::collections::HashMap<u32, u64>, k: u32) -> u64 {
+    *map.get(&k).expect("key must exist")
+}

@@ -1,0 +1,20 @@
+// Fixture: typed errors and annotated unwraps (rule: unwraps).
+
+pub fn parse(bytes: &[u8]) -> Result<u64, String> {
+    let arr: [u8; 8] = bytes.try_into().map_err(|_| "short read".to_string())?;
+    Ok(u64::from_le_bytes(arr))
+}
+
+pub fn spawn_worker() {
+    // lint: unwrap-ok(spawn fails only on resource exhaustion at bring-up)
+    std::thread::Builder::new().spawn(|| {}).expect("spawn worker");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u8, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

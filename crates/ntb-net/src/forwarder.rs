@@ -54,6 +54,7 @@ impl ForwardQueue {
 
     /// Enqueue a job; wakes the forwarder.
     pub fn push(&self, job: ForwardJob) {
+        crate::lockdep_track!(&crate::lockdep::NET_FORWARD);
         let mut st = self.state.lock();
         if st.shutdown {
             return; // network is going down; drop silently
@@ -64,6 +65,7 @@ impl ForwardQueue {
 
     /// Dequeue the next job; `None` once shut down *and* drained.
     pub fn pop(&self) -> Option<ForwardJob> {
+        crate::lockdep_track!(&crate::lockdep::NET_FORWARD);
         let mut st = self.state.lock();
         loop {
             if let Some(job) = st.jobs.pop_front() {
@@ -78,6 +80,7 @@ impl ForwardQueue {
 
     /// Begin shutdown: queued jobs still drain, new pushes are dropped.
     pub fn shutdown(&self) {
+        crate::lockdep_track!(&crate::lockdep::NET_FORWARD);
         let mut st = self.state.lock();
         st.shutdown = true;
         self.cond.notify_all();

@@ -31,6 +31,7 @@ pub mod forwarder;
 pub mod frame;
 pub mod handshake;
 pub mod layout;
+pub mod lockdep;
 pub mod mailbox;
 pub mod network;
 pub mod node;

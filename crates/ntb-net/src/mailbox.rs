@@ -92,6 +92,7 @@ impl TxMailbox {
 
     /// Doorbell re-rings performed to recover dropped interrupts.
     pub fn rerings(&self) -> u64 {
+        // lint: relaxed-ok(monotonic diagnostic counter)
         self.rerings.load(Ordering::Relaxed)
     }
 
@@ -118,8 +119,11 @@ impl TxMailbox {
                         // frame occupying the slot; ring it again. A down
                         // link rejects the ring — keep waiting, the retry
                         // budget bounds us.
+                        // lint: relaxed-ok(last_doorbell is only touched by the sender
+                        // thread under the seq lock; single-owner state)
                         let bit = self.last_doorbell.load(Ordering::Relaxed);
                         if bit != NO_DOORBELL && self.port.ring_peer(bit).is_ok() {
+                            // lint: relaxed-ok(monotonic diagnostic counter)
                             self.rerings.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -140,6 +144,7 @@ impl TxMailbox {
         mut frame: Frame,
         push_payload: impl FnOnce(&NtbPort) -> Result<()>,
     ) -> Result<()> {
+        crate::lockdep_track!(&crate::lockdep::NET_MAILBOX);
         let mut seq = self.seq.lock();
         self.wait_empty()?;
         push_payload(&self.port)?;
@@ -152,6 +157,8 @@ impl TxMailbox {
         // Header last: publishing the frame releases the body registers
         // and the payload (PCIe posted-write ordering).
         self.port.spad_write(self.base, words[0])?;
+        // lint: relaxed-ok(single-owner: written by the sender thread under the seq lock,
+        // read back only by the same thread in wait_empty)
         self.last_doorbell.store(frame.kind.doorbell(), Ordering::Relaxed);
         self.port.ring_peer(frame.kind.doorbell())?;
         // Informational only: emitted before the caller's health-tracker

@@ -37,7 +37,9 @@ fn bring_up_link(
     let (ra, rb) = std::thread::scope(|s| {
         let ha = s.spawn(|| exchange_link_info(a, id_a, ws, dl, timeout));
         let hb = s.spawn(|| exchange_link_info(b, id_b, ws, dl, timeout));
-        (ha.join().expect("handshake thread"), hb.join().expect("handshake thread"))
+        let panicked =
+            || Err(ntb_sim::NtbError::BadDescriptor { reason: "link handshake thread panicked" });
+        (ha.join().unwrap_or_else(|_| panicked()), hb.join().unwrap_or_else(|_| panicked()))
     });
     let pa = ra?;
     let pb = rb?;
@@ -229,7 +231,7 @@ impl RingNetwork {
     /// Take the recorded events, sorted by timestamp.
     pub fn take_trace(&self) -> Vec<TraceRecord> {
         let mut events = self.nodes[0].tracer().take();
-        events.sort_by(|a, b| a.t_us.partial_cmp(&b.t_us).expect("finite timestamps"));
+        events.sort_by(|a, b| a.t_us.total_cmp(&b.t_us));
         events
     }
 

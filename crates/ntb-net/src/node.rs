@@ -66,17 +66,20 @@ pub struct NodeStats {
 
 impl NodeStats {
     fn bump(counter: &AtomicU64) {
+        // lint: relaxed-ok(monotonic event counter; readers only need eventual totals)
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sum of all recovery-path counters — zero on a clean run.
     pub fn recovery_total(&self) -> u64 {
-        self.retransmits.load(Ordering::Relaxed)
-            + self.checksum_rejects.load(Ordering::Relaxed)
-            + self.reroutes.load(Ordering::Relaxed)
-            + self.duplicates_suppressed.load(Ordering::Relaxed)
-            + self.probes_sent.load(Ordering::Relaxed)
-            + self.link_down_events.load(Ordering::Relaxed)
+        // lint: relaxed-ok(monotonic counters summed for diagnostics; staleness is fine)
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ld(&self.retransmits)
+            + ld(&self.checksum_rejects)
+            + ld(&self.reroutes)
+            + ld(&self.duplicates_suppressed)
+            + ld(&self.probes_sent)
+            + ld(&self.link_down_events)
     }
 }
 
@@ -326,10 +329,16 @@ impl NtbNode {
     }
 
     /// The endpoint cabled to `neighbor`.
+    ///
+    /// # Panics
+    /// Panics when no adapter is cabled to `neighbor` — callers route via
+    /// the topology tables built at bring-up, so a miss is a routing bug,
+    /// not a runtime condition.
     pub fn endpoint_to(&self, neighbor: usize) -> &LinkEndpoint {
         self.endpoints
             .iter()
             .find(|e| e.neighbor == neighbor)
+            // lint: unwrap-ok(topology invariant: routing tables only name cabled neighbors)
             .expect("no adapter cabled to that host")
     }
 
@@ -731,7 +740,11 @@ impl NtbNode {
             }
         };
         self.obs.emit(EventKind::AmoDone, u64::from(req_id), [op as u64, 0]);
-        Ok(u64::from_le_bytes(buf[0..8].try_into().expect("8-byte response")))
+        let bytes: [u8; 8] = buf
+            .get(0..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(NtbError::BadDescriptor { reason: "short AMO response" })?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Block until every put chunk this host has issued is acknowledged
@@ -813,6 +826,7 @@ impl NtbNode {
 
     /// Spawn the service and forwarder threads (one pair per endpoint).
     pub(crate) fn start(self: &Arc<Self>) {
+        crate::lockdep_track!(&crate::lockdep::NET_ADMIN);
         let mut threads = self.threads.lock();
         for idx in 0..self.endpoints.len() {
             let peer = self.endpoints[idx].neighbor;
@@ -821,6 +835,7 @@ impl NtbNode {
                 std::thread::Builder::new()
                     .name(format!("ntb-svc-h{}-to{}", self.topo.me, peer))
                     .spawn(move || crate::service::service_loop(&node, idx))
+                    // lint: unwrap-ok(spawn fails only on resource exhaustion at bring-up)
                     .expect("spawn service thread"),
             );
             let node = Arc::clone(self);
@@ -828,6 +843,7 @@ impl NtbNode {
                 std::thread::Builder::new()
                     .name(format!("ntb-fwd-h{}-to{}", self.topo.me, peer))
                     .spawn(move || crate::service::forwarder_loop(&node, idx))
+                    // lint: unwrap-ok(spawn fails only on resource exhaustion at bring-up)
                     .expect("spawn forwarder thread"),
             );
         }
@@ -837,6 +853,7 @@ impl NtbNode {
                 std::thread::Builder::new()
                     .name(format!("ntb-rty-h{}", self.topo.me))
                     .spawn(move || crate::service::retry_sweeper_loop(&node))
+                    // lint: unwrap-ok(spawn fails only on resource exhaustion at bring-up)
                     .expect("spawn retry sweeper thread"),
             );
         }
@@ -851,6 +868,7 @@ impl NtbNode {
             // Wake the service thread blocked on its doorbell.
             let _ = ep.port.doorbell().ring(DB_SHUTDOWN);
         }
+        crate::lockdep_track!(&crate::lockdep::NET_ADMIN);
         let mut threads = self.threads.lock();
         for h in threads.drain(..) {
             let _ = h.join();

@@ -69,6 +69,7 @@ impl PendingOps {
     /// Register a new operation expecting `total` response bytes; returns
     /// its request id.
     pub fn register(&self, total: u64) -> u32 {
+        // lint: relaxed-ok(unique id allocation; uniqueness needs atomicity, not ordering)
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let entry = Entry {
             buf: vec![0u8; total as usize],
@@ -104,6 +105,7 @@ impl PendingOps {
     where
         F: FnOnce(FillOutcome),
     {
+        crate::lockdep_track!(&crate::lockdep::NET_PENDING_OPS);
         let mut map = self.inner.lock();
         let Some(entry) = map.get_mut(&req_id) else {
             observe(FillOutcome::Stale);
@@ -199,13 +201,16 @@ impl PendingOps {
                 model.scaled_duration(model.get_poll_interval).max(Duration::from_micros(1));
             loop {
                 {
+                    crate::lockdep_track!(&crate::lockdep::NET_PENDING_OPS);
                     let mut map = self.inner.lock();
                     match map.get(&req_id) {
                         None => {
                             return Err(NtbError::BadDescriptor { reason: "unknown request id" })
                         }
                         Some(e) if e.done => {
-                            let entry = map.remove(&req_id).expect("checked above");
+                            let entry = map.remove(&req_id).ok_or(NtbError::BadDescriptor {
+                                reason: "completion entry vanished under its lock",
+                            })?;
                             return Ok(Some(entry.buf));
                         }
                         Some(_) => {}
@@ -217,12 +222,15 @@ impl PendingOps {
                 spin_for(interval);
             }
         } else {
+            crate::lockdep_track!(&crate::lockdep::NET_PENDING_OPS);
             let mut map = self.inner.lock();
             loop {
                 match map.get(&req_id) {
                     None => return Err(NtbError::BadDescriptor { reason: "unknown request id" }),
                     Some(e) if e.done => {
-                        let entry = map.remove(&req_id).expect("checked above");
+                        let entry = map.remove(&req_id).ok_or(NtbError::BadDescriptor {
+                            reason: "completion entry vanished under its lock",
+                        })?;
                         return Ok(Some(entry.buf));
                     }
                     Some(_) => match deadline {
@@ -231,7 +239,10 @@ impl PendingOps {
                                 // Re-check once: completion may have raced
                                 // the timeout.
                                 if map.get(&req_id).is_some_and(|e| e.done) {
-                                    let entry = map.remove(&req_id).expect("checked above");
+                                    let entry =
+                                        map.remove(&req_id).ok_or(NtbError::BadDescriptor {
+                                            reason: "completion entry vanished under its lock",
+                                        })?;
                                     return Ok(Some(entry.buf));
                                 }
                                 return Ok(None);
@@ -314,6 +325,7 @@ impl UnackedPuts {
         mode: TransferMode,
         deadline: Instant,
     ) -> u32 {
+        // lint: relaxed-ok(unique id allocation; uniqueness needs atomicity, not ordering)
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let put = UnackedPut { dest, heap_offset, data, mode, attempts: 1, deadline };
         self.state.lock().map.insert(id, put);
@@ -323,6 +335,7 @@ impl UnackedPuts {
     /// Retire a chunk on acknowledgement; `false` if the id was unknown
     /// (a duplicated ack from a retransmission — harmless).
     pub fn ack(&self, id: u32) -> bool {
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED);
         let mut st = self.state.lock();
         let known = st.map.remove(&id).is_some();
         if st.map.is_empty() {
@@ -345,6 +358,7 @@ impl UnackedPuts {
     /// Record a retransmission attempt; returns the new attempt count
     /// (`None` if the entry was acked in the meantime).
     pub fn note_attempt(&self, id: u32, new_deadline: Instant) -> Option<u32> {
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED);
         let mut st = self.state.lock();
         let put = st.map.get_mut(&id)?;
         put.attempts += 1;
@@ -359,6 +373,7 @@ impl UnackedPuts {
     /// and this call, and an acked put must not be reported as failed
     /// (nor abandoned twice in the trace).
     pub fn fail(&self, id: u32) -> bool {
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED);
         let mut st = self.state.lock();
         let known = match st.map.remove(&id) {
             Some(put) => {
@@ -383,6 +398,7 @@ impl UnackedPuts {
     /// attempt count — if any chunk was abandoned since the last call,
     /// clearing the failure record.
     pub fn quiet(&self) -> Result<()> {
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED);
         let mut st = self.state.lock();
         while !st.map.is_empty() {
             self.cond.wait(&mut st);

@@ -115,12 +115,15 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
     // not create gaps.)
     {
         use std::sync::atomic::Ordering;
+        // lint: relaxed-ok(rx_seq is single-owner: only this endpoint's service thread loads
+        // and stores it; the doorbell/ScratchPad handshake orders the frame itself)
         let expected = node.endpoints[idx].rx_seq.load(Ordering::Relaxed) as u16;
         if frame.seq != expected {
             node.record_error(ntb_sim::NtbError::BadDescriptor {
                 reason: "frame sequence gap on link (mailbox protocol violation)",
             });
         }
+        // lint: relaxed-ok(single-owner, see the load above)
         node.endpoints[idx].rx_seq.store(u32::from(frame.seq.wrapping_add(1)), Ordering::Relaxed);
     }
     let ep = &node.endpoints[idx];
@@ -141,7 +144,10 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
         // posted writes cannot corrupt.
         if ep.port().outgoing().faults().is_active() {
             let crc_bytes = ep.port().incoming().region().read_vec(node.layout.crc_off(), 4)?;
-            let expected_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+            let crc_arr: [u8; 4] = crc_bytes
+                .try_into()
+                .map_err(|_| ntb_sim::NtbError::BadDescriptor { reason: "short CRC slot read" })?;
+            let expected_crc = u32::from_le_bytes(crc_arr);
             if crc32(&data) != expected_crc {
                 node.count_checksum_reject();
                 node.metrics.bump_link(ep.link_idx, |l| &l.crc_rejects);
@@ -301,8 +307,12 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
         FrameKind::AmoReq => {
             // Idempotency: a retransmitted AMO request must not execute
             // twice; the cached old value of the first execution is
-            // re-served.
-            if let Some(old) = node.amo_cache.lock().lookup(frame.src, frame.aux) {
+            // re-served. The lookup is bound to a plain value first: an
+            // `if let` scrutinee would keep the cache guard alive for the
+            // whole expression (2021 temporary-scope rules), pinning the
+            // net-dedup lock across the forward below.
+            let cached = node.amo_cache.lock().lookup(frame.src, frame.aux);
+            if let Some(old) = cached {
                 node.count_duplicate();
                 node.obs.emit(EventKind::AmoReplay, u64::from(frame.aux), [frame.src as u64, 0]);
                 let resp = Frame::amo_resp(me, frame.src, frame.aux);
@@ -318,8 +328,14 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
             if p.len() < 17 {
                 return Err(ntb_sim::NtbError::BadDescriptor { reason: "short AMO payload" });
             }
-            let operand = u64::from_le_bytes(p[0..8].try_into().expect("8 bytes"));
-            let compare = u64::from_le_bytes(p[8..16].try_into().expect("8 bytes"));
+            let operand =
+                u64::from_le_bytes(p[0..8].try_into().map_err(|_| {
+                    ntb_sim::NtbError::BadDescriptor { reason: "short AMO payload" }
+                })?);
+            let compare =
+                u64::from_le_bytes(p[8..16].try_into().map_err(|_| {
+                    ntb_sim::NtbError::BadDescriptor { reason: "short AMO payload" }
+                })?);
             let width = p[16] as usize;
             let op = frame
                 .amo_op

@@ -99,16 +99,20 @@ impl Tracer {
     /// Start recording (idempotent). Events are timestamped relative to
     /// the tracer's creation, so multi-host records share a clock.
     pub fn enable(&self) {
+        // lint: relaxed-ok(advisory fast-path flag; a racing record may miss at most the
+        // enabling edge, which tests bracket with barriers anyway)
         self.enabled.store(true, Ordering::Relaxed);
     }
 
     /// Stop recording.
     pub fn disable(&self) {
+        // lint: relaxed-ok(advisory fast-path flag, see enable)
         self.enabled.store(false, Ordering::Relaxed);
     }
 
     /// Whether events are being recorded.
     pub fn is_enabled(&self) -> bool {
+        // lint: relaxed-ok(advisory fast-path flag, see enable)
         self.enabled.load(Ordering::Relaxed)
     }
 

@@ -274,6 +274,14 @@ const STREAM_CORRUPT: u64 = 2;
 const STREAM_DMA: u64 = 3;
 const STREAM_ACK: u64 = 4;
 
+/// Advance a fault-event stream counter, returning the 1-based event
+/// number.
+fn next_event(counter: &AtomicU64) -> u64 {
+    // lint: relaxed-ok(reproducibility comes from hashing the returned event number with
+    // the plan seed, not from this RMW's ordering)
+    counter.fetch_add(1, Ordering::Relaxed) + 1
+}
+
 impl FaultInjector {
     /// A lossless injector (empty plan); the shared instance for networks
     /// built without fault injection.
@@ -355,6 +363,8 @@ impl FaultInjector {
             }
             st.until = None;
         }
+        // lint: relaxed-ok(monotonic doorbell total read for window arming; staleness shifts
+        // the trigger by at most one event)
         let total = self.total_doorbells.load(Ordering::Relaxed);
         let mut fired_until = None;
         for w in st.windows.iter_mut() {
@@ -380,8 +390,8 @@ impl FaultInjector {
         if !self.active {
             return false;
         }
-        let n = self.doorbell_events[dir.index()].fetch_add(1, Ordering::Relaxed) + 1;
-        let total = self.total_doorbells.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = next_event(&self.doorbell_events[dir.index()]);
+        let total = next_event(&self.total_doorbells);
         let eligible = self.plan.doorbell_drop_mask & (1 << bit) != 0;
         let drop = self.scripted_hit(FaultAction::DropDoorbell, total)
             || (eligible
@@ -401,8 +411,8 @@ impl FaultInjector {
         if !self.active || len == 0 {
             return None;
         }
-        let n = self.corrupt_events[dir.index()].fetch_add(1, Ordering::Relaxed) + 1;
-        let total = self.total_corrupts.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = next_event(&self.corrupt_events[dir.index()]);
+        let total = next_event(&self.total_corrupts);
         let corrupt = self.scripted_hit(FaultAction::CorruptPayload, total)
             || self.decide(STREAM_CORRUPT + ((dir.index() as u64) << 4), n, {
                 self.plan.payload_corrupt_rate
@@ -429,8 +439,8 @@ impl FaultInjector {
         if !self.active {
             return false;
         }
-        let n = self.ack_events[dir.index()].fetch_add(1, Ordering::Relaxed) + 1;
-        let total = self.total_acks.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = next_event(&self.ack_events[dir.index()]);
+        let total = next_event(&self.total_acks);
         let drop = self.scripted_hit(FaultAction::DropAck, total)
             || self.decide(STREAM_ACK + ((dir.index() as u64) << 4), n, self.plan.ack_drop_rate);
         if drop {
@@ -444,8 +454,8 @@ impl FaultInjector {
         if !self.active {
             return DmaFaultOutcome::None;
         }
-        let n = self.dma_events[dir.index()].fetch_add(1, Ordering::Relaxed) + 1;
-        let total = self.total_dmas.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = next_event(&self.dma_events[dir.index()]);
+        let total = next_event(&self.total_dmas);
         if self.scripted_hit(FaultAction::FailDma, total)
             || self.decide(STREAM_DMA + ((dir.index() as u64) << 4), n, self.plan.dma_fail_rate)
         {

@@ -200,6 +200,7 @@ impl LinkHealthTracker {
 
     /// Current observed health.
     pub fn health(&self) -> LinkHealth {
+        // lint: relaxed-ok(advisory health snapshot; routing tolerates a stale read)
         match self.state.load(Ordering::Relaxed) {
             0 => LinkHealth::Up,
             1 => LinkHealth::Degraded,
@@ -209,13 +210,16 @@ impl LinkHealthTracker {
 
     /// Whether traffic should avoid this endpoint.
     pub fn is_down(&self) -> bool {
+        // lint: relaxed-ok(advisory health snapshot; a stale read only delays failover)
         self.state.load(Ordering::Relaxed) == 2
     }
 
     /// Record a successful operation; resets to `Up`. Returns the new
     /// health.
     pub fn record_success(&self) -> LinkHealth {
+        // lint: relaxed-ok(health state is advisory; observers tolerate reordered updates)
         self.consecutive_failures.store(0, Ordering::Relaxed);
+        // lint: relaxed-ok(health state is advisory; observers tolerate reordered updates)
         self.state.store(0, Ordering::Relaxed);
         LinkHealth::Up
     }
@@ -223,8 +227,10 @@ impl LinkHealthTracker {
     /// Record a failed (transient) operation. Returns the new health, so
     /// the caller can count an `Up`/`Degraded` → `Down` transition.
     pub fn record_failure(&self) -> LinkHealth {
+        // lint: relaxed-ok(failure streak counting needs atomicity, not ordering)
         let fails = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
         let new = if fails >= self.threshold { 2 } else { 1 };
+        // lint: relaxed-ok(health state is advisory; observers tolerate a stale read)
         self.state.store(new, Ordering::Relaxed);
         if new == 2 {
             LinkHealth::Down

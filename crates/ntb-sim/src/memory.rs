@@ -36,6 +36,9 @@ struct RegionInner {
 // documented on the module; all protocol-level accesses are ordered by
 // SeqCst operations on scratchpads/doorbells.
 unsafe impl Send for RegionInner {}
+// SAFETY: same contract as Send above — concurrent shared access goes
+// through read/write windows whose cross-host ordering is established by
+// SeqCst scratchpad/doorbell operations, mirroring real NTB hardware.
 unsafe impl Sync for RegionInner {}
 
 /// A contiguous range of simulated physical memory, cheaply cloneable and
@@ -216,6 +219,7 @@ impl HostMemory {
 
     /// Bytes currently allocated.
     pub fn allocated(&self) -> u64 {
+        // lint: relaxed-ok(accounting snapshot for reporting; precision under races not needed)
         self.allocated.load(Ordering::Relaxed)
     }
 
@@ -223,11 +227,13 @@ impl HostMemory {
     /// (Regions are not returned to the arena on drop; the model treats
     /// them as boot-time pinned allocations, as the NTB driver does.)
     pub fn region_count(&self) -> u64 {
+        // lint: relaxed-ok(accounting snapshot for reporting; precision under races not needed)
         self.regions.load(Ordering::Relaxed)
     }
 
     /// Allocate a zeroed region of `len` bytes, charging the arena.
     pub fn alloc_region(&self, len: u64) -> Result<Region> {
+        // lint: relaxed-ok(seed value for the CAS loop below; the CAS re-reads on conflict)
         let mut current = self.allocated.load(Ordering::Relaxed);
         loop {
             let new = current.checked_add(len).ok_or(NtbError::OutOfMemory {
@@ -243,13 +249,14 @@ impl HostMemory {
             match self.allocated.compare_exchange_weak(
                 current,
                 new,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // lint: relaxed-ok(pure byte accounting; guards no memory)
+                Ordering::Relaxed, // lint: relaxed-ok(failure path only re-reads the counter)
             ) {
                 Ok(_) => break,
                 Err(observed) => current = observed,
             }
         }
+        // lint: relaxed-ok(allocation counting needs atomicity, not ordering)
         self.regions.fetch_add(1, Ordering::Relaxed);
         Ok(Region::anonymous(len))
     }

@@ -28,6 +28,18 @@ use parking_lot::Mutex;
 /// `link` value for events not scoped to a single link.
 pub const NO_LINK: u16 = u16::MAX;
 
+/// Add to a monotonic event counter.
+fn bump(counter: &AtomicU64, n: u64) {
+    // lint: relaxed-ok(monotonic counters; readers only need eventual totals)
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read a monotonic event counter.
+fn get(counter: &AtomicU64) -> u64 {
+    // lint: relaxed-ok(monotonic counters; snapshots are advisory)
+    counter.load(Ordering::Relaxed)
+}
+
 /// What happened. One flat namespace across the three layers so a merged
 /// trace reads as a single timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -283,6 +295,8 @@ impl EventLog {
     /// Whether emissions are currently recorded.
     #[inline]
     pub fn is_enabled(&self) -> bool {
+        // lint: relaxed-ok(advisory fast-path flag: a racing emit may miss the enabling
+        // edge only; tests bracket enable/disable with barriers)
         self.enabled.load(Ordering::Relaxed)
     }
 
@@ -298,9 +312,11 @@ impl EventLog {
     #[cold]
     fn emit_slow(&self, pe: u16, link: u16, kind: EventKind, op_id: u64, payload: [u64; 2]) {
         let Some(ring) = self.rings.get(pe as usize) else {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            bump(&self.dropped, 1);
             return;
         };
+        // lint: relaxed-ok(global sequence allocation; the merged trace orders by the
+        // allocated value, not by this RMW's visibility)
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let ev = TraceEvent {
             seq,
@@ -314,7 +330,7 @@ impl EventLog {
         let mut ring = ring.lock();
         if ring.buf.len() >= self.capacity {
             ring.buf.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            bump(&self.dropped, 1);
         }
         ring.buf.push_back(ev);
     }
@@ -322,7 +338,7 @@ impl EventLog {
     /// Events evicted (ring overflow) or unattributable, so a checker
     /// can refuse to certify a truncated trace.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        get(&self.dropped)
     }
 
     /// Copy out the merged trace, sorted by global sequence number.
@@ -499,25 +515,26 @@ impl LatencyHistogram {
 
     /// Record one sample in microseconds.
     pub fn record(&self, us: u64) {
-        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        bump(&self.buckets[Self::bucket_index(us)], 1);
+        bump(&self.count, 1);
+        bump(&self.sum_us, us);
+        // lint: relaxed-ok(monotonic running maximum; readers tolerate staleness)
         self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
     /// Samples recorded.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        get(&self.count)
     }
 
     /// Sum of all samples (µs).
     pub fn sum_us(&self) -> u64 {
-        self.sum_us.load(Ordering::Relaxed)
+        get(&self.sum_us)
     }
 
     /// Largest sample (µs).
     pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
+        get(&self.max_us)
     }
 
     /// Mean sample (µs), 0.0 when empty.
@@ -540,7 +557,7 @@ impl LatencyHistogram {
         let target = ((n as f64 * q).ceil() as u64).clamp(1, n);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += get(b);
             if seen >= target {
                 return 1u64 << (i + 1).min(63);
             }
@@ -555,7 +572,7 @@ impl LatencyHistogram {
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
-                let v = b.load(Ordering::Relaxed);
+                let v = get(b);
                 (v > 0).then(|| format!("[{i},{v}]"))
             })
             .collect();
@@ -633,11 +650,11 @@ impl LinkMetrics {
     fn to_json(&self) -> String {
         format!(
             "{{\"frames_tx\":{},\"frames_rx\":{},\"retransmits\":{},\"reroutes\":{},\"crc_rejects\":{}}}",
-            self.frames_tx.load(Ordering::Relaxed),
-            self.frames_rx.load(Ordering::Relaxed),
-            self.retransmits.load(Ordering::Relaxed),
-            self.reroutes.load(Ordering::Relaxed),
-            self.crc_rejects.load(Ordering::Relaxed),
+            get(&self.frames_tx),
+            get(&self.frames_rx),
+            get(&self.retransmits),
+            get(&self.reroutes),
+            get(&self.crc_rejects),
         )
     }
 }
@@ -683,7 +700,7 @@ impl MetricsRegistry {
     /// Bump a per-link counter, tolerant of out-of-range indices.
     pub fn bump_link(&self, idx: usize, f: impl Fn(&LinkMetrics) -> &AtomicU64) {
         if let Some(l) = self.links.get(idx) {
-            f(l).fetch_add(1, Ordering::Relaxed);
+            bump(f(l), 1);
         }
     }
 

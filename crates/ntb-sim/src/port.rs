@@ -215,6 +215,7 @@ impl NtbPort {
 
     /// Submit an asynchronous DMA descriptor through the outgoing window.
     pub fn dma_submit(&self, req: DmaRequest) -> Result<DmaHandle> {
+        // lint: relaxed-ok(unique job-id allocation; uniqueness needs atomicity, not ordering)
         let job = self.dma_seq.fetch_add(1, Ordering::Relaxed);
         self.obs.emit(EventKind::DmaSubmit, job, [req.dst_offset, req.len]);
         self.dma.submit(Arc::clone(&self.outgoing), req)
@@ -222,6 +223,7 @@ impl NtbPort {
 
     /// Synchronous DMA transfer through the outgoing window.
     pub fn dma_transfer(&self, req: DmaRequest) -> Result<()> {
+        // lint: relaxed-ok(unique job-id allocation; uniqueness needs atomicity, not ordering)
         let job = self.dma_seq.fetch_add(1, Ordering::Relaxed);
         self.obs.emit(EventKind::DmaSubmit, job, [req.dst_offset, req.len]);
         let res = self.dma.submit(Arc::clone(&self.outgoing), req).and_then(|h| h.wait());

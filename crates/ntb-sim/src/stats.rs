@@ -8,6 +8,18 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Add to a monotonic event counter.
+fn bump(counter: &AtomicU64, n: u64) {
+    // lint: relaxed-ok(monotonic counters; readers only need eventual totals)
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read a monotonic event counter.
+fn get(counter: &AtomicU64) -> u64 {
+    // lint: relaxed-ok(monotonic counters; snapshots are advisory)
+    counter.load(Ordering::Relaxed)
+}
+
 /// Counters of one NTB port. All methods are lock-free and callable from
 /// any thread.
 #[derive(Debug, Default)]
@@ -31,92 +43,92 @@ impl PortStats {
 
     /// Record `n` bytes transmitted through the outgoing window.
     pub fn add_tx(&self, n: u64) {
-        self.bytes_tx.fetch_add(n, Ordering::Relaxed);
+        bump(&self.bytes_tx, n);
     }
 
     /// Record `n` bytes received into the incoming window.
     pub fn add_rx(&self, n: u64) {
-        self.bytes_rx.fetch_add(n, Ordering::Relaxed);
+        bump(&self.bytes_rx, n);
     }
 
     /// Record one DMA descriptor completion.
     pub fn add_dma_op(&self) {
-        self.dma_ops.fetch_add(1, Ordering::Relaxed);
+        bump(&self.dma_ops, 1);
     }
 
     /// Record one PIO transfer.
     pub fn add_pio_op(&self) {
-        self.pio_ops.fetch_add(1, Ordering::Relaxed);
+        bump(&self.pio_ops, 1);
     }
 
     /// Record ringing the peer's doorbell.
     pub fn add_doorbell_rung(&self) {
-        self.doorbells_rung.fetch_add(1, Ordering::Relaxed);
+        bump(&self.doorbells_rung, 1);
     }
 
     /// Record receiving a doorbell interrupt.
     pub fn add_doorbell_received(&self) {
-        self.doorbells_received.fetch_add(1, Ordering::Relaxed);
+        bump(&self.doorbells_received, 1);
     }
 
     /// Record one scratchpad register access.
     pub fn add_scratchpad_access(&self) {
-        self.scratchpad_accesses.fetch_add(1, Ordering::Relaxed);
+        bump(&self.scratchpad_accesses, 1);
     }
 
     /// Record a transaction rejected by the LUT.
     pub fn add_lut_reject(&self) {
-        self.lut_rejects.fetch_add(1, Ordering::Relaxed);
+        bump(&self.lut_rejects, 1);
     }
 
     /// Record an access beyond the window limit.
     pub fn add_window_violation(&self) {
-        self.window_violations.fetch_add(1, Ordering::Relaxed);
+        bump(&self.window_violations, 1);
     }
 
     /// Bytes transmitted.
     pub fn bytes_tx(&self) -> u64 {
-        self.bytes_tx.load(Ordering::Relaxed)
+        get(&self.bytes_tx)
     }
 
     /// Bytes received.
     pub fn bytes_rx(&self) -> u64 {
-        self.bytes_rx.load(Ordering::Relaxed)
+        get(&self.bytes_rx)
     }
 
     /// DMA descriptor count.
     pub fn dma_ops(&self) -> u64 {
-        self.dma_ops.load(Ordering::Relaxed)
+        get(&self.dma_ops)
     }
 
     /// PIO transfer count.
     pub fn pio_ops(&self) -> u64 {
-        self.pio_ops.load(Ordering::Relaxed)
+        get(&self.pio_ops)
     }
 
     /// Doorbells rung towards the peer.
     pub fn doorbells_rung(&self) -> u64 {
-        self.doorbells_rung.load(Ordering::Relaxed)
+        get(&self.doorbells_rung)
     }
 
     /// Doorbell interrupts received.
     pub fn doorbells_received(&self) -> u64 {
-        self.doorbells_received.load(Ordering::Relaxed)
+        get(&self.doorbells_received)
     }
 
     /// Scratchpad accesses.
     pub fn scratchpad_accesses(&self) -> u64 {
-        self.scratchpad_accesses.load(Ordering::Relaxed)
+        get(&self.scratchpad_accesses)
     }
 
     /// LUT rejections observed.
     pub fn lut_rejects(&self) -> u64 {
-        self.lut_rejects.load(Ordering::Relaxed)
+        get(&self.lut_rejects)
     }
 
     /// Window-limit violations observed.
     pub fn window_violations(&self) -> u64 {
-        self.window_violations.load(Ordering::Relaxed)
+        get(&self.window_violations)
     }
 
     /// Snapshot every counter (for report printing).
@@ -199,62 +211,62 @@ impl FaultStats {
 
     /// Record a silently discarded doorbell ring.
     pub fn add_doorbell_dropped(&self) {
-        self.doorbells_dropped.fetch_add(1, Ordering::Relaxed);
+        bump(&self.doorbells_dropped, 1);
     }
 
     /// Record a flipped payload byte.
     pub fn add_payload_corrupted(&self) {
-        self.payloads_corrupted.fetch_add(1, Ordering::Relaxed);
+        bump(&self.payloads_corrupted, 1);
     }
 
     /// Record a DMA descriptor completed with an error.
     pub fn add_dma_failure(&self) {
-        self.dma_failures.fetch_add(1, Ordering::Relaxed);
+        bump(&self.dma_failures, 1);
     }
 
     /// Record a stalled DMA descriptor.
     pub fn add_dma_stall(&self) {
-        self.dma_stalls.fetch_add(1, Ordering::Relaxed);
+        bump(&self.dma_stalls, 1);
     }
 
     /// Record a link-down window being armed.
     pub fn add_link_down_window(&self) {
-        self.link_down_windows.fetch_add(1, Ordering::Relaxed);
+        bump(&self.link_down_windows, 1);
     }
 
     /// Record a put acknowledgement suppressed at the receiver.
     pub fn add_ack_suppressed(&self) {
-        self.acks_suppressed.fetch_add(1, Ordering::Relaxed);
+        bump(&self.acks_suppressed, 1);
     }
 
     /// Doorbell rings discarded.
     pub fn doorbells_dropped(&self) -> u64 {
-        self.doorbells_dropped.load(Ordering::Relaxed)
+        get(&self.doorbells_dropped)
     }
 
     /// Payload writes corrupted.
     pub fn payloads_corrupted(&self) -> u64 {
-        self.payloads_corrupted.load(Ordering::Relaxed)
+        get(&self.payloads_corrupted)
     }
 
     /// DMA descriptors failed.
     pub fn dma_failures(&self) -> u64 {
-        self.dma_failures.load(Ordering::Relaxed)
+        get(&self.dma_failures)
     }
 
     /// DMA descriptors stalled.
     pub fn dma_stalls(&self) -> u64 {
-        self.dma_stalls.load(Ordering::Relaxed)
+        get(&self.dma_stalls)
     }
 
     /// Link-down windows armed.
     pub fn link_down_windows(&self) -> u64 {
-        self.link_down_windows.load(Ordering::Relaxed)
+        get(&self.link_down_windows)
     }
 
     /// Put acknowledgements suppressed.
     pub fn acks_suppressed(&self) -> u64 {
-        self.acks_suppressed.load(Ordering::Relaxed)
+        get(&self.acks_suppressed)
     }
 
     /// Snapshot every counter.

@@ -1,6 +1,7 @@
 //! Paper-style table rendering, CSV export, and observability reports.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ntb_sim::{MetricsRegistry, OpClass};
 
@@ -102,13 +103,11 @@ pub fn render_metrics_report(
         }
         for link in 0..reg.link_count() {
             let Some(l) = reg.link(link) else { continue };
-            let relaxed = std::sync::atomic::Ordering::Relaxed;
-            let (tx, rx) = (l.frames_tx.load(relaxed), l.frames_rx.load(relaxed));
-            let (retx, rer, crc) = (
-                l.retransmits.load(relaxed),
-                l.reroutes.load(relaxed),
-                l.crc_rejects.load(relaxed),
-            );
+            // lint: relaxed-ok(report-time counter snapshot; counters are monotonic and the
+            // report tolerates slight skew between them)
+            let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+            let (tx, rx) = (ld(&l.frames_tx), ld(&l.frames_rx));
+            let (retx, rer, crc) = (ld(&l.retransmits), ld(&l.reroutes), ld(&l.crc_rejects));
             if tx + rx + retx + rer + crc == 0 {
                 continue;
             }

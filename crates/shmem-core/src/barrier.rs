@@ -49,6 +49,8 @@ impl ShmemCtx {
     /// per-PE count names the same barrier everywhere — the checker's
     /// barrier invariant groups events by it.
     fn barrier_trace_enter(&self) -> u64 {
+        // lint: relaxed-ok(monotonic trace-epoch allocation; collective call order names the
+        // barrier, not this counter's memory ordering)
         let epoch = self.barrier_trace_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let obs = self.node.obs();
         if obs.is_enabled() {

@@ -55,18 +55,16 @@ pub struct ShmemCtx {
 const BARRIER_ROUNDS: usize = 8;
 
 impl ShmemCtx {
-    pub(crate) fn new(node: Arc<NtbNode>, cfg: ShmemConfig) -> ShmemCtx {
+    pub(crate) fn new(node: Arc<NtbNode>, cfg: ShmemConfig) -> Result<ShmemCtx> {
         let heap = SymmetricHeap::new(Arc::clone(node.memory()), cfg.heap_chunk);
         node.set_delivery(Arc::clone(&heap) as Arc<dyn ntb_net::DeliveryTarget>);
         // Pre-user symmetric allocation: every PE performs it identically
         // during init, so offsets match without a barrier (no peer is
         // running user code yet).
-        let flags_addr = heap
-            .malloc((BARRIER_ROUNDS * <u64 as ShmemScalar>::WIDTH) as u64)
-            .expect("dissemination barrier flags");
-        heap.fill_flat(flags_addr.offset(), flags_addr.len(), 0).expect("zero barrier flags");
-        let barrier_flags = TypedSym::new(flags_addr, BARRIER_ROUNDS).expect("typed flags");
-        ShmemCtx {
+        let flags_addr = heap.malloc((BARRIER_ROUNDS * <u64 as ShmemScalar>::WIDTH) as u64)?;
+        heap.fill_flat(flags_addr.offset(), flags_addr.len(), 0)?;
+        let barrier_flags = TypedSym::new(flags_addr, BARRIER_ROUNDS)?;
+        Ok(ShmemCtx {
             node,
             heap,
             cfg,
@@ -74,11 +72,12 @@ impl ShmemCtx {
             barrier_epoch: std::sync::atomic::AtomicU64::new(0),
             api_op: AtomicU64::new(0),
             barrier_trace_epoch: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Fresh id for an API-level trace event pair.
     pub(crate) fn next_api_op(&self) -> u64 {
+        // lint: relaxed-ok(unique id allocation; uniqueness needs atomicity, not ordering)
         self.api_op.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -478,7 +477,8 @@ impl ShmemCtx {
     /// Snapshot of this PE's communication counters (protocol activity
     /// plus raw bytes through both NTB adapters).
     pub fn stats_snapshot(&self) -> PeStats {
-        use std::sync::atomic::Ordering::Relaxed;
+        // lint: relaxed-ok(monotonic stats counters, snapshot for reporting only)
+        let ld = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
         let s = self.node.stats();
         let mut bytes_tx = 0;
         let mut bytes_rx = 0;
@@ -490,18 +490,18 @@ impl ShmemCtx {
             }
         }
         PeStats {
-            frames_rx: s.frames_rx.load(Relaxed),
-            forwards: s.forwards.load(Relaxed),
-            puts_delivered: s.puts_delivered.load(Relaxed),
-            gets_served: s.gets_served.load(Relaxed),
-            acks_received: s.acks_received.load(Relaxed),
-            amos_served: s.amos_served.load(Relaxed),
-            retransmits: s.retransmits.load(Relaxed),
-            checksum_rejects: s.checksum_rejects.load(Relaxed),
-            reroutes: s.reroutes.load(Relaxed),
-            duplicates_suppressed: s.duplicates_suppressed.load(Relaxed),
-            probes_sent: s.probes_sent.load(Relaxed),
-            link_down_events: s.link_down_events.load(Relaxed),
+            frames_rx: ld(&s.frames_rx),
+            forwards: ld(&s.forwards),
+            puts_delivered: ld(&s.puts_delivered),
+            gets_served: ld(&s.gets_served),
+            acks_received: ld(&s.acks_received),
+            amos_served: ld(&s.amos_served),
+            retransmits: ld(&s.retransmits),
+            checksum_rejects: ld(&s.checksum_rejects),
+            reroutes: ld(&s.reroutes),
+            duplicates_suppressed: ld(&s.duplicates_suppressed),
+            probes_sent: ld(&s.probes_sent),
+            link_down_events: ld(&s.link_down_events),
             bytes_tx,
             bytes_rx,
             heap_capacity: self.heap.capacity(),

@@ -94,6 +94,7 @@ impl SymmetricHeap {
 
     /// Total flat capacity (bytes).
     pub fn capacity(&self) -> u64 {
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_HEAP);
         let inner = self.inner.lock();
         inner.capacity(self.chunk_size)
     }
@@ -133,6 +134,7 @@ impl SymmetricHeap {
             let aligned = off.next_multiple_of(align);
             (aligned + need <= off + len).then_some(aligned)
         };
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_HEAP);
         let mut inner = self.inner.lock();
         // First fit over the sorted free list (deterministic: identical
         // call sequences give identical offsets on every PE).
@@ -170,7 +172,8 @@ impl SymmetricHeap {
                 }
                 let pos = inner.free.len() - 1;
                 let (off, len) = inner.free[pos];
-                let aligned = fits(off, len).expect("grow sized for alignment slack");
+                let aligned =
+                    fits(off, len).ok_or(ShmemError::OutOfSymmetricMemory { requested: size })?;
                 (pos, aligned)
             }
         };
@@ -196,6 +199,7 @@ impl SymmetricHeap {
         if addr.len == 0 {
             return Ok(());
         }
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_HEAP);
         let mut inner = self.inner.lock();
         let len = inner
             .live
@@ -229,6 +233,7 @@ impl SymmetricHeap {
     /// Write `data` at flat offset `offset`, crossing chunk boundaries as
     /// needed (the "scattered but virtually continuative" copy of Fig. 3).
     pub fn write_flat(&self, offset: u64, data: &[u8]) -> Result<()> {
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_HEAP);
         let inner = self.inner.lock();
         self.check_range(&inner, offset, data.len() as u64)?;
         let mut pos = 0usize;
@@ -245,6 +250,7 @@ impl SymmetricHeap {
 
     /// Read `out.len()` bytes from flat offset `offset`.
     pub fn read_flat(&self, offset: u64, out: &mut [u8]) -> Result<()> {
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_HEAP);
         let inner = self.inner.lock();
         self.check_range(&inner, offset, out.len() as u64)?;
         let mut pos = 0usize;
@@ -270,6 +276,7 @@ impl SymmetricHeap {
     /// `shmem_calloc`: recycled heap memory is *not* zeroed by `malloc`,
     /// matching the OpenSHMEM spec).
     pub fn fill_flat(&self, offset: u64, len: u64, byte: u8) -> Result<()> {
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_HEAP);
         let inner = self.inner.lock();
         self.check_range(&inner, offset, len)?;
         let mut pos = 0u64;
@@ -296,6 +303,7 @@ impl SymmetricHeap {
         compare: u64,
     ) -> Result<u64> {
         assert!(matches!(width, 1 | 2 | 4 | 8), "AMO width must be 1/2/4/8");
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_AMO);
         let _guard = self.amo_lock.lock();
         let mut buf = [0u8; 8];
         self.read_flat(offset, &mut buf[..width])?;
@@ -308,6 +316,7 @@ impl SymmetricHeap {
 
     /// Signal `wait_until` sleepers that symmetric memory changed.
     pub fn bump_version(&self) {
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_VERSION);
         let mut v = self.version.lock();
         *v += 1;
         self.version_cond.notify_all();
@@ -321,6 +330,7 @@ impl SymmetricHeap {
     /// Block until the change counter moves past `seen` (or `timeout`
     /// passes). Returns the new counter value.
     pub fn wait_change(&self, seen: u64, timeout: Duration) -> u64 {
+        ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_VERSION);
         let mut v = self.version.lock();
         if *v == seen {
             let _ = self.version_cond.wait_for(&mut v, timeout);

@@ -32,8 +32,9 @@ impl ShmemWorld {
     {
         cfg.validate();
         let net = RingNetwork::build(cfg.net.clone())?;
-        let ctxs: Vec<ShmemCtx> =
-            (0..cfg.hosts()).map(|i| ShmemCtx::new(Arc::clone(net.node(i)), cfg.clone())).collect();
+        let ctxs: Vec<ShmemCtx> = (0..cfg.hosts())
+            .map(|i| ShmemCtx::new(Arc::clone(net.node(i)), cfg.clone()))
+            .collect::<Result<_>>()?;
 
         let results: Vec<std::thread::Result<T>> = std::thread::scope(|s| {
             let handles: Vec<_> = ctxs
@@ -43,6 +44,7 @@ impl ShmemWorld {
                     std::thread::Builder::new()
                         .name(format!("shmem-pe{}", ctx.my_pe()))
                         .spawn_scoped(s, move || f(ctx))
+                        // lint: unwrap-ok(spawn fails only on resource exhaustion at bring-up)
                         .expect("spawn PE thread")
                 })
                 .collect();

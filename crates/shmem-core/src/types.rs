@@ -45,6 +45,7 @@ macro_rules! impl_scalar {
             }
 
             fn load_le(bytes: &[u8]) -> Self {
+                // lint: unwrap-ok(callers pass WIDTH-sized slices by the ShmemScalar contract)
                 <$t>::from_le_bytes(bytes.try_into().expect("width-checked slice"))
             }
         }

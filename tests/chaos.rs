@@ -403,3 +403,23 @@ chaos_matrix! {
     chaos_link_flap_seed_07 => Family::LinkFlap, 0xF1_A907;
     chaos_link_flap_seed_08 => Family::LinkFlap, 0xF1_A908;
 }
+
+/// Under `--features lockdep` the instrumented lock sites feed the
+/// runtime acquisition graph; a full mixed-fault run must record no
+/// rank violations and leave the graph acyclic. Tests share one
+/// process, so violations recorded by any concurrently-running chaos
+/// test surface here too — which is the point: service threads swallow
+/// panics, so this drain is where lockdep fails loudly.
+#[cfg(feature = "lockdep")]
+#[test]
+fn chaos_run_records_no_lockdep_violations() {
+    use shmem_ntb::net::lockdep;
+    let outcome = run_chaos(Family::Mixed, 0x10CD_E401);
+    certify_trace("chaos-lockdep-mixed", &outcome);
+    let violations = lockdep::take_violations();
+    assert!(violations.is_empty(), "lockdep violations: {violations:#?}");
+    if let Some(cycle) = lockdep::find_cycle() {
+        panic!("lock acquisition cycle: {}", cycle.join(" -> "));
+    }
+    eprintln!("lockdep: {} acquisition edges, no violations", lockdep::edges().len());
+}
