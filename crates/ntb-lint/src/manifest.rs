@@ -66,19 +66,24 @@ pub const LOCK_ORDER: &[LockClassDecl] = &[
         rationale: "seen-puts / AMO replay caches; consulted by the service thread which may then forward or emit",
     },
     LockClassDecl {
-        name: "net-pending-ops",
+        name: "net-pending-shard",
         rank: 60,
-        rationale: "pending get/AMO completion map; fill_with emits trace events while holding it",
+        rationale: "one shard of the pending get/AMO completion map; fill_with emits trace events while holding it; shards are never nested with each other",
     },
     LockClassDecl {
-        name: "net-unacked",
+        name: "net-unacked-shard",
         rank: 64,
-        rationale: "unacked-put retry state; distinct from pending-ops so ack/sweeper interleavings stay cycle-free",
+        rationale: "one shard of the unacked-put retry ledger; distinct from pending shards so ack/sweeper interleavings stay cycle-free",
     },
     LockClassDecl {
         name: "net-forward",
         rank: 70,
         rationale: "forwarder job queue; fed by the service thread while it still holds dedup state",
+    },
+    LockClassDecl {
+        name: "net-txring",
+        rank: 78,
+        rationale: "transmit-ring publish state; held across slot publish -> coalesced doorbell, and the forwarder flushes the ring while holding its queue lock",
     },
     LockClassDecl {
         name: "net-mailbox",
@@ -171,9 +176,18 @@ pub const LOCK_SITES: &[LockSite] = &[
     LockSite { file_suffix: "ntb-net/src/node.rs", receiver: "errors", class: "net-admin" },
     LockSite { file_suffix: "ntb-net/src/service.rs", receiver: "seen_puts", class: "net-dedup" },
     LockSite { file_suffix: "ntb-net/src/service.rs", receiver: "amo_cache", class: "net-dedup" },
-    LockSite { file_suffix: "ntb-net/src/pending.rs", receiver: "inner", class: "net-pending-ops" },
-    LockSite { file_suffix: "ntb-net/src/pending.rs", receiver: "state", class: "net-unacked" },
+    LockSite {
+        file_suffix: "ntb-net/src/pending.rs",
+        receiver: "inner",
+        class: "net-pending-shard",
+    },
+    LockSite {
+        file_suffix: "ntb-net/src/pending.rs",
+        receiver: "state",
+        class: "net-unacked-shard",
+    },
     LockSite { file_suffix: "ntb-net/src/forwarder.rs", receiver: "state", class: "net-forward" },
+    LockSite { file_suffix: "ntb-net/src/slots.rs", receiver: "state", class: "net-txring" },
     LockSite { file_suffix: "ntb-net/src/mailbox.rs", receiver: "seq", class: "net-mailbox" },
     LockSite { file_suffix: "ntb-net/src/trace.rs", receiver: "events", class: "obs" },
     LockSite {

@@ -19,6 +19,14 @@
 //! 5. **Down-link discipline** — no put chunk is transmitted
 //!    (`PutChunkTx`) over a link the emitting PE currently holds Down
 //!    (between its `LinkDown` and the matching `LinkUp`).
+//! 6. **Slot coalescing** — every coalesced doorbell
+//!    (`DoorbellCoalesce`) covers at least one published transmit-ring
+//!    slot and never more slots than its ring has published so far, and
+//!    every drained slot (`SlotDrain`) matches exactly one publish
+//!    (`SlotPublish`) — drained at most once. Published-but-undrained
+//!    slots are legal (a trailing batch the receiver had not consumed
+//!    when the trace was cut, or a slot consumed as corrupt under fault
+//!    injection).
 //!
 //! Soundness of the replay relies on two properties of the
 //! [`EventLog`]: the global sequence number is allocated with one atomic
@@ -76,6 +84,8 @@ pub struct CheckReport {
     pub gets_checked: usize,
     /// Barrier epochs tracked through invariant 4.
     pub barriers_checked: usize,
+    /// Transmit-ring slot publishes tracked through invariant 6.
+    pub slots_checked: usize,
     /// Every violation found, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -401,6 +411,94 @@ fn check_down_links(events: &[TraceEvent], report: &mut CheckReport) {
     }
 }
 
+/// Invariant 6: coalesced doorbells and slot drains are consistent with
+/// the publishes that preceded them.
+///
+/// A transmit ring is identified by `(sender pe, link)`: each sender
+/// owns one ring per cabled link, and its slot sequence numbers are
+/// monotonic. `SlotPublish` is emitted by the sender; `SlotDrain` by the
+/// *receiver* with the sender's pe in `payload[0]`, so both sides key to
+/// the same ring.
+fn check_slots(events: &[TraceEvent], report: &mut CheckReport) {
+    let mut published: HashMap<(u16, u16), u64> = HashMap::new(); // ring -> publish count
+    let mut covered: HashMap<(u16, u16), u64> = HashMap::new(); // ring -> coalesced slot count
+    let mut publishes: HashSet<(u16, u16, u64)> = HashSet::new(); // (ring, slot seq)
+    let mut drains: HashMap<(u16, u16, u64), u32> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::SlotPublish => {
+                *published.entry((ev.pe, ev.link)).or_insert(0) += 1;
+                publishes.insert((ev.pe, ev.link, ev.op_id));
+            }
+            EventKind::DoorbellCoalesce => {
+                let n = ev.payload[0];
+                if n == 0 {
+                    report.violations.push(Violation {
+                        invariant: "slot-coalescing",
+                        message: format!(
+                            "pe {} rang a coalesced doorbell covering zero slots on link {}",
+                            ev.pe, ev.link
+                        ),
+                        window: window(events, |e| {
+                            e.pe == ev.pe && e.link == ev.link && slot_lifecycle(e.kind)
+                        }),
+                    });
+                    continue;
+                }
+                let c = covered.entry((ev.pe, ev.link)).or_insert(0);
+                *c += n;
+                let avail = published.get(&(ev.pe, ev.link)).copied().unwrap_or(0);
+                if *c > avail {
+                    report.violations.push(Violation {
+                        invariant: "slot-coalescing",
+                        message: format!(
+                            "pe {} link {}: coalesced doorbells cover {} slots but only {} were \
+                             published",
+                            ev.pe, ev.link, *c, avail
+                        ),
+                        window: window(events, |e| {
+                            e.pe == ev.pe && e.link == ev.link && slot_lifecycle(e.kind)
+                        }),
+                    });
+                }
+            }
+            EventKind::SlotDrain => {
+                // `payload[0]` carries the sending pe (the drain itself is
+                // emitted at the receiver).
+                *drains.entry((ev.payload[0] as u16, ev.link, ev.op_id)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    report.slots_checked = publishes.len();
+    for (&(pe, link, seq), &count) in &drains {
+        if !publishes.contains(&(pe, link, seq)) {
+            report.violations.push(Violation {
+                invariant: "slot-coalescing",
+                message: format!(
+                    "slot seq {seq} of pe {pe}'s ring on link {link} was drained without a \
+                     matching publish"
+                ),
+                window: window(events, |e| e.link == link && slot_lifecycle(e.kind)),
+            });
+        } else if count > 1 {
+            report.violations.push(Violation {
+                invariant: "slot-coalescing",
+                message: format!(
+                    "slot seq {seq} of pe {pe}'s ring on link {link} was drained {count} times"
+                ),
+                window: window(events, |e| {
+                    e.link == link && e.op_id == seq && slot_lifecycle(e.kind)
+                }),
+            });
+        }
+    }
+}
+
+fn slot_lifecycle(kind: EventKind) -> bool {
+    matches!(kind, EventKind::SlotPublish | EventKind::SlotDrain | EventKind::DoorbellCoalesce)
+}
+
 /// Replay `events` (must be seq-sorted, as [`EventLog::take`] returns
 /// them) and check every invariant. `pes` is the PE count of the network
 /// the trace came from (barrier membership).
@@ -411,6 +509,7 @@ pub fn check(events: &[TraceEvent], pes: usize) -> CheckReport {
     check_gets(events, &mut report);
     check_barriers(events, pes, &mut report);
     check_down_links(events, &mut report);
+    check_slots(events, &mut report);
     report
 }
 
@@ -635,6 +734,91 @@ mod tests {
         }
         let r = check_log(&log, 1);
         assert!(r.violations.iter().any(|v| v.invariant == "trace-complete"));
+    }
+
+    #[test]
+    fn clean_slot_batch_passes() {
+        // PE 0 publishes 3 slots on link 0, rings one coalesced doorbell,
+        // PE 1 drains all three. An extra undrained publish (a trailing
+        // batch) is legal.
+        let t = vec![
+            ev(0, 0, 0, EventKind::SlotPublish, 0, [64, 0]),
+            ev(1, 0, 0, EventKind::SlotPublish, 1, [64, 1]),
+            ev(2, 0, 0, EventKind::SlotPublish, 2, [64, 2]),
+            ev(3, 0, 0, EventKind::DoorbellCoalesce, 0, [3, 0]),
+            ev(4, 1, 0, EventKind::SlotDrain, 0, [0, 0]),
+            ev(5, 1, 0, EventKind::SlotDrain, 1, [0, 1]),
+            ev(6, 1, 0, EventKind::SlotDrain, 2, [0, 2]),
+            ev(7, 0, 0, EventKind::SlotPublish, 3, [64, 3]),
+        ];
+        let r = check(&t, 2);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        assert_eq!(r.slots_checked, 4);
+    }
+
+    #[test]
+    fn empty_coalesced_doorbell_is_flagged() {
+        let t = vec![
+            ev(0, 0, 0, EventKind::SlotPublish, 0, [64, 0]),
+            ev(1, 0, 0, EventKind::DoorbellCoalesce, 0, [0, 0]),
+        ];
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "slot-coalescing");
+        assert!(r.violations[0].message.contains("zero slots"));
+    }
+
+    #[test]
+    fn doorbell_covering_unpublished_slots_is_flagged() {
+        let t = vec![
+            ev(0, 0, 0, EventKind::SlotPublish, 0, [64, 0]),
+            ev(1, 0, 0, EventKind::DoorbellCoalesce, 0, [2, 0]),
+        ];
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(
+            r.violations[0].message.contains("cover 2 slots but only 1"),
+            "{}",
+            r.violations[0].message
+        );
+    }
+
+    #[test]
+    fn double_drained_slot_is_flagged() {
+        let t = vec![
+            ev(0, 0, 0, EventKind::SlotPublish, 5, [64, 1]),
+            ev(1, 0, 0, EventKind::DoorbellCoalesce, 5, [1, 0]),
+            ev(2, 1, 0, EventKind::SlotDrain, 5, [0, 1]),
+            ev(3, 1, 0, EventKind::SlotDrain, 5, [0, 1]),
+        ];
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("drained 2 times"));
+    }
+
+    #[test]
+    fn drain_without_publish_is_flagged() {
+        let t = vec![ev(0, 1, 0, EventKind::SlotDrain, 9, [0, 1])];
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("without a matching publish"));
+    }
+
+    #[test]
+    fn slot_rings_are_scoped_per_sender_and_link() {
+        // Two senders reuse slot seq 0 on different links; each drain
+        // resolves against its own ring.
+        let t = vec![
+            ev(0, 0, 0, EventKind::SlotPublish, 0, [8, 0]),
+            ev(1, 2, 1, EventKind::SlotPublish, 0, [8, 0]),
+            ev(2, 0, 0, EventKind::DoorbellCoalesce, 0, [1, 0]),
+            ev(3, 2, 1, EventKind::DoorbellCoalesce, 0, [1, 0]),
+            ev(4, 1, 0, EventKind::SlotDrain, 0, [0, 0]),
+            ev(5, 1, 1, EventKind::SlotDrain, 0, [2, 0]),
+        ];
+        let r = check(&t, 3);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        assert_eq!(r.slots_checked, 2);
     }
 
     #[test]

@@ -99,6 +99,21 @@ pub struct NetConfig {
     pub retry: RetryPolicy,
     /// Fault-injection plan applied to every link (empty = clean links).
     pub faults: FaultPlan,
+    /// Enable the coalescing transmit ring: terminating puts/acks publish
+    /// into mailbox ring slots and a whole drained batch rings one
+    /// doorbell. Off = legacy one-doorbell-per-frame scratchpad path.
+    pub coalesce: bool,
+    /// Transmit-ring slots per link direction.
+    pub tx_slots: u32,
+    /// Published slots that force a flush (capped by `tx_slots`).
+    pub coalesce_batch: u32,
+    /// Largest payload a ring slot's lane carries; bigger frames fall
+    /// back to the scratchpad path.
+    pub coalesce_payload_max: u64,
+    /// Payloads at or below this move by zero-copy PIO writes even in
+    /// DMA mode — the paper's Fig. 9 DMA/PIO crossover, applied on the
+    /// ring fast path.
+    pub pio_crossover: u64,
 }
 
 impl NetConfig {
@@ -149,6 +164,30 @@ impl NetConfig {
         self
     }
 
+    /// Enable or disable the coalescing transmit ring.
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Override the transmit-ring geometry (slot count and batch cap).
+    pub fn with_tx_ring(mut self, slots: u32, batch: u32) -> Self {
+        self.tx_slots = slots;
+        self.coalesce_batch = batch;
+        self
+    }
+
+    /// Override the DMA/PIO crossover for ring-path payloads.
+    pub fn with_pio_crossover(mut self, bytes: u64) -> Self {
+        self.pio_crossover = bytes;
+        self
+    }
+
+    /// Effective batch cap: the configured cap bounded by the ring size.
+    pub fn batch_cap(&self) -> u32 {
+        self.coalesce_batch.clamp(1, self.tx_slots.max(1))
+    }
+
     /// The put chunking granularity: a payload larger than this is split.
     /// Bounded by both areas because a chunk may need forwarding.
     pub fn put_chunk(&self) -> u64 {
@@ -159,11 +198,25 @@ impl NetConfig {
     pub fn validate(&self) {
         assert!(self.hosts >= 1 && self.hosts <= crate::frame::MAX_HOSTS + 1, "1..=64 hosts");
         assert!(self.window_size.is_power_of_two(), "window size must be a power of two");
+        let (ring_slots, ring_lane) =
+            if self.coalesce { (self.tx_slots, self.coalesce_payload_max) } else { (0, 0) };
         assert!(
-            crate::layout::WindowLayout::required_size(self.direct_buf, self.bypass_buf)
-                <= self.window_size,
-            "window too small for direct+bypass areas"
+            crate::layout::WindowLayout::required_size_with_ring(
+                self.direct_buf,
+                self.bypass_buf,
+                ring_slots,
+                ring_lane,
+            ) <= self.window_size,
+            "window too small for direct+bypass areas and the transmit ring"
         );
+        if self.coalesce {
+            assert!(self.tx_slots >= 1, "coalescing needs at least one transmit-ring slot");
+            assert!(self.coalesce_batch >= 1, "coalesce batch must be at least one slot");
+            assert!(
+                self.coalesce_payload_max >= 4,
+                "ring payload lane must hold at least one word"
+            );
+        }
         assert!(
             self.get_resp_chunk > 0 && self.get_resp_chunk <= self.put_chunk(),
             "get response chunk must fit the payload areas"
@@ -189,6 +242,11 @@ impl Default for NetConfig {
             model: TimeModel::paper(),
             retry: RetryPolicy::default(),
             faults: FaultPlan::none(),
+            coalesce: true,
+            tx_slots: 8,
+            coalesce_batch: 8,
+            coalesce_payload_max: 4096,
+            pio_crossover: 1024,
         }
     }
 }
@@ -259,6 +317,28 @@ mod tests {
         // One initial attempt + max_retries retransmissions, each bounded.
         assert!(p.worst_case() >= p.ack_timeout * (p.max_retries + 1));
         assert!(p.worst_case() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn coalescing_knobs_validate() {
+        let c = NetConfig::fast(3).with_tx_ring(4, 2).with_pio_crossover(512);
+        assert!(c.coalesce);
+        assert_eq!(c.batch_cap(), 2);
+        c.validate();
+        let off = NetConfig::fast(3).with_coalescing(false);
+        off.validate();
+        // Batch cap never exceeds the ring size.
+        assert_eq!(NetConfig::fast(3).with_tx_ring(2, 16).batch_cap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmit ring")]
+    fn ring_counted_against_window_size() {
+        let mut c = NetConfig::fast(3);
+        c.window_size = 1 << 20;
+        c.direct_buf = 512 << 10;
+        c.bypass_buf = 512 << 10; // direct+bypass fill the window exactly
+        c.validate();
     }
 
     #[test]

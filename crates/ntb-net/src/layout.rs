@@ -35,6 +35,12 @@ pub const CTRL_CRC_OFF: u64 = 0;
 /// Offset within the control slot of the probe scratch word.
 pub const CTRL_PROBE_OFF: u64 = 4;
 
+/// Bytes of one transmit-ring slot record: 8 u32 words — header, len,
+/// offset, aux, crc, and three reserved words (the PEX scratchpad mirror
+/// is word-granular, so a record is a power-of-two run of words the
+/// sender can publish with plain window writes).
+pub const SLOT_RECORD_LEN: u64 = 32;
+
 /// Resolved offsets of one incoming window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowLayout {
@@ -48,23 +54,64 @@ pub struct WindowLayout {
     pub bypass_len: u64,
     /// Control slot offset (CRC + probe words live here).
     pub ctrl_off: u64,
+    /// Transmit-ring area offset (0 when the ring is disabled).
+    pub ring_off: u64,
+    /// Number of transmit-ring slots (0 = no ring).
+    pub ring_slots: u32,
+    /// Payload lane size per ring slot.
+    pub ring_lane: u64,
 }
 
 impl WindowLayout {
-    /// Build a layout with the given area sizes.
+    /// Build a layout with the given area sizes and no transmit ring.
     pub fn new(direct_len: u64, bypass_len: u64) -> Self {
+        Self::with_ring(direct_len, bypass_len, 0, 0)
+    }
+
+    /// Build a layout with a transmit ring of `slots` slots, each with a
+    /// `lane` byte payload lane, appended after the control slot.
+    pub fn with_ring(direct_len: u64, bypass_len: u64, slots: u32, lane: u64) -> Self {
         WindowLayout {
             direct_off: 0,
             direct_len,
             bypass_off: direct_len,
             bypass_len,
             ctrl_off: direct_len + bypass_len,
+            ring_off: direct_len + bypass_len + CTRL_LEN,
+            ring_slots: slots,
+            ring_lane: lane,
         }
+    }
+
+    /// Minimum window size that holds both areas, the control slot, and
+    /// a ring of `slots` slots with `lane` byte payload lanes.
+    pub fn required_size_with_ring(direct_len: u64, bypass_len: u64, slots: u32, lane: u64) -> u64 {
+        direct_len + bypass_len + CTRL_LEN + u64::from(slots) * (SLOT_RECORD_LEN + lane)
     }
 
     /// Minimum window size that holds both areas plus the control slot.
     pub fn required_size(direct_len: u64, bypass_len: u64) -> u64 {
-        direct_len + bypass_len + CTRL_LEN
+        Self::required_size_with_ring(direct_len, bypass_len, 0, 0)
+    }
+
+    /// Offset of ring slot `idx`'s record (header word first).
+    pub fn ring_slot_off(&self, idx: u32) -> u64 {
+        debug_assert!(idx < self.ring_slots);
+        self.ring_off + u64::from(idx) * SLOT_RECORD_LEN
+    }
+
+    /// Offset of ring slot `idx`'s payload lane. Lanes sit after the
+    /// whole record array so records stay densely packed for polling.
+    pub fn ring_lane_off(&self, idx: u32) -> u64 {
+        debug_assert!(idx < self.ring_slots);
+        self.ring_off
+            + u64::from(self.ring_slots) * SLOT_RECORD_LEN
+            + u64::from(idx) * self.ring_lane
+    }
+
+    /// True when this layout carries a transmit ring.
+    pub fn has_ring(&self) -> bool {
+        self.ring_slots > 0
     }
 
     /// Offset of the payload CRC word within the window.
@@ -138,6 +185,22 @@ mod tests {
         l.bypass_region(&win).unwrap().write(0, b"bypass").unwrap();
         assert_eq!(win.read_vec(0, 6).unwrap(), b"direct");
         assert_eq!(win.read_vec(64, 6).unwrap(), b"bypass");
+    }
+
+    #[test]
+    fn ring_areas_dont_overlap() {
+        let l = WindowLayout::with_ring(1024, 512, 4, 256);
+        assert!(l.has_ring());
+        assert_eq!(l.ring_off, 1024 + 512 + CTRL_LEN);
+        assert_eq!(l.ring_slot_off(0), l.ring_off);
+        assert_eq!(l.ring_slot_off(3), l.ring_off + 3 * SLOT_RECORD_LEN);
+        assert_eq!(l.ring_lane_off(0), l.ring_off + 4 * SLOT_RECORD_LEN);
+        assert_eq!(l.ring_lane_off(3), l.ring_off + 4 * SLOT_RECORD_LEN + 3 * 256);
+        assert_eq!(
+            WindowLayout::required_size_with_ring(1024, 512, 4, 256),
+            1024 + 512 + CTRL_LEN + 4 * (SLOT_RECORD_LEN + 256)
+        );
+        assert!(!WindowLayout::new(1024, 512).has_ring());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod network;
 pub mod node;
 pub mod pending;
 pub mod service;
+pub mod slots;
 pub mod topology;
 pub mod trace;
 

@@ -55,12 +55,14 @@ pub const SHMEM_VERSION: LockClass = LockClass { name: "shmem-version", rank: 30
 pub const NET_DELIVERY: LockClass = LockClass { name: "net-delivery", rank: 40 };
 /// Duplicate-suppression state: seen-put window and AMO replay cache.
 pub const NET_DEDUP: LockClass = LockClass { name: "net-dedup", rank: 50 };
-/// In-flight request completion table.
-pub const NET_PENDING_OPS: LockClass = LockClass { name: "net-pending-ops", rank: 60 };
-/// Unacked-put retransmission ledger.
-pub const NET_UNACKED: LockClass = LockClass { name: "net-unacked", rank: 64 };
+/// One shard of the in-flight request completion table.
+pub const NET_PENDING_SHARD: LockClass = LockClass { name: "net-pending-shard", rank: 60 };
+/// One shard of the unacked-put retransmission ledger.
+pub const NET_UNACKED_SHARD: LockClass = LockClass { name: "net-unacked-shard", rank: 64 };
 /// Bypass-forwarding job queue.
 pub const NET_FORWARD: LockClass = LockClass { name: "net-forward", rank: 70 };
+/// Transmit-ring publish state (slot seq + coalesced doorbell pairing).
+pub const NET_TXRING: LockClass = LockClass { name: "net-txring", rank: 78 };
 /// Mailbox send serialization (slot seq + doorbell pairing).
 pub const NET_MAILBOX: LockClass = LockClass { name: "net-mailbox", rank: 80 };
 /// Node admin state: service-thread handles, error sink.
@@ -268,20 +270,23 @@ mod tests {
         // Thread 1: A then B. Thread 2: B then A. Sequential joins — the
         // classes are tracking tokens, not real locks, so no deadlock.
         let t1 = std::thread::spawn(|| {
-            let _a = track(&NET_PENDING_OPS);
-            let _b = track(&NET_UNACKED);
+            let _a = track(&NET_PENDING_SHARD);
+            let _b = track(&NET_UNACKED_SHARD);
         });
         let _ = t1.join();
         let t2 = std::thread::spawn(|| {
-            let _b = track(&NET_UNACKED);
-            let _a = track(&NET_PENDING_OPS);
+            let _b = track(&NET_UNACKED_SHARD);
+            let _a = track(&NET_PENDING_SHARD);
         });
         let _ = t2.join();
         // Thread 2 broke rank locally...
         assert!(!take_violations().is_empty());
         // ...and the combined graph holds the A→B→A cycle.
         let cycle = find_cycle().expect("cycle must be found");
-        assert!(cycle.contains(&"net-pending-ops") && cycle.contains(&"net-unacked"), "{cycle:?}");
+        assert!(
+            cycle.contains(&"net-pending-shard") && cycle.contains(&"net-unacked-shard"),
+            "{cycle:?}"
+        );
     }
 
     #[test]

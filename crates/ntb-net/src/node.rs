@@ -30,6 +30,7 @@ use crate::frame::Frame;
 use crate::layout::WindowLayout;
 use crate::mailbox::{RxMailbox, TxMailbox};
 use crate::pending::{PendingOps, UnackedPuts};
+use crate::slots::TxSlotRing;
 use crate::topology::{RingTopology, RouteDirection, Topology};
 use crate::trace::{TraceKind, Tracer};
 
@@ -165,6 +166,9 @@ pub struct LinkEndpoint {
     pub(crate) rx: RxMailbox,
     /// Store-and-forward queue consumed by this endpoint's forwarder.
     pub(crate) fwd: Arc<ForwardQueue>,
+    /// Coalescing transmit ring for terminating data frames (`None` when
+    /// `NetConfig::coalesce` is off — everything rides the scratchpad).
+    pub(crate) txring: Option<TxSlotRing>,
     /// Observed link health (drives rerouting and recovery probes).
     pub(crate) health: LinkHealthTracker,
 }
@@ -248,7 +252,16 @@ impl NtbNode {
         ports: Vec<(usize, usize, Arc<NtbPort>)>,
     ) -> Arc<NtbNode> {
         let topo = RingTopology::new(me, config.hosts);
-        let layout = WindowLayout::new(config.direct_buf, config.bypass_buf);
+        let layout = if config.coalesce {
+            WindowLayout::with_ring(
+                config.direct_buf,
+                config.bypass_buf,
+                config.tx_slots,
+                config.coalesce_payload_max,
+            )
+        } else {
+            WindowLayout::new(config.direct_buf, config.bypass_buf)
+        };
         let obs = Obs::new(Arc::clone(&event_log), me, 0).unlinked();
         let endpoints = ports
             .into_iter()
@@ -256,6 +269,18 @@ impl NtbNode {
                 let mut tx = TxMailbox::new(Arc::clone(&port));
                 tx.set_abort(Arc::clone(&shutdown));
                 tx.set_retry(config.retry.mailbox_timeout, config.retry.max_retries);
+                let txring = config.coalesce.then(|| {
+                    let mut ring = TxSlotRing::new(
+                        Arc::clone(&port),
+                        layout,
+                        &config,
+                        Arc::clone(&model),
+                        Obs::new(Arc::clone(&event_log), me, link_idx),
+                    );
+                    ring.set_abort(Arc::clone(&shutdown));
+                    ring.set_retry(config.retry.mailbox_timeout, config.retry.max_retries);
+                    ring
+                });
                 LinkEndpoint {
                     neighbor,
                     link_idx,
@@ -265,6 +290,7 @@ impl NtbNode {
                     tx,
                     port,
                     fwd: Arc::new(ForwardQueue::new()),
+                    txring,
                     health: LinkHealthTracker::new(config.retry.failure_threshold),
                 }
             })
@@ -534,8 +560,32 @@ impl NtbNode {
         }
     }
 
+    /// Flush one endpoint's coalescing ring (no-op without one, or with
+    /// nothing staged). A flush failure drops the staged batch, which is
+    /// safe: every staged put chunk stays registered in the unacked
+    /// ledger and the sweeper retransmits it.
+    pub(crate) fn flush_ring(&self, ep: &LinkEndpoint) {
+        if let Some(ring) = &ep.txring {
+            let result = ring.flush();
+            self.note_send_result(ep, &result);
+        }
+    }
+
+    /// Flush every endpoint's coalescing ring (quiet, end of a put batch).
+    pub(crate) fn flush_all_rings(&self) {
+        for ep in &self.endpoints {
+            self.flush_ring(ep);
+        }
+    }
+
     /// Transmit (or retransmit) one tracked put chunk. Does not touch the
     /// unacked table — registration and retirement are the caller's job.
+    ///
+    /// A terminating chunk that fits a ring slot rides the coalescing
+    /// ring: with `defer_flush` it is only staged (the caller batches
+    /// several chunks behind one doorbell and flushes later), otherwise
+    /// it is flushed immediately. Forwarded or oversized chunks use the
+    /// legacy scratchpad mailbox.
     pub(crate) fn transmit_put(
         &self,
         put_id: u32,
@@ -544,13 +594,23 @@ impl NtbNode {
         chunk: &[u8],
         mode: TransferMode,
         retransmit: bool,
+        defer_flush: bool,
     ) -> Result<()> {
         let ep = self.endpoint_for(dest);
         let terminating = ep.neighbor == dest;
-        let area = self.layout.area_offset(terminating);
         let frame = Frame::put(self.topo.me, dest, chunk.len() as u32, heap_offset, put_id, mode);
         self.trace(TraceKind::FrameSent, self.topo.me, dest, chunk.len() as u32);
-        let result = ep.tx.send(frame, |port| self.push_payload(port, area, chunk, mode));
+        let ring = ep.txring.as_ref().filter(|r| terminating && r.fits(chunk.len()));
+        let result = match ring {
+            Some(ring) => match ring.publish(frame, Some(chunk)) {
+                Ok(()) if !defer_flush => ring.flush(),
+                other => other,
+            },
+            None => {
+                let area = self.layout.area_offset(terminating);
+                ep.tx.send(frame, |port| self.push_payload(port, area, chunk, mode))
+            }
+        };
         self.note_send_result(ep, &result);
         // `PutChunkTx` is emitted only on success and only *after* the
         // health tracker saw the result: a send that succeeds on a
@@ -582,7 +642,9 @@ impl NtbNode {
         let deadline = Instant::now() + self.config.retry.ack_timeout;
         let put_id = self.unacked.register(dest, offset, chunk.to_vec(), mode, deadline);
         self.obs.emit(EventKind::PutIssue, u64::from(put_id), [dest as u64, chunk.len() as u64]);
-        match self.transmit_put(put_id, dest, offset, chunk, mode, false) {
+        // Always staged-deferred on the ring path: `put_bytes` flushes
+        // once per call (or leaves the batch for quiet / the batch cap).
+        match self.transmit_put(put_id, dest, offset, chunk, mode, false, true) {
             Ok(()) => Ok(()),
             // A transiently failed first transmission stays registered:
             // the retry sweeper owns it from here (retransmission,
@@ -613,6 +675,22 @@ impl NtbNode {
         data: &[u8],
         mode: TransferMode,
     ) -> Result<()> {
+        self.put_bytes_coalesced(dest, heap_offset, data, mode, false)
+    }
+
+    /// [`put_bytes`](Self::put_bytes) with explicit doorbell-coalescing
+    /// control: with `defer_doorbell` the chunks are only staged in the
+    /// transmit ring — the doorbell fires at the ring's batch cap or at
+    /// the next [`quiet`](Self::quiet), letting a caller batch many
+    /// small puts behind one interrupt.
+    pub fn put_bytes_coalesced(
+        &self,
+        dest: usize,
+        heap_offset: u64,
+        data: &[u8],
+        mode: TransferMode,
+        defer_doorbell: bool,
+    ) -> Result<()> {
         assert_ne!(dest, self.topo.me, "local puts are handled by the SHMEM layer");
         assert!(dest < self.topo.n, "destination host out of range");
         let chunk_size = self.config.put_chunk() as usize;
@@ -621,6 +699,9 @@ impl NtbNode {
             let n = chunk_size.min(data.len() - off);
             self.send_put_chunk(dest, heap_offset + off as u64, &data[off..off + n], mode)?;
             off += n;
+        }
+        if !defer_doorbell {
+            self.flush_all_rings();
         }
         Ok(())
     }
@@ -753,6 +834,10 @@ impl NtbNode {
     /// unacknowledged, so this returns in bounded time — with
     /// [`NtbError::LinkFailed`] if any chunk exhausted its retries.
     pub fn quiet(&self) -> Result<()> {
+        // Anything still staged in a transmit ring must be published
+        // before waiting on acknowledgements, or quiet would stall until
+        // the sweeper's timeout retransmits the staged chunks.
+        self.flush_all_rings();
         self.unacked.quiet()
     }
 

@@ -52,18 +52,48 @@ pub enum FillOutcome {
     Stale,
 }
 
-/// Table of in-flight request-response operations (Gets and AMOs).
+/// Lock shards per completion table. Ids map to shards by `id %
+/// SHARD_COUNT`, so the service threads of different links and the
+/// requesting PE threads rarely contend on the same mutex; a batch of
+/// coalesced acknowledgements drains across all shards instead of
+/// serializing on one. Shards are never nested with each other (every
+/// operation touches exactly the one shard its id hashes to), so a
+/// single lockdep class per table stays cycle-free.
+const SHARD_COUNT: usize = 8;
+
+/// One lock shard of [`PendingOps`].
 #[derive(Debug, Default)]
-pub struct PendingOps {
+struct PendingShard {
     inner: Mutex<HashMap<u32, Entry>>,
     cond: Condvar,
+}
+
+/// Table of in-flight request-response operations (Gets and AMOs),
+/// sharded by request id.
+#[derive(Debug)]
+pub struct PendingOps {
+    shards: [PendingShard; SHARD_COUNT],
     next_id: AtomicU32,
+}
+
+impl Default for PendingOps {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PendingOps {
     /// Empty table.
     pub fn new() -> Self {
-        Self::default()
+        PendingOps {
+            shards: std::array::from_fn(|_| PendingShard::default()),
+            next_id: AtomicU32::new(0),
+        }
+    }
+
+    /// The shard holding `id`'s entry.
+    fn shard(&self, id: u32) -> &PendingShard {
+        &self.shards[id as usize % SHARD_COUNT]
     }
 
     /// Register a new operation expecting `total` response bytes; returns
@@ -77,7 +107,8 @@ impl PendingOps {
             done: total == 0,
             filled: HashSet::new(),
         };
-        self.inner.lock().insert(id, entry);
+        crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
+        self.shard(id).inner.lock().insert(id, entry);
         id
     }
 
@@ -105,8 +136,9 @@ impl PendingOps {
     where
         F: FnOnce(FillOutcome),
     {
-        crate::lockdep_track!(&crate::lockdep::NET_PENDING_OPS);
-        let mut map = self.inner.lock();
+        let shard = self.shard(req_id);
+        crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
+        let mut map = shard.inner.lock();
         let Some(entry) = map.get_mut(&req_id) else {
             observe(FillOutcome::Stale);
             return Ok(FillOutcome::Stale);
@@ -126,7 +158,7 @@ impl PendingOps {
         observe(FillOutcome::Filled);
         if entry.received >= entry.buf.len() as u64 {
             entry.done = true;
-            self.cond.notify_all();
+            shard.cond.notify_all();
         }
         Ok(FillOutcome::Filled)
     }
@@ -134,7 +166,8 @@ impl PendingOps {
     /// Abandon an operation (e.g. the request could not be sent); the
     /// entry is removed and late responses become [`FillOutcome::Stale`].
     pub fn abandon(&self, req_id: u32) {
-        self.inner.lock().remove(&req_id);
+        crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
+        self.shard(req_id).inner.lock().remove(&req_id);
     }
 
     /// Requester side: block until the operation completes and take its
@@ -196,13 +229,14 @@ impl PendingOps {
         model: &TimeModel,
         deadline: Option<Instant>,
     ) -> Result<Option<Vec<u8>>> {
+        let shard = self.shard(req_id);
         if model.enabled() {
             let interval =
                 model.scaled_duration(model.get_poll_interval).max(Duration::from_micros(1));
             loop {
                 {
-                    crate::lockdep_track!(&crate::lockdep::NET_PENDING_OPS);
-                    let mut map = self.inner.lock();
+                    crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
+                    let mut map = shard.inner.lock();
                     match map.get(&req_id) {
                         None => {
                             return Err(NtbError::BadDescriptor { reason: "unknown request id" })
@@ -222,8 +256,8 @@ impl PendingOps {
                 spin_for(interval);
             }
         } else {
-            crate::lockdep_track!(&crate::lockdep::NET_PENDING_OPS);
-            let mut map = self.inner.lock();
+            crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
+            let mut map = shard.inner.lock();
             loop {
                 match map.get(&req_id) {
                     None => return Err(NtbError::BadDescriptor { reason: "unknown request id" }),
@@ -235,7 +269,7 @@ impl PendingOps {
                     }
                     Some(_) => match deadline {
                         Some(d) => {
-                            if self.cond.wait_until(&mut map, d).timed_out() {
+                            if shard.cond.wait_until(&mut map, d).timed_out() {
                                 // Re-check once: completion may have raced
                                 // the timeout.
                                 if map.get(&req_id).is_some_and(|e| e.done) {
@@ -248,7 +282,7 @@ impl PendingOps {
                                 return Ok(None);
                             }
                         }
-                        None => self.cond.wait(&mut map),
+                        None => shard.cond.wait(&mut map),
                     },
                 }
             }
@@ -257,7 +291,8 @@ impl PendingOps {
 
     /// Number of in-flight operations (diagnostics).
     pub fn in_flight(&self) -> usize {
-        self.inner.lock().len()
+        crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
+        self.shards.iter().map(|s| s.inner.lock().len()).sum()
     }
 }
 
@@ -286,7 +321,16 @@ struct PutState {
     failed: Vec<u32>,
 }
 
-/// Put chunks awaiting their delivery acknowledgement, keyed by put id.
+/// One lock shard of [`UnackedPuts`].
+#[derive(Debug, Default)]
+struct PutShard {
+    state: Mutex<PutState>,
+    cond: Condvar,
+}
+
+/// Put chunks awaiting their delivery acknowledgement, keyed by put id
+/// and sharded by id (acks arriving in a coalesced batch drain across
+/// shards instead of serializing against the issuing PE).
 ///
 /// Replaces a bare counter so the retry sweeper can see *which* puts are
 /// overdue, retransmit exactly those, and abandon them individually once
@@ -294,8 +338,7 @@ struct PutState {
 /// instead of hanging forever on a count that will never reach zero.
 #[derive(Debug)]
 pub struct UnackedPuts {
-    state: Mutex<PutState>,
-    cond: Condvar,
+    shards: [PutShard; SHARD_COUNT],
     next_id: AtomicU32,
 }
 
@@ -309,11 +352,15 @@ impl UnackedPuts {
     /// Empty table.
     pub fn new() -> Self {
         UnackedPuts {
-            state: Mutex::new(PutState::default()),
-            cond: Condvar::new(),
+            shards: std::array::from_fn(|_| PutShard::default()),
             // Start at 1: put id 0 is reserved for payload-free traffic.
             next_id: AtomicU32::new(1),
         }
+    }
+
+    /// The shard holding `id`'s entry.
+    fn shard(&self, id: u32) -> &PutShard {
+        &self.shards[id as usize % SHARD_COUNT]
     }
 
     /// Record a chunk leaving this host; returns its put id.
@@ -328,38 +375,48 @@ impl UnackedPuts {
         // lint: relaxed-ok(unique id allocation; uniqueness needs atomicity, not ordering)
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let put = UnackedPut { dest, heap_offset, data, mode, attempts: 1, deadline };
-        self.state.lock().map.insert(id, put);
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+        self.shard(id).state.lock().map.insert(id, put);
         id
     }
 
     /// Retire a chunk on acknowledgement; `false` if the id was unknown
     /// (a duplicated ack from a retransmission — harmless).
     pub fn ack(&self, id: u32) -> bool {
-        crate::lockdep_track!(&crate::lockdep::NET_UNACKED);
-        let mut st = self.state.lock();
+        let shard = self.shard(id);
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+        let mut st = shard.state.lock();
         let known = st.map.remove(&id).is_some();
         if st.map.is_empty() {
-            self.cond.notify_all();
+            shard.cond.notify_all();
         }
         known
     }
 
     /// Snapshot the entries whose deadline has passed (for the sweeper).
     pub fn overdue(&self, now: Instant) -> Vec<(u32, UnackedPut)> {
-        self.state
-            .lock()
-            .map
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+        self.shards
             .iter()
-            .filter(|(_, p)| p.deadline <= now)
-            .map(|(&id, p)| (id, p.clone()))
+            .flat_map(|shard| {
+                shard
+                    .state
+                    .lock()
+                    .map
+                    .iter()
+                    .filter(|(_, p)| p.deadline <= now)
+                    .map(|(&id, p)| (id, p.clone()))
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 
     /// Record a retransmission attempt; returns the new attempt count
     /// (`None` if the entry was acked in the meantime).
     pub fn note_attempt(&self, id: u32, new_deadline: Instant) -> Option<u32> {
-        crate::lockdep_track!(&crate::lockdep::NET_UNACKED);
-        let mut st = self.state.lock();
+        let shard = self.shard(id);
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+        let mut st = shard.state.lock();
         let put = st.map.get_mut(&id)?;
         put.attempts += 1;
         put.deadline = new_deadline;
@@ -373,8 +430,9 @@ impl UnackedPuts {
     /// and this call, and an acked put must not be reported as failed
     /// (nor abandoned twice in the trace).
     pub fn fail(&self, id: u32) -> bool {
-        crate::lockdep_track!(&crate::lockdep::NET_UNACKED);
-        let mut st = self.state.lock();
+        let shard = self.shard(id);
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+        let mut st = shard.state.lock();
         let known = match st.map.remove(&id) {
             Some(put) => {
                 st.failed.push(put.attempts);
@@ -383,37 +441,47 @@ impl UnackedPuts {
             None => false,
         };
         if st.map.is_empty() {
-            self.cond.notify_all();
+            shard.cond.notify_all();
         }
         known
     }
 
     /// Current unacknowledged chunk count.
     pub fn current(&self) -> usize {
-        self.state.lock().map.len()
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+        self.shards.iter().map(|s| s.state.lock().map.len()).sum()
     }
 
     /// Block until every outstanding chunk is acknowledged or abandoned
     /// (`shmem_quiet`). Reports [`NtbError::LinkFailed`] — with the worst
     /// attempt count — if any chunk was abandoned since the last call,
     /// clearing the failure record.
+    ///
+    /// Shards are drained sequentially: quiet only promises completion of
+    /// operations issued before it was called, and each of those lives in
+    /// exactly one shard.
     pub fn quiet(&self) -> Result<()> {
-        crate::lockdep_track!(&crate::lockdep::NET_UNACKED);
-        let mut st = self.state.lock();
-        while !st.map.is_empty() {
-            self.cond.wait(&mut st);
+        let mut worst: Option<u32> = None;
+        for shard in &self.shards {
+            crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+            let mut st = shard.state.lock();
+            while !st.map.is_empty() {
+                shard.cond.wait(&mut st);
+            }
+            if let Some(m) = st.failed.drain(..).max() {
+                worst = Some(worst.map_or(m, |w| w.max(m)));
+            }
         }
-        if st.failed.is_empty() {
-            Ok(())
-        } else {
-            let attempts = st.failed.drain(..).max().unwrap_or(1);
-            Err(NtbError::LinkFailed { attempts })
+        match worst {
+            None => Ok(()),
+            Some(attempts) => Err(NtbError::LinkFailed { attempts }),
         }
     }
 
     /// Whether any puts have been abandoned and not yet reported.
     pub fn has_failures(&self) -> bool {
-        !self.state.lock().failed.is_empty()
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+        self.shards.iter().any(|s| !s.state.lock().failed.is_empty())
     }
 }
 

@@ -37,6 +37,7 @@ use crate::forwarder::ForwardJob;
 use crate::frame::{Frame, FrameKind};
 use crate::node::NtbNode;
 use crate::pending::FillOutcome;
+use crate::slots::{self, SlotRead};
 use crate::trace::TraceKind;
 
 /// How long the service loop sleeps between shutdown-flag checks when the
@@ -76,9 +77,11 @@ pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
         match ep.port().wait_doorbell(SERVICE_INTEREST, Some(IDLE_TICK)) {
             DoorbellWaiter::TimedOut => {
                 // Lost-interrupt safety net: a dropped doorbell leaves a
-                // frame stranded in the slot with no ring to announce it;
-                // the idle poll picks it up within one tick.
+                // frame stranded in the slot (or a batch in the transmit
+                // ring) with no ring to announce it; the idle poll picks
+                // it up within one tick.
                 drain_mailbox(node, idx);
+                drain_ring(node, idx);
             }
             DoorbellWaiter::Fired(bits) => {
                 if bits & (1 << DB_SHUTDOWN) != 0 {
@@ -91,6 +94,7 @@ pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
                 // ISR + wakeup + the prototype's sleep-and-wait loop.
                 node.model().delay(node.model().interrupt_service_delay);
                 drain_mailbox(node, idx);
+                drain_ring(node, idx);
             }
         }
     }
@@ -169,28 +173,127 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
     ep.rx.ack()?;
 
     if !terminating {
-        // Paper Fig. 5: "Destination is my neighbor? / Bypass data via
-        // transfer buffer" — either way the frame continues around the
-        // ring through the forwarder. Split horizon: never back out the
-        // arrival endpoint.
-        let think =
-            if payload.is_some() { node.model().bypass_forward_delay } else { Duration::ZERO };
-        node.trace(TraceKind::Forwarded, frame.src, frame.dest, frame.len);
-        ep.obs.emit(
-            EventKind::FrameFwd,
-            u64::from(frame.aux),
-            [frame.src as u64, frame.dest as u64],
-        );
-        node.forward_endpoint(frame.dest, idx).fwd.push(ForwardJob {
-            frame,
-            payload,
-            think,
-            attempts: 0,
-        });
-        node.count_forward();
+        forward_onward(node, idx, frame, payload);
         return Ok(());
     }
+    dispatch_frame(node, frame, payload)
+}
 
+/// Hand a non-terminating frame to the onward forwarder (paper Fig. 5:
+/// "Destination is my neighbor? / Bypass data via transfer buffer").
+/// Split horizon: never back out the arrival endpoint `idx`.
+fn forward_onward(node: &Arc<NtbNode>, idx: usize, frame: Frame, payload: Option<Vec<u8>>) {
+    let ep = &node.endpoints[idx];
+    let think = if payload.is_some() { node.model().bypass_forward_delay } else { Duration::ZERO };
+    node.trace(TraceKind::Forwarded, frame.src, frame.dest, frame.len);
+    ep.obs.emit(EventKind::FrameFwd, u64::from(frame.aux), [frame.src as u64, frame.dest as u64]);
+    node.forward_endpoint(frame.dest, idx).fwd.push(ForwardJob {
+        frame,
+        payload,
+        think,
+        attempts: 0,
+    });
+    node.count_forward();
+}
+
+/// Consume every published slot of endpoint `idx`'s receive-side transmit
+/// ring. One coalesced doorbell (or one idle tick) drains the whole
+/// batch.
+///
+/// Every pass scans *all* slots rather than walking a cursor: a
+/// corrupted record is consumed without dispatch, and a cursor would
+/// wedge on the hole it leaves while later slots hold live frames.
+fn drain_ring(node: &Arc<NtbNode>, idx: usize) {
+    if !node.layout.has_ring() {
+        return;
+    }
+    let ep = &node.endpoints[idx];
+    let region = ep.port().incoming().region();
+    // The fault plan is per-link and symmetric: the peer arms its CRC
+    // exactly when our outgoing half reports an active plan.
+    let check_crc = ep.port().outgoing().faults().is_active();
+    loop {
+        let mut progressed = false;
+        for slot in 0..node.layout.ring_slots {
+            match slots::read_slot(region, &node.layout, slot, check_crc) {
+                Ok(SlotRead::Empty) => {}
+                Ok(SlotRead::Corrupt) => {
+                    // Consume without dispatch (and without a SlotDrain
+                    // event — a corrupted record's sequence number cannot
+                    // be trusted to pair with any publish); the sender's
+                    // end-to-end retransmission recovers the frame.
+                    if let Err(e) = slots::consume_slot(region, &node.layout, slot) {
+                        node.record_error(e);
+                        return;
+                    }
+                    progressed = true;
+                    node.count_checksum_reject();
+                    node.metrics.bump_link(ep.link_idx(), |l| &l.crc_rejects);
+                    ep.obs.emit(EventKind::CrcReject, 0, [ep.neighbor() as u64, u64::from(slot)]);
+                }
+                Ok(SlotRead::Frame(drained)) => {
+                    // The record and payload are already copied out;
+                    // zeroing the header frees the slot for the sender's
+                    // next wraparound before dispatch work begins.
+                    if let Err(e) = slots::consume_slot(region, &node.layout, slot) {
+                        node.record_error(e);
+                        return;
+                    }
+                    progressed = true;
+                    let frame = drained.frame;
+                    if frame.dest >= node.num_hosts() || frame.src >= node.num_hosts() {
+                        // Out-of-world routing fields (possible on an
+                        // unchecked link, where no CRC arms): drop like a
+                        // corrupt record instead of panicking the router.
+                        node.count_checksum_reject();
+                        node.metrics.bump_link(ep.link_idx(), |l| &l.crc_rejects);
+                        continue;
+                    }
+                    ep.obs.emit(
+                        EventKind::SlotDrain,
+                        u64::from(drained.slot_seq),
+                        [ep.neighbor() as u64, u64::from(drained.slot_idx)],
+                    );
+                    node.count_frame();
+                    node.trace(TraceKind::FrameHandled, frame.src, frame.dest, frame.len);
+                    ep.obs.emit(
+                        EventKind::FrameRx,
+                        u64::from(frame.aux),
+                        [frame.kind as u64, frame.src as u64],
+                    );
+                    node.metrics.bump_link(ep.link_idx(), |l| &l.frames_rx);
+                    if let Some(data) = &drained.payload {
+                        node.model().delay(node.model().window_copy_time(data.len() as u64));
+                    }
+                    let result = if frame.dest == node.host_id() {
+                        dispatch_frame(node, frame, drained.payload)
+                    } else {
+                        // Defensive: senders only publish terminating
+                        // frames, but a forwarded stray is still routed
+                        // onward rather than dropped.
+                        forward_onward(node, idx, frame, drained.payload);
+                        Ok(())
+                    };
+                    if let Err(e) = result {
+                        node.record_error(e);
+                    }
+                }
+                Err(e) => {
+                    node.record_error(e);
+                    return;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+}
+
+/// Terminating per-kind frame logic, shared by the scratchpad mailbox
+/// path ([`handle_frame`]) and the transmit-ring path ([`drain_ring`]).
+fn dispatch_frame(node: &Arc<NtbNode>, frame: Frame, payload: Option<Vec<u8>>) -> Result<()> {
+    let me = node.host_id();
     match frame.kind {
         FrameKind::Put => {
             // Duplicate suppression: a retransmitted chunk whose first
@@ -384,15 +487,42 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
     while let Some(mut job) = ep.fwd.pop() {
         node.model().delay(job.think);
         let terminating = ep.neighbor() == job.frame.dest;
-        let area = node.layout.area_offset(terminating);
         let mode = job.frame.mode;
-        let result = match &job.payload {
-            Some(data) => ep.tx.send(job.frame, |port| node.push_payload(port, area, data, mode)),
-            None => ep.tx.send_control(job.frame),
+        // Terminating data frames (delivered puts hopping their last link
+        // and the returning acknowledgement stream) ride the coalescing
+        // ring: back-to-back jobs batch behind one doorbell.
+        let ring = ep.txring.as_ref().filter(|r| {
+            terminating
+                && matches!(job.frame.kind, FrameKind::Put | FrameKind::PutAck)
+                && r.fits(job.payload.as_ref().map_or(0, |p| p.len()))
+        });
+        let result = match ring {
+            Some(ring) => ring.publish(job.frame, job.payload.as_deref()),
+            None => {
+                let area = node.layout.area_offset(terminating);
+                match &job.payload {
+                    Some(data) => {
+                        ep.tx.send(job.frame, |port| node.push_payload(port, area, data, mode))
+                    }
+                    None => ep.tx.send_control(job.frame),
+                }
+            }
         };
         node.note_send_result(ep, &result);
         if result.is_ok() {
             node.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+        }
+        // Ring the coalesced doorbell once the queue goes momentarily
+        // idle; while more jobs are waiting, the batch keeps growing (the
+        // ring auto-flushes at its batch cap). A flush failure is not
+        // re-queued: staged puts are recovered by their origin's
+        // retransmission and a lost ack is re-served on the duplicate.
+        if ep.fwd.depth() == 0 {
+            if let Some(ring) = &ep.txring {
+                if ring.staged() > 0 {
+                    node.flush_ring(ep);
+                }
+            }
         }
         if let Err(e) = result {
             if node.is_shutdown() {
@@ -456,7 +586,11 @@ pub(crate) fn retry_sweeper_loop(node: &Arc<NtbNode>) {
             }
             node.count_retransmit();
             node.obs.emit(EventKind::Retransmit, u64::from(id), [u64::from(put.attempts), 0]);
-            let _ = node.transmit_put(id, put.dest, put.heap_offset, &put.data, put.mode, true);
+            // Retransmissions flush immediately: the chunk is already
+            // overdue, so trading the doorbell batching for latency is
+            // the right call.
+            let _ =
+                node.transmit_put(id, put.dest, put.heap_offset, &put.data, put.mode, true, false);
         }
         if now.duration_since(last_probe) >= policy.probe_interval {
             last_probe = now;

@@ -91,7 +91,11 @@ impl DmaHandle {
 
 struct Job {
     window: Arc<OutgoingWindow>,
-    req: DmaRequest,
+    /// The descriptors of one submission. A plain `submit` carries one
+    /// descriptor; `submit_chain` carries the whole chain, executed in
+    /// order with a single completion at the end (the PEX engine's
+    /// linked-descriptor mode: one interrupt per chain, not per element).
+    reqs: Vec<DmaRequest>,
     completion: Arc<Completion>,
 }
 
@@ -151,24 +155,33 @@ impl DmaEngine {
                     shared.cond.wait(&mut q);
                 }
             };
-            // Consult the fault model before touching the wire: a failed
-            // descriptor completes with an error without moving data, a
-            // stalled one holds its channel for the stall time.
-            match job.window.dma_fault_outcome() {
-                DmaFaultOutcome::Fail => {
-                    job.completion.complete(Err(NtbError::DmaFault));
-                    continue;
+            // Execute the chain in order; the first faulting or failing
+            // descriptor aborts the rest and the chain completes with its
+            // error (the hardware raises one status per chain).
+            let mut result = Ok(());
+            for req in &job.reqs {
+                // Consult the fault model before touching the wire: a
+                // failed descriptor completes with an error without moving
+                // data, a stalled one holds its channel for the stall time.
+                match job.window.dma_fault_outcome() {
+                    DmaFaultOutcome::Fail => {
+                        result = Err(NtbError::DmaFault);
+                        break;
+                    }
+                    DmaFaultOutcome::Stall(d) => std::thread::sleep(d),
+                    DmaFaultOutcome::None => {}
                 }
-                DmaFaultOutcome::Stall(d) => std::thread::sleep(d),
-                DmaFaultOutcome::None => {}
+                result = job.window.write_from_region(
+                    &req.src,
+                    req.src_offset,
+                    req.dst_offset,
+                    req.len,
+                    TransferMode::Dma,
+                );
+                if result.is_err() {
+                    break;
+                }
             }
-            let result = job.window.write_from_region(
-                &job.req.src,
-                job.req.src_offset,
-                job.req.dst_offset,
-                job.req.len,
-                TransferMode::Dma,
-            );
             job.completion.complete(result);
         }
     }
@@ -183,7 +196,26 @@ impl DmaEngine {
     /// Queue a descriptor moving data through `window`. Returns a handle
     /// immediately; the data moves asynchronously.
     pub fn submit(&self, window: Arc<OutgoingWindow>, req: DmaRequest) -> Result<DmaHandle> {
-        Self::validate(&req)?;
+        self.submit_chain(window, vec![req])
+    }
+
+    /// Queue a descriptor *chain*: the elements execute sequentially on
+    /// one channel and the returned handle completes once, when the last
+    /// descriptor lands (or with the first error, which aborts the rest).
+    /// This is the batching primitive the coalesced transmit path uses —
+    /// one completion (one "interrupt") per drained batch instead of one
+    /// per payload.
+    pub fn submit_chain(
+        &self,
+        window: Arc<OutgoingWindow>,
+        reqs: Vec<DmaRequest>,
+    ) -> Result<DmaHandle> {
+        if reqs.is_empty() {
+            return Err(NtbError::BadDescriptor { reason: "empty DMA descriptor chain" });
+        }
+        for req in &reqs {
+            Self::validate(req)?;
+        }
         let completion = Completion::new();
         let handle = DmaHandle { completion: Arc::clone(&completion) };
         {
@@ -191,7 +223,7 @@ impl DmaEngine {
             if q.shutdown {
                 return Err(NtbError::DmaShutdown);
             }
-            q.jobs.push_back(Job { window, req, completion });
+            q.jobs.push_back(Job { window, reqs, completion });
         }
         self.shared.cond.notify_one();
         Ok(handle)
@@ -365,5 +397,58 @@ mod tests {
     fn queue_depth_visible() {
         let engine = DmaEngine::new(1);
         assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn chain_moves_all_descriptors_with_one_completion() {
+        let engine = DmaEngine::new(1);
+        let (w, remote) = window(1 << 16);
+        let reqs: Vec<DmaRequest> = (0..8u64)
+            .map(|i| {
+                let src = Region::anonymous(256);
+                src.fill(0, 256, i as u8 + 1).unwrap();
+                DmaRequest { src, src_offset: 0, dst_offset: i * 256, len: 256 }
+            })
+            .collect();
+        let h = engine.submit_chain(w, reqs).unwrap();
+        h.wait().unwrap();
+        for i in 0..8u64 {
+            assert_eq!(remote.read_vec(i * 256, 256).unwrap(), vec![i as u8 + 1; 256]);
+        }
+    }
+
+    #[test]
+    fn chain_first_error_aborts_remaining_descriptors() {
+        let engine = DmaEngine::new(1);
+        let (w, remote) = window(1024);
+        let ok_src = Region::anonymous(64);
+        ok_src.fill(0, 64, 7).unwrap();
+        let bad_src = Region::anonymous(64);
+        let tail_src = Region::anonymous(64);
+        tail_src.fill(0, 64, 9).unwrap();
+        let h = engine
+            .submit_chain(
+                w,
+                vec![
+                    DmaRequest { src: ok_src, src_offset: 0, dst_offset: 0, len: 64 },
+                    // Past the 1 KiB window: this descriptor errors.
+                    DmaRequest { src: bad_src, src_offset: 0, dst_offset: 2048, len: 64 },
+                    DmaRequest { src: tail_src, src_offset: 0, dst_offset: 128, len: 64 },
+                ],
+            )
+            .unwrap();
+        let err = h.wait().unwrap_err();
+        assert!(matches!(err, NtbError::WindowLimitExceeded { .. }));
+        // First descriptor landed, the one after the error never ran.
+        assert_eq!(remote.read_vec(0, 64).unwrap(), vec![7u8; 64]);
+        assert_eq!(remote.read_vec(128, 64).unwrap(), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let engine = DmaEngine::new(1);
+        let (w, _) = window(1024);
+        let err = engine.submit_chain(w, vec![]).unwrap_err();
+        assert!(matches!(err, NtbError::BadDescriptor { .. }));
     }
 }

@@ -103,6 +103,16 @@ pub enum EventKind {
     Reroute,
     /// A duplicate delivery/ack was suppressed (`op_id` = id).
     DupSuppressed,
+    /// A frame was staged into a transmit-ring slot without ringing the
+    /// doorbell yet (`op_id` = slot sequence number, `payload` =
+    /// [payload len, slot index]).
+    SlotPublish,
+    /// The service loop consumed one transmit-ring slot (`op_id` = slot
+    /// sequence number, `payload` = [sender pe, slot index]).
+    SlotDrain,
+    /// One coalesced doorbell covering a whole published batch (`op_id`
+    /// = first slot sequence in the batch, `payload[0]` = slot count).
+    DoorbellCoalesce,
     /// A get request was issued (`op_id` = req id, `payload` =
     /// [offset, len]).
     GetReqTx,
@@ -185,6 +195,9 @@ impl EventKind {
             EventKind::Retransmit => "retransmit",
             EventKind::Reroute => "reroute",
             EventKind::DupSuppressed => "dup_suppressed",
+            EventKind::SlotPublish => "slot_publish",
+            EventKind::SlotDrain => "slot_drain",
+            EventKind::DoorbellCoalesce => "doorbell_coalesce",
             EventKind::GetReqTx => "get_req_tx",
             EventKind::GetChunkRx => "get_chunk_rx",
             EventKind::GetDone => "get_done",

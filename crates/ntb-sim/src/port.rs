@@ -234,6 +234,21 @@ impl NtbPort {
         res
     }
 
+    /// Synchronous DMA transfer of a whole descriptor chain: one engine
+    /// submission, one completion for the entire batch.
+    pub fn dma_transfer_chain(&self, reqs: Vec<DmaRequest>) -> Result<()> {
+        // lint: relaxed-ok(unique job-id allocation; uniqueness needs atomicity, not ordering)
+        let job = self.dma_seq.fetch_add(1, Ordering::Relaxed);
+        let total: u64 = reqs.iter().map(|r| r.len).sum();
+        self.obs.emit(EventKind::DmaSubmit, job, [reqs.len() as u64, total]);
+        let res = self.dma.submit_chain(Arc::clone(&self.outgoing), reqs).and_then(|h| h.wait());
+        match &res {
+            Ok(()) => self.obs.emit(EventKind::DmaComplete, job, [0, 0]),
+            Err(_) => self.obs.emit(EventKind::DmaFail, job, [0, 0]),
+        }
+        res
+    }
+
     /// CPU-`memcpy` (PIO) write through the window.
     pub fn pio_write(&self, offset: u64, data: &[u8]) -> Result<()> {
         self.outgoing.write_bytes(offset, data, TransferMode::Memcpy)

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ntb_sim::{TimeModel, TransferMode};
-use shmem_core::{ShmemConfig, ShmemWorld};
+use shmem_core::{OpOptions, ShmemConfig, ShmemWorld};
 
 fn bench_barrier(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_barrier");
@@ -27,8 +27,14 @@ fn bench_barrier(c: &mut Criterion) {
                         let mut total = Duration::ZERO;
                         for _ in 0..iters {
                             if ctx.my_pe() == 0 && put_size > 0 {
-                                ctx.put_slice_with_mode(&sym, 0, &data, 1, TransferMode::Dma)
-                                    .unwrap();
+                                ctx.put_slice_opts(
+                                    &sym,
+                                    0,
+                                    &data,
+                                    1,
+                                    OpOptions::new().mode(TransferMode::Dma),
+                                )
+                                .unwrap();
                             }
                             let t0 = Instant::now();
                             ctx.barrier_all().unwrap();

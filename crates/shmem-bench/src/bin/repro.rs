@@ -1,13 +1,15 @@
 //! `repro` — regenerate every figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro [all|fig8|fig9|fig10|compare|trace] [--scale F] [--reps N] [--quick] [--csv DIR]
+//! repro [all|fig8|fig9|fig10|compare|trace|transport] [--scale F] [--reps N] [--quick] [--csv DIR]
 //! ```
 //!
 //! `compare` runs the beyond-paper topology comparison: the switchless
 //! ring against the switch-emulating full mesh. `trace` runs a small
 //! traced workload and prints the event trace, the per-PE metrics report
-//! and the protocol-invariant checker's verdict.
+//! and the protocol-invariant checker's verdict. `transport` benchmarks
+//! the batched/coalesced transport hot path against the legacy
+//! per-message doorbell path and writes `BENCH_transport.json`.
 //!
 //! * `--scale F`  — time-model scale (1.0 = paper-calibrated latencies,
 //!   smaller = proportionally faster runs with the same shapes).
@@ -39,7 +41,9 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "all" | "fig8" | "fig9" | "fig10" | "compare" | "scaling" | "trace" => opts.what = a,
+            "all" | "fig8" | "fig9" | "fig10" | "compare" | "scaling" | "trace" | "transport" => {
+                opts.what = a
+            }
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -61,7 +65,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig8|fig9|fig10|compare|scaling|trace] [--scale F] [--reps N] [--quick] [--csv DIR]"
+                    "usage: repro [all|fig8|fig9|fig10|compare|scaling|trace|transport] [--scale F] [--reps N] [--quick] [--csv DIR]"
                 );
                 std::process::exit(0);
             }
@@ -128,10 +132,30 @@ fn run_trace_demo() {
     }
 }
 
+/// Run the transport hot-path benchmark and write `BENCH_transport.json`
+/// into the current directory.
+fn run_transport_bench(scale: f64, reps: Option<usize>) {
+    use shmem_bench::transport::{run_transport, TransportConfig};
+    let model = if scale == 1.0 { TimeModel::paper() } else { TimeModel::scaled(scale) };
+    let cfg =
+        TransportConfig { model, latency_reps: reps.unwrap_or(64), ..TransportConfig::default() };
+    let t0 = std::time::Instant::now();
+    let r = run_transport(&cfg);
+    println!("{}", r.render());
+    println!("(transport ran in {:.1?})", t0.elapsed());
+    let path = PathBuf::from("BENCH_transport.json");
+    fs::write(&path, r.to_json()).expect("write BENCH_transport.json");
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     let opts = parse_args();
     if opts.what == "trace" {
         run_trace_demo();
+        return;
+    }
+    if opts.what == "transport" {
+        run_transport_bench(opts.scale, opts.reps);
         return;
     }
     let sizes = if opts.quick { quick_sizes() } else { paper_sizes() };

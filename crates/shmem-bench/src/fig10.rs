@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use ntb_sim::TimeModel;
-use shmem_core::{ShmemConfig, ShmemWorld};
+use shmem_core::{OpOptions, ShmemConfig, ShmemWorld};
 
 use crate::fig9::{PathConfig, FIG9_HOSTS};
 use crate::report::Series;
@@ -87,8 +87,14 @@ pub fn run_fig10(cfg: &Fig10Config) -> Fig10Result {
                 let mut total = std::time::Duration::ZERO;
                 for _ in 0..reps {
                     if ctx.my_pe() == 0 {
-                        ctx.put_slice_with_mode(&sym, 0, &data, pc.partner, pc.mode)
-                            .expect("preceding put");
+                        ctx.put_slice_opts(
+                            &sym,
+                            0,
+                            &data,
+                            pc.partner,
+                            OpOptions::new().mode(pc.mode),
+                        )
+                        .expect("preceding put");
                     }
                     let t0 = Instant::now();
                     ctx.barrier_all().expect("measured barrier");
@@ -150,7 +156,8 @@ mod tests {
             let us = if ctx.my_pe() == 0 {
                 let data = vec![0u8; 1024];
                 let t0 = Instant::now();
-                ctx.put_slice_with_mode(&sym, 0, &data, 1, TransferMode::Dma).unwrap();
+                ctx.put_slice_opts(&sym, 0, &data, 1, OpOptions::new().mode(TransferMode::Dma))
+                    .unwrap();
                 let us = t0.elapsed().as_secs_f64() * 1e6;
                 ctx.quiet().expect("quiet");
                 us

@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use ntb_sim::{TimeModel, TransferMode};
-use shmem_core::{ShmemConfig, ShmemCtx, ShmemWorld};
+use shmem_core::{OpOptions, ShmemConfig, ShmemCtx, ShmemWorld};
 
 use crate::report::Series;
 use crate::sizes::size_label;
@@ -164,10 +164,11 @@ fn measure_pe0(
             // --- Put: steady-state per-operation time over a pipelined
             // burst (one warm-up op primes the mailbox), as the paper's
             // repeated-transfer measurement does.
-            ctx.put_slice_with_mode(sym, 0, &data, pc.partner, pc.mode).expect("warm-up put");
+            let opts = OpOptions::new().mode(pc.mode);
+            ctx.put_slice_opts(sym, 0, &data, pc.partner, opts).expect("warm-up put");
             let t0 = Instant::now();
             for _ in 0..cfg.put_reps {
-                ctx.put_slice_with_mode(sym, 0, &data, pc.partner, pc.mode).expect("timed put");
+                ctx.put_slice_opts(sym, 0, &data, pc.partner, opts).expect("timed put");
             }
             let per_op = t0.elapsed() / cfg.put_reps as u32;
             ctx.quiet().expect("quiet");
@@ -177,7 +178,7 @@ fn measure_pe0(
             let t0 = Instant::now();
             for _ in 0..cfg.get_reps {
                 let v = ctx
-                    .get_slice_with_mode::<u8>(sym, 0, size as usize, pc.partner, pc.mode)
+                    .get_slice_opts::<u8>(sym, 0, size as usize, pc.partner, opts)
                     .expect("timed get");
                 assert_eq!(v.len(), size as usize);
             }

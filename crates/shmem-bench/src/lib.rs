@@ -9,6 +9,10 @@
 //! * [`fig10`] — `shmem_barrier_all` latency following Puts of varying
 //!   size, same four configurations (Fig. 10).
 //!
+//! Beyond the paper, [`transport`] benchmarks the batched/coalesced
+//! transport hot path against the legacy per-message doorbell path and
+//! emits `BENCH_transport.json` for cross-PR tracking.
+//!
 //! The `repro` binary drives all of them and prints paper-style series;
 //! the criterion benches under `benches/` run scaled-down versions for
 //! regression tracking. Absolute numbers depend on the calibrated
@@ -23,6 +27,7 @@ pub mod fig9;
 pub mod report;
 pub mod sizes;
 pub mod stats;
+pub mod transport;
 
 pub use report::{render_metrics_report, render_series_table, Series};
 pub use sizes::{paper_sizes, size_label};

@@ -27,7 +27,7 @@
 //! model).
 
 use crate::collectives::{ReduceOp, ShmemReduce};
-use crate::ctx::ShmemCtx;
+use crate::ctx::{OpOptions, ShmemCtx};
 use crate::error::Result;
 use crate::symmetric::{SymAddr, TypedSym};
 use crate::sync::CmpOp;
@@ -92,6 +92,23 @@ impl<'a> CApi<'a> {
         self.ctx.fence()
     }
 
+    /// `shmem_ctx_quiet(ctx)` (OpenSHMEM 1.4): this model has one
+    /// communication context per PE, so it is `shmem_quiet` on it.
+    pub fn shmem_ctx_quiet(&self) -> Result<()> {
+        self.ctx.quiet()
+    }
+
+    /// `shmem_ctx_fence(ctx)` (OpenSHMEM 1.4).
+    pub fn shmem_ctx_fence(&self) -> Result<()> {
+        self.ctx.fence()
+    }
+
+    /// `shmem_sync_all()` (OpenSHMEM 1.4): barrier without the implicit
+    /// quiet — this transport's barrier already subsumes it.
+    pub fn shmem_sync_all(&self) -> Result<()> {
+        self.ctx.barrier_all()
+    }
+
     /// `shmem_set_lock(lock)`.
     pub fn shmem_set_lock(&self, lock: &TypedSym<u64>) -> Result<()> {
         self.ctx.set_lock(lock)
@@ -116,11 +133,24 @@ impl<'a> CApi<'a> {
     pub fn shmem_getmem(&self, src: &TypedSym<u8>, nelems: usize, pe: i32) -> Result<Vec<u8>> {
         self.ctx.get_slice(src, 0, nelems, pe as usize)
     }
+
+    /// `shmem_putmem_nbi(dest, source, nelems, pe)` (OpenSHMEM 1.4):
+    /// staging only, doorbell coalesced; `shmem_quiet` completes it.
+    pub fn shmem_putmem_nbi(&self, dest: &TypedSym<u8>, src: &[u8], pe: i32) -> Result<()> {
+        self.ctx.put_slice_opts(dest, 0, src, pe as usize, OpOptions::nbi())
+    }
+
+    /// `shmem_getmem_nbi(dest, source, nelems, pe)` (OpenSHMEM 1.4);
+    /// this model completes gets eagerly.
+    pub fn shmem_getmem_nbi(&self, src: &TypedSym<u8>, nelems: usize, pe: i32) -> Result<Vec<u8>> {
+        self.ctx.get_slice_opts(src, 0, nelems, pe as usize, OpOptions::nbi())
+    }
 }
 
 /// RMA routines for one C type name.
 macro_rules! c_rma {
-    ($t:ty, $put:ident, $get:ident, $p:ident, $g:ident, $iput:ident, $iget:ident) => {
+    ($t:ty, $put:ident, $get:ident, $p:ident, $g:ident, $iput:ident, $iget:ident,
+     $put_nbi:ident, $get_nbi:ident) => {
         impl<'a> CApi<'a> {
             /// `shmem_TYPE_put(dest, source, nelems, pe)`.
             pub fn $put(&self, dest: &TypedSym<$t>, src: &[$t], pe: i32) -> Result<()> {
@@ -130,6 +160,18 @@ macro_rules! c_rma {
             /// `shmem_TYPE_get(dest, source, nelems, pe)`.
             pub fn $get(&self, src: &TypedSym<$t>, nelems: usize, pe: i32) -> Result<Vec<$t>> {
                 self.ctx.get_slice(src, 0, nelems, pe as usize)
+            }
+
+            /// `shmem_TYPE_put_nbi(dest, source, nelems, pe)` (OpenSHMEM
+            /// 1.4): doorbell coalesced, completion at `shmem_quiet`.
+            pub fn $put_nbi(&self, dest: &TypedSym<$t>, src: &[$t], pe: i32) -> Result<()> {
+                self.ctx.put_slice_opts(dest, 0, src, pe as usize, OpOptions::nbi())
+            }
+
+            /// `shmem_TYPE_get_nbi(dest, source, nelems, pe)` (OpenSHMEM
+            /// 1.4); completes eagerly in this model.
+            pub fn $get_nbi(&self, src: &TypedSym<$t>, nelems: usize, pe: i32) -> Result<Vec<$t>> {
+                self.ctx.get_slice_opts(src, 0, nelems, pe as usize, OpOptions::nbi())
             }
 
             /// `shmem_TYPE_p(addr, value, pe)`.
@@ -170,7 +212,17 @@ macro_rules! c_rma {
     };
 }
 
-c_rma!(i32, shmem_int_put, shmem_int_get, shmem_int_p, shmem_int_g, shmem_int_iput, shmem_int_iget);
+c_rma!(
+    i32,
+    shmem_int_put,
+    shmem_int_get,
+    shmem_int_p,
+    shmem_int_g,
+    shmem_int_iput,
+    shmem_int_iget,
+    shmem_int_put_nbi,
+    shmem_int_get_nbi
+);
 c_rma!(
     i64,
     shmem_long_put,
@@ -178,7 +230,9 @@ c_rma!(
     shmem_long_p,
     shmem_long_g,
     shmem_long_iput,
-    shmem_long_iget
+    shmem_long_iget,
+    shmem_long_put_nbi,
+    shmem_long_get_nbi
 );
 c_rma!(
     i16,
@@ -187,7 +241,9 @@ c_rma!(
     shmem_short_p,
     shmem_short_g,
     shmem_short_iput,
-    shmem_short_iget
+    shmem_short_iget,
+    shmem_short_put_nbi,
+    shmem_short_get_nbi
 );
 c_rma!(
     f32,
@@ -196,7 +252,9 @@ c_rma!(
     shmem_float_p,
     shmem_float_g,
     shmem_float_iput,
-    shmem_float_iget
+    shmem_float_iget,
+    shmem_float_put_nbi,
+    shmem_float_get_nbi
 );
 c_rma!(
     f64,
@@ -205,7 +263,9 @@ c_rma!(
     shmem_double_p,
     shmem_double_g,
     shmem_double_iput,
-    shmem_double_iget
+    shmem_double_iget,
+    shmem_double_put_nbi,
+    shmem_double_get_nbi
 );
 c_rma!(
     u32,
@@ -214,7 +274,9 @@ c_rma!(
     shmem_uint_p,
     shmem_uint_g,
     shmem_uint_iput,
-    shmem_uint_iget
+    shmem_uint_iget,
+    shmem_uint_put_nbi,
+    shmem_uint_get_nbi
 );
 c_rma!(
     u64,
@@ -223,7 +285,9 @@ c_rma!(
     shmem_ulong_p,
     shmem_ulong_g,
     shmem_ulong_iput,
-    shmem_ulong_iget
+    shmem_ulong_iget,
+    shmem_ulong_put_nbi,
+    shmem_ulong_get_nbi
 );
 
 /// Atomic routines for one C integer type name.

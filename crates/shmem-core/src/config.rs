@@ -41,6 +41,18 @@ pub struct ShmemConfig {
 }
 
 impl ShmemConfig {
+    /// Start a [`ShmemConfigBuilder`] from the fast-simulation preset —
+    /// the one-stop construction path for examples and applications:
+    ///
+    /// ```
+    /// use shmem_core::prelude::*;
+    /// let cfg = ShmemConfig::builder().hosts(3).coalescing(true).build();
+    /// assert_eq!(cfg.hosts(), 3);
+    /// ```
+    pub fn builder() -> ShmemConfigBuilder {
+        ShmemConfigBuilder::new()
+    }
+
     /// Paper-scale timing (latencies comparable to the PEX testbed).
     pub fn paper() -> Self {
         ShmemConfig {
@@ -124,6 +136,25 @@ impl ShmemConfig {
         self
     }
 
+    /// Enable or disable the transmit ring's doorbell coalescing.
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.net.coalesce = on;
+        self
+    }
+
+    /// Override the transmit-ring geometry (slots per link, batch cap).
+    pub fn with_tx_ring(mut self, slots: u32, batch: u32) -> Self {
+        self.net.tx_slots = slots;
+        self.net.coalesce_batch = batch;
+        self
+    }
+
+    /// Override the ring-path DMA/PIO crossover threshold in bytes.
+    pub fn with_pio_crossover(mut self, bytes: u64) -> Self {
+        self.net.pio_crossover = bytes;
+        self
+    }
+
     /// Number of PEs.
     pub fn hosts(&self) -> usize {
         self.net.hosts
@@ -143,6 +174,120 @@ impl ShmemConfig {
 impl Default for ShmemConfig {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+/// Step-by-step construction of a [`ShmemConfig`], replacing positional
+/// struct literals. Starts from [`ShmemConfig::fast_sim`] (no injected
+/// delays); select [`paper_timing`](Self::paper_timing) for
+/// testbed-scale latencies. `build()` validates the result.
+#[derive(Debug, Clone)]
+pub struct ShmemConfigBuilder {
+    cfg: ShmemConfig,
+}
+
+impl ShmemConfigBuilder {
+    /// A builder seeded with the fast-simulation preset.
+    pub fn new() -> Self {
+        ShmemConfigBuilder { cfg: ShmemConfig::fast_sim() }
+    }
+
+    /// Number of PEs (one per host in the switchless ring).
+    pub fn hosts(mut self, hosts: usize) -> Self {
+        self.cfg.net.hosts = hosts;
+        self
+    }
+
+    /// Swap the timing preset to paper scale (PEX-testbed latencies).
+    pub fn paper_timing(mut self) -> Self {
+        self.cfg.net.model = TimeModel::paper();
+        self
+    }
+
+    /// Scale all injected delays (1.0 = paper scale, 0.0 = none).
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        self.cfg.net.model = TimeModel::scaled(scale);
+        self
+    }
+
+    /// Default data path for puts/gets.
+    pub fn default_mode(mut self, mode: TransferMode) -> Self {
+        self.cfg.default_mode = mode;
+        self
+    }
+
+    /// Symmetric heap chunk size (power of two ≥ 4096).
+    pub fn heap_chunk(mut self, chunk: u64) -> Self {
+        self.cfg.heap_chunk = chunk;
+        self
+    }
+
+    /// Barrier algorithm (ring sweep or dissemination).
+    pub fn barrier_algorithm(mut self, alg: BarrierAlgorithm) -> Self {
+        self.cfg.barrier_algorithm = alg;
+        self
+    }
+
+    /// `shmem_barrier_all` timeout.
+    pub fn barrier_timeout(mut self, t: Duration) -> Self {
+        self.cfg.barrier_timeout = t;
+        self
+    }
+
+    /// `shmem_wait_until` timeout.
+    pub fn wait_timeout(mut self, t: Duration) -> Self {
+        self.cfg.wait_timeout = t;
+        self
+    }
+
+    /// Interconnect topology (switchless ring or full-mesh baseline).
+    pub fn topology(mut self, topology: ntb_net::Topology) -> Self {
+        self.cfg.net.topology = topology;
+        self
+    }
+
+    /// Lossy-link retry/recovery policy.
+    pub fn retry(mut self, retry: ntb_net::RetryPolicy) -> Self {
+        self.cfg.net.retry = retry;
+        self
+    }
+
+    /// Fault-injection plan for every interconnect link.
+    pub fn faults(mut self, faults: ntb_sim::FaultPlan) -> Self {
+        self.cfg.net.faults = faults;
+        self
+    }
+
+    /// Enable or disable transmit-ring doorbell coalescing.
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.cfg.net.coalesce = on;
+        self
+    }
+
+    /// Transmit-ring geometry: slots per link and the batch cap that
+    /// forces a flush.
+    pub fn tx_ring(mut self, slots: u32, batch: u32) -> Self {
+        self.cfg.net.tx_slots = slots;
+        self.cfg.net.coalesce_batch = batch;
+        self
+    }
+
+    /// Ring-path DMA/PIO crossover threshold in bytes.
+    pub fn pio_crossover(mut self, bytes: u64) -> Self {
+        self.cfg.net.pio_crossover = bytes;
+        self
+    }
+
+    /// Finish: validate and return the configuration.
+    pub fn build(self) -> ShmemConfig {
+        self.cfg.validate();
+        self.cfg
+    }
+}
+
+impl Default for ShmemConfigBuilder {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -174,5 +319,36 @@ mod tests {
         let c = ShmemConfig::fast_sim().with_hosts(5).with_heap_chunk(8192);
         assert_eq!(c.hosts(), 5);
         assert_eq!(c.heap_chunk, 8192);
+    }
+
+    #[test]
+    fn builder_covers_batching_knobs() {
+        let c = ShmemConfig::builder()
+            .hosts(5)
+            .default_mode(TransferMode::Memcpy)
+            .heap_chunk(8192)
+            .coalescing(true)
+            .tx_ring(4, 2)
+            .pio_crossover(512)
+            .build();
+        assert_eq!(c.hosts(), 5);
+        assert_eq!(c.default_mode, TransferMode::Memcpy);
+        assert!(c.net.coalesce);
+        assert_eq!(c.net.tx_slots, 4);
+        assert_eq!(c.net.batch_cap(), 2);
+        assert_eq!(c.net.pio_crossover, 512);
+    }
+
+    #[test]
+    fn builder_can_disable_coalescing() {
+        let c = ShmemConfig::builder().hosts(2).coalescing(false).build();
+        assert!(!c.net.coalesce);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heap chunk")]
+    fn builder_validates_on_build() {
+        ShmemConfig::builder().heap_chunk(1000).build();
     }
 }

@@ -29,6 +29,108 @@ use crate::heap::SymmetricHeap;
 use crate::symmetric::{SymAddr, TypedSym};
 use crate::types::ShmemScalar;
 
+/// Per-operation options for put/get, replacing the old
+/// `put_slice` / `put_slice_with_mode` / `put_slice_nbi` triplet (and its
+/// get-side mirror) with one builder:
+///
+/// ```
+/// use shmem_core::prelude::*;
+/// ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(2), |ctx| {
+///     let sym = ctx.calloc_array::<u32>(4).unwrap();
+///     if ctx.my_pe() == 0 {
+///         // Batch both puts behind one coalesced doorbell; quiet()
+///         // flushes and awaits delivery.
+///         let opts = OpOptions::new().coalesce(true);
+///         ctx.put_slice_opts(&sym, 0, &[1, 2], 1, opts).unwrap();
+///         ctx.put_slice_opts(&sym, 2, &[3, 4], 1, opts).unwrap();
+///         ctx.quiet().unwrap();
+///     }
+///     ctx.barrier_all().unwrap();
+/// })
+/// .unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOptions {
+    /// Data path override; `None` uses the world's
+    /// [`default_mode`](crate::config::ShmemConfig::default_mode) (or the
+    /// size-based choice when `dma_threshold` is set).
+    pub mode: Option<TransferMode>,
+    /// `true` (default) rings the doorbell before the call returns;
+    /// `false` is the `_nbi` contract — staging only, with
+    /// [`quiet`](ShmemCtx::quiet) as the completion point.
+    pub blocking: bool,
+    /// Defer the doorbell so consecutive puts coalesce into one
+    /// interrupt (flushed at the transmit ring's batch cap or the next
+    /// `quiet`/`fence`/barrier).
+    pub coalesce: bool,
+    /// Size-based mode selection: payloads at or below the threshold go
+    /// by PIO memcpy, larger ones by DMA (the paper's Fig. 9 crossover).
+    /// An explicit `mode` wins over the threshold.
+    pub dma_threshold: Option<u64>,
+}
+
+impl Default for OpOptions {
+    fn default() -> Self {
+        OpOptions { mode: None, blocking: true, coalesce: false, dma_threshold: None }
+    }
+}
+
+impl OpOptions {
+    /// Defaults: world's transfer mode, blocking, doorbell per call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The non-blocking-implicit preset (`shmem_*_nbi`): staging only,
+    /// doorbell deferred, completion at `quiet`.
+    pub fn nbi() -> Self {
+        OpOptions { blocking: false, coalesce: true, ..Self::default() }
+    }
+
+    /// Pin the data path (DMA or PIO memcpy) for this operation.
+    pub fn mode(mut self, mode: TransferMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Choose blocking (doorbell before return) or nbi semantics.
+    pub fn blocking(mut self, on: bool) -> Self {
+        self.blocking = on;
+        self
+    }
+
+    /// Enable doorbell coalescing across consecutive puts.
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Pick DMA vs PIO by payload size instead of a fixed mode.
+    pub fn dma_threshold(mut self, bytes: u64) -> Self {
+        self.dma_threshold = Some(bytes);
+        self
+    }
+
+    /// The transfer mode this operation actually uses for `len` payload
+    /// bytes, given the world default.
+    pub(crate) fn effective_mode(&self, len: usize, default: TransferMode) -> TransferMode {
+        if let Some(mode) = self.mode {
+            return mode;
+        }
+        match self.dma_threshold {
+            Some(t) if (len as u64) <= t => TransferMode::Memcpy,
+            Some(_) => TransferMode::Dma,
+            None => default,
+        }
+    }
+
+    /// Whether the transport should withhold the doorbell (coalesced or
+    /// nbi operation).
+    pub(crate) fn defer_doorbell(&self) -> bool {
+        self.coalesce || !self.blocking
+    }
+}
+
 /// One PE's handle to the OpenSHMEM world. Created by
 /// [`ShmemWorld::run`](crate::runtime::ShmemWorld::run); every routine of
 /// the model hangs off it.
@@ -190,10 +292,48 @@ impl ShmemCtx {
     // RMA: put / get (shmem_TYPE_put / shmem_TYPE_get and friends)
     // ------------------------------------------------------------------
 
-    /// `shmem_TYPE_put`: copy `data` into PE `pe`'s symmetric array at
-    /// element `index`, with an explicit transfer mode. Locally blocking:
+    /// `shmem_TYPE_put` with explicit [`OpOptions`]: copy `data` into PE
+    /// `pe`'s symmetric array at element `index`. Locally blocking:
     /// returns once `data` is reusable; remote delivery is asynchronous
-    /// and ordered by [`quiet`](Self::quiet) / barriers.
+    /// and ordered by [`quiet`](Self::quiet) / barriers. With
+    /// [`OpOptions::coalesce`] (or `blocking(false)`) the doorbell is
+    /// additionally deferred — frames stage in the transmit ring and one
+    /// doorbell covers the whole batch at the ring's cap or the next
+    /// `quiet`.
+    pub fn put_slice_opts<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        data: &[T],
+        pe: usize,
+        opts: OpOptions,
+    ) -> Result<()> {
+        self.check_pe(pe)?;
+        let off = sym.elem_offset(index, data.len())?;
+        let bytes = T::slice_to_bytes(data);
+        if pe == self.my_pe() {
+            self.heap.write_flat(off, &bytes)?;
+            self.heap.bump_version();
+            return Ok(());
+        }
+        let mode = opts.effective_mode(bytes.len(), self.cfg.default_mode);
+        let defer = opts.defer_doorbell();
+        let obs = self.node.obs();
+        if obs.is_enabled() {
+            let op = self.next_api_op();
+            let t0 = Instant::now();
+            obs.emit(EventKind::ApiPutIssue, op, [pe as u64, bytes.len() as u64]);
+            self.node.put_bytes_coalesced(pe, off, &bytes, mode, defer)?;
+            self.node.metrics().record_op(OpClass::Put, t0.elapsed().as_micros() as u64);
+            obs.emit(EventKind::ApiPutComplete, op, [pe as u64, 0]);
+        } else {
+            self.node.put_bytes_coalesced(pe, off, &bytes, mode, defer)?;
+        }
+        Ok(())
+    }
+
+    /// `shmem_TYPE_put` with an explicit transfer mode.
+    #[deprecated(since = "0.1.0", note = "use put_slice_opts with OpOptions::new().mode(..)")]
     pub fn put_slice_with_mode<T: ShmemScalar>(
         &self,
         sym: &TypedSym<T>,
@@ -202,27 +342,7 @@ impl ShmemCtx {
         pe: usize,
         mode: TransferMode,
     ) -> Result<()> {
-        self.check_pe(pe)?;
-        let off = sym.elem_offset(index, data.len())?;
-        let bytes = T::slice_to_bytes(data);
-        if pe == self.my_pe() {
-            self.heap.write_flat(off, &bytes)?;
-            self.heap.bump_version();
-            Ok(())
-        } else {
-            let obs = self.node.obs();
-            if obs.is_enabled() {
-                let op = self.next_api_op();
-                let t0 = Instant::now();
-                obs.emit(EventKind::ApiPutIssue, op, [pe as u64, bytes.len() as u64]);
-                self.node.put_bytes(pe, off, &bytes, mode)?;
-                self.node.metrics().record_op(OpClass::Put, t0.elapsed().as_micros() as u64);
-                obs.emit(EventKind::ApiPutComplete, op, [pe as u64, 0]);
-            } else {
-                self.node.put_bytes(pe, off, &bytes, mode)?;
-            }
-            Ok(())
-        }
+        self.put_slice_opts(sym, index, data, pe, OpOptions::new().mode(mode))
     }
 
     /// `shmem_TYPE_put` with the default transfer mode.
@@ -248,7 +368,7 @@ impl ShmemCtx {
         data: &[T],
         pe: usize,
     ) -> Result<()> {
-        self.put_slice_with_mode(sym, index, data, pe, self.cfg.default_mode)
+        self.put_slice_opts(sym, index, data, pe, OpOptions::new())
     }
 
     /// Put a single element (`shmem_TYPE_p`).
@@ -262,10 +382,10 @@ impl ShmemCtx {
         self.put_slice(sym, index, &[value], pe)
     }
 
-    /// Non-blocking put (`shmem_TYPE_put_nbi`). In this model `put` is
-    /// already locally blocking only until the payload is staged, so the
-    /// nbi variant shares the fast path; `quiet` is the completion point
-    /// for both.
+    /// Non-blocking put (`shmem_TYPE_put_nbi`): equivalent to
+    /// `put_slice_opts` with [`OpOptions::nbi`] — the doorbell is
+    /// deferred and `quiet` is the completion point.
+    #[deprecated(since = "0.1.0", note = "use put_slice_opts with OpOptions::nbi()")]
     pub fn put_slice_nbi<T: ShmemScalar>(
         &self,
         sym: &TypedSym<T>,
@@ -273,19 +393,21 @@ impl ShmemCtx {
         data: &[T],
         pe: usize,
     ) -> Result<()> {
-        self.put_slice(sym, index, data, pe)
+        self.put_slice_opts(sym, index, data, pe, OpOptions::nbi())
     }
 
-    /// `shmem_TYPE_get`: copy `count` elements from PE `pe`'s symmetric
-    /// array at element `index`, with an explicit transfer mode. Blocks
-    /// until the data arrived.
-    pub fn get_slice_with_mode<T: ShmemScalar>(
+    /// `shmem_TYPE_get` with explicit [`OpOptions`]: copy `count`
+    /// elements from PE `pe`'s symmetric array at element `index`. Blocks
+    /// until the data arrived (gets need their result; `blocking(false)`
+    /// is accepted and completes eagerly, matching the model's nbi
+    /// semantics).
+    pub fn get_slice_opts<T: ShmemScalar>(
         &self,
         sym: &TypedSym<T>,
         index: usize,
         count: usize,
         pe: usize,
-        mode: TransferMode,
+        opts: OpOptions,
     ) -> Result<Vec<T>> {
         self.check_pe(pe)?;
         let off = sym.elem_offset(index, count)?;
@@ -293,6 +415,7 @@ impl ShmemCtx {
         let bytes = if pe == self.my_pe() {
             self.heap.read_flat_vec(off, len)?
         } else {
+            let mode = opts.effective_mode(len as usize, self.cfg.default_mode);
             let obs = self.node.obs();
             if obs.is_enabled() {
                 let op = self.next_api_op();
@@ -307,6 +430,19 @@ impl ShmemCtx {
             }
         };
         Ok(T::bytes_to_vec(&bytes))
+    }
+
+    /// `shmem_TYPE_get` with an explicit transfer mode.
+    #[deprecated(since = "0.1.0", note = "use get_slice_opts with OpOptions::new().mode(..)")]
+    pub fn get_slice_with_mode<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        count: usize,
+        pe: usize,
+        mode: TransferMode,
+    ) -> Result<Vec<T>> {
+        self.get_slice_opts(sym, index, count, pe, OpOptions::new().mode(mode))
     }
 
     /// `shmem_TYPE_get` with the default transfer mode.
@@ -331,7 +467,7 @@ impl ShmemCtx {
         count: usize,
         pe: usize,
     ) -> Result<Vec<T>> {
-        self.get_slice_with_mode(sym, index, count, pe, self.cfg.default_mode)
+        self.get_slice_opts(sym, index, count, pe, OpOptions::new())
     }
 
     /// Get a single element (`shmem_TYPE_g`).
@@ -340,7 +476,8 @@ impl ShmemCtx {
     }
 
     /// Non-blocking get (`shmem_TYPE_get_nbi`); completion at `quiet`.
-    /// This model completes it eagerly (see `put_slice_nbi`).
+    /// This model completes it eagerly (see [`OpOptions::nbi`]).
+    #[deprecated(since = "0.1.0", note = "use get_slice_opts with OpOptions::nbi()")]
     pub fn get_slice_nbi<T: ShmemScalar>(
         &self,
         sym: &TypedSym<T>,
@@ -348,7 +485,7 @@ impl ShmemCtx {
         count: usize,
         pe: usize,
     ) -> Result<Vec<T>> {
-        self.get_slice(sym, index, count, pe)
+        self.get_slice_opts(sym, index, count, pe, OpOptions::nbi())
     }
 
     // ------------------------------------------------------------------

@@ -50,8 +50,8 @@ pub mod types;
 
 pub use capi::CApi;
 pub use collectives::{ReduceOp, ShmemReduce};
-pub use config::{BarrierAlgorithm, ShmemConfig};
-pub use ctx::ShmemCtx;
+pub use config::{BarrierAlgorithm, ShmemConfig, ShmemConfigBuilder};
+pub use ctx::{OpOptions, ShmemCtx};
 pub use error::{Result, ShmemError};
 pub use heap::SymmetricHeap;
 pub use runtime::ShmemWorld;
@@ -64,3 +64,21 @@ pub use types::{ShmemAtomicInt, ShmemScalar};
 // Re-export the knobs callers configure through us.
 pub use ntb_net::Topology;
 pub use ntb_sim::{TimeModel, TransferMode};
+
+/// The curated import surface for applications and examples:
+/// `use shmem_core::prelude::*;` brings in the world, the context, the
+/// config builder, per-op options and the common value types.
+pub mod prelude {
+    pub use crate::collectives::{ReduceOp, ShmemReduce};
+    pub use crate::config::{BarrierAlgorithm, ShmemConfig, ShmemConfigBuilder};
+    pub use crate::ctx::{OpOptions, PeStats, ShmemCtx};
+    pub use crate::error::{Result, ShmemError};
+    pub use crate::runtime::ShmemWorld;
+    pub use crate::signal::SignalOp;
+    pub use crate::symmetric::{SymAddr, TypedSym};
+    pub use crate::sync::CmpOp;
+    pub use crate::teams::{ActiveSet, Team};
+    pub use crate::types::{ShmemAtomicInt, ShmemScalar};
+    pub use ntb_net::Topology;
+    pub use ntb_sim::{FaultPlan, TimeModel, TransferMode};
+}

@@ -12,7 +12,7 @@
 //! delivers frames of one inbound link in order. The signal frame is
 //! enqueued after the last data chunk, so it lands last.
 
-use crate::ctx::ShmemCtx;
+use crate::ctx::{OpOptions, ShmemCtx};
 use crate::error::Result;
 use crate::symmetric::TypedSym;
 use crate::sync::CmpOp;
@@ -75,12 +75,13 @@ impl ShmemCtx {
         mode: TransferMode,
     ) -> Result<()> {
         self.check_pe(pe)?;
-        self.put_slice_with_mode(sym, index, data, pe, mode)?;
+        let opts = OpOptions::new().mode(mode);
+        self.put_slice_opts(sym, index, data, pe, opts)?;
         match op {
             SignalOp::Set => {
                 // An ordinary put of the signal word: same route as the
                 // data, FIFO behind it.
-                self.put_slice_with_mode(sig, sig_index, &[sig_value], pe, mode)
+                self.put_slice_opts(sig, sig_index, &[sig_value], pe, opts)
             }
             SignalOp::Add => {
                 // Additive signals must be atomic across producers. The

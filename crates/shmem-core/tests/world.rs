@@ -2,7 +2,8 @@
 //! `ShmemWorld::run` on 1–6 PEs (fast functional simulation).
 
 use shmem_core::{
-    CmpOp, ReduceOp, ShmemConfig, ShmemCtx, ShmemError, ShmemWorld, TransferMode, TypedSym,
+    CmpOp, OpOptions, ReduceOp, ShmemConfig, ShmemCtx, ShmemError, ShmemWorld, TransferMode,
+    TypedSym,
 };
 
 fn cfg(hosts: usize) -> ShmemConfig {
@@ -68,9 +69,17 @@ fn put_two_hops_and_memcpy_mode() {
         let sym = ctx.malloc_array::<i32>(16).unwrap();
         if ctx.my_pe() == 0 {
             // Two hops right.
-            ctx.put_slice_with_mode(&sym, 0, &[-7i32; 16], 2, TransferMode::Memcpy).unwrap();
+            ctx.put_slice_opts(
+                &sym,
+                0,
+                &[-7i32; 16],
+                2,
+                OpOptions::new().mode(TransferMode::Memcpy),
+            )
+            .unwrap();
             // Two hops left.
-            ctx.put_slice_with_mode(&sym, 0, &[9i32; 16], 3, TransferMode::Dma).unwrap();
+            ctx.put_slice_opts(&sym, 0, &[9i32; 16], 3, OpOptions::new().mode(TransferMode::Dma))
+                .unwrap();
         }
         ctx.barrier_all().unwrap();
         match ctx.my_pe() {

@@ -12,8 +12,7 @@
 
 use std::time::Instant;
 
-use shmem_ntb::shmem::{ShmemConfig, ShmemWorld, TransferMode};
-use shmem_ntb::sim::TimeModel;
+use shmem_ntb::prelude::*;
 
 const PES: usize = 5;
 const REPS: usize = 4;
@@ -24,12 +23,10 @@ fn main() {
     let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
     assert!((1..PES).contains(&partner), "partner must be 1..{PES}");
 
-    let mut cfg = ShmemConfig::paper().with_hosts(PES).with_model(if scale == 1.0 {
-        TimeModel::paper()
-    } else {
-        TimeModel::scaled(scale)
-    });
-    cfg.barrier_timeout = std::time::Duration::from_secs(600);
+    let mut builder =
+        ShmemConfig::builder().hosts(PES).barrier_timeout(std::time::Duration::from_secs(600));
+    builder = if scale == 1.0 { builder.paper_timing() } else { builder.time_scale(scale) };
+    let cfg = builder.build();
 
     println!("point-to-point PE0 <-> PE{partner} (time scale {scale})");
     println!(
@@ -48,18 +45,18 @@ fn main() {
             for mode in [TransferMode::Dma, TransferMode::Memcpy] {
                 let data = vec![0xBEu8; size];
                 // Warm-up, then a timed pipelined burst.
-                ctx.put_slice_with_mode(&sym, 0, &data, partner, mode).expect("warm-up");
+                let opts = OpOptions::new().mode(mode);
+                ctx.put_slice_opts(&sym, 0, &data, partner, opts).expect("warm-up");
                 let t0 = Instant::now();
                 for _ in 0..REPS {
-                    ctx.put_slice_with_mode(&sym, 0, &data, partner, mode).expect("put");
+                    ctx.put_slice_opts(&sym, 0, &data, partner, opts).expect("put");
                 }
                 let put = t0.elapsed() / REPS as u32;
                 ctx.quiet().expect("quiet");
 
                 let t0 = Instant::now();
                 for _ in 0..REPS {
-                    let v =
-                        ctx.get_slice_with_mode::<u8>(&sym, 0, size, partner, mode).expect("get");
+                    let v = ctx.get_slice_opts::<u8>(&sym, 0, size, partner, opts).expect("get");
                     assert_eq!(v.len(), size);
                 }
                 let get = t0.elapsed() / REPS as u32;

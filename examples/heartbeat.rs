@@ -14,7 +14,7 @@
 
 use std::time::{Duration, Instant};
 
-use shmem_ntb::shmem::{ShmemConfig, ShmemWorld};
+use shmem_ntb::prelude::*;
 
 const PES: usize = 4;
 const FAILING_PE: usize = 3;
@@ -24,7 +24,7 @@ const SUSPECT_AFTER: Duration = Duration::from_millis(40);
 const RUN_FOR: Duration = Duration::from_millis(300);
 
 fn main() {
-    let cfg = ShmemConfig::fast_sim().with_hosts(PES);
+    let cfg = ShmemConfig::builder().hosts(PES).build();
 
     let verdicts = ShmemWorld::run(cfg, |ctx| {
         let me = ctx.my_pe();

@@ -11,14 +11,14 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use shmem_ntb::shmem::{ReduceOp, ShmemConfig, ShmemWorld};
+use shmem_ntb::prelude::*;
 
 const BINS: usize = 32;
 const SAMPLES_PER_PE: usize = 2_000;
 const PES: usize = 4;
 
 fn main() {
-    let cfg = ShmemConfig::fast_sim().with_hosts(PES);
+    let cfg = ShmemConfig::builder().hosts(PES).build();
 
     let local_views = ShmemWorld::run(cfg, |ctx| {
         let me = ctx.my_pe();
@@ -72,7 +72,7 @@ fn main() {
     }
 
     // Bonus: a reduction sanity check — allreduce of per-PE sample counts.
-    let sums = ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(PES), |ctx| {
+    let sums = ShmemWorld::run(ShmemConfig::builder().hosts(PES).build(), |ctx| {
         ctx.allreduce(ReduceOp::Sum, &[SAMPLES_PER_PE as u64]).expect("allreduce")[0]
     })
     .expect("world run");

@@ -13,8 +13,7 @@
 use std::time::Duration;
 
 use shmem_ntb::net::RetryPolicy;
-use shmem_ntb::shmem::{ShmemConfig, ShmemWorld};
-use shmem_ntb::sim::FaultPlan;
+use shmem_ntb::prelude::*;
 
 const PES: usize = 3;
 const CELLS: usize = 64;
@@ -48,10 +47,8 @@ fn snappy_retry() -> RetryPolicy {
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0xBAD11);
 
-    let cfg = ShmemConfig::fast_sim()
-        .with_hosts(PES)
-        .with_retry(snappy_retry())
-        .with_faults(lossy_plan(seed));
+    let cfg =
+        ShmemConfig::builder().hosts(PES).retry(snappy_retry()).faults(lossy_plan(seed)).build();
 
     println!("lossy ring: {PES} PEs, {CELLS} cells/PE, {ITERS} iterations, seed {seed:#x}");
 

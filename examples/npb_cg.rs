@@ -14,7 +14,7 @@
 //! cargo run --release --example npb_cg
 //! ```
 
-use shmem_ntb::shmem::{ReduceOp, ShmemConfig, ShmemWorld};
+use shmem_ntb::prelude::*;
 
 const PES: usize = 4;
 const ROWS_PER_PE: usize = 128;
@@ -71,7 +71,7 @@ fn rhs(i: usize) -> f64 {
 
 fn main() {
     let n = PES * ROWS_PER_PE;
-    let cfg = ShmemConfig::fast_sim().with_hosts(PES);
+    let cfg = ShmemConfig::builder().hosts(PES).build();
 
     let (pieces, iters): (Vec<Vec<f64>>, Vec<usize>) = {
         let results = ShmemWorld::run(cfg, |ctx| {

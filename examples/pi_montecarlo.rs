@@ -11,12 +11,12 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use shmem_ntb::shmem::{CmpOp, ReduceOp, ShmemConfig, ShmemWorld};
+use shmem_ntb::prelude::*;
 
 const PES: usize = 5;
 
 fn main() {
-    let cfg = ShmemConfig::fast_sim().with_hosts(PES);
+    let cfg = ShmemConfig::builder().hosts(PES).build();
 
     let estimates = ShmemWorld::run(cfg, |ctx| {
         let me = ctx.my_pe();

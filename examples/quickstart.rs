@@ -8,12 +8,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use shmem_ntb::shmem::{ShmemConfig, ShmemWorld};
+use shmem_ntb::prelude::*;
 
 fn main() {
     // Fast functional simulation: no modelled PCIe latencies. Swap in
     // `ShmemConfig::paper()` to feel the calibrated testbed timing.
-    let cfg = ShmemConfig::fast_sim().with_hosts(3);
+    let cfg = ShmemConfig::builder().hosts(3).build();
 
     let reports = ShmemWorld::run(cfg, |ctx| {
         let me = ctx.my_pe();

@@ -10,7 +10,7 @@
 //! cargo run --release --example stencil_heat
 //! ```
 
-use shmem_ntb::shmem::{ShmemConfig, ShmemWorld};
+use shmem_ntb::prelude::*;
 
 const CELLS_PER_PE: usize = 64;
 const STEPS: usize = 200;
@@ -37,7 +37,7 @@ fn initial_temp(i: usize) -> f64 {
 }
 
 fn main() {
-    let cfg = ShmemConfig::fast_sim().with_hosts(PES);
+    let cfg = ShmemConfig::builder().hosts(PES).build();
     let total = CELLS_PER_PE * PES;
 
     let pieces = ShmemWorld::run(cfg, |ctx| {

@@ -16,9 +16,9 @@
 //! ## Quickstart
 //!
 //! ```
-//! use shmem_ntb::shmem::{ShmemConfig, ShmemWorld};
+//! use shmem_ntb::prelude::*;
 //!
-//! let cfg = ShmemConfig::fast_sim().with_hosts(3);
+//! let cfg = ShmemConfig::builder().hosts(3).build();
 //! ShmemWorld::run(cfg, |ctx| {
 //!     let sym = ctx.malloc_array::<u64>(8).unwrap();
 //!     let right = (ctx.my_pe() + 1) % ctx.num_pes();
@@ -35,3 +35,9 @@
 pub use ntb_net as net;
 pub use ntb_sim as sim;
 pub use shmem_core as shmem;
+
+/// One-line import for applications: `use shmem_ntb::prelude::*;`
+/// (re-exports [`shmem_core::prelude`]).
+pub mod prelude {
+    pub use shmem_core::prelude::*;
+}

@@ -171,7 +171,18 @@ struct ChaosOutcome {
 }
 
 fn run_chaos(family: Family, seed: u64) -> ChaosOutcome {
-    let cfg = NetConfig::fast(HOSTS).with_retry(chaos_retry()).with_faults(family.plan(seed));
+    run_chaos_mode(family, seed, false)
+}
+
+/// `coalesced` runs the same traffic mix through an explicitly tight
+/// transmit ring (4 slots, batch 4) with every put's doorbell deferred —
+/// quiet() flushes whole batches, so slot reuse, wrap-around and the
+/// coalesced-doorbell recovery paths are all under fire.
+fn run_chaos_mode(family: Family, seed: u64, coalesced: bool) -> ChaosOutcome {
+    let mut cfg = NetConfig::fast(HOSTS).with_retry(chaos_retry()).with_faults(family.plan(seed));
+    if coalesced {
+        cfg = cfg.with_coalescing(true).with_tx_ring(4, 4);
+    }
     let net = RingNetwork::build(cfg).unwrap();
     net.obs_enable();
     let heaps: Vec<Arc<ChaosHeap>> = (0..HOSTS).map(|_| ChaosHeap::new()).collect();
@@ -191,7 +202,9 @@ fn run_chaos(family: Family, seed: u64) -> ChaosOutcome {
                     TransferMode::Memcpy
                 };
                 let data = pattern(src, dest, round);
-                net.node(src).put_bytes(dest, put_off(src, dest), &data, mode).unwrap();
+                net.node(src)
+                    .put_bytes_coalesced(dest, put_off(src, dest), &data, mode, coalesced)
+                    .unwrap();
             }
         }
         // Hosts 1 and 2 bump the shared counter at host 0; the AMO cache
@@ -274,7 +287,11 @@ fn certify_trace(label: &str, outcome: &ChaosOutcome) {
 /// One matrix cell: byte-exact memory, exactly-once atomics, the
 /// family's scripted outage count, and a checker-clean trace.
 fn assert_chaos_checked(family: Family, seed: u64) {
-    let outcome = run_chaos(family, seed);
+    assert_chaos_checked_mode(family, seed, false)
+}
+
+fn assert_chaos_checked_mode(family: Family, seed: u64, coalesced: bool) {
+    let outcome = run_chaos_mode(family, seed, coalesced);
     let mut idx = 0;
     for src in 0..HOSTS {
         for hop in 1..HOSTS {
@@ -300,9 +317,10 @@ fn assert_chaos_checked(family: Family, seed: u64) {
         "{}/{seed:#x}: scripted outage windows",
         family.label(),
     );
-    certify_trace(&format!("chaos-{}-{seed:#x}", family.label()), &outcome);
+    let tag = if coalesced { "-coalesced" } else { "" };
+    certify_trace(&format!("chaos-{}{tag}-{seed:#x}", family.label()), &outcome);
     eprintln!(
-        "chaos {}/{seed:#x}: {} events, injected {}, recovered {}",
+        "chaos {}{tag}/{seed:#x}: {} events, injected {}, recovered {}",
         family.label(),
         outcome.events.len(),
         outcome.injected,
@@ -375,6 +393,28 @@ macro_rules! chaos_matrix {
             }
         )*
     };
+}
+
+/// Explicitly coalesced cells: the deferred-doorbell path (tight
+/// 4-slot ring, batches flushed by quiet) through two fault families,
+/// two seeds each. The checker's slot-coalescing invariant certifies
+/// every one of these traces.
+macro_rules! chaos_matrix_coalesced {
+    ($($name:ident => $family:expr, $seed:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                assert_chaos_checked_mode($family, $seed, true);
+            }
+        )*
+    };
+}
+
+chaos_matrix_coalesced! {
+    chaos_coalesced_doorbell_drop_seed_01 => Family::DoorbellDrop, 0xC0A_0B01;
+    chaos_coalesced_doorbell_drop_seed_02 => Family::DoorbellDrop, 0xC0A_0B02;
+    chaos_coalesced_corruption_seed_01 => Family::Corruption, 0xC0A_4401;
+    chaos_coalesced_corruption_seed_02 => Family::Corruption, 0xC0A_4402;
 }
 
 chaos_matrix! {

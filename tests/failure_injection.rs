@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use shmem_ntb::net::{
     doorbells, AmoOp, DeliveryTarget, NetConfig, RetryPolicy, RingNetwork, RouteDirection,
 };
-use shmem_ntb::shmem::{ShmemConfig, ShmemError, ShmemWorld};
+use shmem_ntb::shmem::{OpOptions, ShmemConfig, ShmemError, ShmemWorld};
 use shmem_ntb::sim::{
     connect_ports, DoorbellWaiter, FaultAction, FaultPlan, HostMemory, LinkHealth, NtbError,
     PortConfig, Region, TimeModel, TransferMode,
@@ -170,10 +170,11 @@ fn transfer_mode_failures_do_not_wedge_the_ring() {
         let sym = ctx.calloc_array::<u8>(256).unwrap();
         for round in 0..10 {
             let mode = if round % 2 == 0 { TransferMode::Dma } else { TransferMode::Memcpy };
-            let bad = ctx.put_slice_with_mode(&sym, 200, &[0u8; 100], 1, mode);
+            let bad = ctx.put_slice_opts(&sym, 200, &[0u8; 100], 1, OpOptions::new().mode(mode));
             assert!(bad.is_err());
             if ctx.my_pe() == 0 {
-                ctx.put_slice_with_mode(&sym, 0, &[round as u8; 16], 1, mode).unwrap();
+                ctx.put_slice_opts(&sym, 0, &[round as u8; 16], 1, OpOptions::new().mode(mode))
+                    .unwrap();
             }
             ctx.barrier_all().unwrap();
             if ctx.my_pe() == 1 {

@@ -5,7 +5,7 @@
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use shmem_ntb::shmem::{
-    ActiveSet, BarrierAlgorithm, CmpOp, ReduceOp, ShmemConfig, ShmemWorld, TransferMode,
+    ActiveSet, BarrierAlgorithm, CmpOp, OpOptions, ReduceOp, ShmemConfig, ShmemWorld, TransferMode,
 };
 
 /// Distributed bucket sort: sample keys, alltoall into owner buckets,
@@ -146,7 +146,8 @@ fn mixed_traffic_stress_all_modes() {
                     if pe == me {
                         ctx.write_local_slice(&board, me * n, &row).unwrap();
                     } else {
-                        ctx.put_slice_with_mode(&board, me * n, &row, pe, mode).unwrap();
+                        ctx.put_slice_opts(&board, me * n, &row, pe, OpOptions::new().mode(mode))
+                            .unwrap();
                     }
                 }
                 // Bump the shared counter at the epoch's owner PE.

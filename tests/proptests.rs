@@ -15,7 +15,7 @@
 use rand::prelude::*;
 
 use shmem_ntb::net::{hop_count, Frame, FrameKind, RingTopology};
-use shmem_ntb::shmem::{ShmemConfig, ShmemWorld, SymmetricHeap, TransferMode};
+use shmem_ntb::shmem::{OpOptions, ShmemConfig, ShmemWorld, SymmetricHeap, TransferMode};
 use shmem_ntb::sim::HostMemory;
 
 /// Base seed for every test in this file; bump to explore new scripts.
@@ -275,12 +275,20 @@ fn putget_matches_oracle() {
                     if op.put {
                         let data: Vec<u8> =
                             (0..len).map(|j| op.seed.wrapping_add(j as u8)).collect();
-                        ctx.put_slice_with_mode(&sym, offset, &data, op.pe, mode).unwrap();
+                        ctx.put_slice_opts(&sym, offset, &data, op.pe, OpOptions::new().mode(mode))
+                            .unwrap();
                         ctx.quiet().unwrap();
                         oracle[op.pe][offset..offset + len].copy_from_slice(&data);
                     } else {
-                        let got =
-                            ctx.get_slice_with_mode::<u8>(&sym, offset, len, op.pe, mode).unwrap();
+                        let got = ctx
+                            .get_slice_opts::<u8>(
+                                &sym,
+                                offset,
+                                len,
+                                op.pe,
+                                OpOptions::new().mode(mode),
+                            )
+                            .unwrap();
                         assert_eq!(
                             got,
                             &oracle[op.pe][offset..offset + len],
