@@ -66,6 +66,11 @@ pub const LOCK_ORDER: &[LockClassDecl] = &[
         rationale: "seen-puts / AMO replay caches; consulted by the service thread which may then forward or emit",
     },
     LockClassDecl {
+        name: "net-membership",
+        rank: 55,
+        rationale: "ring membership view (heartbeat failure detector + gossip); the transmit path pins a read guard across the send to linearize against death declarations, so it ranks below the pending/unacked shards and the mailbox/txring locks",
+    },
+    LockClassDecl {
         name: "net-pending-shard",
         rank: 60,
         rationale: "one shard of the pending get/AMO completion map; fill_with emits trace events while holding it; shards are never nested with each other",
@@ -177,6 +182,18 @@ pub const LOCK_SITES: &[LockSite] = &[
     LockSite { file_suffix: "ntb-net/src/service.rs", receiver: "seen_puts", class: "net-dedup" },
     LockSite { file_suffix: "ntb-net/src/service.rs", receiver: "amo_cache", class: "net-dedup" },
     LockSite {
+        file_suffix: "ntb-net/src/membership.rs",
+        receiver: "state",
+        class: "net-membership",
+    },
+    // `Membership::read()/write()` wrap `state` with lockdep tracking;
+    // accessor methods call them as `self.read()` / `self.write()`.
+    LockSite {
+        file_suffix: "ntb-net/src/membership.rs",
+        receiver: "self",
+        class: "net-membership",
+    },
+    LockSite {
         file_suffix: "ntb-net/src/pending.rs",
         receiver: "inner",
         class: "net-pending-shard",
@@ -187,6 +204,7 @@ pub const LOCK_SITES: &[LockSite] = &[
         class: "net-unacked-shard",
     },
     LockSite { file_suffix: "ntb-net/src/forwarder.rs", receiver: "state", class: "net-forward" },
+    LockSite { file_suffix: "ntb-net/src/network.rs", receiver: "chaos", class: "net-admin" },
     LockSite { file_suffix: "ntb-net/src/slots.rs", receiver: "state", class: "net-txring" },
     LockSite { file_suffix: "ntb-net/src/mailbox.rs", receiver: "seq", class: "net-mailbox" },
     LockSite { file_suffix: "ntb-net/src/trace.rs", receiver: "events", class: "obs" },

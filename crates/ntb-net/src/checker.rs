@@ -27,6 +27,20 @@
 //!    slots are legal (a trailing batch the receiver had not consumed
 //!    when the trace was cut, or a slot consumed as corrupt under fault
 //!    injection).
+//! 7. **Dead-PE discipline** — once a sender *knows* a PE is dead (the
+//!    sender's own `PeDead` emission, not yet followed by its matching
+//!    `PeRejoin`), it transmits no put chunk (`PutChunkTx`) at that PE.
+//!    The transmit path makes this exact, not probabilistic: sends pin
+//!    the membership view, so a death declaration linearizes strictly
+//!    after every send that passed its liveness gate.
+//! 8. **Membership-epoch monotonicity** — each PE's published membership
+//!    views (`MembershipUpdate`) carry strictly increasing epochs; a
+//!    regression means gossip adopted a stale view.
+//!
+//! Invariant 4 is membership-aware: a PE whose dead interval (between
+//! the first `PeDead` naming it and the first subsequent `PeRejoin`)
+//! overlaps a barrier epoch's event window is excused from entering that
+//! epoch — that is exactly the degraded-collective contract.
 //!
 //! Soundness of the replay relies on two properties of the
 //! [`EventLog`]: the global sequence number is allocated with one atomic
@@ -86,6 +100,8 @@ pub struct CheckReport {
     pub barriers_checked: usize,
     /// Transmit-ring slot publishes tracked through invariant 6.
     pub slots_checked: usize,
+    /// Membership views tracked through invariant 8.
+    pub membership_updates_checked: usize,
     /// Every violation found, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -305,23 +321,58 @@ fn check_gets(events: &[TraceEvent], report: &mut CheckReport) {
     }
 }
 
+/// The dead intervals of every PE named in a `PeDead` event: from the
+/// first `PeDead` naming it (any observer) to the first subsequent
+/// `PeRejoin`, or trace-end (`u64::MAX`) if it never rejoined.
+fn dead_intervals(events: &[TraceEvent]) -> HashMap<u64, Vec<(u64, u64)>> {
+    let mut intervals: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut open: HashMap<u64, u64> = HashMap::new(); // dead pe -> first PeDead seq
+    for ev in events {
+        match ev.kind {
+            EventKind::PeDead => {
+                open.entry(ev.payload[0]).or_insert(ev.seq);
+            }
+            EventKind::PeRejoin => {
+                if let Some(start) = open.remove(&ev.payload[0]) {
+                    intervals.entry(ev.payload[0]).or_default().push((start, ev.seq));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (pe, start) in open {
+        intervals.entry(pe).or_default().push((start, u64::MAX));
+    }
+    intervals
+}
+
 /// Invariant 4: barrier epochs are collective and ordered — no PE ends
 /// an epoch before every PE started it, and each PE's epochs increase.
+/// Two failure-model allowances: a PE dead for (part of) the epoch's
+/// event window is excused from entering it, and a PE may *re-enter* an
+/// epoch it never completed (a failed attempt surrenders its epoch and
+/// the retry carries the same number) — but never one it finished.
 fn check_barriers(events: &[TraceEvent], pes: usize, report: &mut CheckReport) {
+    let dead = dead_intervals(events);
     let mut starts: HashMap<u64, Vec<(u16, u64)>> = HashMap::new(); // epoch -> (pe, seq)
     let mut ends: HashMap<u64, Vec<(u16, u64)>> = HashMap::new();
     let mut last_epoch: HashMap<u16, u64> = HashMap::new();
+    let mut completed: HashSet<(u16, u64)> = HashSet::new();
     for ev in events {
         match ev.kind {
             EventKind::BarrierStart => {
                 starts.entry(ev.op_id).or_default().push((ev.pe, ev.seq));
                 if let Some(&prev) = last_epoch.get(&ev.pe) {
-                    if ev.op_id <= prev {
+                    let reentered_done = ev.op_id == prev && completed.contains(&(ev.pe, prev));
+                    if ev.op_id < prev || reentered_done {
                         report.violations.push(Violation {
                             invariant: "barrier-order",
                             message: format!(
-                                "pe {} entered barrier epoch {} after epoch {}",
-                                ev.pe, ev.op_id, prev
+                                "pe {} entered barrier epoch {} after epoch {}{}",
+                                ev.pe,
+                                ev.op_id,
+                                prev,
+                                if reentered_done { " (already completed)" } else { "" }
                             ),
                             window: window(events, |e| {
                                 e.pe == ev.pe && e.kind == EventKind::BarrierStart
@@ -333,6 +384,7 @@ fn check_barriers(events: &[TraceEvent], pes: usize, report: &mut CheckReport) {
             }
             EventKind::BarrierEnd => {
                 ends.entry(ev.op_id).or_default().push((ev.pe, ev.seq));
+                completed.insert((ev.pe, ev.op_id));
             }
             _ => {}
         }
@@ -342,7 +394,17 @@ fn check_barriers(events: &[TraceEvent], pes: usize, report: &mut CheckReport) {
         let empty = Vec::new();
         let enterers = starts.get(&epoch).unwrap_or(&empty);
         let entered: HashSet<u16> = enterers.iter().map(|&(pe, _)| pe).collect();
-        let missing: Vec<u16> = (0..pes as u16).filter(|pe| !entered.contains(pe)).collect();
+        // The epoch's event window, for the dead-interval excuse below.
+        let seqs = || enterers.iter().chain(enders.iter()).map(|&(_, s)| s);
+        let first_seq = seqs().min().unwrap_or(0);
+        let last_seq = seqs().max().unwrap_or(u64::MAX);
+        let excused = |pe: u16| {
+            dead.get(&u64::from(pe)).is_some_and(|ivs| {
+                ivs.iter().any(|&(from, until)| from <= last_seq && until >= first_seq)
+            })
+        };
+        let missing: Vec<u16> =
+            (0..pes as u16).filter(|&pe| !entered.contains(&pe) && !excused(pe)).collect();
         if !missing.is_empty() {
             report.violations.push(Violation {
                 invariant: "barrier-order",
@@ -356,7 +418,15 @@ fn check_barriers(events: &[TraceEvent], pes: usize, report: &mut CheckReport) {
             });
             continue;
         }
-        let max_start = enterers.iter().map(|&(_, s)| s).max().unwrap_or(0);
+        // Each PE's *first* entry marks when it reached the barrier; a
+        // later re-entry is a retry of a failed attempt, not a new
+        // arrival, so it must not push the release bound forward.
+        let mut first_start: HashMap<u16, u64> = HashMap::new();
+        for &(pe, s) in enterers {
+            let e = first_start.entry(pe).or_insert(s);
+            *e = (*e).min(s);
+        }
+        let max_start = first_start.values().copied().max().unwrap_or(0);
         for &(pe, end_seq) in enders {
             if end_seq < max_start {
                 report.violations.push(Violation {
@@ -499,6 +569,68 @@ fn slot_lifecycle(kind: EventKind) -> bool {
     matches!(kind, EventKind::SlotPublish | EventKind::SlotDrain | EventKind::DoorbellCoalesce)
 }
 
+/// Invariant 7: a sender that has declared a PE dead (and not yet seen
+/// it rejoin) transmits no put chunk at it. Knowledge is per-sender —
+/// only the sender's *own* `PeDead`/`PeRejoin` emissions gate its
+/// transmissions, since gossip reaches different PEs at different times.
+fn check_dead_pe_discipline(events: &[TraceEvent], report: &mut CheckReport) {
+    let mut known_dead: HashSet<(u16, u64)> = HashSet::new(); // (observer, dead pe)
+    for ev in events {
+        match ev.kind {
+            EventKind::PeDead => {
+                known_dead.insert((ev.pe, ev.payload[0]));
+            }
+            EventKind::PeRejoin => {
+                known_dead.remove(&(ev.pe, ev.payload[0]));
+            }
+            EventKind::PutChunkTx if known_dead.contains(&(ev.pe, ev.payload[0])) => {
+                let (pe, dest, seq) = (ev.pe, ev.payload[0], ev.seq);
+                report.violations.push(Violation {
+                    invariant: "dead-pe-discipline",
+                    message: format!(
+                        "pe {pe} transmitted put {} at pe {dest} after learning of its death",
+                        ev.op_id
+                    ),
+                    window: window(events, move |e| {
+                        e.seq == seq
+                            || (e.pe == pe
+                                && e.payload[0] == dest
+                                && matches!(e.kind, EventKind::PeDead | EventKind::PeRejoin))
+                    }),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Invariant 8: each PE's published membership views carry strictly
+/// increasing epochs.
+fn check_membership_epochs(events: &[TraceEvent], report: &mut CheckReport) {
+    let mut last: HashMap<u16, u64> = HashMap::new();
+    for ev in events {
+        if ev.kind != EventKind::MembershipUpdate {
+            continue;
+        }
+        report.membership_updates_checked += 1;
+        if let Some(&prev) = last.get(&ev.pe) {
+            if ev.op_id <= prev {
+                report.violations.push(Violation {
+                    invariant: "membership-epoch-monotone",
+                    message: format!(
+                        "pe {} published membership epoch {} after epoch {prev}",
+                        ev.pe, ev.op_id
+                    ),
+                    window: window(events, |e| {
+                        e.pe == ev.pe && e.kind == EventKind::MembershipUpdate
+                    }),
+                });
+            }
+        }
+        last.insert(ev.pe, ev.op_id);
+    }
+}
+
 /// Replay `events` (must be seq-sorted, as [`EventLog::take`] returns
 /// them) and check every invariant. `pes` is the PE count of the network
 /// the trace came from (barrier membership).
@@ -510,6 +642,8 @@ pub fn check(events: &[TraceEvent], pes: usize) -> CheckReport {
     check_barriers(events, pes, &mut report);
     check_down_links(events, &mut report);
     check_slots(events, &mut report);
+    check_dead_pe_discipline(events, &mut report);
+    check_membership_epochs(events, &mut report);
     report
 }
 
@@ -819,6 +953,91 @@ mod tests {
         let r = check(&t, 3);
         assert!(r.is_clean(), "{}", r.render_violations());
         assert_eq!(r.slots_checked, 2);
+    }
+
+    #[test]
+    fn put_tx_at_known_dead_pe_is_flagged() {
+        // PE 0 declares PE 2 dead (epoch 1), then still transmits at it.
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PeDead, 1, [2, 0]),
+            ev(1, 0, NO_LINK, EventKind::MembershipUpdate, 1, [0b1011, 0]),
+            ev(2, 0, 0, EventKind::PutChunkTx, 9, [2, 64]),
+            ev(3, 0, NO_LINK, EventKind::PutIssue, 9, [2, 64]),
+            ev(4, 0, NO_LINK, EventKind::PutAbandon, 9, [0, 2]),
+        ];
+        let r = check(&t, 4);
+        assert!(r.violations.iter().any(|v| v.invariant == "dead-pe-discipline"));
+    }
+
+    #[test]
+    fn dead_pe_knowledge_is_per_sender_and_rejoin_clears_it() {
+        // PE 0 knows PE 2 is dead; PE 1 does not (its gossip hasn't
+        // landed), so PE 1's transmit is legal. After PE 0 sees the
+        // rejoin, its transmits are legal again.
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PeDead, 1, [2, 0]),
+            ev(1, 1, 0, EventKind::PutChunkTx, 5, [2, 64]),
+            ev(2, 0, NO_LINK, EventKind::PeRejoin, 2, [2, 1]),
+            ev(3, 0, 0, EventKind::PutChunkTx, 6, [2, 64]),
+            ev(4, 0, NO_LINK, EventKind::PutIssue, 6, [2, 64]),
+            ev(5, 1, NO_LINK, EventKind::PutIssue, 5, [2, 64]),
+            ev(6, 0, NO_LINK, EventKind::PutAcked, 6, [2, 0]),
+            ev(7, 1, NO_LINK, EventKind::PutAcked, 5, [2, 0]),
+        ];
+        let r = check(&t, 4);
+        assert!(r.is_clean(), "{}", r.render_violations());
+    }
+
+    #[test]
+    fn membership_epoch_regression_is_flagged() {
+        let clean = vec![
+            ev(0, 0, NO_LINK, EventKind::MembershipUpdate, 1, [0b1011, 0]),
+            ev(1, 0, NO_LINK, EventKind::MembershipUpdate, 2, [0b1111, 0b100]),
+            ev(2, 1, NO_LINK, EventKind::MembershipUpdate, 1, [0b1011, 0]),
+        ];
+        let r = check(&clean, 4);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        assert_eq!(r.membership_updates_checked, 3);
+        let broken = vec![
+            ev(0, 0, NO_LINK, EventKind::MembershipUpdate, 2, [0b1111, 0]),
+            ev(1, 0, NO_LINK, EventKind::MembershipUpdate, 2, [0b1011, 0]),
+        ];
+        let r = check(&broken, 4);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "membership-epoch-monotone");
+    }
+
+    #[test]
+    fn dead_pe_is_excused_from_barriers_it_missed() {
+        // PE 2 dies; PEs 0 and 1 complete epoch 1 degraded without it.
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PeDead, 1, [2, 0]),
+            ev(1, 0, NO_LINK, EventKind::BarrierStart, 1, [0, 0]),
+            ev(2, 1, NO_LINK, EventKind::BarrierStart, 1, [0, 0]),
+            ev(3, 0, NO_LINK, EventKind::BarrierEnd, 1, [0, 0]),
+            ev(4, 1, NO_LINK, EventKind::BarrierEnd, 1, [0, 0]),
+        ];
+        let r = check(&t, 3);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        // Without the death, the same trace is a violation.
+        let r = check(&t[1..], 3);
+        assert!(r.violations.iter().any(|v| v.message.contains("never entered")));
+    }
+
+    #[test]
+    fn barrier_excuse_ends_when_the_pe_rejoins() {
+        // PE 2's dead interval closes before epoch 5 begins, so missing
+        // that barrier is a real violation again.
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::PeDead, 1, [2, 0]),
+            ev(1, 0, NO_LINK, EventKind::PeRejoin, 2, [2, 1]),
+            ev(2, 0, NO_LINK, EventKind::BarrierStart, 5, [0, 0]),
+            ev(3, 1, NO_LINK, EventKind::BarrierStart, 5, [0, 0]),
+            ev(4, 0, NO_LINK, EventKind::BarrierEnd, 5, [0, 0]),
+            ev(5, 1, NO_LINK, EventKind::BarrierEnd, 5, [0, 0]),
+        ];
+        let r = check(&t, 3);
+        assert!(r.violations.iter().any(|v| v.message.contains("never entered")));
     }
 
     #[test]

@@ -97,6 +97,8 @@ pub struct NetConfig {
     pub model: TimeModel,
     /// Retry/recovery policy for the lossy-link protocol.
     pub retry: RetryPolicy,
+    /// Heartbeat failure-detector tuning (whole-PE death, not link loss).
+    pub heartbeat: crate::membership::HeartbeatConfig,
     /// Fault-injection plan applied to every link (empty = clean links).
     pub faults: FaultPlan,
     /// Enable the coalescing transmit ring: terminating puts/acks publish
@@ -155,6 +157,12 @@ impl NetConfig {
     /// Override the retry/recovery policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Override the heartbeat failure-detector tuning.
+    pub fn with_heartbeat(mut self, heartbeat: crate::membership::HeartbeatConfig) -> Self {
+        self.heartbeat = heartbeat;
         self
     }
 
@@ -222,6 +230,17 @@ impl NetConfig {
             "get response chunk must fit the payload areas"
         );
         assert!(self.dma_channels >= 1, "need at least one DMA channel");
+        if self.heartbeat.enabled {
+            assert!(
+                self.hosts <= 32,
+                "the membership bitmap is one 32-bit scratchpad word; disable the heartbeat \
+                 detector for rings beyond 32 hosts"
+            );
+            assert!(
+                self.heartbeat.period > Duration::ZERO && self.heartbeat.miss_threshold >= 1,
+                "heartbeat period and miss threshold must be positive"
+            );
+        }
         if self.topology == crate::topology::Topology::FullMesh {
             assert!(self.hosts <= 16, "mesh adapter slots are limited to 16 hosts");
         }
@@ -241,6 +260,7 @@ impl Default for NetConfig {
             host_mem_capacity: 512 << 20,
             model: TimeModel::paper(),
             retry: RetryPolicy::default(),
+            heartbeat: crate::membership::HeartbeatConfig::default(),
             faults: FaultPlan::none(),
             coalesce: true,
             tx_slots: 8,

@@ -33,6 +33,7 @@ pub mod handshake;
 pub mod layout;
 pub mod lockdep;
 pub mod mailbox;
+pub mod membership;
 pub mod network;
 pub mod node;
 pub mod pending;
@@ -48,6 +49,7 @@ pub use delivery::{AmoOp, DeliveryTarget};
 pub use frame::{Frame, FrameKind};
 pub use handshake::{exchange_link_info, PeerInfo};
 pub use layout::WindowLayout;
+pub use membership::{BeatMonitor, BeatVerdict, HeartbeatConfig, Membership, MembershipView};
 pub use network::RingNetwork;
 pub use node::{NodeStats, NtbNode};
 pub use pending::FillOutcome;
@@ -66,11 +68,18 @@ pub mod doorbells {
     pub const DB_BARRIER_START: u32 = 2;
     /// Barrier end sweep signal.
     pub const DB_BARRIER_END: u32 = 3;
+    /// Membership gossip: "I updated my heartbeat block — read it now"
+    /// (rejoin requests and epoch bumps propagate faster than a beat
+    /// period this way; it is also the failure detector's confirmation
+    /// probe, because ringing it succeeds against a dead host but fails
+    /// with `LinkDown` against a faulted cable).
+    pub const DB_GOSSIP: u32 = 4;
     /// Internal: wake service threads for shutdown.
     pub const DB_SHUTDOWN: u32 = 15;
 
     /// Mask of the bits the service threads listen on.
-    pub const SERVICE_INTEREST: u32 = (1 << DB_DMAPUT) | (1 << DB_DMAGET) | (1 << DB_SHUTDOWN);
+    pub const SERVICE_INTEREST: u32 =
+        (1 << DB_DMAPUT) | (1 << DB_DMAGET) | (1 << DB_GOSSIP) | (1 << DB_SHUTDOWN);
     /// Mask of the bits the barrier algorithm listens on.
     pub const BARRIER_INTEREST: u32 = (1 << DB_BARRIER_START) | (1 << DB_BARRIER_END);
 }

@@ -55,6 +55,8 @@ pub const SHMEM_VERSION: LockClass = LockClass { name: "shmem-version", rank: 30
 pub const NET_DELIVERY: LockClass = LockClass { name: "net-delivery", rank: 40 };
 /// Duplicate-suppression state: seen-put window and AMO replay cache.
 pub const NET_DEDUP: LockClass = LockClass { name: "net-dedup", rank: 50 };
+/// Ring membership view (heartbeat failure detector + gossip).
+pub const NET_MEMBERSHIP: LockClass = LockClass { name: "net-membership", rank: 55 };
 /// One shard of the in-flight request completion table.
 pub const NET_PENDING_SHARD: LockClass = LockClass { name: "net-pending-shard", rank: 60 };
 /// One shard of the unacked-put retransmission ledger.

@@ -6,14 +6,16 @@
 //! links (both adapter pairs are cabled); a single "host" has none and
 //! supports only local operation.
 
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ntb_sim::{
     connect_ports_observed, EventLog, FaultInjector, FaultStatsSnapshot, HostMemory,
-    MetricsRegistry, NtbPort, Obs, PortConfig, Result, TimeModel, TraceEvent,
-    DEFAULT_TRACE_CAPACITY,
+    MetricsRegistry, NodeFault, NodeFaultAction, NtbPort, Obs, PortConfig, Result, TimeModel,
+    TraceEvent, DEFAULT_TRACE_CAPACITY,
 };
+use parking_lot::Mutex;
 
 use crate::config::NetConfig;
 use crate::handshake::exchange_link_info;
@@ -61,6 +63,55 @@ pub struct RingNetwork {
     /// The unified structured event log every layer emits into
     /// (disabled by default; see [`Self::obs_enable`]).
     event_log: Arc<EventLog>,
+    /// Stop flag + handle of the chaos orchestrator thread (spawned only
+    /// when the fault plan schedules node faults).
+    chaos_stop: Arc<AtomicBool>,
+    chaos: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Walk a scheduled node-fault timeline: sleep to each fault's deadline
+/// (in interruptible slices) and apply it. A freeze's `hold` is served
+/// inline, so later faults on the same timeline are pushed behind it —
+/// plans should stagger their deadlines accordingly.
+fn chaos_orchestrator(nodes: Vec<Arc<NtbNode>>, mut plan: Vec<NodeFault>, stop: Arc<AtomicBool>) {
+    let start = Instant::now();
+    plan.sort_by_key(|f| f.at);
+    let interruptible_sleep_until = |deadline: Duration| {
+        while start.elapsed() < deadline {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            std::thread::sleep((deadline - start.elapsed()).min(Duration::from_millis(5)));
+        }
+        !stop.load(Ordering::SeqCst)
+    };
+    for fault in plan {
+        if fault.pe >= nodes.len() || !interruptible_sleep_until(fault.at) {
+            return;
+        }
+        let node = &nodes[fault.pe];
+        match fault.action {
+            NodeFaultAction::Crash => node.crash(),
+            NodeFaultAction::Freeze { hold } => {
+                node.freeze();
+                if !interruptible_sleep_until(start.elapsed() + hold) {
+                    // Never leave a host frozen behind a shutdown: its
+                    // stalled threads could not be joined.
+                    node.thaw();
+                    return;
+                }
+                node.thaw();
+            }
+            NodeFaultAction::Restart => {
+                // A restart that cannot complete (e.g. every neighbour is
+                // down too) surfaces through the test's own assertions;
+                // the orchestrator just records the attempt's failure.
+                if let Err(e) = node.restart(Duration::from_secs(10)) {
+                    node.record_error(e);
+                }
+            }
+        }
+    }
 }
 
 impl RingNetwork {
@@ -165,7 +216,30 @@ impl RingNetwork {
         for node in &nodes {
             node.start();
         }
-        Ok(RingNetwork { nodes, config, injectors, event_log })
+        let chaos_stop = Arc::new(AtomicBool::new(false));
+        let chaos = if config.faults.has_node_faults() {
+            let plan = config.faults.node_faults.clone();
+            let orch_nodes = nodes.clone();
+            let orch_stop = Arc::clone(&chaos_stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("ntb-chaos-orch".into())
+                    .spawn(move || chaos_orchestrator(orch_nodes, plan, orch_stop))
+                    .map_err(|_| ntb_sim::NtbError::BadDescriptor {
+                        reason: "failed to spawn chaos orchestrator thread",
+                    })?,
+            )
+        } else {
+            None
+        };
+        Ok(RingNetwork {
+            nodes,
+            config,
+            injectors,
+            event_log,
+            chaos_stop,
+            chaos: Mutex::new(chaos),
+        })
     }
 
     /// The configuration the network was built with.
@@ -273,9 +347,41 @@ impl RingNetwork {
         format!("[{}]", per_pe.join(","))
     }
 
+    /// Crash host `pe` (see [`NtbNode::crash`]). Survivors detect the
+    /// death through the heartbeat failure detector and heal the ring.
+    pub fn crash_node(&self, pe: usize) {
+        self.nodes[pe].crash();
+    }
+
+    /// Freeze host `pe`: its threads stall mid-protocol until
+    /// [`Self::thaw_node`].
+    pub fn freeze_node(&self, pe: usize) {
+        self.nodes[pe].freeze();
+    }
+
+    /// Release a freeze on host `pe`.
+    pub fn thaw_node(&self, pe: usize) {
+        self.nodes[pe].thaw();
+    }
+
+    /// Restart a crashed host `pe`: revive its ports and run the rejoin
+    /// handshake until a neighbour gossips it back into membership (or
+    /// `timeout` expires).
+    pub fn restart_node(&self, pe: usize, timeout: Duration) -> Result<()> {
+        self.nodes[pe].restart(timeout)
+    }
+
     /// Stop every node's background threads. The network must be
     /// quiescent (callers finished, `quiet` drained). Idempotent.
     pub fn shutdown(&self) {
+        self.chaos_stop.store(true, Ordering::SeqCst);
+        let handle = {
+            crate::lockdep_track!(&crate::lockdep::NET_ADMIN);
+            self.chaos.lock().take()
+        };
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
         for node in &self.nodes {
             node.stop();
         }

@@ -24,11 +24,15 @@ use parking_lot::{Mutex, RwLock};
 use crate::config::NetConfig;
 use crate::crc::crc32;
 use crate::delivery::{AmoOp, DeliveryTarget};
-use crate::doorbells::{DB_BARRIER_END, DB_BARRIER_START, DB_SHUTDOWN};
+use crate::doorbells::{DB_BARRIER_END, DB_BARRIER_START, DB_GOSSIP, DB_SHUTDOWN};
 use crate::forwarder::ForwardQueue;
 use crate::frame::Frame;
 use crate::layout::WindowLayout;
 use crate::mailbox::{RxMailbox, TxMailbox};
+use crate::membership::{
+    hb_rx_base, hb_tx_base, rejoin_signature, Membership, MembershipView, HB_BEAT, HB_CRASH,
+    HB_EPOCH, HB_LIVE, REJOIN_FLAG,
+};
 use crate::pending::{PendingOps, UnackedPuts};
 use crate::slots::TxSlotRing;
 use crate::topology::{RingTopology, RouteDirection, Topology};
@@ -111,6 +115,14 @@ impl SeenPuts {
         }
         true
     }
+
+    /// Forget every id from `origin`: a crash-restarted PE reuses put ids
+    /// from zero, and suppressing its fresh traffic as "duplicates" would
+    /// silently lose data.
+    pub(crate) fn purge_origin(&mut self, origin: usize) {
+        self.set.retain(|k| k.0 != origin);
+        self.order.retain(|k| k.0 != origin);
+    }
 }
 
 /// How many served AMO results are cached for duplicate re-serving.
@@ -141,6 +153,13 @@ impl AmoCache {
                 }
             }
         }
+    }
+
+    /// Forget every cached result from `origin` (crash-restart purge; the
+    /// restarted PE reuses request ids from zero).
+    pub(crate) fn purge_origin(&mut self, origin: usize) {
+        self.map.retain(|k, _| k.0 != origin);
+        self.order.retain(|k| k.0 != origin);
     }
 }
 
@@ -210,6 +229,12 @@ pub struct NtbNode {
     pub(crate) unacked: UnackedPuts,
     pub(crate) seen_puts: Mutex<SeenPuts>,
     pub(crate) amo_cache: Mutex<AmoCache>,
+    /// Epoch-stamped live bitmap maintained by the heartbeat failure
+    /// detector and gossiped ring-wide.
+    pub(crate) membership: Membership,
+    /// True while [`Self::restart`] runs its rejoin handshake; service
+    /// loops park on this in addition to the port vitals.
+    pub(crate) rejoining: AtomicBool,
     pub(crate) shutdown: Arc<AtomicBool>,
     pub(crate) threads: Mutex<Vec<JoinHandle<()>>>,
     pub(crate) stats: NodeStats,
@@ -306,6 +331,8 @@ impl NtbNode {
             unacked: UnackedPuts::new(),
             seen_puts: Mutex::new(SeenPuts::default()),
             amo_cache: Mutex::new(AmoCache::default()),
+            membership: Membership::new(me, config.hosts),
+            rejoining: AtomicBool::new(false),
             shutdown,
             threads: Mutex::new(Vec::new()),
             stats: NodeStats::default(),
@@ -384,19 +411,30 @@ impl NtbNode {
     }
 
     /// The endpoint a message to `dest` leaves through: shortest ring
-    /// direction on a ring, the dedicated link on a mesh. On a ring,
-    /// a `Down` preferred endpoint is routed around — the message goes
-    /// the long way — as long as the other endpoint is healthy.
+    /// direction on a ring, the dedicated link on a mesh. On a ring, a
+    /// `Down` preferred endpoint — or a preferred path blocked by an
+    /// intermediate PE the failure detector declared dead — is routed
+    /// around: the message goes the long way, as long as the other
+    /// endpoint is healthy and its path is clear.
     pub(crate) fn endpoint_for(&self, dest: usize) -> &LinkEndpoint {
+        let view = self.membership.view();
+        self.endpoint_for_view(dest, &view)
+    }
+
+    /// [`Self::endpoint_for`] against an already-snapshotted (or pinned)
+    /// membership view — the transmit path holds a read pin and must not
+    /// re-enter the membership lock.
+    pub(crate) fn endpoint_for_view(&self, dest: usize, view: &MembershipView) -> &LinkEndpoint {
         match self.kind {
             Topology::Ring => {
-                let preferred = self.endpoint(self.topo.route_to(dest));
-                if preferred.health.is_down() && self.endpoints.len() > 1 {
-                    if let Some(other) = self
-                        .endpoints
-                        .iter()
-                        .find(|e| !std::ptr::eq(*e, preferred) && !e.health.is_down())
-                    {
+                let preferred_dir = self.topo.route_to(dest);
+                let preferred = self.endpoint(preferred_dir);
+                if self.endpoints.len() > 1
+                    && (preferred.health.is_down() || !self.path_clear(preferred_dir, dest, view))
+                {
+                    let other_dir = preferred_dir.opposite();
+                    let other = self.endpoint(other_dir);
+                    if !other.health.is_down() && self.path_clear(other_dir, dest, view) {
                         NodeStats::bump(&self.stats.reroutes);
                         self.metrics.bump_link(preferred.link_idx, |l| &l.reroutes);
                         preferred.obs.emit(
@@ -411,6 +449,27 @@ impl NtbNode {
             }
             Topology::FullMesh => self.endpoint_to(dest),
         }
+    }
+
+    /// Whether every *intermediate* hop between this host and `dest` in
+    /// direction `dir` is alive in `view`. The link-health trackers
+    /// cannot see this: the links adjacent to a dead host still negotiate
+    /// electrically — only its service threads are gone, so a frame
+    /// parked in its bypass buffer would never move again.
+    fn path_clear(&self, dir: RouteDirection, dest: usize, view: &MembershipView) -> bool {
+        let n = self.topo.n;
+        let step = |h: usize| match dir {
+            RouteDirection::Right => (h + 1) % n,
+            RouteDirection::Left => (h + n - 1) % n,
+        };
+        let mut hop = step(self.topo.me);
+        while hop != dest {
+            if !view.is_live(hop) {
+                return false;
+            }
+            hop = step(hop);
+        }
+        true
     }
 
     /// The endpoint a *forwarded* frame leaves through. Split horizon: a
@@ -586,6 +645,7 @@ impl NtbNode {
     /// several chunks behind one doorbell and flushes later), otherwise
     /// it is flushed immediately. Forwarded or oversized chunks use the
     /// legacy scratchpad mailbox.
+    #[allow(clippy::too_many_arguments)] // internal hot path, two call sites
     pub(crate) fn transmit_put(
         &self,
         put_id: u32,
@@ -596,7 +656,18 @@ impl NtbNode {
         retransmit: bool,
         defer_flush: bool,
     ) -> Result<()> {
-        let ep = self.endpoint_for(dest);
+        // Pin the membership view across the send: a send that passes
+        // this liveness gate is ordered strictly before any concurrent
+        // death declaration (which needs the write side of the lock), so
+        // no `PutChunkTx` toward `dest` can trail this node's `PeDead`.
+        // Covers the sweeper's retransmissions too — they all funnel
+        // through here.
+        crate::lockdep_track!(&crate::lockdep::NET_MEMBERSHIP);
+        let view = self.membership.pin();
+        if !view.is_live(dest) {
+            return Err(NtbError::PeFailed { pe: dest, epoch: view.epoch });
+        }
+        let ep = self.endpoint_for_view(dest, &view);
         let terminating = ep.neighbor == dest;
         let frame = Frame::put(self.topo.me, dest, chunk.len() as u32, heap_offset, put_id, mode);
         self.trace(TraceKind::FrameSent, self.topo.me, dest, chunk.len() as u32);
@@ -693,6 +764,7 @@ impl NtbNode {
     ) -> Result<()> {
         assert_ne!(dest, self.topo.me, "local puts are handled by the SHMEM layer");
         assert!(dest < self.topo.n, "destination host out of range");
+        self.check_alive(dest)?;
         let chunk_size = self.config.put_chunk() as usize;
         let mut off = 0usize;
         while off < data.len() {
@@ -717,12 +789,14 @@ impl NtbNode {
     ) -> Result<Vec<u8>> {
         assert_ne!(src, self.topo.me, "local gets are handled by the SHMEM layer");
         assert!(src < self.topo.n, "source host out of range");
-        let req_id = self.pending.register(len);
+        self.check_alive(src)?;
+        let req_id = self.pending.register(len, src);
         self.obs.emit(EventKind::GetReqTx, u64::from(req_id), [heap_offset, len]);
         let frame =
             Frame::get_req(self.topo.me, src, len31(len)?, offset32(heap_offset)?, req_id, mode);
         self.trace(TraceKind::FrameSent, self.topo.me, src, 0);
         let send_req = |retransmit: bool| {
+            self.check_alive(src)?;
             let ep = self.endpoint_for(src);
             let result = ep.tx.send_control(frame);
             self.note_send_result(ep, &result);
@@ -775,7 +849,8 @@ impl NtbNode {
     ) -> Result<u64> {
         assert_ne!(target, self.topo.me, "local atomics are handled by the SHMEM layer");
         assert!(matches!(width, 1 | 2 | 4 | 8), "AMO width must be 1/2/4/8");
-        let req_id = self.pending.register(8);
+        self.check_alive(target)?;
+        let req_id = self.pending.register(8, target);
         self.obs.emit(EventKind::AmoReqTx, u64::from(req_id), [op as u64, heap_offset]);
         let mut payload = [0u8; 24];
         payload[0..8].copy_from_slice(&operand.to_le_bytes());
@@ -783,6 +858,7 @@ impl NtbNode {
         payload[16] = width as u8;
         let frame = Frame::amo_req(self.topo.me, target, op, offset32(heap_offset)?, req_id);
         let send_req = |retransmit: bool| {
+            self.check_alive(target)?;
             let ep = self.endpoint_for(target);
             let terminating = ep.neighbor == target;
             let area = self.layout.area_offset(terminating);
@@ -1028,6 +1104,241 @@ impl NtbNode {
                 ep.obs.emit(EventKind::LinkUp, 0, [0, 0]);
             }
         }
+    }
+
+    /// Ring membership as this node currently believes it (heartbeat
+    /// failure detector + gossip).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// True while [`Self::restart`] runs its rejoin handshake.
+    pub fn is_rejoining(&self) -> bool {
+        self.rejoining.load(Ordering::SeqCst)
+    }
+
+    /// Typed fast-fail gate: error immediately when `pe` is already known
+    /// dead instead of burning a retry budget against a corpse.
+    pub(crate) fn check_alive(&self, pe: usize) -> Result<()> {
+        let view = self.membership.view();
+        if view.is_live(pe) {
+            Ok(())
+        } else {
+            Err(NtbError::PeFailed { pe, epoch: view.epoch })
+        }
+    }
+
+    /// The failure detector confirmed `pe` dead: record it, fail every
+    /// in-flight operation aimed at it (puts abandon, get/AMO waiters
+    /// wake with [`NtbError::PeFailed`]), and gossip the new view.
+    pub(crate) fn confirm_death(&self, pe: usize) {
+        let Some(view) = self.membership.mark_dead(pe) else {
+            return; // already dead (e.g. the other neighbour confirmed first)
+        };
+        self.obs.emit(EventKind::PeDead, view.epoch, [pe as u64, 0]);
+        self.emit_membership_update(view);
+        self.fail_ops_to(pe, view.epoch);
+        self.gossip_view(view);
+    }
+
+    /// Abandon unacked puts and fail pending gets/AMOs targeting `pe`.
+    fn fail_ops_to(&self, pe: usize, epoch: u64) {
+        for id in self.unacked.fail_dest(pe, epoch) {
+            self.obs.emit(EventKind::PutAbandon, u64::from(id), [0, pe as u64]);
+        }
+        self.pending.fail_dest(pe, NtbError::PeFailed { pe, epoch });
+    }
+
+    pub(crate) fn emit_membership_update(&self, view: MembershipView) {
+        self.obs.emit(
+            EventKind::MembershipUpdate,
+            view.epoch,
+            [u64::from(view.live), u64::from(view.crash_flags)],
+        );
+    }
+
+    /// Adopt a gossiped view (strictly newer epochs only) and react to
+    /// every per-PE transition it carries: newly dead PEs fail their
+    /// in-flight ops, rejoined PEs re-enter (purging this node's
+    /// duplicate-suppression state for them iff the rejoin was a
+    /// crash-restart — a thawed PE's state survived and a purge would
+    /// double-apply its retransmitted AMOs). Returns whether the view was
+    /// adopted.
+    pub(crate) fn adopt_view(&self, remote: MembershipView) -> bool {
+        let Some((old, new)) = self.membership.adopt(remote) else {
+            return false;
+        };
+        self.emit_membership_update(new);
+        for pe in 0..self.topo.n.min(32) {
+            if pe == self.topo.me {
+                continue;
+            }
+            let was = old.is_live(pe);
+            let is = new.is_live(pe);
+            let crash_rose = new.crash_flags & (1 << pe) != 0 && old.crash_flags & (1 << pe) == 0;
+            if was && !is {
+                self.obs.emit(EventKind::PeDead, new.epoch, [pe as u64, 0]);
+                self.fail_ops_to(pe, new.epoch);
+            } else if !was && is {
+                let crashed = new.crash_flags & (1 << pe) != 0;
+                self.obs.emit(EventKind::PeRejoin, new.epoch, [pe as u64, u64::from(crashed)]);
+                if crashed {
+                    self.purge_peer_state(pe);
+                }
+            } else if is && crash_rose {
+                // Fast restart: the PE crashed and rejoined before this
+                // node ever saw it dead. The purge still applies.
+                self.obs.emit(EventKind::PeRejoin, new.epoch, [pe as u64, 1]);
+                self.purge_peer_state(pe);
+            }
+        }
+        true
+    }
+
+    /// Forget duplicate-suppression state for `pe` (crash-restart purge).
+    pub(crate) fn purge_peer_state(&self, pe: usize) {
+        self.seen_puts.lock().purge_origin(pe);
+        self.amo_cache.lock().purge_origin(pe);
+    }
+
+    /// Publish `view` on every endpoint's heartbeat block and ring the
+    /// gossip doorbell. Best effort: a dead or faulted link simply does
+    /// not carry this round of gossip; the periodic beat republishes.
+    pub(crate) fn gossip_view(&self, view: MembershipView) {
+        for ep in &self.endpoints {
+            let _ = self.publish_view(ep, view);
+            let _ = ep.port.ring_peer(DB_GOSSIP);
+        }
+    }
+
+    /// Write `view` into `ep`'s transmit half of the heartbeat block.
+    /// Bitmaps first, epoch last — the epoch word doubles as the release
+    /// publication (readers discard samples whose epoch moved mid-read).
+    pub(crate) fn publish_view(&self, ep: &LinkEndpoint, view: MembershipView) -> Result<()> {
+        let base = hb_tx_base(ep.port.outgoing().direction());
+        ep.port.spad_write(base + HB_LIVE, view.live)?;
+        ep.port.spad_write(base + HB_CRASH, view.crash_flags)?;
+        ep.port.spad_write(base + HB_EPOCH, view.epoch as u32)
+    }
+
+    /// Stamp this node's liveness beat on `ep` (the rejoin flag bit is
+    /// reserved and always cleared here).
+    pub(crate) fn publish_beat(&self, ep: &LinkEndpoint, beat: u32) -> Result<()> {
+        let base = hb_tx_base(ep.port.outgoing().direction());
+        ep.port.spad_write(base + HB_BEAT, beat & !REJOIN_FLAG)
+    }
+
+    /// Read the neighbour's half of `ep`'s heartbeat block: the raw beat
+    /// word plus its published membership view. `Ok(None)` means the
+    /// epoch word changed mid-read (a torn sample) — skip and resample
+    /// on the next tick.
+    pub(crate) fn read_peer_hb(&self, ep: &LinkEndpoint) -> Result<Option<(u32, MembershipView)>> {
+        let base = hb_rx_base(ep.port.outgoing().direction());
+        let epoch = ep.port.spad_read(base + HB_EPOCH)?;
+        let beat = ep.port.spad_read(base + HB_BEAT)?;
+        let live = ep.port.spad_read(base + HB_LIVE)?;
+        let crash = ep.port.spad_read(base + HB_CRASH)?;
+        if ep.port.spad_read(base + HB_EPOCH)? != epoch {
+            return Ok(None);
+        }
+        Ok(Some((beat, MembershipView { epoch: u64::from(epoch), live, crash_flags: crash })))
+    }
+
+    /// Crash this host: every port dies atomically (in-flight and future
+    /// transactions fail with `NodeDead`, queued DMA aborts) and the
+    /// service threads park until [`Self::restart`].
+    pub fn crash(&self) {
+        self.obs.emit(EventKind::NodeCrash, 0, [self.topo.me as u64, 0]);
+        for ep in &self.endpoints {
+            ep.port.kill();
+        }
+    }
+
+    /// Freeze this host: port transactions stall (callers hang mid-
+    /// protocol, exactly like a hung-but-not-crashed machine) until
+    /// [`Self::thaw`].
+    pub fn freeze(&self) {
+        self.obs.emit(EventKind::NodeFreeze, 0, [self.topo.me as u64, 0]);
+        for ep in &self.endpoints {
+            ep.port.freeze();
+        }
+    }
+
+    /// Release a freeze: stalled transactions resume where they hung, and
+    /// the resuming beats rejoin this host without any state purge.
+    pub fn thaw(&self) {
+        for ep in &self.endpoints {
+            ep.port.thaw();
+        }
+        self.obs.emit(EventKind::NodeThaw, 0, [self.topo.me as u64, 0]);
+    }
+
+    /// Bring a crashed node back into the ring: revive its ports, void
+    /// the protocol state lost with the crash, publish a rejoin request
+    /// to the neighbours, and wait (up to `timeout`) until a neighbour's
+    /// gossiped view counts this host live again at the ring's current
+    /// epoch. The service threads stay parked while this runs (they sleep
+    /// while the node is dead or rejoining) and resume once it returns.
+    pub fn restart(&self, timeout: Duration) -> Result<()> {
+        self.rejoining.store(true, Ordering::SeqCst);
+        for ep in &self.endpoints {
+            ep.port.revive();
+        }
+        // Everything below died with the host: half-preserved dedup
+        // windows would suppress the fresh ids the restarted protocol
+        // reuses from zero, and nobody is left to wait on the old
+        // in-flight entries.
+        self.pending.reset();
+        self.unacked.reset();
+        *self.seen_puts.lock() = SeenPuts::default();
+        *self.amo_cache.lock() = AmoCache::default();
+        self.membership.reset();
+        if !self.config.heartbeat.enabled || self.endpoints.is_empty() {
+            // No detector, no membership protocol: a revive is all there
+            // is to do.
+            self.rejoining.store(false, Ordering::SeqCst);
+            self.obs.emit(EventKind::NodeRestart, 0, [self.topo.me as u64, 0]);
+            return Ok(());
+        }
+        let sig = REJOIN_FLAG | rejoin_signature(self.topo.me, self.topo.n);
+        let deadline = Instant::now() + timeout;
+        let view = 'wait: loop {
+            for ep in &self.endpoints {
+                let base = hb_tx_base(ep.port.outgoing().direction());
+                let _ = ep.port.spad_write(base + HB_BEAT, sig);
+                let _ = ep.port.ring_peer(DB_GOSSIP);
+            }
+            for ep in &self.endpoints {
+                if let Ok(Some((_, view))) = self.read_peer_hb(ep) {
+                    if view.epoch > 0 && view.is_live(self.topo.me) {
+                        break 'wait view;
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                self.rejoining.store(false, Ordering::SeqCst);
+                return Err(NtbError::NotConnected);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        self.membership.adopt(view);
+        // Resume normal beats: withdrawing the rejoin flag tells the
+        // neighbours the handshake is over.
+        for ep in &self.endpoints {
+            let _ = self.publish_beat(ep, 1);
+        }
+        self.rejoining.store(false, Ordering::SeqCst);
+        self.obs.emit(EventKind::NodeRestart, self.membership.epoch(), [self.topo.me as u64, 0]);
+        Ok(())
+    }
+
+    /// Record a frame dropped by the forwarding path instead of being
+    /// sent on: `reason` 1 = out-of-range src/dest in the header, 2 =
+    /// destination PE is dead. Counted per link and emitted as a
+    /// `RouterDrop` event.
+    pub(crate) fn count_router_drop(&self, ep: &LinkEndpoint, op_id: u64, dest: u64, reason: u64) {
+        self.metrics.bump_link(ep.link_idx, |l| &l.router_drops);
+        ep.obs.emit(EventKind::RouterDrop, op_id, [dest, reason]);
     }
 }
 

@@ -37,6 +37,12 @@ struct Entry {
     /// Chunk offsets already deposited — duplicate responses (from request
     /// retransmission) must not double-count `received`.
     filled: HashSet<u64>,
+    /// PE this request targets; [`PendingOps::fail_dest`] fails every
+    /// entry aimed at a PE the failure detector declared dead.
+    dest: usize,
+    /// Set when the target PE died: the waiter returns this error instead
+    /// of burning its whole retry budget against a corpse.
+    failed: Option<NtbError>,
 }
 
 /// What became of a response chunk handed to [`PendingOps::fill`].
@@ -96,9 +102,9 @@ impl PendingOps {
         &self.shards[id as usize % SHARD_COUNT]
     }
 
-    /// Register a new operation expecting `total` response bytes; returns
-    /// its request id.
-    pub fn register(&self, total: u64) -> u32 {
+    /// Register a new operation expecting `total` response bytes from
+    /// `dest`; returns its request id.
+    pub fn register(&self, total: u64, dest: usize) -> u32 {
         // lint: relaxed-ok(unique id allocation; uniqueness needs atomicity, not ordering)
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let entry = Entry {
@@ -106,6 +112,8 @@ impl PendingOps {
             received: 0,
             done: total == 0,
             filled: HashSet::new(),
+            dest,
+            failed: None,
         };
         crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
         self.shard(id).inner.lock().insert(id, entry);
@@ -247,6 +255,12 @@ impl PendingOps {
                             })?;
                             return Ok(Some(entry.buf));
                         }
+                        Some(e) if e.failed.is_some() => {
+                            let entry = map.remove(&req_id).ok_or(NtbError::BadDescriptor {
+                                reason: "completion entry vanished under its lock",
+                            })?;
+                            return Err(entry.failed.unwrap_or(NtbError::LinkDown));
+                        }
                         Some(_) => {}
                     }
                 }
@@ -266,6 +280,12 @@ impl PendingOps {
                             reason: "completion entry vanished under its lock",
                         })?;
                         return Ok(Some(entry.buf));
+                    }
+                    Some(e) if e.failed.is_some() => {
+                        let entry = map.remove(&req_id).ok_or(NtbError::BadDescriptor {
+                            reason: "completion entry vanished under its lock",
+                        })?;
+                        return Err(entry.failed.unwrap_or(NtbError::LinkDown));
                     }
                     Some(_) => match deadline {
                         Some(d) => {
@@ -294,6 +314,39 @@ impl PendingOps {
         crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
         self.shards.iter().map(|s| s.inner.lock().len()).sum()
     }
+
+    /// Fail every incomplete operation targeting `pe` with `err` and wake
+    /// its waiter. Called when the failure detector confirms `pe` dead:
+    /// the waiter surfaces the typed error immediately instead of burning
+    /// the retry budget against a host that will never respond. Returns
+    /// how many operations were failed.
+    pub fn fail_dest(&self, pe: usize, err: NtbError) -> usize {
+        let mut failed = 0;
+        for shard in &self.shards {
+            crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
+            let mut map = shard.inner.lock();
+            for entry in map.values_mut() {
+                if entry.dest == pe && !entry.done && entry.failed.is_none() {
+                    entry.failed = Some(err.clone());
+                    failed += 1;
+                }
+            }
+            if failed > 0 {
+                shard.cond.notify_all();
+            }
+        }
+        failed
+    }
+
+    /// Drop every entry (a restarting node's in-flight state is void; its
+    /// requester threads were lost with the crash).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            crate::lockdep_track!(&crate::lockdep::NET_PENDING_SHARD);
+            shard.inner.lock().clear();
+            shard.cond.notify_all();
+        }
+    }
 }
 
 /// One put chunk awaiting its delivery acknowledgement.
@@ -319,6 +372,11 @@ struct PutState {
     /// Attempt counts of puts abandoned since the last `quiet`; non-empty
     /// means the next quiet must report `LinkFailed`.
     failed: Vec<u32>,
+    /// Set when puts were abandoned because their destination PE died:
+    /// `(pe, membership epoch)`. Outranks plain `LinkFailed` in the next
+    /// `quiet` — "the host is dead" is strictly more information than
+    /// "the link gave up".
+    dead: Option<(usize, u64)>,
 }
 
 /// One lock shard of [`UnackedPuts`].
@@ -462,6 +520,7 @@ impl UnackedPuts {
     /// exactly one shard.
     pub fn quiet(&self) -> Result<()> {
         let mut worst: Option<u32> = None;
+        let mut dead: Option<(usize, u64)> = None;
         for shard in &self.shards {
             crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
             let mut st = shard.state.lock();
@@ -471,17 +530,63 @@ impl UnackedPuts {
             if let Some(m) = st.failed.drain(..).max() {
                 worst = Some(worst.map_or(m, |w| w.max(m)));
             }
+            if let Some(d) = st.dead.take() {
+                dead = Some(dead.map_or(d, |w: (usize, u64)| if d.1 > w.1 { d } else { w }));
+            }
         }
-        match worst {
-            None => Ok(()),
-            Some(attempts) => Err(NtbError::LinkFailed { attempts }),
+        match (dead, worst) {
+            (Some((pe, epoch)), _) => Err(NtbError::PeFailed { pe, epoch }),
+            (None, Some(attempts)) => Err(NtbError::LinkFailed { attempts }),
+            (None, None) => Ok(()),
+        }
+    }
+
+    /// Abandon every unacked put destined for `pe` — the failure detector
+    /// confirmed it dead at `epoch`, so no ack will ever come. Returns the
+    /// abandoned put ids (for `PutAbandon` trace emission). The next
+    /// [`Self::quiet`] reports [`NtbError::PeFailed`].
+    pub fn fail_dest(&self, pe: usize, epoch: u64) -> Vec<u32> {
+        let mut ids = Vec::new();
+        for shard in &self.shards {
+            crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+            let mut st = shard.state.lock();
+            let doomed: Vec<u32> =
+                st.map.iter().filter(|(_, p)| p.dest == pe).map(|(&id, _)| id).collect();
+            if doomed.is_empty() {
+                continue;
+            }
+            for id in &doomed {
+                st.map.remove(id);
+            }
+            st.dead = Some((pe, epoch));
+            if st.map.is_empty() {
+                shard.cond.notify_all();
+            }
+            ids.extend(doomed);
+        }
+        ids
+    }
+
+    /// Drop every entry and failure record (a restarting node starts with
+    /// a clean ledger).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+            let mut st = shard.state.lock();
+            st.map.clear();
+            st.failed.clear();
+            st.dead = None;
+            shard.cond.notify_all();
         }
     }
 
     /// Whether any puts have been abandoned and not yet reported.
     pub fn has_failures(&self) -> bool {
         crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
-        self.shards.iter().any(|s| !s.state.lock().failed.is_empty())
+        self.shards.iter().any(|s| {
+            let st = s.state.lock();
+            !st.failed.is_empty() || st.dead.is_some()
+        })
     }
 }
 
@@ -493,7 +598,7 @@ mod tests {
     #[test]
     fn register_fill_wait() {
         let p = PendingOps::new();
-        let id = p.register(8);
+        let id = p.register(8, 1);
         assert_eq!(p.fill(id, 0, &[1, 2, 3, 4]).unwrap(), FillOutcome::Filled);
         assert_eq!(p.fill(id, 4, &[5, 6, 7, 8]).unwrap(), FillOutcome::Filled);
         let buf = p.wait(id, &TimeModel::zero()).unwrap();
@@ -504,7 +609,7 @@ mod tests {
     #[test]
     fn zero_length_completes_immediately() {
         let p = PendingOps::new();
-        let id = p.register(0);
+        let id = p.register(0, 1);
         assert_eq!(p.wait(id, &TimeModel::zero()).unwrap(), Vec::<u8>::new());
     }
 
@@ -518,7 +623,7 @@ mod tests {
     #[test]
     fn duplicate_chunk_suppressed() {
         let p = PendingOps::new();
-        let id = p.register(8);
+        let id = p.register(8, 1);
         assert_eq!(p.fill(id, 0, &[1, 2, 3, 4]).unwrap(), FillOutcome::Filled);
         // Retransmitted response redelivers the same chunk with different
         // bytes; the first deposit wins and `received` is not double
@@ -533,14 +638,14 @@ mod tests {
     #[test]
     fn overflow_chunk_rejected() {
         let p = PendingOps::new();
-        let id = p.register(4);
+        let id = p.register(4, 1);
         assert!(p.fill(id, 2, &[0u8; 4]).is_err());
     }
 
     #[test]
     fn wait_blocks_until_fill_from_other_thread() {
         let p = Arc::new(PendingOps::new());
-        let id = p.register(3);
+        let id = p.register(3, 1);
         let p2 = Arc::clone(&p);
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(10));
@@ -559,7 +664,7 @@ mod tests {
         let mut model = TimeModel::paper();
         model.get_poll_interval = Duration::from_millis(5);
         let p = Arc::new(PendingOps::new());
-        let id = p.register(1);
+        let id = p.register(1, 1);
         let p2 = Arc::clone(&p);
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(2));
@@ -575,8 +680,8 @@ mod tests {
     #[test]
     fn ids_unique() {
         let p = PendingOps::new();
-        let a = p.register(1);
-        let b = p.register(1);
+        let a = p.register(1, 1);
+        let b = p.register(1, 2);
         assert_ne!(a, b);
     }
 
@@ -593,7 +698,7 @@ mod tests {
     #[test]
     fn wait_with_retry_resends_then_completes() {
         let p = Arc::new(PendingOps::new());
-        let id = p.register(2);
+        let id = p.register(2, 1);
         let resent = Arc::new(AtomicU32::new(0));
         let (p2, r2) = (Arc::clone(&p), Arc::clone(&resent));
         // "Network": completes the operation only after the first
@@ -610,7 +715,7 @@ mod tests {
     #[test]
     fn wait_with_retry_bounded_failure() {
         let p = PendingOps::new();
-        let id = p.register(4);
+        let id = p.register(4, 1);
         let policy = tight_policy();
         let t0 = std::time::Instant::now();
         let err = p.wait_with_retry(id, &TimeModel::zero(), &policy, |_| Ok(())).unwrap_err();
@@ -624,7 +729,7 @@ mod tests {
     #[test]
     fn wait_with_retry_transient_resend_errors_tolerated() {
         let p = Arc::new(PendingOps::new());
-        let id = p.register(1);
+        let id = p.register(1, 1);
         let p2 = Arc::clone(&p);
         let buf = p.wait_with_retry(id, &TimeModel::zero(), &tight_policy(), |attempt| {
             if attempt == 1 {
@@ -693,6 +798,56 @@ mod tests {
         assert!(u.has_failures());
         assert_eq!(u.quiet().unwrap_err(), NtbError::LinkFailed { attempts: 2 });
         // Failure record is consumed; the next quiet is clean.
+        u.quiet().unwrap();
+    }
+
+    #[test]
+    fn pending_fail_dest_wakes_waiter_with_typed_error() {
+        let p = Arc::new(PendingOps::new());
+        let id = p.register(4, 2);
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(p2.fail_dest(2, NtbError::PeFailed { pe: 2, epoch: 3 }), 1);
+        });
+        let err = p.wait(id, &TimeModel::zero()).unwrap_err();
+        assert_eq!(err, NtbError::PeFailed { pe: 2, epoch: 3 });
+        h.join().unwrap();
+        assert_eq!(p.in_flight(), 0, "failed entry removed on observation");
+        // Entries aimed at other PEs are untouched.
+        let live = p.register(1, 3);
+        assert_eq!(p.fail_dest(2, NtbError::PeFailed { pe: 2, epoch: 3 }), 0);
+        p.fill(live, 0, &[1]).unwrap();
+        assert_eq!(p.wait(live, &TimeModel::zero()).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn unacked_fail_dest_reports_pe_failed_over_link_failed() {
+        let u = UnackedPuts::new();
+        let now = Instant::now();
+        let doomed = u.register(2, 0, vec![9], TransferMode::Dma, now);
+        let other = put_entry(&u, now); // dest 1
+        assert!(u.fail(other), "plain link-budget abandonment");
+        assert_eq!(u.fail_dest(2, 5), vec![doomed]);
+        assert_eq!(u.current(), 0);
+        // Node death outranks the link failure in the combined report.
+        assert_eq!(u.quiet().unwrap_err(), NtbError::PeFailed { pe: 2, epoch: 5 });
+        u.quiet().expect("failure records consumed");
+    }
+
+    #[test]
+    fn reset_clears_tables_and_failure_records() {
+        let p = PendingOps::new();
+        p.register(4, 1);
+        p.reset();
+        assert_eq!(p.in_flight(), 0);
+        let u = UnackedPuts::new();
+        let id = put_entry(&u, Instant::now());
+        assert!(u.fail(id));
+        u.fail_dest(1, 1);
+        u.reset();
+        assert_eq!(u.current(), 0);
+        assert!(!u.has_failures());
         u.quiet().unwrap();
     }
 

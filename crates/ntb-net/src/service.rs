@@ -32,9 +32,10 @@ use std::time::{Duration, Instant};
 use ntb_sim::{DoorbellWaiter, EventKind, Result};
 
 use crate::crc::crc32;
-use crate::doorbells::{DB_DMAGET, DB_DMAPUT, DB_SHUTDOWN, SERVICE_INTEREST};
+use crate::doorbells::{DB_DMAGET, DB_DMAPUT, DB_GOSSIP, DB_SHUTDOWN, SERVICE_INTEREST};
 use crate::forwarder::ForwardJob;
 use crate::frame::{Frame, FrameKind};
+use crate::membership::{rejoin_signature, BeatMonitor, BeatVerdict, REJOIN_FLAG};
 use crate::node::NtbNode;
 use crate::pending::FillOutcome;
 use crate::slots::{self, SlotRead};
@@ -70,11 +71,25 @@ fn drain_mailbox(node: &Arc<NtbNode>, idx: usize) {
 /// `Do_DMAPutInterruptService` / `Do_DMAGetInterruptService`).
 pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
     let ep = &node.endpoints[idx];
+    let hb = node.config().heartbeat;
+    // With the detector on, the idle tick must keep up with the beat
+    // period; a frozen *port* still stalls the thread inside the gated
+    // scratchpad calls, which is exactly what a hung host looks like.
+    let tick = if hb.enabled { IDLE_TICK.min(hb.period) } else { IDLE_TICK };
+    let mut beat = HeartbeatState::default();
     loop {
         if node.is_shutdown() {
             return;
         }
-        match ep.port().wait_doorbell(SERVICE_INTEREST, Some(IDLE_TICK)) {
+        if ep.port().is_dead() || node.is_rejoining() {
+            // A crashed host's threads do nothing until `restart()`
+            // revives the ports — and while the rejoin handshake runs it
+            // owns the heartbeat block, so the loop stays parked.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let mut gossip = false;
+        match ep.port().wait_doorbell(SERVICE_INTEREST, Some(tick)) {
             DoorbellWaiter::TimedOut => {
                 // Lost-interrupt safety net: a dropped doorbell leaves a
                 // frame stranded in the slot (or a batch in the transmit
@@ -90,11 +105,115 @@ pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
                 // Acknowledge the interrupt before processing so a ring
                 // for the *next* frame (sent after our mailbox ack) is
                 // not lost.
-                ep.port().clear_doorbell(bits & ((1 << DB_DMAPUT) | (1 << DB_DMAGET)));
+                ep.port().clear_doorbell(
+                    bits & ((1 << DB_DMAPUT) | (1 << DB_DMAGET) | (1 << DB_GOSSIP)),
+                );
+                gossip = bits & (1 << DB_GOSSIP) != 0;
                 // ISR + wakeup + the prototype's sleep-and-wait loop.
                 node.model().delay(node.model().interrupt_service_delay);
                 drain_mailbox(node, idx);
                 drain_ring(node, idx);
+            }
+        }
+        if hb.enabled {
+            heartbeat_tick(node, idx, &mut beat, gossip);
+        }
+    }
+}
+
+/// Per-service-thread heartbeat state: this endpoint's own beat counter
+/// plus the detector watching the one neighbour behind this link.
+#[derive(Default)]
+struct HeartbeatState {
+    my_beat: u32,
+    last: Option<Instant>,
+    monitor: BeatMonitor,
+}
+
+/// One heartbeat round on endpoint `idx`: stamp our beat (when the period
+/// elapsed), publish our membership view, sample the neighbour's block,
+/// and react — adopt newer gossiped views, admit rejoin requests, track
+/// beat stalls through the failure detector, and confirm deaths.
+///
+/// `gossip` forces an immediate sample (the neighbour rang
+/// [`DB_GOSSIP`]), so view changes propagate ring-wide in link-hops, not
+/// in heartbeat periods.
+fn heartbeat_tick(node: &Arc<NtbNode>, idx: usize, st: &mut HeartbeatState, gossip: bool) {
+    let cfg = node.config().heartbeat;
+    let due = st.last.is_none_or(|t| t.elapsed() >= cfg.period);
+    if !due && !gossip {
+        return;
+    }
+    let ep = &node.endpoints[idx];
+    if due {
+        st.last = Some(Instant::now());
+        st.my_beat = (st.my_beat + 1) & !REJOIN_FLAG;
+        if st.my_beat == 0 {
+            st.my_beat = 1; // zero means "no beat yet"; skip it on wrap
+        }
+        // Failures here are link faults (or our own death racing the
+        // crash injector); either way the beat simply doesn't land and
+        // the neighbour's detector does its job.
+        let _ = node.publish_beat(ep, st.my_beat);
+    }
+    let _ = node.publish_view(ep, node.membership().view());
+    let Ok(Some((raw, peer_view))) = node.read_peer_hb(ep) else {
+        // A torn sample or a faulted link: neither says anything about
+        // the *node* behind the link. Resample next tick.
+        return;
+    };
+    let pe = ep.neighbor();
+    if raw & REJOIN_FLAG != 0 {
+        // A rejoin request: the restarted neighbour publishes a
+        // config-derived signature instead of a counter. Validate it
+        // (scratchpad garbage must not re-admit a dead PE), purge our
+        // duplicate-suppression state for the PE (a crash lost *its*
+        // tables, so its fresh ids would otherwise be suppressed), and
+        // gossip it back in at a new epoch.
+        if (raw & !REJOIN_FLAG) == rejoin_signature(pe, node.num_hosts()) {
+            if let Some(view) = node.membership().mark_rejoined(pe) {
+                ep.obs.emit(EventKind::PeRejoin, view.epoch, [pe as u64, 1]);
+                node.emit_membership_update(view);
+                node.purge_peer_state(pe);
+                node.gossip_view(view);
+            }
+        }
+        st.monitor.clear();
+        return;
+    }
+    // Adopt a strictly newer gossiped view (the node reacts to every
+    // transition it carries), then judge the neighbour's beat.
+    node.adopt_view(peer_view);
+    let view = node.membership().view();
+    if !view.is_live(pe) {
+        // The neighbour is dead in our view. Its beat advancing again
+        // without a rejoin request is a *thaw*: the host was frozen, not
+        // crashed, so its state survived and no purge happens.
+        if raw != 0 && matches!(st.monitor.observe(raw, &cfg), BeatVerdict::Alive) {
+            if let Some(v) = node.membership().mark_alive(pe, false) {
+                ep.obs.emit(EventKind::PeRejoin, v.epoch, [pe as u64, 0]);
+                node.emit_membership_update(v);
+                node.gossip_view(v);
+            }
+        }
+        return;
+    }
+    match st.monitor.observe(raw, &cfg) {
+        BeatVerdict::Alive | BeatVerdict::Missed(_) | BeatVerdict::Suspect => {}
+        BeatVerdict::NewlySuspect(missed) => {
+            ep.obs.emit(EventKind::PeSuspect, view.epoch, [pe as u64, u64::from(missed)]);
+        }
+        BeatVerdict::ConfirmDue => {
+            // Death-vs-link-down distinguisher: a doorbell ring reaches a
+            // dead host's register block fine (nobody answers, but the
+            // write lands), while a faulted cable refuses it. Only a
+            // stall the probe cannot blame on the link becomes a death.
+            match ep.port().ring_peer(DB_GOSSIP) {
+                Err(_) => st.monitor.defer(),
+                Ok(()) => {
+                    node.confirm_death(pe);
+                    st.monitor.clear();
+                }
             }
         }
     }
@@ -243,10 +362,10 @@ fn drain_ring(node: &Arc<NtbNode>, idx: usize) {
                     let frame = drained.frame;
                     if frame.dest >= node.num_hosts() || frame.src >= node.num_hosts() {
                         // Out-of-world routing fields (possible on an
-                        // unchecked link, where no CRC arms): drop like a
-                        // corrupt record instead of panicking the router.
-                        node.count_checksum_reject();
-                        node.metrics.bump_link(ep.link_idx(), |l| &l.crc_rejects);
+                        // unchecked link, where no CRC arms): drop instead
+                        // of panicking the router — but *visibly*, as a
+                        // counted router drop, not a silent discard.
+                        node.count_router_drop(ep, u64::from(frame.aux), frame.dest as u64, 1);
                         continue;
                     }
                     ep.obs.emit(
@@ -485,6 +604,17 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
     let ep = &node.endpoints[idx];
     let policy = node.config().retry;
     while let Some(mut job) = ep.fwd.pop() {
+        if ep.port().is_dead() {
+            // This host crashed: its queued traffic dies with it. The
+            // senders recover end-to-end once the ring heals around us.
+            continue;
+        }
+        if !node.membership().is_live(job.frame.dest) {
+            // The destination PE is confirmed dead — transmitting at it
+            // only burns the retry budget of a frame nobody will ack.
+            node.count_router_drop(ep, u64::from(job.frame.aux), job.frame.dest as u64, 2);
+            continue;
+        }
         node.model().delay(job.think);
         let terminating = ep.neighbor() == job.frame.dest;
         let mode = job.frame.mode;
@@ -562,6 +692,11 @@ pub(crate) fn retry_sweeper_loop(node: &Arc<NtbNode>) {
         std::thread::sleep(tick);
         if node.is_shutdown() {
             return;
+        }
+        if node.is_rejoining() || node.endpoints.iter().any(|e| e.port().is_dead()) {
+            // Parked while the host is crashed or mid-rejoin; `restart()`
+            // voids the retry ledger this loop would otherwise sweep.
+            continue;
         }
         let now = Instant::now();
         for (id, put) in node.unacked.overdue(now) {

@@ -103,6 +103,10 @@ struct Job {
 struct Queue {
     jobs: VecDeque<Job>,
     shutdown: bool,
+    /// A halted engine (node crash) refuses submissions but keeps its
+    /// workers alive so [`DmaEngine::resume`] can revive it — unlike
+    /// `shutdown`, which joins them for good.
+    halted: bool,
 }
 
 struct Shared {
@@ -223,6 +227,9 @@ impl DmaEngine {
             if q.shutdown {
                 return Err(NtbError::DmaShutdown);
             }
+            if q.halted {
+                return Err(NtbError::NodeDead);
+            }
             q.jobs.push_back(Job { window, reqs, completion });
         }
         self.shared.cond.notify_one();
@@ -238,6 +245,28 @@ impl DmaEngine {
     /// counted).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.lock().jobs.len()
+    }
+
+    /// Halt the engine as a node crash would: queued descriptors complete
+    /// immediately with [`NtbError::NodeDead`] and new submissions are
+    /// refused, but the worker threads stay parked so [`resume`](Self::resume)
+    /// can bring the engine back. A descriptor already executing on a
+    /// channel finishes — the crash is atomic at the queue, not mid-TLP.
+    pub fn halt(&self) {
+        let drained: Vec<Job> = {
+            let mut q = self.shared.queue.lock();
+            q.halted = true;
+            q.jobs.drain(..).collect()
+        };
+        for job in drained {
+            job.completion.complete(Err(NtbError::NodeDead));
+        }
+    }
+
+    /// Reverse a [`halt`](Self::halt): the engine accepts descriptors
+    /// again. No-op on an engine that was never halted (or was shut down).
+    pub fn resume(&self) {
+        self.shared.queue.lock().halted = false;
     }
 
     /// Stop accepting descriptors, finish the queued ones, and join the
@@ -397,6 +426,25 @@ mod tests {
     fn queue_depth_visible() {
         let engine = DmaEngine::new(1);
         assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn halt_fails_fast_and_resume_revives() {
+        let engine = DmaEngine::new(1);
+        let (w, remote) = window(4096);
+        engine.halt();
+        let src = Region::anonymous(64);
+        let err = engine
+            .submit(
+                Arc::clone(&w),
+                DmaRequest { src: src.clone(), src_offset: 0, dst_offset: 0, len: 64 },
+            )
+            .unwrap_err();
+        assert_eq!(err, NtbError::NodeDead);
+        engine.resume();
+        src.fill(0, 64, 5).unwrap();
+        engine.transfer(w, DmaRequest { src, src_offset: 0, dst_offset: 0, len: 64 }).unwrap();
+        assert_eq!(remote.read_vec(0, 64).unwrap(), vec![5u8; 64]);
     }
 
     #[test]

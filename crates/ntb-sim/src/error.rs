@@ -83,6 +83,22 @@ pub enum NtbError {
         /// Total attempts made before giving up.
         attempts: u32,
     },
+    /// This node's own hardware is dead (crashed or powered off): its
+    /// ports, DMA engine and service threads refuse every operation until
+    /// the node is revived. Terminal — distinct from [`LinkDown`],
+    /// which is a property of one cable, not of the host.
+    ///
+    /// [`LinkDown`]: NtbError::LinkDown
+    NodeDead,
+    /// A *remote* PE was confirmed dead by the failure detector at the
+    /// given membership epoch. Terminal — operations addressed to it fail
+    /// fast instead of burning the retry budget.
+    PeFailed {
+        /// The dead PE.
+        pe: usize,
+        /// Membership epoch at which its death was recorded.
+        epoch: u64,
+    },
 }
 
 impl NtbError {
@@ -125,6 +141,10 @@ impl fmt::Display for NtbError {
             NtbError::DmaFault => write!(f, "DMA descriptor completed with an error"),
             NtbError::LinkFailed { attempts } => {
                 write!(f, "link failed: operation abandoned after {attempts} attempts")
+            }
+            NtbError::NodeDead => write!(f, "node is dead (crashed or powered off)"),
+            NtbError::PeFailed { pe, epoch } => {
+                write!(f, "PE {pe} confirmed dead at membership epoch {epoch}")
             }
         }
     }
@@ -169,11 +189,18 @@ mod tests {
         assert!(!NtbError::LinkFailed { attempts: 5 }.is_transient());
         assert!(!NtbError::DmaShutdown.is_transient());
         assert!(!NtbError::NotConnected.is_transient());
+        // Node-death errors are terminal: retrying against a dead host (or
+        // toward a confirmed-dead peer) cannot succeed until a rejoin.
+        assert!(!NtbError::NodeDead.is_transient());
+        assert!(!NtbError::PeFailed { pe: 2, epoch: 3 }.is_transient());
     }
 
     #[test]
     fn display_fault_variants() {
         assert!(NtbError::LinkDown.to_string().contains("down"));
         assert!(NtbError::LinkFailed { attempts: 7 }.to_string().contains('7'));
+        assert!(NtbError::NodeDead.to_string().contains("dead"));
+        let pf = NtbError::PeFailed { pe: 4, epoch: 9 }.to_string();
+        assert!(pf.contains('4') && pf.contains('9'), "{pf}");
     }
 }

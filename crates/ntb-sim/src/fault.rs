@@ -70,6 +70,40 @@ pub struct ScriptedFault {
     pub nth: u64,
 }
 
+/// What a scheduled whole-node fault does to its PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultAction {
+    /// Kill the PE: every port, the DMA engine and the service threads
+    /// stop atomically (operations fail with
+    /// [`NtbError::NodeDead`](crate::error::NtbError)). The node stays
+    /// dead until a scheduled [`NodeFaultAction::Restart`] (or an explicit
+    /// restart call) revives it.
+    Crash,
+    /// Stall the PE for `hold`: its threads and port operations block in
+    /// place (the host froze), then resume untouched — no state is lost,
+    /// so peers must re-admit it without a permanent eviction.
+    Freeze {
+        /// How long the node stays frozen before it thaws.
+        hold: Duration,
+    },
+    /// Revive a crashed PE and drive its rejoin handshake.
+    Restart,
+}
+
+/// A scheduled whole-node fault: at `at` after network bring-up, apply
+/// `action` to PE `pe`. Node faults are node-scoped (unlike every other
+/// entry of the plan, which is matched to links by index); the network
+/// builder runs them from a dedicated orchestrator thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// The PE the fault applies to.
+    pub pe: usize,
+    /// Delay from network bring-up to the fault.
+    pub at: Duration,
+    /// What happens to the PE.
+    pub action: NodeFaultAction,
+}
+
 /// A timed link outage: after the link has carried `after_doorbells`
 /// doorbell events, it goes Down for `duration` — every window write,
 /// doorbell ring and DMA through it fails with
@@ -112,6 +146,10 @@ pub struct FaultPlan {
     pub link_down: Vec<LinkDownWindow>,
     /// One-shot scripted faults, matched to links by index.
     pub scripted: Vec<ScriptedFault>,
+    /// Scheduled whole-node crash/freeze/restart events, matched to PEs
+    /// (executed by the network's fault orchestrator, not the per-link
+    /// injectors).
+    pub node_faults: Vec<NodeFault>,
 }
 
 impl Default for FaultPlan {
@@ -127,6 +165,7 @@ impl Default for FaultPlan {
             dma_stall: Duration::from_millis(5),
             link_down: Vec::new(),
             scripted: Vec::new(),
+            node_faults: Vec::new(),
         }
     }
 }
@@ -197,8 +236,31 @@ impl FaultPlan {
         self
     }
 
-    /// Whether this plan can inject anything at all (used to keep the
-    /// empty plan off the hot path).
+    /// Schedule PE `pe` to crash `at` after bring-up.
+    pub fn with_node_crash(mut self, pe: usize, at: Duration) -> Self {
+        self.node_faults.push(NodeFault { pe, at, action: NodeFaultAction::Crash });
+        self
+    }
+
+    /// Schedule PE `pe` to freeze `at` after bring-up and thaw after
+    /// `hold`.
+    pub fn with_node_freeze(mut self, pe: usize, at: Duration, hold: Duration) -> Self {
+        self.node_faults.push(NodeFault { pe, at, action: NodeFaultAction::Freeze { hold } });
+        self
+    }
+
+    /// Schedule a crashed PE `pe` to restart (and rejoin) `at` after
+    /// bring-up.
+    pub fn with_node_restart(mut self, pe: usize, at: Duration) -> Self {
+        self.node_faults.push(NodeFault { pe, at, action: NodeFaultAction::Restart });
+        self
+    }
+
+    /// Whether this plan can inject anything at all *on a link's hot
+    /// path*. Node faults are deliberately excluded: they are executed by
+    /// the network orchestrator, and arming the per-link CRC machinery
+    /// for them would tax every clean link for a fault that never touches
+    /// the wire. See [`has_node_faults`](Self::has_node_faults).
     pub fn is_active(&self) -> bool {
         self.doorbell_drop_rate > 0.0
             || self.payload_corrupt_rate > 0.0
@@ -207,6 +269,12 @@ impl FaultPlan {
             || self.ack_drop_rate > 0.0
             || !self.link_down.is_empty()
             || !self.scripted.is_empty()
+    }
+
+    /// Whether the plan schedules any whole-node faults (consulted by the
+    /// network builder to decide if the orchestrator thread is needed).
+    pub fn has_node_faults(&self) -> bool {
+        !self.node_faults.is_empty()
     }
 }
 
@@ -601,5 +669,25 @@ mod tests {
         assert!(FaultPlan::none().with_doorbell_drop(0.01).is_active());
         assert!(FaultPlan::none().with_link_down(0, 0, Duration::ZERO).is_active());
         assert!(FaultPlan::none().with_scripted(0, FaultAction::FailDma, 1).is_active());
+    }
+
+    #[test]
+    fn node_faults_schedule_without_arming_links() {
+        let plan = FaultPlan::none()
+            .with_node_crash(2, Duration::from_millis(10))
+            .with_node_freeze(1, Duration::from_millis(5), Duration::from_millis(20))
+            .with_node_restart(2, Duration::from_millis(50));
+        assert!(plan.has_node_faults());
+        // Node faults are orchestrator-scoped: the link hot path (CRC
+        // checks, injector decisions) stays disarmed.
+        assert!(!plan.is_active());
+        assert_eq!(plan.node_faults.len(), 3);
+        assert_eq!(plan.node_faults[0].action, NodeFaultAction::Crash);
+        assert_eq!(
+            plan.node_faults[1].action,
+            NodeFaultAction::Freeze { hold: Duration::from_millis(20) }
+        );
+        assert_eq!(plan.node_faults[2].action, NodeFaultAction::Restart);
+        assert!(!FaultPlan::none().has_node_faults());
     }
 }

@@ -48,8 +48,8 @@ pub use dma::{DmaEngine, DmaHandle, DmaRequest};
 pub use doorbell::{Doorbell, DoorbellWaiter, DOORBELL_BITS};
 pub use error::{NtbError, Result};
 pub use fault::{
-    DmaFaultOutcome, FaultAction, FaultInjector, FaultPlan, LinkDownWindow, ScriptedFault,
-    DATA_DOORBELL_MASK,
+    DmaFaultOutcome, FaultAction, FaultInjector, FaultPlan, LinkDownWindow, NodeFault,
+    NodeFaultAction, ScriptedFault, DATA_DOORBELL_MASK,
 };
 pub use link::{LaneCount, LinkHealth, LinkHealthTracker, LinkSpec, PcieGen};
 pub use memory::{HostMemory, Region};

@@ -66,6 +66,14 @@ pub enum EventKind {
     LinkUp,
     /// A probe write toward a Down endpoint.
     ProbeTx,
+    /// A PE's hardware was killed by fault injection (`op_id` = PE).
+    NodeCrash,
+    /// A PE's hardware was frozen (`op_id` = PE, `payload[0]` = hold µs).
+    NodeFreeze,
+    /// A frozen PE was released (`op_id` = PE).
+    NodeThaw,
+    /// A crashed PE was restarted and begins its rejoin (`op_id` = PE).
+    NodeRestart,
 
     // --- ntb-net: protocol events -----------------------------------
     /// A frame was published into the peer mailbox (`op_id` = frame aux,
@@ -136,6 +144,22 @@ pub enum EventKind {
     AmoDone,
     /// The AMO was abandoned at the origin (`op_id` = req id).
     AmoAbandon,
+    /// The failure detector began suspecting a peer (`op_id` = current
+    /// membership epoch, `payload` = [suspect pe, missed beats]).
+    PeSuspect,
+    /// A peer was confirmed dead (`op_id` = new membership epoch,
+    /// `payload[0]` = dead pe).
+    PeDead,
+    /// A peer rejoined the membership (`op_id` = new membership epoch,
+    /// `payload` = [rejoined pe, 1 if crash-restart else 0]).
+    PeRejoin,
+    /// The emitting PE adopted or originated a membership view (`op_id`
+    /// = epoch, `payload[0]` = live bitmap).
+    MembershipUpdate,
+    /// A router/forwarder dropped a frame — destined to a known-dead PE
+    /// or carrying an out-of-range src/dest (`op_id` = frame aux,
+    /// `payload` = [dest, reason code]).
+    RouterDrop,
 
     // --- shmem-core: API-level events -------------------------------
     /// `shmem_put` entered (`op_id` = per-PE op counter, `payload` =
@@ -160,6 +184,9 @@ pub enum EventKind {
     BarrierRound,
     /// A PE left `barrier_all` (`op_id` = epoch).
     BarrierEnd,
+    /// A barrier wait ran out of budget (`op_id` = epoch, `payload` =
+    /// [neighbour PE waited on, phase code]).
+    BarrierStall,
     /// `shmem_quiet` entered (`op_id` = op counter).
     QuietStart,
     /// `shmem_quiet` returned (`op_id` matches, `payload[0]` = 1 on
@@ -182,6 +209,10 @@ impl EventKind {
             EventKind::LinkDown => "link_down",
             EventKind::LinkUp => "link_up",
             EventKind::ProbeTx => "probe_tx",
+            EventKind::NodeCrash => "node_crash",
+            EventKind::NodeFreeze => "node_freeze",
+            EventKind::NodeThaw => "node_thaw",
+            EventKind::NodeRestart => "node_restart",
             EventKind::FrameTx => "frame_tx",
             EventKind::FrameRx => "frame_rx",
             EventKind::FrameFwd => "frame_fwd",
@@ -207,6 +238,11 @@ impl EventKind {
             EventKind::AmoReplay => "amo_replay",
             EventKind::AmoDone => "amo_done",
             EventKind::AmoAbandon => "amo_abandon",
+            EventKind::PeSuspect => "pe_suspect",
+            EventKind::PeDead => "pe_dead",
+            EventKind::PeRejoin => "pe_rejoin",
+            EventKind::MembershipUpdate => "membership_update",
+            EventKind::RouterDrop => "router_drop",
             EventKind::ApiPutIssue => "api_put_issue",
             EventKind::ApiPutComplete => "api_put_complete",
             EventKind::ApiGetIssue => "api_get_issue",
@@ -216,6 +252,7 @@ impl EventKind {
             EventKind::BarrierStart => "barrier_start",
             EventKind::BarrierRound => "barrier_round",
             EventKind::BarrierEnd => "barrier_end",
+            EventKind::BarrierStall => "barrier_stall",
             EventKind::QuietStart => "quiet_start",
             EventKind::QuietEnd => "quiet_end",
             EventKind::Fence => "fence",
@@ -657,17 +694,21 @@ pub struct LinkMetrics {
     pub reroutes: AtomicU64,
     /// Frames rejected by the CRC check on this link.
     pub crc_rejects: AtomicU64,
+    /// Frames the router discarded: out-of-range src/dest, or destined
+    /// to a PE known to be dead.
+    pub router_drops: AtomicU64,
 }
 
 impl LinkMetrics {
     fn to_json(&self) -> String {
         format!(
-            "{{\"frames_tx\":{},\"frames_rx\":{},\"retransmits\":{},\"reroutes\":{},\"crc_rejects\":{}}}",
+            "{{\"frames_tx\":{},\"frames_rx\":{},\"retransmits\":{},\"reroutes\":{},\"crc_rejects\":{},\"router_drops\":{}}}",
             get(&self.frames_tx),
             get(&self.frames_rx),
             get(&self.retransmits),
             get(&self.reroutes),
             get(&self.crc_rejects),
+            get(&self.router_drops),
         )
     }
 }

@@ -8,7 +8,7 @@
 //! doorbells, and program each side's requester ID into the peer's LUT.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -89,6 +89,11 @@ pub struct NtbPort {
     link: Arc<LinkTimer>,
     obs: Obs,
     dma_seq: AtomicU64,
+    /// Node vitals: a dead port refuses every transaction with
+    /// [`NtbError::NodeDead`]; a frozen port stalls callers until thawed
+    /// (or killed), modelling a hung-but-not-crashed host.
+    dead: AtomicBool,
+    frozen: AtomicBool,
 }
 
 impl fmt::Debug for NtbPort {
@@ -101,6 +106,58 @@ impl NtbPort {
     /// This port's identity.
     pub fn id(&self) -> PortId {
         self.id
+    }
+
+    /// Vitals gate applied at the top of every transaction path. A dead
+    /// port fails fast; a frozen one stalls its caller — exactly what a
+    /// hung host does to a PCIe initiator — until thawed or killed.
+    fn gate(&self) -> Result<()> {
+        loop {
+            if self.dead.load(Ordering::SeqCst) {
+                return Err(NtbError::NodeDead);
+            }
+            if !self.frozen.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Kill this port: all subsequent transactions fail with
+    /// [`NtbError::NodeDead`] and queued DMA jobs are aborted.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        self.frozen.store(false, Ordering::SeqCst);
+        self.dma.halt();
+    }
+
+    /// Freeze this port: transactions stall until [`thaw`](Self::thaw)
+    /// (or [`kill`](Self::kill)).
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::SeqCst);
+    }
+
+    /// Release a freeze; stalled callers resume.
+    pub fn thaw(&self) {
+        self.frozen.store(false, Ordering::SeqCst);
+    }
+
+    /// Bring a killed port back: clears both vitals flags and resumes the
+    /// DMA engine. The layers above re-run their handshakes.
+    pub fn revive(&self) {
+        self.dead.store(false, Ordering::SeqCst);
+        self.frozen.store(false, Ordering::SeqCst);
+        self.dma.resume();
+    }
+
+    /// Whether this port has been killed (and not yet revived).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Whether this port is currently frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::SeqCst)
     }
 
     /// The adapter's PCIe configuration header (enumeration surface: the
@@ -122,6 +179,7 @@ impl NtbPort {
 
     /// Write one scratchpad register (stats-accounted).
     pub fn spad_write(&self, index: usize, value: u32) -> Result<()> {
+        self.gate()?;
         self.stats.add_scratchpad_access();
         self.obs.emit(EventKind::SpadWrite, index as u64, [value as u64, 0]);
         self.scratchpads.write(index, value)
@@ -129,6 +187,7 @@ impl NtbPort {
 
     /// Read one scratchpad register (stats-accounted).
     pub fn spad_read(&self, index: usize) -> Result<u32> {
+        self.gate()?;
         self.stats.add_scratchpad_access();
         self.scratchpads.read(index)
     }
@@ -141,6 +200,7 @@ impl NtbPort {
     /// posted write — exactly the failure mode a lossy fabric produces,
     /// which the recovery layer above must detect by timeout.
     pub fn ring_peer(&self, bit: u32) -> Result<()> {
+        self.gate()?;
         let faults = self.outgoing.faults();
         if faults.link_is_down() {
             return Err(NtbError::LinkDown);
@@ -215,6 +275,7 @@ impl NtbPort {
 
     /// Submit an asynchronous DMA descriptor through the outgoing window.
     pub fn dma_submit(&self, req: DmaRequest) -> Result<DmaHandle> {
+        self.gate()?;
         // lint: relaxed-ok(unique job-id allocation; uniqueness needs atomicity, not ordering)
         let job = self.dma_seq.fetch_add(1, Ordering::Relaxed);
         self.obs.emit(EventKind::DmaSubmit, job, [req.dst_offset, req.len]);
@@ -223,6 +284,7 @@ impl NtbPort {
 
     /// Synchronous DMA transfer through the outgoing window.
     pub fn dma_transfer(&self, req: DmaRequest) -> Result<()> {
+        self.gate()?;
         // lint: relaxed-ok(unique job-id allocation; uniqueness needs atomicity, not ordering)
         let job = self.dma_seq.fetch_add(1, Ordering::Relaxed);
         self.obs.emit(EventKind::DmaSubmit, job, [req.dst_offset, req.len]);
@@ -237,6 +299,7 @@ impl NtbPort {
     /// Synchronous DMA transfer of a whole descriptor chain: one engine
     /// submission, one completion for the entire batch.
     pub fn dma_transfer_chain(&self, reqs: Vec<DmaRequest>) -> Result<()> {
+        self.gate()?;
         // lint: relaxed-ok(unique job-id allocation; uniqueness needs atomicity, not ordering)
         let job = self.dma_seq.fetch_add(1, Ordering::Relaxed);
         let total: u64 = reqs.iter().map(|r| r.len).sum();
@@ -251,11 +314,13 @@ impl NtbPort {
 
     /// CPU-`memcpy` (PIO) write through the window.
     pub fn pio_write(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.gate()?;
         self.outgoing.write_bytes(offset, data, TransferMode::Memcpy)
     }
 
     /// CPU (PIO) read through the window. Slow: non-posted reads.
     pub fn pio_read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.gate()?;
         self.outgoing.read_bytes(offset, buf, TransferMode::Memcpy)
     }
 
@@ -269,6 +334,7 @@ impl NtbPort {
         len: u64,
         mode: TransferMode,
     ) -> Result<()> {
+        self.gate()?;
         match mode {
             TransferMode::Dma => {
                 self.dma_transfer(DmaRequest { src: src.clone(), src_offset, dst_offset, len })
@@ -414,6 +480,8 @@ pub fn connect_ports_observed(
         link: Arc::clone(&link),
         obs: obs_a,
         dma_seq: AtomicU64::new(0),
+        dead: AtomicBool::new(false),
+        frozen: AtomicBool::new(false),
     });
     let port_b = Arc::new(NtbPort {
         id: cfg_b.id,
@@ -430,6 +498,8 @@ pub fn connect_ports_observed(
         link,
         obs: obs_b,
         dma_seq: AtomicU64::new(0),
+        dead: AtomicBool::new(false),
+        frozen: AtomicBool::new(false),
     });
     Ok((port_a, port_b))
 }
@@ -676,6 +746,55 @@ mod tests {
         assert_eq!(b.incoming().region().read_vec(0, 1).unwrap(), vec![0]);
         a.dma_transfer(DmaRequest { src, src_offset: 0, dst_offset: 0, len: 128 }).unwrap();
         assert_eq!(b.incoming().region().read_vec(0, 128).unwrap(), vec![0x77; 128]);
+    }
+
+    #[test]
+    fn killed_port_refuses_everything_until_revived() {
+        let (a, b) = pair();
+        a.kill();
+        assert!(a.is_dead());
+        assert_eq!(a.spad_write(0, 1).unwrap_err(), NtbError::NodeDead);
+        assert_eq!(a.spad_read(0).unwrap_err(), NtbError::NodeDead);
+        assert_eq!(a.ring_peer(0).unwrap_err(), NtbError::NodeDead);
+        assert_eq!(a.pio_write(0, b"x").unwrap_err(), NtbError::NodeDead);
+        let src = Region::anonymous(16);
+        assert_eq!(
+            a.dma_transfer(DmaRequest { src: src.clone(), src_offset: 0, dst_offset: 0, len: 16 })
+                .unwrap_err(),
+            NtbError::NodeDead
+        );
+        assert!(!NtbError::NodeDead.is_transient());
+        a.revive();
+        assert!(!a.is_dead());
+        a.pio_write(0, b"back").unwrap();
+        a.dma_transfer(DmaRequest { src, src_offset: 0, dst_offset: 64, len: 16 }).unwrap();
+        assert_eq!(b.incoming().region().read_vec(0, 4).unwrap(), b"back");
+    }
+
+    #[test]
+    fn frozen_port_stalls_until_thawed() {
+        let (a, b) = pair();
+        a.freeze();
+        assert!(a.is_frozen());
+        let a2 = Arc::clone(&a);
+        let h = std::thread::spawn(move || a2.pio_write(0, b"thawed"));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!h.is_finished(), "frozen port must stall its caller");
+        a.thaw();
+        h.join().unwrap().unwrap();
+        assert_eq!(b.incoming().region().read_vec(0, 6).unwrap(), b"thawed");
+    }
+
+    #[test]
+    fn kill_while_frozen_fails_stalled_caller() {
+        let (a, _b) = pair();
+        a.freeze();
+        let a2 = Arc::clone(&a);
+        let h = std::thread::spawn(move || a2.spad_read(0));
+        std::thread::sleep(Duration::from_millis(20));
+        a.kill();
+        assert_eq!(h.join().unwrap().unwrap_err(), NtbError::NodeDead);
+        assert!(!a.is_frozen(), "kill supersedes freeze");
     }
 
     #[test]

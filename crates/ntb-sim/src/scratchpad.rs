@@ -1,11 +1,12 @@
 //! ScratchPad registers.
 //!
-//! Each NTB link exposes eight 32-bit ScratchPad registers that both
+//! Each NTB link exposes a bank of 32-bit ScratchPad registers that both
 //! connected ports can read and write directly (paper §II-A). The paper's
 //! protocol uses them as a mailbox for transfer metadata (`SrcId`, `DestId`,
 //! symmetric-heap index, offset, size, send/receive flag) published just
 //! before a doorbell ring, and for the host-id / BAR-region exchange during
-//! `shmem_init`.
+//! `shmem_init`. The upper half of the bank carries the liveness
+//! heartbeat and gossiped membership view of the failure detector.
 //!
 //! Each access is a 32-bit non-posted PCIe transaction, so the model charges
 //! [`TimeModel::scratchpad_latency`] per register read or write.
@@ -16,8 +17,11 @@ use std::sync::Arc;
 use crate::error::{NtbError, Result};
 use crate::timing::TimeModel;
 
-/// Number of scratchpad registers per link (PEX 87xx exposes eight).
-pub const SCRATCHPAD_COUNT: usize = 8;
+/// Number of scratchpad registers per link. The PEX 87xx exposes eight
+/// per port pair; the model doubles the bank so registers 0–7 stay the
+/// paper's mailbox/handshake block while 8–15 host the heartbeat and
+/// membership-gossip block of the failure detector.
+pub const SCRATCHPAD_COUNT: usize = 16;
 
 /// The shared register file of one link. Both ports of a connected pair
 /// hold handles to the same bank, exactly like the hardware registers are
@@ -123,9 +127,9 @@ mod tests {
     #[test]
     fn block_bounds() {
         let b = bank();
-        assert!(b.write_block(6, &[1, 2, 3]).is_err());
-        assert!(b.read_block(7, 2).is_err());
-        assert!(b.write_block(5, &[1, 2, 3]).is_ok());
+        assert!(b.write_block(SCRATCHPAD_COUNT - 2, &[1, 2, 3]).is_err());
+        assert!(b.read_block(SCRATCHPAD_COUNT - 1, 2).is_err());
+        assert!(b.write_block(SCRATCHPAD_COUNT - 3, &[1, 2, 3]).is_ok());
     }
 
     #[test]

@@ -6,7 +6,15 @@
 //! simplest correct shape: data moves with puts, and the barrier provides
 //! the entry/exit synchronization the OpenSHMEM collectives specify over
 //! their active set (here always the full world, as in the paper).
+//!
+//! Under a degraded membership (a PE confirmed dead by the heartbeat
+//! detector) the data-movement loops address the **live** PEs only, or
+//! the collective fails fast with `PeFailed`, per
+//! [`DegradedPolicy`](crate::config::DegradedPolicy). Dead PEs' slots in
+//! gathered results keep whatever the local copy last held (zero for
+//! `calloc`-ed scratch), and reductions combine live contributions only.
 
+use crate::config::DegradedPolicy;
 use crate::ctx::ShmemCtx;
 use crate::error::{Result, ShmemError};
 use crate::symmetric::TypedSym;
@@ -86,6 +94,21 @@ impl_reduce_int!(u8, u16, u32, u64, i8, i16, i32, i64);
 impl_reduce_float!(f32, f64);
 
 impl ShmemCtx {
+    /// The PE set a world collective addresses: every PE on a
+    /// full-strength ring; under a degraded membership, the live PEs
+    /// (policy [`DegradedPolicy::Degrade`]) or
+    /// [`ShmemError::PeFailed`] (policy [`DegradedPolicy::Fail`]).
+    pub(crate) fn collective_peers(&self) -> Result<Vec<usize>> {
+        let n = self.num_pes();
+        let view = self.node.membership().view();
+        let live = view.live_pes(n);
+        if live.len() == n || self.cfg.degraded_policy == DegradedPolicy::Degrade {
+            return Ok(live);
+        }
+        let pe = (0..n).find(|&p| !view.is_live(p)).unwrap_or(0);
+        Err(ShmemError::PeFailed { pe, epoch: view.epoch })
+    }
+
     /// `shmem_broadcast`: replicate `count` elements starting at `index`
     /// of `root`'s copy of `sym` into every other PE's copy. Collective.
     pub fn broadcast<T: ShmemScalar>(
@@ -96,11 +119,16 @@ impl ShmemCtx {
         root: usize,
     ) -> Result<()> {
         self.check_pe(root)?;
+        if !self.is_pe_live(root) {
+            // No policy can help: the data source itself is gone.
+            return Err(ShmemError::PeFailed { pe: root, epoch: self.membership_epoch() });
+        }
+        let peers = self.collective_peers()?;
         // Entry barrier: everyone's buffers are ready to be overwritten.
         self.barrier_all()?;
         if self.my_pe() == root {
             let data = self.read_local_slice(sym, index, count)?;
-            for pe in 0..self.num_pes() {
+            for pe in peers {
                 if pe != root {
                     self.put_slice(sym, index, &data, pe)?;
                 }
@@ -118,10 +146,11 @@ impl ShmemCtx {
         if dest.count() != n * src.len() {
             return Err(ShmemError::Runtime("fcollect: dest.count() != num_pes * src.len()"));
         }
+        let peers = self.collective_peers()?;
         self.barrier_all()?;
         let slot = self.my_pe() * src.len();
         self.write_local_slice(dest, slot, src)?;
-        for pe in 0..n {
+        for pe in peers {
             if pe != self.my_pe() {
                 self.put_slice(dest, slot, src, pe)?;
             }
@@ -142,9 +171,10 @@ impl ShmemCtx {
         if src.len() != n * block || dest.count() != n * block {
             return Err(ShmemError::Runtime("alltoall: arrays must hold num_pes * block elements"));
         }
+        let peers = self.collective_peers()?;
         self.barrier_all()?;
         let me = self.my_pe();
-        for pe in 0..n {
+        for pe in peers {
             let chunk = &src[pe * block..(pe + 1) * block];
             if pe == me {
                 self.write_local_slice(dest, me * block, chunk)?;
@@ -172,13 +202,17 @@ impl ShmemCtx {
     /// paper's primitives support directly). Collective.
     pub fn allreduce<T: ShmemReduce>(&self, op: ReduceOp, src: &[T]) -> Result<Vec<T>> {
         let n = self.num_pes();
-        // Collective allocation is safe: all PEs execute the same call.
+        // Only live PEs contribute; a dead PE's scratch slot would hold
+        // stale bytes, so it must not be folded into the result.
+        let contributors = self.collective_peers()?;
+        // Collective allocation is safe: all (live) PEs execute the same
+        // call.
         let scratch: TypedSym<T> = self.malloc_array(n * src.len())?;
         let result = (|| {
             self.fcollect(&scratch, src)?;
             let all = self.read_local_slice(&scratch, 0, n * src.len())?;
             let mut out = vec![T::identity(op); src.len()];
-            for pe in 0..n {
+            for pe in contributors {
                 for (i, item) in out.iter_mut().enumerate() {
                     *item = T::combine(op, *item, all[pe * src.len() + i]);
                 }
@@ -208,6 +242,12 @@ impl ShmemCtx {
         use crate::sync::CmpOp;
         self.check_pe(root)?;
         let n = self.num_pes();
+        if self.collective_peers()?.len() < n {
+            // The pipeline is structural (every PE forwards to its right
+            // neighbour), so a dead PE breaks it; fall back to the flat
+            // root-fanout broadcast over the live membership.
+            return self.broadcast(sym, index, count, root);
+        }
         let sig: TypedSym<u64> = self.calloc_array(1)?; // collective + entry sync
         let result = (|| {
             if n == 1 {
@@ -253,9 +293,10 @@ impl ShmemCtx {
             }
             let my_off: u64 = all_sizes[..self.my_pe()].iter().sum();
             // Phase 2: everyone places its block at its prefix offset on
-            // every PE.
+            // every (live) PE. A dead PE's size slot stayed zero in the
+            // fcollect, so it contributes nothing to the offsets.
             self.write_local_slice(dest, my_off as usize, src)?;
-            for pe in 0..n {
+            for pe in self.collective_peers()? {
                 if pe != self.my_pe() {
                     self.put_slice(dest, my_off as usize, src, pe)?;
                 }

@@ -21,6 +21,26 @@ pub enum BarrierAlgorithm {
     Dissemination,
 }
 
+/// What collectives do once the heartbeat failure detector has evicted a
+/// PE from the ring membership.
+///
+/// With the detector disabled (the default [`HeartbeatConfig`]) the
+/// membership never degrades and this knob is inert.
+///
+/// [`HeartbeatConfig`]: ntb_net::HeartbeatConfig
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Refuse: collectives return
+    /// [`ShmemError::PeFailed`](crate::error::ShmemError::PeFailed) while
+    /// any PE is dead, keeping the SPMD contract explicit. The default.
+    #[default]
+    Fail,
+    /// Continue over the live membership: barriers synchronize the
+    /// survivors (a dissemination barrier over the live set) and data
+    /// collectives skip dead destinations.
+    Degrade,
+}
+
 /// Configuration of a [`ShmemWorld`](crate::runtime::ShmemWorld).
 #[derive(Debug, Clone)]
 pub struct ShmemConfig {
@@ -38,6 +58,9 @@ pub struct ShmemConfig {
     pub wait_timeout: Duration,
     /// Barrier algorithm (default: the paper's ring sweep).
     pub barrier_algorithm: BarrierAlgorithm,
+    /// Collective behaviour under a degraded membership (a PE confirmed
+    /// dead by the heartbeat detector).
+    pub degraded_policy: DegradedPolicy,
 }
 
 impl ShmemConfig {
@@ -62,6 +85,7 @@ impl ShmemConfig {
             barrier_timeout: Duration::from_secs(60),
             wait_timeout: Duration::from_secs(60),
             barrier_algorithm: BarrierAlgorithm::RingSweep,
+            degraded_policy: DegradedPolicy::Fail,
         }
     }
 
@@ -112,6 +136,19 @@ impl ShmemConfig {
     /// Select the barrier algorithm.
     pub fn with_barrier_algorithm(mut self, alg: BarrierAlgorithm) -> Self {
         self.barrier_algorithm = alg;
+        self
+    }
+
+    /// Select the degraded-membership collective policy.
+    pub fn with_degraded_policy(mut self, policy: DegradedPolicy) -> Self {
+        self.degraded_policy = policy;
+        self
+    }
+
+    /// Enable/tune the heartbeat failure detector (whole-PE death
+    /// detection through neighbour scratchpads).
+    pub fn with_heartbeat(mut self, heartbeat: ntb_net::HeartbeatConfig) -> Self {
+        self.net.heartbeat = heartbeat;
         self
     }
 
@@ -228,6 +265,19 @@ impl ShmemConfigBuilder {
         self
     }
 
+    /// Degraded-membership collective policy (fail fast or continue over
+    /// the live PEs).
+    pub fn degraded_policy(mut self, policy: DegradedPolicy) -> Self {
+        self.cfg.degraded_policy = policy;
+        self
+    }
+
+    /// Heartbeat failure-detector tuning (disabled by default).
+    pub fn heartbeat(mut self, heartbeat: ntb_net::HeartbeatConfig) -> Self {
+        self.cfg.net.heartbeat = heartbeat;
+        self
+    }
+
     /// `shmem_barrier_all` timeout.
     pub fn barrier_timeout(mut self, t: Duration) -> Self {
         self.cfg.barrier_timeout = t;
@@ -337,6 +387,18 @@ mod tests {
         assert_eq!(c.net.tx_slots, 4);
         assert_eq!(c.net.batch_cap(), 2);
         assert_eq!(c.net.pio_crossover, 512);
+    }
+
+    #[test]
+    fn builder_covers_failure_knobs() {
+        let c = ShmemConfig::builder()
+            .hosts(5)
+            .heartbeat(ntb_net::HeartbeatConfig::fast())
+            .degraded_policy(DegradedPolicy::Degrade)
+            .build();
+        assert!(c.net.heartbeat.enabled);
+        assert_eq!(c.degraded_policy, DegradedPolicy::Degrade);
+        assert_eq!(ShmemConfig::fast_sim().degraded_policy, DegradedPolicy::Fail);
     }
 
     #[test]

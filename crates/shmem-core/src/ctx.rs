@@ -143,6 +143,12 @@ pub struct ShmemCtx {
     pub(crate) barrier_flags: TypedSym<u64>,
     /// Monotonic epoch of the dissemination barrier.
     pub(crate) barrier_epoch: std::sync::atomic::AtomicU64,
+    /// Round flags of the degraded-membership barrier (separate from
+    /// `barrier_flags` so full-strength and degraded barriers can never
+    /// confuse each other's signals).
+    pub(crate) degraded_flags: TypedSym<u64>,
+    /// Monotonic epoch of the degraded-membership barrier.
+    pub(crate) degraded_epoch: AtomicU64,
     /// Monotonic id generator for API-level trace events (put/get/AMO
     /// issue/complete pairs share one id).
     pub(crate) api_op: AtomicU64,
@@ -166,12 +172,17 @@ impl ShmemCtx {
         let flags_addr = heap.malloc((BARRIER_ROUNDS * <u64 as ShmemScalar>::WIDTH) as u64)?;
         heap.fill_flat(flags_addr.offset(), flags_addr.len(), 0)?;
         let barrier_flags = TypedSym::new(flags_addr, BARRIER_ROUNDS)?;
+        let degraded_addr = heap.malloc((BARRIER_ROUNDS * <u64 as ShmemScalar>::WIDTH) as u64)?;
+        heap.fill_flat(degraded_addr.offset(), degraded_addr.len(), 0)?;
+        let degraded_flags = TypedSym::new(degraded_addr, BARRIER_ROUNDS)?;
         Ok(ShmemCtx {
             node,
             heap,
             cfg,
             barrier_flags,
             barrier_epoch: std::sync::atomic::AtomicU64::new(0),
+            degraded_flags,
+            degraded_epoch: AtomicU64::new(0),
             api_op: AtomicU64::new(0),
             barrier_trace_epoch: AtomicU64::new(0),
         })
@@ -216,6 +227,23 @@ impl ShmemCtx {
     /// This PE's symmetric heap (introspection and tests).
     pub fn heap(&self) -> &Arc<SymmetricHeap> {
         &self.heap
+    }
+
+    /// PEs this node's heartbeat failure detector currently believes
+    /// alive. With the detector disabled this is always every PE.
+    pub fn live_pes(&self) -> Vec<usize> {
+        self.node.membership().live_pes()
+    }
+
+    /// Whether `pe` is currently believed alive.
+    pub fn is_pe_live(&self, pe: usize) -> bool {
+        self.node.membership().is_live(pe)
+    }
+
+    /// The current membership epoch (bumps on every confirmed death and
+    /// every rejoin; 0 until the first transition).
+    pub fn membership_epoch(&self) -> u64 {
+        self.node.membership().epoch()
     }
 
     pub(crate) fn check_pe(&self, pe: usize) -> Result<()> {
@@ -626,6 +654,13 @@ impl ShmemCtx {
                 bytes_rx += p.bytes_rx;
             }
         }
+        let metrics = self.node.metrics();
+        let mut router_drops = 0;
+        for i in 0..metrics.link_count() {
+            if let Some(l) = metrics.link(i) {
+                router_drops += ld(&l.router_drops);
+            }
+        }
         PeStats {
             frames_rx: ld(&s.frames_rx),
             forwards: ld(&s.forwards),
@@ -639,6 +674,7 @@ impl ShmemCtx {
             duplicates_suppressed: ld(&s.duplicates_suppressed),
             probes_sent: ld(&s.probes_sent),
             link_down_events: ld(&s.link_down_events),
+            router_drops,
             bytes_tx,
             bytes_rx,
             heap_capacity: self.heap.capacity(),
@@ -674,6 +710,10 @@ pub struct PeStats {
     pub probes_sent: u64,
     /// Link-endpoint transitions into the `Down` state.
     pub link_down_events: u64,
+    /// Frames the router discarded instead of forwarding (out-of-range
+    /// header fields, or a destination PE known dead) — previously silent
+    /// drops, now counted.
+    pub router_drops: u64,
     /// Bytes transmitted through both NTB adapters.
     pub bytes_tx: u64,
     /// Bytes received through both NTB adapters.
@@ -691,7 +731,8 @@ impl PeStats {
             "{{\"frames_rx\":{},\"forwards\":{},\"puts_delivered\":{},\"gets_served\":{},\
              \"acks_received\":{},\"amos_served\":{},\"retransmits\":{},\
              \"checksum_rejects\":{},\"reroutes\":{},\"duplicates_suppressed\":{},\
-             \"probes_sent\":{},\"link_down_events\":{},\"bytes_tx\":{},\"bytes_rx\":{},\
+             \"probes_sent\":{},\"link_down_events\":{},\"router_drops\":{},\
+             \"bytes_tx\":{},\"bytes_rx\":{},\
              \"heap_capacity\":{},\"heap_live_bytes\":{}}}",
             self.frames_rx,
             self.forwards,
@@ -705,6 +746,7 @@ impl PeStats {
             self.duplicates_suppressed,
             self.probes_sent,
             self.link_down_events,
+            self.router_drops,
             self.bytes_tx,
             self.bytes_rx,
             self.heap_capacity,
@@ -721,6 +763,7 @@ impl PeStats {
             + self.duplicates_suppressed
             + self.probes_sent
             + self.link_down_events
+            + self.router_drops
     }
 }
 

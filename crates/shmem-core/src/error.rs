@@ -4,6 +4,8 @@ use std::fmt;
 
 use ntb_sim::NtbError;
 
+use crate::barrier::BarrierPhase;
+
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, ShmemError>;
 
@@ -44,8 +46,25 @@ pub enum ShmemError {
         num_pes: usize,
     },
     /// `shmem_barrier_all` did not complete within the configured timeout
-    /// (a peer died or diverged).
-    BarrierTimeout,
+    /// (a peer died or diverged). Carries which protocol phase stalled and
+    /// which neighbour PE the signal was expected from, so a hung run
+    /// names its culprit instead of just "timed out".
+    BarrierTimeout {
+        /// The barrier phase that was in progress when time ran out.
+        phase: BarrierPhase,
+        /// The PE whose signal never arrived.
+        waiting_on: usize,
+    },
+    /// A peer PE was confirmed dead by the heartbeat failure detector.
+    /// Operations addressed to it (and collectives that require it, under
+    /// [`DegradedPolicy::Fail`](crate::config::DegradedPolicy)) fail fast
+    /// with this error instead of burning retry budgets.
+    PeFailed {
+        /// The dead PE.
+        pe: usize,
+        /// Membership epoch at which its death was recorded.
+        epoch: u64,
+    },
     /// `wait_until` exceeded the configured timeout.
     WaitTimeout,
     /// The runtime was misused (documented in the message).
@@ -71,7 +90,12 @@ impl fmt::Display for ShmemError {
             ShmemError::BadPe { pe, num_pes } => {
                 write!(f, "PE {pe} out of range (num_pes = {num_pes})")
             }
-            ShmemError::BarrierTimeout => write!(f, "shmem_barrier_all timed out"),
+            ShmemError::BarrierTimeout { phase, waiting_on } => {
+                write!(f, "shmem_barrier_all timed out in the {phase} waiting on PE {waiting_on}")
+            }
+            ShmemError::PeFailed { pe, epoch } => {
+                write!(f, "PE {pe} confirmed dead at membership epoch {epoch}")
+            }
             ShmemError::WaitTimeout => write!(f, "shmem_wait_until timed out"),
             ShmemError::Runtime(msg) => write!(f, "runtime misuse: {msg}"),
         }
@@ -91,6 +115,7 @@ impl From<NtbError> for ShmemError {
     fn from(e: NtbError) -> Self {
         match e {
             NtbError::LinkFailed { attempts } => ShmemError::LinkFailed { attempts },
+            NtbError::PeFailed { pe, epoch } => ShmemError::PeFailed { pe, epoch },
             other => ShmemError::Net(other),
         }
     }
@@ -102,10 +127,14 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(ShmemError::BarrierTimeout.to_string().contains("barrier"));
+        let bt = ShmemError::BarrierTimeout { phase: BarrierPhase::EndSweep, waiting_on: 3 };
+        let s = bt.to_string();
+        assert!(s.contains("barrier") && s.contains("end sweep") && s.contains("PE 3"), "{s}");
         assert!(ShmemError::OutOfSymmetricMemory { requested: 42 }.to_string().contains("42"));
         assert!(ShmemError::BadPe { pe: 9, num_pes: 3 }.to_string().contains("9"));
         assert!(ShmemError::InvalidFree { offset: 0x40 }.to_string().contains("0x40"));
+        let pf = ShmemError::PeFailed { pe: 4, epoch: 7 }.to_string();
+        assert!(pf.contains('4') && pf.contains('7'), "{pf}");
     }
 
     #[test]
@@ -121,5 +150,11 @@ mod tests {
         let e: ShmemError = NtbError::LinkFailed { attempts: 6 }.into();
         assert_eq!(e, ShmemError::LinkFailed { attempts: 6 });
         assert!(e.to_string().contains("6 transmission attempts"));
+    }
+
+    #[test]
+    fn pe_failed_converts_to_typed_variant() {
+        let e: ShmemError = NtbError::PeFailed { pe: 2, epoch: 5 }.into();
+        assert_eq!(e, ShmemError::PeFailed { pe: 2, epoch: 5 });
     }
 }

@@ -48,9 +48,10 @@ pub mod sync;
 pub mod teams;
 pub mod types;
 
+pub use barrier::BarrierPhase;
 pub use capi::CApi;
 pub use collectives::{ReduceOp, ShmemReduce};
-pub use config::{BarrierAlgorithm, ShmemConfig, ShmemConfigBuilder};
+pub use config::{BarrierAlgorithm, DegradedPolicy, ShmemConfig, ShmemConfigBuilder};
 pub use ctx::{OpOptions, ShmemCtx};
 pub use error::{Result, ShmemError};
 pub use heap::SymmetricHeap;
@@ -62,15 +63,16 @@ pub use teams::{ActiveSet, Team};
 pub use types::{ShmemAtomicInt, ShmemScalar};
 
 // Re-export the knobs callers configure through us.
-pub use ntb_net::Topology;
+pub use ntb_net::{HeartbeatConfig, Topology};
 pub use ntb_sim::{TimeModel, TransferMode};
 
 /// The curated import surface for applications and examples:
 /// `use shmem_core::prelude::*;` brings in the world, the context, the
 /// config builder, per-op options and the common value types.
 pub mod prelude {
+    pub use crate::barrier::BarrierPhase;
     pub use crate::collectives::{ReduceOp, ShmemReduce};
-    pub use crate::config::{BarrierAlgorithm, ShmemConfig, ShmemConfigBuilder};
+    pub use crate::config::{BarrierAlgorithm, DegradedPolicy, ShmemConfig, ShmemConfigBuilder};
     pub use crate::ctx::{OpOptions, PeStats, ShmemCtx};
     pub use crate::error::{Result, ShmemError};
     pub use crate::runtime::ShmemWorld;
@@ -79,6 +81,6 @@ pub mod prelude {
     pub use crate::sync::CmpOp;
     pub use crate::teams::{ActiveSet, Team};
     pub use crate::types::{ShmemAtomicInt, ShmemScalar};
-    pub use ntb_net::Topology;
+    pub use ntb_net::{HeartbeatConfig, Topology};
     pub use ntb_sim::{FaultPlan, TimeModel, TransferMode};
 }

@@ -22,9 +22,12 @@ impl ShmemWorld {
     /// simulated host). Returns each PE's result, indexed by PE number.
     ///
     /// If any PE panics, the panic is re-raised here after the world is
-    /// torn down; PEs blocked on a barrier against a dead peer fail with
+    /// torn down. PEs blocked on a barrier against a dead peer fail with
+    /// [`ShmemError::PeFailed`](crate::error::ShmemError) once the
+    /// heartbeat detector confirms the death (or, with the detector
+    /// disabled, with
     /// [`ShmemError::BarrierTimeout`](crate::error::ShmemError) after the
-    /// configured timeout.
+    /// configured timeout, naming the stalled phase and neighbour).
     pub fn run<F, T>(cfg: ShmemConfig, f: F) -> Result<Vec<T>>
     where
         F: Fn(&ShmemCtx) -> T + Send + Sync,

@@ -15,6 +15,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::barrier::BarrierPhase;
 use crate::collectives::{ReduceOp, ShmemReduce};
 use crate::ctx::ShmemCtx;
 use crate::error::{Result, ShmemError};
@@ -163,7 +164,10 @@ impl ShmemCtx {
                     break;
                 }
                 if Instant::now() >= deadline {
-                    return Err(ShmemError::BarrierTimeout);
+                    return Err(ShmemError::BarrierTimeout {
+                        phase: BarrierPhase::Round(round as u32),
+                        waiting_on: team.set.member((rank + n - dist) % n),
+                    });
                 }
                 self.heap.wait_change(seen, Duration::from_millis(20));
             }

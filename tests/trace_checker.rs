@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use shmem_ntb::net::{
-    check, AmoOp, DeliveryTarget, NetConfig, RetryPolicy, RingNetwork, Violation,
+    check, AmoOp, DeliveryTarget, HeartbeatConfig, NetConfig, RetryPolicy, RingNetwork, Violation,
 };
 use shmem_ntb::shmem::{ReduceOp, ShmemConfig, ShmemWorld};
 use shmem_ntb::sim::{
@@ -263,6 +263,95 @@ fn tampered_trace_fails_amo_invariant() {
     assert!(
         report.violations.iter().any(|v| v.invariant == "amo-exactly-once"),
         "erased AMO application must be flagged, got: {}",
+        report.render_violations()
+    );
+}
+
+/// Failure-model controls: a real crash-eviction lifecycle certifies
+/// clean, and tampering with the same trace — a put chunk transmitted
+/// at a PE its sender already declared dead, or a membership view
+/// republished at a stale epoch — is caught by the failure invariants
+/// (dead-PE transmit discipline, membership-epoch monotonicity).
+#[test]
+fn crash_lifecycle_certifies_and_failure_tampering_is_caught() {
+    const HOSTS: usize = 3;
+    let cfg =
+        NetConfig::fast(HOSTS).with_retry(lossy_retry()).with_heartbeat(HeartbeatConfig::fast());
+    let net = RingNetwork::build(cfg).unwrap();
+    net.obs_enable();
+    let heaps = attach_heaps(&net, HOSTS);
+
+    // Pre-crash traffic among the survivors, and beat warm-up: the
+    // detector deliberately ignores boot-time silence, so the crash must
+    // land after the victim's first beats.
+    let payload = vec![0xC7u8; 1024];
+    net.node(0).put_bytes(1, 128, &payload, TransferMode::Memcpy).unwrap();
+    net.node(0).quiet().unwrap();
+    assert_eq!(heaps[1].region.read_vec(128, 1024).unwrap(), payload);
+    std::thread::sleep(Duration::from_millis(100));
+
+    net.node(2).crash();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while net.node(0).membership().view().is_live(2) || net.node(1).membership().view().is_live(2) {
+        assert!(std::time::Instant::now() < deadline, "eviction must reach every survivor");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let events = net.take_events();
+    assert!(events.iter().any(|e| e.kind == EventKind::NodeCrash), "crash must be traced");
+    let death = events
+        .iter()
+        .find(|e| e.kind == EventKind::PeDead && e.payload[0] == 2)
+        .expect("an eviction record must be traced");
+    let report = check(&events, HOSTS);
+    assert!(
+        report.is_clean(),
+        "crash-eviction lifecycle must certify clean, got: {}",
+        report.render_violations()
+    );
+    assert!(report.membership_updates_checked > 0, "views must be checked");
+
+    let last = *events.last().unwrap();
+
+    // Tamper 1: the PE that recorded the death transmits a put chunk at
+    // the dead PE afterwards.
+    let mut tampered = events.clone();
+    tampered.push(TraceEvent {
+        seq: last.seq + 1,
+        t_us: last.t_us + 1,
+        pe: death.pe,
+        link: 0,
+        kind: EventKind::PutChunkTx,
+        op_id: 999,
+        payload: [2, 64],
+    });
+    let report = check(&tampered, HOSTS);
+    assert!(
+        report.violations.iter().any(|v| v.invariant == "dead-pe-discipline"),
+        "post-eviction transmit must be flagged, got: {}",
+        report.render_violations()
+    );
+
+    // Tamper 2: a survivor republishes a membership view at a stale
+    // epoch (one it already moved past).
+    let stale = events
+        .iter()
+        .find(|e| e.kind == EventKind::MembershipUpdate)
+        .expect("a membership update must be traced");
+    let mut tampered = events.clone();
+    tampered.push(TraceEvent {
+        seq: last.seq + 1,
+        t_us: last.t_us + 1,
+        pe: stale.pe,
+        link: 0,
+        kind: EventKind::MembershipUpdate,
+        op_id: stale.op_id,
+        payload: stale.payload,
+    });
+    let report = check(&tampered, HOSTS);
+    assert!(
+        report.violations.iter().any(|v| v.invariant == "membership-epoch-monotone"),
+        "stale view republish must be flagged, got: {}",
         report.render_violations()
     );
 }
