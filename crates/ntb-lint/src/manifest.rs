@@ -86,6 +86,11 @@ pub const LOCK_ORDER: &[LockClassDecl] = &[
         rationale: "forwarder job queue; fed by the service thread while it still holds dedup state",
     },
     LockClassDecl {
+        name: "net-retry-budget",
+        rank: 72,
+        rationale: "per-link retransmission token bucket; a leaf held only across the refill arithmetic, ranked above the forward queue because the sweeper meters retries after probing queue depth",
+    },
+    LockClassDecl {
         name: "net-txring",
         rank: 78,
         rationale: "transmit-ring publish state; held across slot publish -> coalesced doorbell, and the forwarder flushes the ring while holding its queue lock",
@@ -204,6 +209,7 @@ pub const LOCK_SITES: &[LockSite] = &[
         class: "net-unacked-shard",
     },
     LockSite { file_suffix: "ntb-net/src/forwarder.rs", receiver: "state", class: "net-forward" },
+    LockSite { file_suffix: "ntb-net/src/credit.rs", receiver: "state", class: "net-retry-budget" },
     LockSite { file_suffix: "ntb-net/src/network.rs", receiver: "chaos", class: "net-admin" },
     LockSite { file_suffix: "ntb-net/src/slots.rs", receiver: "state", class: "net-txring" },
     LockSite { file_suffix: "ntb-net/src/mailbox.rs", receiver: "seq", class: "net-mailbox" },

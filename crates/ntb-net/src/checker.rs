@@ -36,6 +36,16 @@
 //! 8. **Membership-epoch monotonicity** — each PE's published membership
 //!    views (`MembershipUpdate`) carry strictly increasing epochs; a
 //!    regression means gossip adopted a stale view.
+//! 9. **Overload bounds** — every forward-queue admission
+//!    (`QueueEnqueue`) lands within the queue's advertised capacity,
+//!    and flow-control credits are conserved: no `CreditConsume` shows
+//!    more credits consumed than its link's cumulative grant, and each
+//!    endpoint's advertised grant total (`CreditGrant`) never regresses
+//!    (both counters are cumulative by design).
+//! 10. **Deadline admission** — no hop transmits a frame whose deadline
+//!     has already expired: every `DeadlineTx` (sampled at the admission
+//!     decision, immediately before the send) has `now ≤ deadline`.
+//!     Expired work must be shed (`DeadlineShed`), never forwarded.
 //!
 //! Invariant 4 is membership-aware: a PE whose dead interval (between
 //! the first `PeDead` naming it and the first subsequent `PeRejoin`)
@@ -102,6 +112,10 @@ pub struct CheckReport {
     pub slots_checked: usize,
     /// Membership views tracked through invariant 8.
     pub membership_updates_checked: usize,
+    /// Queue admissions and credit events tracked through invariant 9.
+    pub overload_events_checked: usize,
+    /// Admission-time transmissions tracked through invariant 10.
+    pub deadline_tx_checked: usize,
     /// Every violation found, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -631,6 +645,109 @@ fn check_membership_epochs(events: &[TraceEvent], report: &mut CheckReport) {
     }
 }
 
+/// Invariant 9: bounded queues stay bounded and credits are conserved.
+///
+/// `QueueEnqueue` carries `[post-push depth, capacity]` — an admission
+/// past capacity means the bound is advisory, not enforced.
+/// `CreditConsume` carries `[consumed total, granted total]` sampled at
+/// the consuming endpoint (consumed first, and the grant only grows, so
+/// a racy snapshot can only *under*-report the grant — a violation is
+/// therefore never a sampling artifact). `CreditGrant` carries the
+/// granting endpoint's cumulative total in `payload[0]`; it must never
+/// regress per `(pe, link)`.
+fn check_overload_bounds(events: &[TraceEvent], report: &mut CheckReport) {
+    let mut last_grant: HashMap<(u16, u16), u64> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::QueueEnqueue => {
+                report.overload_events_checked += 1;
+                let (depth, capacity) = (ev.payload[0], ev.payload[1]);
+                if depth > capacity {
+                    let seq = ev.seq;
+                    report.violations.push(Violation {
+                        invariant: "overload-bounds",
+                        message: format!(
+                            "pe {} link {}: queue admitted op {} at depth {depth} past its \
+                             capacity {capacity}",
+                            ev.pe, ev.link, ev.op_id
+                        ),
+                        window: window(events, move |e| e.seq == seq),
+                    });
+                }
+            }
+            EventKind::CreditConsume => {
+                report.overload_events_checked += 1;
+                let (consumed, granted) = (ev.payload[0], ev.payload[1]);
+                if consumed > granted {
+                    let seq = ev.seq;
+                    report.violations.push(Violation {
+                        invariant: "overload-bounds",
+                        message: format!(
+                            "pe {} link {}: put {} consumed credit {consumed} but only \
+                             {granted} were ever granted",
+                            ev.pe, ev.link, ev.op_id
+                        ),
+                        window: window(events, move |e| e.seq == seq),
+                    });
+                }
+            }
+            EventKind::CreditGrant => {
+                report.overload_events_checked += 1;
+                let total = ev.payload[0];
+                let prev = last_grant.entry((ev.pe, ev.link)).or_insert(total);
+                if total < *prev {
+                    report.violations.push(Violation {
+                        invariant: "overload-bounds",
+                        message: format!(
+                            "pe {} link {}: cumulative credit grant regressed from {prev} to \
+                             {total}",
+                            ev.pe, ev.link
+                        ),
+                        window: window(events, |e| {
+                            e.pe == ev.pe && e.link == ev.link && e.kind == EventKind::CreditGrant
+                        }),
+                    });
+                }
+                *prev = (*prev).max(total);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Invariant 10: no hop transmits an already-expired frame. `DeadlineTx`
+/// is emitted only for deadline-carrying frames, with
+/// `[deadline_us, now_us]` where `now` was sampled at the admission
+/// decision immediately before the send — so a violation is a real
+/// admission of expired work, not a slow send.
+fn check_deadline_admission(events: &[TraceEvent], report: &mut CheckReport) {
+    for ev in events {
+        if ev.kind != EventKind::DeadlineTx {
+            continue;
+        }
+        report.deadline_tx_checked += 1;
+        let (deadline, now) = (ev.payload[0], ev.payload[1]);
+        if deadline != 0 && now > deadline {
+            let seq = ev.seq;
+            report.violations.push(Violation {
+                invariant: "deadline-admission",
+                message: format!(
+                    "pe {} link {}: op {} transmitted at t={now}µs, {}µs past its deadline \
+                     ({deadline}µs) — expired work must be shed, not forwarded",
+                    ev.pe,
+                    ev.link,
+                    ev.op_id,
+                    now - deadline
+                ),
+                window: window(events, move |e| {
+                    e.seq == seq
+                        || matches!(e.kind, EventKind::DeadlineShed | EventKind::DeadlineTx)
+                }),
+            });
+        }
+    }
+}
+
 /// Replay `events` (must be seq-sorted, as [`EventLog::take`] returns
 /// them) and check every invariant. `pes` is the PE count of the network
 /// the trace came from (barrier membership).
@@ -644,6 +761,8 @@ pub fn check(events: &[TraceEvent], pes: usize) -> CheckReport {
     check_slots(events, &mut report);
     check_dead_pe_discipline(events, &mut report);
     check_membership_epochs(events, &mut report);
+    check_overload_bounds(events, &mut report);
+    check_deadline_admission(events, &mut report);
     report
 }
 
@@ -1038,6 +1157,84 @@ mod tests {
         ];
         let r = check(&t, 3);
         assert!(r.violations.iter().any(|v| v.message.contains("never entered")));
+    }
+
+    #[test]
+    fn overload_bounds_certify_clean_trace_and_catch_tampering() {
+        // A healthy overload episode: admissions inside capacity, credits
+        // conserved, grants monotone, one shed (sheds are legal — they
+        // are the mechanism, not a violation).
+        let clean = vec![
+            ev(0, 0, 0, EventKind::CreditGrant, 0, [16, 0]),
+            ev(1, 1, 0, EventKind::CreditConsume, 1, [1, 16]),
+            ev(2, 1, 0, EventKind::QueueEnqueue, 1, [1, 4]),
+            ev(3, 1, 0, EventKind::QueueEnqueue, 2, [4, 4]),
+            ev(4, 1, 0, EventKind::OverloadShed, 3, [4, 4]),
+            ev(5, 0, 0, EventKind::CreditGrant, 0, [18, 0]),
+            ev(6, 1, 0, EventKind::CreditConsume, 4, [2, 18]),
+        ];
+        let r = check(&clean, 2);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        assert_eq!(r.overload_events_checked, 6);
+
+        // Tampering control 1: an admission past capacity must be caught.
+        let mut t = clean.clone();
+        t[3] = ev(3, 1, 0, EventKind::QueueEnqueue, 2, [5, 4]);
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "overload-bounds");
+        assert!(r.violations[0].message.contains("past its capacity"));
+
+        // Tampering control 2: consuming more credits than ever granted.
+        let mut t = clean.clone();
+        t[6] = ev(6, 1, 0, EventKind::CreditConsume, 4, [19, 18]);
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("were ever granted"));
+
+        // Tampering control 3: a regressing cumulative grant.
+        let mut t = clean;
+        t[5] = ev(5, 0, 0, EventKind::CreditGrant, 0, [15, 0]);
+        t[6] = ev(6, 1, 0, EventKind::CreditConsume, 4, [2, 16]);
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("regressed"));
+    }
+
+    #[test]
+    fn credit_grants_are_scoped_per_endpoint() {
+        // Different (pe, link) endpoints carry independent cumulative
+        // totals; a lower total on another endpoint is not a regression.
+        let t = vec![
+            ev(0, 0, 0, EventKind::CreditGrant, 0, [100, 0]),
+            ev(1, 1, 1, EventKind::CreditGrant, 0, [5, 0]),
+            ev(2, 0, 0, EventKind::CreditGrant, 0, [101, 0]),
+        ];
+        let r = check(&t, 2);
+        assert!(r.is_clean(), "{}", r.render_violations());
+    }
+
+    #[test]
+    fn deadline_admission_certifies_clean_trace_and_catches_tampering() {
+        // Transmissions at and before the deadline are legal; sheds of
+        // expired work are the expected shape, not violations.
+        let clean = vec![
+            ev(0, 0, 0, EventKind::DeadlineTx, 1, [1000, 400]),
+            ev(1, 1, 0, EventKind::DeadlineTx, 1, [1000, 1000]),
+            ev(2, 1, 0, EventKind::DeadlineShed, 2, [500, 900]),
+        ];
+        let r = check(&clean, 2);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        assert_eq!(r.deadline_tx_checked, 2);
+
+        // Tampering control: forwarding a frame 250µs past its deadline.
+        let mut t = clean;
+        t[1] = ev(1, 1, 0, EventKind::DeadlineTx, 1, [1000, 1250]);
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "deadline-admission");
+        assert!(r.violations[0].message.contains("250µs past its deadline"));
+        assert!(!r.violations[0].window.is_empty());
     }
 
     #[test]

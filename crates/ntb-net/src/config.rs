@@ -70,6 +70,61 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Overload-survival knobs: bounded queues, credit-based flow control and
+/// the retransmission token bucket (DESIGN.md §14). The defaults are
+/// generous — sized so a fault-free functional run never sheds — while
+/// still bounding every queue and retry stream; overload benches and
+/// chaos cells shrink them deliberately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Bound on each per-link forward queue (jobs). Every transmit-path
+    /// queue must be bounded; this is the main staging bound.
+    pub forward_queue_cap: usize,
+    /// Forward-queue occupancy at/above which the endpoint reports
+    /// congestion and stops advertising credits to its peer sender.
+    pub high_watermark: usize,
+    /// Occupancy at/below which congestion clears (hysteresis).
+    pub low_watermark: usize,
+    /// Frames' worth of credit a receiver advertises to each peer sender
+    /// at bring-up, re-granted one per drained frame.
+    pub credit_window: u64,
+    /// Token-bucket retry budget: sustained retransmissions per second
+    /// per link the sweeper may issue.
+    pub retry_budget_rate: f64,
+    /// Retry token-bucket burst capacity (and initial fill).
+    pub retry_budget_burst: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            forward_queue_cap: 1024,
+            high_watermark: 768,
+            low_watermark: 512,
+            credit_window: 256,
+            retry_budget_rate: 500.0,
+            retry_budget_burst: 250,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Validate invariants; panics with a descriptive message on misuse.
+    pub fn validate(&self) {
+        assert!(self.forward_queue_cap >= 1, "forward queue capacity must be at least 1");
+        assert!(
+            self.low_watermark <= self.high_watermark
+                && self.high_watermark <= self.forward_queue_cap,
+            "watermarks must satisfy low <= high <= capacity"
+        );
+        assert!(self.credit_window >= 1, "credit window must be at least 1 frame");
+        assert!(
+            self.retry_budget_rate > 0.0 && self.retry_budget_burst >= 1,
+            "retry budget needs a positive rate and burst"
+        );
+    }
+}
+
 /// Configuration of the switchless ring network.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
@@ -97,6 +152,8 @@ pub struct NetConfig {
     pub model: TimeModel,
     /// Retry/recovery policy for the lossy-link protocol.
     pub retry: RetryPolicy,
+    /// Overload-survival tuning: queue bounds, credits, retry budget.
+    pub overload: OverloadConfig,
     /// Heartbeat failure-detector tuning (whole-PE death, not link loss).
     pub heartbeat: crate::membership::HeartbeatConfig,
     /// Fault-injection plan applied to every link (empty = clean links).
@@ -157,6 +214,12 @@ impl NetConfig {
     /// Override the retry/recovery policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Override the overload-survival tuning.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
         self
     }
 
@@ -230,6 +293,7 @@ impl NetConfig {
             "get response chunk must fit the payload areas"
         );
         assert!(self.dma_channels >= 1, "need at least one DMA channel");
+        self.overload.validate();
         if self.heartbeat.enabled {
             assert!(
                 self.hosts <= 32,
@@ -260,6 +324,7 @@ impl Default for NetConfig {
             host_mem_capacity: 512 << 20,
             model: TimeModel::paper(),
             retry: RetryPolicy::default(),
+            overload: OverloadConfig::default(),
             heartbeat: crate::membership::HeartbeatConfig::default(),
             faults: FaultPlan::none(),
             coalesce: true,
@@ -359,6 +424,33 @@ mod tests {
         c.direct_buf = 512 << 10;
         c.bypass_buf = 512 << 10; // direct+bypass fill the window exactly
         c.validate();
+    }
+
+    #[test]
+    fn overload_defaults_validate() {
+        let o = OverloadConfig::default();
+        o.validate();
+        assert!(o.low_watermark <= o.high_watermark);
+        assert!(o.high_watermark <= o.forward_queue_cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "low <= high <= capacity")]
+    fn inverted_watermarks_rejected() {
+        let o = OverloadConfig { high_watermark: 10, low_watermark: 20, ..Default::default() };
+        o.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn unbounded_forward_queue_rejected() {
+        let o = OverloadConfig {
+            forward_queue_cap: 0,
+            high_watermark: 0,
+            low_watermark: 0,
+            ..Default::default()
+        };
+        o.validate();
     }
 
     #[test]

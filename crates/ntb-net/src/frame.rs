@@ -114,6 +114,13 @@ pub struct Frame {
     /// AMO opcode (only meaningful for AmoReq frames; rides the top bits
     /// of the length register on the wire).
     pub amo_op: Option<AmoOp>,
+    /// Absolute operation deadline in microseconds since the network
+    /// epoch; 0 means "no deadline". The four scratchpad words are fully
+    /// allocated, so this does **not** ride [`Frame::encode`] — the
+    /// mailbox path carries it in the control slot's deadline word and
+    /// the ring path in body word 5; [`Frame::decode`] therefore yields 0
+    /// and the receiving hop re-attaches the wire value.
+    pub deadline_us: u32,
 }
 
 impl Frame {
@@ -138,6 +145,7 @@ impl Frame {
             aux: put_id,
             mode,
             amo_op: None,
+            deadline_us: 0,
         }
     }
 
@@ -161,6 +169,7 @@ impl Frame {
             aux: req_id,
             mode,
             amo_op: None,
+            deadline_us: 0,
         }
     }
 
@@ -183,6 +192,7 @@ impl Frame {
             aux: req_id,
             mode,
             amo_op: None,
+            deadline_us: 0,
         }
     }
 
@@ -200,6 +210,7 @@ impl Frame {
             aux: put_id,
             mode: TransferMode::Dma,
             amo_op: None,
+            deadline_us: 0,
         }
     }
 
@@ -215,6 +226,7 @@ impl Frame {
             aux: req_id,
             mode: TransferMode::Dma,
             amo_op: Some(op),
+            deadline_us: 0,
         }
     }
 
@@ -230,7 +242,21 @@ impl Frame {
             aux: req_id,
             mode: TransferMode::Dma,
             amo_op: None,
+            deadline_us: 0,
         }
+    }
+
+    /// Attach an absolute deadline (microseconds since the network
+    /// epoch); 0 clears it.
+    pub fn with_deadline_us(mut self, deadline_us: u32) -> Frame {
+        self.deadline_us = deadline_us;
+        self
+    }
+
+    /// True when this frame carries a deadline that has already passed at
+    /// `now_us` (microseconds since the network epoch).
+    pub fn deadline_expired(&self, now_us: u32) -> bool {
+        self.deadline_us != 0 && now_us > self.deadline_us
     }
 
     /// Encode into the four scratchpad words `[header, len, offset, aux]`.
@@ -274,7 +300,18 @@ impl Frame {
         } else {
             (len_word, None)
         };
-        Some(Frame { kind, src, dest, seq, len, offset: words[2], aux: words[3], mode, amo_op })
+        Some(Frame {
+            kind,
+            src,
+            dest,
+            seq,
+            len,
+            offset: words[2],
+            aux: words[3],
+            mode,
+            amo_op,
+            deadline_us: 0,
+        })
     }
 }
 
@@ -326,6 +363,21 @@ mod tests {
     fn amo_resp_roundtrip() {
         let f = Frame::amo_resp(2, 1, 9);
         assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn deadline_rides_beside_the_scratchpad_words() {
+        // The scratchpad encode is full: the deadline travels in the ctrl
+        // slot / ring body instead, so encode/decode must neither carry
+        // nor corrupt it.
+        let f = Frame::put(1, 2, 64, 0, 7, TransferMode::Dma).with_deadline_us(123_456);
+        assert_eq!(f.deadline_us, 123_456);
+        let d = Frame::decode(f.encode()).unwrap();
+        assert_eq!(d.deadline_us, 0);
+        assert_eq!(d.with_deadline_us(f.deadline_us), f);
+        assert!(f.deadline_expired(123_457));
+        assert!(!f.deadline_expired(123_456));
+        assert!(!Frame::put(1, 2, 64, 0, 7, TransferMode::Dma).deadline_expired(u32::MAX));
     }
 
     #[test]

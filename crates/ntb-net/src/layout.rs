@@ -21,13 +21,17 @@
 //! areas: bytes 0..4 hold the CRC-32 of the in-flight payload (written by
 //! the sender before the doorbell, verified by the receiving hop), bytes
 //! 4..8 are a scratch word down-link probes write to test the path without
-//! touching payload bytes. One slot suffices because the mailbox protocol
-//! allows only one in-flight frame per link direction.
+//! touching payload bytes, bytes 8..12 carry the in-flight frame's
+//! absolute deadline (µs since the network epoch, 0 = none; written by
+//! the sender before the header publish), and bytes 12..16 hold the
+//! cumulative credit grant the window's *owner* advertises to the peer
+//! for credit-based flow control. One slot suffices because the mailbox
+//! protocol allows only one in-flight frame per link direction.
 
 use ntb_sim::{Region, Result};
 
 /// Size of the control slot appended after the payload areas.
-pub const CTRL_LEN: u64 = 8;
+pub const CTRL_LEN: u64 = 16;
 
 /// Offset within the control slot of the payload CRC word.
 pub const CTRL_CRC_OFF: u64 = 0;
@@ -35,10 +39,18 @@ pub const CTRL_CRC_OFF: u64 = 0;
 /// Offset within the control slot of the probe scratch word.
 pub const CTRL_PROBE_OFF: u64 = 4;
 
+/// Offset within the control slot of the in-flight frame's absolute
+/// deadline word (µs since the network epoch; 0 = no deadline).
+pub const CTRL_DEADLINE_OFF: u64 = 8;
+
+/// Offset within the control slot of the cumulative credit-grant word
+/// the receiving side advertises back to the data sender.
+pub const CTRL_CREDIT_OFF: u64 = 12;
+
 /// Bytes of one transmit-ring slot record: 8 u32 words — header, len,
-/// offset, aux, crc, and three reserved words (the PEX scratchpad mirror
-/// is word-granular, so a record is a power-of-two run of words the
-/// sender can publish with plain window writes).
+/// offset, aux, slot sequence, deadline, crc, and one reserved word (the
+/// PEX scratchpad mirror is word-granular, so a record is a power-of-two
+/// run of words the sender can publish with plain window writes).
 pub const SLOT_RECORD_LEN: u64 = 32;
 
 /// Resolved offsets of one incoming window.
@@ -124,6 +136,16 @@ impl WindowLayout {
         self.ctrl_off + CTRL_PROBE_OFF
     }
 
+    /// Offset of the in-flight frame's deadline word within the window.
+    pub fn deadline_off(&self) -> u64 {
+        self.ctrl_off + CTRL_DEADLINE_OFF
+    }
+
+    /// Offset of the cumulative credit-grant word within the window.
+    pub fn credit_off(&self) -> u64 {
+        self.ctrl_off + CTRL_CREDIT_OFF
+    }
+
     /// Offset of the area payloads of the given routing class land in.
     pub fn area_offset(&self, terminating: bool) -> u64 {
         if terminating {
@@ -166,6 +188,8 @@ mod tests {
         assert_eq!(WindowLayout::required_size(256 << 10, 128 << 10), (384 << 10) + CTRL_LEN);
         assert_eq!(l.crc_off(), 384 << 10);
         assert_eq!(l.probe_off(), (384 << 10) + 4);
+        assert_eq!(l.deadline_off(), (384 << 10) + 8);
+        assert_eq!(l.credit_off(), (384 << 10) + 12);
     }
 
     #[test]

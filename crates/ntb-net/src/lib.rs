@@ -26,6 +26,7 @@
 pub mod checker;
 pub mod config;
 pub mod crc;
+pub mod credit;
 pub mod delivery;
 pub mod forwarder;
 pub mod frame;
@@ -43,9 +44,11 @@ pub mod topology;
 pub mod trace;
 
 pub use checker::{check, check_log, CheckReport, Violation};
-pub use config::{NetConfig, RetryPolicy};
+pub use config::{NetConfig, OverloadConfig, RetryPolicy};
 pub use crc::crc32;
+pub use credit::{CreditGate, CreditLedger, RetryBudget};
 pub use delivery::{AmoOp, DeliveryTarget};
+pub use forwarder::{ForwardJob, ForwardQueue, PushOutcome};
 pub use frame::{Frame, FrameKind};
 pub use handshake::{exchange_link_info, PeerInfo};
 pub use layout::WindowLayout;

@@ -63,6 +63,9 @@ pub const NET_PENDING_SHARD: LockClass = LockClass { name: "net-pending-shard", 
 pub const NET_UNACKED_SHARD: LockClass = LockClass { name: "net-unacked-shard", rank: 64 };
 /// Bypass-forwarding job queue.
 pub const NET_FORWARD: LockClass = LockClass { name: "net-forward", rank: 70 };
+/// Per-link retransmission token bucket (leaf; held only across the
+/// refill arithmetic).
+pub const NET_RETRY_BUDGET: LockClass = LockClass { name: "net-retry-budget", rank: 72 };
 /// Transmit-ring publish state (slot seq + coalesced doorbell pairing).
 pub const NET_TXRING: LockClass = LockClass { name: "net-txring", rank: 78 };
 /// Mailbox send serialization (slot seq + doorbell pairing).

@@ -347,6 +347,26 @@ mod tests {
     }
 
     #[test]
+    fn abort_flag_fails_send_blocked_on_full_slot() {
+        use std::sync::atomic::AtomicBool;
+        let (a, b) = pair();
+        let mut tx = TxMailbox::new(a);
+        let abort = Arc::new(AtomicBool::new(false));
+        tx.set_abort(Arc::clone(&abort));
+        let tx = Arc::new(tx);
+        let _rx = RxMailbox::new(b);
+        // Fill the slot; nobody will ever ack it.
+        tx.send_control(Frame::put_ack(0, 1, 1, 0)).unwrap();
+        let tx2 = Arc::clone(&tx);
+        let h = std::thread::spawn(move || tx2.send_control(Frame::put_ack(0, 1, 2, 0)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!h.is_finished(), "send must be parked on the full slot");
+        abort.store(true, Ordering::SeqCst);
+        // The typed shutdown error — never a hang, never a generic failure.
+        assert_eq!(h.join().unwrap().unwrap_err(), NtbError::DmaShutdown);
+    }
+
+    #[test]
     fn concurrent_senders_serialize() {
         let (a, b) = pair();
         let tx = Arc::new(TxMailbox::new(a));

@@ -11,9 +11,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ntb_sim::{
-    connect_ports_observed, EventLog, FaultInjector, FaultStatsSnapshot, HostMemory,
-    MetricsRegistry, NodeFault, NodeFaultAction, NtbPort, Obs, PortConfig, Result, TimeModel,
-    TraceEvent, DEFAULT_TRACE_CAPACITY,
+    connect_ports_observed, EventKind, EventLog, FaultInjector, FaultStatsSnapshot, HostMemory,
+    MetricsRegistry, NodeFault, NodeFaultAction, NtbPort, Obs, PortConfig, ResourceFault,
+    ResourceFaultAction, Result, TimeModel, TraceEvent, DEFAULT_TRACE_CAPACITY,
 };
 use parking_lot::Mutex;
 
@@ -64,18 +64,66 @@ pub struct RingNetwork {
     /// (disabled by default; see [`Self::obs_enable`]).
     event_log: Arc<EventLog>,
     /// Stop flag + handle of the chaos orchestrator thread (spawned only
-    /// when the fault plan schedules node faults).
+    /// when the fault plan schedules node or resource faults).
     chaos_stop: Arc<AtomicBool>,
     chaos: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
-/// Walk a scheduled node-fault timeline: sleep to each fault's deadline
-/// (in interruptible slices) and apply it. A freeze's `hold` is served
-/// inline, so later faults on the same timeline are pushed behind it —
-/// plans should stagger their deadlines accordingly.
-fn chaos_orchestrator(nodes: Vec<Arc<NtbNode>>, mut plan: Vec<NodeFault>, stop: Arc<AtomicBool>) {
+/// One scheduled orchestrator step, pre-expanded to an absolute instant.
+/// Timed faults (a freeze's `hold`, a slow port's recovery) become *two*
+/// actions — begin and end — so nothing is ever served inline.
+enum ChaosAction {
+    Crash(usize),
+    Freeze(usize),
+    Thaw(usize),
+    Restart(usize),
+    SlowPort { link: usize, factor: f64 },
+    PortNominal { link: usize },
+    ShrinkQueue { pe: usize, capacity: usize },
+    ShrinkMem { pe: usize, capacity: u64 },
+}
+
+/// Walk the scheduled fault timeline: node faults and resource faults are
+/// expanded into `(absolute instant, action)` pairs up front — a freeze
+/// contributes a freeze *and* a thaw entry, a slow port a slowdown and a
+/// recovery — then walked in deadline order with interruptible sleeps.
+/// Every fault therefore lands at its own absolute deadline regardless of
+/// how long any other fault holds.
+fn chaos_orchestrator(
+    nodes: Vec<Arc<NtbNode>>,
+    injectors: Vec<Arc<FaultInjector>>,
+    node_faults: Vec<NodeFault>,
+    resource_faults: Vec<ResourceFault>,
+    stop: Arc<AtomicBool>,
+) {
     let start = Instant::now();
-    plan.sort_by_key(|f| f.at);
+    let mut timeline: Vec<(Duration, ChaosAction)> = Vec::new();
+    for fault in node_faults {
+        match fault.action {
+            NodeFaultAction::Crash => timeline.push((fault.at, ChaosAction::Crash(fault.pe))),
+            NodeFaultAction::Freeze { hold } => {
+                timeline.push((fault.at, ChaosAction::Freeze(fault.pe)));
+                timeline.push((fault.at + hold, ChaosAction::Thaw(fault.pe)));
+            }
+            NodeFaultAction::Restart => timeline.push((fault.at, ChaosAction::Restart(fault.pe))),
+        }
+    }
+    for fault in resource_faults {
+        match fault.action {
+            ResourceFaultAction::SlowPort { factor, hold } => {
+                timeline.push((fault.at, ChaosAction::SlowPort { link: fault.target, factor }));
+                timeline.push((fault.at + hold, ChaosAction::PortNominal { link: fault.target }));
+            }
+            ResourceFaultAction::ShrinkForwardQueue { capacity } => {
+                timeline.push((fault.at, ChaosAction::ShrinkQueue { pe: fault.target, capacity }));
+            }
+            ResourceFaultAction::ShrinkHostMem { capacity } => {
+                timeline.push((fault.at, ChaosAction::ShrinkMem { pe: fault.target, capacity }));
+            }
+        }
+    }
+    // Stable by instant: a zero-hold freeze still thaws after it froze.
+    timeline.sort_by_key(|(at, _)| *at);
     let interruptible_sleep_until = |deadline: Duration| {
         while start.elapsed() < deadline {
             if stop.load(Ordering::SeqCst) {
@@ -85,33 +133,65 @@ fn chaos_orchestrator(nodes: Vec<Arc<NtbNode>>, mut plan: Vec<NodeFault>, stop: 
         }
         !stop.load(Ordering::SeqCst)
     };
-    for fault in plan {
-        if fault.pe >= nodes.len() || !interruptible_sleep_until(fault.at) {
+    // Hosts currently frozen by this thread; a shutdown mid-plan must
+    // thaw them (their stalled threads could not be joined otherwise).
+    let mut frozen: Vec<usize> = Vec::new();
+    let thaw_all = |frozen: &mut Vec<usize>, nodes: &[Arc<NtbNode>]| {
+        for pe in frozen.drain(..) {
+            nodes[pe].thaw();
+        }
+    };
+    for (at, action) in timeline {
+        if !interruptible_sleep_until(at) {
+            thaw_all(&mut frozen, &nodes);
             return;
         }
-        let node = &nodes[fault.pe];
-        match fault.action {
-            NodeFaultAction::Crash => node.crash(),
-            NodeFaultAction::Freeze { hold } => {
-                node.freeze();
-                if !interruptible_sleep_until(start.elapsed() + hold) {
-                    // Never leave a host frozen behind a shutdown: its
-                    // stalled threads could not be joined.
-                    node.thaw();
-                    return;
-                }
-                node.thaw();
+        match action {
+            ChaosAction::Crash(pe) if pe < nodes.len() => nodes[pe].crash(),
+            ChaosAction::Freeze(pe) if pe < nodes.len() => {
+                nodes[pe].freeze();
+                frozen.push(pe);
             }
-            NodeFaultAction::Restart => {
+            ChaosAction::Thaw(pe) if pe < nodes.len() => {
+                nodes[pe].thaw();
+                frozen.retain(|&f| f != pe);
+            }
+            ChaosAction::Restart(pe) if pe < nodes.len() => {
                 // A restart that cannot complete (e.g. every neighbour is
                 // down too) surfaces through the test's own assertions;
                 // the orchestrator just records the attempt's failure.
-                if let Err(e) = node.restart(Duration::from_secs(10)) {
-                    node.record_error(e);
+                if let Err(e) = nodes[pe].restart(Duration::from_secs(10)) {
+                    nodes[pe].record_error(e);
                 }
             }
+            ChaosAction::SlowPort { link, factor } if link < injectors.len() => {
+                injectors[link].set_slow_factor(factor);
+                nodes[0].obs().emit(
+                    EventKind::PortSlow,
+                    link as u64,
+                    [(factor * 1000.0) as u64, 0],
+                );
+            }
+            ChaosAction::PortNominal { link } if link < injectors.len() => {
+                injectors[link].set_slow_factor(1.0);
+                nodes[0].obs().emit(EventKind::PortSlow, link as u64, [1000, 0]);
+            }
+            ChaosAction::ShrinkQueue { pe, capacity } if pe < nodes.len() => {
+                for ep in &nodes[pe].endpoints {
+                    ep.fwd.set_capacity(capacity);
+                }
+                nodes[pe].obs().emit(EventKind::CapacityShrink, capacity as u64, [pe as u64, 0]);
+            }
+            ChaosAction::ShrinkMem { pe, capacity } if pe < nodes.len() => {
+                nodes[pe].memory().set_capacity(capacity);
+                nodes[pe].obs().emit(EventKind::CapacityShrink, capacity, [pe as u64, 1]);
+            }
+            // Out-of-range targets in a hand-written plan are ignored,
+            // matching the old walker's bounds behaviour.
+            _ => {}
         }
     }
+    thaw_all(&mut frozen, &nodes);
 }
 
 impl RingNetwork {
@@ -195,6 +275,10 @@ impl RingNetwork {
         }
 
         let num_links = injectors.len();
+        // One shared time origin for the whole network: wire deadlines are
+        // absolute microseconds since this instant, so every host decodes
+        // them against the same clock.
+        let epoch = Instant::now();
         let nodes: Vec<Arc<NtbNode>> = ports
             .into_iter()
             .enumerate()
@@ -210,6 +294,7 @@ impl RingNetwork {
                     Arc::clone(&event_log),
                     MetricsRegistry::new(num_links),
                     host_ports,
+                    epoch,
                 )
             })
             .collect();
@@ -217,14 +302,24 @@ impl RingNetwork {
             node.start();
         }
         let chaos_stop = Arc::new(AtomicBool::new(false));
-        let chaos = if config.faults.has_node_faults() {
-            let plan = config.faults.node_faults.clone();
+        let chaos = if config.faults.has_node_faults() || config.faults.has_resource_faults() {
+            let node_plan = config.faults.node_faults.clone();
+            let resource_plan = config.faults.resource_faults.clone();
             let orch_nodes = nodes.clone();
+            let orch_injectors = injectors.clone();
             let orch_stop = Arc::clone(&chaos_stop);
             Some(
                 std::thread::Builder::new()
                     .name("ntb-chaos-orch".into())
-                    .spawn(move || chaos_orchestrator(orch_nodes, plan, orch_stop))
+                    .spawn(move || {
+                        chaos_orchestrator(
+                            orch_nodes,
+                            orch_injectors,
+                            node_plan,
+                            resource_plan,
+                            orch_stop,
+                        )
+                    })
                     .map_err(|_| ntb_sim::NtbError::BadDescriptor {
                         reason: "failed to spawn chaos orchestrator thread",
                     })?,

@@ -23,9 +23,10 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::config::NetConfig;
 use crate::crc::crc32;
+use crate::credit::{CreditGate, CreditLedger, RetryBudget};
 use crate::delivery::{AmoOp, DeliveryTarget};
 use crate::doorbells::{DB_BARRIER_END, DB_BARRIER_START, DB_GOSSIP, DB_SHUTDOWN};
-use crate::forwarder::ForwardQueue;
+use crate::forwarder::{ForwardQueue, PushOutcome};
 use crate::frame::Frame;
 use crate::layout::WindowLayout;
 use crate::mailbox::{RxMailbox, TxMailbox};
@@ -190,6 +191,20 @@ pub struct LinkEndpoint {
     pub(crate) txring: Option<TxSlotRing>,
     /// Observed link health (drives rerouting and recovery probes).
     pub(crate) health: LinkHealthTracker,
+    /// Sender-side credit gate for puts staged toward this neighbour:
+    /// one credit per staged chunk, granted back by the peer as it
+    /// absorbs them (DESIGN.md §14).
+    pub(crate) credit: CreditGate,
+    /// Receiver-side ledger of the credits this endpoint has granted its
+    /// peer sender — its cumulative total is what goes on the wire.
+    pub(crate) ledger: CreditLedger,
+    /// Token-bucket budget bounding retransmissions on this link.
+    pub(crate) retry_budget: RetryBudget,
+    /// Whether the outgoing control slot's deadline word currently holds
+    /// a non-zero value. Lets deadline-free sends (the common case) skip
+    /// the clearing write; sends serialize under the mailbox lock, so a
+    /// plain flag suffices.
+    pub(crate) deadline_armed: AtomicBool,
 }
 
 impl LinkEndpoint {
@@ -246,6 +261,10 @@ pub struct NtbNode {
     /// Per-PE metrics: op latency histograms plus counters indexed by
     /// physical link. Always on.
     pub(crate) metrics: Arc<MetricsRegistry>,
+    /// The network's shared time origin for wire deadlines: every host's
+    /// `deadline_us` values are microseconds since this instant, so a
+    /// deadline stamped at the origin is comparable at every hop.
+    pub(crate) epoch: Instant,
 }
 
 fn offset32(offset: u64) -> Result<u32> {
@@ -258,6 +277,17 @@ fn len31(len: u64) -> Result<u32> {
         return Err(NtbError::BadDescriptor { reason: "transfer length exceeds 2 GiB" });
     }
     Ok(len as u32)
+}
+
+/// Reclassify a requester-wait failure that landed after the op's
+/// deadline passed: the caller asked for a time bound and missed it,
+/// which is strictly more information than "the link gave up".
+fn deadline_failure(e: NtbError, deadline_us: u32, now_us: u32) -> NtbError {
+    if deadline_us != 0 && now_us > deadline_us && matches!(e, NtbError::LinkFailed { .. }) {
+        NtbError::DeadlineExceeded
+    } else {
+        e
+    }
 }
 
 impl NtbNode {
@@ -275,6 +305,7 @@ impl NtbNode {
         event_log: Arc<EventLog>,
         metrics: Arc<MetricsRegistry>,
         ports: Vec<(usize, usize, Arc<NtbPort>)>,
+        epoch: Instant,
     ) -> Arc<NtbNode> {
         let topo = RingTopology::new(me, config.hosts);
         let layout = if config.coalesce {
@@ -314,9 +345,20 @@ impl NtbNode {
                     rx: RxMailbox::new(Arc::clone(&port)),
                     tx,
                     port,
-                    fwd: Arc::new(ForwardQueue::new()),
+                    fwd: Arc::new(ForwardQueue::with_watermarks(
+                        config.overload.forward_queue_cap,
+                        config.overload.high_watermark,
+                        config.overload.low_watermark,
+                    )),
                     txring,
                     health: LinkHealthTracker::new(config.retry.failure_threshold),
+                    credit: CreditGate::new(config.overload.credit_window),
+                    ledger: CreditLedger::new(config.overload.credit_window),
+                    retry_budget: RetryBudget::new(
+                        config.overload.retry_budget_rate,
+                        config.overload.retry_budget_burst,
+                    ),
+                    deadline_armed: AtomicBool::new(false),
                 }
             })
             .collect();
@@ -342,6 +384,7 @@ impl NtbNode {
             obs,
             metrics,
             config,
+            epoch,
         })
     }
 
@@ -637,6 +680,164 @@ impl NtbNode {
         }
     }
 
+    // ----- Overload machinery: wire deadlines and link credits -----
+    // (DESIGN.md §14. Helpers shared by the PE transmit path, the
+    // service/forwarder loops and the retry sweeper.)
+
+    /// Microseconds since the network epoch, saturating at `u32::MAX`
+    /// (~71 simulated minutes — far beyond any run this model hosts).
+    pub(crate) fn now_us(&self) -> u32 {
+        u32::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u32::MAX)
+    }
+
+    /// Absolute wire deadline `budget` from now. Clamped to at least 1:
+    /// zero means "no deadline" on the wire, and a budget so tight it
+    /// truncates to the epoch itself must still expire, not disarm.
+    pub fn deadline_us_in(&self, budget: Duration) -> u32 {
+        self.now_us().saturating_add(u32::try_from(budget.as_micros()).unwrap_or(u32::MAX)).max(1)
+    }
+
+    /// Account a forward-queue push outcome: emit the enqueue depth for
+    /// the occupancy invariant, count and emit sheds (typed, never
+    /// silent). Returns whether the job was accepted.
+    pub(crate) fn note_push(
+        &self,
+        ep: &LinkEndpoint,
+        outcome: PushOutcome,
+        op_id: u64,
+        deadline_us: u32,
+        now_us: u32,
+    ) -> bool {
+        match outcome {
+            PushOutcome::Queued { depth, capacity } => {
+                ep.obs.emit(EventKind::QueueEnqueue, op_id, [depth as u64, capacity as u64]);
+                true
+            }
+            PushOutcome::ShedOverload { occupancy, capacity } => {
+                self.metrics.bump_link(ep.link_idx, |l| &l.overload_sheds);
+                ep.obs.emit(EventKind::OverloadShed, op_id, [occupancy as u64, capacity as u64]);
+                false
+            }
+            PushOutcome::ShedExpired => {
+                self.metrics.bump_link(ep.link_idx, |l| &l.deadline_sheds);
+                ep.obs.emit(
+                    EventKind::DeadlineShed,
+                    op_id,
+                    [u64::from(deadline_us), u64::from(now_us)],
+                );
+                false
+            }
+            PushOutcome::ShedShutdown => false,
+        }
+    }
+
+    /// Write the outgoing control slot's deadline word for the next
+    /// mailbox frame. Called inside the send closure — under the mailbox
+    /// sequencer lock — so exactly one frame observes each value.
+    /// Deadline-free sends (the common case) skip the write entirely
+    /// unless a stale non-zero value must be cleared.
+    pub(crate) fn write_deadline_word(&self, ep: &LinkEndpoint, deadline_us: u32) -> Result<()> {
+        // lint: relaxed-ok(flag is only mutated under the mailbox sequencer lock)
+        if deadline_us == 0 && !ep.deadline_armed.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        ep.port.outgoing().write_bytes(
+            self.layout.deadline_off(),
+            &deadline_us.to_le_bytes(),
+            TransferMode::Memcpy,
+        )?;
+        // lint: relaxed-ok(flag is only mutated under the mailbox sequencer lock)
+        ep.deadline_armed.store(deadline_us != 0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Refresh the sender-side credit gate from the credit word the peer
+    /// last wrote into our incoming control slot. Zero means "never
+    /// written" (bring-up) and is skipped; real totals start at the
+    /// configured window and only grow.
+    pub(crate) fn refresh_credits(&self, ep: &LinkEndpoint) {
+        if let Ok(bytes) = ep.port.incoming().region().read_vec(self.layout.credit_off(), 4) {
+            // lint: unwrap-ok(read_vec returned exactly the 4 requested bytes)
+            let wire = u32::from_le_bytes(bytes.try_into().unwrap());
+            if wire != 0 {
+                ep.credit.advertise(u64::from(wire));
+            }
+        }
+    }
+
+    /// Grant `n` credits for put frames absorbed from `ep`'s neighbour
+    /// and re-advertise the new cumulative total (unless congestion
+    /// defers the advertisement).
+    pub(crate) fn grant_credits(&self, ep: &LinkEndpoint, n: u64) {
+        let total = ep.ledger.grant(n);
+        ep.obs.emit(EventKind::CreditGrant, 0, [total, 0]);
+        self.advertise_credits(ep);
+    }
+
+    /// Write the cumulative grant total into the peer's credit word.
+    /// Withheld while this endpoint's forward queue sits above its high
+    /// watermark — that *is* the backpressure: the ledger keeps growing
+    /// locally and the next heartbeat tick (or post-drain grant)
+    /// re-advertises, so deferred credits are delayed, never lost.
+    pub(crate) fn advertise_credits(&self, ep: &LinkEndpoint) {
+        if ep.fwd.congested() {
+            return;
+        }
+        let wire = u32::try_from(ep.ledger.total()).unwrap_or(u32::MAX);
+        let _ = ep.port.outgoing().write_bytes(
+            self.layout.credit_off(),
+            &wire.to_le_bytes(),
+            TransferMode::Memcpy,
+        );
+    }
+
+    /// Consume one transmit credit toward `ep`'s neighbour, polling the
+    /// peer's advertisement when none are available. Bounded and typed:
+    /// [`NtbError::DeadlineExceeded`] when the op's own deadline expires
+    /// first, [`NtbError::Overloaded`] after an ack-timeout's worth of
+    /// waiting without a grant.
+    pub(crate) fn acquire_credit(
+        &self,
+        ep: &LinkEndpoint,
+        put_id: u32,
+        deadline_us: u32,
+    ) -> Result<()> {
+        if !ep.credit.try_consume() {
+            let wait_start = Instant::now();
+            loop {
+                self.refresh_credits(ep);
+                if ep.credit.try_consume() {
+                    break;
+                }
+                let now = self.now_us();
+                if deadline_us != 0 && now > deadline_us {
+                    self.metrics.bump_link(ep.link_idx, |l| &l.deadline_sheds);
+                    ep.obs.emit(
+                        EventKind::DeadlineShed,
+                        u64::from(put_id),
+                        [u64::from(deadline_us), u64::from(now)],
+                    );
+                    return Err(NtbError::DeadlineExceeded);
+                }
+                if wait_start.elapsed() > self.config.retry.ack_timeout {
+                    self.metrics.bump_link(ep.link_idx, |l| &l.overload_sheds);
+                    ep.obs.emit(EventKind::OverloadShed, u64::from(put_id), [0, 0]);
+                    return Err(NtbError::Overloaded { queue: "link credit window" });
+                }
+                std::thread::yield_now();
+            }
+        }
+        // `consumed` read before `granted`: the grant total only grows,
+        // so the pair always satisfies the conservation invariant even
+        // if another thread consumes between the two reads.
+        ep.obs.emit(
+            EventKind::CreditConsume,
+            u64::from(put_id),
+            [ep.credit.consumed_total(), ep.credit.granted_total()],
+        );
+        Ok(())
+    }
+
     /// Transmit (or retransmit) one tracked put chunk. Does not touch the
     /// unacked table — registration and retirement are the caller's job.
     ///
@@ -655,6 +856,7 @@ impl NtbNode {
         mode: TransferMode,
         retransmit: bool,
         defer_flush: bool,
+        deadline_us: u32,
     ) -> Result<()> {
         // Pin the membership view across the send: a send that passes
         // this liveness gate is ordered strictly before any concurrent
@@ -668,8 +870,23 @@ impl NtbNode {
             return Err(NtbError::PeFailed { pe: dest, epoch: view.epoch });
         }
         let ep = self.endpoint_for_view(dest, &view);
+        // Admission decision time: sampled *before* the send so a slow
+        // transmission cannot turn an admitted frame into a spurious
+        // "transmitted while expired" checker violation.
+        let now = self.now_us();
+        if deadline_us != 0 && now > deadline_us {
+            self.metrics.bump_link(ep.link_idx, |l| &l.deadline_sheds);
+            ep.obs.emit(
+                EventKind::DeadlineShed,
+                u64::from(put_id),
+                [u64::from(deadline_us), u64::from(now)],
+            );
+            return Err(NtbError::DeadlineExceeded);
+        }
+        self.acquire_credit(ep, put_id, deadline_us)?;
         let terminating = ep.neighbor == dest;
-        let frame = Frame::put(self.topo.me, dest, chunk.len() as u32, heap_offset, put_id, mode);
+        let frame = Frame::put(self.topo.me, dest, chunk.len() as u32, heap_offset, put_id, mode)
+            .with_deadline_us(deadline_us);
         self.trace(TraceKind::FrameSent, self.topo.me, dest, chunk.len() as u32);
         let ring = ep.txring.as_ref().filter(|r| terminating && r.fits(chunk.len()));
         let result = match ring {
@@ -679,9 +896,17 @@ impl NtbNode {
             },
             None => {
                 let area = self.layout.area_offset(terminating);
-                ep.tx.send(frame, |port| self.push_payload(port, area, chunk, mode))
+                ep.tx.send(frame, |port| {
+                    self.push_payload(port, area, chunk, mode)?;
+                    self.write_deadline_word(ep, deadline_us)
+                })
             }
         };
+        if result.is_err() {
+            // The frame never left this host, so the peer will never see
+            // (or re-grant) its credit — return it.
+            ep.credit.refund();
+        }
         self.note_send_result(ep, &result);
         // `PutChunkTx` is emitted only on success and only *after* the
         // health tracker saw the result: a send that succeeds on a
@@ -694,6 +919,13 @@ impl NtbNode {
                 u64::from(put_id),
                 [dest as u64, chunk.len() as u64],
             );
+            if deadline_us != 0 {
+                ep.obs.emit(
+                    EventKind::DeadlineTx,
+                    u64::from(put_id),
+                    [u64::from(deadline_us), u64::from(now)],
+                );
+            }
             self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
             if retransmit {
                 self.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
@@ -708,14 +940,16 @@ impl NtbNode {
         heap_offset: u64,
         chunk: &[u8],
         mode: TransferMode,
+        deadline_us: u32,
     ) -> Result<()> {
         let offset = offset32(heap_offset)?;
         let deadline = Instant::now() + self.config.retry.ack_timeout;
-        let put_id = self.unacked.register(dest, offset, chunk.to_vec(), mode, deadline);
+        let put_id =
+            self.unacked.register(dest, offset, chunk.to_vec(), mode, deadline, deadline_us);
         self.obs.emit(EventKind::PutIssue, u64::from(put_id), [dest as u64, chunk.len() as u64]);
         // Always staged-deferred on the ring path: `put_bytes` flushes
         // once per call (or leaves the batch for quiet / the batch cap).
-        match self.transmit_put(put_id, dest, offset, chunk, mode, false, true) {
+        match self.transmit_put(put_id, dest, offset, chunk, mode, false, true, deadline_us) {
             Ok(()) => Ok(()),
             // A transiently failed first transmission stays registered:
             // the retry sweeper owns it from here (retransmission,
@@ -762,6 +996,24 @@ impl NtbNode {
         mode: TransferMode,
         defer_doorbell: bool,
     ) -> Result<()> {
+        self.put_bytes_opts(dest, heap_offset, data, mode, defer_doorbell, 0)
+    }
+
+    /// [`put_bytes_coalesced`](Self::put_bytes_coalesced) with an
+    /// absolute wire deadline (`0` = none, see
+    /// [`deadline_us_in`](Self::deadline_us_in)): chunks not staged by
+    /// the deadline fail typed with [`NtbError::DeadlineExceeded`], and
+    /// every hop downstream sheds the frame once the deadline passes —
+    /// the op is bounded in time end to end, not just at the origin.
+    pub fn put_bytes_opts(
+        &self,
+        dest: usize,
+        heap_offset: u64,
+        data: &[u8],
+        mode: TransferMode,
+        defer_doorbell: bool,
+        deadline_us: u32,
+    ) -> Result<()> {
         assert_ne!(dest, self.topo.me, "local puts are handled by the SHMEM layer");
         assert!(dest < self.topo.n, "destination host out of range");
         self.check_alive(dest)?;
@@ -769,7 +1021,13 @@ impl NtbNode {
         let mut off = 0usize;
         while off < data.len() {
             let n = chunk_size.min(data.len() - off);
-            self.send_put_chunk(dest, heap_offset + off as u64, &data[off..off + n], mode)?;
+            self.send_put_chunk(
+                dest,
+                heap_offset + off as u64,
+                &data[off..off + n],
+                mode,
+                deadline_us,
+            )?;
             off += n;
         }
         if !defer_doorbell {
@@ -787,21 +1045,49 @@ impl NtbNode {
         len: u64,
         mode: TransferMode,
     ) -> Result<Vec<u8>> {
+        self.get_bytes_opts(src, heap_offset, len, mode, 0)
+    }
+
+    /// [`get_bytes`](Self::get_bytes) with an absolute wire deadline
+    /// (`0` = none): the request and its response chunks carry the
+    /// deadline, every hop sheds them once it passes, and the waiting
+    /// requester reports [`NtbError::DeadlineExceeded`] instead of
+    /// retrying past its time budget.
+    pub fn get_bytes_opts(
+        &self,
+        src: usize,
+        heap_offset: u64,
+        len: u64,
+        mode: TransferMode,
+        deadline_us: u32,
+    ) -> Result<Vec<u8>> {
         assert_ne!(src, self.topo.me, "local gets are handled by the SHMEM layer");
         assert!(src < self.topo.n, "source host out of range");
         self.check_alive(src)?;
         let req_id = self.pending.register(len, src);
         self.obs.emit(EventKind::GetReqTx, u64::from(req_id), [heap_offset, len]);
         let frame =
-            Frame::get_req(self.topo.me, src, len31(len)?, offset32(heap_offset)?, req_id, mode);
+            Frame::get_req(self.topo.me, src, len31(len)?, offset32(heap_offset)?, req_id, mode)
+                .with_deadline_us(deadline_us);
         self.trace(TraceKind::FrameSent, self.topo.me, src, 0);
         let send_req = |retransmit: bool| {
+            let now = self.now_us();
+            if deadline_us != 0 && now > deadline_us {
+                return Err(NtbError::DeadlineExceeded);
+            }
             self.check_alive(src)?;
             let ep = self.endpoint_for(src);
-            let result = ep.tx.send_control(frame);
+            let result = ep.tx.send(frame, |_port| self.write_deadline_word(ep, deadline_us));
             self.note_send_result(ep, &result);
             if result.is_ok() {
                 self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+                if deadline_us != 0 {
+                    ep.obs.emit(
+                        EventKind::DeadlineTx,
+                        u64::from(req_id),
+                        [u64::from(deadline_us), u64::from(now)],
+                    );
+                }
                 if retransmit {
                     self.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
                 }
@@ -827,7 +1113,9 @@ impl NtbNode {
             Ok(buf) => buf,
             Err(e) => {
                 self.obs.emit(EventKind::GetAbandon, u64::from(req_id), [0, 0]);
-                return Err(e);
+                // A retry budget exhausted *after* the op's deadline
+                // passed is the deadline's failure, not the link's.
+                return Err(deadline_failure(e, deadline_us, self.now_us()));
             }
         };
         self.obs.emit(EventKind::GetDone, u64::from(req_id), [heap_offset, len]);
@@ -847,6 +1135,23 @@ impl NtbNode {
         operand: u64,
         compare: u64,
     ) -> Result<u64> {
+        self.amo_opts(target, op, heap_offset, width, operand, compare, 0)
+    }
+
+    /// [`amo`](Self::amo) with an absolute wire deadline (`0` = none);
+    /// the bounded-time semantics match
+    /// [`get_bytes_opts`](Self::get_bytes_opts).
+    #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM AMO surface plus the deadline
+    pub fn amo_opts(
+        &self,
+        target: usize,
+        op: AmoOp,
+        heap_offset: u64,
+        width: usize,
+        operand: u64,
+        compare: u64,
+        deadline_us: u32,
+    ) -> Result<u64> {
         assert_ne!(target, self.topo.me, "local atomics are handled by the SHMEM layer");
         assert!(matches!(width, 1 | 2 | 4 | 8), "AMO width must be 1/2/4/8");
         self.check_alive(target)?;
@@ -856,18 +1161,31 @@ impl NtbNode {
         payload[0..8].copy_from_slice(&operand.to_le_bytes());
         payload[8..16].copy_from_slice(&compare.to_le_bytes());
         payload[16] = width as u8;
-        let frame = Frame::amo_req(self.topo.me, target, op, offset32(heap_offset)?, req_id);
+        let frame = Frame::amo_req(self.topo.me, target, op, offset32(heap_offset)?, req_id)
+            .with_deadline_us(deadline_us);
         let send_req = |retransmit: bool| {
+            let now = self.now_us();
+            if deadline_us != 0 && now > deadline_us {
+                return Err(NtbError::DeadlineExceeded);
+            }
             self.check_alive(target)?;
             let ep = self.endpoint_for(target);
             let terminating = ep.neighbor == target;
             let area = self.layout.area_offset(terminating);
-            let result = ep
-                .tx
-                .send(frame, |port| self.push_payload(port, area, &payload, TransferMode::Dma));
+            let result = ep.tx.send(frame, |port| {
+                self.push_payload(port, area, &payload, TransferMode::Dma)?;
+                self.write_deadline_word(ep, deadline_us)
+            });
             self.note_send_result(ep, &result);
             if result.is_ok() {
                 self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+                if deadline_us != 0 {
+                    ep.obs.emit(
+                        EventKind::DeadlineTx,
+                        u64::from(req_id),
+                        [u64::from(deadline_us), u64::from(now)],
+                    );
+                }
                 if retransmit {
                     self.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
                 }
@@ -893,7 +1211,7 @@ impl NtbNode {
             Ok(buf) => buf,
             Err(e) => {
                 self.obs.emit(EventKind::AmoAbandon, u64::from(req_id), [0, 0]);
-                return Err(e);
+                return Err(deadline_failure(e, deadline_us, self.now_us()));
             }
         };
         self.obs.emit(EventKind::AmoDone, u64::from(req_id), [op as u64, 0]);

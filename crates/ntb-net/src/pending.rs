@@ -364,6 +364,12 @@ pub struct UnackedPut {
     pub attempts: u32,
     /// When the chunk becomes overdue for retransmission.
     pub deadline: Instant,
+    /// The *operation's* absolute deadline in microseconds since the
+    /// network epoch (0 = none). Distinct from the retransmission
+    /// `deadline` above: once this expires the sweeper stops
+    /// retransmitting entirely and fails the put as
+    /// [`NtbError::DeadlineExceeded`].
+    pub deadline_us: u32,
 }
 
 #[derive(Debug, Default)]
@@ -372,6 +378,10 @@ struct PutState {
     /// Attempt counts of puts abandoned since the last `quiet`; non-empty
     /// means the next quiet must report `LinkFailed`.
     failed: Vec<u32>,
+    /// Set when a put was failed because its operation deadline expired;
+    /// the next `quiet` reports `DeadlineExceeded` (outranking plain
+    /// `LinkFailed` — the caller set a time budget and it was missed).
+    expired: bool,
     /// Set when puts were abandoned because their destination PE died:
     /// `(pe, membership epoch)`. Outranks plain `LinkFailed` in the next
     /// `quiet` — "the host is dead" is strictly more information than
@@ -429,10 +439,11 @@ impl UnackedPuts {
         data: Vec<u8>,
         mode: TransferMode,
         deadline: Instant,
+        deadline_us: u32,
     ) -> u32 {
         // lint: relaxed-ok(unique id allocation; uniqueness needs atomicity, not ordering)
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let put = UnackedPut { dest, heap_offset, data, mode, attempts: 1, deadline };
+        let put = UnackedPut { dest, heap_offset, data, mode, attempts: 1, deadline, deadline_us };
         crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
         self.shard(id).state.lock().map.insert(id, put);
         id
@@ -504,6 +515,25 @@ impl UnackedPuts {
         known
     }
 
+    /// Abandon a chunk whose *operation deadline* expired. Like
+    /// [`Self::fail`] but records a deadline failure, so the next
+    /// [`Self::quiet`] reports [`NtbError::DeadlineExceeded`] instead of
+    /// `LinkFailed`. Returns `false` when the put was already retired
+    /// (an ack raced the sweeper).
+    pub fn fail_expired(&self, id: u32) -> bool {
+        let shard = self.shard(id);
+        crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
+        let mut st = shard.state.lock();
+        let known = st.map.remove(&id).is_some();
+        if known {
+            st.expired = true;
+        }
+        if st.map.is_empty() {
+            shard.cond.notify_all();
+        }
+        known
+    }
+
     /// Current unacknowledged chunk count.
     pub fn current(&self) -> usize {
         crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
@@ -521,6 +551,7 @@ impl UnackedPuts {
     pub fn quiet(&self) -> Result<()> {
         let mut worst: Option<u32> = None;
         let mut dead: Option<(usize, u64)> = None;
+        let mut expired = false;
         for shard in &self.shards {
             crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
             let mut st = shard.state.lock();
@@ -530,14 +561,21 @@ impl UnackedPuts {
             if let Some(m) = st.failed.drain(..).max() {
                 worst = Some(worst.map_or(m, |w| w.max(m)));
             }
+            if st.expired {
+                expired = true;
+                st.expired = false;
+            }
             if let Some(d) = st.dead.take() {
                 dead = Some(dead.map_or(d, |w: (usize, u64)| if d.1 > w.1 { d } else { w }));
             }
         }
-        match (dead, worst) {
-            (Some((pe, epoch)), _) => Err(NtbError::PeFailed { pe, epoch }),
-            (None, Some(attempts)) => Err(NtbError::LinkFailed { attempts }),
-            (None, None) => Ok(()),
+        // Precedence: "the host is dead" > "your time budget expired" >
+        // "the link gave up" — each outranks strictly less specific news.
+        match (dead, expired, worst) {
+            (Some((pe, epoch)), _, _) => Err(NtbError::PeFailed { pe, epoch }),
+            (None, true, _) => Err(NtbError::DeadlineExceeded),
+            (None, false, Some(attempts)) => Err(NtbError::LinkFailed { attempts }),
+            (None, false, None) => Ok(()),
         }
     }
 
@@ -575,6 +613,7 @@ impl UnackedPuts {
             let mut st = shard.state.lock();
             st.map.clear();
             st.failed.clear();
+            st.expired = false;
             st.dead = None;
             shard.cond.notify_all();
         }
@@ -585,7 +624,7 @@ impl UnackedPuts {
         crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
         self.shards.iter().any(|s| {
             let st = s.state.lock();
-            !st.failed.is_empty() || st.dead.is_some()
+            !st.failed.is_empty() || st.expired || st.dead.is_some()
         })
     }
 }
@@ -742,7 +781,7 @@ mod tests {
     }
 
     fn put_entry(u: &UnackedPuts, deadline: Instant) -> u32 {
-        u.register(1, 0, vec![1, 2, 3], TransferMode::Dma, deadline)
+        u.register(1, 0, vec![1, 2, 3], TransferMode::Dma, deadline, 0)
     }
 
     #[test]
@@ -797,6 +836,28 @@ mod tests {
         assert!(u.fail(id));
         assert!(u.has_failures());
         assert_eq!(u.quiet().unwrap_err(), NtbError::LinkFailed { attempts: 2 });
+        u.quiet().expect("failure record cleared by the reporting quiet");
+    }
+
+    #[test]
+    fn expired_put_reported_by_quiet_then_cleared() {
+        let u = UnackedPuts::new();
+        let id = put_entry(&u, Instant::now());
+        assert!(u.fail_expired(id));
+        assert!(!u.fail_expired(id), "already retired");
+        assert!(u.has_failures());
+        assert_eq!(u.quiet().unwrap_err(), NtbError::DeadlineExceeded);
+        u.quiet().expect("expiry record cleared by the reporting quiet");
+    }
+
+    #[test]
+    fn deadline_expiry_outranks_link_failure_in_quiet() {
+        let u = UnackedPuts::new();
+        let linky = put_entry(&u, Instant::now());
+        let late = put_entry(&u, Instant::now());
+        assert!(u.fail(linky));
+        assert!(u.fail_expired(late));
+        assert_eq!(u.quiet().unwrap_err(), NtbError::DeadlineExceeded);
         // Failure record is consumed; the next quiet is clean.
         u.quiet().unwrap();
     }
@@ -825,7 +886,7 @@ mod tests {
     fn unacked_fail_dest_reports_pe_failed_over_link_failed() {
         let u = UnackedPuts::new();
         let now = Instant::now();
-        let doomed = u.register(2, 0, vec![9], TransferMode::Dma, now);
+        let doomed = u.register(2, 0, vec![9], TransferMode::Dma, now, 0);
         let other = put_entry(&u, now); // dest 1
         assert!(u.fail(other), "plain link-budget abandonment");
         assert_eq!(u.fail_dest(2, 5), vec![doomed]);

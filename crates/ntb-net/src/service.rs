@@ -157,6 +157,11 @@ fn heartbeat_tick(node: &Arc<NtbNode>, idx: usize, st: &mut HeartbeatState, goss
         let _ = node.publish_beat(ep, st.my_beat);
     }
     let _ = node.publish_view(ep, node.membership().view());
+    // Credit upkeep rides the heartbeat: re-advertise the grant total
+    // (deferred advertisements from congested spells catch up here once
+    // the queue drains) and absorb the peer's latest advertisement.
+    node.advertise_credits(ep);
+    node.refresh_credits(ep);
     let Ok(Some((raw, peer_view))) = node.read_peer_hb(ep) else {
         // A torn sample or a faulted link: neither says anything about
         // the *node* behind the link. Resample next tick.
@@ -253,6 +258,15 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
     let me = node.host_id();
     let terminating = frame.dest == me;
 
+    // Restore the wire deadline from the control slot (the four-word
+    // scratchpad encode has no room for it). Must happen before the ack:
+    // acking frees the sender to overwrite the word for its next frame.
+    let frame = {
+        let raw = ep.port().incoming().region().read_vec(node.layout.deadline_off(), 4)?;
+        // lint: unwrap-ok(read_vec returned exactly the 4 requested bytes)
+        frame.with_deadline_us(u32::from_le_bytes(raw.try_into().unwrap()))
+    };
+
     // Stage the payload out of the window (direct area if it terminates
     // here, bypass area otherwise — mirroring where the sender placed it),
     // then acknowledge the mailbox so the link is free for the next frame.
@@ -281,6 +295,12 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
                 );
                 node.trace(TraceKind::FrameHandled, frame.src, frame.dest, 0);
                 ep.rx.ack()?;
+                // The header decoded fine, so the source is known: the
+                // neighbour's consumed credit is still re-granted — a
+                // corrupted put must cost retransmission, not a credit.
+                if frame.kind == FrameKind::Put && frame.src == ep.neighbor() {
+                    node.grant_credits(ep, 1);
+                }
                 return Ok(());
             }
         }
@@ -290,6 +310,31 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
         None
     };
     ep.rx.ack()?;
+
+    // Credit bookkeeping for the first hop (DESIGN.md §14): one arrived
+    // put from the direct neighbour is exactly one credit its gate
+    // consumed — grant it back. Acks from the direct neighbour may carry
+    // a piggybacked cumulative grant total in their (otherwise unused)
+    // offset field.
+    if frame.kind == FrameKind::Put && frame.src == ep.neighbor() {
+        node.grant_credits(ep, 1);
+    }
+    if frame.kind == FrameKind::PutAck && frame.src == ep.neighbor() && frame.offset != 0 {
+        ep.credit.advertise(u64::from(frame.offset));
+    }
+    // Deadline propagation: every hop sheds expired work — a frame whose
+    // deadline passed is dead weight whether it terminates here or has
+    // half the ring left to cross.
+    let now = node.now_us();
+    if frame.deadline_expired(now) {
+        node.metrics.bump_link(ep.link_idx(), |l| &l.deadline_sheds);
+        ep.obs.emit(
+            EventKind::DeadlineShed,
+            u64::from(frame.aux),
+            [u64::from(frame.deadline_us), u64::from(now)],
+        );
+        return Ok(());
+    }
 
     if !terminating {
         forward_onward(node, idx, frame, payload);
@@ -306,13 +351,13 @@ fn forward_onward(node: &Arc<NtbNode>, idx: usize, frame: Frame, payload: Option
     let think = if payload.is_some() { node.model().bypass_forward_delay } else { Duration::ZERO };
     node.trace(TraceKind::Forwarded, frame.src, frame.dest, frame.len);
     ep.obs.emit(EventKind::FrameFwd, u64::from(frame.aux), [frame.src as u64, frame.dest as u64]);
-    node.forward_endpoint(frame.dest, idx).fwd.push(ForwardJob {
-        frame,
-        payload,
-        think,
-        attempts: 0,
-    });
-    node.count_forward();
+    let out = node.forward_endpoint(frame.dest, idx);
+    let (aux, deadline_us) = (u64::from(frame.aux), frame.deadline_us);
+    let now = node.now_us();
+    let outcome = out.fwd.push(ForwardJob { frame, payload, think, attempts: 0 }, now);
+    if node.note_push(out, outcome, aux, deadline_us, now) {
+        node.count_forward();
+    }
 }
 
 /// Consume every published slot of endpoint `idx`'s receive-side transmit
@@ -381,6 +426,28 @@ fn drain_ring(node: &Arc<NtbNode>, idx: usize) {
                         [frame.kind as u64, frame.src as u64],
                     );
                     node.metrics.bump_link(ep.link_idx(), |l| &l.frames_rx);
+                    // Same first-hop credit and deadline plumbing as the
+                    // scratchpad path (the ring is just a batched lane
+                    // over the same cable).
+                    if frame.kind == FrameKind::Put && frame.src == ep.neighbor() {
+                        node.grant_credits(ep, 1);
+                    }
+                    if frame.kind == FrameKind::PutAck
+                        && frame.src == ep.neighbor()
+                        && frame.offset != 0
+                    {
+                        ep.credit.advertise(u64::from(frame.offset));
+                    }
+                    let now = node.now_us();
+                    if frame.deadline_expired(now) {
+                        node.metrics.bump_link(ep.link_idx(), |l| &l.deadline_sheds);
+                        ep.obs.emit(
+                            EventKind::DeadlineShed,
+                            u64::from(frame.aux),
+                            [u64::from(frame.deadline_us), u64::from(now)],
+                        );
+                        continue;
+                    }
                     if let Some(data) = &drained.payload {
                         node.model().delay(node.model().window_copy_time(data.len() as u64));
                     }
@@ -445,13 +512,24 @@ fn dispatch_frame(node: &Arc<NtbNode>, frame: Frame, payload: Option<Vec<u8>>) -
             // genuinely ack-less put in negative tests).
             let out = node.endpoint_for(frame.src);
             if !out.port().outgoing().faults().should_drop_ack(out.port().outgoing().direction()) {
-                let ack = Frame::put_ack(me, frame.src, 1, frame.aux);
-                out.fwd.push(ForwardJob {
-                    frame: ack,
-                    payload: None,
-                    think: Duration::ZERO,
-                    attempts: 0,
-                });
+                // The ack inherits the put's deadline: an op that missed
+                // its time budget must not look complete at the origin.
+                let mut ack =
+                    Frame::put_ack(me, frame.src, 1, frame.aux).with_deadline_us(frame.deadline_us);
+                // Single-hop credit piggyback: when the ack's first hop
+                // *is* the origin, carry this side's cumulative grant
+                // total in the (otherwise unused) offset field — grants
+                // then ride the ack stream instead of waiting for the
+                // next heartbeat advertisement.
+                if out.neighbor() == frame.src && !out.fwd.congested() {
+                    ack.offset = u32::try_from(out.ledger.total()).unwrap_or(u32::MAX);
+                }
+                let now = node.now_us();
+                let outcome = out.fwd.push(
+                    ForwardJob { frame: ack, payload: None, think: Duration::ZERO, attempts: 0 },
+                    now,
+                );
+                let _ = node.note_push(out, outcome, u64::from(frame.aux), frame.deadline_us, now);
             }
         }
         FrameKind::PutAck => {
@@ -487,15 +565,22 @@ fn dispatch_frame(node: &Arc<NtbNode>, frame: Frame, payload: Option<Vec<u8>>) -
             while off < data.len() {
                 let n = chunk.min(data.len() - off);
                 let resp =
-                    Frame::get_resp(me, frame.src, n as u32, off as u32, frame.aux, frame.mode);
-                node.endpoint_for(frame.src).fwd.push(ForwardJob {
-                    frame: resp,
-                    payload: Some(data[off..off + n].to_vec()),
-                    // The serving host's thread paces response chunks
-                    // through its sleep loop.
-                    think: node.model().get_response_service_delay,
-                    attempts: 0,
-                });
+                    Frame::get_resp(me, frame.src, n as u32, off as u32, frame.aux, frame.mode)
+                        .with_deadline_us(frame.deadline_us);
+                let out = node.endpoint_for(frame.src);
+                let now = node.now_us();
+                let outcome = out.fwd.push(
+                    ForwardJob {
+                        frame: resp,
+                        payload: Some(data[off..off + n].to_vec()),
+                        // The serving host's thread paces response chunks
+                        // through its sleep loop.
+                        think: node.model().get_response_service_delay,
+                        attempts: 0,
+                    },
+                    now,
+                );
+                let _ = node.note_push(out, outcome, u64::from(frame.aux), frame.deadline_us, now);
                 off += n;
             }
         }
@@ -537,13 +622,20 @@ fn dispatch_frame(node: &Arc<NtbNode>, frame: Frame, payload: Option<Vec<u8>>) -
             if let Some(old) = cached {
                 node.count_duplicate();
                 node.obs.emit(EventKind::AmoReplay, u64::from(frame.aux), [frame.src as u64, 0]);
-                let resp = Frame::amo_resp(me, frame.src, frame.aux);
-                node.endpoint_for(frame.src).fwd.push(ForwardJob {
-                    frame: resp,
-                    payload: Some(old.to_le_bytes().to_vec()),
-                    think: Duration::ZERO,
-                    attempts: 0,
-                });
+                let resp =
+                    Frame::amo_resp(me, frame.src, frame.aux).with_deadline_us(frame.deadline_us);
+                let out = node.endpoint_for(frame.src);
+                let now = node.now_us();
+                let outcome = out.fwd.push(
+                    ForwardJob {
+                        frame: resp,
+                        payload: Some(old.to_le_bytes().to_vec()),
+                        think: Duration::ZERO,
+                        attempts: 0,
+                    },
+                    now,
+                );
+                let _ = node.note_push(out, outcome, u64::from(frame.aux), frame.deadline_us, now);
                 return Ok(());
             }
             let p = payload.unwrap_or_default();
@@ -573,13 +665,20 @@ fn dispatch_frame(node: &Arc<NtbNode>, frame: Frame, payload: Option<Vec<u8>>) -
             node.count_amo();
             node.obs.emit(EventKind::AmoApply, u64::from(frame.aux), [frame.src as u64, old]);
             node.trace(TraceKind::AmoServed, frame.src, frame.dest, frame.len);
-            let resp = Frame::amo_resp(me, frame.src, frame.aux);
-            node.endpoint_for(frame.src).fwd.push(ForwardJob {
-                frame: resp,
-                payload: Some(old.to_le_bytes().to_vec()),
-                think: Duration::ZERO,
-                attempts: 0,
-            });
+            let resp =
+                Frame::amo_resp(me, frame.src, frame.aux).with_deadline_us(frame.deadline_us);
+            let out = node.endpoint_for(frame.src);
+            let now = node.now_us();
+            let outcome = out.fwd.push(
+                ForwardJob {
+                    frame: resp,
+                    payload: Some(old.to_le_bytes().to_vec()),
+                    think: Duration::ZERO,
+                    attempts: 0,
+                },
+                now,
+            );
+            let _ = node.note_push(out, outcome, u64::from(frame.aux), frame.deadline_us, now);
         }
         FrameKind::AmoResp => {
             let data = payload.unwrap_or_default();
@@ -616,6 +715,19 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
             continue;
         }
         node.model().delay(job.think);
+        // Transmit-time deadline check — sampled after the think delay
+        // and immediately before the send, so the pair certifies
+        // invariant 10 (no hop transmits an already-expired frame).
+        let now = node.now_us();
+        if job.frame.deadline_expired(now) {
+            node.metrics.bump_link(ep.link_idx, |l| &l.deadline_sheds);
+            ep.obs.emit(
+                EventKind::DeadlineShed,
+                u64::from(job.frame.aux),
+                [u64::from(job.frame.deadline_us), u64::from(now)],
+            );
+            continue;
+        }
         let terminating = ep.neighbor() == job.frame.dest;
         let mode = job.frame.mode;
         // Terminating data frames (delivered puts hopping their last link
@@ -631,16 +743,26 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
             None => {
                 let area = node.layout.area_offset(terminating);
                 match &job.payload {
-                    Some(data) => {
-                        ep.tx.send(job.frame, |port| node.push_payload(port, area, data, mode))
-                    }
-                    None => ep.tx.send_control(job.frame),
+                    Some(data) => ep.tx.send(job.frame, |port| {
+                        node.push_payload(port, area, data, mode)?;
+                        node.write_deadline_word(ep, job.frame.deadline_us)
+                    }),
+                    None => ep.tx.send(job.frame, |_port| {
+                        node.write_deadline_word(ep, job.frame.deadline_us)
+                    }),
                 }
             }
         };
         node.note_send_result(ep, &result);
         if result.is_ok() {
             node.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+            if job.frame.deadline_us != 0 {
+                ep.obs.emit(
+                    EventKind::DeadlineTx,
+                    u64::from(job.frame.aux),
+                    [u64::from(job.frame.deadline_us), u64::from(now)],
+                );
+            }
         }
         // Ring the coalesced doorbell once the queue goes momentarily
         // idle; while more jobs are waiting, the batch keeps growing (the
@@ -660,6 +782,20 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
             }
             let transient = e.is_transient() || matches!(e, ntb_sim::NtbError::LinkFailed { .. });
             if transient && job.attempts < policy.max_retries {
+                // Retry budget: retries are the classic congestion
+                // amplifier, so each link meters them through a token
+                // bucket. A dry bucket sheds the retransmission — typed
+                // and counted, never silent — and the origin's end-to-end
+                // recovery (or the op's deadline) takes it from here.
+                if !ep.retry_budget.try_spend() {
+                    node.metrics.bump_link(ep.link_idx, |l| &l.retry_sheds);
+                    ep.obs.emit(
+                        EventKind::RetryShed,
+                        u64::from(job.frame.aux),
+                        [u64::from(job.attempts + 1), 0],
+                    );
+                    continue;
+                }
                 job.attempts += 1;
                 job.think = policy.backoff(job.attempts - 1).max(Duration::from_millis(1));
                 node.count_retransmit();
@@ -672,7 +808,11 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
                 // Re-dispatch through whatever endpoint routing now
                 // prefers — the health tracker may have failed this one
                 // over in the meantime.
-                node.endpoint_for(job.frame.dest).fwd.push(job);
+                let (aux, deadline_us) = (u64::from(job.frame.aux), job.frame.deadline_us);
+                let out = node.endpoint_for(job.frame.dest);
+                let renow = node.now_us();
+                let outcome = out.fwd.push(job, renow);
+                let _ = node.note_push(out, outcome, aux, deadline_us, renow);
             } else {
                 node.record_error(e);
             }
@@ -700,6 +840,30 @@ pub(crate) fn retry_sweeper_loop(node: &Arc<NtbNode>) {
         }
         let now = Instant::now();
         for (id, put) in node.unacked.overdue(now) {
+            // Operation deadline expired: abandon typed. The next quiet
+            // reports `DeadlineExceeded` instead of `LinkFailed` — the
+            // caller set a time budget and it was missed.
+            let now_us = node.now_us();
+            if put.deadline_us != 0 && now_us > put.deadline_us {
+                if node.unacked.fail_expired(id) {
+                    let ep = node.endpoint_for(put.dest);
+                    node.metrics.bump_link(ep.link_idx(), |l| &l.deadline_sheds);
+                    node.obs.emit(
+                        EventKind::DeadlineShed,
+                        u64::from(id),
+                        [u64::from(put.deadline_us), u64::from(now_us)],
+                    );
+                    // The shed *is* this put's one resolution — record it
+                    // for invariant 1 (put-resolution) like every other
+                    // abandon path.
+                    node.obs.emit(
+                        EventKind::PutAbandon,
+                        u64::from(id),
+                        [u64::from(put.attempts), put.dest as u64],
+                    );
+                }
+                continue;
+            }
             if put.attempts > policy.max_retries {
                 // Budget spent: abandon. The failure surfaces as
                 // `LinkFailed` from the next `quiet`. An ack may have
@@ -719,13 +883,31 @@ pub(crate) fn retry_sweeper_loop(node: &Arc<NtbNode>) {
             if node.unacked.note_attempt(id, next).is_none() {
                 continue; // acked while we looked
             }
+            // Retry budget: when the link's bucket is dry the wire
+            // transmission is shed, but the attempt above still counted —
+            // abandonment stays bounded and quiet still terminates even
+            // on a link whose budget never refills.
+            let ep = node.endpoint_for(put.dest);
+            if !ep.retry_budget.try_spend() {
+                node.metrics.bump_link(ep.link_idx(), |l| &l.retry_sheds);
+                ep.obs.emit(EventKind::RetryShed, u64::from(id), [u64::from(put.attempts), 0]);
+                continue;
+            }
             node.count_retransmit();
             node.obs.emit(EventKind::Retransmit, u64::from(id), [u64::from(put.attempts), 0]);
             // Retransmissions flush immediately: the chunk is already
             // overdue, so trading the doorbell batching for latency is
             // the right call.
-            let _ =
-                node.transmit_put(id, put.dest, put.heap_offset, &put.data, put.mode, true, false);
+            let _ = node.transmit_put(
+                id,
+                put.dest,
+                put.heap_offset,
+                &put.data,
+                put.mode,
+                true,
+                false,
+                put.deadline_us,
+            );
         }
         if now.duration_since(last_probe) >= policy.probe_interval {
             last_probe = now;

@@ -10,8 +10,8 @@
 //!
 //! * The window gains a **ring of mailbox slots** past the control slot
 //!   (see [`WindowLayout::with_ring`]): each slot is a 32-byte record
-//!   (header word, length, offset, aux, sequence, CRC) plus a private
-//!   payload lane. A sender publishes record + payload with plain window
+//!   (header word, length, offset, aux, sequence, deadline, CRC) plus a
+//!   private payload lane. A sender publishes record + payload with plain window
 //!   writes, keeping several frames in flight at once.
 //! * Headers are written **last and in batch** by [`TxSlotRing::flush`]:
 //!   after the batch's payloads land (small ones by zero-copy PIO below
@@ -49,8 +49,8 @@ use crate::layout::WindowLayout;
 
 /// Byte offset of the record body (everything after the header word).
 const BODY_OFF: u64 = 4;
-/// Record body length: len word, offset, aux, slot sequence, CRC.
-const BODY_LEN: usize = 20;
+/// Record body length: len word, offset, aux, slot sequence, deadline, CRC.
+const BODY_LEN: usize = 24;
 
 /// One frame staged in the current batch: its header word is withheld
 /// until [`TxSlotRing::flush`] publishes the whole batch.
@@ -137,9 +137,15 @@ impl TxSlotRing {
         self.state.lock().staged.len()
     }
 
-    /// Spin until slot `idx`'s header reads back zero (the receiver
+    /// Wait until slot `idx`'s header reads back zero (the receiver
     /// consumed its previous occupant). Non-posted read per poll; bounded
     /// by the retry policy like the scratchpad wait.
+    ///
+    /// The wait escalates instead of busy-spinning forever: a short pure
+    /// spin catches the common sub-microsecond free, then the thread
+    /// yields its core, then it parks for exponentially growing slices
+    /// (capped at 64 µs) so a long-occupied slot costs interrupts, not a
+    /// pegged core.
     fn wait_slot_free(&self, idx: u32) -> Result<()> {
         let off = self.layout.ring_slot_off(idx);
         let mut buf = [0u8; 4];
@@ -152,7 +158,6 @@ impl TxSlotRing {
                 return Ok(());
             }
             spins = spins.wrapping_add(1);
-            std::thread::yield_now();
             if spins.is_multiple_of(64) {
                 if self.abort.as_ref().is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst))
                 {
@@ -172,8 +177,16 @@ impl TxSlotRing {
                         let _ = self.port.ring_peer(DB_DMAPUT);
                     }
                 }
-            } else {
+            }
+            if spins < 64 {
                 std::hint::spin_loop();
+            } else if spins < 512 {
+                std::thread::yield_now();
+            } else {
+                // 1, 2, 4 ... 64 µs parks; a pending unpark or timeout
+                // both resume the poll, so correctness is unchanged.
+                let exp = (spins - 512).min(6);
+                std::thread::park_timeout(Duration::from_micros(1 << exp));
             }
         }
     }
@@ -220,6 +233,7 @@ impl TxSlotRing {
         body[4..8].copy_from_slice(&words[2].to_le_bytes());
         body[8..12].copy_from_slice(&words[3].to_le_bytes());
         body[12..16].copy_from_slice(&seq.to_le_bytes());
+        body[16..20].copy_from_slice(&frame.deadline_us.to_le_bytes());
         // Per-slot integrity word, armed (like the control-slot CRC) only
         // on links with an active fault plan. Covers the header word too —
         // it is written separately at flush time, and a corrupted header
@@ -230,7 +244,7 @@ impl TxSlotRing {
             if !data.is_empty() {
                 crc ^= crc32(data);
             }
-            body[16..20].copy_from_slice(&crc.to_le_bytes());
+            body[20..24].copy_from_slice(&crc.to_le_bytes());
         }
         self.port.outgoing().write_bytes(
             self.layout.ring_slot_off(idx) + BODY_OFF,
@@ -363,11 +377,12 @@ pub fn read_slot(
         u32::from_le_bytes(body[i * 4..i * 4 + 4].try_into().unwrap_or([0; 4]))
         // lint: unwrap-ok(read_vec returned exactly BODY_LEN bytes; slices are 4-aligned)
     };
-    let (len_w, offset_w, aux_w, slot_seq, stored_crc) =
-        (word(0), word(1), word(2), word(3), word(4));
+    let (len_w, offset_w, aux_w, slot_seq, deadline_us, stored_crc) =
+        (word(0), word(1), word(2), word(3), word(4), word(5));
     let Some(frame) = Frame::decode([header, len_w, offset_w, aux_w]) else {
         return Ok(SlotRead::Corrupt);
     };
+    let frame = frame.with_deadline_us(deadline_us);
     let payload = if frame.kind.has_payload() && frame.len > 0 {
         if u64::from(frame.len) > layout.ring_lane {
             // A corrupted length must not trigger an out-of-bounds lane
@@ -392,13 +407,13 @@ pub fn read_slot(
     Ok(SlotRead::Frame(DrainedSlot { frame, payload, slot_idx: idx, slot_seq }))
 }
 
-/// CRC over a slot record: the header word plus the first 16 body bytes
-/// (length, offset, aux, slot sequence). The payload CRC is XORed on top
-/// by the callers.
+/// CRC over a slot record: the header word plus the first 20 body bytes
+/// (length, offset, aux, slot sequence, deadline). The payload CRC is
+/// XORed on top by the callers.
 fn slot_crc(header: u32, body: &[u8]) -> u32 {
-    let mut record = [0u8; 20];
+    let mut record = [0u8; 24];
     record[0..4].copy_from_slice(&header.to_le_bytes());
-    record[4..20].copy_from_slice(&body[0..16]);
+    record[4..24].copy_from_slice(&body[0..20]);
     crc32(&record)
 }
 
@@ -560,6 +575,22 @@ mod tests {
         };
         assert_eq!(s0.payload.unwrap(), p1);
         assert_eq!(s1.payload.unwrap(), p2);
+    }
+
+    #[test]
+    fn deadline_word_roundtrips_through_the_ring() {
+        let cfg = small_cfg();
+        let (a, b, layout) = ring_pair(&cfg);
+        let tx = tx_ring(&a, layout, &cfg);
+        let f = Frame::put(0, 1, 3, 0, 7, TransferMode::Memcpy).with_deadline_us(987_654);
+        tx.publish(f, Some(b"abc")).unwrap();
+        tx.flush().unwrap();
+        let region = b.incoming().region();
+        let SlotRead::Frame(slot) = read_slot(region, &layout, 0, false).unwrap() else {
+            panic!("expected a frame");
+        };
+        assert_eq!(slot.frame.deadline_us, 987_654);
+        assert_eq!(slot.frame.aux, 7);
     }
 
     #[test]

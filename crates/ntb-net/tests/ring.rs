@@ -366,3 +366,68 @@ fn trace_disabled_by_default() {
     net.node(0).quiet().expect("quiet");
     assert!(net.take_trace().is_empty());
 }
+
+/// Regression for the fault-timeline walker: two closely-spaced faults —
+/// a freeze with a long hold and a queue shrink scheduled *during* the
+/// hold — must each land at their own absolute deadline. The old walker
+/// served the freeze's hold inline, pushing the shrink out past the thaw.
+#[test]
+fn fault_timeline_holds_do_not_delay_later_faults() {
+    let faults = ntb_sim::FaultPlan::none()
+        .with_node_freeze(
+            1,
+            std::time::Duration::from_millis(40),
+            std::time::Duration::from_millis(500),
+        )
+        .with_queue_shrink(0, std::time::Duration::from_millis(80), 8);
+    let cfg = NetConfig::fast(3).with_faults(faults);
+    let net = RingNetwork::build(cfg).unwrap();
+    net.obs_enable();
+    // Sleep long enough for the shrink's 80 ms deadline (plus scheduling
+    // slack) but well short of the freeze's 540 ms completion.
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    let events = net.take_events();
+    let shrink = events
+        .iter()
+        .find(|e| e.kind == ntb_sim::EventKind::CapacityShrink)
+        .expect("queue shrink must land during the freeze hold, not after it");
+    assert!(
+        shrink.t_us < 450_000,
+        "shrink fired at t={}µs: the freeze hold delayed it (inline-hold walker bug)",
+        shrink.t_us
+    );
+    assert_eq!(shrink.op_id, 8, "shrunk capacity travels in op_id");
+    // Shutdown mid-hold must thaw the frozen host so its threads join.
+    net.shutdown();
+}
+
+/// An idle network must stay cold: service threads park in the doorbell
+/// wait (bounded busy-waits escalate to sleeping, never spin forever),
+/// so no link moves a single frame while nothing is happening.
+#[test]
+fn idle_service_threads_stay_cold() {
+    use std::sync::atomic::Ordering;
+    let (net, _heaps) = build(3);
+    // Prime the network so every thread is past bring-up, then drain.
+    net.node(0).put_bytes(1, 0, &[7u8; 64], TransferMode::Dma).unwrap();
+    net.node(0).quiet().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let snapshot = |net: &RingNetwork| -> Vec<u64> {
+        net.nodes()
+            .iter()
+            .flat_map(|n| {
+                (0..n.metrics().link_count()).map(|i| {
+                    let l = n.metrics().link(i).unwrap();
+                    l.frames_tx.load(Ordering::Relaxed)
+                        + l.frames_rx.load(Ordering::Relaxed)
+                        + l.retransmits.load(Ordering::Relaxed)
+                })
+            })
+            .collect()
+    };
+    let before = snapshot(&net);
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let after = snapshot(&net);
+    assert_eq!(before, after, "idle network moved frames: {before:?} -> {after:?}");
+    assert_no_errors(&net);
+}

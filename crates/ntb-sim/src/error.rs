@@ -99,6 +99,18 @@ pub enum NtbError {
         /// Membership epoch at which its death was recorded.
         epoch: u64,
     },
+    /// A bounded resource (queue, credit window, retry budget) rejected
+    /// new work under load. Terminal for the rejected operation — the
+    /// shed is the backpressure signal; blindly retrying would amplify
+    /// the very overload that caused it.
+    Overloaded {
+        /// Which bounded resource shed the work.
+        queue: &'static str,
+    },
+    /// The operation's absolute deadline expired before it completed; the
+    /// remaining work was shed instead of being carried stale through the
+    /// ring. Terminal — the deadline was the caller's time budget.
+    DeadlineExceeded,
 }
 
 impl NtbError {
@@ -145,6 +157,12 @@ impl fmt::Display for NtbError {
             NtbError::NodeDead => write!(f, "node is dead (crashed or powered off)"),
             NtbError::PeFailed { pe, epoch } => {
                 write!(f, "PE {pe} confirmed dead at membership epoch {epoch}")
+            }
+            NtbError::Overloaded { queue } => {
+                write!(f, "overloaded: {queue} shed the operation under load")
+            }
+            NtbError::DeadlineExceeded => {
+                write!(f, "operation deadline expired before completion")
             }
         }
     }
@@ -193,6 +211,11 @@ mod tests {
         // toward a confirmed-dead peer) cannot succeed until a rejoin.
         assert!(!NtbError::NodeDead.is_transient());
         assert!(!NtbError::PeFailed { pe: 2, epoch: 3 }.is_transient());
+        // Overload sheds are terminal by design: retrying into a shedding
+        // queue amplifies the overload, and an expired deadline cannot
+        // un-expire.
+        assert!(!NtbError::Overloaded { queue: "forward queue" }.is_transient());
+        assert!(!NtbError::DeadlineExceeded.is_transient());
     }
 
     #[test]
@@ -202,5 +225,12 @@ mod tests {
         assert!(NtbError::NodeDead.to_string().contains("dead"));
         let pf = NtbError::PeFailed { pe: 4, epoch: 9 }.to_string();
         assert!(pf.contains('4') && pf.contains('9'), "{pf}");
+    }
+
+    #[test]
+    fn display_overload_variants() {
+        let ov = NtbError::Overloaded { queue: "forward queue" }.to_string();
+        assert!(ov.contains("overloaded") && ov.contains("forward queue"), "{ov}");
+        assert!(NtbError::DeadlineExceeded.to_string().contains("deadline"));
     }
 }

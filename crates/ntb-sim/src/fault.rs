@@ -21,7 +21,7 @@
 //! DMA paths consult. Injected events are counted in
 //! [`FaultStats`](crate::stats::FaultStats).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -104,6 +104,58 @@ pub struct NodeFault {
     pub action: NodeFaultAction,
 }
 
+/// What a scheduled resource fault does to its target.
+///
+/// Unlike the crash/freeze family these never kill anything: they starve
+/// or slow a resource mid-run, modelling the gray failures (a degraded
+/// port renegotiating its lanes, a neighbour stealing pinned memory) that
+/// production fabrics produce far more often than clean outages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResourceFaultAction {
+    /// Gray failure: multiply every transaction's wire time on the target
+    /// *link* by `factor` for `hold`, then restore nominal speed. The
+    /// link never reports Down — it is just slow, which is exactly what
+    /// makes gray failures hard on timeout-based recovery.
+    SlowPort {
+        /// Wire-time multiplier (> 1.0 slows the port).
+        factor: f64,
+        /// How long the port stays slow before recovering.
+        hold: Duration,
+    },
+    /// Shrink the target *PE*'s store-and-forward queue capacity to
+    /// `capacity` entries (applied by the network layer; excess entries
+    /// already queued drain normally, new pushes shed).
+    ShrinkForwardQueue {
+        /// New queue capacity in entries.
+        capacity: usize,
+    },
+    /// Shrink the target *PE*'s host-memory arena to `capacity` bytes.
+    /// Allocations already made survive; new ones fail with
+    /// [`NtbError::OutOfMemory`](crate::error::NtbError) once the arena
+    /// no longer covers them.
+    ShrinkHostMem {
+        /// New arena capacity in bytes.
+        capacity: u64,
+    },
+}
+
+/// A scheduled resource fault: at `at` after network bring-up, apply
+/// `action` to `target` (a link index for [`SlowPort`], a PE index for
+/// the shrink actions). Executed by the network's fault orchestrator,
+/// like node faults.
+///
+/// [`SlowPort`]: ResourceFaultAction::SlowPort
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceFault {
+    /// Link index ([`SlowPort`](ResourceFaultAction::SlowPort)) or PE
+    /// index (shrink actions) the fault applies to.
+    pub target: usize,
+    /// Delay from network bring-up to the fault.
+    pub at: Duration,
+    /// What happens to the resource.
+    pub action: ResourceFaultAction,
+}
+
 /// A timed link outage: after the link has carried `after_doorbells`
 /// doorbell events, it goes Down for `duration` — every window write,
 /// doorbell ring and DMA through it fails with
@@ -150,6 +202,9 @@ pub struct FaultPlan {
     /// (executed by the network's fault orchestrator, not the per-link
     /// injectors).
     pub node_faults: Vec<NodeFault>,
+    /// Scheduled resource faults — slow ports and mid-run capacity
+    /// shrinks (executed by the network's fault orchestrator).
+    pub resource_faults: Vec<ResourceFault>,
 }
 
 impl Default for FaultPlan {
@@ -166,6 +221,7 @@ impl Default for FaultPlan {
             link_down: Vec::new(),
             scripted: Vec::new(),
             node_faults: Vec::new(),
+            resource_faults: Vec::new(),
         }
     }
 }
@@ -256,6 +312,45 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule link `link` to run at `factor`× wire time from `at` for
+    /// `hold` — a gray failure: slow, never Down.
+    pub fn with_slow_port(
+        mut self,
+        link: usize,
+        at: Duration,
+        factor: f64,
+        hold: Duration,
+    ) -> Self {
+        self.resource_faults.push(ResourceFault {
+            target: link,
+            at,
+            action: ResourceFaultAction::SlowPort { factor, hold },
+        });
+        self
+    }
+
+    /// Schedule PE `pe`'s forward queue to shrink to `capacity` entries
+    /// at `at`.
+    pub fn with_queue_shrink(mut self, pe: usize, at: Duration, capacity: usize) -> Self {
+        self.resource_faults.push(ResourceFault {
+            target: pe,
+            at,
+            action: ResourceFaultAction::ShrinkForwardQueue { capacity },
+        });
+        self
+    }
+
+    /// Schedule PE `pe`'s host-memory arena to shrink to `capacity`
+    /// bytes at `at`.
+    pub fn with_mem_shrink(mut self, pe: usize, at: Duration, capacity: u64) -> Self {
+        self.resource_faults.push(ResourceFault {
+            target: pe,
+            at,
+            action: ResourceFaultAction::ShrinkHostMem { capacity },
+        });
+        self
+    }
+
     /// Whether this plan can inject anything at all *on a link's hot
     /// path*. Node faults are deliberately excluded: they are executed by
     /// the network orchestrator, and arming the per-link CRC machinery
@@ -275,6 +370,12 @@ impl FaultPlan {
     /// network builder to decide if the orchestrator thread is needed).
     pub fn has_node_faults(&self) -> bool {
         !self.node_faults.is_empty()
+    }
+
+    /// Whether the plan schedules any resource faults (slow ports or
+    /// capacity shrinks; orchestrator-executed, like node faults).
+    pub fn has_resource_faults(&self) -> bool {
+        !self.resource_faults.is_empty()
     }
 }
 
@@ -322,6 +423,10 @@ pub struct FaultInjector {
     total_dmas: AtomicU64,
     total_acks: AtomicU64,
     down: Mutex<DownState>,
+    /// Gray-failure wire-time multiplier in permille (1000 = nominal).
+    /// Set by the network's fault orchestrator while a
+    /// [`ResourceFaultAction::SlowPort`] window is open.
+    slow_permille: AtomicU32,
 }
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function.
@@ -380,6 +485,7 @@ impl FaultInjector {
             total_dmas: AtomicU64::new(0),
             total_acks: AtomicU64::new(0),
             down: Mutex::new(DownState { windows, until: None }),
+            slow_permille: AtomicU32::new(1000),
         })
     }
 
@@ -397,6 +503,21 @@ impl FaultInjector {
     /// lossless injector).
     pub fn is_active(&self) -> bool {
         self.active
+    }
+
+    /// Open or close a slow-port window: every transaction's wire time on
+    /// this link is multiplied by `factor` until reset to `1.0`. Values
+    /// are quantized to permille; anything ≤ 0 is clamped to nominal.
+    pub fn set_slow_factor(&self, factor: f64) {
+        let permille = if factor > 0.0 { (factor * 1000.0).round() as u32 } else { 1000 };
+        // lint: relaxed-ok(latency knob sampled per transaction; no data is guarded)
+        self.slow_permille.store(permille.max(1), Ordering::Relaxed);
+    }
+
+    /// Current gray-failure wire-time multiplier (1.0 = nominal).
+    pub fn slow_factor(&self) -> f64 {
+        // lint: relaxed-ok(latency knob sampled per transaction; no data is guarded)
+        f64::from(self.slow_permille.load(Ordering::Relaxed)) / 1000.0
     }
 
     fn decide(&self, stream: u64, dir_stream_index: u64, rate: f64) -> bool {
@@ -689,5 +810,46 @@ mod tests {
         );
         assert_eq!(plan.node_faults[2].action, NodeFaultAction::Restart);
         assert!(!FaultPlan::none().has_node_faults());
+    }
+
+    #[test]
+    fn resource_faults_schedule_without_arming_links() {
+        let plan = FaultPlan::none()
+            .with_slow_port(1, Duration::from_millis(5), 4.0, Duration::from_millis(50))
+            .with_queue_shrink(2, Duration::from_millis(10), 4)
+            .with_mem_shrink(0, Duration::from_millis(15), 1 << 20);
+        assert!(plan.has_resource_faults());
+        // Resource faults are orchestrator-scoped, like node faults: the
+        // link hot path stays disarmed.
+        assert!(!plan.is_active());
+        assert_eq!(plan.resource_faults.len(), 3);
+        assert_eq!(
+            plan.resource_faults[0].action,
+            ResourceFaultAction::SlowPort { factor: 4.0, hold: Duration::from_millis(50) }
+        );
+        assert_eq!(
+            plan.resource_faults[1].action,
+            ResourceFaultAction::ShrinkForwardQueue { capacity: 4 }
+        );
+        assert_eq!(
+            plan.resource_faults[2].action,
+            ResourceFaultAction::ShrinkHostMem { capacity: 1 << 20 }
+        );
+        assert!(!FaultPlan::none().has_resource_faults());
+    }
+
+    #[test]
+    fn slow_factor_round_trips_and_clamps() {
+        let inj = FaultInjector::none();
+        assert_eq!(inj.slow_factor(), 1.0);
+        inj.set_slow_factor(4.0);
+        assert_eq!(inj.slow_factor(), 4.0);
+        inj.set_slow_factor(1.5);
+        assert_eq!(inj.slow_factor(), 1.5);
+        // Nonsense values clamp to nominal instead of freezing the link.
+        inj.set_slow_factor(0.0);
+        assert_eq!(inj.slow_factor(), 1.0);
+        inj.set_slow_factor(-3.0);
+        assert_eq!(inj.slow_factor(), 1.0);
     }
 }

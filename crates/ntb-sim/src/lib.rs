@@ -49,7 +49,7 @@ pub use doorbell::{Doorbell, DoorbellWaiter, DOORBELL_BITS};
 pub use error::{NtbError, Result};
 pub use fault::{
     DmaFaultOutcome, FaultAction, FaultInjector, FaultPlan, LinkDownWindow, NodeFault,
-    NodeFaultAction, ScriptedFault, DATA_DOORBELL_MASK,
+    NodeFaultAction, ResourceFault, ResourceFaultAction, ScriptedFault, DATA_DOORBELL_MASK,
 };
 pub use link::{LaneCount, LinkHealth, LinkHealthTracker, LinkSpec, PcieGen};
 pub use memory::{HostMemory, Region};

@@ -183,7 +183,9 @@ impl Region {
 #[derive(Debug)]
 pub struct HostMemory {
     host_id: usize,
-    capacity: u64,
+    /// Atomic so a resource-fault plan can shrink it mid-run; existing
+    /// allocations survive a shrink, new ones see the reduced budget.
+    capacity: AtomicU64,
     allocated: AtomicU64,
     regions: AtomicU64,
     activity: Arc<crate::timing::HostActivity>,
@@ -194,7 +196,7 @@ impl HostMemory {
     pub fn new(host_id: usize, capacity: u64) -> Arc<Self> {
         Arc::new(HostMemory {
             host_id,
-            capacity,
+            capacity: AtomicU64::new(capacity),
             allocated: AtomicU64::new(0),
             regions: AtomicU64::new(0),
             activity: crate::timing::HostActivity::new(),
@@ -214,7 +216,17 @@ impl HostMemory {
 
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.capacity
+        // lint: relaxed-ok(capacity snapshot; admission re-reads under the alloc CAS loop)
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Shrink (or grow) the arena to `capacity` bytes mid-run — the
+    /// resource-fault hook ("a neighbour stole the pinned pages").
+    /// Regions already allocated are untouched even if the arena now
+    /// overcommits; only future allocations see the new budget.
+    pub fn set_capacity(&self, capacity: u64) {
+        // lint: relaxed-ok(capacity knob; alloc_region tolerates a stale read by one fault window)
+        self.capacity.store(capacity, Ordering::Relaxed);
     }
 
     /// Bytes currently allocated.
@@ -236,14 +248,15 @@ impl HostMemory {
         // lint: relaxed-ok(seed value for the CAS loop below; the CAS re-reads on conflict)
         let mut current = self.allocated.load(Ordering::Relaxed);
         loop {
+            let capacity = self.capacity();
             let new = current.checked_add(len).ok_or(NtbError::OutOfMemory {
                 requested: len,
-                available: self.capacity.saturating_sub(current),
+                available: capacity.saturating_sub(current),
             })?;
-            if new > self.capacity {
+            if new > capacity {
                 return Err(NtbError::OutOfMemory {
                     requested: len,
-                    available: self.capacity - current,
+                    available: capacity.saturating_sub(current),
                 });
             }
             match self.allocated.compare_exchange_weak(
@@ -366,6 +379,22 @@ mod tests {
         // Exactly filling the arena works.
         let _c = hm.alloc_region(256).unwrap();
         assert_eq!(hm.allocated(), 1024);
+    }
+
+    #[test]
+    fn capacity_shrink_starves_future_allocations_only() {
+        let hm = HostMemory::new(1, 4096);
+        let _held = hm.alloc_region(1024).unwrap();
+        hm.set_capacity(512);
+        assert_eq!(hm.capacity(), 512);
+        // The arena is now overcommitted: the held region survives, but
+        // no new allocation fits.
+        assert_eq!(hm.allocated(), 1024);
+        let err = hm.alloc_region(64).unwrap_err();
+        assert!(matches!(err, NtbError::OutOfMemory { .. }));
+        // Growing back re-admits allocations.
+        hm.set_capacity(4096);
+        assert!(hm.alloc_region(64).is_ok());
     }
 
     #[test]

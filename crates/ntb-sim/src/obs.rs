@@ -74,6 +74,14 @@ pub enum EventKind {
     NodeThaw,
     /// A crashed PE was restarted and begins its rejoin (`op_id` = PE).
     NodeRestart,
+    /// A link entered or left a gray-failure slow window (`op_id` =
+    /// link, `payload[0]` = wire-time factor in permille; 1000 =
+    /// recovered).
+    PortSlow,
+    /// A resource capacity was shrunk mid-run by the fault plan
+    /// (`op_id` = target PE, `payload` = [new capacity, resource code:
+    /// 0 = forward queue entries, 1 = host memory bytes]).
+    CapacityShrink,
 
     // --- ntb-net: protocol events -----------------------------------
     /// A frame was published into the peer mailbox (`op_id` = frame aux,
@@ -160,6 +168,32 @@ pub enum EventKind {
     /// or carrying an out-of-range src/dest (`op_id` = frame aux,
     /// `payload` = [dest, reason code]).
     RouterDrop,
+    /// A forward job was admitted into a bounded queue (`op_id` = frame
+    /// aux, `payload` = [occupancy after the push, capacity]). The
+    /// checker's invariant 9 replays these: occupancy must never exceed
+    /// the advertised capacity.
+    QueueEnqueue,
+    /// Work was shed at admission — queue full or credits exhausted
+    /// (`op_id` = frame aux, `payload` = [occupancy, capacity]).
+    OverloadShed,
+    /// Already-expired work was dropped at a hop instead of being
+    /// forwarded (`op_id` = frame aux, `payload` = [deadline µs,
+    /// now µs]).
+    DeadlineShed,
+    /// A hop transmitted a deadline-carrying frame (`op_id` = frame
+    /// aux, `payload` = [deadline µs, now µs]). The checker's
+    /// invariant 10 replays these: now must not exceed the deadline.
+    DeadlineTx,
+    /// A retransmission was shed because the per-link retry budget ran
+    /// dry (`op_id` = put/req id, `payload` = [attempt, 0]).
+    RetryShed,
+    /// The receiver advertised cumulative flow-control credits on this
+    /// link (`payload` = [granted total, 0]).
+    CreditGrant,
+    /// The sender consumed one flow-control credit (`payload` =
+    /// [consumed total, granted total at consume time]). Invariant 9's
+    /// conservation half: consumed must never exceed granted.
+    CreditConsume,
 
     // --- shmem-core: API-level events -------------------------------
     /// `shmem_put` entered (`op_id` = per-PE op counter, `payload` =
@@ -213,6 +247,8 @@ impl EventKind {
             EventKind::NodeFreeze => "node_freeze",
             EventKind::NodeThaw => "node_thaw",
             EventKind::NodeRestart => "node_restart",
+            EventKind::PortSlow => "port_slow",
+            EventKind::CapacityShrink => "capacity_shrink",
             EventKind::FrameTx => "frame_tx",
             EventKind::FrameRx => "frame_rx",
             EventKind::FrameFwd => "frame_fwd",
@@ -243,6 +279,13 @@ impl EventKind {
             EventKind::PeRejoin => "pe_rejoin",
             EventKind::MembershipUpdate => "membership_update",
             EventKind::RouterDrop => "router_drop",
+            EventKind::QueueEnqueue => "queue_enqueue",
+            EventKind::OverloadShed => "overload_shed",
+            EventKind::DeadlineShed => "deadline_shed",
+            EventKind::DeadlineTx => "deadline_tx",
+            EventKind::RetryShed => "retry_shed",
+            EventKind::CreditGrant => "credit_grant",
+            EventKind::CreditConsume => "credit_consume",
             EventKind::ApiPutIssue => "api_put_issue",
             EventKind::ApiPutComplete => "api_put_complete",
             EventKind::ApiGetIssue => "api_get_issue",
@@ -697,18 +740,28 @@ pub struct LinkMetrics {
     /// Frames the router discarded: out-of-range src/dest, or destined
     /// to a PE known to be dead.
     pub router_drops: AtomicU64,
+    /// Work dropped at a hop because its deadline had already expired.
+    pub deadline_sheds: AtomicU64,
+    /// Work rejected at admission: bounded queue full or flow-control
+    /// credits exhausted.
+    pub overload_sheds: AtomicU64,
+    /// Retransmissions shed because the per-link retry budget ran dry.
+    pub retry_sheds: AtomicU64,
 }
 
 impl LinkMetrics {
     fn to_json(&self) -> String {
         format!(
-            "{{\"frames_tx\":{},\"frames_rx\":{},\"retransmits\":{},\"reroutes\":{},\"crc_rejects\":{},\"router_drops\":{}}}",
+            "{{\"frames_tx\":{},\"frames_rx\":{},\"retransmits\":{},\"reroutes\":{},\"crc_rejects\":{},\"router_drops\":{},\"deadline_sheds\":{},\"overload_sheds\":{},\"retry_sheds\":{}}}",
             get(&self.frames_tx),
             get(&self.frames_rx),
             get(&self.retransmits),
             get(&self.reroutes),
             get(&self.crc_rejects),
             get(&self.router_drops),
+            get(&self.deadline_sheds),
+            get(&self.overload_sheds),
+            get(&self.retry_sheds),
         )
     }
 }
@@ -892,9 +945,13 @@ mod tests {
         m.bump_link(0, |l| &l.frames_tx);
         m.bump_link(1, |l| &l.frames_rx);
         m.bump_link(9, |l| &l.frames_tx); // out of range: ignored
+        m.bump_link(0, |l| &l.overload_sheds);
         let json = m.to_json();
         assert!(json.contains("\"put\":{\"count\":1"), "{json}");
         assert!(json.contains("\"links\":[{\"frames_tx\":1"), "{json}");
+        assert!(json.contains("\"deadline_sheds\":0"), "{json}");
+        assert!(json.contains("\"overload_sheds\":1"), "{json}");
+        assert!(json.contains("\"retry_sheds\":0"), "{json}");
         assert_eq!(m.link(0).unwrap().frames_tx.load(Ordering::Relaxed), 1);
         assert_eq!(m.link_count(), 2);
     }

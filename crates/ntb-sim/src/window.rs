@@ -16,7 +16,7 @@
 //! NTB wrote straight into RAM), read and written at local-copy cost.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::bar::{BarConfig, LutTable};
 use crate::error::{NtbError, Result};
@@ -168,11 +168,22 @@ impl OutgoingWindow {
     /// The receiving host's concurrent transmissions (its other adapter)
     /// count as contention; this transfer marks the sending host busy.
     fn reserve(&self, bytes: u64, mode: TransferMode) -> Instant {
-        let wire = self.model.scaled_duration(self.model.transfer_time(bytes, mode));
+        let wire = self.slowed(self.model.scaled_duration(self.model.transfer_time(bytes, mode)));
         let contended = self.peer_activity.is_tx_busy();
         let deadline = self.link.reserve(self.dir, wire, self.model.duplex_penalty, contended);
         self.local_activity.mark_tx(deadline);
         deadline
+    }
+
+    /// Stretch a wire time by the link's gray-failure slow factor (a
+    /// degraded port that renegotiated down: slower, never Down).
+    fn slowed(&self, wire: Duration) -> Duration {
+        let factor = self.faults.slow_factor();
+        if factor == 1.0 {
+            wire
+        } else {
+            wire.mul_f64(factor)
+        }
     }
 
     fn account(&self, bytes: u64, mode: TransferMode) {
@@ -245,7 +256,7 @@ impl OutgoingWindow {
         // Read completions travel opposite to our writes.
         let deadline = self.link.reserve(
             self.dir.opposite(),
-            self.model.scaled_duration(wire),
+            self.slowed(self.model.scaled_duration(wire)),
             self.model.duplex_penalty,
             self.peer_activity.is_tx_busy(),
         );
@@ -375,6 +386,27 @@ mod tests {
         out.write_bytes(0, &vec![7u8; 256 * 1024], TransferMode::Dma).unwrap();
         let elapsed = t0.elapsed();
         assert!(elapsed >= expected, "elapsed {elapsed:?} < modelled {expected:?}");
+    }
+
+    #[test]
+    fn slow_port_stretches_wire_time_without_killing_link() {
+        let model = TimeModel::scaled(0.05);
+        let nominal = model.scaled_duration(model.transfer_time(256 * 1024, TransferMode::Dma));
+        let (out, _, _) = setup(1 << 20, model);
+        out.faults().set_slow_factor(4.0);
+        let payload = vec![7u8; 256 * 1024];
+        let t0 = Instant::now();
+        // The link stays up — the write succeeds, it is just slow.
+        out.write_bytes(0, &payload, TransferMode::Dma).unwrap();
+        let slow = t0.elapsed();
+        assert!(
+            slow >= nominal.mul_f64(3.5),
+            "slow-port write {slow:?} should be ~4x nominal {nominal:?}"
+        );
+        out.faults().set_slow_factor(1.0);
+        let t1 = Instant::now();
+        out.write_bytes(0, &payload, TransferMode::Dma).unwrap();
+        assert!(t1.elapsed() < slow, "recovered port must be faster than the gray window");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro [all|fig8|fig9|fig10|compare|trace|transport] [--scale F] [--reps N] [--quick] [--csv DIR]
+//! repro [all|fig8|fig9|fig10|compare|trace|transport|overload] [--scale F] [--reps N] [--quick] [--csv DIR]
 //! ```
 //!
 //! `compare` runs the beyond-paper topology comparison: the switchless
@@ -10,6 +10,9 @@
 //! and the protocol-invariant checker's verdict. `transport` benchmarks
 //! the batched/coalesced transport hot path against the legacy
 //! per-message doorbell path and writes `BENCH_transport.json`.
+//! `overload` sweeps incast offered load to 3× the calibrated saturation
+//! rate and writes `BENCH_overload.json` (goodput, tail latency and shed
+//! counts per load point).
 //!
 //! * `--scale F`  — time-model scale (1.0 = paper-calibrated latencies,
 //!   smaller = proportionally faster runs with the same shapes).
@@ -41,9 +44,8 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "all" | "fig8" | "fig9" | "fig10" | "compare" | "scaling" | "trace" | "transport" => {
-                opts.what = a
-            }
+            "all" | "fig8" | "fig9" | "fig10" | "compare" | "scaling" | "trace" | "transport"
+            | "overload" => opts.what = a,
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -65,7 +67,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig8|fig9|fig10|compare|scaling|trace|transport] [--scale F] [--reps N] [--quick] [--csv DIR]"
+                    "usage: repro [all|fig8|fig9|fig10|compare|scaling|trace|transport|overload] [--scale F] [--reps N] [--quick] [--csv DIR]"
                 );
                 std::process::exit(0);
             }
@@ -148,6 +150,24 @@ fn run_transport_bench(scale: f64, reps: Option<usize>) {
     println!("wrote {}", path.display());
 }
 
+/// Run the overload sweep and write `BENCH_overload.json` into the
+/// current directory.
+fn run_overload_bench(scale: f64, quick: bool) {
+    use shmem_bench::overload::{run_overload, OverloadBenchConfig};
+    let model = if scale == 1.0 { TimeModel::paper() } else { TimeModel::scaled(scale) };
+    let mut cfg = OverloadBenchConfig { model, ..OverloadBenchConfig::default() };
+    if quick {
+        cfg.window = std::time::Duration::from_millis(150);
+    }
+    let t0 = std::time::Instant::now();
+    let r = run_overload(&cfg);
+    println!("{}", r.render());
+    println!("(overload ran in {:.1?})", t0.elapsed());
+    let path = PathBuf::from("BENCH_overload.json");
+    fs::write(&path, r.to_json()).expect("write BENCH_overload.json");
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     let opts = parse_args();
     if opts.what == "trace" {
@@ -156,6 +176,10 @@ fn main() {
     }
     if opts.what == "transport" {
         run_transport_bench(opts.scale, opts.reps);
+        return;
+    }
+    if opts.what == "overload" {
+        run_overload_bench(opts.scale, opts.quick);
         return;
     }
     let sizes = if opts.quick { quick_sizes() } else { paper_sizes() };

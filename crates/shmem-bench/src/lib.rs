@@ -11,7 +11,10 @@
 //!
 //! Beyond the paper, [`transport`] benchmarks the batched/coalesced
 //! transport hot path against the legacy per-message doorbell path and
-//! emits `BENCH_transport.json` for cross-PR tracking.
+//! emits `BENCH_transport.json` for cross-PR tracking, and [`overload`]
+//! sweeps offered load past saturation to measure goodput retention
+//! under the flow-control/deadline/shedding machinery
+//! (`BENCH_overload.json`).
 //!
 //! The `repro` binary drives all of them and prints paper-style series;
 //! the criterion benches under `benches/` run scaled-down versions for
@@ -24,6 +27,7 @@ pub mod compare;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;
+pub mod overload;
 pub mod report;
 pub mod sizes;
 pub mod stats;

@@ -1,0 +1,387 @@
+//! Overload benchmark: goodput and tail latency versus offered load.
+//!
+//! The beyond-paper measurement that tracks the overload-survival layer
+//! (credit-based flow control, wire deadlines, retry budgets, bounded
+//! queues — DESIGN.md §14) across PRs. It emits `BENCH_overload.json`.
+//!
+//! Shape: an incast. Every PE except PE 0 fires deadline-bounded puts at
+//! PE 0 — first flat out to find the saturation rate (the completion
+//! rate an unpaced incast sustains), then open-loop paced at 1×, 2× and
+//! 3× that rate. A system without admission control
+//! collapses past saturation: queues grow, every operation waits behind
+//! the backlog, goodput falls toward zero while latency diverges. With
+//! load shedding the excess is rejected *typed* at admission and the
+//! work that is admitted still completes — so goodput at 3× saturation
+//! must hold at least half of the peak across the sweep. That retention
+//! ratio is the regression gate.
+
+use std::time::{Duration, Instant};
+
+use ntb_sim::TimeModel;
+use shmem_core::{OpOptions, OverloadConfig, ShmemConfig, ShmemWorld};
+
+/// Parameters of the overload run.
+#[derive(Debug, Clone)]
+pub struct OverloadBenchConfig {
+    /// Timing model (the committed run uses the paper-calibrated model).
+    pub model: TimeModel,
+    /// Ring size. PE 0 is the incast target; all others send.
+    pub hosts: usize,
+    /// Put payload in bytes.
+    pub size: u64,
+    /// Per-operation deadline carried by every timed put.
+    pub deadline: Duration,
+    /// Open-loop measurement window per load point.
+    pub window: Duration,
+    /// Offered-load multipliers over the calibrated saturation rate.
+    pub multipliers: Vec<f64>,
+    /// Puts per `quiet` batch (completion accounting granularity).
+    pub batch: usize,
+    /// Flow-control tuning for the measured worlds.
+    pub overload: OverloadConfig,
+}
+
+impl Default for OverloadBenchConfig {
+    fn default() -> Self {
+        OverloadBenchConfig {
+            model: TimeModel::paper(),
+            hosts: 4,
+            size: 512,
+            deadline: Duration::from_millis(5),
+            window: Duration::from_millis(400),
+            multipliers: vec![1.0, 2.0, 3.0],
+            batch: 8,
+            overload: OverloadConfig::default(),
+        }
+    }
+}
+
+/// One open-loop load point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load as a multiple of the calibrated saturation rate.
+    pub multiplier: f64,
+    /// Aggregate rate the senders tried to issue at (ops/s).
+    pub offered_ops_per_sec: f64,
+    /// Aggregate rate of puts that *completed* (admitted and acked
+    /// before their deadline), in ops/s.
+    pub goodput_ops_per_sec: f64,
+    /// Median put-call latency in microseconds (includes any bounded
+    /// admission wait).
+    pub p50_us: f64,
+    /// 99th-percentile put-call latency in microseconds.
+    pub p99_us: f64,
+    /// Put calls attempted across all senders.
+    pub attempts: u64,
+    /// Puts confirmed complete (their batch's quiet returned clean).
+    pub completed: u64,
+    /// Puts shed — rejected at admission or expired before the ack.
+    pub shed: u64,
+    /// Frame-level deadline sheds summed over every PE's links.
+    pub deadline_sheds: u64,
+    /// Frame-level overload sheds (queue/credit rejections), summed.
+    pub overload_sheds: u64,
+    /// Retransmissions withheld by dry retry budgets, summed.
+    pub retry_sheds: u64,
+}
+
+/// Everything the overload run measured.
+#[derive(Debug, Clone)]
+pub struct OverloadResult {
+    /// The time-model scale the run used.
+    pub scale: f64,
+    /// Ring size (PE 0 is the incast target).
+    pub hosts: usize,
+    /// Put payload in bytes.
+    pub size: u64,
+    /// Per-operation deadline in microseconds.
+    pub deadline_us: u64,
+    /// Calibrated saturation rate (flat-out completion rate), aggregate
+    /// ops/s.
+    pub saturation_ops_per_sec: f64,
+    /// One measurement per offered-load multiplier, in sweep order.
+    pub points: Vec<LoadPoint>,
+    /// Goodput at the highest multiplier as a percentage of the best
+    /// goodput anywhere in the sweep — the regression-gated number.
+    pub goodput_retention_pct: f64,
+}
+
+fn world_cfg(cfg: &OverloadBenchConfig) -> ShmemConfig {
+    let mut world = ShmemConfig::fast_sim()
+        .with_hosts(cfg.hosts)
+        .with_model(cfg.model.clone())
+        .with_overload(cfg.overload);
+    world.barrier_timeout = Duration::from_secs(600);
+    world
+}
+
+/// What one sender brings home from an open-loop window.
+struct SenderTally {
+    attempts: u64,
+    completed: u64,
+    shed: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// One open-loop point: senders pace themselves at their share of the
+/// aggregate `rate` (or flat out when `rate` is `None` — the calibration
+/// run) and never wait for completions — excess load meets the admission
+/// machinery, exactly like a real overload.
+fn run_point(cfg: &OverloadBenchConfig, rate: Option<f64>, multiplier: f64) -> LoadPoint {
+    let (size, batch) = (cfg.size as usize, cfg.batch);
+    let (window, deadline) = (cfg.window, cfg.deadline);
+    let senders = cfg.hosts - 1;
+    let interval = rate.map(|r| Duration::from_secs_f64(senders as f64 / r));
+    let results = ShmemWorld::run(world_cfg(cfg), move |ctx| {
+        let sym = ctx.malloc_array::<u8>(size).expect("alloc");
+        ctx.barrier_all().expect("barrier");
+        let tally = if ctx.my_pe() == 0 {
+            None
+        } else {
+            let data = vec![0xE1u8; size];
+            let opts = OpOptions::new().deadline(deadline);
+            let mut t = SenderTally { attempts: 0, completed: 0, shed: 0, latencies_us: vec![] };
+            let mut in_flight = 0u64;
+            let settle = |t: &mut SenderTally, in_flight: &mut u64, ok: bool| {
+                if ok {
+                    t.completed += *in_flight;
+                } else {
+                    t.shed += *in_flight;
+                }
+                *in_flight = 0;
+            };
+            let start = Instant::now();
+            let mut next = start;
+            while start.elapsed() < window {
+                if let Some(interval) = interval {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(next - now);
+                    }
+                    // Open loop: a sender running behind schedule does
+                    // not slow its offered rate — the backlog is the
+                    // point.
+                    next += interval;
+                }
+                t.attempts += 1;
+                let t0 = Instant::now();
+                let admitted = ctx.put_slice_opts(&sym, 0, &data, 0, opts).is_ok();
+                t.latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                if admitted {
+                    in_flight += 1;
+                } else {
+                    t.shed += 1;
+                }
+                if in_flight >= batch as u64 {
+                    let ok = ctx.quiet().is_ok();
+                    settle(&mut t, &mut in_flight, ok);
+                }
+            }
+            let ok = ctx.quiet().is_ok();
+            settle(&mut t, &mut in_flight, ok);
+            Some(t)
+        };
+        // Let stragglers and the retry sweeper finish shedding before
+        // the counters are read, then collect every PE's frame-level
+        // shed totals.
+        ctx.quiet().ok();
+        ctx.barrier_all().expect("drain barrier");
+        (tally, ctx.stats_snapshot())
+    })
+    .expect("load-point world");
+
+    let mut point = LoadPoint {
+        multiplier,
+        offered_ops_per_sec: 0.0,
+        goodput_ops_per_sec: 0.0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        attempts: 0,
+        completed: 0,
+        shed: 0,
+        deadline_sheds: 0,
+        overload_sheds: 0,
+        retry_sheds: 0,
+    };
+    let mut latencies: Vec<f64> = Vec::new();
+    for (tally, stats) in results {
+        point.deadline_sheds += stats.deadline_sheds;
+        point.overload_sheds += stats.overload_sheds;
+        point.retry_sheds += stats.retry_sheds;
+        if let Some(t) = tally {
+            point.attempts += t.attempts;
+            point.completed += t.completed;
+            point.shed += t.shed;
+            latencies.extend(t.latencies_us);
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    if !latencies.is_empty() {
+        let pct = |p: f64| latencies[((latencies.len() as f64 - 1.0) * p).round() as usize];
+        point.p50_us = pct(0.5);
+        point.p99_us = pct(0.99);
+    }
+    // Paced points offer exactly their target rate; the flat-out
+    // calibration offered whatever the senders physically achieved.
+    point.offered_ops_per_sec = rate.unwrap_or(point.attempts as f64 / window.as_secs_f64());
+    point.goodput_ops_per_sec = point.completed as f64 / window.as_secs_f64();
+    point
+}
+
+/// Run the full overload benchmark: calibrate, then sweep the offered
+/// load.
+pub fn run_overload(cfg: &OverloadBenchConfig) -> OverloadResult {
+    assert!(cfg.hosts >= 3, "incast needs at least two senders");
+    assert!(!cfg.multipliers.is_empty(), "empty load sweep");
+    // Calibration: an unpaced (flat-out) window. Its *goodput* — not its
+    // attempt rate — is the saturation point: the completion rate the
+    // system actually sustains when offered everything the senders have.
+    let saturation = run_point(cfg, None, 0.0).goodput_ops_per_sec;
+    assert!(saturation > 0.0, "calibration completed no work");
+    let points: Vec<LoadPoint> =
+        cfg.multipliers.iter().map(|&m| run_point(cfg, Some(m * saturation), m)).collect();
+    let peak = points.iter().map(|p| p.goodput_ops_per_sec).fold(0.0f64, f64::max);
+    let last = points.last().expect("at least one point").goodput_ops_per_sec;
+    let retention = if peak > 0.0 { last / peak * 100.0 } else { 0.0 };
+    OverloadResult {
+        scale: cfg.model.scale,
+        hosts: cfg.hosts,
+        size: cfg.size,
+        deadline_us: cfg.deadline.as_micros() as u64,
+        saturation_ops_per_sec: saturation,
+        points,
+        goodput_retention_pct: retention,
+    }
+}
+
+impl OverloadResult {
+    /// Text report for the console.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Overload sweep ({} PEs incast at PE 0, {} B puts, {} us deadline, scale {})\n\
+             flat-out saturation: {:.0} ops/s aggregate\n",
+            self.hosts, self.size, self.deadline_us, self.scale, self.saturation_ops_per_sec,
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:.1}x: offered {:>9.0} ops/s  goodput {:>9.0} ops/s  \
+                 p50 {:>8.2} us  p99 {:>8.2} us  shed {} (frame-level: {} deadline, {} overload, {} retry)\n",
+                p.multiplier,
+                p.offered_ops_per_sec,
+                p.goodput_ops_per_sec,
+                p.p50_us,
+                p.p99_us,
+                p.shed,
+                p.deadline_sheds,
+                p.overload_sheds,
+                p.retry_sheds,
+            ));
+        }
+        out.push_str(&format!(
+            "goodput retention at {:.1}x: {:.1}% of peak (gate: >= 50%)\n",
+            self.points.last().map_or(0.0, |p| p.multiplier),
+            self.goodput_retention_pct,
+        ));
+        out
+    }
+
+    /// Hand-rolled JSON document (no serde in the dependency budget).
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"multiplier\": {:.1}, \"offered_ops_per_sec\": {:.1}, \
+                     \"goodput_ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+                     \"attempts\": {}, \"completed\": {}, \"shed\": {}, \
+                     \"deadline_sheds\": {}, \"overload_sheds\": {}, \"retry_sheds\": {}}}",
+                    p.multiplier,
+                    p.offered_ops_per_sec,
+                    p.goodput_ops_per_sec,
+                    p.p50_us,
+                    p.p99_us,
+                    p.attempts,
+                    p.completed,
+                    p.shed,
+                    p.deadline_sheds,
+                    p.overload_sheds,
+                    p.retry_sheds,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"overload\",\n  \"scale\": {},\n  \"hosts\": {},\n  \
+             \"payload_bytes\": {},\n  \"deadline_us\": {},\n  \
+             \"saturation_ops_per_sec\": {:.1},\n  \"points\": [\n{}\n  ],\n  \
+             \"goodput_retention_pct\": {:.1}\n}}\n",
+            self.scale,
+            self.hosts,
+            self.size,
+            self.deadline_us,
+            self.saturation_ops_per_sec,
+            points.join(",\n"),
+            self.goodput_retention_pct,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> OverloadBenchConfig {
+        OverloadBenchConfig {
+            model: TimeModel::zero(),
+            hosts: 3,
+            size: 128,
+            deadline: Duration::from_millis(5),
+            window: Duration::from_millis(120),
+            multipliers: vec![1.0, 3.0],
+            batch: 8,
+            overload: OverloadConfig::default(),
+        }
+    }
+
+    #[test]
+    fn overload_run_and_json_shape() {
+        let _guard = crate::timing_test_guard();
+        let r = run_overload(&tiny());
+        assert!(r.saturation_ops_per_sec > 0.0);
+        assert_eq!(r.points.len(), 2);
+        for p in &r.points {
+            assert!(p.attempts > 0, "senders must attempt work");
+            assert!(p.offered_ops_per_sec > 0.0);
+            assert!(p.p99_us >= p.p50_us);
+            assert_eq!(
+                p.attempts,
+                p.completed + p.shed,
+                "every attempt resolves as completed or shed"
+            );
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"overload\""));
+        assert!(json.contains("\"saturation_ops_per_sec\""));
+        assert!(json.contains("\"goodput_retention_pct\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    /// The regression gate: past saturation the shedding machinery must
+    /// keep admitted work completing. Goodput at 3x the calibrated
+    /// saturation rate holds at least half of the sweep's peak — a
+    /// system that queues instead of shedding fails this by collapsing.
+    #[test]
+    fn goodput_survives_three_times_saturation() {
+        let _guard = crate::timing_test_guard();
+        crate::assert_shape_with_retries(3, || {
+            let r = run_overload(&tiny());
+            if r.goodput_retention_pct >= 50.0 {
+                Ok(())
+            } else {
+                Err(format!("retention {:.1}% < 50%\n{}", r.goodput_retention_pct, r.render()))
+            }
+        });
+    }
+}

@@ -10,7 +10,7 @@
 use ntb_net::AmoOp;
 use ntb_sim::{EventKind, OpClass};
 
-use crate::ctx::ShmemCtx;
+use crate::ctx::{OpOptions, ShmemCtx};
 use crate::error::Result;
 use crate::symmetric::TypedSym;
 use crate::types::ShmemAtomicInt;
@@ -25,32 +25,84 @@ impl ShmemCtx {
         compare: T,
         pe: usize,
     ) -> Result<T> {
+        self.amo_with(op, sym, index, operand, compare, pe, OpOptions::new())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn amo_with<T: ShmemAtomicInt>(
+        &self,
+        op: AmoOp,
+        sym: &TypedSym<T>,
+        index: usize,
+        operand: T,
+        compare: T,
+        pe: usize,
+        opts: OpOptions,
+    ) -> Result<T> {
         self.check_pe(pe)?;
         let off = sym.elem_offset(index, 1)?;
         let old = if pe == self.my_pe() {
             self.heap.local_atomic(op, off, T::WIDTH, operand.to_bits64(), compare.to_bits64())?
         } else {
+            let deadline_us = self.wire_deadline(&opts);
             let obs = self.node.obs();
             if obs.is_enabled() {
                 let api_op = self.next_api_op();
                 let t0 = std::time::Instant::now();
                 obs.emit(EventKind::ApiAmoIssue, api_op, [pe as u64, op as u64]);
-                let old = self.node.amo(
+                let old = self.node.amo_opts(
                     pe,
                     op,
                     off,
                     T::WIDTH,
                     operand.to_bits64(),
                     compare.to_bits64(),
+                    deadline_us,
                 )?;
                 self.node.metrics().record_op(OpClass::Amo, t0.elapsed().as_micros() as u64);
                 obs.emit(EventKind::ApiAmoComplete, api_op, [pe as u64, op as u64]);
                 old
             } else {
-                self.node.amo(pe, op, off, T::WIDTH, operand.to_bits64(), compare.to_bits64())?
+                self.node.amo_opts(
+                    pe,
+                    op,
+                    off,
+                    T::WIDTH,
+                    operand.to_bits64(),
+                    compare.to_bits64(),
+                    deadline_us,
+                )?
             }
         };
         Ok(T::from_bits64(old))
+    }
+
+    /// `shmem_TYPE_atomic_fetch_add` with explicit [`OpOptions`] — the
+    /// deadline-capable AMO entry point ([`OpOptions::deadline`] is the
+    /// only option the AMO path consumes; AMOs always ride the control
+    /// mailbox, so mode/coalescing do not apply).
+    pub fn atomic_fetch_add_opts<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        value: T,
+        pe: usize,
+        opts: OpOptions,
+    ) -> Result<T> {
+        self.amo_with(AmoOp::FetchAdd, sym, index, value, T::from_bits64(0), pe, opts)
+    }
+
+    /// `shmem_TYPE_atomic_compare_swap` with explicit [`OpOptions`].
+    pub fn atomic_compare_swap_opts<T: ShmemAtomicInt>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        compare: T,
+        value: T,
+        pe: usize,
+        opts: OpOptions,
+    ) -> Result<T> {
+        self.amo_with(AmoOp::CompareSwap, sym, index, value, compare, pe, opts)
     }
 
     /// `shmem_TYPE_atomic_fetch_add`: add `value` at PE `pe`, return the

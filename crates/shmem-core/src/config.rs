@@ -173,6 +173,14 @@ impl ShmemConfig {
         self
     }
 
+    /// Override the overload-survival tuning (queue bounds, flow-control
+    /// credit window, retry budget). The defaults never shed on a clean
+    /// functional run; overload benches and chaos cells shrink them.
+    pub fn with_overload(mut self, overload: ntb_net::OverloadConfig) -> Self {
+        self.net.overload = overload;
+        self
+    }
+
     /// Enable or disable the transmit ring's doorbell coalescing.
     pub fn with_coalescing(mut self, on: bool) -> Self {
         self.net.coalesce = on;

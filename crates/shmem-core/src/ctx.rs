@@ -67,11 +67,25 @@ pub struct OpOptions {
     /// by PIO memcpy, larger ones by DMA (the paper's Fig. 9 crossover).
     /// An explicit `mode` wins over the threshold.
     pub dma_threshold: Option<u64>,
+    /// Bound the operation's total time. The deadline travels with every
+    /// frame the operation stages: hops drop expired work instead of
+    /// forwarding it, admission waits give up once it passes, and the
+    /// operation surfaces
+    /// [`ShmemError::DeadlineExceeded`](crate::error::ShmemError) instead
+    /// of burning retry budget on work nobody wants anymore. `None`
+    /// (default) keeps the retry policy's own bounded-time behaviour.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for OpOptions {
     fn default() -> Self {
-        OpOptions { mode: None, blocking: true, coalesce: false, dma_threshold: None }
+        OpOptions {
+            mode: None,
+            blocking: true,
+            coalesce: false,
+            dma_threshold: None,
+            deadline: None,
+        }
     }
 }
 
@@ -108,6 +122,27 @@ impl OpOptions {
     /// Pick DMA vs PIO by payload size instead of a fixed mode.
     pub fn dma_threshold(mut self, bytes: u64) -> Self {
         self.dma_threshold = Some(bytes);
+        self
+    }
+
+    /// Bound the operation's total time (see [`OpOptions::deadline`]):
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use shmem_core::prelude::*;
+    /// ShmemWorld::run(ShmemConfig::fast_sim().with_hosts(2), |ctx| {
+    ///     let sym = ctx.calloc_array::<u32>(2).unwrap();
+    ///     if ctx.my_pe() == 0 {
+    ///         let opts = OpOptions::new().deadline(Duration::from_secs(5));
+    ///         ctx.put_slice_opts(&sym, 0, &[1, 2], 1, opts).unwrap();
+    ///         ctx.quiet().unwrap();
+    ///     }
+    ///     ctx.barrier_all().unwrap();
+    /// })
+    /// .unwrap();
+    /// ```
+    pub fn deadline(mut self, bound: std::time::Duration) -> Self {
+        self.deadline = Some(bound);
         self
     }
 
@@ -253,6 +288,12 @@ impl ShmemCtx {
         Ok(())
     }
 
+    /// Resolve an [`OpOptions`] deadline into the wire representation
+    /// (absolute microseconds on the network's shared clock; 0 = none).
+    pub(crate) fn wire_deadline(&self, opts: &OpOptions) -> u32 {
+        opts.deadline.map_or(0, |d| self.node.deadline_us_in(d))
+    }
+
     // ------------------------------------------------------------------
     // Symmetric allocation (shmem_malloc / shmem_free)
     // ------------------------------------------------------------------
@@ -346,16 +387,17 @@ impl ShmemCtx {
         }
         let mode = opts.effective_mode(bytes.len(), self.cfg.default_mode);
         let defer = opts.defer_doorbell();
+        let deadline_us = self.wire_deadline(&opts);
         let obs = self.node.obs();
         if obs.is_enabled() {
             let op = self.next_api_op();
             let t0 = Instant::now();
             obs.emit(EventKind::ApiPutIssue, op, [pe as u64, bytes.len() as u64]);
-            self.node.put_bytes_coalesced(pe, off, &bytes, mode, defer)?;
+            self.node.put_bytes_opts(pe, off, &bytes, mode, defer, deadline_us)?;
             self.node.metrics().record_op(OpClass::Put, t0.elapsed().as_micros() as u64);
             obs.emit(EventKind::ApiPutComplete, op, [pe as u64, 0]);
         } else {
-            self.node.put_bytes_coalesced(pe, off, &bytes, mode, defer)?;
+            self.node.put_bytes_opts(pe, off, &bytes, mode, defer, deadline_us)?;
         }
         Ok(())
     }
@@ -444,17 +486,18 @@ impl ShmemCtx {
             self.heap.read_flat_vec(off, len)?
         } else {
             let mode = opts.effective_mode(len as usize, self.cfg.default_mode);
+            let deadline_us = self.wire_deadline(&opts);
             let obs = self.node.obs();
             if obs.is_enabled() {
                 let op = self.next_api_op();
                 let t0 = Instant::now();
                 obs.emit(EventKind::ApiGetIssue, op, [pe as u64, len]);
-                let bytes = self.node.get_bytes(pe, off, len, mode)?;
+                let bytes = self.node.get_bytes_opts(pe, off, len, mode, deadline_us)?;
                 self.node.metrics().record_op(OpClass::Get, t0.elapsed().as_micros() as u64);
                 obs.emit(EventKind::ApiGetComplete, op, [pe as u64, 0]);
                 bytes
             } else {
-                self.node.get_bytes(pe, off, len, mode)?
+                self.node.get_bytes_opts(pe, off, len, mode, deadline_us)?
             }
         };
         Ok(T::bytes_to_vec(&bytes))
@@ -589,7 +632,12 @@ impl ShmemCtx {
     /// On a lossy link the wait is bounded: a put whose retransmission
     /// budget is exhausted surfaces as
     /// [`ShmemError::LinkFailed`](crate::error::ShmemError::LinkFailed)
-    /// instead of hanging.
+    /// instead of hanging. A pending put whose
+    /// [`OpOptions::deadline`] expired surfaces as
+    /// [`ShmemError::DeadlineExceeded`](crate::error::ShmemError::DeadlineExceeded)
+    /// (a whole-PE death still outranks it), so `quiet` and `fence`
+    /// terminate no later than the shortest pending deadline plus one
+    /// sweeper tick.
     pub fn quiet(&self) -> Result<()> {
         let obs = self.node.obs();
         if obs.is_enabled() {
@@ -656,9 +704,15 @@ impl ShmemCtx {
         }
         let metrics = self.node.metrics();
         let mut router_drops = 0;
+        let mut deadline_sheds = 0;
+        let mut overload_sheds = 0;
+        let mut retry_sheds = 0;
         for i in 0..metrics.link_count() {
             if let Some(l) = metrics.link(i) {
                 router_drops += ld(&l.router_drops);
+                deadline_sheds += ld(&l.deadline_sheds);
+                overload_sheds += ld(&l.overload_sheds);
+                retry_sheds += ld(&l.retry_sheds);
             }
         }
         PeStats {
@@ -675,6 +729,9 @@ impl ShmemCtx {
             probes_sent: ld(&s.probes_sent),
             link_down_events: ld(&s.link_down_events),
             router_drops,
+            deadline_sheds,
+            overload_sheds,
+            retry_sheds,
             bytes_tx,
             bytes_rx,
             heap_capacity: self.heap.capacity(),
@@ -714,6 +771,14 @@ pub struct PeStats {
     /// header fields, or a destination PE known dead) — previously silent
     /// drops, now counted.
     pub router_drops: u64,
+    /// Work dropped because its deadline expired (at admission, at a
+    /// forwarding hop, or in the retry sweeper).
+    pub deadline_sheds: u64,
+    /// Work rejected at admission under overload: a bounded queue was
+    /// full or flow-control credits were exhausted.
+    pub overload_sheds: u64,
+    /// Retransmissions shed because a link's retry budget ran dry.
+    pub retry_sheds: u64,
     /// Bytes transmitted through both NTB adapters.
     pub bytes_tx: u64,
     /// Bytes received through both NTB adapters.
@@ -732,6 +797,7 @@ impl PeStats {
              \"acks_received\":{},\"amos_served\":{},\"retransmits\":{},\
              \"checksum_rejects\":{},\"reroutes\":{},\"duplicates_suppressed\":{},\
              \"probes_sent\":{},\"link_down_events\":{},\"router_drops\":{},\
+             \"deadline_sheds\":{},\"overload_sheds\":{},\"retry_sheds\":{},\
              \"bytes_tx\":{},\"bytes_rx\":{},\
              \"heap_capacity\":{},\"heap_live_bytes\":{}}}",
             self.frames_rx,
@@ -747,6 +813,9 @@ impl PeStats {
             self.probes_sent,
             self.link_down_events,
             self.router_drops,
+            self.deadline_sheds,
+            self.overload_sheds,
+            self.retry_sheds,
             self.bytes_tx,
             self.bytes_rx,
             self.heap_capacity,

@@ -67,6 +67,20 @@ pub enum ShmemError {
     },
     /// `wait_until` exceeded the configured timeout.
     WaitTimeout,
+    /// The interconnect shed the operation at admission: a bounded queue
+    /// was full or the link's flow-control credits were exhausted, and
+    /// the overload did not clear within the retry window. The operation
+    /// was never transmitted — retrying later (or with backpressure on
+    /// the offered load) is safe.
+    Overloaded {
+        /// Which bounded resource rejected the work.
+        queue: &'static str,
+    },
+    /// The operation's [`OpOptions::deadline`](crate::config::OpOptions)
+    /// expired before it completed. Work already staged toward the target
+    /// is dropped at every hop once expired; the operation did not take
+    /// effect at the target unless an ack raced the expiry.
+    DeadlineExceeded,
     /// The runtime was misused (documented in the message).
     Runtime(&'static str),
 }
@@ -97,6 +111,12 @@ impl fmt::Display for ShmemError {
                 write!(f, "PE {pe} confirmed dead at membership epoch {epoch}")
             }
             ShmemError::WaitTimeout => write!(f, "shmem_wait_until timed out"),
+            ShmemError::Overloaded { queue } => {
+                write!(f, "operation shed under overload ({queue} exhausted)")
+            }
+            ShmemError::DeadlineExceeded => {
+                write!(f, "operation deadline expired before completion")
+            }
             ShmemError::Runtime(msg) => write!(f, "runtime misuse: {msg}"),
         }
     }
@@ -116,6 +136,8 @@ impl From<NtbError> for ShmemError {
         match e {
             NtbError::LinkFailed { attempts } => ShmemError::LinkFailed { attempts },
             NtbError::PeFailed { pe, epoch } => ShmemError::PeFailed { pe, epoch },
+            NtbError::Overloaded { queue } => ShmemError::Overloaded { queue },
+            NtbError::DeadlineExceeded => ShmemError::DeadlineExceeded,
             other => ShmemError::Net(other),
         }
     }
@@ -156,5 +178,15 @@ mod tests {
     fn pe_failed_converts_to_typed_variant() {
         let e: ShmemError = NtbError::PeFailed { pe: 2, epoch: 5 }.into();
         assert_eq!(e, ShmemError::PeFailed { pe: 2, epoch: 5 });
+    }
+
+    #[test]
+    fn overload_errors_convert_to_typed_variants() {
+        let e: ShmemError = NtbError::Overloaded { queue: "link credit window" }.into();
+        assert_eq!(e, ShmemError::Overloaded { queue: "link credit window" });
+        assert!(e.to_string().contains("link credit window"), "{e}");
+        let e: ShmemError = NtbError::DeadlineExceeded.into();
+        assert_eq!(e, ShmemError::DeadlineExceeded);
+        assert!(e.to_string().contains("deadline"), "{e}");
     }
 }

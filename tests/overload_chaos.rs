@@ -1,0 +1,255 @@
+//! Overload chaos matrix: resource faults (gray-failure slow ports,
+//! shrinking forward queues, starved credit windows) under
+//! deadline-bounded traffic, driven through the full OpenSHMEM API.
+//!
+//! The contract under test is the overload-survival layer's (DESIGN.md
+//! §14): offered work either completes or is shed with a *typed* error
+//! (`Overloaded` / `DeadlineExceeded`) in bounded time — never a hang,
+//! never a silent drop, never a panic. Every run records a full event
+//! trace and puts it through the protocol-invariant checker, which now
+//! also certifies the overload invariants: queue admissions within
+//! capacity, credit conservation (invariant 9) and no transmission of
+//! expired frames (invariant 10). A violation writes the rendered trace
+//! window to `target/trace-dumps/<label>.txt` before panicking, the same
+//! artifact contract as the chaos and crash matrices.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use shmem_ntb::net::check;
+use shmem_ntb::shmem::{OpOptions, OverloadConfig, ShmemConfig, ShmemError, ShmemWorld};
+use shmem_ntb::sim::{render_events, FaultPlan, TimeModel, TraceEvent};
+
+const HOSTS: usize = 3;
+const ROUNDS: usize = 20;
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// One axis of the overload matrix. Each family stresses one admission
+/// mechanism hard, so a regression names its subsystem.
+#[derive(Clone, Copy, Debug)]
+enum Family {
+    /// Gray failure: one port renegotiates down mid-run (wire time ×6),
+    /// recovers, all under light doorbell loss.
+    SlowPort,
+    /// A forward queue shrinks mid-run; admissions must respect the
+    /// *new* capacity immediately.
+    QueueShrink,
+    /// A starved credit window (4 frames) under an incast at PE 0 —
+    /// flow control is the only thing standing between the senders and
+    /// an unbounded queue.
+    CreditStarve,
+    /// Tight 1ms deadlines through a badly slowed port: most work is
+    /// shed, and every shed must still leave a coherent trace.
+    DeadlineStorm,
+}
+
+impl Family {
+    fn label(self) -> &'static str {
+        match self {
+            Family::SlowPort => "slow-port",
+            Family::QueueShrink => "queue-shrink",
+            Family::CreditStarve => "credit-starve",
+            Family::DeadlineStorm => "deadline-storm",
+        }
+    }
+
+    fn plan(self, seed: u64) -> FaultPlan {
+        let base = FaultPlan::none().with_seed(seed);
+        match self {
+            Family::SlowPort => {
+                base.with_doorbell_drop(0.01).with_slow_port(0, ms(20), 6.0, ms(120))
+            }
+            Family::QueueShrink => base.with_doorbell_drop(0.01).with_queue_shrink(1, ms(20), 8),
+            Family::CreditStarve => base,
+            Family::DeadlineStorm => base.with_slow_port(0, ms(15), 10.0, ms(150)),
+        }
+    }
+
+    /// A slow port only bites when wire time is nonzero; the other
+    /// families run on the zero model for speed.
+    fn model(self) -> TimeModel {
+        match self {
+            Family::SlowPort | Family::DeadlineStorm => TimeModel::scaled(0.05),
+            Family::QueueShrink | Family::CreditStarve => TimeModel::zero(),
+        }
+    }
+
+    fn overload(self) -> OverloadConfig {
+        match self {
+            Family::CreditStarve => OverloadConfig { credit_window: 4, ..Default::default() },
+            Family::QueueShrink => OverloadConfig {
+                forward_queue_cap: 16,
+                high_watermark: 12,
+                low_watermark: 8,
+                ..Default::default()
+            },
+            Family::SlowPort | Family::DeadlineStorm => OverloadConfig::default(),
+        }
+    }
+
+    fn deadline(self) -> Duration {
+        match self {
+            Family::DeadlineStorm => ms(1),
+            _ => ms(5),
+        }
+    }
+
+    /// Incast (everyone fires at PE 0) vs rotating all-to-all.
+    fn incast(self) -> bool {
+        matches!(self, Family::CreditStarve)
+    }
+}
+
+/// What one overload cell leaves behind.
+struct Outcome {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    /// Operations shed with a typed error across all PEs (diagnostics;
+    /// timing-dependent, legitimately zero on a fast machine).
+    typed_sheds: u64,
+}
+
+fn run_cell(family: Family, seed: u64) -> Outcome {
+    let cfg = ShmemConfig::fast_sim()
+        .with_hosts(HOSTS)
+        .with_model(family.model())
+        .with_overload(family.overload())
+        .with_faults(family.plan(seed));
+    let results = ShmemWorld::run(cfg, |ctx| {
+        let log = ctx.node().obs().log().expect("observed world");
+        log.enable();
+        let sym = ctx.calloc_array::<u64>(128).expect("alloc");
+        ctx.barrier_all().expect("bring-up barrier");
+        let me = ctx.my_pe();
+        let data: Vec<u64> = (0..64).map(|i| (me * 1000 + i) as u64).collect();
+        let mut sheds = 0u64;
+        // Typed sheds are the contract: anything else is a bug.
+        let mut tolerate = |r: Result<(), ShmemError>, what: &str| match r {
+            Ok(()) => {}
+            Err(ShmemError::DeadlineExceeded) | Err(ShmemError::Overloaded { .. }) => sheds += 1,
+            Err(e) => panic!("{what} failed untyped under overload: {e}"),
+        };
+        for round in 0..ROUNDS {
+            let dest = if family.incast() {
+                if me == 0 {
+                    // The incast target idles; its service threads are
+                    // the ones under test.
+                    std::thread::sleep(ms(1));
+                    continue;
+                }
+                0
+            } else {
+                (me + 1 + round % (HOSTS - 1)) % HOSTS
+            };
+            let opts = OpOptions::new().deadline(family.deadline());
+            tolerate(ctx.put_slice_opts(&sym, 0, &data, dest, opts), "put");
+            tolerate(ctx.quiet(), "quiet");
+        }
+        // Outlive the fault holds so the trace ends on a healthy,
+        // quiescent network — the checker's stated precondition.
+        std::thread::sleep(ms(200));
+        ctx.quiet().ok();
+        ctx.barrier_all().expect("drain barrier");
+        (Arc::clone(log), sheds)
+    })
+    .expect("overload world");
+    let log = Arc::clone(&results[0].0);
+    let typed_sheds = results.iter().map(|(_, s)| s).sum();
+    let dropped = log.dropped();
+    Outcome { events: log.take(), dropped, typed_sheds }
+}
+
+/// Run the trace through the invariant checker; on violation, dump the
+/// rendered report plus the full trace to `target/trace-dumps/` and
+/// panic with the artifact path.
+fn certify_trace(label: &str, outcome: &Outcome) {
+    assert_eq!(outcome.dropped, 0, "{label}: trace ring buffer wrapped; raise the capacity");
+    let report = check(&outcome.events, HOSTS);
+    if !report.is_clean() {
+        let dir = PathBuf::from("target/trace-dumps");
+        std::fs::create_dir_all(&dir).expect("create target/trace-dumps");
+        let path = dir.join(format!("{label}.txt"));
+        let body = format!(
+            "{} violation(s) in {} events\n\n{}\nfull trace:\n{}",
+            report.violations.len(),
+            outcome.events.len(),
+            report.render_violations(),
+            render_events(&outcome.events),
+        );
+        std::fs::write(&path, body).expect("write trace dump");
+        panic!(
+            "{label}: {} protocol-invariant violation(s); trace dump at {}",
+            report.violations.len(),
+            path.display()
+        );
+    }
+    // An overload cell whose trace carries no overload evidence isn't
+    // testing the machinery — fail loudly rather than certify vacuously.
+    assert!(
+        report.overload_events_checked > 0,
+        "{label}: no queue/credit events in {} events",
+        outcome.events.len()
+    );
+    assert!(
+        report.deadline_tx_checked > 0,
+        "{label}: no deadline-carrying transmissions in {} events",
+        outcome.events.len()
+    );
+}
+
+fn assert_overload_cell(family: Family, seed: u64) {
+    let outcome = run_cell(family, seed);
+    certify_trace(&format!("overload-{}-{seed:#x}", family.label()), &outcome);
+    eprintln!(
+        "overload {}/{seed:#x}: {} events, {} typed sheds",
+        family.label(),
+        outcome.events.len(),
+        outcome.typed_sheds
+    );
+}
+
+/// The matrix: two seeds through each family, one `#[test]` per cell so
+/// the harness parallelizes them and a failure names its coordinates.
+macro_rules! overload_matrix {
+    ($($name:ident => $family:expr, $seed:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                assert_overload_cell($family, $seed);
+            }
+        )*
+    };
+}
+
+overload_matrix! {
+    overload_slow_port_seed_01 => Family::SlowPort, 0x51_0901;
+    overload_slow_port_seed_02 => Family::SlowPort, 0x51_0902;
+    overload_queue_shrink_seed_01 => Family::QueueShrink, 0x05_4E01;
+    overload_queue_shrink_seed_02 => Family::QueueShrink, 0x05_4E02;
+    overload_credit_starve_seed_01 => Family::CreditStarve, 0xC4_ED01;
+    overload_credit_starve_seed_02 => Family::CreditStarve, 0xC4_ED02;
+    overload_deadline_storm_seed_01 => Family::DeadlineStorm, 0xDE_AD01;
+    overload_deadline_storm_seed_02 => Family::DeadlineStorm, 0xDE_AD02;
+}
+
+/// Under `--features lockdep` the overload hot paths (credit gates,
+/// forward queues, the deadline sweeper) feed the runtime acquisition
+/// graph; a full cell must record no rank violations and leave the
+/// graph acyclic.
+#[cfg(feature = "lockdep")]
+#[test]
+fn overload_run_records_no_lockdep_violations() {
+    use shmem_ntb::net::lockdep;
+    let outcome = run_cell(Family::CreditStarve, 0x10CD_0501);
+    certify_trace("overload-lockdep-credit-starve", &outcome);
+    let violations = lockdep::take_violations();
+    assert!(violations.is_empty(), "lockdep violations: {violations:#?}");
+    if let Some(cycle) = lockdep::find_cycle() {
+        panic!("lock acquisition cycle: {}", cycle.join(" -> "));
+    }
+    eprintln!("lockdep: {} acquisition edges, no violations", lockdep::edges().len());
+}
