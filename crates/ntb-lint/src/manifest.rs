@@ -146,6 +146,11 @@ pub const LOCK_ORDER: &[LockClassDecl] = &[
         rationale: "fault-injection link-down state; consulted deep inside port TX paths",
     },
     LockClassDecl {
+        name: "sim-aperture",
+        rank: 116,
+        rationale: "peer read-aperture publication cell; a leaf held only across publish/clear/clone, consulted by the requester's get fast path before any frame is built",
+    },
+    LockClassDecl {
         name: "obs",
         rank: 120,
         rationale: "trace / observability event sinks; any layer may emit while holding its own lock, so the sink is always acquired last",
@@ -238,6 +243,7 @@ pub const LOCK_SITES: &[LockSite] = &[
     },
     LockSite { file_suffix: "ntb-sim/src/timing.rs", receiver: "inner", class: "sim-timing" },
     LockSite { file_suffix: "ntb-sim/src/fault.rs", receiver: "down", class: "sim-fault" },
+    LockSite { file_suffix: "ntb-sim/src/aperture.rs", receiver: "target", class: "sim-aperture" },
     LockSite { file_suffix: "ntb-sim/src/obs.rs", receiver: "ring", class: "obs" },
     LockSite { file_suffix: "ntb-sim/src/obs.rs", receiver: "r", class: "obs" },
     // Lint self-test fixtures (single-file mode).

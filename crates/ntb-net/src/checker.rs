@@ -46,6 +46,16 @@
 //!     has already expired: every `DeadlineTx` (sampled at the admission
 //!     decision, immediately before the send) has `now ≤ deadline`.
 //!     Expired work must be shed (`DeadlineShed`), never forwarded.
+//! 11. **Get resolution** — every issued get sub-request (`GetReqTx`)
+//!     resolves exactly once: one `GetDone` *or* one `GetAbandon`, never
+//!     both, never twice, never zero times. Its fills (`GetChunkRx`)
+//!     never overlap one another and never spill past the requested
+//!     length — even on the abandoned path, where partial coverage is
+//!     legal but corruption is not. Late duplicate response chunks must
+//!     be suppressed (`DupSuppressed`), never double-filled. Invariant 3
+//!     checks completed gets tile exactly; this one makes the pipelined
+//!     get window's bookkeeping honest on *every* path, including sheds,
+//!     deadline expiry, and responder crashes mid-window.
 //!
 //! Invariant 4 is membership-aware: a PE whose dead interval (between
 //! the first `PeDead` naming it and the first subsequent `PeRejoin`)
@@ -116,6 +126,8 @@ pub struct CheckReport {
     pub overload_events_checked: usize,
     /// Admission-time transmissions tracked through invariant 10.
     pub deadline_tx_checked: usize,
+    /// Issued get sub-requests tracked through invariant 11.
+    pub get_reqs_checked: usize,
     /// Every violation found, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -333,6 +345,150 @@ fn check_gets(events: &[TraceEvent], report: &mut CheckReport) {
             });
         }
     }
+}
+
+/// Invariant 11: every issued get sub-request resolves exactly once, and
+/// its fills never corrupt the destination buffer.
+fn check_get_resolution(events: &[TraceEvent], report: &mut CheckReport) {
+    struct GetState {
+        len: u64,
+        done: u32,
+        abandoned: u32,
+        fills: Vec<(u64, u64)>,
+    }
+    // Keyed by (requester pe, request id): request ids are per-origin.
+    let mut reqs: HashMap<(u16, u64), GetState> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::GetReqTx => {
+                reqs.insert(
+                    (ev.pe, ev.op_id),
+                    GetState { len: ev.payload[1], done: 0, abandoned: 0, fills: Vec::new() },
+                );
+            }
+            EventKind::GetChunkRx => {
+                if let Some(s) = reqs.get_mut(&(ev.pe, ev.op_id)) {
+                    s.fills.push((ev.payload[0], ev.payload[1]));
+                } else {
+                    report.violations.push(Violation {
+                        invariant: "get-resolution",
+                        message: format!(
+                            "pe {} get {} filled without a GetReqTx record",
+                            ev.pe, ev.op_id
+                        ),
+                        window: window(events, |e| {
+                            e.pe == ev.pe && e.op_id == ev.op_id && get_lifecycle(e.kind)
+                        }),
+                    });
+                }
+            }
+            EventKind::GetDone => {
+                if let Some(s) = reqs.get_mut(&(ev.pe, ev.op_id)) {
+                    s.done += 1;
+                } else {
+                    report.violations.push(Violation {
+                        invariant: "get-resolution",
+                        message: format!(
+                            "pe {} get {} completed without a GetReqTx record",
+                            ev.pe, ev.op_id
+                        ),
+                        window: window(events, |e| {
+                            e.pe == ev.pe && e.op_id == ev.op_id && get_lifecycle(e.kind)
+                        }),
+                    });
+                }
+            }
+            EventKind::GetAbandon => {
+                if let Some(s) = reqs.get_mut(&(ev.pe, ev.op_id)) {
+                    s.abandoned += 1;
+                } else {
+                    report.violations.push(Violation {
+                        invariant: "get-resolution",
+                        message: format!(
+                            "pe {} get {} abandoned without a GetReqTx record",
+                            ev.pe, ev.op_id
+                        ),
+                        window: window(events, |e| {
+                            e.pe == ev.pe && e.op_id == ev.op_id && get_lifecycle(e.kind)
+                        }),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    report.get_reqs_checked = reqs.len();
+    for (&(pe, req), s) in &reqs {
+        let resolved = s.done + s.abandoned;
+        if resolved != 1 {
+            let message = if resolved == 0 {
+                format!("pe {pe} get {req} was issued but never completed nor abandoned")
+            } else {
+                format!(
+                    "pe {pe} get {req} resolved {resolved} times ({} dones, {} abandons)",
+                    s.done, s.abandoned
+                )
+            };
+            report.violations.push(Violation {
+                invariant: "get-resolution",
+                message,
+                window: window(events, |e| e.pe == pe && e.op_id == req && get_lifecycle(e.kind)),
+            });
+        }
+        // Fill discipline holds on every path: an abandoned window may be
+        // partially covered (gaps are fine), but fills must never overlap
+        // one another nor land past the requested length.
+        let mut fills = s.fills.clone();
+        fills.sort_unstable();
+        let mut cursor = 0u64;
+        let mut covered = 0u64;
+        let mut bad: Option<String> = None;
+        for &(off, flen) in &fills {
+            if off < cursor {
+                bad = Some(format!("fill at {off} overlaps previous coverage up to {cursor}"));
+                break;
+            }
+            if off + flen > s.len {
+                bad = Some(format!(
+                    "fill [{off}, {}) spills past the {} requested bytes",
+                    off + flen,
+                    s.len
+                ));
+                break;
+            }
+            cursor = off + flen;
+            covered += flen;
+        }
+        // A *completed* sub-request must have been filled exactly: with
+        // overlap and spill excluded above, full coverage is equivalent
+        // to `covered == len`. (Abandoned windows may legally stop
+        // short.)
+        if bad.is_none() && s.done >= 1 && covered != s.len {
+            bad = Some(format!(
+                "completed with {covered} of {} requested bytes filled — a dropped fill",
+                s.len
+            ));
+        }
+        if let Some(why) = bad {
+            report.violations.push(Violation {
+                invariant: "get-resolution",
+                message: format!("pe {pe} get {req}: {why}"),
+                window: window(events, |e| e.pe == pe && e.op_id == req && get_lifecycle(e.kind)),
+            });
+        }
+    }
+}
+
+fn get_lifecycle(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::GetReqTx
+            | EventKind::GetChunkRx
+            | EventKind::GetDone
+            | EventKind::GetAbandon
+            | EventKind::Retransmit
+            | EventKind::DupSuppressed
+    )
 }
 
 /// The dead intervals of every PE named in a `PeDead` event: from the
@@ -756,6 +912,7 @@ pub fn check(events: &[TraceEvent], pes: usize) -> CheckReport {
     check_puts(events, &mut report);
     check_amos(events, &mut report);
     check_gets(events, &mut report);
+    check_get_resolution(events, &mut report);
     check_barriers(events, pes, &mut report);
     check_down_links(events, &mut report);
     check_slots(events, &mut report);
@@ -903,6 +1060,86 @@ mod tests {
         assert!(overlap.violations[0].message.contains("overlap"));
         let short = check(&base(&[(0, 60)]), 2);
         assert!(short.violations[0].message.contains("cover 60 of 100"));
+    }
+
+    #[test]
+    fn pipelined_get_window_resolves_cleanly() {
+        // Three sub-requests in flight: two complete, one is abandoned
+        // after a partial fill. Every id resolves exactly once.
+        let t = vec![
+            ev(0, 0, NO_LINK, EventKind::GetReqTx, 7, [0, 64]),
+            ev(1, 0, NO_LINK, EventKind::GetReqTx, 8, [64, 64]),
+            ev(2, 0, NO_LINK, EventKind::GetReqTx, 9, [128, 64]),
+            ev(3, 0, NO_LINK, EventKind::GetChunkRx, 7, [0, 64]),
+            ev(4, 0, NO_LINK, EventKind::GetChunkRx, 8, [0, 64]),
+            ev(5, 0, NO_LINK, EventKind::GetDone, 7, [0, 64]),
+            ev(6, 0, NO_LINK, EventKind::GetDone, 8, [64, 64]),
+            ev(7, 0, NO_LINK, EventKind::GetChunkRx, 9, [0, 32]),
+            ev(8, 0, NO_LINK, EventKind::GetAbandon, 9, [0, 0]),
+            ev(9, 0, NO_LINK, EventKind::DupSuppressed, 9, [32, 2]),
+        ];
+        let r = check(&t, 2);
+        assert!(r.is_clean(), "{}", r.render_violations());
+        assert_eq!(r.get_reqs_checked, 3);
+    }
+
+    #[test]
+    fn unresolved_and_double_resolved_gets_are_flagged() {
+        let unresolved = vec![
+            ev(0, 0, NO_LINK, EventKind::GetReqTx, 7, [0, 64]),
+            ev(1, 0, NO_LINK, EventKind::GetChunkRx, 7, [0, 64]),
+        ];
+        let r = check(&unresolved, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "get-resolution");
+        assert!(r.violations[0].message.contains("never completed nor abandoned"));
+        let double = vec![
+            ev(0, 0, NO_LINK, EventKind::GetReqTx, 7, [0, 64]),
+            ev(1, 0, NO_LINK, EventKind::GetChunkRx, 7, [0, 64]),
+            ev(2, 0, NO_LINK, EventKind::GetDone, 7, [0, 64]),
+            ev(3, 0, NO_LINK, EventKind::GetAbandon, 7, [0, 0]),
+        ];
+        let r = check(&double, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("resolved 2 times (1 dones, 1 abandons)"));
+    }
+
+    #[test]
+    fn abandoned_get_fill_discipline_is_still_enforced() {
+        // Partial coverage on an abandoned window is legal...
+        let partial = vec![
+            ev(0, 0, NO_LINK, EventKind::GetReqTx, 7, [0, 100]),
+            ev(1, 0, NO_LINK, EventKind::GetChunkRx, 7, [0, 40]),
+            ev(2, 0, NO_LINK, EventKind::GetAbandon, 7, [0, 0]),
+        ];
+        assert!(check(&partial, 2).is_clean());
+        // ...but overlapping fills are corruption even there.
+        let overlap = vec![
+            ev(0, 0, NO_LINK, EventKind::GetReqTx, 7, [0, 100]),
+            ev(1, 0, NO_LINK, EventKind::GetChunkRx, 7, [0, 40]),
+            ev(2, 0, NO_LINK, EventKind::GetChunkRx, 7, [30, 40]),
+            ev(3, 0, NO_LINK, EventKind::GetAbandon, 7, [0, 0]),
+        ];
+        let r = check(&overlap, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("overlap"));
+        // ...and so is a fill past the requested length.
+        let spill = vec![
+            ev(0, 0, NO_LINK, EventKind::GetReqTx, 7, [0, 100]),
+            ev(1, 0, NO_LINK, EventKind::GetChunkRx, 7, [80, 40]),
+            ev(2, 0, NO_LINK, EventKind::GetAbandon, 7, [0, 0]),
+        ];
+        let r = check(&spill, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("spills past"));
+    }
+
+    #[test]
+    fn get_resolution_without_request_record_is_flagged() {
+        let t = vec![ev(0, 0, NO_LINK, EventKind::GetDone, 7, [0, 64])];
+        let r = check(&t, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("without a GetReqTx record"));
     }
 
     #[test]

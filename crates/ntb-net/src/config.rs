@@ -144,6 +144,15 @@ pub struct NetConfig {
     pub bypass_buf: u64,
     /// Chunk size for streaming Get responses.
     pub get_resp_chunk: u64,
+    /// Largest byte range one Get *request* frame asks for: a bigger get
+    /// is split into independent sub-requests that the pipeline keeps in
+    /// flight concurrently (each sub-request's response still streams in
+    /// `get_resp_chunk` pieces).
+    pub get_req_chunk: u64,
+    /// Default number of get sub-requests kept in flight per operation
+    /// (the pipeline window). 1 degenerates to the paper prototype's
+    /// stop-and-wait behaviour. Per-op override via `OpOptions` upstack.
+    pub get_window: usize,
     /// DMA channels per NTB adapter.
     pub dma_channels: usize,
     /// Simulated physical memory per host.
@@ -202,6 +211,14 @@ impl NetConfig {
     /// Override the get response chunk size.
     pub fn with_get_chunk(mut self, chunk: u64) -> Self {
         self.get_resp_chunk = chunk;
+        self
+    }
+
+    /// Override the get pipeline geometry: sub-request size and how many
+    /// sub-requests stay in flight per operation.
+    pub fn with_get_pipeline(mut self, req_chunk: u64, window: usize) -> Self {
+        self.get_req_chunk = req_chunk;
+        self.get_window = window;
         self
     }
 
@@ -292,6 +309,8 @@ impl NetConfig {
             self.get_resp_chunk > 0 && self.get_resp_chunk <= self.put_chunk(),
             "get response chunk must fit the payload areas"
         );
+        assert!(self.get_req_chunk >= 1, "get request chunk must be at least one byte");
+        assert!(self.get_window >= 1, "get pipeline window must be at least 1");
         assert!(self.dma_channels >= 1, "need at least one DMA channel");
         self.overload.validate();
         if self.heartbeat.enabled {
@@ -320,6 +339,8 @@ impl Default for NetConfig {
             direct_buf: 256 << 10,
             bypass_buf: 256 << 10,
             get_resp_chunk: 64 << 10,
+            get_req_chunk: 256 << 10,
+            get_window: 4,
             dma_channels: 1,
             host_mem_capacity: 512 << 20,
             model: TimeModel::paper(),
@@ -381,6 +402,22 @@ mod tests {
     fn oversized_get_chunk_rejected() {
         let c = NetConfig::fast(3).with_get_chunk(1 << 20);
         c.validate();
+    }
+
+    #[test]
+    fn get_pipeline_knobs_validate() {
+        let c = NetConfig::fast(3).with_get_pipeline(4096, 8);
+        assert_eq!(c.get_req_chunk, 4096);
+        assert_eq!(c.get_window, 8);
+        c.validate();
+        // Window 1 (stop-and-wait oracle) is legal.
+        NetConfig::fast(3).with_get_pipeline(1, 1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "get pipeline window")]
+    fn zero_get_window_rejected() {
+        NetConfig::fast(3).with_get_pipeline(4096, 0).validate();
     }
 
     #[test]

@@ -542,6 +542,24 @@ impl NtbNode {
         *self.delivery.write() = None;
     }
 
+    /// Expose `target` (the symmetric heap) through every link's read
+    /// aperture so small gets from a direct neighbour become a single
+    /// PIO window read with no responder involvement. Called by
+    /// `shmem_init` alongside [`Self::set_delivery`].
+    pub fn publish_aperture(&self, target: Arc<dyn ntb_sim::ReadAperture>) {
+        for ep in &self.endpoints {
+            ep.port.publish_aperture(Arc::clone(&target));
+        }
+    }
+
+    /// Withdraw the read aperture (called by `shmem_finalize`); peers
+    /// fall back to the request/response get protocol.
+    pub fn clear_aperture(&self) {
+        for ep in &self.endpoints {
+            ep.port.clear_aperture();
+        }
+    }
+
     pub(crate) fn deliver(&self) -> Result<Arc<dyn DeliveryTarget>> {
         self.delivery.read().clone().ok_or(NtbError::BadDescriptor {
             reason: "no delivery target installed (shmem_init not run?)",
@@ -1052,7 +1070,8 @@ impl NtbNode {
     /// (`0` = none): the request and its response chunks carry the
     /// deadline, every hop sheds them once it passes, and the waiting
     /// requester reports [`NtbError::DeadlineExceeded`] instead of
-    /// retrying past its time budget.
+    /// retrying past its time budget. Uses the configured pipeline
+    /// window ([`NetConfig::get_window`]).
     pub fn get_bytes_opts(
         &self,
         src: usize,
@@ -1061,66 +1080,287 @@ impl NtbNode {
         mode: TransferMode,
         deadline_us: u32,
     ) -> Result<Vec<u8>> {
+        self.get_bytes_windowed(src, heap_offset, len, mode, deadline_us, self.config.get_window)
+    }
+
+    /// [`get_bytes_opts`](Self::get_bytes_opts) with an explicit
+    /// pipeline window.
+    ///
+    /// Large gets are split into [`NetConfig::get_req_chunk`]-sized
+    /// sub-requests, each a payload-free `GetReq` with its own pending
+    /// entry, with up to `window` of them outstanding at once: the
+    /// responder's per-request service think and the response wire time
+    /// overlap instead of serializing. `window == 1` degenerates to the
+    /// old stop-and-wait behaviour. Terminating requests batch through
+    /// the transmit slot ring, so priming the window costs a single
+    /// coalesced doorbell.
+    ///
+    /// Small terminating gets skip the protocol entirely: when the
+    /// source has published its heap through the link aperture
+    /// ([`Self::publish_aperture`]) and `len` is at or below the PIO
+    /// crossover, the bytes are pulled with one window read and no
+    /// responder involvement.
+    pub fn get_bytes_windowed(
+        &self,
+        src: usize,
+        heap_offset: u64,
+        len: u64,
+        mode: TransferMode,
+        deadline_us: u32,
+        window: usize,
+    ) -> Result<Vec<u8>> {
         assert_ne!(src, self.topo.me, "local gets are handled by the SHMEM layer");
         assert!(src < self.topo.n, "source host out of range");
         self.check_alive(src)?;
-        let req_id = self.pending.register(len, src);
-        self.obs.emit(EventKind::GetReqTx, u64::from(req_id), [heap_offset, len]);
-        let frame =
-            Frame::get_req(self.topo.me, src, len31(len)?, offset32(heap_offset)?, req_id, mode)
-                .with_deadline_us(deadline_us);
-        self.trace(TraceKind::FrameSent, self.topo.me, src, 0);
-        let send_req = |retransmit: bool| {
-            let now = self.now_us();
-            if deadline_us != 0 && now > deadline_us {
-                return Err(NtbError::DeadlineExceeded);
-            }
-            self.check_alive(src)?;
-            let ep = self.endpoint_for(src);
-            let result = ep.tx.send(frame, |_port| self.write_deadline_word(ep, deadline_us));
-            self.note_send_result(ep, &result);
-            if result.is_ok() {
-                self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
-                if deadline_us != 0 {
-                    ep.obs.emit(
-                        EventKind::DeadlineTx,
-                        u64::from(req_id),
-                        [u64::from(deadline_us), u64::from(now)],
-                    );
-                }
-                if retransmit {
-                    self.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
-                }
-            }
-            result
-        };
-        if let Err(e) = send_req(false) {
-            // A transient failure leaves the entry pending; the bounded
-            // wait below re-issues the request (possibly rerouted).
-            if !(e.is_transient() || matches!(e, NtbError::LinkFailed { .. })) {
-                self.pending.abandon(req_id);
-                self.obs.emit(EventKind::GetAbandon, u64::from(req_id), [0, 0]);
-                return Err(e);
+        if let Some(buf) = self.try_aperture_get(src, heap_offset, len, deadline_us)? {
+            return Ok(buf);
+        }
+        let window = window.max(1);
+        let chunk = self.config.get_req_chunk.max(1);
+        // Sub-request tiling of the op buffer: (offset, len) pairs. A
+        // zero-length get still makes one round trip — it is a visible
+        // synchronization point, not a no-op.
+        let mut subs: Vec<(u64, u64)> = Vec::new();
+        if len == 0 {
+            subs.push((0, 0));
+        } else {
+            let mut off = 0;
+            while off < len {
+                let n = chunk.min(len - off);
+                subs.push((off, n));
+                off += n;
             }
         }
-        let waited =
-            self.pending.wait_with_retry(req_id, &self.model, &self.config.retry, |attempt| {
-                NodeStats::bump(&self.stats.retransmits);
-                self.obs.emit(EventKind::Retransmit, u64::from(req_id), [u64::from(attempt), 0]);
-                send_req(true)
-            });
-        let buf = match waited {
-            Ok(buf) => buf,
-            Err(e) => {
-                self.obs.emit(EventKind::GetAbandon, u64::from(req_id), [0, 0]);
-                // A retry budget exhausted *after* the op's deadline
-                // passed is the deadline's failure, not the link's.
-                return Err(deadline_failure(e, deadline_us, self.now_us()));
+        let mut out = vec![0u8; len as usize];
+        let mut ids: Vec<u32> = Vec::with_capacity(subs.len().min(window));
+        let mut fatal: Option<NtbError> = None;
+        // Prime the pipeline: register and transmit the initial window
+        // with the doorbell held back, then flush the batch once.
+        let primed = window.min(subs.len());
+        for &(sub_off, sub_len) in &subs[..primed] {
+            let req_id = self.pending.register(sub_len, src);
+            self.obs.emit(EventKind::GetReqTx, u64::from(req_id), [heap_offset + sub_off, sub_len]);
+            self.trace(TraceKind::FrameSent, self.topo.me, src, 0);
+            ids.push(req_id);
+            if let Err(e) = self.send_get_req(
+                src,
+                heap_offset + sub_off,
+                sub_len,
+                req_id,
+                mode,
+                deadline_us,
+                false,
+                true,
+            ) {
+                // A transient failure leaves the entry pending; the
+                // bounded wait below re-issues it (possibly rerouted).
+                if !(e.is_transient() || matches!(e, NtbError::LinkFailed { .. })) {
+                    fatal = Some(e);
+                    break;
+                }
             }
-        };
-        self.obs.emit(EventKind::GetDone, u64::from(req_id), [heap_offset, len]);
+        }
+        if let Some(e) = fatal {
+            for &id in &ids {
+                self.pending.abandon(id);
+                self.obs.emit(EventKind::GetAbandon, u64::from(id), [0, 0]);
+            }
+            return Err(e);
+        }
+        self.flush_all_rings();
+        let op_deadline =
+            (deadline_us != 0).then(|| self.epoch + Duration::from_micros(u64::from(deadline_us)));
+        // Completion loop: wait for sub-requests in issue order, and as
+        // each lands refill the window with the next tile (flushed
+        // immediately — the pipeline is already primed, there is nothing
+        // to batch it with).
+        let mut next = primed;
+        let mut failed_at: Option<(usize, NtbError)> = None;
+        let mut done = 0;
+        while done < ids.len() {
+            let req_id = ids[done];
+            let (sub_off, sub_len) = subs[done];
+            let waited = self.pending.wait_with_retry_until(
+                req_id,
+                &self.model,
+                &self.config.retry,
+                op_deadline,
+                |attempt| {
+                    NodeStats::bump(&self.stats.retransmits);
+                    self.obs.emit(
+                        EventKind::Retransmit,
+                        u64::from(req_id),
+                        [u64::from(attempt), 0],
+                    );
+                    self.send_get_req(
+                        src,
+                        heap_offset + sub_off,
+                        sub_len,
+                        req_id,
+                        mode,
+                        deadline_us,
+                        true,
+                        false,
+                    )
+                },
+            );
+            match waited {
+                Ok(buf) => {
+                    out[sub_off as usize..(sub_off + sub_len) as usize].copy_from_slice(&buf);
+                    self.obs.emit(
+                        EventKind::GetDone,
+                        u64::from(req_id),
+                        [heap_offset + sub_off, sub_len],
+                    );
+                    done += 1;
+                    if next < subs.len() {
+                        let (n_off, n_len) = subs[next];
+                        let id = self.pending.register(n_len, src);
+                        self.obs.emit(
+                            EventKind::GetReqTx,
+                            u64::from(id),
+                            [heap_offset + n_off, n_len],
+                        );
+                        self.trace(TraceKind::FrameSent, self.topo.me, src, 0);
+                        ids.push(id);
+                        next += 1;
+                        if let Err(e) = self.send_get_req(
+                            src,
+                            heap_offset + n_off,
+                            n_len,
+                            id,
+                            mode,
+                            deadline_us,
+                            false,
+                            false,
+                        ) {
+                            if !(e.is_transient() || matches!(e, NtbError::LinkFailed { .. })) {
+                                // The completed tiles stand; everything
+                                // still outstanding (including the one
+                                // just registered) is torn down below.
+                                failed_at = Some((done, e));
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    // `wait_with_retry_until` already abandoned this
+                    // entry; the resolution event is ours to emit.
+                    self.obs.emit(EventKind::GetAbandon, u64::from(req_id), [0, 0]);
+                    failed_at = Some((done + 1, e));
+                    break;
+                }
+            }
+        }
+        if let Some((outstanding_from, e)) = failed_at {
+            for &id in &ids[outstanding_from..] {
+                self.pending.abandon(id);
+                self.obs.emit(EventKind::GetAbandon, u64::from(id), [0, 0]);
+            }
+            // A retry budget exhausted *after* the op's deadline passed
+            // is the deadline's failure, not the link's.
+            return Err(deadline_failure(e, deadline_us, self.now_us()));
+        }
         self.model.delay(self.model.requester_wake_delay);
-        Ok(buf)
+        Ok(out)
+    }
+
+    /// Transmit one get sub-request. Terminating requests are
+    /// payload-free, so they always fit a ring slot and batch through
+    /// the coalescing transmit ring (the doorbell held back while
+    /// `defer_flush`); routed requests use the scratchpad mailbox.
+    #[allow(clippy::too_many_arguments)] // internal fan-in for the windowed get path
+    fn send_get_req(
+        &self,
+        src: usize,
+        abs_offset: u64,
+        sub_len: u64,
+        req_id: u32,
+        mode: TransferMode,
+        deadline_us: u32,
+        retransmit: bool,
+        defer_flush: bool,
+    ) -> Result<()> {
+        let now = self.now_us();
+        if deadline_us != 0 && now > deadline_us {
+            return Err(NtbError::DeadlineExceeded);
+        }
+        self.check_alive(src)?;
+        let ep = self.endpoint_for(src);
+        let frame =
+            Frame::get_req(self.topo.me, src, len31(sub_len)?, offset32(abs_offset)?, req_id, mode)
+                .with_deadline_us(deadline_us);
+        let ring = ep.txring.as_ref().filter(|_| ep.neighbor == src);
+        let result = match ring {
+            Some(ring) => match ring.publish(frame, None) {
+                Ok(()) if !defer_flush => ring.flush(),
+                other => other,
+            },
+            None => ep.tx.send(frame, |_port| self.write_deadline_word(ep, deadline_us)),
+        };
+        self.note_send_result(ep, &result);
+        if result.is_ok() {
+            self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+            if deadline_us != 0 {
+                ep.obs.emit(
+                    EventKind::DeadlineTx,
+                    u64::from(req_id),
+                    [u64::from(deadline_us), u64::from(now)],
+                );
+            }
+            if retransmit {
+                self.metrics.bump_link(ep.link_idx, |l| &l.retransmits);
+            }
+        }
+        result
+    }
+
+    /// The zero-copy fast path for small gets: pull the bytes straight
+    /// out of the source's published heap aperture with one PIO window
+    /// read. Returns `Ok(None)` when the fast path does not apply (get
+    /// too large, source not a direct neighbour, aperture unpublished or
+    /// revoked, or the read failed transiently) — the caller falls back
+    /// to the request/response protocol.
+    fn try_aperture_get(
+        &self,
+        src: usize,
+        heap_offset: u64,
+        len: u64,
+        deadline_us: u32,
+    ) -> Result<Option<Vec<u8>>> {
+        if len == 0 || len > self.config.pio_crossover {
+            return Ok(None);
+        }
+        // Only a direct neighbour's heap is aperture-mapped; multi-hop
+        // gets always take the protocol path.
+        let Some(ep) = self.endpoints.iter().find(|ep| ep.neighbor == src) else {
+            return Ok(None);
+        };
+        if deadline_us != 0 && self.now_us() > deadline_us {
+            return Err(NtbError::DeadlineExceeded);
+        }
+        let mut buf = vec![0u8; len as usize];
+        match ep.port.aperture_read(heap_offset, &mut buf) {
+            Ok(true) => {
+                // Synchronous completion, but the trace still records a
+                // fully resolved get so the checker's get-resolution
+                // invariant sees aperture and protocol gets alike.
+                let req_id = self.pending.allocate_id();
+                self.obs.emit(EventKind::GetReqTx, u64::from(req_id), [heap_offset, len]);
+                self.obs.emit(EventKind::GetChunkRx, u64::from(req_id), [0, len]);
+                self.obs.emit(EventKind::GetDone, u64::from(req_id), [heap_offset, len]);
+                self.metrics.bump_link(ep.link_idx, |l| &l.frames_tx);
+                Ok(Some(buf))
+            }
+            // Out of the exposed mapping — an oversized heap offset the
+            // protocol path will reject with its own typed error.
+            Ok(false) => Ok(None),
+            // Link down, node frozen mid-read, peer revoked: the
+            // protocol path owns rerouting and bounded retry.
+            Err(e) if e.is_transient() => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     /// Remote atomic on `width` bytes (1/2/4/8) at host `target`'s flat
@@ -1201,12 +1441,19 @@ impl NtbNode {
         }
         // Retransmission is idempotent: the target caches the old value
         // per (origin, request id) and re-serves it without re-executing.
-        let waited =
-            self.pending.wait_with_retry(req_id, &self.model, &self.config.retry, |attempt| {
+        let op_deadline =
+            (deadline_us != 0).then(|| self.epoch + Duration::from_micros(u64::from(deadline_us)));
+        let waited = self.pending.wait_with_retry_until(
+            req_id,
+            &self.model,
+            &self.config.retry,
+            op_deadline,
+            |attempt| {
                 NodeStats::bump(&self.stats.retransmits);
                 self.obs.emit(EventKind::Retransmit, u64::from(req_id), [u64::from(attempt), 0]);
                 send_req(true)
-            });
+            },
+        );
         let buf = match waited {
             Ok(buf) => buf,
             Err(e) => {

@@ -102,11 +102,19 @@ impl PendingOps {
         &self.shards[id as usize % SHARD_COUNT]
     }
 
+    /// Reserve a fresh request id without creating a completion entry.
+    /// Used by fast paths that complete synchronously (the aperture read)
+    /// but still need a unique id so their trace events pair up under the
+    /// same invariants as protocol-path requests.
+    pub fn allocate_id(&self) -> u32 {
+        // lint: relaxed-ok(unique id allocation; uniqueness needs atomicity, not ordering)
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Register a new operation expecting `total` response bytes from
     /// `dest`; returns its request id.
     pub fn register(&self, total: u64, dest: usize) -> u32 {
-        // lint: relaxed-ok(unique id allocation; uniqueness needs atomicity, not ordering)
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.allocate_id();
         let entry = Entry {
             buf: vec![0u8; total as usize],
             received: 0,
@@ -203,6 +211,26 @@ impl PendingOps {
         req_id: u32,
         model: &TimeModel,
         policy: &RetryPolicy,
+        resend: F,
+    ) -> Result<Vec<u8>>
+    where
+        F: FnMut(u32) -> Result<()>,
+    {
+        self.wait_with_retry_until(req_id, model, policy, None, resend)
+    }
+
+    /// [`Self::wait_with_retry`] additionally bounded by the operation's
+    /// absolute deadline: each per-attempt wait window is clipped to
+    /// `op_deadline`, and once the deadline passes the entry is abandoned
+    /// and [`NtbError::DeadlineExceeded`] surfaces *promptly* — the
+    /// caller set a time budget, so it must not sit out the rest of the
+    /// link-failure retry schedule first.
+    pub fn wait_with_retry_until<F>(
+        &self,
+        req_id: u32,
+        model: &TimeModel,
+        policy: &RetryPolicy,
+        op_deadline: Option<Instant>,
         mut resend: F,
     ) -> Result<Vec<u8>>
     where
@@ -212,8 +240,16 @@ impl PendingOps {
         loop {
             let window = policy.ack_timeout
                 + if attempt == 0 { Duration::ZERO } else { policy.backoff(attempt - 1) };
-            if let Some(buf) = self.wait_until(req_id, model, Some(Instant::now() + window))? {
+            let mut until = Instant::now() + window;
+            if let Some(d) = op_deadline {
+                until = until.min(d);
+            }
+            if let Some(buf) = self.wait_until(req_id, model, Some(until))? {
                 return Ok(buf);
+            }
+            if op_deadline.is_some_and(|d| Instant::now() >= d) {
+                self.abandon(req_id);
+                return Err(NtbError::DeadlineExceeded);
             }
             if attempt >= policy.max_retries {
                 self.abandon(req_id);
@@ -778,6 +814,70 @@ mod tests {
             }
         });
         assert_eq!(buf.unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn wait_with_retry_until_surfaces_deadline_promptly() {
+        // An op deadline far shorter than the retry schedule must clip
+        // the wait: the caller gets DeadlineExceeded in roughly the
+        // deadline, not after burning the full link-retry budget.
+        let p = PendingOps::new();
+        let id = p.register(4, 1);
+        let policy = RetryPolicy {
+            ack_timeout: Duration::from_millis(200),
+            max_retries: 5,
+            ..RetryPolicy::default()
+        };
+        let t0 = std::time::Instant::now();
+        let err = p
+            .wait_with_retry_until(
+                id,
+                &TimeModel::zero(),
+                &policy,
+                Some(std::time::Instant::now() + Duration::from_millis(20)),
+                |_| Ok(()),
+            )
+            .unwrap_err();
+        assert_eq!(err, NtbError::DeadlineExceeded);
+        assert!(
+            t0.elapsed() < policy.ack_timeout,
+            "deadline must clip the first retry window, got {:?}",
+            t0.elapsed()
+        );
+        // The entry is abandoned; stragglers become stale.
+        assert_eq!(p.in_flight(), 0);
+        assert_eq!(p.fill(id, 0, &[0u8; 4]).unwrap(), FillOutcome::Stale);
+    }
+
+    #[test]
+    fn wait_with_retry_until_completion_beats_deadline() {
+        let p = Arc::new(PendingOps::new());
+        let id = p.register(2, 1);
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            p2.fill(id, 0, b"ok").unwrap();
+        });
+        let buf = p.wait_with_retry_until(
+            id,
+            &TimeModel::zero(),
+            &tight_policy(),
+            Some(std::time::Instant::now() + Duration::from_secs(5)),
+            |_| Ok(()),
+        );
+        assert_eq!(buf.unwrap(), b"ok");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn allocate_id_never_collides_with_registered_ids() {
+        let p = PendingOps::new();
+        let a = p.allocate_id();
+        let b = p.register(1, 1);
+        let c = p.allocate_id();
+        assert!(a != b && b != c && a != c);
+        // The bare id has no entry: fills against it are stale.
+        assert_eq!(p.fill(a, 0, &[1]).unwrap(), FillOutcome::Stale);
     }
 
     fn put_entry(u: &UnackedPuts, deadline: Instant) -> u32 {

@@ -569,13 +569,21 @@ fn dispatch_frame(node: &Arc<NtbNode>, frame: Frame, payload: Option<Vec<u8>>) -
                         .with_deadline_us(frame.deadline_us);
                 let out = node.endpoint_for(frame.src);
                 let now = node.now_us();
+                // The per-request service think is paid once, on the
+                // first response chunk; the rest of the stream is pure
+                // descriptor work. This is what makes the pipelined get
+                // path amortize the responder: a window of sub-requests
+                // charges one think per sub-request, not per chunk.
+                let think = if off == 0 {
+                    node.model().get_response_service_delay
+                } else {
+                    std::time::Duration::ZERO
+                };
                 let outcome = out.fwd.push(
                     ForwardJob {
                         frame: resp,
                         payload: Some(data[off..off + n].to_vec()),
-                        // The serving host's thread paces response chunks
-                        // through its sleep loop.
-                        think: node.model().get_response_service_delay,
+                        think,
                         attempts: 0,
                     },
                     now,
@@ -730,12 +738,13 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
         }
         let terminating = ep.neighbor() == job.frame.dest;
         let mode = job.frame.mode;
-        // Terminating data frames (delivered puts hopping their last link
-        // and the returning acknowledgement stream) ride the coalescing
-        // ring: back-to-back jobs batch behind one doorbell.
+        // Terminating data frames (delivered puts hopping their last
+        // link, the returning acknowledgement stream, and get response
+        // chunks heading home) ride the coalescing ring: back-to-back
+        // jobs batch behind one doorbell.
         let ring = ep.txring.as_ref().filter(|r| {
             terminating
-                && matches!(job.frame.kind, FrameKind::Put | FrameKind::PutAck)
+                && matches!(job.frame.kind, FrameKind::Put | FrameKind::PutAck | FrameKind::GetResp)
                 && r.fits(job.payload.as_ref().map_or(0, |p| p.len()))
         });
         let result = match ring {

@@ -1,0 +1,130 @@
+//! The read aperture: a second translated mapping exposing a host's
+//! symmetric heap to its link neighbour for zero-copy PIO reads.
+//!
+//! The paper's prototype services every Get through the responder's CPU:
+//! the requester posts a transfer-info frame, the responder's service
+//! thread copies heap bytes into the window and streams response chunks
+//! back. That request/response round trip (interrupt service, response
+//! think time, completion polling) is the whole of the Fig. 9(b) latency
+//! cliff for small reads. Real PLX adapters can do better: a second BAR
+//! can be translated onto an arbitrary physical range of the peer, so a
+//! *small* read can be a plain non-posted PCIe read — no responder
+//! software in the loop at all.
+//!
+//! This module models that mapping. A host *publishes* a
+//! [`ReadAperture`] (the layer above points it at the symmetric heap);
+//! the cell is cross-wired between the two ports of a link at connect
+//! time exactly like the doorbells, so the peer's
+//! [`NtbPort::aperture_read`](crate::NtbPort::aperture_read) can pull
+//! bytes directly. Reads through the aperture still pay the non-posted
+//! wire cost ([`TimeModel::pio_read_time`](crate::TimeModel)) and all
+//! link admission checks; they are a *timing* shortcut past the remote
+//! CPU, not past the wire.
+//!
+//! Vitals integration: killing or freezing a port **revokes** its
+//! published aperture (a dead or hung host must not complete peer reads);
+//! thawing or reviving restores it. Revocation flips a flag rather than
+//! dropping the published target, so a crash → restart cycle re-exposes
+//! the same heap without the upper layers re-publishing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+
+/// A range of host memory a node exposes to its neighbours for direct
+/// non-posted reads (the symmetric heap, in the OpenSHMEM stack above).
+pub trait ReadAperture: Send + Sync {
+    /// Read `buf.len()` bytes at `offset` into `buf`. Returns `Ok(false)`
+    /// — with `buf` untouched — when the range is not readable through
+    /// the aperture (out of bounds of the exposed mapping); the caller
+    /// falls back to the request/response protocol.
+    fn read(&self, offset: u64, buf: &mut [u8]) -> Result<bool>;
+}
+
+/// The publication slot for one host's aperture, shared with the peer
+/// port at connect time (like the doorbell cross-wiring).
+#[derive(Default)]
+pub struct ApertureCell {
+    target: Mutex<Option<Arc<dyn ReadAperture>>>,
+    revoked: AtomicBool,
+}
+
+impl ApertureCell {
+    /// Expose `target` to the peer. Replaces any previous publication.
+    pub fn publish(&self, target: Arc<dyn ReadAperture>) {
+        *self.target.lock() = Some(target);
+    }
+
+    /// Withdraw the publication entirely (teardown).
+    pub fn clear(&self) {
+        *self.target.lock() = None;
+    }
+
+    /// Temporarily disable peer reads (host died or hung) without
+    /// dropping the published target.
+    pub fn revoke(&self) {
+        self.revoked.store(true, Ordering::SeqCst);
+    }
+
+    /// Re-enable peer reads after [`revoke`](Self::revoke).
+    pub fn restore(&self) {
+        self.revoked.store(false, Ordering::SeqCst);
+    }
+
+    /// The currently readable target, if published and not revoked.
+    pub fn get(&self) -> Option<Arc<dyn ReadAperture>> {
+        if self.revoked.load(Ordering::SeqCst) {
+            return None;
+        }
+        self.target.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for ApertureCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApertureCell")
+            .field("published", &self.target.lock().is_some())
+            .field("revoked", &self.revoked.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(Vec<u8>);
+
+    impl ReadAperture for Fixed {
+        fn read(&self, offset: u64, buf: &mut [u8]) -> Result<bool> {
+            let off = offset as usize;
+            let Some(end) = off.checked_add(buf.len()) else { return Ok(false) };
+            if end > self.0.len() {
+                return Ok(false);
+            }
+            buf.copy_from_slice(&self.0[off..end]);
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn publish_read_revoke_restore() {
+        let cell = ApertureCell::default();
+        assert!(cell.get().is_none());
+        cell.publish(Arc::new(Fixed(vec![1, 2, 3, 4])));
+        let ap = cell.get().expect("published");
+        let mut buf = [0u8; 2];
+        assert!(ap.read(1, &mut buf).unwrap());
+        assert_eq!(buf, [2, 3]);
+        assert!(!ap.read(3, &mut buf).unwrap(), "out of range reads report false");
+        cell.revoke();
+        assert!(cell.get().is_none(), "revoked cell hides the target");
+        cell.restore();
+        assert!(cell.get().is_some(), "restore re-exposes without republish");
+        cell.clear();
+        assert!(cell.get().is_none());
+    }
+}

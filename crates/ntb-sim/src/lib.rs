@@ -27,6 +27,7 @@
 //! layers above (`ntb-net`, `shmem-core`) are written exactly as they would
 //! be against real hardware.
 
+pub mod aperture;
 pub mod bar;
 pub mod config_space;
 pub mod dma;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod timing;
 pub mod window;
 
+pub use aperture::{ApertureCell, ReadAperture};
 pub use bar::{BarConfig, BarKind, LutEntry, LutTable};
 pub use config_space::{ConfigSpace, DEVICE_PEX8733, DEVICE_PEX8749, VENDOR_PLX};
 pub use dma::{DmaEngine, DmaHandle, DmaRequest};

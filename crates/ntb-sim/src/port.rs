@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::aperture::{ApertureCell, ReadAperture};
 use crate::bar::{BarConfig, BarKind, LutTable};
 use crate::config_space::{ConfigSpace, DEVICE_PEX8749};
 use crate::dma::{DmaEngine, DmaHandle, DmaRequest};
@@ -94,6 +95,11 @@ pub struct NtbPort {
     /// (or killed), modelling a hung-but-not-crashed host.
     dead: AtomicBool,
     frozen: AtomicBool,
+    /// What this host exposes to the peer for direct reads (revoked while
+    /// this port is dead or frozen).
+    local_aperture: Arc<ApertureCell>,
+    /// The peer's published aperture (this side reads through it).
+    peer_aperture: Arc<ApertureCell>,
 }
 
 impl fmt::Debug for NtbPort {
@@ -124,29 +130,41 @@ impl NtbPort {
     }
 
     /// Kill this port: all subsequent transactions fail with
-    /// [`NtbError::NodeDead`] and queued DMA jobs are aborted.
+    /// [`NtbError::NodeDead`], queued DMA jobs are aborted, and the
+    /// published read aperture is revoked (a dead host completes no peer
+    /// reads).
     pub fn kill(&self) {
         self.dead.store(true, Ordering::SeqCst);
         self.frozen.store(false, Ordering::SeqCst);
+        self.local_aperture.revoke();
         self.dma.halt();
     }
 
     /// Freeze this port: transactions stall until [`thaw`](Self::thaw)
-    /// (or [`kill`](Self::kill)).
+    /// (or [`kill`](Self::kill)). The read aperture is revoked for the
+    /// duration — peers fall back to the protocol path (and its timeouts)
+    /// instead of reading a hung host's memory instantly.
     pub fn freeze(&self) {
         self.frozen.store(true, Ordering::SeqCst);
+        self.local_aperture.revoke();
     }
 
-    /// Release a freeze; stalled callers resume.
+    /// Release a freeze; stalled callers resume and the aperture is
+    /// re-exposed (unless the port was killed while frozen).
     pub fn thaw(&self) {
         self.frozen.store(false, Ordering::SeqCst);
+        if !self.dead.load(Ordering::SeqCst) {
+            self.local_aperture.restore();
+        }
     }
 
-    /// Bring a killed port back: clears both vitals flags and resumes the
-    /// DMA engine. The layers above re-run their handshakes.
+    /// Bring a killed port back: clears both vitals flags, resumes the
+    /// DMA engine and restores the published aperture. The layers above
+    /// re-run their handshakes.
     pub fn revive(&self) {
         self.dead.store(false, Ordering::SeqCst);
         self.frozen.store(false, Ordering::SeqCst);
+        self.local_aperture.restore();
         self.dma.resume();
     }
 
@@ -324,6 +342,36 @@ impl NtbPort {
         self.outgoing.read_bytes(offset, buf, TransferMode::Memcpy)
     }
 
+    /// Publish `target` as this host's read aperture: the peer's
+    /// [`aperture_read`](Self::aperture_read) can then pull bytes from it
+    /// directly. Survives kill/revive cycles (revocation is a flag, not a
+    /// drop).
+    pub fn publish_aperture(&self, target: Arc<dyn ReadAperture>) {
+        self.local_aperture.publish(target);
+    }
+
+    /// Withdraw this host's published read aperture (teardown).
+    pub fn clear_aperture(&self) {
+        self.local_aperture.clear();
+    }
+
+    /// Direct non-posted read of the *peer's* published aperture at
+    /// `offset`. Pays the PIO read wire time and the usual link admission
+    /// (down-link, LUT) without involving the peer's CPU. Returns
+    /// `Ok(false)` — nothing read — when the peer has no readable
+    /// aperture (unpublished, or revoked while dead/frozen: checked
+    /// before any wire time is charged) or when the range falls outside
+    /// the exposed mapping; the caller falls back to the
+    /// request/response protocol.
+    pub fn aperture_read(&self, offset: u64, buf: &mut [u8]) -> Result<bool> {
+        self.gate()?;
+        let Some(target) = self.peer_aperture.get() else {
+            return Ok(false);
+        };
+        self.outgoing.charge_pio_read(buf.len() as u64)?;
+        target.read(offset, buf)
+    }
+
     /// Push from a local region through the window under `mode`,
     /// synchronously. The building block `ntb-net` uses for both paths.
     pub fn push_region(
@@ -404,6 +452,11 @@ pub fn connect_ports_observed(
     let spads = ScratchpadBank::new(Arc::clone(&model));
     let link = LinkTimer::new();
 
+    // Read apertures are cross-wired like the doorbells: each side's
+    // publication cell is the other side's read target.
+    let ap_a = Arc::new(ApertureCell::default());
+    let ap_b = Arc::new(ApertureCell::default());
+
     let db_a = Doorbell::new(Arc::clone(&model));
     let db_b = Doorbell::new(Arc::clone(&model));
 
@@ -482,6 +535,8 @@ pub fn connect_ports_observed(
         dma_seq: AtomicU64::new(0),
         dead: AtomicBool::new(false),
         frozen: AtomicBool::new(false),
+        local_aperture: Arc::clone(&ap_a),
+        peer_aperture: Arc::clone(&ap_b),
     });
     let port_b = Arc::new(NtbPort {
         id: cfg_b.id,
@@ -500,6 +555,8 @@ pub fn connect_ports_observed(
         dma_seq: AtomicU64::new(0),
         dead: AtomicBool::new(false),
         frozen: AtomicBool::new(false),
+        local_aperture: ap_b,
+        peer_aperture: ap_a,
     });
     Ok((port_a, port_b))
 }
@@ -795,6 +852,54 @@ mod tests {
         a.kill();
         assert_eq!(h.join().unwrap().unwrap_err(), NtbError::NodeDead);
         assert!(!a.is_frozen(), "kill supersedes freeze");
+    }
+
+    struct HeapStub(Region);
+
+    impl crate::aperture::ReadAperture for HeapStub {
+        fn read(&self, offset: u64, buf: &mut [u8]) -> Result<bool> {
+            if offset + buf.len() as u64 > self.0.len() {
+                return Ok(false);
+            }
+            self.0.read(offset, buf)?;
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn aperture_read_pulls_peer_heap_without_peer_cpu() {
+        let (a, b) = pair();
+        let heap = Region::anonymous(4096);
+        heap.write(128, b"direct read").unwrap();
+        b.publish_aperture(Arc::new(HeapStub(heap)));
+        let mut buf = [0u8; 11];
+        assert!(a.aperture_read(128, &mut buf).unwrap());
+        assert_eq!(&buf, b"direct read");
+        // Out-of-aperture ranges report false, not an error.
+        assert!(!a.aperture_read(4090, &mut buf).unwrap());
+        // Nothing published in the other direction.
+        assert!(!b.aperture_read(0, &mut buf).unwrap());
+        // Stats: the read is accounted as a PIO op on the requester.
+        assert!(a.stats().pio_ops() >= 1);
+    }
+
+    #[test]
+    fn aperture_revoked_while_peer_dead_or_frozen() {
+        let (a, b) = pair();
+        let heap = Region::anonymous(64);
+        b.publish_aperture(Arc::new(HeapStub(heap)));
+        let mut buf = [0u8; 4];
+        assert!(a.aperture_read(0, &mut buf).unwrap());
+        b.freeze();
+        assert!(!a.aperture_read(0, &mut buf).unwrap(), "frozen peer must not serve reads");
+        b.thaw();
+        assert!(a.aperture_read(0, &mut buf).unwrap());
+        b.kill();
+        assert!(!a.aperture_read(0, &mut buf).unwrap(), "dead peer must not serve reads");
+        b.revive();
+        assert!(a.aperture_read(0, &mut buf).unwrap(), "revive restores without republishing");
+        b.clear_aperture();
+        assert!(!a.aperture_read(0, &mut buf).unwrap());
     }
 
     #[test]

@@ -271,6 +271,36 @@ impl OutgoingWindow {
         }
         Ok(())
     }
+
+    /// Account a non-posted PIO read of `len` bytes that targets the
+    /// peer's *read aperture* rather than the window region: same link
+    /// admission (down-link, LUT) and the same wire time and stats as
+    /// [`read_bytes`](Self::read_bytes) in `Memcpy` mode, but no window
+    /// bounds check and no copy — the caller reads the published aperture
+    /// directly.
+    pub fn charge_pio_read(&self, len: u64) -> Result<()> {
+        if self.faults.link_is_down() {
+            return Err(NtbError::LinkDown);
+        }
+        if let Err(e) = self.peer_lut.check(self.requester_id) {
+            self.peer_stats.add_lut_reject();
+            return Err(e);
+        }
+        let wire = self.model.pio_read_time(len);
+        // Read completions travel opposite to our writes.
+        let deadline = self.link.reserve(
+            self.dir.opposite(),
+            self.slowed(self.model.scaled_duration(wire)),
+            self.model.duplex_penalty,
+            self.peer_activity.is_tx_busy(),
+        );
+        self.stats.add_rx(len);
+        self.stats.add_pio_op();
+        if self.model.enabled() {
+            spin_until(deadline);
+        }
+        Ok(())
+    }
 }
 
 /// The receiver's view of its own window memory: the region remote writes

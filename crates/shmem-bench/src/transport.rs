@@ -9,6 +9,11 @@
 //!   **on** (deferred doorbells, one per batch, flushed by `quiet`)
 //!   versus **off** (legacy scratchpad mailbox, one doorbell and one
 //!   consumption handshake per message), with the improvement percentage,
+//! * a Get curve across sizes spanning the aperture PIO fast path, the
+//!   single-sub-request protocol path and the pipelined multi-chunk
+//!   window, each point paired with a Put at the same size (the
+//!   get-vs-put ratio series) and with a window=1 stop-and-wait run
+//!   (the pipelining speedup),
 //! * `shmem_barrier_all` latency at 2, 3 and 5 PEs.
 //!
 //! The coalesced path issues `OpOptions::new().coalesce(true)` puts so
@@ -34,6 +39,11 @@ pub struct TransportConfig {
     pub latency_reps: usize,
     /// Small-message sizes for the throughput comparison (all ≤ 1 KiB).
     pub small_sizes: Vec<u64>,
+    /// Sizes for the Get curve (should straddle the PIO crossover and
+    /// the pipeline chunk so all three get paths are exercised).
+    pub get_sizes: Vec<u64>,
+    /// Timed samples per Get-curve point (after one warm-up op).
+    pub get_reps: usize,
     /// Messages per timed burst (exceeds the tx ring so slots wrap).
     pub burst: usize,
     /// Timed bursts per size.
@@ -51,6 +61,8 @@ impl Default for TransportConfig {
             latency_size: 512,
             latency_reps: 64,
             small_sizes: vec![64, 256, 1024],
+            get_sizes: vec![512, 4 << 10, 64 << 10, 1 << 20],
+            get_reps: 16,
             burst: 64,
             bursts: 4,
             barrier_reps: 16,
@@ -109,6 +121,31 @@ pub struct ThroughputPoint {
     pub improvement_pct: f64,
 }
 
+/// One size on the Get curve: pipelined get vs a put of the same size
+/// and vs the window=1 stop-and-wait oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GetCurvePoint {
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Timed samples per series.
+    pub n: usize,
+    /// Median pipelined (default window) Get latency in microseconds.
+    pub get_p50_us: f64,
+    /// Mean pipelined Get latency in microseconds.
+    pub get_mean_us: f64,
+    /// Pipelined Get goodput, MB/s (decimal).
+    pub get_mb_per_sec: f64,
+    /// Median blocking Put latency at the same size, in microseconds.
+    pub put_p50_us: f64,
+    /// `get_p50_us / put_p50_us` — the cliff this series tracks.
+    pub get_vs_put_ratio: f64,
+    /// Median Get latency with the window forced to 1 (stop-and-wait).
+    pub stop_wait_p50_us: f64,
+    /// Relative win of the pipelined window over stop-and-wait, percent
+    /// (≈ 0 below the chunk size where there is only one sub-request).
+    pub pipeline_speedup_pct: f64,
+}
+
 /// Barrier latency at one PE count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BarrierPoint {
@@ -131,6 +168,8 @@ pub struct TransportResult {
     pub get: LatencyStats,
     /// Small-message throughput, one point per size.
     pub throughput: Vec<ThroughputPoint>,
+    /// Get curve: pipelined vs put and vs stop-and-wait, per size.
+    pub get_curve: Vec<GetCurvePoint>,
     /// Barrier latency, one point per PE count.
     pub barriers: Vec<BarrierPoint>,
 }
@@ -219,6 +258,69 @@ fn run_bursts(cfg: &TransportConfig, coalesce: bool) -> Vec<(u64, Duration)> {
     results.into_iter().find(|t| !t.is_empty()).expect("PE 0 measured")
 }
 
+/// Get curve on a 2-PE ring: per size, time puts, pipelined gets at the
+/// configured window, and gets with the window forced to 1 so the
+/// stop-and-wait oracle and the ratio series come from the same world.
+fn run_get_curve(cfg: &TransportConfig) -> Vec<GetCurvePoint> {
+    let sizes = cfg.get_sizes.clone();
+    let reps = cfg.get_reps.max(1);
+    let max_size = *sizes.iter().max().expect("at least one get size") as usize;
+    let results = ShmemWorld::run(world_cfg(&cfg.model, 2, true), move |ctx| {
+        let sym = ctx.malloc_array::<u8>(max_size).expect("alloc");
+        let mut points = Vec::with_capacity(sizes.len());
+        for &size in &sizes {
+            ctx.barrier_all().expect("barrier");
+            if ctx.my_pe() != 0 {
+                continue;
+            }
+            let n = size as usize;
+            let data = vec![0xC3u8; n];
+            let opts = OpOptions::new();
+            let time_series = |op: &mut dyn FnMut()| {
+                let mut samples = Vec::with_capacity(reps);
+                op(); // warm-up
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    op();
+                    samples.push(t0.elapsed());
+                }
+                samples
+            };
+            let puts = time_series(&mut || {
+                ctx.put_slice_opts(&sym, 0, &data, 1, opts).expect("curve put");
+                ctx.quiet().expect("quiet");
+            });
+            let gets = time_series(&mut || {
+                let v = ctx.get_slice_opts::<u8>(&sym, 0, n, 1, opts).expect("curve get");
+                assert_eq!(v.len(), n);
+            });
+            let sw_opts = OpOptions::new().get_window(1);
+            let stop_wait = time_series(&mut || {
+                let v = ctx.get_slice_opts::<u8>(&sym, 0, n, 1, sw_opts).expect("stop-wait get");
+                assert_eq!(v.len(), n);
+            });
+            let put = LatencyStats::from_samples(size, &puts);
+            let get = LatencyStats::from_samples(size, &gets);
+            let sw = LatencyStats::from_samples(size, &stop_wait);
+            points.push(GetCurvePoint {
+                size,
+                n: reps,
+                get_p50_us: get.p50_us,
+                get_mean_us: get.mean_us,
+                get_mb_per_sec: mb_per_sec(size, Duration::from_secs_f64(get.p50_us / 1e6)),
+                put_p50_us: put.p50_us,
+                get_vs_put_ratio: get.p50_us / put.p50_us,
+                stop_wait_p50_us: sw.p50_us,
+                pipeline_speedup_pct: (sw.p50_us / get.p50_us - 1.0) * 100.0,
+            });
+        }
+        ctx.barrier_all().expect("barrier");
+        points
+    })
+    .expect("get curve world");
+    results.into_iter().find(|p| !p.is_empty()).expect("PE 0 measured")
+}
+
 /// Barrier latency samples at one PE count.
 fn run_barrier(cfg: &TransportConfig, pes: usize) -> BarrierPoint {
     let reps = cfg.barrier_reps;
@@ -262,11 +364,18 @@ pub fn run_transport(cfg: &TransportConfig) -> TransportResult {
             }
         })
         .collect();
+    let get_curve = run_get_curve(cfg);
     let barriers = cfg.barrier_pes.iter().map(|&pes| run_barrier(cfg, pes)).collect();
-    TransportResult { scale: cfg.model.scale, put, get, throughput, barriers }
+    TransportResult { scale: cfg.model.scale, put, get, throughput, get_curve, barriers }
 }
 
 impl TransportResult {
+    /// Get p50 over put p50 at the headline latency size — the number
+    /// the regression gate bounds.
+    pub fn get_vs_put_p50_ratio(&self) -> f64 {
+        self.get.p50_us / self.put.p50_us
+    }
+
     /// Text report for the console.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -286,6 +395,11 @@ impl TransportResult {
             self.get.mean_us,
             self.get.n,
         ));
+        out.push_str(&format!(
+            "get-vs-put p50 ratio at {} B: {:.2}x\n",
+            self.put.size,
+            self.get_vs_put_p50_ratio()
+        ));
         out.push_str("small-message put throughput (coalescing on vs off):\n");
         for t in &self.throughput {
             out.push_str(&format!(
@@ -296,6 +410,19 @@ impl TransportResult {
                 t.off_msgs_per_sec,
                 t.off_mb_per_sec,
                 t.improvement_pct,
+            ));
+        }
+        out.push_str("get curve (pipelined vs put, vs window=1 stop-and-wait):\n");
+        for g in &self.get_curve {
+            out.push_str(&format!(
+                "  {:>7} B: get p50 {:>9.2} us ({:>8.2} MB/s)  put p50 {:>9.2} us  ratio {:>5.2}x  stop-wait {:>9.2} us  {:+.1}%\n",
+                g.size,
+                g.get_p50_us,
+                g.get_mb_per_sec,
+                g.put_p50_us,
+                g.get_vs_put_ratio,
+                g.stop_wait_p50_us,
+                g.pipeline_speedup_pct,
             ));
         }
         out.push_str("barrier latency:\n");
@@ -335,6 +462,27 @@ impl TransportResult {
                 )
             })
             .collect();
+        let get_curve: Vec<String> = self
+            .get_curve
+            .iter()
+            .map(|g| {
+                format!(
+                    "    {{\"size_bytes\": {}, \"n\": {}, \
+                     \"get_p50\": {:.3}, \"get_mean\": {:.3}, \"get_mb_per_sec\": {:.3}, \
+                     \"put_p50\": {:.3}, \"get_vs_put_ratio\": {:.3}, \
+                     \"stop_wait_p50\": {:.3}, \"pipeline_speedup_pct\": {:.1}}}",
+                    g.size,
+                    g.n,
+                    g.get_p50_us,
+                    g.get_mean_us,
+                    g.get_mb_per_sec,
+                    g.put_p50_us,
+                    g.get_vs_put_ratio,
+                    g.stop_wait_p50_us,
+                    g.pipeline_speedup_pct
+                )
+            })
+            .collect();
         let barriers: Vec<String> = self
             .barriers
             .iter()
@@ -347,11 +495,13 @@ impl TransportResult {
             .collect();
         format!
         (
-            "{{\n  \"bench\": \"transport\",\n  \"scale\": {},\n  \"put_latency_us\": {},\n  \"get_latency_us\": {},\n  \"small_put_throughput\": [\n{}\n  ],\n  \"barrier_latency_us\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"transport\",\n  \"scale\": {},\n  \"put_latency_us\": {},\n  \"get_latency_us\": {},\n  \"get_vs_put_p50_ratio\": {:.3},\n  \"small_put_throughput\": [\n{}\n  ],\n  \"get_curve\": [\n{}\n  ],\n  \"barrier_latency_us\": [\n{}\n  ]\n}}\n",
             self.scale,
             latency_json(&self.put),
             latency_json(&self.get),
+            self.get_vs_put_p50_ratio(),
             throughput.join(",\n"),
+            get_curve.join(",\n"),
             barriers.join(",\n")
         )
     }
@@ -367,6 +517,8 @@ mod tests {
             latency_size: 64,
             latency_reps: 8,
             small_sizes: vec![64, 256],
+            get_sizes: vec![64, 4096],
+            get_reps: 4,
             burst: 16,
             bursts: 2,
             barrier_reps: 4,
@@ -382,16 +534,28 @@ mod tests {
         assert_eq!(r.get.n, 8);
         assert_eq!(r.throughput.len(), 2);
         assert_eq!(r.throughput[0].messages, 32);
+        assert_eq!(r.get_curve.len(), 2);
+        assert_eq!(r.get_curve[1].size, 4096);
         assert_eq!(r.barriers.len(), 2);
         assert_eq!(r.barriers[1].pes, 3);
         for t in &r.throughput {
             assert!(t.on_msgs_per_sec.is_finite() && t.on_msgs_per_sec > 0.0);
             assert!(t.off_msgs_per_sec.is_finite() && t.off_msgs_per_sec > 0.0);
         }
+        for g in &r.get_curve {
+            assert_eq!(g.n, 4);
+            assert!(g.get_p50_us > 0.0 && g.put_p50_us > 0.0);
+            assert!(g.get_vs_put_ratio.is_finite() && g.get_vs_put_ratio > 0.0);
+            assert!(g.stop_wait_p50_us > 0.0);
+        }
+        assert!(r.get_vs_put_p50_ratio() > 0.0);
         let json = r.to_json();
         assert!(json.contains("\"bench\": \"transport\""));
         assert!(json.contains("\"put_latency_us\""));
         assert!(json.contains("\"improvement_pct\""));
+        assert!(json.contains("\"get_vs_put_p50_ratio\""));
+        assert!(json.contains("\"get_curve\""));
+        assert!(json.contains("\"stop_wait_p50\""));
         assert!(json.contains("\"barrier_latency_us\""));
         // Crude balance check on the hand-rolled document.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -410,6 +574,8 @@ mod tests {
                 latency_size: 256,
                 latency_reps: 4,
                 small_sizes: vec![256],
+                get_sizes: vec![256],
+                get_reps: 2,
                 burst: 32,
                 bursts: 2,
                 barrier_reps: 2,
@@ -421,6 +587,41 @@ mod tests {
                 Ok(())
             } else {
                 Err(format!("improvement {:.1}% < 25%", t.improvement_pct))
+            }
+        });
+    }
+
+    /// The regression gate for the get-path cliff: blocking Get p50 must
+    /// stay within 10x of Put p50 at 512 B. The seed sat at ~140x (1 ms
+    /// responder poll + 800 us interrupt-driven response service per
+    /// get); the aperture fast path and the pipelined protocol keep the
+    /// ratio low, and this gate keeps it from regressing. Scaled model
+    /// so the simulated latencies dominate scheduler noise.
+    #[test]
+    fn get_latency_within_ten_x_of_put() {
+        let _guard = crate::timing_test_guard();
+        crate::assert_shape_with_retries(3, || {
+            let cfg = TransportConfig {
+                model: TimeModel::scaled(0.05),
+                latency_size: 512,
+                latency_reps: 16,
+                small_sizes: vec![256],
+                get_sizes: vec![512],
+                get_reps: 4,
+                burst: 8,
+                bursts: 1,
+                barrier_reps: 2,
+                barrier_pes: vec![2],
+            };
+            let r = run_transport(&cfg);
+            let ratio = r.get_vs_put_p50_ratio();
+            if ratio <= 10.0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "get p50 {:.2} us is {ratio:.1}x put p50 {:.2} us (> 10x gate)",
+                    r.get.p50_us, r.put.p50_us
+                ))
             }
         });
     }

@@ -145,6 +145,19 @@ impl<'a> CApi<'a> {
     pub fn shmem_getmem_nbi(&self, src: &TypedSym<u8>, nelems: usize, pe: i32) -> Result<Vec<u8>> {
         self.ctx.get_slice_opts(src, 0, nelems, pe as usize, OpOptions::nbi())
     }
+
+    /// Generic `shmem_getmem` with explicit [`OpOptions`] — the escape
+    /// hatch for deadline-bounded or window-tuned bulk gets from
+    /// transliterated C code.
+    pub fn shmem_getmem_opts(
+        &self,
+        src: &TypedSym<u8>,
+        nelems: usize,
+        pe: i32,
+        opts: OpOptions,
+    ) -> Result<Vec<u8>> {
+        self.ctx.get_slice_opts(src, 0, nelems, pe as usize, opts)
+    }
 }
 
 /// RMA routines for one C type name.

@@ -200,6 +200,13 @@ impl ShmemConfig {
         self
     }
 
+    /// Tune the pipelined get path: the sub-request tile size in bytes
+    /// and how many tiles stay in flight per get (`1` = stop-and-wait).
+    pub fn with_get_pipeline(mut self, req_chunk: u64, window: usize) -> Self {
+        self.net = self.net.with_get_pipeline(req_chunk, window);
+        self
+    }
+
     /// Number of PEs.
     pub fn hosts(&self) -> usize {
         self.net.hosts
@@ -336,6 +343,13 @@ impl ShmemConfigBuilder {
         self
     }
 
+    /// Pipelined get tuning: sub-request tile size in bytes and the
+    /// in-flight window per get (`1` = stop-and-wait).
+    pub fn get_pipeline(mut self, req_chunk: u64, window: usize) -> Self {
+        self.cfg.net = self.cfg.net.with_get_pipeline(req_chunk, window);
+        self
+    }
+
     /// Finish: validate and return the configuration.
     pub fn build(self) -> ShmemConfig {
         self.cfg.validate();
@@ -407,6 +421,17 @@ mod tests {
         assert!(c.net.heartbeat.enabled);
         assert_eq!(c.degraded_policy, DegradedPolicy::Degrade);
         assert_eq!(ShmemConfig::fast_sim().degraded_policy, DegradedPolicy::Fail);
+    }
+
+    #[test]
+    fn builder_covers_get_pipeline_knobs() {
+        let c = ShmemConfig::builder().hosts(2).get_pipeline(64 << 10, 8).build();
+        assert_eq!(c.net.get_req_chunk, 64 << 10);
+        assert_eq!(c.net.get_window, 8);
+        let c = ShmemConfig::fast_sim().with_get_pipeline(32 << 10, 1);
+        assert_eq!(c.net.get_req_chunk, 32 << 10);
+        assert_eq!(c.net.get_window, 1);
+        c.validate();
     }
 
     #[test]

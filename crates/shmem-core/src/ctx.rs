@@ -75,6 +75,11 @@ pub struct OpOptions {
     /// of burning retry budget on work nobody wants anymore. `None`
     /// (default) keeps the retry policy's own bounded-time behaviour.
     pub deadline: Option<std::time::Duration>,
+    /// Get pipeline depth override: how many get sub-requests this
+    /// operation keeps in flight at once (`1` = stop-and-wait). `None`
+    /// (default) uses the world's
+    /// [`get_window`](crate::config::ShmemConfig::with_get_pipeline).
+    pub get_window: Option<usize>,
 }
 
 impl Default for OpOptions {
@@ -85,6 +90,7 @@ impl Default for OpOptions {
             coalesce: false,
             dma_threshold: None,
             deadline: None,
+            get_window: None,
         }
     }
 }
@@ -146,6 +152,15 @@ impl OpOptions {
         self
     }
 
+    /// Pin the get pipeline depth for this operation: `1` forces
+    /// stop-and-wait (each sub-request fully completes before the next
+    /// is issued), larger values overlap the responder's service time
+    /// with response transfers on large gets.
+    pub fn get_window(mut self, window: usize) -> Self {
+        self.get_window = Some(window);
+        self
+    }
+
     /// The transfer mode this operation actually uses for `len` payload
     /// bytes, given the world default.
     pub(crate) fn effective_mode(&self, len: usize, default: TransferMode) -> TransferMode {
@@ -201,6 +216,10 @@ impl ShmemCtx {
     pub(crate) fn new(node: Arc<NtbNode>, cfg: ShmemConfig) -> Result<ShmemCtx> {
         let heap = SymmetricHeap::new(Arc::clone(node.memory()), cfg.heap_chunk);
         node.set_delivery(Arc::clone(&heap) as Arc<dyn ntb_net::DeliveryTarget>);
+        // Publishing the heap through the link apertures lets direct
+        // neighbours serve small gets with one PIO window read instead
+        // of the full request/response round trip.
+        node.publish_aperture(Arc::clone(&heap) as Arc<dyn ntb_sim::ReadAperture>);
         // Pre-user symmetric allocation: every PE performs it identically
         // during init, so offsets match without a barrier (no peer is
         // running user code yet).
@@ -230,6 +249,7 @@ impl ShmemCtx {
     }
 
     pub(crate) fn finalize(&self) {
+        self.node.clear_aperture();
         self.node.clear_delivery();
     }
 
@@ -487,17 +507,21 @@ impl ShmemCtx {
         } else {
             let mode = opts.effective_mode(len as usize, self.cfg.default_mode);
             let deadline_us = self.wire_deadline(&opts);
+            let fetch = || match opts.get_window {
+                Some(w) => self.node.get_bytes_windowed(pe, off, len, mode, deadline_us, w),
+                None => self.node.get_bytes_opts(pe, off, len, mode, deadline_us),
+            };
             let obs = self.node.obs();
             if obs.is_enabled() {
                 let op = self.next_api_op();
                 let t0 = Instant::now();
                 obs.emit(EventKind::ApiGetIssue, op, [pe as u64, len]);
-                let bytes = self.node.get_bytes_opts(pe, off, len, mode, deadline_us)?;
+                let bytes = fetch()?;
                 self.node.metrics().record_op(OpClass::Get, t0.elapsed().as_micros() as u64);
                 obs.emit(EventKind::ApiGetComplete, op, [pe as u64, 0]);
                 bytes
             } else {
-                self.node.get_bytes_opts(pe, off, len, mode, deadline_us)?
+                fetch()?
             }
         };
         Ok(T::bytes_to_vec(&bytes))

@@ -372,6 +372,21 @@ impl DeliveryTarget for SymmetricHeap {
     }
 }
 
+impl ntb_sim::ReadAperture for SymmetricHeap {
+    /// Serve a peer's aperture read straight from the flat space: the
+    /// peer's CPU pulls the bytes through the mapped window, no service
+    /// thread involved. An offset outside the currently-grown heap is
+    /// `Ok(false)` — not an error, the reader falls back to the get
+    /// protocol (whose responder reports the authoritative bounds).
+    fn read(&self, offset: u64, buf: &mut [u8]) -> ntb_sim::Result<bool> {
+        match self.read_flat(offset, buf) {
+            Ok(()) => Ok(true),
+            Err(ShmemError::SymmetricBounds { .. }) => Ok(false),
+            Err(e) => Err(shmem_to_ntb(e)),
+        }
+    }
+}
+
 /// Delivery errors must cross the `ntb-net` boundary as `NtbError`.
 fn shmem_to_ntb(e: ShmemError) -> ntb_sim::NtbError {
     match e {
@@ -606,6 +621,19 @@ mod tests {
         assert_eq!(out, b"via the ring");
         let old = target.deliver_atomic(AmoOp::Swap, a.offset + 16, 8, 9, 0).unwrap();
         assert_eq!(old, 0);
+    }
+
+    #[test]
+    fn aperture_read_roundtrip_and_bounds() {
+        let h = heap();
+        let a = h.malloc(64).unwrap();
+        h.write_flat(a.offset, b"window read").unwrap();
+        let ap: &dyn ntb_sim::ReadAperture = &*h;
+        let mut out = vec![0u8; 11];
+        assert!(ap.read(a.offset, &mut out).unwrap());
+        assert_eq!(out, b"window read");
+        // Past the grown flat space: declined, not an error.
+        assert!(!ap.read(1 << 40, &mut out).unwrap());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! fast path when the *target* side is contiguous (`tst == 1`), which
 //! batches into a single wire transfer.
 
-use crate::ctx::ShmemCtx;
+use crate::ctx::{OpOptions, ShmemCtx};
 use crate::error::{Result, ShmemError};
 use crate::symmetric::TypedSym;
 use crate::types::ShmemScalar;
@@ -56,6 +56,21 @@ impl ShmemCtx {
         nelems: usize,
         pe: usize,
     ) -> Result<Vec<T>> {
+        self.iget_opts(sym, index, sst, nelems, pe, OpOptions::new())
+    }
+
+    /// [`iget`](Self::iget) with explicit [`OpOptions`]: deadlines,
+    /// transfer mode, and the get pipeline window apply to the covering
+    /// transfer exactly as they do for [`get_slice_opts`](Self::get_slice_opts).
+    pub fn iget_opts<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        sst: usize,
+        nelems: usize,
+        pe: usize,
+        opts: OpOptions,
+    ) -> Result<Vec<T>> {
         if sst == 0 {
             return Err(ShmemError::Runtime("iget: source stride must be >= 1"));
         }
@@ -64,12 +79,12 @@ impl ShmemCtx {
         }
         if sst == 1 {
             // Contiguous source: one wire transfer.
-            return self.get_slice(sym, index, nelems, pe);
+            return self.get_slice_opts(sym, index, nelems, pe, opts);
         }
         // Fetch the covering range in one transfer and pick the strided
         // elements locally — one round trip instead of `nelems`.
         let span = (nelems - 1) * sst + 1;
-        let covering = self.get_slice::<T>(sym, index, span, pe)?;
+        let covering = self.get_slice_opts::<T>(sym, index, span, pe, opts)?;
         Ok((0..nelems).map(|i| covering[i * sst]).collect())
     }
 

@@ -444,6 +444,187 @@ chaos_matrix! {
     chaos_link_flap_seed_08 => Family::LinkFlap, 0xF1_A908;
 }
 
+// ---------------------------------------------------------------------------
+// Get-pipeline chaos: bulk pipelined gets under fire.
+// ---------------------------------------------------------------------------
+
+/// Payload each host exports for the get-window cells.
+const GET_LEN: usize = 64 << 10;
+/// Sub-request size for the get-window cells: 64 KiB / 4 KiB = 16
+/// sub-requests per get, 4 in flight, so every fault lands mid-window.
+const GET_SUB: u64 = 4 << 10;
+const GET_ROUNDS: usize = 4;
+
+/// Deterministic exported bytes of one host's get range.
+fn get_pattern(host: usize) -> Vec<u8> {
+    (0..GET_LEN as u32)
+        .map(|i| ((i.wrapping_mul(0x9E37_79B9) >> 7) as u8) ^ (host as u8).wrapping_mul(0x35))
+        .collect()
+}
+
+fn get_window_net(family: Family, seed: u64) -> (RingNetwork, Vec<Arc<ChaosHeap>>) {
+    let cfg = NetConfig::fast(HOSTS)
+        .with_retry(chaos_retry())
+        .with_faults(family.plan(seed))
+        .with_get_pipeline(GET_SUB, 4);
+    let net = RingNetwork::build(cfg).unwrap();
+    net.obs_enable();
+    let heaps: Vec<Arc<ChaosHeap>> = (0..HOSTS).map(|_| ChaosHeap::new()).collect();
+    for (i, heap) in heaps.iter().enumerate() {
+        net.node(i).set_delivery(Arc::clone(heap) as Arc<dyn DeliveryTarget>);
+        heap.region.write(64, &get_pattern(i)).unwrap();
+    }
+    (net, heaps)
+}
+
+/// One get-window cell: every host pulls every peer's 16-sub-request
+/// range for several rounds while the family's faults hit the links
+/// mid-window. Results must be byte-exact, no service thread may record
+/// an error, and the trace must satisfy the checker's get-resolution
+/// invariant (every sub-request resolved exactly once, fills tiling
+/// their request) with the full sub-request count accounted for.
+fn assert_get_window_chaos(family: Family, seed: u64) {
+    let (net, _heaps) = get_window_net(family, seed);
+    for round in 0..GET_ROUNDS {
+        for src in 0..HOSTS {
+            for hop in 1..HOSTS {
+                let dest = (src + hop) % HOSTS;
+                let mode = if (round + src + hop) % 2 == 0 {
+                    TransferMode::Dma
+                } else {
+                    TransferMode::Memcpy
+                };
+                let got = net.node(src).get_bytes(dest, 64, GET_LEN as u64, mode).unwrap();
+                assert_eq!(
+                    got,
+                    get_pattern(dest),
+                    "{}/{seed:#x}: round {round} get {src} <- {dest} must be byte-exact",
+                    family.label(),
+                );
+            }
+        }
+    }
+    for node in net.nodes() {
+        let errs = node.take_errors();
+        assert!(errs.is_empty(), "host {} service errors: {errs:?}", node.host_id());
+    }
+    let events = net.take_events();
+    let dropped = net.event_log().dropped();
+    let label = format!("chaos-get-window-{}-{seed:#x}", family.label());
+    assert_eq!(dropped, 0, "{label}: trace ring buffer wrapped; raise the capacity");
+    let report = check(&events, HOSTS);
+    if !report.is_clean() {
+        let dir = PathBuf::from("target/trace-dumps");
+        std::fs::create_dir_all(&dir).expect("create target/trace-dumps");
+        let path = dir.join(format!("{label}.txt"));
+        std::fs::write(&path, render_events(&events)).expect("write trace dump");
+        panic!(
+            "{label}: {} violation(s); trace dump at {}\n{}",
+            report.violations.len(),
+            path.display(),
+            report.render_violations()
+        );
+    }
+    // Every (src, peer, round) get tiles into GET_LEN / GET_SUB
+    // sub-requests; a lower count means the pipeline never engaged and
+    // the cell certified vacuously.
+    let expected = HOSTS * (HOSTS - 1) * GET_ROUNDS * (GET_LEN / GET_SUB as usize);
+    assert!(
+        report.get_reqs_checked >= expected,
+        "{label}: only {} of >= {expected} sub-requests certified",
+        report.get_reqs_checked
+    );
+    eprintln!(
+        "{label}: {} events, {} sub-requests certified",
+        events.len(),
+        report.get_reqs_checked
+    );
+}
+
+/// Responder-crash cell: a requester hammers pipelined gets while the
+/// responder dies mid-window. In-flight sub-requests must resolve as
+/// typed errors in bounded time (retry budget, not a hang), the
+/// abandoned window must still satisfy the get-resolution invariant,
+/// and traffic to the surviving peer must stay byte-exact.
+fn assert_get_window_responder_crash(seed: u64) {
+    const VICTIM: usize = 1;
+    let (net, _heaps) = get_window_net(Family::DoorbellDrop, seed);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // Land the crash mid-run, while PE 0 has a window in flight.
+            std::thread::sleep(Duration::from_millis(30));
+            net.node(VICTIM).crash();
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut completed = 0usize;
+        loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "get at the crashed responder neither completed nor failed in 10s"
+            );
+            match net.node(0).get_bytes(VICTIM, 64, GET_LEN as u64, TransferMode::Dma) {
+                Ok(got) => {
+                    assert_eq!(got, get_pattern(VICTIM), "pre-crash get must be byte-exact");
+                    completed += 1;
+                }
+                Err(_) => break, // typed failure after the retry budget — the contract
+            }
+        }
+        eprintln!("get-window-crash/{seed:#x}: {completed} gets completed before the crash bit");
+    });
+    // The surviving peer is untouched.
+    let got = net.node(0).get_bytes(2, 64, GET_LEN as u64, TransferMode::Memcpy).unwrap();
+    assert_eq!(got, get_pattern(2), "survivor get must stay byte-exact");
+    let events = net.take_events();
+    let dropped = net.event_log().dropped();
+    let label = format!("chaos-get-window-crash-{seed:#x}");
+    assert_eq!(dropped, 0, "{label}: trace ring buffer wrapped; raise the capacity");
+    let report = check(&events, HOSTS);
+    if !report.is_clean() {
+        let dir = PathBuf::from("target/trace-dumps");
+        std::fs::create_dir_all(&dir).expect("create target/trace-dumps");
+        let path = dir.join(format!("{label}.txt"));
+        std::fs::write(&path, render_events(&events)).expect("write trace dump");
+        panic!(
+            "{label}: {} violation(s); trace dump at {}\n{}",
+            report.violations.len(),
+            path.display(),
+            report.render_violations()
+        );
+    }
+    assert!(report.get_reqs_checked > 0, "{label}: no sub-requests certified");
+}
+
+macro_rules! get_window_matrix {
+    ($($name:ident => $family:expr, $seed:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                assert_get_window_chaos($family, $seed);
+            }
+        )*
+    };
+}
+
+get_window_matrix! {
+    get_window_doorbell_drop_seed_01 => Family::DoorbellDrop, 0x6E7_0B01;
+    get_window_doorbell_drop_seed_02 => Family::DoorbellDrop, 0x6E7_0B02;
+    get_window_corruption_seed_01 => Family::Corruption, 0x6E7_4401;
+    get_window_corruption_seed_02 => Family::Corruption, 0x6E7_4402;
+    get_window_link_flap_seed_01 => Family::LinkFlap, 0x6E7_A901;
+    get_window_link_flap_seed_02 => Family::LinkFlap, 0x6E7_A902;
+}
+
+#[test]
+fn get_window_responder_crash_seed_01() {
+    assert_get_window_responder_crash(0x6E7_DEAD);
+}
+
+#[test]
+fn get_window_responder_crash_seed_02() {
+    assert_get_window_responder_crash(0x6E7_DEAE);
+}
+
 /// Under `--features lockdep` the instrumented lock sites feed the
 /// runtime acquisition graph; a full mixed-fault run must record no
 /// rank violations and leave the graph acyclic. Tests share one

@@ -378,6 +378,74 @@ fn exhausted_retries_fail_within_the_policy_deadline() {
 }
 
 #[test]
+fn deadlined_get_fails_typed_and_fast_on_a_dark_link() {
+    // Both links dark for far longer than both the op deadline and the
+    // retry budget: a windowed get must surface the *typed*
+    // DeadlineExceeded at its ~30ms budget — not LinkFailed after the
+    // policy's full retry budget, and never a hang. The 30ms budget is
+    // deliberately shorter than one ack_timeout, so the deadline clip in
+    // the bounded wait is what fires, not a retransmission attempt.
+    let outage = Duration::from_secs(30);
+    let plan = FaultPlan::none().with_link_down(0, 0, outage).with_link_down(1, 0, outage);
+    let cfg = NetConfig::fast(2)
+        .with_retry(lossy_retry())
+        .with_faults(plan)
+        .with_get_pipeline(8 << 10, 4); // 8 sub-requests: the whole window sheds
+    let net = RingNetwork::build(cfg).unwrap();
+    let heaps: Vec<Arc<LossyHeap>> = (0..2).map(|_| LossyHeap::new()).collect();
+    for (i, heap) in heaps.iter().enumerate() {
+        net.node(i).set_delivery(Arc::clone(heap) as Arc<dyn DeliveryTarget>);
+    }
+    let deadline_us = net.node(0).deadline_us_in(Duration::from_millis(30));
+    let start = Instant::now();
+    let err = net
+        .node(0)
+        .get_bytes_opts(1, 0, 64 << 10, TransferMode::Dma, deadline_us)
+        .expect_err("get cannot complete with every link down");
+    let elapsed = start.elapsed();
+    assert!(matches!(err, NtbError::DeadlineExceeded), "expected DeadlineExceeded, got {err:?}");
+    let budget = lossy_retry().worst_case();
+    assert!(
+        elapsed < budget,
+        "deadlined get took {elapsed:?}; it must resolve at its ~30ms deadline, \
+         not wait out the {budget:?} retry budget"
+    );
+    net.node(0).quiet().expect("a shed get must leave no failure record behind");
+}
+
+#[test]
+fn shmem_get_deadline_is_typed_at_the_api() {
+    // End-to-end through the SHMEM API: a bulk pipelined get with an
+    // immediately-expiring OpOptions deadline surfaces the typed
+    // ShmemError::DeadlineExceeded, and the context stays fully usable —
+    // the same get without a deadline then completes byte-exact.
+    const ELEMS: usize = 8 << 10; // 64 KiB: well past the PIO crossover
+    let cfg = ShmemConfig::fast_sim().with_hosts(2).with_get_pipeline(8 << 10, 4);
+    ShmemWorld::run(cfg, |ctx| {
+        let sym = ctx.calloc_array::<u64>(ELEMS).unwrap();
+        let pattern: Vec<u64> = (0..ELEMS as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        if ctx.my_pe() == 1 {
+            ctx.write_local_slice(&sym, 0, &pattern).unwrap();
+        }
+        ctx.barrier_all().unwrap();
+        if ctx.my_pe() == 0 {
+            let opts = OpOptions::new().deadline(Duration::from_micros(1));
+            let err = ctx
+                .get_slice_opts::<u64>(&sym, 0, ELEMS, 1, opts)
+                .expect_err("a 1µs budget cannot cover a 64 KiB windowed get");
+            assert!(
+                matches!(err, ShmemError::DeadlineExceeded),
+                "expected the typed DeadlineExceeded, got {err}"
+            );
+            let got = ctx.get_slice::<u64>(&sym, 0, ELEMS, 1).unwrap();
+            assert_eq!(got, pattern, "the context must stay usable after the shed get");
+        }
+        ctx.barrier_all().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
 fn quiet_after_abandonment_is_clean_for_puts_on_the_restored_link() {
     // Regression: a finite outage long enough to exhaust the retry
     // budget abandons the in-flight put (quiet -> LinkFailed), then the

@@ -184,7 +184,10 @@ fn stats_reflect_traffic() {
         if ctx.my_pe() == 0 {
             ctx.put_slice(&sym, 0, &[1u8; 4096], 1).unwrap();
             ctx.quiet().expect("quiet");
-            let _ = ctx.get_slice::<u8>(&sym, 0, 1024, 2).unwrap();
+            // Above the PIO crossover: small gets ride the aperture fast
+            // path and never wake the responder (gets_served stays 0 for
+            // them), so use a bulk get to exercise the protocol path.
+            let _ = ctx.get_slice::<u8>(&sym, 0, 4096, 2).unwrap();
         }
         ctx.barrier_all().unwrap();
         ctx.stats_snapshot()

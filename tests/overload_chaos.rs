@@ -45,6 +45,11 @@ enum Family {
     /// Tight 1ms deadlines through a badly slowed port: most work is
     /// shed, and every shed must still leave a coherent trace.
     DeadlineStorm,
+    /// Get-heavy deadline storm: bulk pipelined gets (16 sub-requests,
+    /// 4 in flight) with tight deadlines through the slowed port, so
+    /// deadlines expire *mid-window* and the abandoned sub-requests
+    /// must still satisfy the checker's get-resolution invariant.
+    GetDeadlineStorm,
 }
 
 impl Family {
@@ -54,6 +59,7 @@ impl Family {
             Family::QueueShrink => "queue-shrink",
             Family::CreditStarve => "credit-starve",
             Family::DeadlineStorm => "deadline-storm",
+            Family::GetDeadlineStorm => "get-deadline-storm",
         }
     }
 
@@ -65,7 +71,9 @@ impl Family {
             }
             Family::QueueShrink => base.with_doorbell_drop(0.01).with_queue_shrink(1, ms(20), 8),
             Family::CreditStarve => base,
-            Family::DeadlineStorm => base.with_slow_port(0, ms(15), 10.0, ms(150)),
+            Family::DeadlineStorm | Family::GetDeadlineStorm => {
+                base.with_slow_port(0, ms(15), 10.0, ms(150))
+            }
         }
     }
 
@@ -73,7 +81,9 @@ impl Family {
     /// families run on the zero model for speed.
     fn model(self) -> TimeModel {
         match self {
-            Family::SlowPort | Family::DeadlineStorm => TimeModel::scaled(0.05),
+            Family::SlowPort | Family::DeadlineStorm | Family::GetDeadlineStorm => {
+                TimeModel::scaled(0.05)
+            }
             Family::QueueShrink | Family::CreditStarve => TimeModel::zero(),
         }
     }
@@ -87,15 +97,23 @@ impl Family {
                 low_watermark: 8,
                 ..Default::default()
             },
-            Family::SlowPort | Family::DeadlineStorm => OverloadConfig::default(),
+            Family::SlowPort | Family::DeadlineStorm | Family::GetDeadlineStorm => {
+                OverloadConfig::default()
+            }
         }
     }
 
     fn deadline(self) -> Duration {
         match self {
             Family::DeadlineStorm => ms(1),
+            Family::GetDeadlineStorm => ms(2),
             _ => ms(5),
         }
+    }
+
+    /// Get-heavy families add a bulk pipelined get per round.
+    fn get_heavy(self) -> bool {
+        matches!(self, Family::GetDeadlineStorm)
     }
 
     /// Incast (everyone fires at PE 0) vs rotating all-to-all.
@@ -113,16 +131,21 @@ struct Outcome {
     typed_sheds: u64,
 }
 
+/// Bulk get size for the get-heavy families, in u64 elements (64 KiB —
+/// 16 sub-requests at the 4 KiB pipeline chunk below, 4 in flight).
+const GET_ELEMS: usize = 8 << 10;
+
 fn run_cell(family: Family, seed: u64) -> Outcome {
     let cfg = ShmemConfig::fast_sim()
         .with_hosts(HOSTS)
         .with_model(family.model())
         .with_overload(family.overload())
+        .with_get_pipeline(4 << 10, 4)
         .with_faults(family.plan(seed));
     let results = ShmemWorld::run(cfg, |ctx| {
         let log = ctx.node().obs().log().expect("observed world");
         log.enable();
-        let sym = ctx.calloc_array::<u64>(128).expect("alloc");
+        let sym = ctx.calloc_array::<u64>(GET_ELEMS).expect("alloc");
         ctx.barrier_all().expect("bring-up barrier");
         let me = ctx.my_pe();
         let data: Vec<u64> = (0..64).map(|i| (me * 1000 + i) as u64).collect();
@@ -148,6 +171,17 @@ fn run_cell(family: Family, seed: u64) -> Outcome {
             let opts = OpOptions::new().deadline(family.deadline());
             tolerate(ctx.put_slice_opts(&sym, 0, &data, dest, opts), "put");
             tolerate(ctx.quiet(), "quiet");
+            if family.get_heavy() {
+                // Bulk pipelined get under the same tight deadline: the
+                // slow port makes the deadline expire mid-window, and
+                // the shed must be the typed error with the abandoned
+                // sub-requests still accounted for in the trace.
+                tolerate(
+                    ctx.get_slice_opts::<u64>(&sym, 0, GET_ELEMS, dest, opts)
+                        .map(|v| assert_eq!(v.len(), GET_ELEMS, "short get under overload")),
+                    "get",
+                );
+            }
         }
         // Outlive the fault holds so the trace ends on a healthy,
         // quiescent network — the checker's stated precondition.
@@ -166,7 +200,7 @@ fn run_cell(family: Family, seed: u64) -> Outcome {
 /// Run the trace through the invariant checker; on violation, dump the
 /// rendered report plus the full trace to `target/trace-dumps/` and
 /// panic with the artifact path.
-fn certify_trace(label: &str, outcome: &Outcome) {
+fn certify_trace(label: &str, outcome: &Outcome, min_get_reqs: usize) {
     assert_eq!(outcome.dropped, 0, "{label}: trace ring buffer wrapped; raise the capacity");
     let report = check(&outcome.events, HOSTS);
     if !report.is_clean() {
@@ -199,11 +233,19 @@ fn certify_trace(label: &str, outcome: &Outcome) {
         "{label}: no deadline-carrying transmissions in {} events",
         outcome.events.len()
     );
+    // Get-heavy cells must actually exercise the pipeline: enough
+    // sub-requests certified by the get-resolution invariant.
+    assert!(
+        report.get_reqs_checked >= min_get_reqs,
+        "{label}: only {} of >= {min_get_reqs} get sub-requests certified",
+        report.get_reqs_checked
+    );
 }
 
 fn assert_overload_cell(family: Family, seed: u64) {
     let outcome = run_cell(family, seed);
-    certify_trace(&format!("overload-{}-{seed:#x}", family.label()), &outcome);
+    let min_get_reqs = if family.get_heavy() { 16 } else { 0 };
+    certify_trace(&format!("overload-{}-{seed:#x}", family.label()), &outcome, min_get_reqs);
     eprintln!(
         "overload {}/{seed:#x}: {} events, {} typed sheds",
         family.label(),
@@ -234,6 +276,8 @@ overload_matrix! {
     overload_credit_starve_seed_02 => Family::CreditStarve, 0xC4_ED02;
     overload_deadline_storm_seed_01 => Family::DeadlineStorm, 0xDE_AD01;
     overload_deadline_storm_seed_02 => Family::DeadlineStorm, 0xDE_AD02;
+    overload_get_deadline_storm_seed_01 => Family::GetDeadlineStorm, 0x6E7_DE01;
+    overload_get_deadline_storm_seed_02 => Family::GetDeadlineStorm, 0x6E7_DE02;
 }
 
 /// Under `--features lockdep` the overload hot paths (credit gates,
@@ -245,7 +289,7 @@ overload_matrix! {
 fn overload_run_records_no_lockdep_violations() {
     use shmem_ntb::net::lockdep;
     let outcome = run_cell(Family::CreditStarve, 0x10CD_0501);
-    certify_trace("overload-lockdep-credit-starve", &outcome);
+    certify_trace("overload-lockdep-credit-starve", &outcome, 0);
     let violations = lockdep::take_violations();
     assert!(violations.is_empty(), "lockdep violations: {violations:#?}");
     if let Some(cycle) = lockdep::find_cycle() {

@@ -309,6 +309,111 @@ fn putget_matches_oracle() {
 }
 
 // ---------------------------------------------------------------------
+// Pipelined get tiling
+// ---------------------------------------------------------------------
+
+/// Random (size, chunk, window) points through the get pipeline: any
+/// combination of sub-request size, window depth and per-op window
+/// override must return exactly the written bytes, and the pipelined
+/// result must be identical to the `window == 1` stop-and-wait oracle
+/// over the same world.
+#[test]
+fn pipelined_get_tiling_matches_oracle() {
+    const REGION: usize = 32 << 10;
+    for case in 0..10u64 {
+        let mut rng = case_rng(14, case);
+        let chunk = 1u64 << rng.random_range(8u32..13); // 256 B .. 4 KiB sub-requests
+        let window = rng.random_range(1usize..6);
+        let offset = rng.random_range(0usize..REGION / 2);
+        let len = rng.random_range(1usize..=(REGION - offset));
+        let opts_window = rng.random_range(1usize..6);
+        let pat_seed: u8 = rng.random();
+        let cfg = ShmemConfig::fast_sim().with_hosts(2).with_get_pipeline(chunk, window);
+        ShmemWorld::run(cfg, |ctx| {
+            let sym = ctx.calloc_array::<u8>(REGION).unwrap();
+            let pattern: Vec<u8> =
+                (0..REGION).map(|i| (i as u8).wrapping_mul(31).wrapping_add(pat_seed)).collect();
+            if ctx.my_pe() == 1 {
+                ctx.write_local_slice(&sym, 0, &pattern).unwrap();
+            }
+            ctx.barrier_all().unwrap();
+            if ctx.my_pe() == 0 {
+                let expected = &pattern[offset..offset + len];
+                let ctx_tag = format!("case {case}: chunk {chunk} window {window} len {len}");
+                // The world-configured window.
+                let got = ctx.get_slice::<u8>(&sym, offset, len, 1).unwrap();
+                assert_eq!(got, expected, "{ctx_tag}: configured window");
+                // A per-op window override.
+                let got = ctx
+                    .get_slice_opts::<u8>(
+                        &sym,
+                        offset,
+                        len,
+                        1,
+                        OpOptions::new().get_window(opts_window),
+                    )
+                    .unwrap();
+                assert_eq!(got, expected, "{ctx_tag}: op window {opts_window}");
+                // window == 1 degenerates to stop-and-wait — the oracle.
+                let got = ctx
+                    .get_slice_opts::<u8>(&sym, offset, len, 1, OpOptions::new().get_window(1))
+                    .unwrap();
+                assert_eq!(got, expected, "{ctx_tag}: stop-and-wait oracle");
+            }
+            ctx.barrier_all().unwrap();
+        })
+        .unwrap();
+    }
+}
+
+/// Strided gets ride the same pipeline via their covering-span
+/// transfer: random (stride, count, chunk, window) points against a
+/// locally computed oracle, with and without a per-op window override.
+#[test]
+fn strided_get_pipeline_matches_oracle() {
+    const ELEMS: usize = 6000;
+    for case in 0..10u64 {
+        let mut rng = case_rng(15, case);
+        let chunk = 1u64 << rng.random_range(8u32..12);
+        let window = rng.random_range(1usize..5);
+        let sst = rng.random_range(1usize..8);
+        let nelems = rng.random_range(1usize..=(ELEMS / sst));
+        let index = rng.random_range(0usize..=(ELEMS - 1 - (nelems - 1) * sst));
+        let op_window = rng.random_range(1usize..5);
+        let cfg = ShmemConfig::fast_sim().with_hosts(2).with_get_pipeline(chunk, window);
+        ShmemWorld::run(cfg, |ctx| {
+            let sym = ctx.calloc_array::<u64>(ELEMS).unwrap();
+            let pattern: Vec<u64> = (0..ELEMS as u64)
+                .map(|i| case.wrapping_mul(1_000_003) ^ i.wrapping_mul(2_654_435_761))
+                .collect();
+            if ctx.my_pe() == 1 {
+                ctx.write_local_slice(&sym, 0, &pattern).unwrap();
+            }
+            ctx.barrier_all().unwrap();
+            if ctx.my_pe() == 0 {
+                let expected: Vec<u64> = (0..nelems).map(|i| pattern[index + i * sst]).collect();
+                let tag = format!("case {case}: sst {sst} nelems {nelems} chunk {chunk}");
+                let got = ctx.iget::<u64>(&sym, index, sst, nelems, 1).unwrap();
+                assert_eq!(got, expected, "{tag}: iget");
+                let got = ctx
+                    .iget_opts::<u64>(
+                        &sym,
+                        index,
+                        sst,
+                        nelems,
+                        1,
+                        OpOptions::new().get_window(op_window),
+                    )
+                    .unwrap();
+                assert_eq!(got, expected, "{tag}: iget_opts window {op_window}");
+            }
+            ctx.barrier_all().unwrap();
+        })
+        .unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Aligned allocation
 // ---------------------------------------------------------------------
 

@@ -267,6 +267,69 @@ fn tampered_trace_fails_amo_invariant() {
     );
 }
 
+/// Get-pipeline tampering controls: a windowed multi-sub-request get
+/// certifies clean; duplicating one received fill (a double-filled
+/// chunk) or erasing one (a dropped fill on a completed sub-request)
+/// must both fail the get-resolution invariant — a checker that cannot
+/// see either would certify a corrupted reassembly.
+#[test]
+fn tampered_get_pipeline_traces_fail_get_resolution() {
+    const HOSTS: usize = 2;
+    const LEN: usize = 16 << 10;
+    let cfg = NetConfig::fast(HOSTS).with_retry(lossy_retry()).with_get_pipeline(1 << 10, 4);
+    let net = RingNetwork::build(cfg).unwrap();
+    net.obs_enable();
+    let heaps = attach_heaps(&net, HOSTS);
+    let pattern: Vec<u8> = (0..LEN).map(|i| (i as u8).wrapping_mul(13)).collect();
+    heaps[1].region.write(512, &pattern).unwrap();
+    let got = net.node(0).get_bytes(1, 512, LEN as u64, TransferMode::Dma).unwrap();
+    assert_eq!(got, pattern, "windowed get must be byte-exact");
+
+    let events = net.take_events();
+    let report = check(&events, HOSTS);
+    assert!(
+        report.is_clean(),
+        "baseline windowed get must certify, got: {}",
+        report.render_violations()
+    );
+    assert!(
+        report.get_reqs_checked >= LEN / (1 << 10),
+        "the pipeline must have split the get into sub-requests, saw {}",
+        report.get_reqs_checked
+    );
+
+    let fill = *events
+        .iter()
+        .find(|e| e.kind == EventKind::GetChunkRx)
+        .expect("a received fill must be traced");
+    let last = *events.last().unwrap();
+
+    // Tamper 1: the same fill recorded twice — a double-filled chunk.
+    let mut tampered = events.clone();
+    tampered.push(TraceEvent { seq: last.seq + 1, t_us: last.t_us + 1, ..fill });
+    let report = check(&tampered, HOSTS);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "get-resolution" && v.message.contains("overlaps")),
+        "double fill must be flagged as overlapping coverage, got: {}",
+        report.render_violations()
+    );
+
+    // Tamper 2: the fill erased — the sub-request completes with a gap.
+    let tampered: Vec<TraceEvent> = events.iter().copied().filter(|e| e.seq != fill.seq).collect();
+    let report = check(&tampered, HOSTS);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "get-resolution" && v.message.contains("dropped fill")),
+        "dropped fill on a completed sub-request must be flagged, got: {}",
+        report.render_violations()
+    );
+}
+
 /// Failure-model controls: a real crash-eviction lifecycle certifies
 /// clean, and tampering with the same trace — a put chunk transmitted
 /// at a PE its sender already declared dead, or a membership view
