@@ -1,8 +1,10 @@
-//! `ntb-lint` — workspace-native concurrency lint for the NTB/OpenSHMEM
+//! `ntb-lint` — workspace-native static analysis for the NTB/OpenSHMEM
 //! workspace.
 //!
-//! Four rules, all keyed to the paper's ordered shared-state protocol
-//! (ScratchPad publish → doorbell → service-thread consume):
+//! Eight rules, all keyed to the paper's ordered shared-state protocol
+//! (ScratchPad publish → doorbell → service-thread consume). Four are
+//! token-level hygiene rules, four are function-granular protocol-
+//! discipline rules built on the [`parse`] module:
 //!
 //! 1. **safety** — every `unsafe` block / fn / impl carries a
 //!    `// SAFETY:` comment explaining the invariant.
@@ -16,7 +18,23 @@
 //! 4. **locks** — every lock acquisition is classified in the
 //!    [`manifest::LOCK_SITES`] table, nested acquisitions respect the
 //!    declared rank order (or carry `// lint: lock-order-ok(reason)`),
-//!    and the runtime lockdep class table stays in sync with the manifest.
+//!    and the runtime lockdep class table stays in sync with the manifest
+//!    (**lockdep-sync**).
+//! 5. **resolution** — a function that acquires protocol state (emits a
+//!    registered lifecycle event from [`manifest::EVENT_PAIRS`], or
+//!    inserts into a pending table per [`manifest::CALL_PAIRS`]) must
+//!    reach a paired resolution on every control-flow exit, or carry
+//!    `// RESOLVES(<event>): why`.
+//! 6. **deadline-clip** — blocking wait primitives must derive their
+//!    timeout from a deadline-clipped expression, or carry
+//!    `// DEADLINE-CLIPPED: why`.
+//! 7. **bounded-wait** — no `loop`/`while` containing a wait/spin without
+//!    a deadline check, retry-budget decrement or shutdown flag, or a
+//!    `// BOUNDED-BY: why` justification.
+//! 8. **typed-error** — constructing a failure variant of the typed error
+//!    ladder (`NtbError`/`ShmemError`) must co-occur with pending-entry
+//!    resolution in the same function, or carry a `// RESOLVES(..): why`
+//!    annotation.
 //!
 //! All rules skip `#[test]` / `#[cfg(test)]` regions. The pass is
 //! deliberately dependency-free (hand-rolled lexer, no `syn`): the
@@ -25,8 +43,11 @@
 
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
+mod rules;
 
 use lexer::{lex, Comment, Tok, TokKind};
+use parse::FnInfo;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
@@ -37,7 +58,8 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id: `safety`, `atomics`, `unwraps`, `locks`, `lockdep-sync`.
+    /// Rule id: `safety`, `atomics`, `unwraps`, `locks`, `lockdep-sync`,
+    /// `resolution`, `deadline-clip`, `bounded-wait`, `typed-error`.
     pub rule: &'static str,
     /// Human-readable description with the expected annotation.
     pub message: String,
@@ -52,27 +74,80 @@ impl std::fmt::Display for Finding {
 /// How path-scoped rules treat the file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FileMode {
-    /// Normal workspace scan: the unwraps rule applies only to
-    /// `ntb-net/src` and `shmem-core/src`.
+    /// Normal workspace scan: path-scoped rules apply only to their
+    /// declared crates (unwraps/resolution/deadline-clip/typed-error to
+    /// `ntb-net/src` + `shmem-core/src`, bounded-wait additionally to
+    /// `ntb-sim/src`).
     Workspace,
     /// Fixture / single-file mode: every rule applies unconditionally.
     Single,
 }
 
+/// Evidence counters from a scan, so a parser regression that silently
+/// analyzes nothing fails loudly in the self-scan test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Files scanned.
+    pub files: usize,
+    /// Functions parsed out of the token streams.
+    pub functions: usize,
+    /// Acquire sites checked by the resolution rule (events + table inserts).
+    pub acquires: usize,
+    /// (acquire, exit) pairs checked by the resolution rule.
+    pub exits_checked: usize,
+    /// Timed-wait call sites checked by the deadline-clip rule.
+    pub waits_checked: usize,
+    /// Waiting loops checked by the bounded-wait rule.
+    pub loops_checked: usize,
+    /// Failure-variant constructions checked by the typed-error rule.
+    pub errors_checked: usize,
+}
+
+impl ScanStats {
+    fn absorb(&mut self, other: ScanStats) {
+        self.files += other.files;
+        self.functions += other.functions;
+        self.acquires += other.acquires;
+        self.exits_checked += other.exits_checked;
+        self.waits_checked += other.waits_checked;
+        self.loops_checked += other.loops_checked;
+        self.errors_checked += other.errors_checked;
+    }
+}
+
+impl std::fmt::Display for ScanStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} files, {} functions; {} acquires / {} exits paired, \
+             {} waits deadline-checked, {} loops bound-checked, {} error constructions checked",
+            self.files,
+            self.functions,
+            self.acquires,
+            self.exits_checked,
+            self.waits_checked,
+            self.loops_checked,
+            self.errors_checked
+        )
+    }
+}
+
 /// Pre-lexed view of one source file shared by all rules.
-struct FileCtx<'a> {
-    file: &'a str,
-    toks: Vec<Tok>,
+pub(crate) struct FileCtx<'a> {
+    pub(crate) file: &'a str,
+    pub(crate) toks: Vec<Tok>,
     /// Lines that contain at least one code token.
-    code_lines: HashSet<u32>,
+    pub(crate) code_lines: HashSet<u32>,
     /// Comment text per start line (multiple comments concatenated).
-    comments: HashMap<u32, String>,
+    pub(crate) comments: HashMap<u32, String>,
     /// Inclusive line ranges covered by `#[test]` / `#[cfg(test)]` items.
-    test_ranges: Vec<(u32, u32)>,
+    pub(crate) test_ranges: Vec<(u32, u32)>,
+    /// Parsed functions (protocol-discipline rules).
+    pub(crate) fns: Vec<FnInfo>,
 }
 
 impl<'a> FileCtx<'a> {
-    fn new(file: &'a str, src: &str) -> Self {
+    pub(crate) fn new(file: &'a str, src: &str) -> Self {
         let (toks, raw_comments) = lex(src);
         let mut comments: HashMap<u32, String> = HashMap::new();
         for Comment { line, text } in raw_comments {
@@ -80,18 +155,19 @@ impl<'a> FileCtx<'a> {
         }
         let code_lines = toks.iter().map(|t| t.line).collect();
         let test_ranges = find_test_ranges(&toks);
-        FileCtx { file, toks, code_lines, comments, test_ranges }
+        let fns = parse::parse_functions(&toks);
+        FileCtx { file, toks, code_lines, comments, test_ranges, fns }
     }
 
-    fn in_test(&self, line: u32) -> bool {
+    pub(crate) fn in_test(&self, line: u32) -> bool {
         self.test_ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
     }
 
-    /// True when `needle` appears in a comment on the token's line, on a
+    /// True when `pred` matches a comment on the token's line, on a
     /// contiguous run of comment/blank lines directly above it, or (for
     /// block-opening constructs) on the line just below.
-    fn annotated(&self, line: u32, needle: &str) -> bool {
-        if self.comments.get(&line).is_some_and(|c| c.contains(needle)) {
+    pub(crate) fn annotated_by(&self, line: u32, pred: impl Fn(&str) -> bool) -> bool {
+        if self.comments.get(&line).is_some_and(|c| pred(c)) {
             return true;
         }
         // Walk up through comments and blank lines; stop at code.
@@ -99,7 +175,7 @@ impl<'a> FileCtx<'a> {
         while l > 1 {
             l -= 1;
             if let Some(c) = self.comments.get(&l) {
-                if c.contains(needle) {
+                if pred(c) {
                     return true;
                 }
                 continue;
@@ -110,7 +186,16 @@ impl<'a> FileCtx<'a> {
             // blank line: keep walking
         }
         // First line inside an opened block (e.g. `unsafe {` + SAFETY below).
-        self.comments.get(&(line + 1)).is_some_and(|c| c.contains(needle))
+        self.comments.get(&(line + 1)).is_some_and(|c| pred(c))
+    }
+
+    pub(crate) fn annotated(&self, line: u32, needle: &str) -> bool {
+        self.annotated_by(line, |c| c.contains(needle))
+    }
+
+    /// Innermost parsed function whose body contains token index `i`.
+    pub(crate) fn enclosing_fn(&self, i: usize) -> Option<&FnInfo> {
+        self.fns.iter().filter(|f| f.contains(i)).max_by_key(|f| f.body_open)
     }
 }
 
@@ -227,362 +312,45 @@ fn attr_is_test(attr: &[String]) -> bool {
     }
 }
 
-const ALLOWED_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
-
-/// Rule 1: every non-test `unsafe` carries a SAFETY comment.
-fn rule_safety(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    for t in &ctx.toks {
-        if t.kind == TokKind::Ident
-            && t.text == "unsafe"
-            && !ctx.in_test(t.line)
-            && !ctx.annotated(t.line, "SAFETY:")
-        {
-            out.push(Finding {
-                file: ctx.file.to_string(),
-                line: t.line,
-                rule: "safety",
-                message: "`unsafe` without a `// SAFETY:` comment stating the upheld invariant"
-                    .into(),
-            });
-        }
+/// Drop lower-precedence findings when several rules fire on the same
+/// (file, line): if a line both leaks a pending entry and calls
+/// `.unwrap()`, the leak is the story (see [`manifest::RULE_PRECEDENCE`]).
+pub fn dedupe(findings: Vec<Finding>) -> Vec<Finding> {
+    let mut best: HashMap<(String, u32), usize> = HashMap::new();
+    for f in &findings {
+        let p = manifest::rule_precedence(f.rule);
+        best.entry((f.file.clone(), f.line)).and_modify(|b| *b = (*b).min(p)).or_insert(p);
     }
+    findings
+        .into_iter()
+        .filter(|f| {
+            best.get(&(f.file.clone(), f.line))
+                .is_none_or(|&b| manifest::rule_precedence(f.rule) == b)
+        })
+        .collect()
 }
 
-/// Rule 2: allowlisted atomic orderings; `Relaxed` needs
-/// `// lint: relaxed-ok(reason)`, and importing `Ordering::Relaxed` is
-/// forbidden (it hides the ordering at every use site).
-fn rule_atomics(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    let toks = &ctx.toks;
-    for i in 0..toks.len() {
-        if !(toks[i].kind == TokKind::Ident && toks[i].text == "Ordering") {
-            continue;
-        }
-        // Match `Ordering :: <Variant>`.
-        let (Some(c1), Some(c2), Some(v)) = (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
-        else {
-            continue;
-        };
-        if c1.text != ":" || c2.text != ":" || v.kind != TokKind::Ident {
-            continue;
-        }
-        if ctx.in_test(v.line) {
-            continue;
-        }
-        if stmt_starts_with_use(toks, i) {
-            if v.text == "Relaxed" {
-                out.push(Finding {
-                    file: ctx.file.to_string(),
-                    line: v.line,
-                    rule: "atomics",
-                    message: "importing `Ordering::Relaxed` hides the ordering at use sites; \
-                              name `Ordering::Relaxed` explicitly at each load/store"
-                        .into(),
-                });
-            }
-            continue;
-        }
-        if ALLOWED_ORDERINGS.contains(&v.text.as_str()) {
-            continue;
-        }
-        if v.text == "Relaxed" {
-            if !ctx.annotated(v.line, "lint: relaxed-ok") {
-                out.push(Finding {
-                    file: ctx.file.to_string(),
-                    line: v.line,
-                    rule: "atomics",
-                    message: "`Ordering::Relaxed` without `// lint: relaxed-ok(reason)`; \
-                              protocol state needs an explicit justification for no ordering"
-                        .into(),
-                });
-            }
-        } else {
-            out.push(Finding {
-                file: ctx.file.to_string(),
-                line: v.line,
-                rule: "atomics",
-                message: format!("unknown atomic ordering `{}`", v.text),
-            });
-        }
-    }
-}
-
-/// Does the statement containing token `i` start with `use`?
-fn stmt_starts_with_use(toks: &[Tok], i: usize) -> bool {
-    for j in (0..i).rev() {
-        let t = &toks[j];
-        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
-            return toks.get(j + 1).is_some_and(|t| t.text == "use");
-        }
-    }
-    toks.first().is_some_and(|t| t.text == "use")
-}
-
-/// Rule 3: no `.unwrap()` / `.expect(` in non-test ntb-net / shmem-core
-/// code without `// lint: unwrap-ok(reason)`.
-fn rule_unwraps(ctx: &FileCtx<'_>, mode: FileMode, out: &mut Vec<Finding>) {
-    if mode == FileMode::Workspace {
-        let norm = ctx.file.replace('\\', "/");
-        if !(norm.contains("ntb-net/src/") || norm.contains("shmem-core/src/")) {
-            return;
-        }
-    }
-    let toks = &ctx.toks;
-    for i in 0..toks.len() {
-        if !(toks[i].kind == TokKind::Punct && toks[i].text == ".") {
-            continue;
-        }
-        let Some(m) = toks.get(i + 1) else { continue };
-        if !(m.kind == TokKind::Ident && (m.text == "unwrap" || m.text == "expect")) {
-            continue;
-        }
-        if toks.get(i + 2).is_none_or(|t| t.text != "(") {
-            continue;
-        }
-        if ctx.in_test(m.line) || ctx.annotated(m.line, "lint: unwrap-ok") {
-            continue;
-        }
-        out.push(Finding {
-            file: ctx.file.to_string(),
-            line: m.line,
-            rule: "unwraps",
-            message: format!(
-                "`.{}()` in non-test code: return a typed `ShmemError`/`NtbError`, \
-                 or justify with `// lint: unwrap-ok(reason)`",
-                m.text
-            ),
-        });
-    }
-}
-
-/// One lock acquisition discovered in the token stream.
-struct Acq {
-    line: u32,
-    receiver: String,
-    /// Index of the `.` token, for statement-shape probing.
-    dot: usize,
-}
-
-/// Rule 4: classified lock sites + intra-function rank ordering, plus the
-/// lockdep class-table sync check.
-fn rule_locks(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    let toks = &ctx.toks;
-    // Pass A: find acquisitions -> classify.
-    let mut acqs: Vec<(Acq, Option<&'static manifest::LockClassDecl>)> = Vec::new();
-    for i in 0..toks.len() {
-        if !(toks[i].kind == TokKind::Punct && toks[i].text == ".") {
-            continue;
-        }
-        let Some(m) = toks.get(i + 1) else { continue };
-        if !(m.kind == TokKind::Ident && matches!(m.text.as_str(), "lock" | "read" | "write")) {
-            continue;
-        }
-        // Require an empty argument list: distinguishes RwLock::read()
-        // from e.g. Region::read(addr, buf).
-        if !(toks.get(i + 2).is_some_and(|t| t.text == "(")
-            && toks.get(i + 3).is_some_and(|t| t.text == ")"))
-        {
-            continue;
-        }
-        if ctx.in_test(m.line) {
-            continue;
-        }
-        let Some(recv) = (i > 0).then(|| &toks[i - 1]).filter(|t| t.kind == TokKind::Ident) else {
-            // `.lock()` on a non-identifier receiver (call result etc.).
-            if !ctx.annotated(m.line, "lint: lock-order-ok") {
-                out.push(Finding {
-                    file: ctx.file.to_string(),
-                    line: m.line,
-                    rule: "locks",
-                    message: format!(
-                        "`.{}()` on a non-identifier receiver cannot be classified; \
-                         bind the lock to a named field/binding listed in LOCK_SITES",
-                        m.text
-                    ),
-                });
-            }
-            continue;
-        };
-        let class = manifest::classify(ctx.file, &recv.text);
-        if class.is_none() {
-            out.push(Finding {
-                file: ctx.file.to_string(),
-                line: m.line,
-                rule: "locks",
-                message: format!(
-                    "unclassified lock acquisition `{}.{}()`; add a LOCK_SITES entry \
-                     (file suffix + receiver -> class) to crates/ntb-lint/src/manifest.rs",
-                    recv.text, m.text
-                ),
-            });
-        }
-        acqs.push((Acq { line: m.line, receiver: recv.text.clone(), dot: i }, class));
-    }
-
-    // Pass B: intra-function ordering. Walk the token stream tracking brace
-    // depth; a guard bound by a `let`-containing statement lives until its
-    // enclosing block closes, anything else dies at the statement's `;`.
-    struct Held {
-        rank: u32,
-        name: &'static str,
-        depth: i32,
-        block_scoped: bool,
-    }
-    let mut held: Vec<Held> = Vec::new();
-    let mut depth = 0i32;
-    let mut stmt_start = 0usize; // token index of current statement start
-    let mut acq_iter = acqs.iter().filter(|(_, c)| c.is_some()).peekable();
-    for i in 0..toks.len() {
-        // Acquisition at this token?
-        while let Some((acq, class)) = acq_iter.peek() {
-            if acq.dot != i {
-                break;
-            }
-            let class = class.expect("filtered to classified sites");
-            let block_scoped = guard_is_block_scoped(toks, stmt_start, acq.dot);
-            for h in &held {
-                if class.rank <= h.rank && !ctx.annotated(acq.line, "lint: lock-order-ok") {
-                    out.push(Finding {
-                        file: ctx.file.to_string(),
-                        line: acq.line,
-                        rule: "locks",
-                        message: format!(
-                            "lock order violation: acquiring `{}` (class {}, rank {}) while \
-                             holding `{}` (rank {}); ranks must strictly increase — \
-                             see the LOCK_ORDER manifest",
-                            acq.receiver, class.name, class.rank, h.name, h.rank
-                        ),
-                    });
-                }
-            }
-            held.push(Held { rank: class.rank, name: class.name, depth, block_scoped });
-            acq_iter.next();
-        }
-        if toks[i].kind == TokKind::Punct {
-            match toks[i].text.as_str() {
-                "{" => {
-                    depth += 1;
-                    stmt_start = i + 1;
-                }
-                "}" => {
-                    depth -= 1;
-                    held.retain(|h| h.depth <= depth);
-                    stmt_start = i + 1;
-                }
-                // `,` ends a match arm (and an argument position, where a
-                // temporary guard dies with the full expression anyway).
-                ";" | "," => {
-                    held.retain(|h| h.block_scoped || h.depth < depth);
-                    stmt_start = i + 1;
-                }
-                _ => {}
-            }
-        }
-    }
-
-    // Pass C: lockdep class-table sync. When scanning the runtime lockdep
-    // module, every `LockClass { name: "...", rank: N }` literal must match
-    // the manifest.
-    if ctx.file.replace('\\', "/").ends_with("ntb-net/src/lockdep.rs") {
-        for i in 0..toks.len() {
-            if !(toks[i].kind == TokKind::Ident && toks[i].text == "LockClass") {
-                continue;
-            }
-            if toks.get(i + 1).is_none_or(|t| t.text != "{") {
-                continue;
-            }
-            let mut name: Option<String> = None;
-            let mut rank: Option<u32> = None;
-            let mut j = i + 2;
-            while j < toks.len() && toks[j].text != "}" {
-                if toks[j].text == "name" && toks.get(j + 2).map(|t| t.kind) == Some(TokKind::Str) {
-                    name = Some(toks[j + 2].text.trim_matches('"').to_string());
-                }
-                if toks[j].text == "rank" && toks.get(j + 2).map(|t| t.kind) == Some(TokKind::Num) {
-                    rank = toks[j + 2].text.parse().ok();
-                }
-                j += 1;
-            }
-            if let (Some(name), Some(rank)) = (name, rank) {
-                match manifest::class_by_name(&name) {
-                    Some(decl) if decl.rank == rank => {}
-                    Some(decl) => out.push(Finding {
-                        file: ctx.file.to_string(),
-                        line: toks[i].line,
-                        rule: "lockdep-sync",
-                        message: format!(
-                            "lockdep class `{}` has rank {} but the LOCK_ORDER manifest says {}",
-                            name, rank, decl.rank
-                        ),
-                    }),
-                    None => out.push(Finding {
-                        file: ctx.file.to_string(),
-                        line: toks[i].line,
-                        rule: "lockdep-sync",
-                        message: format!(
-                            "lockdep class `{}` is not declared in the LOCK_ORDER manifest",
-                            name
-                        ),
-                    }),
-                }
-            }
-        }
-    }
-}
-
-/// Does a guard acquired at `dot` inside the statement spanning
-/// `[start, dot)` live past the statement's terminator?
-///
-/// - `if let` / `while let` / `match` scrutinee temporaries survive the
-///   whole construct under Rust 2021 drop rules, so any guard in the
-///   scrutinee is block-scoped even when a chained call consumes it.
-/// - A plain `let` block-scopes the guard only when the guard itself is
-///   what gets bound: `.lock()` ending the chain (modulo guard-preserving
-///   adapters like `unwrap`). A chain that continues past `.lock()`
-///   consumes the guard as a temporary, which dies at the `;`.
-fn guard_is_block_scoped(toks: &[Tok], start: usize, dot: usize) -> bool {
-    let mut saw_let = false;
-    for t in &toks[start..dot.min(toks.len())] {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        match t.text.as_str() {
-            "if" | "while" | "match" => return true,
-            "let" => saw_let = true,
-            _ => {}
-        }
-    }
-    if !saw_let {
-        return false;
-    }
-    // `.lock ( )` occupies dot..dot+3; inspect what follows the guard.
-    let mut j = dot + 4;
-    loop {
-        match toks.get(j).map(|t| t.text.as_str()) {
-            // `?` propagates without consuming the guard value's identity.
-            Some("?") => j += 1,
-            Some(".") => {
-                // Guard-preserving adapters yield the guard back to the
-                // `let`; anything else consumes it as a temporary.
-                return toks.get(j + 1).is_some_and(|t| {
-                    t.kind == TokKind::Ident
-                        && matches!(t.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
-                });
-            }
-            _ => return true,
-        }
-    }
+/// Lint one source string, returning findings plus evidence counters.
+pub fn scan_source_with_stats(file: &str, src: &str, mode: FileMode) -> (Vec<Finding>, ScanStats) {
+    let ctx = FileCtx::new(file, src);
+    let mut out = Vec::new();
+    let mut stats = ScanStats { files: 1, functions: ctx.fns.len(), ..Default::default() };
+    rules::safety::run(&ctx, &mut out);
+    rules::atomics::run(&ctx, &mut out);
+    rules::unwraps::run(&ctx, mode, &mut out);
+    rules::locks::run(&ctx, &mut out);
+    rules::resolution::run(&ctx, mode, &mut out, &mut stats);
+    rules::deadline::run(&ctx, mode, &mut out, &mut stats);
+    rules::bounded::run(&ctx, mode, &mut out, &mut stats);
+    rules::typederr::run(&ctx, mode, &mut out, &mut stats);
+    let mut out = dedupe(out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (out, stats)
 }
 
 /// Lint one source string.
 pub fn scan_source(file: &str, src: &str, mode: FileMode) -> Vec<Finding> {
-    let ctx = FileCtx::new(file, src);
-    let mut out = Vec::new();
-    rule_safety(&ctx, &mut out);
-    rule_atomics(&ctx, &mut out);
-    rule_unwraps(&ctx, mode, &mut out);
-    rule_locks(&ctx, &mut out);
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
+    scan_source_with_stats(file, src, mode).0
 }
 
 /// Lint one file on disk.
@@ -630,13 +398,22 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Lint the whole workspace rooted at `root`, with evidence counters.
+pub fn scan_workspace_with_stats(root: &Path) -> std::io::Result<(Vec<Finding>, ScanStats)> {
+    let mut out = Vec::new();
+    let mut stats = ScanStats::default();
+    for f in workspace_files(root)? {
+        let src = std::fs::read_to_string(&f)?;
+        let (fnd, s) = scan_source_with_stats(&f.display().to_string(), &src, FileMode::Workspace);
+        out.extend(fnd);
+        stats.absorb(s);
+    }
+    Ok((out, stats))
+}
+
 /// Lint the whole workspace rooted at `root`.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut out = Vec::new();
-    for f in workspace_files(root)? {
-        out.extend(scan_file(&f, FileMode::Workspace)?);
-    }
-    Ok(out)
+    Ok(scan_workspace_with_stats(root)?.0)
 }
 
 #[cfg(test)]
@@ -679,7 +456,7 @@ mod tests {
         let src = "fn f() { x.unwrap(); }";
         assert!(findings(src).iter().any(|f| f.rule == "unwraps"));
         // Out-of-scope path in workspace mode.
-        let out = scan_source("crates/ntb-sim/src/x.rs", src, FileMode::Workspace);
+        let out = scan_source("crates/shmem-bench/src/x.rs", src, FileMode::Workspace);
         assert!(out.iter().all(|f| f.rule != "unwraps"));
         // unwrap_or_default is a different method.
         assert!(findings("fn f() { x.unwrap_or_default(); }").is_empty());
@@ -749,5 +526,23 @@ mod tests {
         assert!(findings(preceding).is_empty());
         let blocked = "// lint: relaxed-ok(counter)\nlet y = 1;\nx.load(Ordering::Relaxed);";
         assert!(findings(blocked).iter().any(|f| f.rule == "atomics"));
+    }
+
+    #[test]
+    fn dedupe_keeps_highest_precedence_rule_per_line() {
+        // A failure-variant construction with an `.unwrap()` on the same
+        // line: typed-error outranks unwraps, so only typed-error stays.
+        let src = "fn f() -> NtbError { NtbError::LinkFailed { attempts: x.unwrap() } }";
+        let out = findings(src);
+        assert!(out.iter().any(|f| f.rule == "typed-error"), "{out:?}");
+        assert!(out.iter().all(|f| f.rule != "unwraps"), "{out:?}");
+    }
+
+    #[test]
+    fn stats_count_functions() {
+        let (_, stats) =
+            scan_source_with_stats("mem://x.rs", "fn a() {}\nfn b() {}", FileMode::Single);
+        assert_eq!(stats.functions, 2);
+        assert_eq!(stats.files, 1);
     }
 }

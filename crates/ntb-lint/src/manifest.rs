@@ -269,6 +269,215 @@ pub fn classify(file: &str, receiver: &str) -> Option<&'static LockClassDecl> {
         .and_then(class_by_name)
 }
 
+// ---------------------------------------------------------------------------
+// Protocol-discipline tables (resolution pairing, deadline clipping,
+// bounded waits, typed-error discipline). See DESIGN.md §16.
+// ---------------------------------------------------------------------------
+
+/// One acquire→resolution lifecycle pairing.
+///
+/// An *acquire* is either a trace-event emit (`obs.emit(EventKind::<X>, ..)`)
+/// or a classified protocol-table call (`pending.register(..)`), matched by
+/// [`EventPair::acquire_event`] / [`CallPair`]. Every control-flow exit of a
+/// function containing an acquire must pass a *resolution* — one of
+/// [`EventPair::resolve_events`] emitted, or one of
+/// [`EventPair::resolve_calls`] invoked (directly or via a one-level local
+/// call) — or carry a `// RESOLVES(<event>): why` annotation.
+#[derive(Debug, Clone, Copy)]
+pub struct EventPair {
+    /// The acquire-side `EventKind` variant.
+    pub acquire_event: &'static str,
+    /// `EventKind` variants whose emit resolves the acquire.
+    pub resolve_events: &'static [&'static str],
+    /// Method/function names whose call resolves the acquire (e.g. the
+    /// pending-table fail path that emits the abandon internally).
+    pub resolve_calls: &'static [&'static str],
+}
+
+/// Lifecycle event pairs, straight from the checker's runtime invariants
+/// (put resolved exactly-once, AMO exactly-once, get-resolution, credit
+/// conservation) — the lint makes invariants 1/2/9/11 *static*.
+pub const EVENT_PAIRS: &[EventPair] = &[
+    EventPair {
+        acquire_event: "PutIssue",
+        resolve_events: &["PutAcked", "PutAbandon"],
+        resolve_calls: &["ack", "fail", "fail_expired", "fail_dest", "fail_ops_to"],
+    },
+    EventPair {
+        acquire_event: "GetReqTx",
+        resolve_events: &["GetDone", "GetAbandon"],
+        resolve_calls: &["abandon", "fail_dest", "fail_ops_to", "wait_with_retry_until"],
+    },
+    EventPair {
+        acquire_event: "AmoReqTx",
+        resolve_events: &["AmoDone", "AmoAbandon"],
+        resolve_calls: &["abandon", "fail_dest", "fail_ops_to", "wait_with_retry_until"],
+    },
+    EventPair {
+        acquire_event: "CreditConsume",
+        resolve_events: &["CreditGrant"],
+        resolve_calls: &["refund"],
+    },
+];
+
+/// One classified protocol-table acquire call: `<receiver>.<method>(..)`
+/// inserts an entry that must later be resolved by one of `resolutions`.
+#[derive(Debug, Clone, Copy)]
+pub struct CallPair {
+    /// Identifier immediately preceding the `.` (field/binding name).
+    pub receiver: &'static str,
+    /// The acquiring method.
+    pub method: &'static str,
+    /// Display name used in findings and `RESOLVES(..)` annotations.
+    pub event: &'static str,
+    /// Method names that resolve the entry.
+    pub resolutions: &'static [&'static str],
+}
+
+/// Pending-table insert→resolve pairings (the PR 2 `PutAbandon`-after-ack
+/// and PR 6 `fail_expired` shed-without-resolve bugs were both failures of
+/// exactly these disciplines).
+pub const CALL_PAIRS: &[CallPair] = &[
+    CallPair {
+        receiver: "pending",
+        method: "register",
+        event: "pending.register",
+        resolutions: &[
+            "wait",
+            "wait_with_retry",
+            "wait_with_retry_until",
+            "abandon",
+            "fail_dest",
+            "fail_ops_to",
+            "reset",
+        ],
+    },
+    CallPair {
+        receiver: "unacked",
+        method: "register",
+        event: "unacked.register",
+        resolutions: &["ack", "fail", "fail_expired", "fail_dest", "fail_ops_to", "quiet", "reset"],
+    },
+];
+
+/// Blocking-wait primitives whose timeout argument must be derived from a
+/// deadline-clipped expression (rule `deadline-clip`). Matched as a
+/// method/function call name.
+pub const WAIT_PRIMITIVES: &[&str] = &[
+    "recv_timeout",
+    "wait_timeout",
+    "park_timeout",
+    "wait_until",
+    "wait_and_clear",
+    "wait_doorbell",
+    "wait_change",
+    "wait_for",
+    "spin_for",
+    "sleep",
+];
+
+/// Identifier substrings that mark a timeout expression as deadline-derived.
+/// Deliberately does *not* include bare `timeout` — the PR 6/7 defect class
+/// was exactly "used a policy timeout constant instead of clipping to the
+/// op deadline".
+pub const DEADLINE_IDENTS: &[&str] =
+    &["deadline", "until", "remaining", "remain", "expiry", "expires", "clip"];
+
+/// Wait/spin call names that make a `loop`/`while` a *waiting* loop for
+/// rule `bounded-wait`.
+pub const LOOP_WAIT_CALLS: &[&str] = &[
+    "sleep",
+    "yield_now",
+    "spin_loop",
+    "park",
+    "park_timeout",
+    "spin_for",
+    "wait",
+    "wait_until",
+    "wait_change",
+    "wait_for",
+    "wait_and_clear",
+    "wait_doorbell",
+    "recv",
+    "recv_timeout",
+];
+
+/// Identifier substrings that count as a bound inside a waiting loop:
+/// a deadline check, a retry-budget decrement, a shutdown/stop flag.
+/// Deliberately does *not* include `attempt` — an attempt counter that only
+/// drives backoff (never exits) is not a bound (`set_lock` spins forever by
+/// OpenSHMEM semantics and must say so with `// BOUNDED-BY:`).
+pub const BOUND_MARKERS: &[&str] = &[
+    "deadline",
+    "until",
+    "remaining",
+    "expired",
+    "expire",
+    "timeout",
+    "retries",
+    "retry",
+    "budget",
+    "shutdown",
+    "stop",
+    "abort",
+    "elapsed",
+    "max_",
+    "is_dead",
+    "dead",
+    "give_up",
+];
+
+/// Failure variants of the typed error ladder whose *construction* must
+/// co-occur with pending-entry resolution (rule `typed-error`). These are
+/// the variants that mean "an in-flight op is being failed" — constructing
+/// one while leaving the pending/unacked entry live is the PR 6
+/// `fail_expired` bug shape.
+pub const FAIL_VARIANTS: &[&str] = &["LinkFailed", "DeadlineExceeded", "Overloaded", "PeFailed"];
+
+/// Error enums whose variants rule `typed-error` inspects.
+pub const ERROR_ENUMS: &[&str] = &["NtbError", "ShmemError"];
+
+/// Method names that resolve protocol state for rule `typed-error`
+/// (union of the pairing resolutions plus generic drain/cleanup verbs).
+pub const RESOLVER_CALLS: &[&str] = &[
+    "abandon",
+    "fail",
+    "fail_expired",
+    "fail_dest",
+    "fail_ops_to",
+    "ack",
+    "quiet",
+    "wait_with_retry_until",
+    "wait_with_retry",
+    "drain",
+    "take",
+    "remove",
+    "reset",
+    "clear",
+    "refund",
+];
+
+/// Rule ids in *descending* precedence order, used to dedupe findings when
+/// several rules fire on the same line (satellite: CI output readability).
+/// Protocol-discipline rules outrank hygiene rules: if a line both leaks a
+/// pending entry and calls `.unwrap()`, the leak is the story.
+pub const RULE_PRECEDENCE: &[&str] = &[
+    "resolution",
+    "deadline-clip",
+    "bounded-wait",
+    "typed-error",
+    "locks",
+    "lockdep-sync",
+    "safety",
+    "atomics",
+    "unwraps",
+];
+
+/// Precedence index of a rule id (lower = higher precedence; unknown last).
+pub fn rule_precedence(rule: &str) -> usize {
+    RULE_PRECEDENCE.iter().position(|r| *r == rule).unwrap_or(usize::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +506,39 @@ mod tests {
         let c = classify("crates/shmem-core/src/heap.rs", "amo_lock").unwrap();
         assert_eq!(c.name, "shmem-amo");
         assert!(classify("crates/shmem-core/src/heap.rs", "nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_event_pair_has_resolutions() {
+        for p in EVENT_PAIRS {
+            assert!(
+                !p.resolve_events.is_empty() || !p.resolve_calls.is_empty(),
+                "{} has no way to resolve",
+                p.acquire_event
+            );
+        }
+        for c in CALL_PAIRS {
+            assert!(!c.resolutions.is_empty(), "{} has no way to resolve", c.event);
+        }
+    }
+
+    #[test]
+    fn precedence_is_total_and_unique() {
+        for r in RULE_PRECEDENCE {
+            assert!(rule_precedence(r) < RULE_PRECEDENCE.len(), "{r} missing from precedence");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for r in RULE_PRECEDENCE {
+            assert!(seen.insert(*r), "duplicate rule id {r}");
+        }
+        assert_eq!(rule_precedence("no-such-rule"), usize::MAX);
+    }
+
+    #[test]
+    fn timeout_is_not_a_deadline_ident() {
+        // "timeout" deliberately does not certify a wait as clipped: a
+        // fixed `Duration` named `timeout` is exactly the bug shape the
+        // deadline-clip rule exists to catch.
+        assert!(!DEADLINE_IDENTS.contains(&"timeout"));
     }
 }

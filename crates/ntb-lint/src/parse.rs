@@ -1,0 +1,438 @@
+//! A lightweight function/block parser on top of [`crate::lexer`].
+//!
+//! The protocol-discipline rules (resolution pairing, deadline clipping,
+//! bounded waits, typed-error discipline) are *function-granular*: they
+//! reason about which control-flow exits a function has and what happens
+//! between an acquire site and each exit. This module builds just enough
+//! structure for that — brace-matched function bodies, early-return / `?`
+//! exit enumeration, closure spans (a `?` inside a closure exits the
+//! closure, not the function), and one-level call-graph edges — without
+//! pulling in `syn` (the workspace is vendored-offline).
+//!
+//! This is a *lint*, not a verifier: exit coverage downstream uses a
+//! linear token-order approximation (a resolution token anywhere between
+//! the acquire and the exit counts). That over-approximates on branches
+//! that bypass the resolution, but it reliably catches the real defect
+//! class — an early `return`/`?` between acquire and resolve — which is
+//! exactly what PRs 2, 6 and 7 each fixed by hand.
+
+use crate::lexer::{Tok, TokKind};
+
+/// How control leaves the function at this exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// An explicit `return` statement.
+    Return,
+    /// A `?` try-operator propagation.
+    Try,
+    /// Falling off the end of the body (tail expression / unit).
+    End,
+}
+
+/// One control-flow exit from a function body.
+#[derive(Debug, Clone, Copy)]
+pub struct Exit {
+    /// Token index of the `return` / `?` / closing `}`.
+    pub idx: usize,
+    /// Token index where the exit's coverage window ends: for `return`,
+    /// the end of the return statement (so `return Err(resolve(..))`
+    /// counts its own expression); for `?` and `End`, the exit token.
+    pub stmt_end: usize,
+    /// 1-based source line of the exit token.
+    pub line: u32,
+    pub kind: ExitKind,
+}
+
+/// One parsed function (free fn or method; nested fns are separate entries).
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's matching `}`.
+    pub body_close: usize,
+    /// Exits, in token order. Excludes exits inside nested fns and
+    /// closure bodies (those exit the closure, not this function).
+    pub exits: Vec<Exit>,
+    /// Closure body token spans (inclusive) within this function's body.
+    pub closures: Vec<(usize, usize)>,
+    /// Spans of nested `fn` items inside this body (inclusive, from the
+    /// nested `fn` keyword to its closing `}`).
+    pub nested: Vec<(usize, usize)>,
+}
+
+impl FnInfo {
+    /// Is token index `i` inside this function's body (exclusive of the
+    /// braces themselves is not required — inclusive is fine for rules)?
+    pub fn contains(&self, i: usize) -> bool {
+        (self.body_open..=self.body_close).contains(&i)
+    }
+
+    /// Is token index `i` in a closure body or nested fn (i.e. not part
+    /// of this function's own control flow)?
+    pub fn in_sub_scope(&self, i: usize) -> bool {
+        self.closures.iter().chain(self.nested.iter()).any(|&(a, b)| (a..=b).contains(&i))
+    }
+}
+
+/// Parse every function in the token stream.
+pub fn parse_functions(toks: &[Tok]) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            if let Some(info) = parse_one_fn(toks, i) {
+                // Keep scanning *inside* the body so nested fns get their
+                // own entries; the outer fn records them in `nested` below.
+                fns.push(info);
+            }
+        }
+        i += 1;
+    }
+    // Record nesting: a fn whose body lies inside another's body.
+    let spans: Vec<(usize, usize)> = fns.iter().map(|f| (f.body_open, f.body_close)).collect();
+    for (open, close) in &spans {
+        for f in fns.iter_mut() {
+            if f.body_open < *open && *close <= f.body_close {
+                f.nested.push((*open, *close));
+            }
+        }
+    }
+    // Re-derive exits now that nested spans are known.
+    for f in &mut fns {
+        f.exits = find_exits(toks, f);
+    }
+    fns
+}
+
+/// Parse one `fn` starting at token index `i` (the `fn` keyword).
+fn parse_one_fn(toks: &[Tok], i: usize) -> Option<FnInfo> {
+    let name = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident)?.text.clone();
+    // Find the body `{`: first `{` at paren/bracket depth 0 after the
+    // name. A `;` at depth 0 first means a bodiless decl (trait method).
+    let mut j = i + 2;
+    let mut pdepth = 0i32;
+    let body_open = loop {
+        let t = toks.get(j)?;
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => pdepth += 1,
+                ")" | "]" => pdepth -= 1,
+                "{" if pdepth == 0 => break j,
+                // Struct-pattern args (`fn f(Foo { a }: Foo)`) sit at
+                // pdepth >= 1 and are skipped by the depth guard above.
+                "{" => {}
+                ";" if pdepth == 0 => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    };
+    let body_close = match_brace(toks, body_open)?;
+    let closures = find_closures(toks, body_open + 1, body_close);
+    let mut info = FnInfo {
+        name,
+        line: toks[i].line,
+        body_open,
+        body_close,
+        exits: Vec::new(),
+        closures,
+        nested: Vec::new(),
+    };
+    info.exits = find_exits(toks, &info);
+    Some(info)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Can the previous token end an expression operand? If so, a following
+/// `|` is binary-or; otherwise it opens a closure's parameter list.
+fn tok_ends_operand(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::Num | TokKind::Str | TokKind::Char | TokKind::Lifetime => true,
+        TokKind::Ident => !matches!(t.text.as_str(), "return" | "move" | "else" | "in"),
+        TokKind::Punct => matches!(t.text.as_str(), ")" | "]" | "}" | "?"),
+    }
+}
+
+/// Find closure body spans between `from` and `to` (exclusive of `to`).
+fn find_closures(toks: &[Tok], from: usize, to: usize) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut k = from;
+    while k < to {
+        let t = &toks[k];
+        if !(t.kind == TokKind::Punct && t.text == "|") {
+            k += 1;
+            continue;
+        }
+        // Closure-start iff the previous token can't end an operand.
+        let is_start = k == 0 || !tok_ends_operand(&toks[k - 1]);
+        if !is_start {
+            k += 1;
+            continue;
+        }
+        // Scan for the closing `|` of the parameter list at delimiter
+        // depth 0. Failing to find one before a `;`/unbalanced close means
+        // this was not a closure after all (e.g. a leading `|` pattern).
+        let mut j = k + 1;
+        let mut depth = 0i32;
+        let mut close: Option<usize> = None;
+        while j < to {
+            let u = &toks[j];
+            if u.kind == TokKind::Punct {
+                match u.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => break,
+                    "|" if depth == 0 => {
+                        close = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(close) = close else {
+            k += 1;
+            continue;
+        };
+        // Body: a brace block, or an expression running to the first
+        // `,`/`;` at depth 0 (or an unbalanced closing delimiter).
+        let body_start = close + 1;
+        let body_end = match toks.get(body_start) {
+            Some(t) if t.kind == TokKind::Punct && t.text == "{" => {
+                match_brace(toks, body_start).unwrap_or(to.saturating_sub(1))
+            }
+            _ => {
+                let mut j = body_start;
+                let mut depth = 0i32;
+                loop {
+                    if j >= to {
+                        break to.saturating_sub(1);
+                    }
+                    let u = &toks[j];
+                    if u.kind == TokKind::Punct {
+                        match u.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => {
+                                if depth == 0 {
+                                    break j.saturating_sub(1);
+                                }
+                                depth -= 1;
+                            }
+                            "," | ";" if depth == 0 => break j.saturating_sub(1),
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        };
+        spans.push((k, body_end.max(body_start)));
+        k = body_end.max(body_start) + 1;
+    }
+    spans
+}
+
+/// Enumerate the function's own exits (skipping closures and nested fns).
+fn find_exits(toks: &[Tok], f: &FnInfo) -> Vec<Exit> {
+    let mut exits = Vec::new();
+    let mut i = f.body_open + 1;
+    while i < f.body_close {
+        if f.in_sub_scope(i) {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && t.text == "return" {
+            exits.push(Exit {
+                idx: i,
+                stmt_end: stmt_end_after(toks, i, f.body_close),
+                line: t.line,
+                kind: ExitKind::Return,
+            });
+        } else if t.kind == TokKind::Punct && t.text == "?" {
+            // `?` in `impl Trait + ?Sized` is not the try operator.
+            let is_sized = toks.get(i + 1).is_some_and(|u| u.text == "Sized");
+            // The try operator follows an operand; a leading `?` can't.
+            let after_operand = i > 0 && tok_ends_operand(&toks[i - 1]);
+            if !is_sized && after_operand {
+                exits.push(Exit { idx: i, stmt_end: i, line: t.line, kind: ExitKind::Try });
+            }
+        }
+        i += 1;
+    }
+    exits.push(Exit {
+        idx: f.body_close,
+        stmt_end: f.body_close,
+        line: toks[f.body_close].line,
+        kind: ExitKind::End,
+    });
+    exits
+}
+
+/// End of the statement containing token `i`: the first `;` at relative
+/// delimiter depth 0, or the token before a closing delimiter / `,` that
+/// leaves the statement's nesting level.
+fn stmt_end_after(toks: &[Tok], i: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j <= limit {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return j.saturating_sub(1).max(i);
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => return j,
+                "," if depth == 0 => return j.saturating_sub(1).max(i),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// Names of functions/methods called (ident directly followed by `(`)
+/// inside `[from, to]`, for one-level call-graph edges.
+pub fn call_names(toks: &[Tok], from: usize, to: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in from..to.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if matches!(
+            t.text.as_str(),
+            "if" | "while" | "for" | "match" | "return" | "loop" | "fn" | "let" | "move" | "in"
+        ) {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|u| u.kind == TokKind::Punct && u.text == "(") {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnInfo> {
+        let (toks, _) = lex(src);
+        parse_functions(&toks)
+    }
+
+    #[test]
+    fn simple_fn_with_exits() {
+        let f = &fns("fn f() -> u8 { if x { return 1; } y()?; 2 }")[0];
+        assert_eq!(f.name, "f");
+        let kinds: Vec<ExitKind> = f.exits.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![ExitKind::Return, ExitKind::Try, ExitKind::End]);
+    }
+
+    #[test]
+    fn closure_exits_do_not_count() {
+        let f = &fns("fn f() { let g = |x| { a()?; return 1; }; g(2); }")[0];
+        assert_eq!(f.exits.iter().filter(|e| e.kind != ExitKind::End).count(), 0, "{:?}", f.exits);
+        assert_eq!(f.closures.len(), 1);
+    }
+
+    #[test]
+    fn binary_or_is_not_a_closure() {
+        let f = &fns("fn f(a: u8, b: u8) -> u8 { let c = a | b; c }")[0];
+        assert!(f.closures.is_empty(), "{:?}", f.closures);
+        let g = &fns("fn g(a: bool, b: bool) -> bool { a || b }")[0];
+        assert!(g.closures.is_empty(), "{:?}", g.closures);
+    }
+
+    #[test]
+    fn expression_closure_span_ends_at_comma() {
+        let f = &fns("fn f(v: Vec<u8>) { v.iter().map(|x| x + 1).for_each(|y| use_(y)); }")[0];
+        assert_eq!(f.closures.len(), 2, "{:?}", f.closures);
+    }
+
+    #[test]
+    fn zero_param_closure() {
+        let f = &fns("fn f() { std::thread::spawn(move || { work()?; }); }")[0];
+        assert_eq!(f.closures.len(), 1);
+        assert!(f.exits.iter().all(|e| e.kind == ExitKind::End));
+    }
+
+    #[test]
+    fn nested_fn_is_separate() {
+        let all = fns("fn outer() { fn inner() { return; } inner(); }");
+        assert_eq!(all.len(), 2);
+        let outer = all.iter().find(|f| f.name == "outer").unwrap();
+        let inner = all.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.exits.iter().all(|e| e.kind == ExitKind::End), "{:?}", outer.exits);
+        assert!(inner.exits.iter().any(|e| e.kind == ExitKind::Return));
+    }
+
+    #[test]
+    fn question_sized_is_not_an_exit() {
+        let f = &fns("fn f<T: ?Sized>(t: &T) { use_(t); }")[0];
+        assert!(f.exits.iter().all(|e| e.kind == ExitKind::End));
+    }
+
+    #[test]
+    fn trait_method_decl_has_no_body() {
+        let all = fns("trait T { fn a(&self); fn b(&self) { return; } }");
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].name, "b");
+    }
+
+    #[test]
+    fn return_stmt_end_covers_its_expression() {
+        let src = "fn f() { return resolve(id); }";
+        let (toks, _) = lex(src);
+        let all = parse_functions(&toks);
+        let e = all[0].exits.iter().find(|e| e.kind == ExitKind::Return).unwrap();
+        let window: Vec<&str> = toks[e.idx..=e.stmt_end].iter().map(|t| t.text.as_str()).collect();
+        assert!(window.contains(&"resolve"), "{window:?}");
+    }
+
+    #[test]
+    fn call_names_found() {
+        let (toks, _) = lex("fn f() { self.cleanup(a); helper(); }");
+        let all = parse_functions(&toks);
+        let f = &all[0];
+        let names = call_names(&toks, f.body_open, f.body_close);
+        assert!(names.contains(&"cleanup".to_string()));
+        assert!(names.contains(&"helper".to_string()));
+    }
+}

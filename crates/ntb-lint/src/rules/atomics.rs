@@ -1,0 +1,74 @@
+//! Rule `atomics`: allowlisted atomic orderings; `Relaxed` needs
+//! `// lint: relaxed-ok(reason)`, and importing `Ordering::Relaxed` is
+//! forbidden (it hides the ordering at every use site).
+
+use crate::lexer::{Tok, TokKind};
+use crate::{FileCtx, Finding};
+
+const ALLOWED_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
+
+pub(crate) fn run(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "Ordering") {
+            continue;
+        }
+        // Match `Ordering :: <Variant>`.
+        let (Some(c1), Some(c2), Some(v)) = (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
+        else {
+            continue;
+        };
+        if c1.text != ":" || c2.text != ":" || v.kind != TokKind::Ident {
+            continue;
+        }
+        if ctx.in_test(v.line) {
+            continue;
+        }
+        if stmt_starts_with_use(toks, i) {
+            if v.text == "Relaxed" {
+                out.push(Finding {
+                    file: ctx.file.to_string(),
+                    line: v.line,
+                    rule: "atomics",
+                    message: "importing `Ordering::Relaxed` hides the ordering at use sites; \
+                              name `Ordering::Relaxed` explicitly at each load/store"
+                        .into(),
+                });
+            }
+            continue;
+        }
+        if ALLOWED_ORDERINGS.contains(&v.text.as_str()) {
+            continue;
+        }
+        if v.text == "Relaxed" {
+            if !ctx.annotated(v.line, "lint: relaxed-ok") {
+                out.push(Finding {
+                    file: ctx.file.to_string(),
+                    line: v.line,
+                    rule: "atomics",
+                    message: "`Ordering::Relaxed` without `// lint: relaxed-ok(reason)`; \
+                              protocol state needs an explicit justification for no ordering"
+                        .into(),
+                });
+            }
+        } else {
+            out.push(Finding {
+                file: ctx.file.to_string(),
+                line: v.line,
+                rule: "atomics",
+                message: format!("unknown atomic ordering `{}`", v.text),
+            });
+        }
+    }
+}
+
+/// Does the statement containing token `i` start with `use`?
+fn stmt_starts_with_use(toks: &[Tok], i: usize) -> bool {
+    for j in (0..i).rev() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            return toks.get(j + 1).is_some_and(|t| t.text == "use");
+        }
+    }
+    toks.first().is_some_and(|t| t.text == "use")
+}

@@ -1,0 +1,173 @@
+//! Rule `bounded-wait`: no `loop` / `while` containing a wait or spin
+//! without a visible bound.
+//!
+//! A *waiting loop* is one whose span calls a
+//! [`manifest::LOOP_WAIT_CALLS`] name. It passes when the span mentions a
+//! bound marker ([`manifest::BOUND_MARKERS`] substrings: a deadline
+//! check, retry-budget decrement, shutdown/stop flag, ...). The wait-call
+//! names themselves are excluded from marker matching — `wait_until`
+//! containing "until" must not self-certify. Otherwise the loop head
+//! needs `// BOUNDED-BY: why` (e.g. `set_lock` spinning by OpenSHMEM
+//! semantics, or a drain provably bounded by another thread).
+
+use crate::lexer::TokKind;
+use crate::rules::{has_justified_annotation, in_bounded_scope};
+use crate::{manifest, FileCtx, FileMode, Finding, ScanStats};
+
+pub(crate) fn run(
+    ctx: &FileCtx<'_>,
+    mode: FileMode,
+    out: &mut Vec<Finding>,
+    stats: &mut ScanStats,
+) {
+    if !in_bounded_scope(ctx.file, mode) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident && (t.text == "loop" || t.text == "while")) {
+            continue;
+        }
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // Loop span: from the keyword to the `}` matching the body `{`
+        // (the `while` condition is part of the span, so a bound in the
+        // condition counts).
+        let Some(open) = body_open(toks, i) else { continue };
+        let Some(close) = match_brace_from(toks, open) else { continue };
+
+        let mut waits = false;
+        let mut bounded = false;
+        for j in i + 1..close {
+            let u = &toks[j];
+            if u.kind != TokKind::Ident {
+                continue;
+            }
+            let name = u.text.as_str();
+            let is_wait_call = manifest::LOOP_WAIT_CALLS.contains(&name)
+                && toks.get(j + 1).is_some_and(|v| v.text == "(");
+            if is_wait_call {
+                waits = true;
+                continue;
+            }
+            if manifest::LOOP_WAIT_CALLS.contains(&name) {
+                // A wait-primitive name outside call position still must
+                // not self-certify as a bound marker.
+                continue;
+            }
+            let lower = name.to_ascii_lowercase();
+            if manifest::BOUND_MARKERS.iter().any(|m| lower.contains(m)) {
+                bounded = true;
+            }
+        }
+        if !waits {
+            continue;
+        }
+        stats.loops_checked += 1;
+        if bounded || has_justified_annotation(ctx, t.line, "BOUNDED-BY:") {
+            continue;
+        }
+        out.push(Finding {
+            file: ctx.file.to_string(),
+            line: t.line,
+            rule: "bounded-wait",
+            message: format!(
+                "`{}` containing a wait/spin with no visible bound (deadline check, \
+                 retry budget, shutdown flag); add one or justify with `// BOUNDED-BY: why`",
+                t.text
+            ),
+        });
+    }
+}
+
+/// Token index of the loop body's `{`: the first `{` at delimiter depth 0
+/// after the keyword (handles `while let Some(x) = f() {`).
+fn body_open(toks: &[crate::lexer::Tok], kw: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(kw + 1) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return Some(j),
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn match_brace_from(toks: &[crate::lexer::Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{scan_source, FileMode, Finding};
+
+    fn findings(src: &str) -> Vec<Finding> {
+        scan_source("mem://bounded.rs", src, FileMode::Single)
+    }
+
+    #[test]
+    fn unbounded_spin_is_flagged() {
+        let out = findings("fn f() { loop { std::thread::yield_now(); } }");
+        assert!(out.iter().any(|f| f.rule == "bounded-wait"), "{out:?}");
+    }
+
+    #[test]
+    fn deadline_checked_loop_passes() {
+        let ok = "fn f() { loop { if now() > deadline_us { break; } std::thread::yield_now(); } }";
+        assert!(findings(ok).iter().all(|f| f.rule != "bounded-wait"));
+    }
+
+    #[test]
+    fn retry_budget_loop_passes() {
+        let ok = "fn f() { while tries < max_retries { sleep(backoff); tries += 1; } }";
+        assert!(findings(ok).iter().all(|f| f.rule != "bounded-wait"));
+    }
+
+    #[test]
+    fn wait_call_name_does_not_self_certify() {
+        // `wait_until` contains "until" but is itself the wait. (The loop
+        // head sits on its own line so the finding is not deduped away by
+        // the same-line deadline-clip hit on the wait itself.)
+        let bad = "fn f() {\nloop {\n// DEADLINE-CLIPPED: not the point of this test.\npending.wait_until(id);\n}\n}";
+        assert!(findings(bad).iter().any(|f| f.rule == "bounded-wait"), "{:?}", findings(bad));
+    }
+
+    #[test]
+    fn annotation_with_reason_waives() {
+        let ok = "fn f() {\n\
+                  // BOUNDED-BY: OpenSHMEM set_lock semantics, blocks until acquired.\n\
+                  loop { spin_loop(); }\n\
+                  }";
+        assert!(findings(ok).iter().all(|f| f.rule != "bounded-wait"));
+        let bad = "fn f() {\n// BOUNDED-BY:\nloop { spin_loop(); }\n}";
+        assert!(findings(bad).iter().any(|f| f.rule == "bounded-wait"));
+    }
+
+    #[test]
+    fn non_waiting_loop_is_ignored() {
+        let ok = "fn f(v: &[u8]) -> u32 { let mut s = 0; loop { s += v[s as usize] as u32; if s > 9 { break; } } s }";
+        assert!(findings(ok).iter().all(|f| f.rule != "bounded-wait"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Rule `locks`: classified lock sites + intra-function rank ordering,
+//! plus the `lockdep-sync` class-table consistency check.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{manifest, FileCtx, Finding};
+
+/// One lock acquisition discovered in the token stream.
+struct Acq {
+    line: u32,
+    receiver: String,
+    /// Index of the `.` token, for statement-shape probing.
+    dot: usize,
+}
+
+pub(crate) fn run(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    // Pass A: find acquisitions -> classify.
+    let mut acqs: Vec<(Acq, Option<&'static manifest::LockClassDecl>)> = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == ".") {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        if !(m.kind == TokKind::Ident && matches!(m.text.as_str(), "lock" | "read" | "write")) {
+            continue;
+        }
+        // Require an empty argument list: distinguishes RwLock::read()
+        // from e.g. Region::read(addr, buf).
+        if !(toks.get(i + 2).is_some_and(|t| t.text == "(")
+            && toks.get(i + 3).is_some_and(|t| t.text == ")"))
+        {
+            continue;
+        }
+        if ctx.in_test(m.line) {
+            continue;
+        }
+        let Some(recv) = (i > 0).then(|| &toks[i - 1]).filter(|t| t.kind == TokKind::Ident) else {
+            // `.lock()` on a non-identifier receiver (call result etc.).
+            if !ctx.annotated(m.line, "lint: lock-order-ok") {
+                out.push(Finding {
+                    file: ctx.file.to_string(),
+                    line: m.line,
+                    rule: "locks",
+                    message: format!(
+                        "`.{}()` on a non-identifier receiver cannot be classified; \
+                         bind the lock to a named field/binding listed in LOCK_SITES",
+                        m.text
+                    ),
+                });
+            }
+            continue;
+        };
+        let class = manifest::classify(ctx.file, &recv.text);
+        if class.is_none() {
+            out.push(Finding {
+                file: ctx.file.to_string(),
+                line: m.line,
+                rule: "locks",
+                message: format!(
+                    "unclassified lock acquisition `{}.{}()`; add a LOCK_SITES entry \
+                     (file suffix + receiver -> class) to crates/ntb-lint/src/manifest.rs",
+                    recv.text, m.text
+                ),
+            });
+        }
+        acqs.push((Acq { line: m.line, receiver: recv.text.clone(), dot: i }, class));
+    }
+
+    // Pass B: intra-function ordering. Walk the token stream tracking brace
+    // depth; a guard bound by a `let`-containing statement lives until its
+    // enclosing block closes, anything else dies at the statement's `;`.
+    struct Held {
+        rank: u32,
+        name: &'static str,
+        depth: i32,
+        block_scoped: bool,
+    }
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut stmt_start = 0usize; // token index of current statement start
+    let mut acq_iter = acqs.iter().filter(|(_, c)| c.is_some()).peekable();
+    for i in 0..toks.len() {
+        // Acquisition at this token?
+        while let Some((acq, class)) = acq_iter.peek() {
+            if acq.dot != i {
+                break;
+            }
+            let class = class.expect("filtered to classified sites");
+            let block_scoped = guard_is_block_scoped(toks, stmt_start, acq.dot);
+            for h in &held {
+                if class.rank <= h.rank && !ctx.annotated(acq.line, "lint: lock-order-ok") {
+                    out.push(Finding {
+                        file: ctx.file.to_string(),
+                        line: acq.line,
+                        rule: "locks",
+                        message: format!(
+                            "lock order violation: acquiring `{}` (class {}, rank {}) while \
+                             holding `{}` (rank {}); ranks must strictly increase — \
+                             see the LOCK_ORDER manifest",
+                            acq.receiver, class.name, class.rank, h.name, h.rank
+                        ),
+                    });
+                }
+            }
+            held.push(Held { rank: class.rank, name: class.name, depth, block_scoped });
+            acq_iter.next();
+        }
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "{" => {
+                    depth += 1;
+                    stmt_start = i + 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                    stmt_start = i + 1;
+                }
+                // `,` ends a match arm (and an argument position, where a
+                // temporary guard dies with the full expression anyway).
+                ";" | "," => {
+                    held.retain(|h| h.block_scoped || h.depth < depth);
+                    stmt_start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Pass C: lockdep class-table sync. When scanning the runtime lockdep
+    // module, every `LockClass { name: "...", rank: N }` literal must match
+    // the manifest.
+    if ctx.file.replace('\\', "/").ends_with("ntb-net/src/lockdep.rs") {
+        for i in 0..toks.len() {
+            if !(toks[i].kind == TokKind::Ident && toks[i].text == "LockClass") {
+                continue;
+            }
+            if toks.get(i + 1).is_none_or(|t| t.text != "{") {
+                continue;
+            }
+            let mut name: Option<String> = None;
+            let mut rank: Option<u32> = None;
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "}" {
+                if toks[j].text == "name" && toks.get(j + 2).map(|t| t.kind) == Some(TokKind::Str) {
+                    name = Some(toks[j + 2].text.trim_matches('"').to_string());
+                }
+                if toks[j].text == "rank" && toks.get(j + 2).map(|t| t.kind) == Some(TokKind::Num) {
+                    rank = toks[j + 2].text.parse().ok();
+                }
+                j += 1;
+            }
+            if let (Some(name), Some(rank)) = (name, rank) {
+                match manifest::class_by_name(&name) {
+                    Some(decl) if decl.rank == rank => {}
+                    Some(decl) => out.push(Finding {
+                        file: ctx.file.to_string(),
+                        line: toks[i].line,
+                        rule: "lockdep-sync",
+                        message: format!(
+                            "lockdep class `{}` has rank {} but the LOCK_ORDER manifest says {}",
+                            name, rank, decl.rank
+                        ),
+                    }),
+                    None => out.push(Finding {
+                        file: ctx.file.to_string(),
+                        line: toks[i].line,
+                        rule: "lockdep-sync",
+                        message: format!(
+                            "lockdep class `{}` is not declared in the LOCK_ORDER manifest",
+                            name
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Does a guard acquired at `dot` inside the statement spanning
+/// `[start, dot)` live past the statement's terminator?
+///
+/// - `if let` / `while let` / `match` scrutinee temporaries survive the
+///   whole construct under Rust 2021 drop rules, so any guard in the
+///   scrutinee is block-scoped even when a chained call consumes it.
+/// - A plain `let` block-scopes the guard only when the guard itself is
+///   what gets bound: `.lock()` ending the chain (modulo guard-preserving
+///   adapters like `unwrap`). A chain that continues past `.lock()`
+///   consumes the guard as a temporary, which dies at the `;`.
+fn guard_is_block_scoped(toks: &[Tok], start: usize, dot: usize) -> bool {
+    let mut saw_let = false;
+    for t in &toks[start..dot.min(toks.len())] {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "if" | "while" | "match" => return true,
+            "let" => saw_let = true,
+            _ => {}
+        }
+    }
+    if !saw_let {
+        return false;
+    }
+    // `.lock ( )` occupies dot..dot+3; inspect what follows the guard.
+    let mut j = dot + 4;
+    loop {
+        match toks.get(j).map(|t| t.text.as_str()) {
+            // `?` propagates without consuming the guard value's identity.
+            Some("?") => j += 1,
+            Some(".") => {
+                // Guard-preserving adapters yield the guard back to the
+                // `let`; anything else consumes it as a temporary.
+                return toks.get(j + 1).is_some_and(|t| {
+                    t.kind == TokKind::Ident
+                        && matches!(t.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
+                });
+            }
+            _ => return true,
+        }
+    }
+}

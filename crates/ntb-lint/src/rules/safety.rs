@@ -1,0 +1,22 @@
+//! Rule `safety`: every non-test `unsafe` carries a `// SAFETY:` comment.
+
+use crate::lexer::TokKind;
+use crate::{FileCtx, Finding};
+
+pub(crate) fn run(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for t in &ctx.toks {
+        if t.kind == TokKind::Ident
+            && t.text == "unsafe"
+            && !ctx.in_test(t.line)
+            && !ctx.annotated(t.line, "SAFETY:")
+        {
+            out.push(Finding {
+                file: ctx.file.to_string(),
+                line: t.line,
+                rule: "safety",
+                message: "`unsafe` without a `// SAFETY:` comment stating the upheld invariant"
+                    .into(),
+            });
+        }
+    }
+}

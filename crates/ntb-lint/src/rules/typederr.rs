@@ -1,0 +1,205 @@
+//! Rule `typed-error`: constructing a failure variant of the typed error
+//! ladder must co-occur with pending-entry resolution.
+//!
+//! Constructing `NtbError::LinkFailed` / `DeadlineExceeded` /
+//! `Overloaded` / `PeFailed` (or the `ShmemError` equivalents) means "an
+//! in-flight op is being failed". Doing so while leaving the pending or
+//! unacked entry live is the PR 6 `fail_expired` bug shape: the caller
+//! gets a typed verdict but the table still carries the ghost entry. The
+//! rule requires the containing function to call one of
+//! [`manifest::RESOLVER_CALLS`], or the site to carry a
+//! `// RESOLVES(<event-or-none>): why` annotation explaining where the
+//! entry is (or why none exists).
+//!
+//! Pattern positions (`match` arms, `matches!`, `if let`) are uses, not
+//! constructions, and are skipped by shape heuristics.
+
+use crate::lexer::TokKind;
+use crate::rules::{has_resolves_annotation, in_protocol_scope};
+use crate::{manifest, FileCtx, FileMode, Finding, ScanStats};
+
+pub(crate) fn run(
+    ctx: &FileCtx<'_>,
+    mode: FileMode,
+    out: &mut Vec<Finding>,
+    stats: &mut ScanStats,
+) {
+    if !in_protocol_scope(ctx.file, mode) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !manifest::ERROR_ENUMS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let (Some(c1), Some(c2), Some(v)) = (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
+        else {
+            continue;
+        };
+        if c1.text != ":" || c2.text != ":" || v.kind != TokKind::Ident {
+            continue;
+        }
+        if !manifest::FAIL_VARIANTS.contains(&v.text.as_str()) {
+            continue;
+        }
+        if ctx.in_test(v.line) {
+            continue;
+        }
+        if is_pattern_position(toks, i) {
+            continue;
+        }
+        stats.errors_checked += 1;
+        let Some(f) = ctx.enclosing_fn(i) else { continue };
+        // Any resolver call in the function counts (the resolution rule
+        // handles per-exit precision; this rule is a co-occurrence check).
+        let mut resolved = false;
+        for j in f.body_open..=f.body_close.min(toks.len() - 1) {
+            let u = &toks[j];
+            if u.kind == TokKind::Ident
+                && manifest::RESOLVER_CALLS.contains(&u.text.as_str())
+                && toks.get(j + 1).is_some_and(|w| w.text == "(")
+            {
+                resolved = true;
+                break;
+            }
+        }
+        if resolved || has_resolves_annotation(ctx, v.line, None) {
+            continue;
+        }
+        out.push(Finding {
+            file: ctx.file.to_string(),
+            line: v.line,
+            rule: "typed-error",
+            message: format!(
+                "`{}` constructs `{}::{}` but `{}` never resolves a pending entry \
+                 (no abandon/fail/ack/drain call); resolve the entry here, or annotate with \
+                 `// RESOLVES(<event>): why` (use `RESOLVES(none): ..` when no entry exists)",
+                f.name, t.text, v.text, f.name
+            ),
+        });
+    }
+}
+
+/// Is `Enum :: Variant` at token `i` a pattern (match arm / `matches!` /
+/// `if let`) rather than a construction?
+fn is_pattern_position(toks: &[crate::lexer::Tok], i: usize) -> bool {
+    // Backward: a `matches!(` within a few tokens, or a `let` with no `=`
+    // between it and the variant (`if let Err(NtbError::X) = ..`).
+    let back = i.saturating_sub(8);
+    let mut saw_eq = false;
+    for j in (back..i).rev() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct && t.text == "=" {
+            saw_eq = true;
+        }
+        if t.kind == TokKind::Ident {
+            if t.text == "matches" {
+                return true;
+            }
+            if t.text == "let" && !saw_eq {
+                return true;
+            }
+        }
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+    }
+    // Forward: skip the variant's struct body and closing delimiters,
+    // then look for `=>` (a match arm) or a guard `if`.
+    let mut j = i + 4;
+    if toks.get(j).is_some_and(|t| t.text == "{") {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    while toks.get(j).is_some_and(|t| matches!(t.text.as_str(), ")" | "]" | "}")) {
+        j += 1;
+    }
+    if toks.get(j).is_some_and(|t| t.text == "|") {
+        // Or-pattern: `NtbError::A | NtbError::B => ..`.
+        return true;
+    }
+    if toks.get(j).is_some_and(|t| t.text == "if") {
+        return true;
+    }
+    toks.get(j).is_some_and(|t| t.text == "=") && toks.get(j + 1).is_some_and(|t| t.text == ">")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{scan_source, FileMode, Finding};
+
+    fn findings(src: &str) -> Vec<Finding> {
+        scan_source("mem://typederr.rs", src, FileMode::Single)
+    }
+
+    #[test]
+    fn construction_without_resolution_is_flagged() {
+        let src = "fn f(&self) -> Result<(), NtbError> { Err(NtbError::DeadlineExceeded) }";
+        let out = findings(src);
+        assert!(out.iter().any(|f| f.rule == "typed-error"), "{out:?}");
+    }
+
+    #[test]
+    fn construction_with_resolver_call_passes() {
+        let src = "fn f(&self, id: u64) -> Result<(), NtbError> {\n\
+                   self.pending.abandon(id);\n\
+                   Err(NtbError::DeadlineExceeded)\n\
+                   }";
+        assert!(findings(src).iter().all(|f| f.rule != "typed-error"));
+    }
+
+    #[test]
+    fn match_arm_patterns_are_uses_not_constructions() {
+        let src = "fn f(e: &NtbError) -> bool {\n\
+                   match e {\n\
+                   NtbError::LinkFailed { .. } => true,\n\
+                   NtbError::DeadlineExceeded => true,\n\
+                   NtbError::PeFailed { pe, .. } if *pe == 0 => true,\n\
+                   _ => false,\n\
+                   }\n\
+                   }";
+        assert!(findings(src).iter().all(|f| f.rule != "typed-error"), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn matches_macro_and_if_let_are_uses() {
+        let src = "fn f(e: &NtbError) -> bool { matches!(e, NtbError::LinkFailed { .. }) }";
+        assert!(findings(src).iter().all(|f| f.rule != "typed-error"));
+        let src2 = "fn g(r: Result<(), NtbError>) -> bool {\n\
+                    if let Err(NtbError::DeadlineExceeded) = r { return true; }\n\
+                    false\n\
+                    }";
+        assert!(findings(src2).iter().all(|f| f.rule != "typed-error"), "{:?}", findings(src2));
+    }
+
+    #[test]
+    fn annotation_with_none_event_waives() {
+        let src = "fn f(&self) -> Result<(), NtbError> {\n\
+                   // RESOLVES(none): fast-fail gate, no pending entry exists yet.\n\
+                   Err(NtbError::PeFailed { pe: 0, epoch: 1 })\n\
+                   }";
+        assert!(findings(src).iter().all(|f| f.rule != "typed-error"));
+    }
+
+    #[test]
+    fn or_pattern_is_a_use() {
+        let src = "fn f(e: &NtbError) -> bool {\n\
+                   match e { NtbError::DeadlineExceeded | NtbError::LinkDown => true, _ => false }\n\
+                   }";
+        assert!(findings(src).iter().all(|f| f.rule != "typed-error"));
+    }
+}

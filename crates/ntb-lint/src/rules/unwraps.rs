@@ -1,0 +1,38 @@
+//! Rule `unwraps`: no `.unwrap()` / `.expect(` in non-test ntb-net /
+//! shmem-core code without `// lint: unwrap-ok(reason)`.
+
+use crate::lexer::TokKind;
+use crate::rules::in_protocol_scope;
+use crate::{FileCtx, FileMode, Finding};
+
+pub(crate) fn run(ctx: &FileCtx<'_>, mode: FileMode, out: &mut Vec<Finding>) {
+    if !in_protocol_scope(ctx.file, mode) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == ".") {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        if !(m.kind == TokKind::Ident && (m.text == "unwrap" || m.text == "expect")) {
+            continue;
+        }
+        if toks.get(i + 2).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        if ctx.in_test(m.line) || ctx.annotated(m.line, "lint: unwrap-ok") {
+            continue;
+        }
+        out.push(Finding {
+            file: ctx.file.to_string(),
+            line: m.line,
+            rule: "unwraps",
+            message: format!(
+                "`.{}()` in non-test code: return a typed `ShmemError`/`NtbError`, \
+                 or justify with `// lint: unwrap-ok(reason)`",
+                m.text
+            ),
+        });
+    }
+}

@@ -1,0 +1,15 @@
+//! Bounded-wait fixture (annotated): an intentionally unbounded spin,
+//! justified at the loop head.
+
+impl Locker {
+    pub fn acquire(&self) {
+        // BOUNDED-BY: OpenSHMEM set_lock semantics — blocks until the
+        // lock is acquired; a dead lock home fails the CAS typed.
+        loop {
+            if self.try_cas() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}

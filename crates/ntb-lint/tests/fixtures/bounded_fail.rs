@@ -1,0 +1,13 @@
+//! Seeded bounded-wait violation: a spin loop with no deadline check,
+//! retry budget, or shutdown flag in sight.
+
+impl Spinner {
+    pub fn spin(&self) {
+        loop {
+            if self.probe() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+}

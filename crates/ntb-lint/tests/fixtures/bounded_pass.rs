@@ -1,0 +1,16 @@
+//! Bounded-wait fixture (clean): the waiting loop checks a deadline and
+//! clips its poll tick to it.
+
+impl Drainer {
+    pub fn drain(&self, deadline: Instant) -> bool {
+        loop {
+            if self.is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(deadline.saturating_duration_since(Instant::now()).min(POLL));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Tampered annotation: a bare `BOUNDED-BY:` with no reason must not
+//! waive the finding.
+
+impl Locker {
+    pub fn acquire(&self) {
+        // BOUNDED-BY:
+        loop {
+            if self.try_cas() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Deadline fixture (annotated): fixed-duration waits justified at the
+//! call site.
+
+impl Waiter {
+    pub fn await_ack(&self) -> bool {
+        // DEADLINE-CLIPPED: idle-poll quantum of the service loop; there
+        // is no op deadline here, only the lost-interrupt safety net.
+        self.doorbell.wait_and_clear(DB_ACK, Some(Duration::from_millis(50)))
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded deadline-clip violations: fixed-duration waits that ignore the
+//! op deadline (a short deadline overshoots by up to a full tick).
+
+impl Waiter {
+    pub fn await_ack(&self) -> bool {
+        self.doorbell.wait_and_clear(DB_ACK, Some(Duration::from_millis(50)))
+    }
+
+    pub fn nap(&self) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,13 @@
+//! Deadline-clip fixture (clean): every blocking wait's timeout is
+//! derived from the op deadline.
+
+impl Waiter {
+    pub fn await_ack(&self, deadline: Instant) -> bool {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        self.doorbell.wait_and_clear(DB_ACK, Some(remaining))
+    }
+
+    pub fn poll_tick(&self, deadline: Instant) {
+        std::thread::sleep(deadline.saturating_duration_since(Instant::now()).min(POLL));
+    }
+}

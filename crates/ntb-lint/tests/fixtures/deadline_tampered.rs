@@ -1,0 +1,9 @@
+//! Tampered annotation: a bare marker with no justification must not
+//! waive the finding.
+
+impl Waiter {
+    pub fn await_ack(&self) -> bool {
+        // DEADLINE-CLIPPED:
+        self.doorbell.wait_and_clear(DB_ACK, Some(Duration::from_millis(50)))
+    }
+}

@@ -1,0 +1,15 @@
+//! Resolution fixture (annotated): same early-`?` shape as the failing
+//! fixture, waived at each acquire with a justified annotation.
+
+impl Requester {
+    pub fn swept_get(&self) -> Result<Vec<u8>, NtbError> {
+        // RESOLVES(pending.register): the service sweeper reaps entries
+        // whose descriptor validation failed before transmit.
+        let id = self.pending.register(8, self.target);
+        // RESOLVES(GetReqTx): the sweeper emits GetAbandon when it reaps.
+        self.obs.emit(EventKind::GetReqTx, u64::from(id), [0, 8]);
+        let wire = offset32(self.offset)?;
+        self.transmit(wire);
+        self.pending.wait_with_retry_until(id, &self.model, None)
+    }
+}

@@ -1,0 +1,13 @@
+//! Seeded resolution violation: a `?` between the acquire and its
+//! resolution leaks the pending entry on the error path (the exact
+//! defect shape fixed in the amo request path).
+
+impl Requester {
+    pub fn leaky_get(&self) -> Result<Vec<u8>, NtbError> {
+        let id = self.pending.register(8, self.target);
+        self.obs.emit(EventKind::GetReqTx, u64::from(id), [0, 8]);
+        let wire = offset32(self.offset)?;
+        self.transmit(wire);
+        self.pending.wait_with_retry_until(id, &self.model, None)
+    }
+}

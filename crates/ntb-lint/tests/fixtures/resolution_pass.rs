@@ -1,0 +1,19 @@
+//! Resolution-pairing fixture (clean): every exit reachable after the
+//! acquire passes a paired resolution first.
+
+impl Requester {
+    pub fn tracked_get(&self) -> Result<Vec<u8>, NtbError> {
+        let id = self.pending.register(8, self.target);
+        self.obs.emit(EventKind::GetReqTx, u64::from(id), [0, 8]);
+        match self.pending.wait_with_retry_until(id, &self.model, None) {
+            Ok(buf) => {
+                self.obs.emit(EventKind::GetDone, u64::from(id), [8, 0]);
+                Ok(buf)
+            }
+            Err(e) => {
+                self.pending.abandon(id);
+                Err(e)
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Tampered annotation: the event name does not match the acquired
+//! event, so the waiver must not apply.
+
+impl Requester {
+    pub fn mislabeled_get(&self) -> Result<Vec<u8>, NtbError> {
+        // RESOLVES(pending.register): validation failures are swept.
+        let id = self.pending.register(8, self.target);
+        // RESOLVES(PutIssue): wrong event — this is a GetReqTx acquire.
+        self.obs.emit(EventKind::GetReqTx, u64::from(id), [0, 8]);
+        let wire = offset32(self.offset)?;
+        self.transmit(wire);
+        self.pending.wait_with_retry_until(id, &self.model, None)
+    }
+}

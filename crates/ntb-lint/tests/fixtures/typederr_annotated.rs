@@ -1,0 +1,14 @@
+//! Typed-error fixture (annotated): a fast-fail gate with no entry to
+//! resolve, stated explicitly.
+
+impl Gate {
+    pub fn check_alive(&self, pe: usize) -> Result<(), NtbError> {
+        if self.view.is_live(pe) {
+            Ok(())
+        } else {
+            // RESOLVES(none): fast-fail gate before anything is
+            // registered; in-flight entries are swept by fail_dest.
+            Err(NtbError::PeFailed { pe, epoch: self.view.epoch })
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded typed-error violation: a failure verdict is synthesized but no
+//! pending entry is resolved anywhere in the function (the PR 6
+//! `fail_expired` ghost-entry shape).
+
+impl Expirer {
+    pub fn give_up(&self) -> Result<(), NtbError> {
+        Err(NtbError::LinkFailed { attempts: 3 })
+    }
+}

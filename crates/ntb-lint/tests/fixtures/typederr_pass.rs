@@ -1,0 +1,9 @@
+//! Typed-error fixture (clean): the failure construction co-occurs with
+//! pending-entry resolution in the same function.
+
+impl Expirer {
+    pub fn expire(&self, id: u32) -> Result<(), NtbError> {
+        self.pending.abandon(id);
+        Err(NtbError::DeadlineExceeded)
+    }
+}

@@ -1,0 +1,13 @@
+//! Tampered annotation: a reason too short to justify anything must not
+//! waive the finding.
+
+impl Gate {
+    pub fn check_alive(&self, pe: usize) -> Result<(), NtbError> {
+        if self.view.is_live(pe) {
+            Ok(())
+        } else {
+            // RESOLVES(none): ok
+            Err(NtbError::PeFailed { pe, epoch: self.view.epoch })
+        }
+    }
+}

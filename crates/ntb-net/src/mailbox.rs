@@ -111,6 +111,8 @@ impl TxMailbox {
                 if let Some((timeout, max_rerings)) = self.retry {
                     if round_start.elapsed() >= timeout {
                         if rounds >= max_rerings {
+                            // RESOLVES(none): mailbox send has no pending entry —
+                            // the frame never left this PE; caller owns retries.
                             return Err(NtbError::LinkFailed { attempts: rounds + 1 });
                         }
                         rounds += 1;

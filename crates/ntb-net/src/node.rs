@@ -284,6 +284,8 @@ fn len31(len: u64) -> Result<u32> {
 /// which is strictly more information than "the link gave up".
 fn deadline_failure(e: NtbError, deadline_us: u32, now_us: u32) -> NtbError {
     if deadline_us != 0 && now_us > deadline_us && matches!(e, NtbError::LinkFailed { .. }) {
+        // RESOLVES(none): pure reclassification helper — the caller's wait
+        // already resolved (or is resolving) the pending entry.
         NtbError::DeadlineExceeded
     } else {
         e
@@ -835,11 +837,14 @@ impl NtbNode {
                         u64::from(put_id),
                         [u64::from(deadline_us), u64::from(now)],
                     );
+                    // RESOLVES(none): no credit consumed yet on this path —
+                    // the shed happens before CreditConsume is emitted.
                     return Err(NtbError::DeadlineExceeded);
                 }
                 if wait_start.elapsed() > self.config.retry.ack_timeout {
                     self.metrics.bump_link(ep.link_idx, |l| &l.overload_sheds);
                     ep.obs.emit(EventKind::OverloadShed, u64::from(put_id), [0, 0]);
+                    // RESOLVES(none): ditto — nothing to refund before consume.
                     return Err(NtbError::Overloaded { queue: "link credit window" });
                 }
                 std::thread::yield_now();
@@ -849,6 +854,10 @@ impl NtbNode {
         // so the pair always satisfies the conservation invariant even
         // if another thread consumes between the two reads.
         ep.obs.emit(
+            // RESOLVES(CreditConsume): resolved out-of-function — the peer's
+            // next CreditGrant re-extends the window, and `transmit_put`
+            // refunds on transmit failure (checker invariant 9 audits the
+            // consumed/granted conservation pair end-to-end).
             EventKind::CreditConsume,
             u64::from(put_id),
             [ep.credit.consumed_total(), ep.credit.granted_total()],
@@ -1284,6 +1293,8 @@ impl NtbNode {
     ) -> Result<()> {
         let now = self.now_us();
         if deadline_us != 0 && now > deadline_us {
+            // RESOLVES(none): pre-flight check — the sub-request is failed
+            // before any frame or pending entry exists for it.
             return Err(NtbError::DeadlineExceeded);
         }
         self.check_alive(src)?;
@@ -1338,6 +1349,8 @@ impl NtbNode {
             return Ok(None);
         };
         if deadline_us != 0 && self.now_us() > deadline_us {
+            // RESOLVES(none): pre-flight check — the PIO fast path has not
+            // registered anything yet; the caller falls back or fails typed.
             return Err(NtbError::DeadlineExceeded);
         }
         let mut buf = vec![0u8; len as usize];
@@ -1395,13 +1408,17 @@ impl NtbNode {
         assert_ne!(target, self.topo.me, "local atomics are handled by the SHMEM layer");
         assert!(matches!(width, 1 | 2 | 4 | 8), "AMO width must be 1/2/4/8");
         self.check_alive(target)?;
+        // Validate the wire offset *before* registering the pending entry:
+        // a `?` after `register` would leak the entry and leave the
+        // AmoReqTx trace event unresolved (caught by the resolution lint).
+        let wire_offset = offset32(heap_offset)?;
         let req_id = self.pending.register(8, target);
         self.obs.emit(EventKind::AmoReqTx, u64::from(req_id), [op as u64, heap_offset]);
         let mut payload = [0u8; 24];
         payload[0..8].copy_from_slice(&operand.to_le_bytes());
         payload[8..16].copy_from_slice(&compare.to_le_bytes());
         payload[16] = width as u8;
-        let frame = Frame::amo_req(self.topo.me, target, op, offset32(heap_offset)?, req_id)
+        let frame = Frame::amo_req(self.topo.me, target, op, wire_offset, req_id)
             .with_deadline_us(deadline_us);
         let send_req = |retransmit: bool| {
             let now = self.now_us();
@@ -1487,6 +1504,13 @@ impl NtbNode {
         self.unacked.current() as u64
     }
 
+    /// In-flight get/AMO requests still registered in the pending table
+    /// (diagnostics). Zero once every requester wait has resolved — a
+    /// non-zero count after all ops returned means a leaked entry.
+    pub fn pending_in_flight(&self) -> usize {
+        self.pending.in_flight()
+    }
+
     /// Ring the barrier doorbell (`start` or end) on the neighbour in
     /// `dir` (paper Fig. 6 sends the sweep rightward).
     ///
@@ -1506,10 +1530,14 @@ impl NtbNode {
                 Err(e) if e.is_transient() && attempt < policy.max_retries => {
                     attempt += 1;
                     NodeStats::bump(&self.stats.retransmits);
+                    // DEADLINE-CLIPPED: barrier doorbells carry no op deadline;
+                    // the backoff is bounded by the retry budget above.
                     std::thread::sleep(policy.backoff(attempt - 1).max(Duration::from_millis(1)));
                 }
                 Err(e) if e.is_transient() => {
-                    return Err(NtbError::LinkFailed { attempts: attempt + 1 })
+                    // RESOLVES(none): doorbell rings are untracked — no
+                    // pending-table entry exists for a barrier signal.
+                    return Err(NtbError::LinkFailed { attempts: attempt + 1 });
                 }
                 Err(e) => return Err(e),
             }
@@ -1525,6 +1553,8 @@ impl NtbNode {
         timeout: Duration,
     ) -> Result<bool> {
         let bit = if start { DB_BARRIER_START } else { DB_BARRIER_END };
+        // DEADLINE-CLIPPED: `timeout` is the caller's sweep quantum — the
+        // barrier layer clips each sweep to its own deadline before calling.
         let fired = self.endpoint(from).port.doorbell().wait_and_clear(bit, Some(timeout))?;
         if fired {
             // The blocked PE is woken like any interrupt consumer.
@@ -1689,6 +1719,8 @@ impl NtbNode {
         if view.is_live(pe) {
             Ok(())
         } else {
+            // RESOLVES(none): fast-fail gate before anything is registered;
+            // entries for ops already in flight are swept by `fail_dest`.
             Err(NtbError::PeFailed { pe, epoch: view.epoch })
         }
     }
@@ -1884,6 +1916,8 @@ impl NtbNode {
                 self.rejoining.store(false, Ordering::SeqCst);
                 return Err(NtbError::NotConnected);
             }
+            // DEADLINE-CLIPPED: 1 ms poll tick inside a loop whose deadline
+            // is checked immediately above every iteration.
             std::thread::sleep(Duration::from_millis(1));
         };
         self.membership.adopt(view);

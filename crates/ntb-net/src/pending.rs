@@ -193,6 +193,8 @@ impl PendingOps {
     ///
     /// Unbounded: on a lossy link use [`Self::wait_with_retry`].
     pub fn wait(&self, req_id: u32, model: &TimeModel) -> Result<Vec<u8>> {
+        // DEADLINE-CLIPPED: unbounded by contract (see doc above); callers
+        // on lossy links use `wait_with_retry*`, which derives a deadline.
         match self.wait_until(req_id, model, None)? {
             Some(buf) => Ok(buf),
             None => unreachable!("deadline-free wait cannot time out"),
@@ -303,6 +305,8 @@ impl PendingOps {
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     return Ok(None);
                 }
+                // DEADLINE-CLIPPED: `interval` is the model's get-poll
+                // quantum; the deadline is checked just above every poll.
                 spin_for(interval);
             }
         } else {
@@ -324,8 +328,8 @@ impl PendingOps {
                         return Err(entry.failed.unwrap_or(NtbError::LinkDown));
                     }
                     Some(_) => match deadline {
-                        Some(d) => {
-                            if shard.cond.wait_until(&mut map, d).timed_out() {
+                        Some(wake_deadline) => {
+                            if shard.cond.wait_until(&mut map, wake_deadline).timed_out() {
                                 // Re-check once: completion may have raced
                                 // the timeout.
                                 if map.get(&req_id).is_some_and(|e| e.done) {
@@ -591,6 +595,9 @@ impl UnackedPuts {
         for shard in &self.shards {
             crate::lockdep_track!(&crate::lockdep::NET_UNACKED_SHARD);
             let mut st = shard.state.lock();
+            // BOUNDED-BY: the retry sweeper retires every unacked entry
+            // (ack, expiry after the retry budget, or dest-failure sweep),
+            // and each retirement signals this condvar.
             while !st.map.is_empty() {
                 shard.cond.wait(&mut st);
             }

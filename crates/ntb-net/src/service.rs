@@ -85,10 +85,14 @@ pub(crate) fn service_loop(node: &Arc<NtbNode>, idx: usize) {
             // A crashed host's threads do nothing until `restart()`
             // revives the ports — and while the rejoin handshake runs it
             // owns the heartbeat block, so the loop stays parked.
+            // DEADLINE-CLIPPED: 1 ms park tick; the loop re-checks the
+            // shutdown flag and port state every iteration.
             std::thread::sleep(Duration::from_millis(1));
             continue;
         }
         let mut gossip = false;
+        // DEADLINE-CLIPPED: `tick` is the idle-poll quantum of the service
+        // loop — there is no op deadline here, only the lost-interrupt net.
         match ep.port().wait_doorbell(SERVICE_INTEREST, Some(tick)) {
             DoorbellWaiter::TimedOut => {
                 // Lost-interrupt safety net: a dropped doorbell leaves a
@@ -838,6 +842,8 @@ pub(crate) fn retry_sweeper_loop(node: &Arc<NtbNode>) {
     let tick = (policy.ack_timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
     let mut last_probe = Instant::now();
     loop {
+        // DEADLINE-CLIPPED: sweeper cadence (ack_timeout / 4); shutdown is
+        // checked right after every tick.
         std::thread::sleep(tick);
         if node.is_shutdown() {
             return;

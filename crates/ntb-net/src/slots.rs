@@ -166,6 +166,8 @@ impl TxSlotRing {
                 if let Some((timeout, max_rerings)) = self.retry {
                     if round_start.elapsed() >= timeout {
                         if rounds >= max_rerings {
+                            // RESOLVES(none): slot acquisition failed before
+                            // the frame was staged — nothing was registered.
                             return Err(NtbError::LinkFailed { attempts: rounds + 1 });
                         }
                         rounds += 1;
@@ -186,6 +188,8 @@ impl TxSlotRing {
                 // 1, 2, 4 ... 64 µs parks; a pending unpark or timeout
                 // both resume the poll, so correctness is unchanged.
                 let exp = (spins - 512).min(6);
+                // DEADLINE-CLIPPED: micro-park poll quantum; the re-ring
+                // retry budget above bounds the whole wait.
                 std::thread::park_timeout(Duration::from_micros(1 << exp));
             }
         }

@@ -431,3 +431,25 @@ fn idle_service_threads_stay_cold() {
     assert_eq!(before, after, "idle network moved frames: {before:?} -> {after:?}");
     assert_no_errors(&net);
 }
+
+#[test]
+fn amo_bad_offset_fails_typed_without_leaking_pending_entry() {
+    let (net, _heaps) = build(2);
+    // An offset past the 32-bit wire field must fail typed *before* the
+    // request is registered: a `?` after `pending.register` used to leak
+    // the entry (and its AmoReqTx trace event) on this exact path.
+    let err = net
+        .node(0)
+        .amo(1, AmoOp::FetchAdd, u64::from(u32::MAX) + 8, 8, 1, 0)
+        .expect_err("oversized offset must be rejected");
+    assert!(
+        matches!(err, ntb_sim::NtbError::BadDescriptor { .. }),
+        "expected BadDescriptor, got {err:?}"
+    );
+    assert_eq!(net.node(0).pending_in_flight(), 0, "rejected AMO leaked a pending entry");
+    // The path stays healthy after the rejection.
+    let old = net.node(0).amo(1, AmoOp::FetchAdd, 0, 8, 1, 0).unwrap();
+    assert_eq!(old, 0);
+    assert_eq!(net.node(0).pending_in_flight(), 0);
+    assert_no_errors(&net);
+}

@@ -72,6 +72,8 @@ impl DmaHandle {
     /// Block until the descriptor completes; returns its result.
     pub fn wait(&self) -> Result<()> {
         let mut st = self.completion.state.lock();
+        // BOUNDED-BY: the engine thread posts a result for every submitted
+        // descriptor — success, error, or shutdown — and notifies here.
         while st.result.is_none() {
             self.completion.cond.wait(&mut st);
         }

@@ -230,6 +230,9 @@ impl ShmemCtx {
                 // instead of burning the rest of the timeout.
                 self.barrier_stall(trace_epoch, left, phase);
                 let pe = self.first_dead(&view);
+                // RESOLVES(none): barrier sweeps are doorbell-driven — the
+                // net layer's fail_dest already swept any tracked entries
+                // when the failure detector confirmed the death.
                 return Err(ShmemError::PeFailed { pe, epoch: view.epoch });
             }
             if Instant::now() >= deadline {
@@ -293,7 +296,14 @@ impl ShmemCtx {
                     self.barrier_stall(trace_epoch, waiting_on, phase);
                     return Err(ShmemError::BarrierTimeout { phase, waiting_on });
                 }
-                self.heap.wait_change(seen, MEMBERSHIP_POLL.min(Duration::from_millis(20)));
+                // Clip the poll tick to the barrier deadline so a short
+                // deadline is honored to the millisecond.
+                self.heap.wait_change(
+                    seen,
+                    MEMBERSHIP_POLL
+                        .min(Duration::from_millis(20))
+                        .min(deadline.saturating_duration_since(Instant::now())),
+                );
             }
             if self.node.obs().is_enabled() {
                 self.node.obs().emit(
@@ -326,6 +336,8 @@ impl ShmemCtx {
         let n = self.num_pes();
         if self.cfg.degraded_policy == DegradedPolicy::Fail {
             let pe = self.first_dead(&view);
+            // RESOLVES(none): policy check before the degraded round does
+            // any communication — nothing is in flight for this barrier.
             return Err(ShmemError::PeFailed { pe, epoch: view.epoch });
         }
         let live = view.live_pes(n);
@@ -363,13 +375,19 @@ impl ShmemCtx {
                     // retry and re-plan over the new membership.
                     self.barrier_stall(trace_epoch, waiting_on, phase);
                     let pe = live.iter().copied().find(|&p| !now.is_live(p)).unwrap_or(0);
+                    // RESOLVES(none): the stale participant's in-flight ops
+                    // were swept by fail_dest at detection; callers re-plan.
                     return Err(ShmemError::PeFailed { pe, epoch: now.epoch });
                 }
                 if Instant::now() >= deadline {
                     self.barrier_stall(trace_epoch, waiting_on, phase);
                     return Err(ShmemError::BarrierTimeout { phase, waiting_on });
                 }
-                self.heap.wait_change(seen, Duration::from_millis(20));
+                self.heap.wait_change(
+                    seen,
+                    Duration::from_millis(20)
+                        .min(deadline.saturating_duration_since(Instant::now())),
+                );
             }
             if self.node.obs().is_enabled() {
                 self.node.obs().emit(

@@ -454,6 +454,8 @@ impl<'a> CApi<'a> {
         cmp: CmpOp,
         value: T,
     ) -> Result<T> {
+        // DEADLINE-CLIPPED: delegate — `ctx.wait_until` derives its own
+        // deadline from `cfg.wait_timeout` and clips every poll tick to it.
         self.ctx.wait_until(ivar, 0, cmp, value)
     }
 

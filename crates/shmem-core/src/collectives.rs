@@ -106,6 +106,8 @@ impl ShmemCtx {
             return Ok(live);
         }
         let pe = (0..n).find(|&p| !view.is_live(p)).unwrap_or(0);
+        // RESOLVES(none): membership policy gate before the collective
+        // communicates — nothing is in flight for this op yet.
         Err(ShmemError::PeFailed { pe, epoch: view.epoch })
     }
 
@@ -121,6 +123,7 @@ impl ShmemCtx {
         self.check_pe(root)?;
         if !self.is_pe_live(root) {
             // No policy can help: the data source itself is gone.
+            // RESOLVES(none): pre-flight check, before any put is issued.
             return Err(ShmemError::PeFailed { pe: root, epoch: self.membership_epoch() });
         }
         let peers = self.collective_peers()?;

@@ -133,11 +133,13 @@ impl std::error::Error for ShmemError {
 
 impl From<NtbError> for ShmemError {
     fn from(e: NtbError) -> Self {
+        // Each arm lifts a net-layer verdict across the API boundary; the
+        // net layer resolved its pending entry when it produced the error.
         match e {
-            NtbError::LinkFailed { attempts } => ShmemError::LinkFailed { attempts },
-            NtbError::PeFailed { pe, epoch } => ShmemError::PeFailed { pe, epoch },
-            NtbError::Overloaded { queue } => ShmemError::Overloaded { queue },
-            NtbError::DeadlineExceeded => ShmemError::DeadlineExceeded,
+            NtbError::LinkFailed { attempts } => ShmemError::LinkFailed { attempts }, // RESOLVES(none): conversion
+            NtbError::PeFailed { pe, epoch } => ShmemError::PeFailed { pe, epoch }, // RESOLVES(none): conversion
+            NtbError::Overloaded { queue } => ShmemError::Overloaded { queue }, // RESOLVES(none): conversion
+            NtbError::DeadlineExceeded => ShmemError::DeadlineExceeded, // RESOLVES(none): conversion
             other => ShmemError::Net(other),
         }
     }

@@ -333,6 +333,8 @@ impl SymmetricHeap {
         ntb_net::lockdep_track!(&ntb_net::lockdep::SHMEM_VERSION);
         let mut v = self.version.lock();
         if *v == seen {
+            // DEADLINE-CLIPPED: forwards the caller's timeout — every
+            // caller clips it to its own op deadline before calling.
             let _ = self.version_cond.wait_for(&mut v, timeout);
         }
         *v

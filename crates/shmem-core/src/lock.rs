@@ -51,6 +51,8 @@ impl ShmemCtx {
     pub fn set_lock(&self, lock: &TypedSym<u64>) -> Result<()> {
         let token = self.lock_token();
         let mut attempts = 0u32;
+        // BOUNDED-BY: OpenSHMEM `shmem_set_lock` semantics — blocks until
+        // the lock is acquired; a dead lock home fails the CAS typed.
         loop {
             let old = self.atomic_compare_swap(lock, 0, 0u64, token, LOCK_HOME)?;
             if old == 0 {
@@ -67,6 +69,8 @@ impl ShmemCtx {
                 std::thread::yield_now();
             } else {
                 let us = 100u64 << attempts.min(13);
+                // DEADLINE-CLIPPED: backoff quantum, capped at 5 ms — the
+                // lock wait itself is unbounded by SHMEM semantics.
                 std::thread::sleep(std::time::Duration::from_micros(us.min(5_000)));
             }
         }

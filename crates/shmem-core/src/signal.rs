@@ -101,6 +101,8 @@ impl ShmemCtx {
         cmp: CmpOp,
         target: S,
     ) -> Result<S> {
+        // DEADLINE-CLIPPED: delegate — `wait_until` derives its deadline
+        // from `cfg.wait_timeout` and clips each poll tick to it.
         self.wait_until(sig, sig_index, cmp, target)
     }
 

@@ -45,6 +45,13 @@ impl CmpOp {
     }
 }
 
+/// One change-wait quantum: a short re-check tick, clipped to the time
+/// remaining before `deadline` so a short `wait_timeout` is honored to the
+/// millisecond rather than rounded up to the next tick.
+fn wait_tick(deadline: Instant, now: Instant) -> Duration {
+    deadline.saturating_duration_since(now).min(Duration::from_millis(50))
+}
+
 impl ShmemCtx {
     /// `shmem_TYPE_wait_until`: block until this PE's copy of
     /// `sym[index]` satisfies `cmp target`. Returns the satisfying value.
@@ -62,12 +69,15 @@ impl ShmemCtx {
             if cmp.eval(&v, &target) {
                 return Ok(v);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(ShmemError::WaitTimeout);
             }
-            // Sleep until symmetric memory changes (or a short tick, to
-            // re-check the deadline).
-            self.heap.wait_change(seen, Duration::from_millis(50));
+            // Sleep until symmetric memory changes, clipped to both a short
+            // re-check tick and the remaining deadline — an unclipped 50 ms
+            // tick would overshoot a short `wait_timeout` by up to a full
+            // tick before the timeout was noticed.
+            self.heap.wait_change(seen, wait_tick(deadline, now));
         }
     }
 
@@ -105,10 +115,11 @@ impl ShmemCtx {
                     return Ok(pos);
                 }
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(ShmemError::WaitTimeout);
             }
-            self.heap.wait_change(seen, Duration::from_millis(50));
+            self.heap.wait_change(seen, wait_tick(deadline, now));
         }
     }
 
@@ -129,10 +140,11 @@ impl ShmemCtx {
             if values.iter().all(|v| cmp.eval(v, &target)) {
                 return Ok(values);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(ShmemError::WaitTimeout);
             }
-            self.heap.wait_change(seen, Duration::from_millis(50));
+            self.heap.wait_change(seen, wait_tick(deadline, now));
         }
     }
 

@@ -169,7 +169,11 @@ impl ShmemCtx {
                         waiting_on: team.set.member((rank + n - dist) % n),
                     });
                 }
-                self.heap.wait_change(seen, Duration::from_millis(20));
+                self.heap.wait_change(
+                    seen,
+                    Duration::from_millis(20)
+                        .min(deadline.saturating_duration_since(Instant::now())),
+                );
             }
             dist <<= 1;
             round += 1;

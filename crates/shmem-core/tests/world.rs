@@ -480,3 +480,45 @@ fn run_root_returns_pe0() {
     let v = ShmemWorld::run_root(cfg(3), |ctx| ctx.my_pe() * 10 + 5).unwrap();
     assert_eq!(v, 5);
 }
+
+#[test]
+fn short_wait_timeout_is_honored_without_tick_overshoot() {
+    // The change-wait loop used a fixed 50 ms re-check tick; a
+    // `wait_timeout` shorter than the tick overshot by up to a full tick
+    // before the deadline was noticed. The tick is now clipped to the
+    // remaining deadline — a 20 ms timeout must report WaitTimeout well
+    // before the old 50 ms tick would have woken the waiter.
+    let cfg =
+        ShmemConfig::builder().hosts(1).wait_timeout(std::time::Duration::from_millis(20)).build();
+    ShmemWorld::run(cfg, |ctx| {
+        let sym = ctx.malloc_array::<u64>(4).unwrap();
+
+        let t0 = std::time::Instant::now();
+        let err = ctx.wait_until(&sym, 0, CmpOp::Eq, 1u64).unwrap_err();
+        assert!(matches!(err, ShmemError::WaitTimeout), "got {err:?}");
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(45),
+            "wait_until overshot its 20 ms timeout: {elapsed:?}"
+        );
+
+        let t0 = std::time::Instant::now();
+        let err = ctx.wait_until_any(&sym, &[0, 1, 2], CmpOp::Eq, 1u64).unwrap_err();
+        assert!(matches!(err, ShmemError::WaitTimeout), "got {err:?}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(45),
+            "wait_until_any overshot its 20 ms timeout: {:?}",
+            t0.elapsed()
+        );
+
+        let t0 = std::time::Instant::now();
+        let err = ctx.wait_until_all(&sym, &[0, 1], CmpOp::Eq, 1u64).unwrap_err();
+        assert!(matches!(err, ShmemError::WaitTimeout), "got {err:?}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(45),
+            "wait_until_all overshot its 20 ms timeout: {:?}",
+            t0.elapsed()
+        );
+    })
+    .unwrap();
+}
