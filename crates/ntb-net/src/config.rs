@@ -324,8 +324,15 @@ impl NetConfig {
                 "heartbeat period and miss threshold must be positive"
             );
         }
-        if self.topology == crate::topology::Topology::FullMesh {
-            assert!(self.hosts <= 16, "mesh adapter slots are limited to 16 hosts");
+        if let Some(declared) = self.topology.declared_hosts() {
+            assert!(
+                declared == self.hosts,
+                "topology declares {declared} hosts but the config has {}",
+                self.hosts
+            );
+        }
+        if self.topology.shape() == crate::topology::Shape::Clique {
+            assert!(self.hosts <= 16, "clique adapter slots are limited to 16 hosts");
         }
     }
 }
@@ -334,7 +341,7 @@ impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {
             hosts: 3,
-            topology: crate::topology::Topology::Ring,
+            topology: crate::topology::Topology::default(),
             window_size: 4 << 20,
             direct_buf: 256 << 10,
             bypass_buf: 256 << 10,

@@ -56,7 +56,9 @@ pub use membership::{BeatMonitor, BeatVerdict, HeartbeatConfig, Membership, Memb
 pub use network::RingNetwork;
 pub use node::{NodeStats, NtbNode};
 pub use pending::FillOutcome;
-pub use topology::{hop_count, route, RingTopology, RouteDirection, Topology};
+pub use topology::{
+    hop_count, route, RingTopology, RouteDirection, Shape, TopoGraph, Topology, MAX_TOPO_NODES,
+};
 pub use trace::{to_chrome_json, TraceKind, TraceRecord, Tracer};
 
 /// Doorbell bit assignments (paper §III-B1 defines the four interrupt

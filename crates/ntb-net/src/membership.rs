@@ -164,19 +164,25 @@ impl MembershipView {
         MembershipView { epoch: 0, live, crash_flags: 0 }
     }
 
-    /// Is `pe` alive in this view?
+    /// Is `pe` alive in this view? The bitmap is one 32-bit scratchpad
+    /// word, so only PEs 0..32 are tracked; beyond that the heartbeat
+    /// detector is disabled by config validation and untracked PEs are
+    /// presumed alive rather than presumed dead.
     pub fn is_live(&self, pe: usize) -> bool {
-        pe < 32 && self.live & (1 << pe) != 0
+        pe >= 32 || self.live & (1 << pe) != 0
     }
 
-    /// The live PEs in ascending order.
+    /// The live PEs in ascending order (PEs ≥ 32 are untracked and
+    /// always reported live).
     pub fn live_pes(&self, hosts: usize) -> Vec<usize> {
-        (0..hosts.min(32)).filter(|&pe| self.is_live(pe)).collect()
+        (0..hosts).filter(|&pe| self.is_live(pe)).collect()
     }
 
     /// Number of live PEs.
     pub fn live_count(&self, hosts: usize) -> usize {
-        (self.live & Self::all_live(hosts).live).count_ones() as usize
+        let tracked = hosts.min(32);
+        let mask = if tracked >= 32 { u32::MAX } else { (1u32 << tracked) - 1 };
+        (self.live & mask).count_ones() as usize + hosts.saturating_sub(32)
     }
 }
 

@@ -20,8 +20,15 @@ use parking_lot::Mutex;
 use crate::config::NetConfig;
 use crate::handshake::exchange_link_info;
 use crate::node::NtbNode;
-use crate::topology::Topology;
+use crate::topology::{Shape, TopoGraph};
 use crate::trace::{to_chrome_json, TraceRecord, Tracer};
+
+/// Worlds beyond this many hosts automatically switch the time model to
+/// coarse (sleeping) waits. The paper-scale worlds (≤ 5 hosts) and every
+/// calibrated bench stay on the precise spin-tail strategy; the 16–64 PE
+/// scale worlds trade µs wait precision for delays that overlap instead
+/// of serializing on the spin tails of ~9 threads per host.
+pub const COARSE_WAITS_AUTO_HOSTS: usize = 8;
 
 /// Run the paper's init-time id/geometry exchange on a freshly cabled
 /// link (both sides concurrently) and verify the cable reaches the host
@@ -202,7 +209,14 @@ impl RingNetwork {
         config.validate();
         let n = config.hosts;
         let kind = config.topology;
-        let model = Arc::new(config.model.clone());
+        let mut model = config.model.clone();
+        if n > COARSE_WAITS_AUTO_HOSTS {
+            // Big worlds run hundreds of service/forwarder threads; the
+            // precise spin-tail wait would serialize their modelled
+            // delays on small machines (see `TimeModel::coarse_waits`).
+            model.coarse_waits = true;
+        }
+        let model = Arc::new(model);
         let tracer = Arc::new(Tracer::default());
         let event_log = EventLog::new(n, DEFAULT_TRACE_CAPACITY);
         let mems: Vec<Arc<HostMemory>> =
@@ -221,57 +235,40 @@ impl RingNetwork {
             injectors.push(Arc::clone(&inj));
             inj
         };
-        match kind {
-            Topology::Ring => {
-                // Host i's right adapter (slot 1) to host i+1's left (slot 0).
-                if n >= 2 {
-                    for i in 0..n {
-                        let j = (i + 1) % n;
-                        let link_idx = injectors.len();
-                        let cfg_right = PortConfig::new(i, 1).with_window_size(config.window_size);
-                        let cfg_left = PortConfig::new(j, 0).with_window_size(config.window_size);
-                        let (pr, pl) = connect_ports_observed(
-                            cfg_right,
-                            cfg_left,
-                            &mems[i],
-                            &mems[j],
-                            Arc::clone(&model),
-                            next_injector(&mut injectors),
-                            Obs::new(Arc::clone(&event_log), i, link_idx),
-                            Obs::new(Arc::clone(&event_log), j, link_idx),
-                        )?;
-                        bring_up_link(&pr, i, &pl, j, &config)?;
-                        ports[i].push((j, link_idx, pr));
-                        ports[j].push((i, link_idx, pl));
-                    }
+        // Cable the shape's links in the graph's deterministic order. The
+        // ring keeps the paper's convention (host i's right adapter, slot
+        // 1, to host i+1's left adapter, slot 0); other shapes hand each
+        // host its adapter slots in cabling order, which for the clique
+        // reproduces the historical "slot towards j is j, or j-1 past
+        // self" numbering.
+        let graph = Arc::new(TopoGraph::new(kind.shape(), n));
+        let mut next_slot = vec![0usize; n];
+        for &(i, j) in &graph.links() {
+            let (slot_i, slot_j) = match kind.shape() {
+                Shape::Ring => (1, 0),
+                _ => {
+                    let (si, sj) = (next_slot[i], next_slot[j]);
+                    next_slot[i] += 1;
+                    next_slot[j] += 1;
+                    (si, sj)
                 }
-            }
-            Topology::FullMesh => {
-                // A dedicated link per pair (the ideal-switch emulation):
-                // host i's adapter slot towards j is j (or j-1 past self).
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        let slot_i = j - 1; // skip self
-                        let slot_j = i;
-                        let link_idx = injectors.len();
-                        let cfg_i = PortConfig::new(i, slot_i).with_window_size(config.window_size);
-                        let cfg_j = PortConfig::new(j, slot_j).with_window_size(config.window_size);
-                        let (pi, pj) = connect_ports_observed(
-                            cfg_i,
-                            cfg_j,
-                            &mems[i],
-                            &mems[j],
-                            Arc::clone(&model),
-                            next_injector(&mut injectors),
-                            Obs::new(Arc::clone(&event_log), i, link_idx),
-                            Obs::new(Arc::clone(&event_log), j, link_idx),
-                        )?;
-                        bring_up_link(&pi, i, &pj, j, &config)?;
-                        ports[i].push((j, link_idx, pi));
-                        ports[j].push((i, link_idx, pj));
-                    }
-                }
-            }
+            };
+            let link_idx = injectors.len();
+            let cfg_i = PortConfig::new(i, slot_i).with_window_size(config.window_size);
+            let cfg_j = PortConfig::new(j, slot_j).with_window_size(config.window_size);
+            let (pi, pj) = connect_ports_observed(
+                cfg_i,
+                cfg_j,
+                &mems[i],
+                &mems[j],
+                Arc::clone(&model),
+                next_injector(&mut injectors),
+                Obs::new(Arc::clone(&event_log), i, link_idx),
+                Obs::new(Arc::clone(&event_log), j, link_idx),
+            )?;
+            bring_up_link(&pi, i, &pj, j, &config)?;
+            ports[i].push((j, link_idx, pi));
+            ports[j].push((i, link_idx, pj));
         }
 
         let num_links = injectors.len();
@@ -287,6 +284,7 @@ impl RingNetwork {
                     i,
                     config.clone(),
                     kind,
+                    Arc::clone(&graph),
                     Arc::clone(&model),
                     Arc::clone(&mems[i]),
                     Arc::new(AtomicBool::new(false)),

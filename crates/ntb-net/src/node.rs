@@ -36,7 +36,7 @@ use crate::membership::{
 };
 use crate::pending::{PendingOps, UnackedPuts};
 use crate::slots::TxSlotRing;
-use crate::topology::{RingTopology, RouteDirection, Topology};
+use crate::topology::{RingTopology, RouteDirection, Shape, TopoGraph, Topology};
 use crate::trace::{TraceKind, Tracer};
 
 /// Counters of one node's protocol activity.
@@ -233,6 +233,10 @@ impl LinkEndpoint {
 pub struct NtbNode {
     pub(crate) topo: RingTopology,
     pub(crate) kind: Topology,
+    /// Shape-generic routing tables shared by every host: adjacency, BFS
+    /// distances and deterministic next hops, identical at the origin and
+    /// every forwarding hop.
+    pub(crate) graph: Arc<TopoGraph>,
     pub(crate) model: Arc<TimeModel>,
     pub(crate) config: NetConfig,
     pub(crate) layout: WindowLayout,
@@ -300,6 +304,7 @@ impl NtbNode {
         me: usize,
         config: NetConfig,
         kind: Topology,
+        graph: Arc<TopoGraph>,
         model: Arc<TimeModel>,
         mem: Arc<HostMemory>,
         shutdown: Arc<AtomicBool>,
@@ -367,6 +372,7 @@ impl NtbNode {
         Arc::new(NtbNode {
             topo,
             kind,
+            graph,
             model,
             layout,
             endpoints,
@@ -441,11 +447,13 @@ impl NtbNode {
     }
 
     /// The endpoint facing `dir` on the ring (the barrier sweeps and the
-    /// link benchmarks address adapters by ring direction). On a mesh the
-    /// ring neighbours still exist, so this resolves there too.
+    /// link benchmarks address adapters by ring direction). On a clique
+    /// the ring neighbours still exist, so this resolves there too.
     ///
     /// # Panics
-    /// Panics on a single-host network, which has no links.
+    /// Panics on a single-host network, which has no links, and on a
+    /// torus host whose ring neighbour is not cabled (row boundaries) —
+    /// ring-direction callers are ring/clique-only by construction.
     pub fn endpoint(&self, dir: RouteDirection) -> &LinkEndpoint {
         assert!(!self.endpoints.is_empty(), "single-host network has no links");
         let neighbor = match dir {
@@ -455,12 +463,13 @@ impl NtbNode {
         self.endpoint_to(neighbor)
     }
 
-    /// The endpoint a message to `dest` leaves through: shortest ring
-    /// direction on a ring, the dedicated link on a mesh. On a ring, a
-    /// `Down` preferred endpoint — or a preferred path blocked by an
-    /// intermediate PE the failure detector declared dead — is routed
-    /// around: the message goes the long way, as long as the other
-    /// endpoint is healthy and its path is clear.
+    /// The endpoint a message to `dest` leaves through: the first hop of
+    /// the deterministic shortest path on a forwarding shape (ring,
+    /// torus), the dedicated link on a clique. A `Down` preferred
+    /// endpoint — or a preferred path blocked by an intermediate PE the
+    /// failure detector declared dead — is routed around via the best
+    /// detour over the live subgraph, as long as one exists through a
+    /// healthy adapter.
     pub(crate) fn endpoint_for(&self, dest: usize) -> &LinkEndpoint {
         let view = self.membership.view();
         self.endpoint_for_view(dest, &view)
@@ -470,60 +479,55 @@ impl NtbNode {
     /// membership view — the transmit path holds a read pin and must not
     /// re-enter the membership lock.
     pub(crate) fn endpoint_for_view(&self, dest: usize, view: &MembershipView) -> &LinkEndpoint {
-        match self.kind {
-            Topology::Ring => {
-                let preferred_dir = self.topo.route_to(dest);
-                let preferred = self.endpoint(preferred_dir);
-                if self.endpoints.len() > 1
-                    && (preferred.health.is_down() || !self.path_clear(preferred_dir, dest, view))
-                {
-                    let other_dir = preferred_dir.opposite();
-                    let other = self.endpoint(other_dir);
-                    if !other.health.is_down() && self.path_clear(other_dir, dest, view) {
-                        NodeStats::bump(&self.stats.reroutes);
-                        self.metrics.bump_link(preferred.link_idx, |l| &l.reroutes);
-                        preferred.obs.emit(
-                            EventKind::Reroute,
-                            0,
-                            [other.link_idx as u64, dest as u64],
-                        );
-                        return other;
-                    }
-                }
-                preferred
-            }
-            Topology::FullMesh => self.endpoint_to(dest),
+        if self.kind.shape() == Shape::Clique {
+            return self.endpoint_to(dest);
         }
+        let hop = self.graph.next_hop(self.topo.me, dest);
+        let preferred = self.endpoint_to(hop);
+        if self.endpoints.len() > 1
+            && (preferred.health.is_down()
+                || !self.graph.static_path_clear(hop, dest, |pe| view.is_live(pe)))
+        {
+            if let Some(alt) = self.detour_hop(dest, view, hop) {
+                let other = self.endpoint_to(alt);
+                NodeStats::bump(&self.stats.reroutes);
+                self.metrics.bump_link(preferred.link_idx, |l| &l.reroutes);
+                preferred.obs.emit(EventKind::Reroute, 0, [other.link_idx as u64, dest as u64]);
+                return other;
+            }
+        }
+        preferred
     }
 
-    /// Whether every *intermediate* hop between this host and `dest` in
-    /// direction `dir` is alive in `view`. The link-health trackers
-    /// cannot see this: the links adjacent to a dead host still negotiate
-    /// electrically — only its service threads are gone, so a frame
-    /// parked in its bypass buffer would never move again.
-    fn path_clear(&self, dir: RouteDirection, dest: usize, view: &MembershipView) -> bool {
-        let n = self.topo.n;
-        let step = |h: usize| match dir {
-            RouteDirection::Right => (h + 1) % n,
-            RouteDirection::Left => (h + n - 1) % n,
-        };
-        let mut hop = step(self.topo.me);
-        while hop != dest {
-            if !view.is_live(hop) {
-                return false;
-            }
-            hop = step(hop);
-        }
-        true
+    /// The best alternative first hop towards `dest` over the live
+    /// subgraph, skipping `exclude` and any neighbour whose adapter is
+    /// `Down`. The membership view matters because the link-health
+    /// trackers cannot see a dead intermediate host: the links adjacent
+    /// to it still negotiate electrically — only its service threads are
+    /// gone, so a frame parked in its bypass buffer would never move
+    /// again.
+    fn detour_hop(&self, dest: usize, view: &MembershipView, exclude: usize) -> Option<usize> {
+        self.graph.next_hop_live(
+            self.topo.me,
+            dest,
+            |hop| hop != exclude && !self.endpoint_to(hop).health.is_down(),
+            |pe| view.is_live(pe),
+        )
     }
 
     /// The endpoint a *forwarded* frame leaves through. Split horizon: a
     /// frame never goes back out the endpoint it arrived on (`arrived`),
-    /// which would orbit the ring forever once rerouting reverses a
-    /// route mid-flight.
+    /// which would orbit the interconnect forever once rerouting reverses
+    /// a route mid-flight. When the preferred route points back, the best
+    /// live detour wins; with none, any other endpoint.
     pub(crate) fn forward_endpoint(&self, dest: usize, arrived: usize) -> &LinkEndpoint {
         let preferred = self.endpoint_for(dest);
         if std::ptr::eq(preferred, &self.endpoints[arrived]) {
+            let view = self.membership.view();
+            let back = self.endpoints[arrived].neighbor;
+            if let Some(alt) = self.detour_hop(dest, &view, back) {
+                return self.endpoint_to(alt);
+            }
             if let Some(other) =
                 self.endpoints.iter().enumerate().find(|(i, _)| *i != arrived).map(|(_, e)| e)
             {
@@ -606,9 +610,25 @@ impl NtbNode {
         &self.obs
     }
 
-    /// Stats snapshot of the port facing `dir`.
+    /// Stats snapshot of the port facing `dir` (ring/clique adapters).
     pub fn port_stats(&self, dir: RouteDirection) -> PortStatsSnapshot {
         self.endpoint(dir).port.stats().snapshot()
+    }
+
+    /// Number of cabled adapters on this host.
+    pub fn num_links(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Stats snapshot of the adapter at `idx` in cabling order; works on
+    /// every shape (torus hosts have no left/right adapters to name).
+    pub fn port_stats_at(&self, idx: usize) -> PortStatsSnapshot {
+        self.endpoints[idx].port.stats().snapshot()
+    }
+
+    /// The shape-generic routing tables (shared by every host).
+    pub fn graph(&self) -> &Arc<TopoGraph> {
+        &self.graph
     }
 
     /// True once shutdown began.
@@ -868,11 +888,11 @@ impl NtbNode {
     /// Transmit (or retransmit) one tracked put chunk. Does not touch the
     /// unacked table — registration and retirement are the caller's job.
     ///
-    /// A terminating chunk that fits a ring slot rides the coalescing
-    /// ring: with `defer_flush` it is only staged (the caller batches
-    /// several chunks behind one doorbell and flushes later), otherwise
-    /// it is flushed immediately. Forwarded or oversized chunks use the
-    /// legacy scratchpad mailbox.
+    /// A chunk that fits a ring slot rides the coalescing ring whether
+    /// its next hop terminates or forwards: with `defer_flush` it is only
+    /// staged (the caller batches several chunks behind one doorbell and
+    /// flushes later), otherwise it is flushed immediately. Oversized
+    /// chunks use the legacy scratchpad mailbox and its bypass area.
     #[allow(clippy::too_many_arguments)] // internal hot path, two call sites
     pub(crate) fn transmit_put(
         &self,
@@ -915,7 +935,12 @@ impl NtbNode {
         let frame = Frame::put(self.topo.me, dest, chunk.len() as u32, heap_offset, put_id, mode)
             .with_deadline_us(deadline_us);
         self.trace(TraceKind::FrameSent, self.topo.me, dest, chunk.len() as u32);
-        let ring = ep.txring.as_ref().filter(|r| terminating && r.fits(chunk.len()));
+        // Any chunk that fits a slot lane rides the coalescing ring —
+        // including routed chunks whose next hop is only an intermediate
+        // host (the drain side routes non-terminating slot frames onward
+        // exactly like mailbox frames). Only oversized chunks fall back
+        // to the scratchpad mailbox and its bypass staging area.
+        let ring = ep.txring.as_ref().filter(|r| r.fits(chunk.len()));
         let result = match ring {
             Some(ring) => match ring.publish(frame, Some(chunk)) {
                 Ok(()) if !defer_flush => ring.flush(),

@@ -352,10 +352,21 @@ fn handle_frame(node: &Arc<NtbNode>, idx: usize, frame: Frame) -> Result<()> {
 /// Split horizon: never back out the arrival endpoint `idx`.
 fn forward_onward(node: &Arc<NtbNode>, idx: usize, frame: Frame, payload: Option<Vec<u8>>) {
     let ep = &node.endpoints[idx];
-    let think = if payload.is_some() { node.model().bypass_forward_delay } else { Duration::ZERO };
     node.trace(TraceKind::Forwarded, frame.src, frame.dest, frame.len);
     ep.obs.emit(EventKind::FrameFwd, u64::from(frame.aux), [frame.src as u64, frame.dest as u64]);
     let out = node.forward_endpoint(frame.dest, idx);
+    // The bypass-buffer staging cost only applies to payloads that will
+    // actually stage through the bypass window area (the mailbox path).
+    // A payload that fits the outgoing slot lane is re-published straight
+    // into the ring; its real costs — slot PIO writes, the coalesced
+    // doorbell, the next hop's interrupt — are charged by the ring
+    // machinery itself.
+    let think = match &payload {
+        Some(data) if !out.txring.as_ref().is_some_and(|r| r.fits(data.len())) => {
+            node.model().bypass_forward_delay
+        }
+        _ => Duration::ZERO,
+    };
     let (aux, deadline_us) = (u64::from(frame.aux), frame.deadline_us);
     let now = node.now_us();
     let outcome = out.fwd.push(ForwardJob { frame, payload, think, attempts: 0 }, now);
@@ -458,9 +469,10 @@ fn drain_ring(node: &Arc<NtbNode>, idx: usize) {
                     let result = if frame.dest == node.host_id() {
                         dispatch_frame(node, frame, drained.payload)
                     } else {
-                        // Defensive: senders only publish terminating
-                        // frames, but a forwarded stray is still routed
-                        // onward rather than dropped.
+                        // Routed slot frames are the normal case on
+                        // multi-hop shapes: small chunks ride the ring on
+                        // every hop, and intermediate hosts route them
+                        // onward exactly like mailbox frames.
                         forward_onward(node, idx, frame, drained.payload);
                         Ok(())
                     };
@@ -742,13 +754,14 @@ pub(crate) fn forwarder_loop(node: &Arc<NtbNode>, idx: usize) {
         }
         let terminating = ep.neighbor() == job.frame.dest;
         let mode = job.frame.mode;
-        // Terminating data frames (delivered puts hopping their last
-        // link, the returning acknowledgement stream, and get response
-        // chunks heading home) ride the coalescing ring: back-to-back
-        // jobs batch behind one doorbell.
+        // Data frames that fit a slot lane (put chunks at any hop, the
+        // returning acknowledgement stream, and get response chunks) ride
+        // the coalescing ring: back-to-back jobs batch behind one
+        // doorbell, so a round of small routed frames crossing the same
+        // link shares one interrupt instead of serializing one mailbox
+        // handshake each.
         let ring = ep.txring.as_ref().filter(|r| {
-            terminating
-                && matches!(job.frame.kind, FrameKind::Put | FrameKind::PutAck | FrameKind::GetResp)
+            matches!(job.frame.kind, FrameKind::Put | FrameKind::PutAck | FrameKind::GetResp)
                 && r.fits(job.payload.as_ref().map_or(0, |p| p.len()))
         });
         let result = match ring {

@@ -48,7 +48,8 @@ impl DeliveryTarget for TestHeap {
 }
 
 fn build(hosts: usize) -> (RingNetwork, Vec<Arc<TestHeap>>) {
-    let net = RingNetwork::build(NetConfig::fast(hosts).with_topology(Topology::FullMesh)).unwrap();
+    let net =
+        RingNetwork::build(NetConfig::fast(hosts).with_topology(Topology::clique(hosts))).unwrap();
     let heaps: Vec<Arc<TestHeap>> = (0..hosts).map(|_| TestHeap::new()).collect();
     for (i, heap) in heaps.iter().enumerate() {
         net.node(i).set_delivery(Arc::clone(heap) as Arc<dyn DeliveryTarget>);
@@ -128,7 +129,7 @@ fn two_host_mesh_is_a_single_link() {
 }
 
 #[test]
-#[should_panic(expected = "mesh adapter slots")]
+#[should_panic(expected = "clique adapter slots")]
 fn mesh_host_cap_enforced() {
-    let _ = RingNetwork::build(NetConfig::fast(17).with_topology(Topology::FullMesh));
+    let _ = RingNetwork::build(NetConfig::fast(17).with_topology(Topology::clique(17)));
 }

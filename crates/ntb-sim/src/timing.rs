@@ -135,6 +135,15 @@ pub struct TimeModel {
     /// intermediate host's bypass buffer (the hop cost visible in the
     /// paper's 2-hop Get curves).
     pub bypass_forward_delay: Duration,
+    /// Wait strategy for injected delays. `false` (default) spins the
+    /// sub-120 µs tail for microsecond precision — right for the paper's
+    /// ≤ 5-host worlds, where only a handful of threads delay at once.
+    /// `true` plainly sleeps the whole delay: each wait cedes the core,
+    /// so hundreds of concurrently-delaying threads (a 64-PE world runs
+    /// ~9 threads per host) overlap their modelled time instead of
+    /// serializing on the spin tails. Costs sleep-overshoot precision
+    /// (tens of µs per wait); big worlds enable it automatically.
+    pub coarse_waits: bool,
 }
 
 impl TimeModel {
@@ -156,7 +165,14 @@ impl TimeModel {
             get_poll_interval: Duration::from_millis(1),
             get_response_service_delay: Duration::from_micros(800),
             bypass_forward_delay: Duration::from_micros(500),
+            coarse_waits: false,
         }
+    }
+
+    /// Switch the wait strategy (see [`TimeModel::coarse_waits`]).
+    pub fn with_coarse_waits(mut self, coarse: bool) -> Self {
+        self.coarse_waits = coarse;
+        self
     }
 
     /// A model with every injected delay disabled: pure functional
@@ -192,7 +208,26 @@ impl TimeModel {
         if !self.enabled() || d.is_zero() {
             return;
         }
-        spin_for(self.scaled_duration(d));
+        let d = self.scaled_duration(d);
+        if self.coarse_waits {
+            std::thread::sleep(d);
+        } else {
+            spin_for(d);
+        }
+    }
+
+    /// Block until `deadline` using the model's wait strategy: precise
+    /// (spin tail) by default, a plain sleep under
+    /// [`coarse_waits`](TimeModel::coarse_waits).
+    pub fn wait_until(&self, deadline: Instant) {
+        if self.coarse_waits {
+            let now = Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+        } else {
+            spin_until(deadline);
+        }
     }
 
     /// Wire time for `bytes` under `mode`, *excluding* fixed setup costs.

@@ -23,7 +23,7 @@ use crate::error::{NtbError, Result};
 use crate::fault::{DmaFaultOutcome, FaultInjector};
 use crate::memory::Region;
 use crate::stats::PortStats;
-use crate::timing::{spin_until, HostActivity, LinkDirection, LinkTimer, TimeModel, TransferMode};
+use crate::timing::{HostActivity, LinkDirection, LinkTimer, TimeModel, TransferMode};
 
 /// The sender's translated view of the peer's window memory.
 pub struct OutgoingWindow {
@@ -217,7 +217,9 @@ impl OutgoingWindow {
         self.maybe_corrupt(offset, data.len() as u64)?;
         self.account(data.len() as u64, mode);
         if self.model.enabled() {
-            spin_until(deadline);
+            // DEADLINE-CLIPPED: waits exactly to the reserved wire-time
+            // deadline computed above.
+            self.model.wait_until(deadline);
         }
         Ok(())
     }
@@ -239,7 +241,9 @@ impl OutgoingWindow {
         self.maybe_corrupt(dst_offset, len)?;
         self.account(len, mode);
         if self.model.enabled() {
-            spin_until(deadline);
+            // DEADLINE-CLIPPED: waits exactly to the reserved wire-time
+            // deadline computed above.
+            self.model.wait_until(deadline);
         }
         Ok(())
     }
@@ -267,7 +271,9 @@ impl OutgoingWindow {
             TransferMode::Memcpy => self.stats.add_pio_op(),
         }
         if self.model.enabled() {
-            spin_until(deadline);
+            // DEADLINE-CLIPPED: waits exactly to the reserved wire-time
+            // deadline computed above.
+            self.model.wait_until(deadline);
         }
         Ok(())
     }
@@ -297,7 +303,9 @@ impl OutgoingWindow {
         self.stats.add_rx(len);
         self.stats.add_pio_op();
         if self.model.enabled() {
-            spin_until(deadline);
+            // DEADLINE-CLIPPED: waits exactly to the reserved wire-time
+            // deadline computed above.
+            self.model.wait_until(deadline);
         }
         Ok(())
     }

@@ -31,7 +31,7 @@ fn bench_topologies(c: &mut Criterion) {
     group.sample_size(10);
     let size = 128usize << 10;
     group.throughput(Throughput::Bytes(size as u64));
-    for (name, topology) in [("ring", Topology::Ring), ("mesh", Topology::FullMesh)] {
+    for (name, topology) in [("ring", Topology::ring(5)), ("mesh", Topology::clique(5))] {
         let net = rig(topology);
         let node = Arc::clone(net.node(0));
         let data = vec![0xD7u8; size];

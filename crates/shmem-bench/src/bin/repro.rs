@@ -1,7 +1,7 @@
 //! `repro` — regenerate every figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro [all|fig8|fig9|fig10|compare|trace|transport|overload] [--scale F] [--reps N] [--quick] [--csv DIR]
+//! repro [all|fig8|fig9|fig10|compare|trace|transport|overload|scale] [--scale F] [--reps N] [--quick] [--csv DIR]
 //! ```
 //!
 //! `compare` runs the beyond-paper topology comparison: the switchless
@@ -12,7 +12,12 @@
 //! per-message doorbell path and writes `BENCH_transport.json`.
 //! `overload` sweeps incast offered load to 3× the calibrated saturation
 //! rate and writes `BENCH_overload.json` (goodput, tail latency and shed
-//! counts per load point).
+//! counts per load point). `scale` sweeps collective latency to 64
+//! simulated PEs across ring/torus/clique topologies and both barrier
+//! algorithms, writes `BENCH_scale.json` and enforces the scaling
+//! regression gates (64-PE torus dissemination barrier ≤ 4× its 8-PE
+//! latency; dissemination strictly beats the two-sweep ring barrier at
+//! 16 PEs).
 //!
 //! * `--scale F`  — time-model scale (1.0 = paper-calibrated latencies,
 //!   smaller = proportionally faster runs with the same shapes).
@@ -45,7 +50,7 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "all" | "fig8" | "fig9" | "fig10" | "compare" | "scaling" | "trace" | "transport"
-            | "overload" => opts.what = a,
+            | "overload" | "scale" => opts.what = a,
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -67,7 +72,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig8|fig9|fig10|compare|scaling|trace|transport|overload] [--scale F] [--reps N] [--quick] [--csv DIR]"
+                    "usage: repro [all|fig8|fig9|fig10|compare|scaling|trace|transport|overload|scale] [--scale F] [--reps N] [--quick] [--csv DIR]"
                 );
                 std::process::exit(0);
             }
@@ -150,6 +155,30 @@ fn run_transport_bench(scale: f64, reps: Option<usize>) {
     println!("wrote {}", path.display());
 }
 
+/// Run the scale sweep, enforce the scaling gates and write
+/// `BENCH_scale.json` into the current directory.
+fn run_scale_bench(scale: f64, reps: Option<usize>, quick: bool) {
+    use shmem_bench::scale::{run_scale, ScaleConfig};
+    let model = if scale == 1.0 { TimeModel::paper() } else { TimeModel::scaled(scale) };
+    let mut cfg = ScaleConfig { model, reps: reps.unwrap_or(8), ..ScaleConfig::default() };
+    if quick {
+        cfg.pe_counts = vec![8, 16, 64];
+        cfg.reps = reps.unwrap_or(4);
+    }
+    let t0 = std::time::Instant::now();
+    let r = run_scale(&cfg);
+    println!("{}", r.render());
+    println!("(scale ran in {:.1?})", t0.elapsed());
+    let path = PathBuf::from("BENCH_scale.json");
+    fs::write(&path, r.to_json()).expect("write BENCH_scale.json");
+    println!("wrote {}", path.display());
+    if let Err(err) = r.check_gates() {
+        eprintln!("scale gate FAILED: {err}");
+        std::process::exit(1);
+    }
+    println!("scale gates: ok");
+}
+
 /// Run the overload sweep and write `BENCH_overload.json` into the
 /// current directory.
 fn run_overload_bench(scale: f64, quick: bool) {
@@ -180,6 +209,10 @@ fn main() {
     }
     if opts.what == "overload" {
         run_overload_bench(opts.scale, opts.quick);
+        return;
+    }
+    if opts.what == "scale" {
+        run_scale_bench(opts.scale, opts.reps, opts.quick);
         return;
     }
     let sizes = if opts.quick { quick_sizes() } else { paper_sizes() };

@@ -110,8 +110,8 @@ fn measure(topology: Topology, cfg: &CompareConfig) -> (Vec<f64>, Vec<f64>) {
 
 /// Run the comparison: the same operations on both topologies.
 pub fn run_compare(cfg: &CompareConfig) -> CompareResult {
-    let (ring_put_us, ring_get_us) = measure(Topology::Ring, cfg);
-    let (mesh_put_us, mesh_get_us) = measure(Topology::FullMesh, cfg);
+    let (ring_put_us, ring_get_us) = measure(Topology::ring(COMPARE_HOSTS), cfg);
+    let (mesh_put_us, mesh_get_us) = measure(Topology::clique(COMPARE_HOSTS), cfg);
     CompareResult { sizes: cfg.sizes.clone(), ring_put_us, mesh_put_us, ring_get_us, mesh_get_us }
 }
 

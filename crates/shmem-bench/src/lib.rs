@@ -29,6 +29,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod overload;
 pub mod report;
+pub mod scale;
 pub mod sizes;
 pub mod stats;
 pub mod transport;

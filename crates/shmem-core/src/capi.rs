@@ -446,6 +446,64 @@ c_reduce!(
     shmem_double_max_to_all
 );
 
+/// The OpenSHMEM 1.5 `shmem_TYPE_OP_reduce` typed wrappers (the modern
+/// names for the classic `_to_all` calls), served by the log-depth
+/// binomial tree rather than the linear gather.
+macro_rules! c_reduce15 {
+    ($t:ty, $sum:ident, $prod:ident, $min:ident, $max:ident) => {
+        impl<'a> CApi<'a> {
+            /// `shmem_TYPE_sum_reduce(team, dest, source, nreduce)`.
+            pub fn $sum(&self, src: &[$t]) -> Result<Vec<$t>> {
+                self.ctx.allreduce_tree(ReduceOp::Sum, src)
+            }
+
+            /// `shmem_TYPE_prod_reduce(...)`.
+            pub fn $prod(&self, src: &[$t]) -> Result<Vec<$t>> {
+                self.ctx.allreduce_tree(ReduceOp::Prod, src)
+            }
+
+            /// `shmem_TYPE_min_reduce(...)`.
+            pub fn $min(&self, src: &[$t]) -> Result<Vec<$t>> {
+                self.ctx.allreduce_tree(ReduceOp::Min, src)
+            }
+
+            /// `shmem_TYPE_max_reduce(...)`.
+            pub fn $max(&self, src: &[$t]) -> Result<Vec<$t>> {
+                self.ctx.allreduce_tree(ReduceOp::Max, src)
+            }
+        }
+    };
+}
+
+c_reduce15!(
+    i32,
+    shmem_int_sum_reduce,
+    shmem_int_prod_reduce,
+    shmem_int_min_reduce,
+    shmem_int_max_reduce
+);
+c_reduce15!(
+    i64,
+    shmem_long_sum_reduce,
+    shmem_long_prod_reduce,
+    shmem_long_min_reduce,
+    shmem_long_max_reduce
+);
+c_reduce15!(
+    u64,
+    shmem_uint64_sum_reduce,
+    shmem_uint64_prod_reduce,
+    shmem_uint64_min_reduce,
+    shmem_uint64_max_reduce
+);
+c_reduce15!(
+    f64,
+    shmem_double_sum_reduce,
+    shmem_double_prod_reduce,
+    shmem_double_min_reduce,
+    shmem_double_max_reduce
+);
+
 impl<'a> CApi<'a> {
     /// `shmem_TYPE_wait_until(ivar, cmp, value)` (generic over the type).
     pub fn shmem_wait_until<T: ShmemScalar + PartialOrd>(
@@ -492,6 +550,18 @@ impl<'a> CApi<'a> {
     /// Generic reduction escape hatch (any `ShmemReduce` type and op).
     pub fn shmem_reduce<T: ShmemReduce>(&self, op: ReduceOp, src: &[T]) -> Result<Vec<T>> {
         self.ctx.allreduce(op, src)
+    }
+
+    /// `shmem_broadcastmem(dest == source here, nelems, root)`: the
+    /// OpenSHMEM 1.5 byte-granular broadcast, served by the log-depth
+    /// binomial tree.
+    pub fn shmem_broadcastmem(&self, sym: &TypedSym<u8>, nelems: usize, root: i32) -> Result<()> {
+        self.ctx.broadcast_tree(sym, 0, nelems, root as usize)
+    }
+
+    /// `shmem_team_sync(team)`: OpenSHMEM 1.5 team synchronization.
+    pub fn shmem_team_sync(&self, team: &crate::teams::Team) -> Result<()> {
+        self.ctx.team_sync(team)
     }
 
     /// Generic atomic escape hatch.

@@ -323,6 +323,151 @@ impl ShmemCtx {
         Ok((self.my_pe() == root).then_some(full))
     }
 
+    /// Binomial-tree broadcast: log₂N rounds instead of the flat root
+    /// fan-out. Round *k* doubles the set of PEs holding the payload:
+    /// every holder with tree rank `r` sends to rank `r + 2^k` (for
+    /// `2^k > r`), so the root's adapters stop being the bottleneck and
+    /// latency grows with the tree depth, not the PE count. Ranks are
+    /// positions in the **live** PE list rotated so the root is rank 0,
+    /// which honours [`DegradedPolicy`](crate::config::DegradedPolicy)
+    /// exactly like the flat [`Self::broadcast`]. Collective (allocates
+    /// an internal signal word).
+    pub fn broadcast_tree<T: ShmemScalar>(
+        &self,
+        sym: &TypedSym<T>,
+        index: usize,
+        count: usize,
+        root: usize,
+    ) -> Result<()> {
+        use crate::signal::SignalOp;
+        use crate::sync::CmpOp;
+        self.check_pe(root)?;
+        if !self.is_pe_live(root) {
+            // No policy can help: the data source itself is gone.
+            // RESOLVES(none): pre-flight check, before any put is issued.
+            return Err(ShmemError::PeFailed { pe: root, epoch: self.membership_epoch() });
+        }
+        let peers = self.collective_peers()?;
+        let sig: TypedSym<u64> = self.calloc_array(1)?; // collective + entry sync
+        let result = (|| {
+            let m = peers.len();
+            // lint: unwrap-ok(the root passed the liveness gate above, so
+            // it is present in the live list)
+            let root_idx = peers.iter().position(|&p| p == root).unwrap();
+            let Some(pos) = peers.iter().position(|&p| p == self.my_pe()) else {
+                // Not in the live set (mid-rejoin): sit the data phase
+                // out; the alloc/free barriers still synchronize us.
+                return Ok(());
+            };
+            let rank = (pos + m - root_idx) % m;
+            if rank != 0 {
+                self.signal_wait_until(&sig, 0, CmpOp::Eq, 1u64)?;
+            }
+            let data = self.read_local_slice(sym, index, count)?;
+            let mut step = 1usize;
+            while step < m {
+                if step > rank && rank + step < m {
+                    let dest = peers[(root_idx + rank + step) % m];
+                    self.put_with_signal(sym, index, &data, &sig, 0, 1u64, SignalOp::Set, dest)?;
+                }
+                step <<= 1;
+            }
+            Ok(())
+        })();
+        // Exit sync doubles as the signal-word teardown barrier.
+        self.free_array(sig)?;
+        result
+    }
+
+    /// Binomial-tree reduction to `root` (other PEs get `None`): log₂N
+    /// combining rounds, each PE sends its partial exactly once to its
+    /// tree parent. Dead PEs are excluded from the tree entirely (their
+    /// contribution is dropped, like [`Self::allreduce`]). Collective
+    /// (allocates internal scratch).
+    pub fn reduce_tree<T: ShmemReduce>(
+        &self,
+        op: ReduceOp,
+        src: &[T],
+        root: usize,
+    ) -> Result<Option<Vec<T>>> {
+        use crate::signal::SignalOp;
+        use crate::sync::CmpOp;
+        self.check_pe(root)?;
+        if !self.is_pe_live(root) {
+            // RESOLVES(none): pre-flight check, before any put is issued.
+            return Err(ShmemError::PeFailed { pe: root, epoch: self.membership_epoch() });
+        }
+        let peers = self.collective_peers()?;
+        let len = src.len();
+        let rounds = peers.len().next_power_of_two().trailing_zeros() as usize;
+        // Per-round landing slots: the child of round k writes its partial
+        // into slot k of its parent, so rounds never alias each other.
+        let scratch: TypedSym<T> = self.calloc_array(len * rounds.max(1))?;
+        let sig: TypedSym<u64> = self.calloc_array(rounds.max(1))?;
+        let result = (|| {
+            let m = peers.len();
+            // lint: unwrap-ok(the root passed the liveness gate above, so
+            // it is present in the live list)
+            let root_idx = peers.iter().position(|&p| p == root).unwrap();
+            let Some(pos) = peers.iter().position(|&p| p == self.my_pe()) else {
+                return Ok(None);
+            };
+            let rank = (pos + m - root_idx) % m;
+            let mut acc = src.to_vec();
+            for k in 0..rounds {
+                let step = 1usize << k;
+                if rank & step != 0 {
+                    // My turn to fold into the parent and retire.
+                    let parent = peers[(root_idx + rank - step) % m];
+                    self.put_with_signal(
+                        &scratch,
+                        k * len,
+                        &acc,
+                        &sig,
+                        k,
+                        1u64,
+                        SignalOp::Set,
+                        parent,
+                    )?;
+                    break;
+                }
+                if rank + step < m {
+                    self.signal_wait_until(&sig, k, CmpOp::Eq, 1u64)?;
+                    let part = self.read_local_slice(&scratch, k * len, len)?;
+                    for (a, b) in acc.iter_mut().zip(part) {
+                        *a = T::combine(op, *a, b);
+                    }
+                }
+            }
+            Ok((rank == 0).then_some(acc))
+        })();
+        self.free_array(sig)?;
+        self.free_array(scratch)?;
+        result
+    }
+
+    /// Log-depth all-reduce: a binomial [`Self::reduce_tree`] to the
+    /// lowest live PE followed by a [`Self::broadcast_tree`] of the
+    /// result — 2·log₂N rounds total, versus the linear gather of
+    /// [`Self::allreduce`]. Collective (allocates internal scratch).
+    pub fn allreduce_tree<T: ShmemReduce>(&self, op: ReduceOp, src: &[T]) -> Result<Vec<T>> {
+        let peers = self.collective_peers()?;
+        // lint: unwrap-ok(the calling PE is alive, so the live list is
+        // never empty)
+        let root = *peers.first().unwrap();
+        let reduced = self.reduce_tree(op, src, root)?;
+        let scratch: TypedSym<T> = self.calloc_array(src.len())?;
+        let result = (|| {
+            if let Some(v) = &reduced {
+                self.write_local_slice(&scratch, 0, v)?;
+            }
+            self.broadcast_tree(&scratch, 0, src.len(), root)?;
+            self.read_local_slice(&scratch, 0, src.len())
+        })();
+        self.free_array(scratch)?;
+        result
+    }
+
     /// Convenience: broadcast one value from `root` to every PE and
     /// return it. Collective (allocates internal scratch).
     pub fn broadcast_value<T: ShmemScalar>(&self, value: T, root: usize) -> Result<T> {

@@ -305,7 +305,16 @@ impl ShmemConfigBuilder {
         self
     }
 
-    /// Interconnect topology (switchless ring or full-mesh baseline).
+    /// Interconnect topology: `Topology::ring(n)`, `Topology::torus(rows,
+    /// cols)` or `Topology::clique(n)`. Non-ring shapes always run the
+    /// dissemination barrier (the ring sweep needs ring-direction
+    /// adapters).
+    ///
+    /// ```
+    /// use shmem_core::prelude::*;
+    /// let cfg = ShmemConfig::builder().hosts(16).topology(Topology::torus(4, 4)).build();
+    /// assert_eq!(cfg.hosts(), 16);
+    /// ```
     pub fn topology(mut self, topology: ntb_net::Topology) -> Self {
         self.cfg.net.topology = topology;
         self

@@ -719,12 +719,10 @@ impl ShmemCtx {
         let s = self.node.stats();
         let mut bytes_tx = 0;
         let mut bytes_rx = 0;
-        if self.num_pes() > 1 {
-            for dir in [ntb_net::RouteDirection::Left, ntb_net::RouteDirection::Right] {
-                let p = self.node.port_stats(dir);
-                bytes_tx += p.bytes_tx;
-                bytes_rx += p.bytes_rx;
-            }
+        for i in 0..self.node.num_links() {
+            let p = self.node.port_stats_at(i);
+            bytes_tx += p.bytes_tx;
+            bytes_rx += p.bytes_rx;
         }
         let metrics = self.node.metrics();
         let mut router_drops = 0;

@@ -63,7 +63,7 @@ pub use teams::{ActiveSet, Team};
 pub use types::{ShmemAtomicInt, ShmemScalar};
 
 // Re-export the knobs callers configure through us.
-pub use ntb_net::{HeartbeatConfig, OverloadConfig, Topology};
+pub use ntb_net::{HeartbeatConfig, OverloadConfig, Shape, Topology};
 pub use ntb_sim::{TimeModel, TransferMode};
 
 /// The curated import surface for applications and examples:
@@ -81,6 +81,6 @@ pub mod prelude {
     pub use crate::sync::CmpOp;
     pub use crate::teams::{ActiveSet, Team};
     pub use crate::types::{ShmemAtomicInt, ShmemScalar};
-    pub use ntb_net::{HeartbeatConfig, OverloadConfig, Topology};
+    pub use ntb_net::{HeartbeatConfig, OverloadConfig, Shape, Topology};
     pub use ntb_sim::{FaultPlan, TimeModel, TransferMode};
 }

@@ -303,7 +303,7 @@ fn locality_query() {
 fn full_stack_on_mesh_topology() {
     // The whole OpenSHMEM model must run unchanged on the switch baseline.
     for alg in [BarrierAlgorithm::RingSweep, BarrierAlgorithm::Dissemination] {
-        let c = cfg(5).with_topology(shmem_core::Topology::FullMesh).with_barrier_algorithm(alg);
+        let c = cfg(5).with_topology(shmem_core::Topology::clique(5)).with_barrier_algorithm(alg);
         ShmemWorld::run(c, |ctx| {
             let sym = ctx.calloc_array::<u64>(8).unwrap();
             // Put to the "far" host (adjacent on the mesh).

@@ -23,8 +23,11 @@ fn main() {
     let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
     assert!((1..PES).contains(&partner), "partner must be 1..{PES}");
 
-    let mut builder =
-        ShmemConfig::builder().hosts(PES).barrier_timeout(std::time::Duration::from_secs(600));
+    // The paper's testbed shape: hop counts below are ring distances.
+    let mut builder = ShmemConfig::builder()
+        .hosts(PES)
+        .topology(Topology::ring(PES))
+        .barrier_timeout(std::time::Duration::from_secs(600));
     builder = if scale == 1.0 { builder.paper_timing() } else { builder.time_scale(scale) };
     let cfg = builder.build();
 

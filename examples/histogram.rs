@@ -1,7 +1,7 @@
 //! Distributed histogram with remote atomics.
 //!
 //! Every PE draws samples and bins them into a histogram that is
-//! *sharded across the ring*: bin `b` lives on PE `b % num_pes`, and
+//! *sharded across a clique*: bin `b` lives on PE `b % num_pes`, and
 //! increments are remote `atomic_fetch_add`s executed inside the owning
 //! host's service thread. A final collect verifies the global count.
 //!
@@ -18,7 +18,9 @@ const SAMPLES_PER_PE: usize = 2_000;
 const PES: usize = 4;
 
 fn main() {
-    let cfg = ShmemConfig::builder().hosts(PES).build();
+    // Bin increments are all-to-all: every PE fires AMOs at every bin
+    // owner, so the clique (one hop to everyone) is the matching fabric.
+    let cfg = ShmemConfig::builder().hosts(PES).topology(Topology::clique(PES)).build();
 
     let local_views = ShmemWorld::run(cfg, |ctx| {
         let me = ctx.my_pe();
@@ -72,7 +74,8 @@ fn main() {
     }
 
     // Bonus: a reduction sanity check — allreduce of per-PE sample counts.
-    let sums = ShmemWorld::run(ShmemConfig::builder().hosts(PES).build(), |ctx| {
+    let reduce_cfg = ShmemConfig::builder().hosts(PES).topology(Topology::clique(PES)).build();
+    let sums = ShmemWorld::run(reduce_cfg, |ctx| {
         ctx.allreduce(ReduceOp::Sum, &[SAMPLES_PER_PE as u64]).expect("allreduce")[0]
     })
     .expect("world run");

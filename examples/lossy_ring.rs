@@ -47,8 +47,12 @@ fn snappy_retry() -> RetryPolicy {
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0xBAD11);
 
-    let cfg =
-        ShmemConfig::builder().hosts(PES).retry(snappy_retry()).faults(lossy_plan(seed)).build();
+    let cfg = ShmemConfig::builder()
+        .hosts(PES)
+        .topology(Topology::ring(PES))
+        .retry(snappy_retry())
+        .faults(lossy_plan(seed))
+        .build();
 
     println!("lossy ring: {PES} PEs, {CELLS} cells/PE, {ITERS} iterations, seed {seed:#x}");
 

@@ -42,6 +42,7 @@ fn main() {
     };
     let cfg = ShmemConfig::builder()
         .hosts(PES)
+        .topology(Topology::ring(PES))
         .heartbeat(HeartbeatConfig::fast())
         .degraded_policy(DegradedPolicy::Degrade)
         .barrier_timeout(Duration::from_secs(20))

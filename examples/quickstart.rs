@@ -12,8 +12,10 @@ use shmem_ntb::prelude::*;
 
 fn main() {
     // Fast functional simulation: no modelled PCIe latencies. Swap in
-    // `ShmemConfig::paper()` to feel the calibrated testbed timing.
-    let cfg = ShmemConfig::builder().hosts(3).build();
+    // `ShmemConfig::paper()` to feel the calibrated testbed timing, or
+    // `Topology::torus(r, c)` / `Topology::clique(n)` to re-cable the
+    // fabric — the SHMEM API is identical on every shape.
+    let cfg = ShmemConfig::builder().hosts(3).topology(Topology::ring(3)).build();
 
     let reports = ShmemWorld::run(cfg, |ctx| {
         let me = ctx.my_pe();

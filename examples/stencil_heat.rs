@@ -37,7 +37,9 @@ fn initial_temp(i: usize) -> f64 {
 }
 
 fn main() {
-    let cfg = ShmemConfig::builder().hosts(PES).build();
+    // A 1-D halo exchange only ever talks to ring neighbours, so the
+    // ring is the matching fabric (a torus would waste its extra links).
+    let cfg = ShmemConfig::builder().hosts(PES).topology(Topology::ring(PES)).build();
     let total = CELLS_PER_PE * PES;
 
     let pieces = ShmemWorld::run(cfg, |ctx| {

@@ -35,8 +35,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use shmem_ntb::net::{check, HeartbeatConfig, RetryPolicy};
-use shmem_ntb::shmem::{CmpOp, DegradedPolicy, ShmemConfig, ShmemError, ShmemWorld};
+use shmem_ntb::net::{check, HeartbeatConfig, RetryPolicy, Topology};
+use shmem_ntb::shmem::{
+    BarrierAlgorithm, CmpOp, DegradedPolicy, ShmemConfig, ShmemError, ShmemWorld,
+};
 use shmem_ntb::sim::{render_events, EventLog, FaultPlan};
 
 const HOSTS: usize = 5;
@@ -87,11 +89,17 @@ fn crash_cfg(seed: u64, policy: DegradedPolicy) -> ShmemConfig {
 /// rendered report plus the full trace to `target/trace-dumps/` and
 /// panic with the artifact path.
 fn certify(label: &str, log: &Arc<EventLog>) {
+    certify_pes(label, log, HOSTS);
+}
+
+/// [`certify`] for an arbitrary world size; returns the clean report so
+/// callers can assert evidence floors on what was actually checked.
+fn certify_pes(label: &str, log: &Arc<EventLog>, pes: usize) -> shmem_ntb::net::CheckReport {
     let events = log.take();
     assert_eq!(log.dropped(), 0, "{label}: trace ring buffer wrapped; raise the capacity");
-    let report = check(&events, HOSTS);
+    let report = check(&events, pes);
     if report.is_clean() {
-        return;
+        return report;
     }
     let dir = PathBuf::from("target/trace-dumps");
     std::fs::create_dir_all(&dir).expect("create target/trace-dumps");
@@ -420,6 +428,140 @@ fn run_rejoin_after_crash(seed: u64) {
     certify(&format!("rejoin-after-crash-{seed}"), &results[0]);
 }
 
+// ---------------------------------------------------------------------------
+// Torus crash: the victim dies inside a 16-PE dissemination barrier on a
+// 4x4 torus. Unlike the ring cells above, barrier flags here are *routed*
+// puts (partner distance 2^k crosses multiple links), so the crash lands
+// on in-flight forwarded traffic and the degraded barrier must converge
+// over the live set with dead-node-aware routing.
+// ---------------------------------------------------------------------------
+
+const TORUS_PES: usize = 16;
+/// Mid-grid victim (row 1, col 1): four live torus neighbours, so every
+/// routed path past it has a detour to heal onto.
+const TORUS_VICTIM: usize = 5;
+/// Detection + degraded convergence budget for the 16-PE world; wider
+/// than [`PROMPT`] because sixteen hosts' service threads share the
+/// harness machine, but still a quarter of [`BARRIER_TIMEOUT`].
+const TORUS_PROMPT: Duration = Duration::from_secs(10);
+
+fn torus_crash_cfg(seed: u64) -> ShmemConfig {
+    ShmemConfig::builder()
+        .hosts(TORUS_PES)
+        .topology(Topology::torus(4, 4))
+        .barrier_algorithm(BarrierAlgorithm::Dissemination)
+        .heartbeat(HeartbeatConfig::fast())
+        .degraded_policy(DegradedPolicy::Degrade)
+        .barrier_timeout(BARRIER_TIMEOUT)
+        .retry(retry())
+        .faults(noise(seed))
+        .build()
+}
+
+/// Cell: crash during a dissemination barrier at 16 PEs on the torus.
+/// The survivors' stalled round must resolve promptly (typed `PeFailed`
+/// naming the victim, or a degraded completion), the degraded barrier
+/// must converge over the 15 live PEs, and survivor put/get traffic must
+/// route around the dead cell. The certified trace carries evidence
+/// floors: barrier epochs, routed survivor puts and a membership
+/// eviction must all have actually been checked.
+fn run_crash_during_dissemination_barrier(seed: u64) {
+    let cfg = torus_crash_cfg(seed);
+    let results = ShmemWorld::run(cfg, |ctx| {
+        let log = ctx.node().obs().log().expect("observed world");
+        log.enable();
+        let me = ctx.my_pe();
+        let sym = ctx.malloc_array::<u64>(TORUS_PES).expect("alloc");
+        for i in 0..TORUS_PES {
+            ctx.write_local(&sym, i, 0).expect("zero");
+        }
+        ctx.barrier_all().expect("healthy dissemination barrier");
+
+        if me == TORUS_VICTIM {
+            ctx.quiet().expect("pre-crash quiet");
+            // The survivors are already stalling inside their next
+            // barrier rounds by the time the warmed-up victim dies.
+            std::thread::sleep(BEAT_WARMUP);
+            ctx.node().crash();
+            return Arc::clone(log);
+        }
+
+        let t0 = Instant::now();
+        let first = ctx.barrier_all();
+        assert!(
+            t0.elapsed() < TORUS_PROMPT,
+            "pe {me}: stalled dissemination barrier took {:?}",
+            t0.elapsed()
+        );
+        match first {
+            // The detector beat us to the entry check: degraded completion.
+            Ok(()) => {}
+            Err(ShmemError::PeFailed { pe, .. }) => {
+                assert_eq!(pe, TORUS_VICTIM, "pe {me}: wrong PE reported dead");
+                let deadline = Instant::now() + TORUS_PROMPT;
+                loop {
+                    match ctx.barrier_all() {
+                        Ok(()) => break,
+                        Err(ShmemError::PeFailed { pe, .. }) => {
+                            assert_eq!(pe, TORUS_VICTIM, "pe {me}: wrong PE reported dead");
+                            assert!(
+                                Instant::now() < deadline,
+                                "pe {me}: degraded dissemination barrier never converged"
+                            );
+                        }
+                        Err(e) => panic!("pe {me}: unexpected barrier error: {e}"),
+                    }
+                }
+            }
+            Err(e) => panic!("pe {me}: expected PeFailed, got {e}"),
+        }
+
+        // Survivor traffic around the dead cell: each puts to the next
+        // live PE in rank order, so PEs 4 and 6 (the victim's row
+        // neighbours) exchange through a healed route.
+        let live: Vec<usize> = (0..TORUS_PES).filter(|&p| p != TORUS_VICTIM).collect();
+        let rank = live.iter().position(|&p| p == me).expect("survivor rank");
+        let next = live[(rank + 1) % live.len()];
+        let prev = live[(rank + live.len() - 1) % live.len()];
+        ctx.put(&sym, me, 200 + me as u64, next).expect("survivor put");
+        ctx.quiet().expect("survivor quiet");
+        let got = ctx.wait_until(&sym, prev, CmpOp::Eq, 200 + prev as u64).expect("survivor data");
+        assert_eq!(got, 200 + prev as u64);
+
+        // One more aligned degraded barrier closes the round; the final
+        // quiet drains the barrier's own flag-put acks so the certified
+        // trace is quiescent.
+        ctx.barrier_all().expect("closing degraded barrier");
+        ctx.quiet().expect("final quiet");
+        assert!(!ctx.is_pe_live(TORUS_VICTIM), "victim must stay evicted");
+        assert_eq!(ctx.live_pes(), live);
+        assert!(ctx.membership_epoch() >= 1, "eviction must bump the epoch");
+        Arc::clone(log)
+    })
+    .expect("world");
+    let label = format!("crash-during-dissemination-barrier-{seed}");
+    let report = certify_pes(&label, &results[0], TORUS_PES);
+    // Evidence floors: a clean verdict on an empty trace proves nothing.
+    assert!(report.barriers_checked >= 1, "{label}: no barrier epochs certified");
+    assert!(
+        report.puts_checked >= TORUS_PES - 1,
+        "{label}: only {} put chunks certified, need >= {}",
+        report.puts_checked,
+        TORUS_PES - 1
+    );
+    assert!(
+        report.membership_updates_checked >= 1,
+        "{label}: the eviction's membership update was never certified"
+    );
+    eprintln!(
+        "torus crash/{seed}: {} events, {} barriers, {} puts, {} membership updates certified",
+        report.events,
+        report.barriers_checked,
+        report.puts_checked,
+        report.membership_updates_checked
+    );
+}
+
 /// The seed matrix: every cell under two noise seeds.
 macro_rules! crash_matrix {
     ($($name:ident => $runner:ident($seed:expr);)*) => {$(
@@ -439,4 +581,6 @@ crash_matrix! {
     freeze_then_thaw_seed23 => run_freeze_then_thaw(23);
     rejoin_after_crash_seed7 => run_rejoin_after_crash(7);
     rejoin_after_crash_seed23 => run_rejoin_after_crash(23);
+    crash_during_dissemination_barrier_seed7 => run_crash_during_dissemination_barrier(7);
+    crash_during_dissemination_barrier_seed23 => run_crash_during_dissemination_barrier(23);
 }

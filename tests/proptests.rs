@@ -212,6 +212,37 @@ fn routing_reaches_destination() {
     }
 }
 
+/// On every shape (ring, torus, clique) and random size, walking
+/// `next_hop` from a random source reaches any destination in at most
+/// `hops(src, dst)` steps — the chain follows shortest paths exactly,
+/// so it can never loop or ping-pong.
+#[test]
+fn next_hop_chains_reach_dest_within_hops_on_all_shapes() {
+    use shmem_ntb::net::{Shape, TopoGraph};
+    for case in 0..192u64 {
+        let mut rng = case_rng(13, case);
+        let (shape, n) = match case % 3 {
+            0 => (Shape::Ring, rng.random_range(2usize..=24)),
+            1 => {
+                let rows = rng.random_range(2usize..=6);
+                let cols = rng.random_range(2usize..=8);
+                (Shape::Torus { rows, cols }, rows * cols)
+            }
+            _ => (Shape::Clique, rng.random_range(2usize..=16)),
+        };
+        let graph = TopoGraph::new(shape, n);
+        let src = rng.random_range(0usize..n);
+        let dst = rng.random_range(0usize..n);
+        let budget = graph.hops(src, dst);
+        let mut cur = src;
+        for step in 0..budget {
+            assert_ne!(cur, dst, "case {case}: arrived early at step {step}");
+            cur = graph.next_hop(cur, dst);
+        }
+        assert_eq!(cur, dst, "case {case}: {shape:?} n={n} {src}->{dst} not reached in {budget}");
+    }
+}
+
 /// Hop count is symmetric.
 #[test]
 fn hop_count_symmetric() {
